@@ -1,0 +1,76 @@
+// E3 — Checkpoint cost vs representation size and reliability level (paper
+// section 4.4: "different reliability levels may cause different actions when
+// a checkpoint is issued").
+//
+// Series (size in bytes as the benchmark argument):
+//   BM_CheckpointLocal/size      long-term state on the node's own disk
+//   BM_CheckpointRemote/size     checksite on another node (wire + its disk)
+//   BM_CheckpointMirrored/size   primary + synchronous mirror site
+//
+// Expected shape: all grow linearly in size (disk transfer at ~1 MB/s
+// dominates); remote adds wire time (10 Mb/s ≈ disk rate, so roughly 2x);
+// mirrored ≈ max(primary, mirror) + extra wire traffic, costlier than local
+// but the two writes overlap.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void RunCheckpointBenchmark(benchmark::State& state, ReliabilityLevel level,
+                            bool remote_primary) {
+  size_t rep_bytes = static_cast<size_t>(state.range(0));
+  auto system = MakeBenchSystem(3);
+  Capability data = MakeDataObject(*system, 0, rep_bytes);
+  auto object = system->node(0).FindActive(data.name());
+  CheckpointPolicy policy;
+  policy.primary_site =
+      remote_primary ? system->node(1).station() : system->node(0).station();
+  policy.level = level;
+  policy.mirror_site = system->node(2).station();
+  object->policy = policy;
+
+  for (auto _ : state) {
+    SimDuration elapsed =
+        TimeAwait(*system, system->node(0).CheckpointObject(data.name()));
+    SetVirtualTime(state, elapsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(rep_bytes));
+}
+
+void BM_CheckpointLocal(benchmark::State& state) {
+  RunCheckpointBenchmark(state, ReliabilityLevel::kLocal,
+                         /*remote_primary=*/false);
+}
+BENCHMARK(BM_CheckpointLocal)
+    ->Arg(1024)
+    ->Arg(16 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+void BM_CheckpointRemote(benchmark::State& state) {
+  RunCheckpointBenchmark(state, ReliabilityLevel::kLocal,
+                         /*remote_primary=*/true);
+}
+BENCHMARK(BM_CheckpointRemote)
+    ->Arg(1024)
+    ->Arg(16 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+void BM_CheckpointMirrored(benchmark::State& state) {
+  RunCheckpointBenchmark(state, ReliabilityLevel::kMirrored,
+                         /*remote_primary=*/false);
+}
+BENCHMARK(BM_CheckpointMirrored)
+    ->Arg(1024)
+    ->Arg(16 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

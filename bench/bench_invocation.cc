@@ -1,0 +1,108 @@
+// E1 — Invocation latency (paper section 4.2: "invocation is a simple,
+// synchronous operation much like a procedure call"; the kernel forwards to
+// the target's node transparently).
+//
+// Series:
+//   BM_InvokeSameNode/argbytes    caller and object on one node
+//   BM_InvokeRemote/argbytes      object on another node, location cached
+//   BM_InvokeRemoteCold           first-ever contact: broadcast locate +
+//                                 request (the "cold" path)
+//   BM_InvokeNested               object-to-object call chain of depth k
+//
+// Expected shape (EXPERIMENTS.md): remote >> local (wire + serialization
+// dominate); both grow linearly in argument size; the cold path adds one
+// locate round on top of the cached remote path.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_InvokeSameNode(benchmark::State& state) {
+  size_t arg_bytes = static_cast<size_t>(state.range(0));
+  auto system = MakeBenchSystem(2);
+  Capability data = MakeDataObject(*system, 0, 16);
+  Bytes payload(arg_bytes, 0x33);
+  for (auto _ : state) {
+    SimDuration elapsed = TimeAwait(
+        *system,
+        system->node(0).Invoke(data, "put", InvokeArgs{}.AddBytes(payload)));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_InvokeSameNode)->Arg(64)->Arg(1024)->Arg(16384)->UseManualTime();
+
+void BM_InvokeRemote(benchmark::State& state) {
+  size_t arg_bytes = static_cast<size_t>(state.range(0));
+  auto system = MakeBenchSystem(5);
+  Capability data = MakeDataObject(*system, 0, 16);
+  Bytes payload(arg_bytes, 0x33);
+  // Prime node 3's location cache.
+  system->Await(system->node(3).Invoke(data, "size"));
+  for (auto _ : state) {
+    SimDuration elapsed = TimeAwait(
+        *system,
+        system->node(3).Invoke(data, "put", InvokeArgs{}.AddBytes(payload)));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_InvokeRemote)->Arg(64)->Arg(1024)->Arg(16384)->UseManualTime();
+
+void BM_InvokeRemoteCold(benchmark::State& state) {
+  // Every iteration uses a FRESH invoking node so the location cache never
+  // helps: cost = broadcast locate + reply + request + reply.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = MakeBenchSystem(5, 42 + state.iterations());
+    Capability data = MakeDataObject(*system, 0, 16);
+    state.ResumeTiming();
+    SimDuration elapsed =
+        TimeAwait(*system, system->node(4).Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_InvokeRemoteCold)->UseManualTime();
+
+void BM_InvokeNested(benchmark::State& state) {
+  // A chain of k proxy objects, one per node, each forwarding to the next:
+  // measures invocation cost composing across object boundaries.
+  int depth = static_cast<int>(state.range(0));
+  auto system = MakeBenchSystem(6);
+
+  auto proxy_type = std::make_shared<TypeManager>("bench.proxy");
+  proxy_type->AddClass("fwd", 8);
+  proxy_type->AddOperation(OperationSpec{
+      .name = "call",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        if (ctx.rep().capability_count() == 0) {
+          co_return InvokeResult::Ok(InvokeArgs{}.AddU64(ctx.node()));
+        }
+        InvokeResult nested =
+            co_await ctx.Invoke(ctx.rep().capability(0), "call");
+        co_return nested;
+      },
+      .invocation_class = 1,
+  });
+  system->RegisterType(proxy_type);
+
+  Capability next;  // chain tail: proxy with no successor
+  for (int i = depth; i >= 0; i--) {
+    Representation rep;
+    if (!next.IsNull()) {
+      rep.AddCapability(next);
+    }
+    auto cap = system->node(i % 5 + 1).CreateObject("bench.proxy", rep);
+    next = *cap;
+  }
+  // Warm all location caches.
+  system->Await(system->node(0).Invoke(next, "call"));
+  for (auto _ : state) {
+    SimDuration elapsed = TimeAwait(*system, system->node(0).Invoke(next, "call"));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_InvokeNested)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

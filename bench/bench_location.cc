@@ -1,0 +1,88 @@
+// E2 — Object location (paper sections 2 and 4.3: "it is the responsibility
+// of the Eden kernel... to determine the node on which the target object
+// resides and to forward the invocation message").
+//
+// Series:
+//   BM_LocateCacheHit              hint cache points straight at the host
+//   BM_LocateBroadcast/nodes       cold broadcast resolution vs network size
+//   BM_LocateForwardingChain/hops  invocation chasing a chain of forwarding
+//                                  addresses left by successive moves
+//
+// Expected shape: cache hit ≈ plain remote invocation; broadcast adds one
+// query round (mildly growing with contention as nodes increase); forwarding
+// chains cost one extra redirect round per hop until the cache heals.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_LocateCacheHit(benchmark::State& state) {
+  auto system = MakeBenchSystem(5);
+  Capability data = MakeDataObject(*system, 0, 16);
+  system->Await(system->node(2).Invoke(data, "size"));  // prime
+  for (auto _ : state) {
+    SimDuration elapsed = TimeAwait(*system, system->node(2).Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+  }
+  state.counters["cache_hits"] =
+      static_cast<double>(system->node(2).stats().locate_cache_hits);
+}
+BENCHMARK(BM_LocateCacheHit)->UseManualTime();
+
+void BM_LocateBroadcast(benchmark::State& state) {
+  size_t nodes = static_cast<size_t>(state.range(0));
+  uint64_t broadcasts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = MakeBenchSystem(nodes, 7 + state.iterations());
+    Capability data = MakeDataObject(*system, 0, 16);
+    NodeKernel& invoker = system->node(nodes - 1);
+    state.ResumeTiming();
+    SimDuration elapsed = TimeAwait(*system, invoker.Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+    broadcasts += invoker.stats().locate_broadcasts;
+  }
+  state.counters["broadcasts_per_op"] =
+      static_cast<double>(broadcasts) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_LocateBroadcast)->Arg(2)->Arg(5)->Arg(10)->Arg(20)->UseManualTime();
+
+void BM_LocateForwardingChain(benchmark::State& state) {
+  // The object moves `hops` times after the invoker cached its location; the
+  // next invocation follows the whole redirect chain.
+  int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = MakeBenchSystem(static_cast<size_t>(hops) + 3,
+                                  11 + state.iterations());
+    Capability data = MakeDataObject(*system, 0, 16);
+    NodeKernel& invoker = system->node(static_cast<size_t>(hops) + 2);
+    system->Await(invoker.Invoke(data, "size"));  // cache -> node 0
+    for (int h = 1; h <= hops; h++) {
+      auto object = system->NodeAt(static_cast<StationId>(h - 1))
+                        ->FindActive(data.name());
+      system->Await(system->node(static_cast<size_t>(h) - 1)
+                        .MoveObject(object, system->node(static_cast<size_t>(h))
+                                                .station()));
+      system->RunFor(Milliseconds(5));
+    }
+    state.ResumeTiming();
+    SimDuration elapsed = TimeAwait(*system, invoker.Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+
+    // The cache healed: the next call goes straight to the final host.
+    SimDuration healed = TimeAwait(*system, invoker.Invoke(data, "size"));
+    state.counters["healed_us"] = ToMicroseconds(healed);
+  }
+}
+BENCHMARK(BM_LocateForwardingChain)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// E5 — Object mobility (paper section 4.3: "an active Eden object can request
+// that responsibility for its resources be transferred to another node
+// through the kernel-supplied move operation").
+//
+// Series:
+//   BM_Move/size                 drain + transfer + reactivation, vs size
+//   BM_PostMoveForwarded         invocation through the stale cache +
+//                                forwarding address right after a move
+//   BM_PostMoveHealed            the next invocation, cache updated
+//
+// Expected shape: move cost grows linearly with representation size (one
+// wire transfer at 10 Mb/s) plus a fixed drain/reactivate cost; the first
+// post-move invocation pays one redirect round; subsequent ones match the
+// plain cached-remote latency of E1.
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_Move(benchmark::State& state) {
+  size_t rep_bytes = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    // A fresh installation per iteration: repeated ping-pong moves would
+    // otherwise measure interference with the previous iteration's
+    // forwarding state rather than the clean move cost.
+    auto system = MakeBenchSystem(3, 50 + state.iterations());
+    Capability data = MakeDataObject(*system, 0, rep_bytes);
+    auto object = system->node(0).FindActive(data.name());
+    state.ResumeTiming();
+    SimDuration elapsed = TimeAwait(
+        *system,
+        system->node(0).MoveObject(object, system->node(1).station()));
+    SetVirtualTime(state, elapsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(rep_bytes));
+}
+BENCHMARK(BM_Move)
+    ->Arg(1024)
+    ->Arg(64 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+void BM_PostMoveForwarded(benchmark::State& state) {
+  // Invoker cached the old host; measure the redirect-chasing invocation.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = MakeBenchSystem(4, 21 + state.iterations());
+    Capability data = MakeDataObject(*system, 0, 1024);
+    NodeKernel& invoker = system->node(3);
+    system->Await(invoker.Invoke(data, "size"));  // cache -> node 0
+    auto object = system->node(0).FindActive(data.name());
+    system->Await(system->node(0).MoveObject(object, system->node(1).station()));
+    system->RunFor(Milliseconds(5));
+    state.ResumeTiming();
+    SimDuration elapsed = TimeAwait(*system, invoker.Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_PostMoveForwarded)->UseManualTime();
+
+void BM_PostMoveHealed(benchmark::State& state) {
+  auto system = MakeBenchSystem(4);
+  Capability data = MakeDataObject(*system, 0, 1024);
+  NodeKernel& invoker = system->node(3);
+  system->Await(invoker.Invoke(data, "size"));
+  auto object = system->node(0).FindActive(data.name());
+  system->Await(system->node(0).MoveObject(object, system->node(1).station()));
+  system->RunFor(Milliseconds(5));
+  system->Await(invoker.Invoke(data, "size"));  // heal the cache
+  for (auto _ : state) {
+    SimDuration elapsed = TimeAwait(*system, invoker.Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_PostMoveHealed)->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// E4 — Passive/active transitions (paper sections 4.2 and 4.4: "a passive
+// object becomes active when an invocation request is received"; reincarnation
+// is the basic method for object restoration).
+//
+// Series:
+//   BM_WarmInvoke/size           object already active (baseline)
+//   BM_Reincarnate/size          object passive: first invoke pays activation
+//                                (disk read + condition handler) transparently
+//   BM_ReincarnateRemoteInvoker/size  the invoker is on another node
+//
+// Expected shape: reincarnation adds disk access (~40 ms) + transfer (size /
+// 1 MB/s) + activation overhead on top of the warm path, growing linearly in
+// representation size; the invoker's API is identical (single-level store).
+#include "bench/bench_util.h"
+
+namespace eden {
+namespace {
+
+void BM_WarmInvoke(benchmark::State& state) {
+  size_t rep_bytes = static_cast<size_t>(state.range(0));
+  auto system = MakeBenchSystem(2);
+  Capability data = MakeDataObject(*system, 0, rep_bytes);
+  for (auto _ : state) {
+    SimDuration elapsed = TimeAwait(*system, system->node(0).Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+  }
+}
+BENCHMARK(BM_WarmInvoke)
+    ->Arg(1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+void RunReincarnation(benchmark::State& state, bool remote_invoker) {
+  size_t rep_bytes = static_cast<size_t>(state.range(0));
+  auto system = MakeBenchSystem(3);
+  Capability data = MakeDataObject(*system, 0, rep_bytes);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Checkpoint + crash: the object goes passive on node 0's disk.
+    system->Await(system->node(0).CheckpointObject(data.name()));
+    system->Await(system->node(0).Invoke(data, "crash"));
+    state.ResumeTiming();
+    NodeKernel& invoker = remote_invoker ? system->node(1) : system->node(0);
+    SimDuration elapsed = TimeAwait(*system, invoker.Invoke(data, "size"));
+    SetVirtualTime(state, elapsed);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(rep_bytes));
+}
+
+void BM_Reincarnate(benchmark::State& state) {
+  RunReincarnation(state, /*remote_invoker=*/false);
+}
+BENCHMARK(BM_Reincarnate)
+    ->Arg(1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+void BM_ReincarnateRemoteInvoker(benchmark::State& state) {
+  RunReincarnation(state, /*remote_invoker=*/true);
+}
+BENCHMARK(BM_ReincarnateRemoteInvoker)
+    ->Arg(1024)
+    ->Arg(64 * 1024)
+    ->Arg(1024 * 1024)
+    ->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Shared helpers for the Eden benchmark harness.
+//
+// All benchmarks report *virtual* time: each iteration runs a scenario inside
+// the discrete-event simulation and feeds the elapsed simulated seconds to
+// google-benchmark via SetIterationTime (benchmarks use ->UseManualTime()).
+// Results are therefore deterministic and describe the modeled 1981 system
+// (10 Mb/s Ethernet, ~1 MB/s disks, era processor budgets), not the host.
+#ifndef EDEN_BENCH_BENCH_UTIL_H_
+#define EDEN_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+
+inline std::unique_ptr<EdenSystem> MakeBenchSystem(size_t nodes,
+                                                   uint64_t seed = 42) {
+  SystemConfig config;
+  config.seed = seed;
+  auto system = std::make_unique<EdenSystem>(config);
+  RegisterStandardTypes(*system);
+  system->AddNodes(nodes);
+  return system;
+}
+
+// Runs `future` to completion and returns the virtual time it took.
+template <typename T>
+SimDuration TimeAwait(EdenSystem& system, Future<T> future) {
+  SimTime start = system.sim().now();
+  system.Await(std::move(future));
+  return system.sim().now() - start;
+}
+
+inline void SetVirtualTime(benchmark::State& state, SimDuration elapsed) {
+  state.SetIterationTime(ToSeconds(elapsed));
+}
+
+// A std.data object with `bytes` of content on `node`.
+inline Capability MakeDataObject(EdenSystem& system, size_t node, size_t bytes,
+                                 uint8_t fill = 0x5a) {
+  Representation rep;
+  rep.set_data(0, Bytes(bytes, fill));
+  auto cap = system.node(node).CreateObject("std.data", rep);
+  return cap.value_or(Capability());
+}
+
+}  // namespace eden
+
+#endif  // EDEN_BENCH_BENCH_UTIL_H_

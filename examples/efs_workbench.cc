@@ -1,0 +1,103 @@
+// The Eden File System at work (paper section 5): transaction-based,
+// immutable versions, replicated at multiple sites.
+//
+// Two engineers edit a shared document through a 3-way-replicated EFS:
+//   * every save is a transaction producing a new immutable version,
+//   * concurrent saves conflict and one aborts cleanly (first-preparer-wins),
+//   * any historical version remains readable,
+//   * reads survive the loss of two of the three replica nodes.
+//
+//   $ ./efs_workbench
+#include <cstdio>
+
+#include "src/efs/client.h"
+#include "src/efs/file_store.h"
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+using namespace eden;
+
+int main() {
+  std::printf("=== EFS workbench: replicated, versioned, transactional ===\n\n");
+
+  EdenSystem system;
+  RegisterStandardTypes(system);
+  RegisterEfsTypes(system);
+  system.AddNodes(5);
+
+  // Three store replicas on nodes 0..2; clients on nodes 3 and 4.
+  std::vector<Capability> stores;
+  for (size_t i = 0; i < 3; i++) {
+    auto cap = system.node(i).CreateObject("efs.store", Representation{});
+    if (!cap.ok()) {
+      return 1;
+    }
+    stores.push_back(*cap);
+  }
+  EfsClient alice(system.node(3), stores);
+  EfsClient bob(system.node(4), stores);
+
+  std::printf("-- alice creates /design.txt (replicated on 3 nodes)\n");
+  Status created = system.Await(alice.CreateFile("/design.txt"));
+  std::printf("   create: %s\n", created.ToString().c_str());
+
+  std::printf("-- alice commits the first draft\n");
+  {
+    auto txn = alice.Begin();
+    txn.Write("/design.txt", ToBytes("v1: objects, capabilities, invocation"));
+    Status committed = system.Await(txn.Commit());
+    std::printf("   commit: %s\n", committed.ToString().c_str());
+  }
+
+  std::printf("-- alice and bob both edit from version 1 and race to commit\n");
+  {
+    auto alice_txn = alice.Begin();
+    auto bob_txn = bob.Begin();
+    alice_txn.Write("/design.txt", ToBytes("v2 (alice): add checkpointing"));
+    bob_txn.Write("/design.txt", ToBytes("v2 (bob): add migration"));
+    Future<Status> alice_commit = alice_txn.Commit();
+    Future<Status> bob_commit = bob_txn.Commit();
+    Status alice_status = system.Await(std::move(alice_commit));
+    Status bob_status = system.Await(std::move(bob_commit));
+    std::printf("   alice: %s\n   bob:   %s\n", alice_status.ToString().c_str(),
+                bob_status.ToString().c_str());
+
+    // The loser retries on top of the winner's version — no lost update.
+    EfsClient& loser = alice_status.ok() ? bob : alice;
+    const char* loser_name = alice_status.ok() ? "bob" : "alice";
+    auto retry = loser.Begin();
+    retry.Write("/design.txt",
+                ToBytes(std::string("v3 (") + loser_name + " retry): merged"));
+    Status retried = system.Await(retry.Commit());
+    std::printf("   %s retries on the new base: %s\n", loser_name,
+                retried.ToString().c_str());
+  }
+
+  std::printf("\n-- full version history (immutable versions):\n");
+  auto latest = system.Await(alice.Latest("/design.txt"));
+  for (uint64_t v = 1; v <= latest.value_or(0); v++) {
+    auto content = system.Await(alice.Read("/design.txt", v));
+    std::printf("   version %llu: \"%s\"\n", static_cast<unsigned long long>(v),
+                ToString(content.value_or({})).c_str());
+  }
+
+  std::printf("\n-- two of three replica nodes fail; reads keep working\n");
+  system.node(0).FailNode();
+  system.node(1).FailNode();
+  auto survived = system.Await(bob.Read("/design.txt"));
+  std::printf("   read with 1/3 replicas alive: %s (\"%s\")\n",
+              survived.status().ToString().c_str(),
+              ToString(survived.value_or({})).c_str());
+  std::printf("   read failovers so far (bob): %llu\n",
+              static_cast<unsigned long long>(bob.stats().read_failovers));
+
+  // Writes, however, need every replica (strict 2PC): they abort now.
+  auto doomed = bob.Begin();
+  doomed.Write("/design.txt", ToBytes("v4: never happens"));
+  Status blocked = system.Await(doomed.Commit());
+  std::printf("   commit with replicas down: %s\n", blocked.ToString().c_str());
+
+  std::printf("\nvirtual time elapsed: %.3f ms\n",
+              ToMilliseconds(system.sim().now()));
+  return 0;
+}

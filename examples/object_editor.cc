@@ -1,0 +1,84 @@
+// The object editor's world-view, text-mode (paper section 5): every object
+// has a syntactically structured visual representation, and "all human
+// interactions with objects are treated as editing operations applied to
+// these visual representations."
+//
+// A user on node 1 edits a shared design document that lives on node 0,
+// purely through inherited edit.* operations; a reviewer on node 2 watches
+// renders. The document survives a crash mid-session (write-through
+// checkpointing). Finally the user ships the rendered document to a foreign
+// time-sharing machine's "troff" service through a gateway object — the
+// asymmetric foreign-machine interface of section 2.
+//
+//   $ ./object_editor
+#include <cstdio>
+
+#include "src/edit/editable.h"
+#include "src/gateway/gateway.h"
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+using namespace eden;
+
+int main() {
+  std::printf("=== Eden object editor (text mode) ===\n\n");
+
+  EdenSystem system;
+  RegisterStandardTypes(system);
+  RegisterEditTypes(system);
+  system.AddNodes(3);
+
+  // The shared document, born with a skeleton outline.
+  StructureNode outline("paper", "The Architecture of the Eden System");
+  outline.AddChild("section", "Introduction")
+      .AddChild("para", "Integration vs distribution.");
+  outline.AddChild("section", "Goals");
+  auto doc = system.node(0).CreateObject("edit.document", StructureRep(outline));
+  if (!doc.ok()) {
+    return 1;
+  }
+
+  auto call = [&](size_t node, const std::string& op, InvokeArgs args = {}) {
+    return system.Await(system.node(node).Invoke(*doc, op, std::move(args)));
+  };
+
+  std::printf("-- reviewer (node2) renders the fresh document:\n%s\n",
+              call(2, "edit.render").results.StringAt(0).value().c_str());
+
+  std::printf("-- author (node1) edits: retitles Goals, adds Kernel section\n");
+  call(1, "edit.set", InvokeArgs{}.AddString("1").AddString("Goals and Approaches"));
+  call(1, "edit.insert",
+       InvokeArgs{}.AddString("").AddU64(2).AddString("section").AddString(
+           "An Overview of the Eden Kernel"));
+  call(1, "edit.insert",
+       InvokeArgs{}.AddString("2").AddU64(0).AddString("para").AddString(
+           "Objects: name, representation, type, short-term state."));
+
+  std::printf("-- node0 crashes mid-session...\n");
+  system.node(0).FailNode();
+  system.node(0).RestartNode();
+
+  std::printf("-- reviewer renders again; every edit survived:\n%s\n",
+              call(2, "edit.render").results.StringAt(0).value().c_str());
+
+  // Ship the rendering to the department's old time-sharing machine.
+  std::printf("-- shipping to the foreign machine 'tops20' for formatting\n");
+  auto tops20 = std::make_shared<ForeignMachine>(system.sim(), "tops20");
+  tops20->InstallService("troff", [](const std::string& text) {
+    std::string out = "*** formatted by tops20 troff ***\n" + text;
+    return StatusOr<std::string>(std::move(out));
+  });
+  auto gateway = AttachForeignMachine(system, 0, tops20);
+  if (!gateway.ok()) {
+    return 1;
+  }
+  std::string rendered = call(1, "edit.render").results.StringAt(0).value();
+  InvokeResult formatted = system.Await(system.node(1).Invoke(
+      *gateway, "submit", InvokeArgs{}.AddString("troff").AddString(rendered)));
+  std::printf("   gateway status: %s\n", formatted.status.ToString().c_str());
+  std::printf("%s\n", formatted.results.StringAt(0).value_or("").c_str());
+
+  std::printf("virtual time elapsed: %.3f ms\n",
+              ToMilliseconds(system.sim().now()));
+  return 0;
+}

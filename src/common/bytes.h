@@ -1,0 +1,104 @@
+// Bounds-checked binary codec used for every wire message, checkpoint record
+// and representation segment in Eden. Encoding is little-endian with varint
+// length prefixes; readers never trust lengths (a truncated or hostile buffer
+// yields an error Status, never UB).
+#ifndef EDEN_SRC_COMMON_BYTES_H_
+#define EDEN_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace eden {
+
+using Bytes = std::vector<uint8_t>;
+
+// Converts between Bytes and std::string views for convenience.
+Bytes ToBytes(std::string_view text);
+std::string ToString(const Bytes& bytes);
+
+// Append-only encoder. All writes succeed (the buffer grows); the produced
+// buffer is retrieved with Take() or buffer().
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void WriteU8(uint8_t value);
+  void WriteU16(uint16_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  // Unsigned LEB128.
+  void WriteVarint(uint64_t value);
+  // Varint length prefix + raw bytes.
+  void WriteBytes(const Bytes& bytes);
+  void WriteString(std::string_view text);
+  void WriteBool(bool value);
+  void WriteDouble(double value);
+  // Raw bytes with no length prefix (caller knows the framing).
+  void WriteRaw(const uint8_t* data, size_t size);
+
+  const Bytes& buffer() const { return buffer_; }
+  Bytes Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+// Bounds-checked decoder over a borrowed buffer. The buffer must outlive the
+// reader. Every Read* returns an error on truncation or overflow.
+class BufferReader {
+ public:
+  explicit BufferReader(const Bytes& buffer)
+      : data_(buffer.data()), size_(buffer.size()) {}
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  StatusOr<uint8_t> ReadU8();
+  StatusOr<uint16_t> ReadU16();
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<int64_t> ReadI64();
+  StatusOr<uint64_t> ReadVarint();
+  StatusOr<Bytes> ReadBytes();
+  StatusOr<std::string> ReadString();
+  StatusOr<bool> ReadBool();
+  StatusOr<double> ReadDouble();
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// 64-bit FNV-1a, used for content digests (determinism tests, replica
+// integrity checks). Not cryptographic; Eden's threat model excludes
+// malicious users (paper section 2).
+uint64_t Fnv1a64(const uint8_t* data, size_t size);
+uint64_t Fnv1a64(const Bytes& bytes);
+uint64_t Fnv1a64(std::string_view text);
+
+// Incremental digest for hashing event traces.
+class Digest {
+ public:
+  void Mix(uint64_t value);
+  void Mix(std::string_view text);
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_COMMON_BYTES_H_

@@ -1,0 +1,58 @@
+#include "src/common/log.h"
+
+#include <cstdio>
+
+namespace eden {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view component, std::string_view message) {
+    std::fprintf(stderr, "[%s %.*s] %.*s\n", LevelName(level),
+                 static_cast<int>(component.size()), component.data(),
+                 static_cast<int>(message.size()), message.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    *this = Logger();
+  }
+}
+
+void Logger::Log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (level < level_) {
+    return;
+  }
+  sink_(level, component, message);
+}
+
+}  // namespace eden

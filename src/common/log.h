@@ -1,0 +1,72 @@
+// Minimal leveled logging. Kernel code logs through this so tests can silence
+// or capture output. Log lines carry a component tag and (when attached to a
+// simulation) the virtual timestamp.
+#ifndef EDEN_SRC_COMMON_LOG_H_
+#define EDEN_SRC_COMMON_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace eden {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kNone = 5,  // disables all output
+};
+
+// Global log configuration. Not thread-safe by design: the whole system is a
+// single-threaded discrete-event simulation.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  void Log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarning;
+  Sink sink_;
+};
+
+// Stream-style log statement: EDEN_LOG(kInfo, "kernel") << "object " << name;
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStatement() { Logger::Get().Log(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+#define EDEN_LOG(severity, component)                                   \
+  if (::eden::Logger::Get().level() <= ::eden::LogLevel::severity)      \
+  ::eden::LogStatement(::eden::LogLevel::severity, (component))
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_COMMON_LOG_H_

@@ -1,0 +1,41 @@
+#include "src/common/rights.h"
+
+#include <cstdio>
+
+namespace eden {
+
+std::string Rights::ToString() const {
+  static constexpr struct {
+    uint32_t bit;
+    const char* name;
+  } kNames[] = {
+      {kInvoke, "invoke"},   {kRead, "read"},       {kWrite, "write"},
+      {kDestroy, "destroy"}, {kMove, "move"},       {kCheckpoint, "checkpoint"},
+      {kGrant, "grant"},     {kOwner, "owner"},
+  };
+  std::string out = "{";
+  bool first = true;
+  for (const auto& entry : kNames) {
+    if (Has(entry.bit)) {
+      if (!first) {
+        out += ",";
+      }
+      out += entry.name;
+      first = false;
+    }
+  }
+  uint32_t type_bits = bits_ & 0xffffff00u;
+  if (type_bits != 0) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%x", type_bits);
+    if (!first) {
+      out += ",";
+    }
+    out += "type:";
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace eden

@@ -1,0 +1,62 @@
+// Access rights carried in capabilities (paper section 4.1: "capabilities,
+// which contain both unique names and access rights"). Rights form a 32-bit
+// set; a capability can only ever be *restricted* (rights removed), never
+// amplified, except by the object's own type manager.
+#ifndef EDEN_SRC_COMMON_RIGHTS_H_
+#define EDEN_SRC_COMMON_RIGHTS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eden {
+
+// A set of access rights. The low 8 bits are kernel-defined; the remaining
+// bits are available for type-specific rights chosen by type programmers.
+class Rights {
+ public:
+  // Kernel-defined rights.
+  static constexpr uint32_t kInvoke = 1u << 0;    // may invoke any operation at all
+  static constexpr uint32_t kRead = 1u << 1;      // conventional: read-class ops
+  static constexpr uint32_t kWrite = 1u << 2;     // conventional: mutating ops
+  static constexpr uint32_t kDestroy = 1u << 3;   // may destroy the object
+  static constexpr uint32_t kMove = 1u << 4;      // may request migration
+  static constexpr uint32_t kCheckpoint = 1u << 5;// may force a checkpoint
+  static constexpr uint32_t kGrant = 1u << 6;     // may pass the capability on
+  static constexpr uint32_t kOwner = 1u << 7;     // full control
+
+  // First bit available to type programmers.
+  static constexpr uint32_t kFirstTypeRight = 1u << 8;
+
+  constexpr Rights() : bits_(0) {}
+  constexpr explicit Rights(uint32_t bits) : bits_(bits) {}
+
+  static constexpr Rights All() { return Rights(~0u); }
+  static constexpr Rights None() { return Rights(0); }
+
+  constexpr uint32_t bits() const { return bits_; }
+
+  // True if this set contains every right in `required`.
+  constexpr bool Covers(Rights required) const {
+    return (bits_ & required.bits_) == required.bits_;
+  }
+
+  constexpr bool Has(uint32_t right) const { return (bits_ & right) == right; }
+
+  // Set intersection: the only way rights ever change as capabilities flow
+  // between objects (monotone non-amplification).
+  constexpr Rights Restrict(Rights mask) const { return Rights(bits_ & mask.bits_); }
+
+  constexpr Rights Union(Rights other) const { return Rights(bits_ | other.bits_); }
+
+  constexpr bool operator==(const Rights& other) const { return bits_ == other.bits_; }
+
+  // e.g. "{invoke,read,write}" or "{0x0}".
+  std::string ToString() const;
+
+ private:
+  uint32_t bits_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_COMMON_RIGHTS_H_

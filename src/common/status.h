@@ -1,0 +1,155 @@
+// Status and StatusOr: error propagation primitives used across every Eden
+// module. Modeled on absl::Status but self-contained; no exceptions are used
+// anywhere in the library (C++ Core Guidelines E.deterministic for a kernel
+// substrate, and consistent behaviour inside coroutines).
+#ifndef EDEN_SRC_COMMON_STATUS_H_
+#define EDEN_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace eden {
+
+// Error space for the whole system. Values are stable; they are serialized
+// into invocation reply messages by the kernel.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,    // malformed request, bad parameter
+  kNotFound = 2,           // object/operation/version does not exist
+  kPermissionDenied = 3,   // capability lacks required rights
+  kTimeout = 4,            // user-supplied invocation timeout expired
+  kUnavailable = 5,        // node down / partitioned / object unreachable
+  kFailedPrecondition = 6, // e.g. checkpoint before checksite bound
+  kAlreadyExists = 7,      // duplicate name / version conflict
+  kAborted = 8,            // transaction aborted, invocation cancelled
+  kResourceExhausted = 9,  // class queue overflow, store full
+  kDataLoss = 10,          // no checkpoint exists for a failed object
+  kInternal = 11,          // invariant violation inside the kernel
+  kUnimplemented = 12,     // operation not defined by the type
+};
+
+// Human-readable name of a StatusCode ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such object".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, mirroring absl.
+Status OkStatus();
+Status InvalidArgumentError(std::string_view message);
+Status NotFoundError(std::string_view message);
+Status PermissionDeniedError(std::string_view message);
+Status TimeoutError(std::string_view message);
+Status UnavailableError(std::string_view message);
+Status FailedPreconditionError(std::string_view message);
+Status AlreadyExistsError(std::string_view message);
+Status AbortedError(std::string_view message);
+Status ResourceExhaustedError(std::string_view message);
+Status DataLossError(std::string_view message);
+Status InternalError(std::string_view message);
+Status UnimplementedError(std::string_view message);
+
+// A value of type T or an error Status. Never holds both.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeError();`
+  // both work in functions returning StatusOr<T>.
+  StatusOr(const T& value) : rep_(value) {}
+  StatusOr(T&& value) : rep_(std::move(value)) {}
+  StatusOr(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "StatusOr constructed with OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    if (ok()) {
+      return value();
+    }
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// RETURN_IF_ERROR(expr): early-return the Status if it is not OK.
+#define EDEN_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::eden::Status _eden_status = (expr);     \
+    if (!_eden_status.ok()) {                 \
+      return _eden_status;                    \
+    }                                         \
+  } while (0)
+
+// ASSIGN_OR_RETURN(lhs, expr): bind the value or early-return the error.
+#define EDEN_STATUS_CONCAT_INNER(a, b) a##b
+#define EDEN_STATUS_CONCAT(a, b) EDEN_STATUS_CONCAT_INNER(a, b)
+#define EDEN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+#define EDEN_ASSIGN_OR_RETURN(lhs, expr) \
+  EDEN_ASSIGN_OR_RETURN_IMPL(EDEN_STATUS_CONCAT(_eden_statusor_, __LINE__), lhs, expr)
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_COMMON_STATUS_H_

@@ -1,0 +1,232 @@
+#include "src/edit/editable.h"
+
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+
+StatusOr<StructureNode> LoadStructure(const InvokeContext& ctx) {
+  if (ctx.rep().data_segment_count() == 0 || ctx.rep().data(0).empty()) {
+    return StructureNode("root", "");
+  }
+  return StructureNode::Deserialize(ctx.rep().data(0));
+}
+
+void StoreStructure(InvokeContext& ctx, const StructureNode& root) {
+  ctx.rep().set_data(0, root.Serialize());
+}
+
+Representation StructureRep(const StructureNode& root) {
+  Representation rep;
+  rep.set_data(0, root.Serialize());
+  return rep;
+}
+
+std::shared_ptr<AbstractType> StdEditableType() {
+  auto type = std::make_shared<AbstractType>("std.editable", StdObjectType());
+  type->AddClass("editors", 1);   // edits are serialized
+  type->AddClass("viewers", 8);   // rendering is concurrent
+
+  type->AddOperation(AbstractOperation{
+      .name = "edit.render",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        co_return InvokeResult::Ok(InvokeArgs{}.AddString(root->Render()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "viewers",
+      .read_only = true,
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "edit.get",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto path_text = ctx.args().StringAt(0);
+        if (!path_text.ok()) {
+          co_return InvokeResult::Error(path_text.status());
+        }
+        auto path = ParseStructurePath(*path_text);
+        if (!path.ok()) {
+          co_return InvokeResult::Error(path.status());
+        }
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        auto node = root->Find(*path);
+        if (!node.ok()) {
+          co_return InvokeResult::Error(node.status());
+        }
+        co_return InvokeResult::Ok(InvokeArgs{}
+                                       .AddString((*node)->label())
+                                       .AddString((*node)->value())
+                                       .AddU64((*node)->child_count()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "viewers",
+      .read_only = true,
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "edit.set",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto path_text = ctx.args().StringAt(0);
+        auto value = ctx.args().StringAt(1);
+        if (!path_text.ok() || !value.ok()) {
+          co_return InvokeResult::Error(
+              InvalidArgumentError("edit.set(path, value)"));
+        }
+        auto path = ParseStructurePath(*path_text);
+        if (!path.ok()) {
+          co_return InvokeResult::Error(path.status());
+        }
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        Status applied = root->SetValueAt(*path, *value);
+        if (!applied.ok()) {
+          co_return InvokeResult::Error(applied);
+        }
+        StoreStructure(ctx, *root);
+        Status durable = co_await ctx.Checkpoint();
+        co_return InvokeResult{durable, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "editors",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "edit.insert",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto path_text = ctx.args().StringAt(0);
+        auto index = ctx.args().U64At(1);
+        auto label = ctx.args().StringAt(2);
+        auto value = ctx.args().StringAt(3);
+        if (!path_text.ok() || !index.ok() || !label.ok() || !value.ok()) {
+          co_return InvokeResult::Error(
+              InvalidArgumentError("edit.insert(path, index, label, value)"));
+        }
+        auto path = ParseStructurePath(*path_text);
+        if (!path.ok()) {
+          co_return InvokeResult::Error(path.status());
+        }
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        Status applied = root->InsertAt(*path, *index, *label, *value);
+        if (!applied.ok()) {
+          co_return InvokeResult::Error(applied);
+        }
+        StoreStructure(ctx, *root);
+        Status durable = co_await ctx.Checkpoint();
+        co_return InvokeResult{durable, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "editors",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "edit.remove",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto path_text = ctx.args().StringAt(0);
+        if (!path_text.ok()) {
+          co_return InvokeResult::Error(path_text.status());
+        }
+        auto path = ParseStructurePath(*path_text);
+        if (!path.ok()) {
+          co_return InvokeResult::Error(path.status());
+        }
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        Status applied = root->RemoveAt(*path);
+        if (!applied.ok()) {
+          co_return InvokeResult::Error(applied);
+        }
+        StoreStructure(ctx, *root);
+        Status durable = co_await ctx.Checkpoint();
+        co_return InvokeResult{durable, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "editors",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "edit.count",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(root->TotalNodes()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "viewers",
+      .read_only = true,
+  });
+
+  return type;
+}
+
+std::shared_ptr<AbstractType> EditDocumentType() {
+  return std::make_shared<AbstractType>("edit.document", StdEditableType());
+}
+
+namespace {
+
+void RenderOutline(const StructureNode& node, std::string& out,
+                   std::vector<size_t>& numbering) {
+  if (!numbering.empty()) {
+    for (size_t i = 0; i < numbering.size(); i++) {
+      out += std::to_string(numbering[i]);
+      out += '.';
+    }
+    out += ' ';
+  }
+  out += node.value().empty() ? node.label() : node.value();
+  out += '\n';
+  for (size_t i = 0; i < node.child_count(); i++) {
+    numbering.push_back(i + 1);
+    RenderOutline(node.child(i), out, numbering);
+    numbering.pop_back();
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<AbstractType> EditOutlineType() {
+  auto type = std::make_shared<AbstractType>("edit.outline", StdEditableType());
+  // Override the inherited display code: dotted section numbers instead of
+  // indentation.
+  type->AddOperation(AbstractOperation{
+      .name = "edit.render",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto root = LoadStructure(ctx);
+        if (!root.ok()) {
+          co_return InvokeResult::Error(root.status());
+        }
+        std::string out;
+        std::vector<size_t> numbering;
+        RenderOutline(*root, out, numbering);
+        co_return InvokeResult::Ok(InvokeArgs{}.AddString(out));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "viewers",
+      .read_only = true,
+  });
+  return type;
+}
+
+void RegisterEditTypes(EdenSystem& system) {
+  system.RegisterType(StdEditableType()->BuildTypeManager());
+  system.RegisterType(EditDocumentType()->BuildTypeManager());
+  system.RegisterType(EditOutlineType()->BuildTypeManager());
+}
+
+}  // namespace eden

@@ -1,0 +1,51 @@
+// The "std.editable" abstract type: the object-editor paradigm as inheritable
+// operations (paper section 5: the type hierarchy lets "display code for use
+// with the object editor" be inherited).
+//
+// Any subtype that keeps a StructureNode in data segment 0 inherits:
+//   edit.render ()                      -> [text]         the visual form
+//   edit.get    (path)                  -> [label, value, children]
+//   edit.set    (path, value)           -> []              edit a value
+//   edit.insert (path, index, label, value) -> []          grow the structure
+//   edit.remove (path)                  -> []              prune it
+//   edit.count  ()                      -> [total nodes]
+//
+// Every mutation checkpoints (a user's edit must survive a crash). Paths are
+// slash-separated child indices ("0/2"); the root is the empty path.
+#ifndef EDEN_SRC_EDIT_EDITABLE_H_
+#define EDEN_SRC_EDIT_EDITABLE_H_
+
+#include <memory>
+
+#include "src/edit/structure.h"
+#include "src/kernel/context.h"
+#include "src/types/abstract_type.h"
+
+namespace eden {
+
+class EdenSystem;
+
+// The abstract editable base (subtype of std.object).
+std::shared_ptr<AbstractType> StdEditableType();
+
+// A ready-made concrete subtype: "edit.document", an editable outline
+// document with nothing beyond the inherited behavior.
+std::shared_ptr<AbstractType> EditDocumentType();
+
+// "edit.outline": a subtype that OVERRIDES the inherited display code
+// (edit.render) with numbered section headings — the paper's example of an
+// attribute "that might usefully be inherited" being specialized per type.
+std::shared_ptr<AbstractType> EditOutlineType();
+
+void RegisterEditTypes(EdenSystem& system);
+
+// Helpers for type programmers storing structures in representations.
+StatusOr<StructureNode> LoadStructure(const InvokeContext& ctx);
+void StoreStructure(InvokeContext& ctx, const StructureNode& root);
+
+// Builds a Representation holding `root` (for CreateObject).
+Representation StructureRep(const StructureNode& root);
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_EDIT_EDITABLE_H_

@@ -1,0 +1,189 @@
+#include "src/edit/structure.h"
+
+namespace eden {
+
+namespace {
+constexpr int kMaxDepth = 64;
+constexpr size_t kMaxChildren = 1u << 16;
+}  // namespace
+
+StatusOr<StructurePath> ParseStructurePath(const std::string& text) {
+  StructurePath path;
+  if (text.empty()) {
+    return path;
+  }
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t slash = text.find('/', pos);
+    std::string segment = text.substr(
+        pos, slash == std::string::npos ? std::string::npos : slash - pos);
+    if (segment.empty()) {
+      return InvalidArgumentError("empty path segment in \"" + text + "\"");
+    }
+    size_t index = 0;
+    for (char c : segment) {
+      if (c < '0' || c > '9') {
+        return InvalidArgumentError("non-numeric path segment \"" + segment + "\"");
+      }
+      index = index * 10 + static_cast<size_t>(c - '0');
+      if (index > kMaxChildren) {
+        return InvalidArgumentError("path index too large");
+      }
+    }
+    path.push_back(index);
+    if (slash == std::string::npos) {
+      break;
+    }
+    pos = slash + 1;
+  }
+  return path;
+}
+
+std::string FormatStructurePath(const StructurePath& path) {
+  std::string out;
+  for (size_t i = 0; i < path.size(); i++) {
+    if (i > 0) {
+      out += '/';
+    }
+    out += std::to_string(path[i]);
+  }
+  return out;
+}
+
+StructureNode& StructureNode::AddChild(std::string label, std::string value) {
+  children_.emplace_back(std::move(label), std::move(value));
+  return children_.back();
+}
+
+StatusOr<const StructureNode*> StructureNode::Find(const StructurePath& path) const {
+  const StructureNode* node = this;
+  for (size_t index : path) {
+    if (index >= node->children_.size()) {
+      return NotFoundError("no node at path " + FormatStructurePath(path));
+    }
+    node = &node->children_[index];
+  }
+  return node;
+}
+
+StatusOr<StructureNode*> StructureNode::FindMutable(const StructurePath& path) {
+  StructureNode* node = this;
+  for (size_t index : path) {
+    if (index >= node->children_.size()) {
+      return NotFoundError("no node at path " + FormatStructurePath(path));
+    }
+    node = &node->children_[index];
+  }
+  return node;
+}
+
+Status StructureNode::SetValueAt(const StructurePath& path, std::string value) {
+  EDEN_ASSIGN_OR_RETURN(StructureNode * node, FindMutable(path));
+  node->set_value(std::move(value));
+  return OkStatus();
+}
+
+Status StructureNode::InsertAt(const StructurePath& path, size_t index,
+                               std::string label, std::string value) {
+  EDEN_ASSIGN_OR_RETURN(StructureNode * node, FindMutable(path));
+  if (index > node->children_.size()) {
+    return InvalidArgumentError("insert index out of range");
+  }
+  if (node->children_.size() >= kMaxChildren) {
+    return ResourceExhaustedError("too many children");
+  }
+  node->children_.insert(node->children_.begin() + static_cast<long>(index),
+                         StructureNode(std::move(label), std::move(value)));
+  return OkStatus();
+}
+
+Status StructureNode::RemoveAt(const StructurePath& path) {
+  if (path.empty()) {
+    return InvalidArgumentError("cannot remove the root node");
+  }
+  StructurePath parent_path(path.begin(), path.end() - 1);
+  EDEN_ASSIGN_OR_RETURN(StructureNode * parent, FindMutable(parent_path));
+  size_t index = path.back();
+  if (index >= parent->children_.size()) {
+    return NotFoundError("no node at path " + FormatStructurePath(path));
+  }
+  parent->children_.erase(parent->children_.begin() + static_cast<long>(index));
+  return OkStatus();
+}
+
+size_t StructureNode::TotalNodes() const {
+  size_t total = 1;
+  for (const StructureNode& child : children_) {
+    total += child.TotalNodes();
+  }
+  return total;
+}
+
+void StructureNode::Encode(BufferWriter& writer) const {
+  writer.WriteString(label_);
+  writer.WriteString(value_);
+  writer.WriteVarint(children_.size());
+  for (const StructureNode& child : children_) {
+    child.Encode(writer);
+  }
+}
+
+StatusOr<StructureNode> StructureNode::DecodeBounded(BufferReader& reader,
+                                                     int depth) {
+  if (depth > kMaxDepth) {
+    return InvalidArgumentError("structure nesting too deep");
+  }
+  StructureNode node;
+  EDEN_ASSIGN_OR_RETURN(node.label_, reader.ReadString());
+  EDEN_ASSIGN_OR_RETURN(node.value_, reader.ReadString());
+  EDEN_ASSIGN_OR_RETURN(uint64_t child_count, reader.ReadVarint());
+  if (child_count > kMaxChildren) {
+    return InvalidArgumentError("implausible child count");
+  }
+  node.children_.reserve(child_count);
+  for (uint64_t i = 0; i < child_count; i++) {
+    EDEN_ASSIGN_OR_RETURN(StructureNode child, DecodeBounded(reader, depth + 1));
+    node.children_.push_back(std::move(child));
+  }
+  return node;
+}
+
+StatusOr<StructureNode> StructureNode::Decode(BufferReader& reader) {
+  return DecodeBounded(reader, 0);
+}
+
+Bytes StructureNode::Serialize() const {
+  BufferWriter writer;
+  Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<StructureNode> StructureNode::Deserialize(const Bytes& bytes) {
+  BufferReader reader(bytes);
+  EDEN_ASSIGN_OR_RETURN(StructureNode node, Decode(reader));
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after structure");
+  }
+  return node;
+}
+
+void StructureNode::RenderInto(std::string& out, int depth) const {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += label_;
+  if (!value_.empty()) {
+    out += ": ";
+    out += value_;
+  }
+  out += '\n';
+  for (const StructureNode& child : children_) {
+    child.RenderInto(out, depth + 1);
+  }
+}
+
+std::string StructureNode::Render() const {
+  std::string out;
+  RenderInto(out, 0);
+  return out;
+}
+
+}  // namespace eden

@@ -1,0 +1,94 @@
+// Structured representations for the object editor (paper section 5: "all
+// objects (such as directories, source programs, queues, etc.) have a
+// syntactically structured visual representation, and... all human
+// interactions with objects are treated as editing operations applied to
+// these visual representations").
+//
+// StructureNode is the syntax tree behind that idea: a labelled, ordered tree
+// of string-valued nodes with a stable binary codec (so a structure can live
+// in a representation segment and be checkpointed), path addressing for edit
+// operations, and a text renderer standing in for the bit-map display the
+// node machines never got.
+#ifndef EDEN_SRC_EDIT_STRUCTURE_H_
+#define EDEN_SRC_EDIT_STRUCTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace eden {
+
+// A path addresses a node by child indices from the root: {} is the root,
+// {0, 2} is the third child of the first child.
+using StructurePath = std::vector<size_t>;
+
+// Parses "0/2/1" (empty string = root). Rejects non-numeric segments.
+StatusOr<StructurePath> ParseStructurePath(const std::string& text);
+std::string FormatStructurePath(const StructurePath& path);
+
+class StructureNode {
+ public:
+  StructureNode() = default;
+  StructureNode(std::string label, std::string value)
+      : label_(std::move(label)), value_(std::move(value)) {}
+
+  const std::string& label() const { return label_; }
+  const std::string& value() const { return value_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+  void set_value(std::string value) { value_ = std::move(value); }
+
+  size_t child_count() const { return children_.size(); }
+  const StructureNode& child(size_t index) const { return children_.at(index); }
+  StructureNode& mutable_child(size_t index) { return children_.at(index); }
+
+  // Appends and returns the new child.
+  StructureNode& AddChild(std::string label, std::string value);
+
+  // --- Path operations ------------------------------------------------------
+  // Resolves a path; error if any index is out of range.
+  StatusOr<const StructureNode*> Find(const StructurePath& path) const;
+  StatusOr<StructureNode*> FindMutable(const StructurePath& path);
+
+  // Sets the value of the node at `path`.
+  Status SetValueAt(const StructurePath& path, std::string value);
+
+  // Inserts a new child under the node at `path`, before `index` (index may
+  // equal the child count to append).
+  Status InsertAt(const StructurePath& path, size_t index, std::string label,
+                  std::string value);
+
+  // Removes the node at `path` (the root cannot be removed).
+  Status RemoveAt(const StructurePath& path);
+
+  // --- Whole-tree operations ---------------------------------------------------
+  size_t TotalNodes() const;
+  void Encode(BufferWriter& writer) const;
+  static StatusOr<StructureNode> Decode(BufferReader& reader);
+  Bytes Serialize() const;
+  static StatusOr<StructureNode> Deserialize(const Bytes& bytes);
+
+  // Indented text rendering:
+  //   label: value
+  //     child-label: value
+  std::string Render() const;
+
+  bool operator==(const StructureNode& other) const {
+    return label_ == other.label_ && value_ == other.value_ &&
+           children_ == other.children_;
+  }
+
+ private:
+  void RenderInto(std::string& out, int depth) const;
+  static StatusOr<StructureNode> DecodeBounded(BufferReader& reader, int depth);
+
+  std::string label_;
+  std::string value_;
+  std::vector<StructureNode> children_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_EDIT_STRUCTURE_H_

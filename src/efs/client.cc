@@ -1,0 +1,197 @@
+#include "src/efs/client.h"
+
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace eden {
+
+EfsClient::EfsClient(NodeKernel& kernel, std::vector<Capability> stores)
+    : kernel_(kernel), stores_(std::move(stores)) {
+  assert(!stores_.empty() && "EFS needs at least one store replica");
+}
+
+EfsClient::Transaction EfsClient::Begin() {
+  stats_.transactions_started++;
+  // Transaction ids must be unique system-wide; a random 64-bit id is the
+  // same trick the transport uses for message ids.
+  return Transaction(this, kernel_.sim().rng().NextU64() | 1);
+}
+
+EfsClient::Transaction& EfsClient::Transaction::Write(const std::string& path,
+                                                      Bytes data) {
+  assert(!finished_ && "transaction already committed");
+  writes_.emplace_back(path, std::move(data));
+  return *this;
+}
+
+Future<Status> EfsClient::Transaction::Commit() {
+  assert(!finished_ && "transaction already committed");
+  finished_ = true;
+  return Launch(client_->CommitTask(id_, std::move(writes_)));
+}
+
+Future<Status> EfsClient::CreateFile(const std::string& path) {
+  return Launch(CreateFileTask(path));
+}
+
+Future<StatusOr<Bytes>> EfsClient::Read(const std::string& path,
+                                        uint64_t version) {
+  return Launch(ReadTask(path, version));
+}
+
+Future<StatusOr<uint64_t>> EfsClient::Latest(const std::string& path) {
+  return Launch(LatestTask(path));
+}
+
+Future<StatusOr<std::vector<std::string>>> EfsClient::List() {
+  return Launch(ListTask());
+}
+
+Task<Status> EfsClient::CreateFileTask(std::string path) {
+  for (const Capability& store : stores_) {
+    InvokeResult result =
+        co_await kernel_.Invoke(store, "create", InvokeArgs{}.AddString(path));
+    if (!result.ok() && result.status.code() != StatusCode::kAlreadyExists) {
+      co_return result.status;
+    }
+  }
+  co_return OkStatus();
+}
+
+Task<StatusOr<Bytes>> EfsClient::ReadTask(std::string path, uint64_t version) {
+  stats_.reads++;
+  Status last_error = UnavailableError("no replica answered");
+  for (size_t attempt = 0; attempt < stores_.size(); attempt++) {
+    const Capability& store =
+        stores_[(next_read_replica_ + attempt) % stores_.size()];
+    InvokeResult result = co_await kernel_.Invoke(
+        store, "read", InvokeArgs{}.AddString(path).AddU64(version),
+        Seconds(5));
+    if (result.ok()) {
+      next_read_replica_ = (next_read_replica_ + attempt) % stores_.size();
+      if (attempt > 0) {
+        stats_.read_failovers++;
+      }
+      auto data = result.results.BytesAt(0);
+      if (!data.ok()) {
+        co_return data.status();
+      }
+      co_return std::move(*data);
+    }
+    if (result.status.code() == StatusCode::kNotFound) {
+      co_return result.status;  // authoritative: the file/version is absent
+    }
+    last_error = result.status;
+  }
+  co_return last_error;
+}
+
+Task<StatusOr<uint64_t>> EfsClient::LatestTask(std::string path) {
+  Status last_error = UnavailableError("no replica answered");
+  for (size_t attempt = 0; attempt < stores_.size(); attempt++) {
+    const Capability& store =
+        stores_[(next_read_replica_ + attempt) % stores_.size()];
+    InvokeResult result = co_await kernel_.Invoke(
+        store, "latest", InvokeArgs{}.AddString(path), Seconds(5));
+    if (result.ok()) {
+      co_return result.results.U64At(0);
+    }
+    if (result.status.code() == StatusCode::kNotFound) {
+      co_return result.status;
+    }
+    last_error = result.status;
+  }
+  co_return last_error;
+}
+
+Task<StatusOr<std::vector<std::string>>> EfsClient::ListTask() {
+  InvokeResult result = co_await kernel_.Invoke(stores_[0], "list");
+  if (!result.ok()) {
+    co_return result.status;
+  }
+  std::vector<std::string> paths;
+  for (size_t i = 0; i < result.results.data.size(); i++) {
+    paths.push_back(ToString(result.results.data[i]));
+  }
+  co_return paths;
+}
+
+Task<Status> EfsClient::CommitTask(
+    uint64_t txn_id, std::vector<std::pair<std::string, Bytes>> writes) {
+  if (writes.empty()) {
+    stats_.transactions_committed++;
+    co_return OkStatus();
+  }
+
+  // Base versions: what "latest" was when the transaction decided to write.
+  // Prepare re-validates these under each store's transaction mutex, so a
+  // race between this read and the prepare aborts cleanly rather than
+  // corrupting the chain.
+  std::vector<uint64_t> base_versions;
+  for (const auto& [path, data] : writes) {
+    InvokeResult result =
+        co_await kernel_.Invoke(stores_[0], "latest", InvokeArgs{}.AddString(path));
+    if (!result.ok()) {
+      stats_.transactions_aborted++;
+      co_return result.status;
+    }
+    base_versions.push_back(result.results.U64At(0).value_or(0));
+  }
+
+  // Phase 1: prepare every write on every replica.
+  Status failure = OkStatus();
+  for (const Capability& store : stores_) {
+    for (size_t w = 0; w < writes.size() && failure.ok(); w++) {
+      InvokeResult result = co_await kernel_.Invoke(
+          store, "prepare",
+          InvokeArgs{}
+              .AddU64(txn_id)
+              .AddString(writes[w].first)
+              .AddU64(base_versions[w])
+              .AddBytes(writes[w].second));
+      if (!result.ok()) {
+        failure = result.status;
+      }
+    }
+    if (!failure.ok()) {
+      break;
+    }
+  }
+
+  if (!failure.ok()) {
+    // Abort everywhere (best effort; stores that never prepared no-op).
+    for (const Capability& store : stores_) {
+      co_await kernel_.Invoke(store, "abort", InvokeArgs{}.AddU64(txn_id),
+                              Seconds(5));
+    }
+    stats_.transactions_aborted++;
+    if (failure.code() == StatusCode::kAborted) {
+      co_return failure;
+    }
+    co_return AbortedError("prepare failed: " + failure.ToString());
+  }
+
+  // Phase 2: commit everywhere. All replicas voted yes, so each applies the
+  // same deterministic version bump.
+  Status commit_status = OkStatus();
+  for (const Capability& store : stores_) {
+    InvokeResult result =
+        co_await kernel_.Invoke(store, "commit", InvokeArgs{}.AddU64(txn_id));
+    if (!result.ok() && commit_status.ok()) {
+      // A replica that misses the commit retains the durable staging and can
+      // be repaired by re-sending commit (idempotent); we surface the error.
+      commit_status = result.status;
+      EDEN_LOG(kWarning, "efs") << "commit incomplete on a replica: "
+                                << result.status.ToString();
+    }
+  }
+  if (commit_status.ok()) {
+    stats_.transactions_committed++;
+  } else {
+    stats_.transactions_aborted++;
+  }
+  co_return commit_status;
+}
+
+}  // namespace eden

@@ -1,0 +1,90 @@
+// EFS client library: replicated reads and two-phase-commit transactions
+// over a set of "efs.store" objects (paper section 5).
+//
+// The client is user-level code in the paper's sense: it is built purely on
+// kernel-supplied invocation, with no special kernel support. A file "path"
+// names a version chain present on every store replica; reads rotate across
+// replicas (performance), commits run 2PC across all of them (reliability).
+#ifndef EDEN_SRC_EFS_CLIENT_H_
+#define EDEN_SRC_EFS_CLIENT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/kernel/node_kernel.h"
+
+namespace eden {
+
+struct EfsStats {
+  uint64_t transactions_started = 0;
+  uint64_t transactions_committed = 0;
+  uint64_t transactions_aborted = 0;
+  uint64_t reads = 0;
+  uint64_t read_failovers = 0;
+};
+
+class EfsClient {
+ public:
+  // `stores` are capabilities for efs.store objects holding replicas of the
+  // same file set. One store = unreplicated EFS.
+  EfsClient(NodeKernel& kernel, std::vector<Capability> stores);
+
+  size_t replication_factor() const { return stores_.size(); }
+  const EfsStats& stats() const { return stats_; }
+
+  // Creates an (empty) file on every replica.
+  Future<Status> CreateFile(const std::string& path);
+
+  // Reads a version (0 = latest) from one replica, failing over to others.
+  Future<StatusOr<Bytes>> Read(const std::string& path, uint64_t version = 0);
+
+  // Latest committed version number of a file.
+  Future<StatusOr<uint64_t>> Latest(const std::string& path);
+
+  // All file paths known to the store set.
+  Future<StatusOr<std::vector<std::string>>> List();
+
+  // A write transaction. Writes are staged client-side; Commit runs
+  // two-phase commit across every replica. First-preparer-wins concurrency
+  // control: a competing transaction on the same file aborts cleanly.
+  class Transaction {
+   public:
+    uint64_t id() const { return id_; }
+
+    // Stages a whole-file write (EFS versions are immutable wholes).
+    Transaction& Write(const std::string& path, Bytes data);
+
+    // Runs 2PC. OK = all replicas committed; kAborted = a conflict was
+    // detected during prepare and every replica dropped the staging.
+    Future<Status> Commit();
+
+   private:
+    friend class EfsClient;
+    Transaction(EfsClient* client, uint64_t id) : client_(client), id_(id) {}
+
+    EfsClient* client_;
+    uint64_t id_;
+    std::vector<std::pair<std::string, Bytes>> writes_;
+    bool finished_ = false;
+  };
+
+  Transaction Begin();
+
+ private:
+  Task<Status> CreateFileTask(std::string path);
+  Task<StatusOr<Bytes>> ReadTask(std::string path, uint64_t version);
+  Task<StatusOr<uint64_t>> LatestTask(std::string path);
+  Task<StatusOr<std::vector<std::string>>> ListTask();
+  Task<Status> CommitTask(uint64_t txn_id,
+                          std::vector<std::pair<std::string, Bytes>> writes);
+
+  NodeKernel& kernel_;
+  std::vector<Capability> stores_;
+  size_t next_read_replica_ = 0;
+  EfsStats stats_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_EFS_CLIENT_H_

@@ -1,0 +1,383 @@
+#include "src/efs/file_store.h"
+
+#include <map>
+#include <vector>
+
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+
+namespace {
+
+// --- Representation layout --------------------------------------------------
+// Segment 0: the file table      map<file_id, vector<version bytes>>
+// Segment 1: staged transactions map<txn_id, vector<StagedWrite>>
+
+struct StagedWrite {
+  std::string file_id;
+  uint64_t base_version = 0;
+  Bytes data;
+};
+
+using FileTable = std::map<std::string, std::vector<Bytes>>;
+using StagingTable = std::map<uint64_t, std::vector<StagedWrite>>;
+
+Bytes EncodeFileTable(const FileTable& files) {
+  BufferWriter writer;
+  writer.WriteVarint(files.size());
+  for (const auto& [file_id, versions] : files) {
+    writer.WriteString(file_id);
+    writer.WriteVarint(versions.size());
+    for (const Bytes& version : versions) {
+      writer.WriteBytes(version);
+    }
+  }
+  return writer.Take();
+}
+
+FileTable DecodeFileTable(const Bytes& encoded) {
+  FileTable files;
+  if (encoded.empty()) {
+    return files;
+  }
+  BufferReader reader(encoded);
+  auto count = reader.ReadVarint();
+  if (!count.ok()) {
+    return files;
+  }
+  for (uint64_t i = 0; i < *count; i++) {
+    auto file_id = reader.ReadString();
+    auto versions = reader.ReadVarint();
+    if (!file_id.ok() || !versions.ok()) {
+      return files;
+    }
+    std::vector<Bytes>& chain = files[*file_id];
+    for (uint64_t v = 0; v < *versions; v++) {
+      auto data = reader.ReadBytes();
+      if (!data.ok()) {
+        return files;
+      }
+      chain.push_back(std::move(*data));
+    }
+  }
+  return files;
+}
+
+Bytes EncodeStaging(const StagingTable& staging) {
+  BufferWriter writer;
+  writer.WriteVarint(staging.size());
+  for (const auto& [txn_id, writes] : staging) {
+    writer.WriteU64(txn_id);
+    writer.WriteVarint(writes.size());
+    for (const StagedWrite& write : writes) {
+      writer.WriteString(write.file_id);
+      writer.WriteU64(write.base_version);
+      writer.WriteBytes(write.data);
+    }
+  }
+  return writer.Take();
+}
+
+StagingTable DecodeStaging(const Bytes& encoded) {
+  StagingTable staging;
+  if (encoded.empty()) {
+    return staging;
+  }
+  BufferReader reader(encoded);
+  auto count = reader.ReadVarint();
+  if (!count.ok()) {
+    return staging;
+  }
+  for (uint64_t i = 0; i < *count; i++) {
+    auto txn_id = reader.ReadU64();
+    auto writes = reader.ReadVarint();
+    if (!txn_id.ok() || !writes.ok()) {
+      return staging;
+    }
+    std::vector<StagedWrite>& list = staging[*txn_id];
+    for (uint64_t w = 0; w < *writes; w++) {
+      StagedWrite write;
+      auto file_id = reader.ReadString();
+      auto base = reader.ReadU64();
+      auto data = reader.ReadBytes();
+      if (!file_id.ok() || !base.ok() || !data.ok()) {
+        staging.erase(*txn_id);
+        return staging;
+      }
+      write.file_id = std::move(*file_id);
+      write.base_version = *base;
+      write.data = std::move(*data);
+      list.push_back(std::move(write));
+    }
+  }
+  return staging;
+}
+
+FileTable LoadFiles(InvokeContext& ctx) {
+  return ctx.rep().data_segment_count() > 0 ? DecodeFileTable(ctx.rep().data(0))
+                                            : FileTable{};
+}
+
+StagingTable LoadStaging(InvokeContext& ctx) {
+  return ctx.rep().data_segment_count() > 1 ? DecodeStaging(ctx.rep().data(1))
+                                            : StagingTable{};
+}
+
+void StoreFiles(InvokeContext& ctx, const FileTable& files) {
+  ctx.rep().set_data(0, EncodeFileTable(files));
+}
+
+void StoreStaging(InvokeContext& ctx, const StagingTable& staging) {
+  ctx.rep().set_data(1, EncodeStaging(staging));
+}
+
+// True if any transaction other than `txn_id` has staged a write to the file.
+bool FileLockedByOther(const StagingTable& staging, const std::string& file_id,
+                       uint64_t txn_id) {
+  for (const auto& [other_id, writes] : staging) {
+    if (other_id == txn_id) {
+      continue;
+    }
+    for (const StagedWrite& write : writes) {
+      if (write.file_id == file_id) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::shared_ptr<AbstractType> EfsStoreType() {
+  auto type = std::make_shared<AbstractType>("efs.store", StdObjectType());
+  // Transaction-state mutations are strictly serialized (limit 1): this is
+  // the store's concurrency control, encapsulated exactly as the paper
+  // promises ("concurrency control will be encapsulated to facilitate
+  // experimentation with alternate approaches").
+  type->AddClass("txn", 1);
+  type->AddClass("readers", 8);
+
+  type->AddOperation(AbstractOperation{
+      .name = "create",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto file_id = ctx.args().StringAt(0);
+        if (!file_id.ok()) {
+          co_return InvokeResult::Error(file_id.status());
+        }
+        FileTable files = LoadFiles(ctx);
+        if (files.count(*file_id) > 0) {
+          co_return InvokeResult::Error(
+              AlreadyExistsError("file exists: " + *file_id));
+        }
+        files[*file_id] = {};
+        StoreFiles(ctx, files);
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "txn",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "prepare",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto txn_id = ctx.args().U64At(0);
+        auto file_id = ctx.args().StringAt(1);
+        auto base_version = ctx.args().U64At(2);
+        auto data = ctx.args().BytesAt(3);
+        if (!txn_id.ok() || !file_id.ok() || !base_version.ok() || !data.ok()) {
+          co_return InvokeResult::Error(
+              InvalidArgumentError("prepare(txn, file, base, data)"));
+        }
+        FileTable files = LoadFiles(ctx);
+        auto file = files.find(*file_id);
+        if (file == files.end()) {
+          co_return InvokeResult::Error(
+              NotFoundError("no such file: " + *file_id));
+        }
+        if (file->second.size() != *base_version) {
+          co_return InvokeResult::Error(AbortedError(
+              "stale base version for " + *file_id + " (txn lost the race)"));
+        }
+        StagingTable staging = LoadStaging(ctx);
+        if (FileLockedByOther(staging, *file_id, *txn_id)) {
+          co_return InvokeResult::Error(AbortedError(
+              "write to " + *file_id + " already staged by another txn"));
+        }
+        staging[*txn_id].push_back(
+            StagedWrite{*file_id, *base_version, std::move(*data)});
+        StoreStaging(ctx, staging);
+        // Durable vote: a prepared transaction survives a crash.
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "txn",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "commit",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto txn_id = ctx.args().U64At(0);
+        if (!txn_id.ok()) {
+          co_return InvokeResult::Error(txn_id.status());
+        }
+        StagingTable staging = LoadStaging(ctx);
+        auto staged = staging.find(*txn_id);
+        if (staged == staging.end()) {
+          // Idempotent: the transaction was already committed (duplicate
+          // commit after a lost reply) or never prepared here.
+          co_return InvokeResult::Ok(InvokeArgs{}.AddU64(0));
+        }
+        FileTable files = LoadFiles(ctx);
+        uint64_t applied = 0;
+        for (StagedWrite& write : staged->second) {
+          files[write.file_id].push_back(std::move(write.data));
+          applied++;
+        }
+        staging.erase(staged);
+        StoreFiles(ctx, files);
+        StoreStaging(ctx, staging);
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, InvokeArgs{}.AddU64(applied)};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "txn",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "abort",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto txn_id = ctx.args().U64At(0);
+        if (!txn_id.ok()) {
+          co_return InvokeResult::Error(txn_id.status());
+        }
+        StagingTable staging = LoadStaging(ctx);
+        if (staging.erase(*txn_id) > 0) {
+          StoreStaging(ctx, staging);
+          Status status = co_await ctx.Checkpoint();
+          co_return InvokeResult{status, {}};
+        }
+        co_return InvokeResult::Ok();
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "txn",
+  });
+
+  // Version retirement: EFS versions are immutable, but disks are 300 MB.
+  // prune(file_id, keep) discards all but the newest `keep` versions; version
+  // NUMBERS are stable (version k remains version k), only old content goes.
+  type->AddOperation(AbstractOperation{
+      .name = "prune",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto file_id = ctx.args().StringAt(0);
+        auto keep = ctx.args().U64At(1);
+        if (!file_id.ok() || !keep.ok()) {
+          co_return InvokeResult::Error(
+              InvalidArgumentError("prune(file, keep)"));
+        }
+        FileTable files = LoadFiles(ctx);
+        auto file = files.find(*file_id);
+        if (file == files.end()) {
+          co_return InvokeResult::Error(
+              NotFoundError("no such file: " + *file_id));
+        }
+        uint64_t dropped = 0;
+        if (file->second.size() > *keep) {
+          uint64_t drop = file->second.size() - *keep;
+          for (uint64_t i = 0; i < drop; i++) {
+            // Retired versions become empty husks; the chain keeps its
+            // numbering so read(file, k) stays meaningful for live versions.
+            if (!file->second[i].empty()) {
+              file->second[i] = Bytes{};
+              dropped++;
+            }
+          }
+        }
+        StoreFiles(ctx, files);
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, InvokeArgs{}.AddU64(dropped)};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "txn",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "read",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto file_id = ctx.args().StringAt(0);
+        auto version = ctx.args().U64At(1);
+        if (!file_id.ok()) {
+          co_return InvokeResult::Error(file_id.status());
+        }
+        FileTable files = LoadFiles(ctx);
+        auto file = files.find(*file_id);
+        if (file == files.end()) {
+          co_return InvokeResult::Error(
+              NotFoundError("no such file: " + *file_id));
+        }
+        uint64_t want = version.value_or(0);
+        if (want == 0) {
+          want = file->second.size();
+        }
+        if (want == 0 || want > file->second.size()) {
+          co_return InvokeResult::Error(NotFoundError(
+              "no version " + std::to_string(want) + " of " + *file_id));
+        }
+        if (file->second[want - 1].empty() && want < file->second.size()) {
+          co_return InvokeResult::Error(NotFoundError(
+              "version " + std::to_string(want) + " of " + *file_id +
+              " was pruned"));
+        }
+        co_return InvokeResult::Ok(
+            InvokeArgs{}.AddBytes(file->second[want - 1]).AddU64(want));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "latest",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto file_id = ctx.args().StringAt(0);
+        if (!file_id.ok()) {
+          co_return InvokeResult::Error(file_id.status());
+        }
+        FileTable files = LoadFiles(ctx);
+        auto file = files.find(*file_id);
+        if (file == files.end()) {
+          co_return InvokeResult::Error(
+              NotFoundError("no such file: " + *file_id));
+        }
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(file->second.size()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "list",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        InvokeArgs out;
+        for (const auto& [file_id, versions] : LoadFiles(ctx)) {
+          out.AddString(file_id);
+        }
+        co_return InvokeResult::Ok(std::move(out));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+
+  return type;
+}
+
+void RegisterEfsTypes(EdenSystem& system) {
+  system.RegisterType(EfsStoreType()->BuildTypeManager());
+}
+
+}  // namespace eden

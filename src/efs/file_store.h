@@ -1,0 +1,40 @@
+// The Eden File System store object (paper section 5): "EFS will be
+// transaction-based, storing immutable versions that may be replicated at
+// multiple sites for reliability or performance enhancement."
+//
+// An "efs.store" object holds immutable version chains for a set of files at
+// one site. Transactions use two-phase commit driven by the client library
+// (src/efs/client.h): `prepare` stages a write and durably checkpoints it
+// (the vote), `commit` turns staged writes into new immutable versions, and
+// `abort` discards them. Prepare conflicts (stale base version, or a write
+// already staged by another transaction) make the store vote no — first
+// preparer wins, so committed version chains are serializable.
+//
+// Operations (data parameters in order):
+//   create  (file_id)                         -> []
+//   prepare (txn_id, file_id, base_version, data) -> []
+//   commit  (txn_id)                          -> [new version count]
+//   abort   (txn_id)                          -> []
+//   read    (file_id, version; 0 = latest)    -> [data, version]
+//   latest  (file_id)                         -> [version]
+//   list    ()                                -> [file_id...]
+#ifndef EDEN_SRC_EFS_FILE_STORE_H_
+#define EDEN_SRC_EFS_FILE_STORE_H_
+
+#include <memory>
+
+#include "src/types/abstract_type.h"
+
+namespace eden {
+
+class EdenSystem;
+
+// Abstract type "efs.store" (subtype of std.object). Register via
+// RegisterEfsTypes.
+std::shared_ptr<AbstractType> EfsStoreType();
+
+void RegisterEfsTypes(EdenSystem& system);
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_EFS_FILE_STORE_H_

@@ -1,0 +1,109 @@
+#include "src/gateway/foreign_machine.h"
+
+namespace eden {
+
+ForeignMachine::ForeignMachine(Simulation& sim, std::string hostname,
+                               ForeignMachineConfig config)
+    : sim_(sim), hostname_(std::move(hostname)), config_(config) {}
+
+void ForeignMachine::InstallService(const std::string& service,
+                                    ForeignService handler) {
+  services_[service] = std::move(handler);
+}
+
+Future<StatusOr<std::string>> ForeignMachine::Submit(
+    const std::string& request_line, SimDuration service_weight) {
+  Promise<StatusOr<std::string>> promise;
+  Future<StatusOr<std::string>> future = promise.GetFuture();
+  if (!powered_) {
+    promise.Set(StatusOr<std::string>(
+        UnavailableError(hostname_ + " is not responding")));
+    return future;
+  }
+  if (queue_.size() >= config_.queue_limit) {
+    promise.Set(StatusOr<std::string>(
+        ResourceExhaustedError(hostname_ + " batch queue full")));
+    return future;
+  }
+  // Serial-link transfer time for the request text.
+  SimDuration link_time = static_cast<SimDuration>(
+      static_cast<double>(request_line.size()) / config_.link_bytes_per_sec * 1e9);
+  uint64_t generation = generation_;
+  sim_.Schedule(link_time, [this, generation, request_line, service_weight,
+                            promise]() mutable {
+    if (!powered_ || generation != generation_) {
+      promise.Set(StatusOr<std::string>(
+          UnavailableError(hostname_ + " is not responding")));
+      return;
+    }
+    queue_.push_back(Job{request_line, service_weight, std::move(promise)});
+    PumpQueue();
+  });
+  return future;
+}
+
+void ForeignMachine::PumpQueue() {
+  if (busy_ || queue_.empty() || !powered_) {
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  uint64_t generation = generation_;
+  SimDuration service = config_.base_service_time + job.weight;
+  sim_.Schedule(service, [this, generation, job = std::move(job)]() mutable {
+    if (generation != generation_) {
+      job.reply.Set(StatusOr<std::string>(
+          UnavailableError(hostname_ + " power-cycled mid-job")));
+      return;
+    }
+    busy_ = false;
+    if (!powered_) {
+      job.reply.Set(StatusOr<std::string>(
+          UnavailableError(hostname_ + " crashed mid-job")));
+    } else {
+      requests_served_++;
+      StatusOr<std::string> result = RunService(job.request_line);
+      if (result.ok()) {
+        // Response rides the serial link back.
+        SimDuration link_time = static_cast<SimDuration>(
+            static_cast<double>(result->size()) / config_.link_bytes_per_sec *
+            1e9);
+        sim_.Schedule(link_time, [reply = std::move(job.reply),
+                                  result = std::move(result)]() mutable {
+          reply.Set(std::move(result));
+        });
+      } else {
+        job.reply.Set(std::move(result));
+      }
+    }
+    PumpQueue();
+  });
+}
+
+StatusOr<std::string> ForeignMachine::RunService(const std::string& request_line) {
+  size_t space = request_line.find(' ');
+  std::string service = request_line.substr(0, space);
+  std::string payload =
+      space == std::string::npos ? "" : request_line.substr(space + 1);
+  auto it = services_.find(service);
+  if (it == services_.end()) {
+    return NotFoundError(hostname_ + ": no such service \"" + service + "\"");
+  }
+  return it->second(payload);
+}
+
+void ForeignMachine::PowerCycle() {
+  generation_++;
+  powered_ = false;
+  auto queue = std::move(queue_);
+  queue_.clear();
+  for (Job& job : queue) {
+    job.reply.Set(StatusOr<std::string>(
+        UnavailableError(hostname_ + " power-cycled")));
+  }
+  busy_ = false;
+  powered_ = true;
+}
+
+}  // namespace eden

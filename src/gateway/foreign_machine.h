@@ -1,0 +1,90 @@
+// A simulated "foreign machine" (paper section 2): "Special-purpose servers
+// such as conventional time-sharing computers... are interfaced to the system
+// through node machines. Eden users can invoke services on foreign machines
+// through an 'object-like' interface, but the relationship will not be
+// symmetric."
+//
+// ForeignMachine models a conventional time-sharing host hanging off one node
+// machine over a serial-style link: it speaks its own ad-hoc request/response
+// protocol (NOT Eden invocation), has its own queueing discipline (one batch
+// queue, FCFS, a configurable service rate), and knows nothing about
+// capabilities, objects or the LAN. The gateway object type in gateway.h is
+// what makes it look like an Eden object.
+#ifndef EDEN_SRC_GATEWAY_FOREIGN_MACHINE_H_
+#define EDEN_SRC_GATEWAY_FOREIGN_MACHINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace eden {
+
+struct ForeignMachineConfig {
+  // Serial link to the hosting node machine (9600 baud era-appropriate).
+  double link_bytes_per_sec = 960.0;
+  // CPU seconds charged per request, scaled by request weight.
+  SimDuration base_service_time = Milliseconds(50);
+  // The machine runs one job at a time (a batch time-sharing system).
+  size_t queue_limit = 64;
+};
+
+// A registered foreign "service" (think: a program on the time-sharing host).
+// Takes the raw request line, returns the raw response line.
+using ForeignService =
+    std::function<StatusOr<std::string>(const std::string& request)>;
+
+class ForeignMachine {
+ public:
+  ForeignMachine(Simulation& sim, std::string hostname,
+                 ForeignMachineConfig config = {});
+
+  const std::string& hostname() const { return hostname_; }
+
+  // Installs a service program under a name ("finger", "troff", ...).
+  void InstallService(const std::string& service, ForeignService handler);
+
+  // Submits a request line over the serial link: "<service> <payload>".
+  // Resolves with the response after link transfer + queueing + service.
+  Future<StatusOr<std::string>> Submit(const std::string& request_line,
+                                       SimDuration service_weight = 0);
+
+  // Power-cycle: queued requests fail with kUnavailable.
+  void PowerCycle();
+  bool powered() const { return powered_; }
+  void set_powered(bool on) { powered_ = on; }
+
+  uint64_t requests_served() const { return requests_served_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct Job {
+    std::string request_line;
+    SimDuration weight;
+    Promise<StatusOr<std::string>> reply;
+  };
+
+  void PumpQueue();
+  StatusOr<std::string> RunService(const std::string& request_line);
+
+  Simulation& sim_;
+  std::string hostname_;
+  ForeignMachineConfig config_;
+  std::map<std::string, ForeignService> services_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  bool powered_ = true;
+  // Bumped by PowerCycle: work belonging to an earlier power generation
+  // (on the link or mid-service) dies with it.
+  uint64_t generation_ = 0;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_GATEWAY_FOREIGN_MACHINE_H_

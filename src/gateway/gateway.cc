@@ -1,0 +1,69 @@
+#include "src/gateway/gateway.h"
+
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+
+std::shared_ptr<AbstractType> GatewayType(std::string type_name,
+                                          std::shared_ptr<ForeignMachine> host) {
+  auto type = std::make_shared<AbstractType>(std::move(type_name), StdObjectType());
+  // The foreign host serializes jobs anyway; let several invocations queue
+  // inside it rather than in the object (limit sized to the host queue).
+  type->AddClass("relay", 16);
+
+  type->AddOperation(AbstractOperation{
+      .name = "submit",
+      .handler = [host](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto service = ctx.args().StringAt(0);
+        auto payload = ctx.args().StringAt(1);
+        if (!service.ok() || !payload.ok()) {
+          co_return InvokeResult::Error(
+              InvalidArgumentError("submit(service, payload)"));
+        }
+        StatusOr<std::string> response =
+            co_await host->Submit(*service + " " + *payload);
+        if (!response.ok()) {
+          co_return InvokeResult::Error(response.status());
+        }
+        co_return InvokeResult::Ok(InvokeArgs{}.AddString(*response));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "relay",
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "status",
+      .handler = [host](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(InvokeArgs{}
+                                       .AddString(host->hostname())
+                                       .AddU64(host->queue_depth())
+                                       .AddU64(host->requests_served()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "relay",
+      .read_only = true,
+  });
+
+  // The serial link is soldered to one node machine: override the inherited
+  // move_to so the kernel never ships this object elsewhere.
+  type->AddOperation(AbstractOperation{
+      .name = "move_to",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Error(FailedPreconditionError(
+            "gateway objects are pinned to their link's node"));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kMove),
+  });
+
+  return type;
+}
+
+StatusOr<Capability> AttachForeignMachine(EdenSystem& system, size_t node,
+                                          std::shared_ptr<ForeignMachine> host) {
+  std::string type_name = "gateway." + host->hostname();
+  system.RegisterType(GatewayType(type_name, host)->BuildTypeManager());
+  return system.node(node).CreateObject(type_name, Representation{});
+}
+
+}  // namespace eden

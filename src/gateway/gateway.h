@@ -1,0 +1,42 @@
+// The gateway object type: wraps a ForeignMachine in an "object-like
+// interface" (paper section 2). From the outside it is an ordinary Eden
+// object — capability-named, location-independent, rights-checked. Inside,
+// its operations translate invocations into the foreign host's private
+// protocol and relay the answers. The relationship is asymmetric by design:
+// the foreign machine can never invoke Eden objects.
+//
+// Operations:
+//   submit (service_name, payload)  -> [response]     queue a foreign job
+//   status ()                       -> [hostname, queue_depth, served]
+//
+// The gateway is also a worked example of a type whose *implementation* holds
+// node-local resources (the serial link): it pins itself by refusing move_to
+// (overriding the inherited operation) — exactly the sort of
+// location-sensitive implementation decision section 4.3 assigns to the type
+// programmer.
+#ifndef EDEN_SRC_GATEWAY_GATEWAY_H_
+#define EDEN_SRC_GATEWAY_GATEWAY_H_
+
+#include <memory>
+
+#include "src/gateway/foreign_machine.h"
+#include "src/types/abstract_type.h"
+
+namespace eden {
+
+class EdenSystem;
+
+// Builds the "gateway" abstract type bound to one foreign machine. Each
+// gateway type instance fronts exactly one host (register one type per host,
+// e.g. "gateway.vax1"); all object instances of that type share it, matching
+// the paper's type-manager-holds-the-code model.
+std::shared_ptr<AbstractType> GatewayType(std::string type_name,
+                                          std::shared_ptr<ForeignMachine> host);
+
+// Convenience: registers the type and creates one gateway object on `node`.
+StatusOr<Capability> AttachForeignMachine(EdenSystem& system, size_t node,
+                                          std::shared_ptr<ForeignMachine> host);
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_GATEWAY_GATEWAY_H_

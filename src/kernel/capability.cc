@@ -1,0 +1,20 @@
+#include "src/kernel/capability.h"
+
+namespace eden {
+
+void Capability::Encode(BufferWriter& writer) const {
+  name_.Encode(writer);
+  writer.WriteU32(rights_.bits());
+}
+
+StatusOr<Capability> Capability::Decode(BufferReader& reader) {
+  EDEN_ASSIGN_OR_RETURN(ObjectName name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(uint32_t bits, reader.ReadU32());
+  return Capability(name, Rights(bits));
+}
+
+std::string Capability::ToString() const {
+  return "<" + name_.ToString() + " " + rights_.ToString() + ">";
+}
+
+}  // namespace eden

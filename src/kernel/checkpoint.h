@@ -1,0 +1,54 @@
+// Checkpoint policy (paper section 4.4): "an object may specify, through the
+// checksite primitive, which node is responsible for maintaining its
+// long-term storage, and what level of reliability is required. Different
+// reliability levels may cause different actions when a checkpoint is
+// issued."
+#ifndef EDEN_SRC_KERNEL_CHECKPOINT_H_
+#define EDEN_SRC_KERNEL_CHECKPOINT_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/net/lan.h"
+
+namespace eden {
+
+enum class ReliabilityLevel : uint8_t {
+  // The representation is written to the primary checksite's disk only.
+  kLocal = 0,
+  // Written to the primary checksite and, synchronously, to a mirror site;
+  // the checkpoint completes only when both are durable.
+  kMirrored = 1,
+};
+
+struct CheckpointPolicy {
+  // Node whose stable store holds the authoritative long-term state. This is
+  // also where the object reincarnates after a failure. It "need not be the
+  // node responsible for supporting its active execution".
+  StationId primary_site = 0;
+  ReliabilityLevel level = ReliabilityLevel::kLocal;
+  StationId mirror_site = 0;  // meaningful only for kMirrored
+
+  void Encode(BufferWriter& writer) const {
+    writer.WriteU32(primary_site);
+    writer.WriteU8(static_cast<uint8_t>(level));
+    writer.WriteU32(mirror_site);
+  }
+
+  static StatusOr<CheckpointPolicy> Decode(BufferReader& reader) {
+    CheckpointPolicy policy;
+    EDEN_ASSIGN_OR_RETURN(policy.primary_site, reader.ReadU32());
+    EDEN_ASSIGN_OR_RETURN(uint8_t level, reader.ReadU8());
+    if (level > static_cast<uint8_t>(ReliabilityLevel::kMirrored)) {
+      return InvalidArgumentError("bad reliability level");
+    }
+    policy.level = static_cast<ReliabilityLevel>(level);
+    EDEN_ASSIGN_OR_RETURN(policy.mirror_site, reader.ReadU32());
+    return policy;
+  }
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_CHECKPOINT_H_

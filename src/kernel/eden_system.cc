@@ -1,0 +1,42 @@
+#include "src/kernel/eden_system.h"
+
+namespace eden {
+
+EdenSystem::EdenSystem(SystemConfig config)
+    : config_(config), sim_(config.seed), lan_(sim_, config.lan) {}
+
+NodeKernel& EdenSystem::AddNode(const std::string& name) {
+  nodes_.push_back(std::make_unique<NodeKernel>(*this, name, config_.kernel,
+                                                config_.disk, config_.transport));
+  return *nodes_.back();
+}
+
+void EdenSystem::AddNodes(size_t count) {
+  for (size_t i = 0; i < count; i++) {
+    AddNode("node" + std::to_string(node_count()));
+  }
+}
+
+NodeKernel* EdenSystem::NodeAt(StationId station) {
+  for (auto& node : nodes_) {
+    if (node->station() == station) {
+      return node.get();
+    }
+  }
+  return nullptr;
+}
+
+void EdenSystem::RegisterType(std::shared_ptr<TypeManager> type) {
+  assert(type != nullptr);
+  types_[type->name()] = std::move(type);
+}
+
+std::shared_ptr<TypeManager> EdenSystem::FindType(const std::string& type_name) const {
+  auto it = types_.find(type_name);
+  if (it == types_.end()) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+}  // namespace eden

@@ -1,0 +1,83 @@
+// EdenSystem: the whole simulated installation of Figure 1 — one Ethernet,
+// a set of node machines, and the system-wide type registry.
+//
+// In the paper, type managers are themselves objects; here the registry is a
+// process-global table shared by every kernel, standing in for "on a single
+// node, the type code can be shared by several instances of the type"
+// (section 4.1) without simulating code shipping. DESIGN.md section 2.2
+// records the substitution.
+#ifndef EDEN_SRC_KERNEL_EDEN_SYSTEM_H_
+#define EDEN_SRC_KERNEL_EDEN_SYSTEM_H_
+
+#include <cassert>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/node_kernel.h"
+#include "src/net/lan.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace eden {
+
+struct SystemConfig {
+  uint64_t seed = 1;
+  LanConfig lan;
+  KernelConfig kernel;
+  DiskConfig disk;
+  TransportConfig transport;
+};
+
+class EdenSystem {
+ public:
+  explicit EdenSystem(SystemConfig config = {});
+
+  EdenSystem(const EdenSystem&) = delete;
+  EdenSystem& operator=(const EdenSystem&) = delete;
+
+  Simulation& sim() { return sim_; }
+  Lan& lan() { return lan_; }
+  const SystemConfig& config() const { return config_; }
+
+  // Adds a node machine to the installation.
+  NodeKernel& AddNode(const std::string& name);
+  // Adds `count` nodes named "node0".."node<count-1>".
+  void AddNodes(size_t count);
+
+  NodeKernel& node(size_t index) {
+    assert(index < nodes_.size());
+    return *nodes_[index];
+  }
+  size_t node_count() const { return nodes_.size(); }
+  NodeKernel* NodeAt(StationId station);
+
+  // --- Type registry ---------------------------------------------------------
+  void RegisterType(std::shared_ptr<TypeManager> type);
+  std::shared_ptr<TypeManager> FindType(const std::string& type_name) const;
+
+  // --- Drive helpers (tests, examples, benchmarks) -----------------------------
+  // Runs the simulation until the future resolves. Aborts if the event queue
+  // drains first (a deadlock in the scenario under test).
+  template <typename T>
+  T Await(Future<T> future) {
+    bool done = sim_.RunWhile([&future] { return !future.ready(); });
+    assert(done && "simulation deadlocked while awaiting a future");
+    (void)done;
+    return future.Get();
+  }
+
+  void RunFor(SimDuration duration) { sim_.RunFor(duration); }
+
+ private:
+  SystemConfig config_;
+  Simulation sim_;
+  Lan lan_;
+  std::vector<std::unique_ptr<NodeKernel>> nodes_;
+  std::map<std::string, std::shared_ptr<TypeManager>> types_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_EDEN_SYSTEM_H_

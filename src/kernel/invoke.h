@@ -1,0 +1,77 @@
+// Invocation parameter and result types (paper section 4.2):
+//
+//   Invoke(filecapa, "put", "this is a new line") Returns(status)
+//
+// An invocation carries "optionally a list of data and/or capability
+// parameters"; the reply carries status and output parameters. There is no
+// shared memory: everything crosses the wire by value.
+#ifndef EDEN_SRC_KERNEL_INVOKE_H_
+#define EDEN_SRC_KERNEL_INVOKE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/kernel/capability.h"
+
+namespace eden {
+
+// Parameters of an invocation (also used for results).
+struct InvokeArgs {
+  std::vector<Bytes> data;
+  std::vector<Capability> caps;
+
+  InvokeArgs() = default;
+
+  // --- Builder-style helpers --------------------------------------------
+  InvokeArgs& AddBytes(Bytes bytes) {
+    data.push_back(std::move(bytes));
+    return *this;
+  }
+  InvokeArgs& AddString(std::string_view text) {
+    data.push_back(ToBytes(text));
+    return *this;
+  }
+  InvokeArgs& AddU64(uint64_t value);
+  InvokeArgs& AddI64(int64_t value) { return AddU64(static_cast<uint64_t>(value)); }
+  InvokeArgs& AddCapability(const Capability& cap) {
+    caps.push_back(cap);
+    return *this;
+  }
+
+  // --- Accessors (bounds- and type-checked) ------------------------------
+  StatusOr<std::string> StringAt(size_t index) const;
+  StatusOr<uint64_t> U64At(size_t index) const;
+  StatusOr<int64_t> I64At(size_t index) const;
+  StatusOr<Bytes> BytesAt(size_t index) const;
+  StatusOr<Capability> CapabilityAt(size_t index) const;
+
+  size_t TotalBytes() const;
+
+  void Encode(BufferWriter& writer) const;
+  static StatusOr<InvokeArgs> Decode(BufferReader& reader);
+};
+
+// What an operation handler produces and an invoker receives.
+struct InvokeResult {
+  Status status;
+  InvokeArgs results;
+
+  static InvokeResult Ok() { return InvokeResult{OkStatus(), {}}; }
+  static InvokeResult Ok(InvokeArgs results) {
+    return InvokeResult{OkStatus(), std::move(results)};
+  }
+  static InvokeResult Error(Status status) {
+    return InvokeResult{std::move(status), {}};
+  }
+
+  bool ok() const { return status.ok(); }
+
+  void Encode(BufferWriter& writer) const;
+  static StatusOr<InvokeResult> Decode(BufferReader& reader);
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_INVOKE_H_

@@ -1,0 +1,280 @@
+#include "src/kernel/message.h"
+
+namespace eden {
+
+namespace {
+
+BufferWriter StartMessage(MessageKind kind) {
+  BufferWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(kind));
+  return writer;
+}
+
+// Consumes and validates the kind tag.
+Status ExpectKind(BufferReader& reader, MessageKind kind) {
+  EDEN_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  if (tag != static_cast<uint8_t>(kind)) {
+    return InvalidArgumentError("unexpected message kind");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+StatusOr<MessageKind> PeekMessageKind(const Bytes& message) {
+  if (message.empty()) {
+    return InvalidArgumentError("empty message");
+  }
+  uint8_t tag = message[0];
+  if (tag < static_cast<uint8_t>(MessageKind::kInvokeRequest) ||
+      tag > static_cast<uint8_t>(MessageKind::kReplicaReply)) {
+    return InvalidArgumentError("unknown message kind");
+  }
+  return static_cast<MessageKind>(tag);
+}
+
+Bytes InvokeRequestMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kInvokeRequest);
+  writer.WriteU64(invocation_id);
+  writer.WriteU32(reply_to);
+  target.Encode(writer);
+  writer.WriteString(operation);
+  args.Encode(writer);
+  writer.WriteVarint(avoid_hosts.size());
+  for (StationId host : avoid_hosts) {
+    writer.WriteU32(host);
+  }
+  return writer.Take();
+}
+
+StatusOr<InvokeRequestMsg> InvokeRequestMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kInvokeRequest));
+  InvokeRequestMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.invocation_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.target, Capability::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.operation, reader.ReadString());
+  EDEN_ASSIGN_OR_RETURN(msg.args, InvokeArgs::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(uint64_t avoid_count, reader.ReadVarint());
+  if (avoid_count > 64) {
+    return InvalidArgumentError("implausible avoid-host count");
+  }
+  for (uint64_t i = 0; i < avoid_count; i++) {
+    EDEN_ASSIGN_OR_RETURN(StationId host, reader.ReadU32());
+    msg.avoid_hosts.push_back(host);
+  }
+  return msg;
+}
+
+Bytes InvokeReplyMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kInvokeReply);
+  writer.WriteU64(invocation_id);
+  result.Encode(writer);
+  writer.WriteBool(target_frozen);
+  return writer.Take();
+}
+
+StatusOr<InvokeReplyMsg> InvokeReplyMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kInvokeReply));
+  InvokeReplyMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.invocation_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.result, InvokeResult::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.target_frozen, reader.ReadBool());
+  return msg;
+}
+
+Bytes InvokeRedirectMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kInvokeRedirect);
+  writer.WriteU64(invocation_id);
+  name.Encode(writer);
+  writer.WriteU32(new_host);
+  return writer.Take();
+}
+
+StatusOr<InvokeRedirectMsg> InvokeRedirectMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kInvokeRedirect));
+  InvokeRedirectMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.invocation_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.new_host, reader.ReadU32());
+  return msg;
+}
+
+Bytes LocateRequestMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kLocateRequest);
+  writer.WriteU64(query_id);
+  writer.WriteU32(reply_to);
+  name.Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<LocateRequestMsg> LocateRequestMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLocateRequest));
+  LocateRequestMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.query_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  return msg;
+}
+
+Bytes LocateReplyMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kLocateReply);
+  writer.WriteU64(query_id);
+  name.Encode(writer);
+  writer.WriteU32(host);
+  writer.WriteBool(active);
+  return writer.Take();
+}
+
+StatusOr<LocateReplyMsg> LocateReplyMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLocateReply));
+  LocateReplyMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.query_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.host, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.active, reader.ReadBool());
+  return msg;
+}
+
+Bytes MoveTransferMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kMoveTransfer);
+  writer.WriteU64(transfer_id);
+  writer.WriteU32(source);
+  name.Encode(writer);
+  writer.WriteString(type_name);
+  representation.Encode(writer);
+  policy.Encode(writer);
+  writer.WriteBool(frozen);
+  return writer.Take();
+}
+
+StatusOr<MoveTransferMsg> MoveTransferMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kMoveTransfer));
+  MoveTransferMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.transfer_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.source, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.type_name, reader.ReadString());
+  EDEN_ASSIGN_OR_RETURN(msg.representation, Representation::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.policy, CheckpointPolicy::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.frozen, reader.ReadBool());
+  return msg;
+}
+
+Bytes MoveAckMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kMoveAck);
+  writer.WriteU64(transfer_id);
+  name.Encode(writer);
+  writer.WriteBool(accepted);
+  return writer.Take();
+}
+
+StatusOr<MoveAckMsg> MoveAckMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kMoveAck));
+  MoveAckMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.transfer_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.accepted, reader.ReadBool());
+  return msg;
+}
+
+Bytes CheckpointPutMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kCheckpointPut);
+  writer.WriteU64(request_id);
+  writer.WriteU32(reply_to);
+  name.Encode(writer);
+  writer.WriteBytes(record);
+  writer.WriteBool(is_mirror);
+  return writer.Take();
+}
+
+StatusOr<CheckpointPutMsg> CheckpointPutMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kCheckpointPut));
+  CheckpointPutMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.request_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.record, reader.ReadBytes());
+  EDEN_ASSIGN_OR_RETURN(msg.is_mirror, reader.ReadBool());
+  return msg;
+}
+
+Bytes CheckpointAckMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kCheckpointAck);
+  writer.WriteU64(request_id);
+  writer.WriteBool(ok);
+  return writer.Take();
+}
+
+StatusOr<CheckpointAckMsg> CheckpointAckMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kCheckpointAck));
+  CheckpointAckMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.request_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.ok, reader.ReadBool());
+  return msg;
+}
+
+Bytes CheckpointEraseMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kCheckpointErase);
+  name.Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<CheckpointEraseMsg> CheckpointEraseMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kCheckpointErase));
+  CheckpointEraseMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  return msg;
+}
+
+Bytes ReplicaFetchMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kReplicaFetch);
+  writer.WriteU64(request_id);
+  writer.WriteU32(reply_to);
+  name.Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<ReplicaFetchMsg> ReplicaFetchMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kReplicaFetch));
+  ReplicaFetchMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.request_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  return msg;
+}
+
+Bytes ReplicaReplyMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kReplicaReply);
+  writer.WriteU64(request_id);
+  name.Encode(writer);
+  writer.WriteBool(ok);
+  writer.WriteString(type_name);
+  representation.Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<ReplicaReplyMsg> ReplicaReplyMsg::Decode(const Bytes& message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kReplicaReply));
+  ReplicaReplyMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.request_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.ok, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.type_name, reader.ReadString());
+  EDEN_ASSIGN_OR_RETURN(msg.representation, Representation::Decode(reader));
+  return msg;
+}
+
+}  // namespace eden

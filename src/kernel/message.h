@@ -1,0 +1,173 @@
+// Kernel-to-kernel wire messages. Each message is encoded with a one-byte
+// kind tag followed by its fields; everything rides the reliable (or, for
+// location broadcasts, best-effort) transport.
+#ifndef EDEN_SRC_KERNEL_MESSAGE_H_
+#define EDEN_SRC_KERNEL_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/kernel/capability.h"
+#include "src/kernel/checkpoint.h"
+#include "src/kernel/invoke.h"
+#include "src/kernel/representation.h"
+#include "src/net/lan.h"
+
+namespace eden {
+
+enum class MessageKind : uint8_t {
+  kInvokeRequest = 1,
+  kInvokeReply = 2,
+  // "I don't host this object (any more); try `new_host`, or re-locate if I
+  // have no forwarding address."
+  kInvokeRedirect = 3,
+  kLocateRequest = 4,   // broadcast
+  kLocateReply = 5,
+  kMoveTransfer = 6,
+  kMoveAck = 7,
+  kCheckpointPut = 8,   // remote write of long-term state to a checksite
+  kCheckpointAck = 9,
+  kCheckpointErase = 10,  // destroy: remove long-term state
+  kReplicaFetch = 11,   // pull a frozen object's representation for caching
+  kReplicaReply = 12,
+};
+
+// Reads the kind tag without consuming the rest.
+StatusOr<MessageKind> PeekMessageKind(const Bytes& message);
+
+constexpr StationId kNoStationRequest = 0xfffffffeu;
+
+struct InvokeRequestMsg {
+  uint64_t invocation_id = 0;
+  StationId reply_to = 0;
+  Capability target;
+  std::string operation;
+  InvokeArgs args;
+  // Hosts the invoker found dead or ignorant while chasing this object. The
+  // receiving kernel invalidates any forwarding address pointing at one of
+  // them (the active copy is gone; checkpoints are now authoritative).
+  std::vector<StationId> avoid_hosts;
+
+  Bytes Encode() const;
+  static StatusOr<InvokeRequestMsg> Decode(const Bytes& message);
+};
+
+struct InvokeReplyMsg {
+  uint64_t invocation_id = 0;
+  InvokeResult result;
+  // Tells the invoking kernel the target is frozen, so it may cache a
+  // replica (paper section 4.3).
+  bool target_frozen = false;
+
+  Bytes Encode() const;
+  static StatusOr<InvokeReplyMsg> Decode(const Bytes& message);
+};
+
+constexpr StationId kNoStation = 0xfffffffeu;
+
+struct InvokeRedirectMsg {
+  uint64_t invocation_id = 0;
+  ObjectName name;
+  // kNoStation when the sender has no forwarding address.
+  StationId new_host = kNoStation;
+
+  Bytes Encode() const;
+  static StatusOr<InvokeRedirectMsg> Decode(const Bytes& message);
+};
+
+struct LocateRequestMsg {
+  uint64_t query_id = 0;
+  StationId reply_to = 0;
+  ObjectName name;
+
+  Bytes Encode() const;
+  static StatusOr<LocateRequestMsg> Decode(const Bytes& message);
+};
+
+struct LocateReplyMsg {
+  uint64_t query_id = 0;
+  ObjectName name;
+  StationId host = 0;
+  // True if the object is active at `host`; false if `host` merely holds its
+  // checkpoint (and would reincarnate it on demand).
+  bool active = false;
+
+  Bytes Encode() const;
+  static StatusOr<LocateReplyMsg> Decode(const Bytes& message);
+};
+
+struct MoveTransferMsg {
+  uint64_t transfer_id = 0;
+  StationId source = 0;
+  ObjectName name;
+  std::string type_name;
+  Representation representation;
+  CheckpointPolicy policy;
+  bool frozen = false;
+
+  Bytes Encode() const;
+  static StatusOr<MoveTransferMsg> Decode(const Bytes& message);
+};
+
+struct MoveAckMsg {
+  uint64_t transfer_id = 0;
+  ObjectName name;
+  bool accepted = false;
+
+  Bytes Encode() const;
+  static StatusOr<MoveAckMsg> Decode(const Bytes& message);
+};
+
+struct CheckpointPutMsg {
+  uint64_t request_id = 0;
+  StationId reply_to = 0;
+  ObjectName name;
+  // Encoded checkpoint record (type name + policy + representation).
+  Bytes record;
+  // Mirror copies are redundancy only: they do not answer locate queries, so
+  // a mirrored object still has a single authoritative passive home.
+  bool is_mirror = false;
+
+  Bytes Encode() const;
+  static StatusOr<CheckpointPutMsg> Decode(const Bytes& message);
+};
+
+struct CheckpointAckMsg {
+  uint64_t request_id = 0;
+  bool ok = false;
+
+  Bytes Encode() const;
+  static StatusOr<CheckpointAckMsg> Decode(const Bytes& message);
+};
+
+struct CheckpointEraseMsg {
+  ObjectName name;
+
+  Bytes Encode() const;
+  static StatusOr<CheckpointEraseMsg> Decode(const Bytes& message);
+};
+
+struct ReplicaFetchMsg {
+  uint64_t request_id = 0;
+  StationId reply_to = 0;
+  ObjectName name;
+
+  Bytes Encode() const;
+  static StatusOr<ReplicaFetchMsg> Decode(const Bytes& message);
+};
+
+struct ReplicaReplyMsg {
+  uint64_t request_id = 0;
+  ObjectName name;
+  bool ok = false;
+  std::string type_name;
+  Representation representation;
+
+  Bytes Encode() const;
+  static StatusOr<ReplicaReplyMsg> Decode(const Bytes& message);
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_MESSAGE_H_

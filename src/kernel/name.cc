@@ -1,0 +1,34 @@
+#include "src/kernel/name.h"
+
+#include <cstdio>
+
+namespace eden {
+
+void ObjectName::Encode(BufferWriter& writer) const {
+  writer.WriteU32(birth_node_);
+  writer.WriteU64(sequence_);
+  writer.WriteU32(disambiguator_);
+}
+
+StatusOr<ObjectName> ObjectName::Decode(BufferReader& reader) {
+  EDEN_ASSIGN_OR_RETURN(uint32_t birth_node, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(uint64_t sequence, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(uint32_t disambiguator, reader.ReadU32());
+  return ObjectName(birth_node, sequence, disambiguator);
+}
+
+std::string ObjectName::ToKey() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "obj/%u/%llu/%u", birth_node_,
+                static_cast<unsigned long long>(sequence_), disambiguator_);
+  return buf;
+}
+
+std::string ObjectName::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "obj-%u.%llu", birth_node_,
+                static_cast<unsigned long long>(sequence_));
+  return buf;
+}
+
+}  // namespace eden

@@ -1,0 +1,1513 @@
+#include "src/kernel/node_kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+#include "src/kernel/eden_system.h"
+
+namespace eden {
+
+namespace {
+
+// Joins two asynchronous Status results: OK iff both OK (first error wins).
+Future<Status> CombineStatus(Future<Status> a, Future<Status> b) {
+  struct JoinState {
+    int remaining = 2;
+    Status status = OkStatus();
+  };
+  auto state = std::make_shared<JoinState>();
+  Promise<Status> done;
+  auto arm = [state, done](Future<Status> f) mutable {
+    f.OnReady([state, done, f]() mutable {
+      if (!f.Get().ok() && state->status.ok()) {
+        state->status = f.Get();
+      }
+      if (--state->remaining == 0) {
+        done.Set(state->status);
+      }
+    });
+  };
+  arm(std::move(a));
+  arm(std::move(b));
+  return done.GetFuture();
+}
+
+Future<Status> ReadyStatus(Status status) {
+  Promise<Status> promise;
+  promise.Set(std::move(status));
+  return promise.GetFuture();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / environment
+// ---------------------------------------------------------------------------
+
+NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
+                       KernelConfig config, DiskConfig disk,
+                       TransportConfig transport)
+    : system_(system), node_name_(std::move(node_name)), config_(config) {
+  transport_ = std::make_unique<Transport>(system_.sim(), system_.lan(), transport);
+  store_ = std::make_unique<StableStore>(system_.sim(), disk);
+  transport_->SetHandler(
+      [this](StationId src, const Bytes& message) { OnMessage(src, message); });
+}
+
+NodeKernel::~NodeKernel() = default;
+
+Simulation& NodeKernel::sim() { return system_.sim(); }
+
+SimDuration NodeKernel::SerializeCost(size_t bytes) const {
+  return config_.serialize_per_kb * static_cast<SimDuration>(bytes / 1024 + 1);
+}
+
+uint64_t NodeKernel::NewInvocationId() {
+  return (static_cast<uint64_t>(station()) << 40) | next_invocation_seq_++;
+}
+
+bool NodeKernel::HasCheckpoint(const ObjectName& name) const {
+  return store_->Contains(CheckpointKey(name));
+}
+
+std::shared_ptr<ActiveObject> NodeKernel::FindActive(const ObjectName& name) const {
+  auto it = active_.find(name);
+  if (it == active_.end()) {
+    return nullptr;
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Object creation
+// ---------------------------------------------------------------------------
+
+StatusOr<Capability> NodeKernel::CreateObject(const std::string& type_name,
+                                              Representation initial,
+                                              CreateOptions options) {
+  if (failed_) {
+    return UnavailableError("node is down");
+  }
+  std::shared_ptr<TypeManager> type = system_.FindType(type_name);
+  if (type == nullptr) {
+    return NotFoundError("unknown type: " + type_name);
+  }
+  ObjectName name(station(), next_object_seq_++,
+                  static_cast<uint32_t>(sim().rng().NextU64()));
+  auto object = std::make_shared<ActiveObject>(type);
+  object->name = name;
+  object->core = std::make_shared<ObjectCore>();
+  object->core->name = name;
+  object->core->rep = std::move(initial);
+  object->policy =
+      options.policy.value_or(CheckpointPolicy{station(), ReliabilityLevel::kLocal, 0});
+  active_[name] = object;
+  StartBehaviors(object);
+  return Capability(name, Rights::All());
+}
+
+// ---------------------------------------------------------------------------
+// Client-side invocation
+// ---------------------------------------------------------------------------
+
+Future<InvokeResult> NodeKernel::Invoke(const Capability& target,
+                                        const std::string& op, InvokeArgs args,
+                                        SimDuration timeout) {
+  Promise<InvokeResult> promise;
+  Future<InvokeResult> future = promise.GetFuture();
+  StartInvocation(target, op, std::move(args), timeout, std::move(promise));
+  return future;
+}
+
+uint64_t NodeKernel::StartInvocation(const Capability& target,
+                                     const std::string& op, InvokeArgs args,
+                                     SimDuration timeout,
+                                     Promise<InvokeResult> promise) {
+  uint64_t id = NewInvocationId();
+  if (failed_) {
+    promise.Set(InvokeResult::Error(UnavailableError("node is down")));
+    return id;
+  }
+  if (target.IsNull()) {
+    promise.Set(InvokeResult::Error(InvalidArgumentError("null capability")));
+    return id;
+  }
+  stats_.invocations_started++;
+  Trace(TraceEventKind::kInvokeStart, target.name(), id, op);
+  PendingInvocation& pending = pending_invocations_[id];
+  pending.promise = std::move(promise);
+  pending.target = target;
+  pending.operation = op;
+  pending.args = std::move(args);
+  SimDuration user_timeout =
+      timeout > 0 ? timeout : config_.default_invoke_timeout;
+  pending.user_timer = sim().Schedule(user_timeout, [this, id] {
+    stats_.invocations_timed_out++;
+    CompleteInvocation(
+        id, InvokeResult::Error(TimeoutError("invocation timed out")));
+  });
+  TryResolve(id);
+  return id;
+}
+
+void NodeKernel::TryResolve(uint64_t id) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  PendingInvocation& pending = it->second;
+  const ObjectName& name = pending.target.name();
+
+  // 1. Active on this node.
+  if (auto active = active_.find(name); active != active_.end()) {
+    DispatchLocally(id, active->second);
+    return;
+  }
+
+  // 2. Cached replica of a frozen object, for read-only operations.
+  if (auto replica = replicas_.find(name); replica != replicas_.end()) {
+    const OperationSpec* op =
+        replica->second->type->FindOperation(pending.operation);
+    if (op != nullptr && op->read_only) {
+      stats_.replica_reads++;
+      DispatchLocally(id, replica->second);
+      return;
+    }
+  }
+
+  // 3. Reincarnation already under way on this node.
+  if (activating_.count(name) > 0) {
+    activation_local_waiters_[name].push_back(id);
+    return;
+  }
+
+  // 4. We moved it away: follow the forwarding address — unless this very
+  // invocation already found that host dead or ignorant, in which case the
+  // pointer is stale and must be dropped (same healing the remote path gets
+  // via InvokeRequestMsg::avoid_hosts).
+  if (auto fwd = forwarding_.find(name); fwd != forwarding_.end()) {
+    if (pending.dead_hosts.count(fwd->second) > 0) {
+      forwarding_.erase(fwd);
+    } else {
+      SendRequestTo(id, fwd->second);
+      return;
+    }
+  }
+
+  // 5. Location cache.
+  if (auto hint = location_cache_.find(name); hint != location_cache_.end()) {
+    stats_.locate_cache_hits++;
+    SendRequestTo(id, hint->second);
+    return;
+  }
+
+  // 6. Passive on this node (we hold its authoritative checkpoint).
+  if (store_->Contains(CheckpointKey(name))) {
+    activation_local_waiters_[name].push_back(id);
+    BeginActivation(name);
+    return;
+  }
+
+  // 7. Ask the network.
+  StartLocate(id);
+}
+
+void NodeKernel::DispatchLocally(uint64_t id, std::shared_ptr<ActiveObject> object) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  stats_.invocations_local++;
+  PendingDispatch dispatch;
+  dispatch.local = true;
+  dispatch.request.invocation_id = id;
+  dispatch.request.reply_to = station();
+  dispatch.request.target = it->second.target;
+  dispatch.request.operation = it->second.operation;
+  dispatch.request.args = it->second.args;
+  SimDuration cost = config_.local_invoke_overhead +
+                     SerializeCost(it->second.args.TotalBytes());
+  sim().Schedule(cost, [this, object = std::move(object),
+                        dispatch = std::move(dispatch)]() mutable {
+    AcceptDispatch(object, std::move(dispatch));
+  });
+}
+
+void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  if (host == station()) {
+    // A redirect or hint pointing at ourselves (e.g. the object moved TO this
+    // node while our request was in flight): resolve locally. Drop the hint
+    // first so a stale self-pointing cache entry cannot loop.
+    location_cache_.erase(it->second.target.name());
+    TryResolve(id);
+    return;
+  }
+  PendingInvocation& pending = it->second;
+  stats_.invocations_remote++;
+  pending.current_host = host;
+
+  InvokeRequestMsg msg;
+  msg.invocation_id = id;
+  msg.reply_to = station();
+  msg.target = pending.target;
+  msg.operation = pending.operation;
+  msg.args = pending.args;
+  msg.avoid_hosts.assign(pending.dead_hosts.begin(), pending.dead_hosts.end());
+  Bytes encoded = msg.Encode();
+
+  sim().Cancel(pending.attempt_timer);
+  pending.attempt_timer =
+      sim().Schedule(config_.attempt_timeout + SerializeCost(encoded.size()),
+                     [this, id] { OnAttemptTimeout(id); });
+
+  sim().Schedule(SerializeCost(encoded.size()),
+                 [this, host, encoded = std::move(encoded)] {
+                   if (!failed_) {
+                     transport_->SendReliable(host, encoded);
+                   }
+                 });
+}
+
+void NodeKernel::OnAttemptTimeout(uint64_t id) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  PendingInvocation& pending = it->second;
+  pending.attempts++;
+  if (pending.current_host != kNoStation) {
+    pending.dead_hosts.insert(pending.current_host);
+  }
+  location_cache_.erase(pending.target.name());
+  if (pending.attempts >= config_.max_attempts) {
+    stats_.invocations_unavailable++;
+    CompleteInvocation(
+        id, InvokeResult::Error(UnavailableError("object unreachable")));
+    return;
+  }
+  StartLocate(id);
+}
+
+void NodeKernel::StartLocate(uint64_t id) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  const ObjectName& name = it->second.target.name();
+  if (auto existing = locate_by_name_.find(name); existing != locate_by_name_.end()) {
+    pending_locates_[existing->second].waiting.push_back(id);
+    return;
+  }
+  uint64_t query_id = next_query_id_++;
+  PendingLocate& locate = pending_locates_[query_id];
+  locate.name = name;
+  locate.waiting.push_back(id);
+  locate_by_name_[name] = query_id;
+  LocateAttempt(query_id);
+}
+
+void NodeKernel::LocateAttempt(uint64_t query_id) {
+  auto it = pending_locates_.find(query_id);
+  if (it == pending_locates_.end()) {
+    return;
+  }
+  // The object may have arrived here (move, reincarnation) after the locate
+  // began; our own broadcast would never reach us, so re-check locally.
+  if (active_.count(it->second.name) > 0 || activating_.count(it->second.name) > 0 ||
+      store_->Contains(CheckpointKey(it->second.name))) {
+    std::vector<uint64_t> waiting = std::move(it->second.waiting);
+    sim().Cancel(it->second.timer);
+    locate_by_name_.erase(it->second.name);
+    pending_locates_.erase(it);
+    for (uint64_t id : waiting) {
+      TryResolve(id);
+    }
+    return;
+  }
+  PendingLocate& locate = it->second;
+  stats_.locate_broadcasts++;
+  Trace(TraceEventKind::kLocateBroadcast, locate.name, query_id);
+
+  LocateRequestMsg msg;
+  msg.query_id = query_id;
+  msg.reply_to = station();
+  msg.name = locate.name;
+  transport_->SendBestEffort(kBroadcastStation, msg.Encode());
+
+  locate.timer = sim().Schedule(config_.locate_timeout, [this, query_id] {
+    auto it = pending_locates_.find(query_id);
+    if (it == pending_locates_.end()) {
+      return;
+    }
+    it->second.attempts++;
+    if (it->second.attempts >= config_.max_locate_attempts) {
+      std::vector<uint64_t> waiting = std::move(it->second.waiting);
+      locate_by_name_.erase(it->second.name);
+      pending_locates_.erase(it);
+      for (uint64_t id : waiting) {
+        stats_.invocations_unavailable++;
+        CompleteInvocation(
+            id, InvokeResult::Error(UnavailableError("object not found")));
+      }
+      return;
+    }
+    LocateAttempt(query_id);
+  });
+}
+
+void NodeKernel::CompleteInvocation(uint64_t id, InvokeResult result) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;  // late reply, duplicate, or already timed out
+  }
+  sim().Cancel(it->second.user_timer);
+  sim().Cancel(it->second.attempt_timer);
+  Trace(TraceEventKind::kInvokeComplete, it->second.target.name(), id,
+        std::string(StatusCodeName(result.status.code())));
+  Promise<InvokeResult> promise = std::move(it->second.promise);
+  pending_invocations_.erase(it);
+  stats_.invocations_completed++;
+  promise.Set(std::move(result));
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void NodeKernel::OnMessage(StationId src, const Bytes& message) {
+  if (failed_) {
+    return;
+  }
+  auto kind = PeekMessageKind(message);
+  if (!kind.ok()) {
+    EDEN_LOG(kWarning, "kernel") << node_name_ << ": undecodable message";
+    return;
+  }
+  switch (*kind) {
+    case MessageKind::kInvokeRequest: {
+      auto msg = InvokeRequestMsg::Decode(message);
+      if (msg.ok()) {
+        HandleInvokeRequest(src, std::move(*msg));
+      }
+      break;
+    }
+    case MessageKind::kInvokeReply: {
+      auto msg = InvokeReplyMsg::Decode(message);
+      if (msg.ok()) {
+        HandleInvokeReply(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kInvokeRedirect: {
+      auto msg = InvokeRedirectMsg::Decode(message);
+      if (msg.ok()) {
+        HandleInvokeRedirect(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kLocateRequest: {
+      auto msg = LocateRequestMsg::Decode(message);
+      if (msg.ok()) {
+        HandleLocateRequest(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kLocateReply: {
+      auto msg = LocateReplyMsg::Decode(message);
+      if (msg.ok()) {
+        HandleLocateReply(*msg);
+      }
+      break;
+    }
+    case MessageKind::kMoveTransfer: {
+      auto msg = MoveTransferMsg::Decode(message);
+      if (msg.ok()) {
+        HandleMoveTransfer(src, std::move(*msg));
+      }
+      break;
+    }
+    case MessageKind::kMoveAck: {
+      auto msg = MoveAckMsg::Decode(message);
+      if (msg.ok()) {
+        HandleMoveAck(*msg);
+      }
+      break;
+    }
+    case MessageKind::kCheckpointPut: {
+      auto msg = CheckpointPutMsg::Decode(message);
+      if (msg.ok()) {
+        HandleCheckpointPut(src, std::move(*msg));
+      }
+      break;
+    }
+    case MessageKind::kCheckpointAck: {
+      auto msg = CheckpointAckMsg::Decode(message);
+      if (msg.ok()) {
+        HandleCheckpointAck(*msg);
+      }
+      break;
+    }
+    case MessageKind::kCheckpointErase: {
+      auto msg = CheckpointEraseMsg::Decode(message);
+      if (msg.ok()) {
+        HandleCheckpointErase(*msg);
+      }
+      break;
+    }
+    case MessageKind::kReplicaFetch: {
+      auto msg = ReplicaFetchMsg::Decode(message);
+      if (msg.ok()) {
+        HandleReplicaFetch(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kReplicaReply: {
+      auto msg = ReplicaReplyMsg::Decode(message);
+      if (msg.ok()) {
+        HandleReplicaReply(src, std::move(*msg));
+      }
+      break;
+    }
+  }
+}
+
+void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
+  uint64_t id = msg.invocation_id;
+
+  // At-most-once execution: a retransmitted request must not run twice.
+  if (auto cached = reply_cache_.find(id); cached != reply_cache_.end()) {
+    stats_.duplicate_requests++;
+    InvokeReplyMsg reply;
+    reply.invocation_id = id;
+    reply.result = cached->second.first;
+    reply.target_frozen = cached->second.second;
+    transport_->SendReliable(msg.reply_to, reply.Encode());
+    return;
+  }
+  if (requests_in_progress_.count(id) > 0) {
+    stats_.duplicate_requests++;
+    return;  // still executing; the eventual reply covers this duplicate
+  }
+
+  const ObjectName name = msg.target.name();
+  StationId reply_to = msg.reply_to;
+  PendingDispatch dispatch;
+  dispatch.local = false;
+  dispatch.request = std::move(msg);
+
+  if (auto it = active_.find(name); it != active_.end()) {
+    requests_in_progress_.insert(id);
+    AcceptDispatch(it->second, std::move(dispatch));
+    return;
+  }
+  if (activating_.count(name) > 0) {
+    requests_in_progress_.insert(id);
+    activation_remote_hold_[name].push_back(std::move(dispatch));
+    return;
+  }
+  if (auto fwd = forwarding_.find(name); fwd != forwarding_.end()) {
+    bool stale = false;
+    for (StationId avoid : dispatch.request.avoid_hosts) {
+      if (fwd->second == avoid) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      // The invoker found the forwarded-to node dead (or ignorant). The
+      // active copy is gone; our checkpoint, if any, is now authoritative.
+      forwarding_.erase(fwd);
+    } else {
+      InvokeRedirectMsg redirect;
+      redirect.invocation_id = id;
+      redirect.name = name;
+      redirect.new_host = fwd->second;
+      transport_->SendReliable(reply_to, redirect.Encode());
+      return;
+    }
+  }
+  if (store_->Contains(CheckpointKey(name))) {
+    requests_in_progress_.insert(id);
+    activation_remote_hold_[name].push_back(std::move(dispatch));
+    BeginActivation(name);
+    return;
+  }
+  InvokeRedirectMsg redirect;
+  redirect.invocation_id = id;
+  redirect.name = name;
+  redirect.new_host = kNoStation;
+  transport_->SendReliable(reply_to, redirect.Encode());
+}
+
+void NodeKernel::HandleInvokeReply(StationId src, const InvokeReplyMsg& msg) {
+  auto it = pending_invocations_.find(msg.invocation_id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  ObjectName name = it->second.target.name();
+  CompleteInvocation(msg.invocation_id, msg.result);
+  if (msg.target_frozen && config_.cache_frozen_replicas &&
+      replicas_.count(name) == 0 && active_.count(name) == 0) {
+    MaybeFetchReplica(name, src);
+  }
+}
+
+void NodeKernel::HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& msg) {
+  auto it = pending_invocations_.find(msg.invocation_id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  PendingInvocation& pending = it->second;
+  sim().Cancel(pending.attempt_timer);
+  pending.attempt_timer = kInvalidEventId;
+  if (msg.new_host == kNoStation || pending.dead_hosts.count(msg.new_host) > 0) {
+    if (msg.new_host == kNoStation) {
+      // The sender is alive but knows nothing about the object: any
+      // forwarding address still pointing at it is stale. Recording it lets
+      // nodes further back the chain erase their pointers, so a multi-hop
+      // stale chain heals across locate rounds.
+      pending.dead_hosts.insert(src);
+    }
+    location_cache_.erase(msg.name);
+    pending.attempts++;
+    if (pending.attempts >= config_.max_attempts) {
+      stats_.invocations_unavailable++;
+      CompleteInvocation(msg.invocation_id,
+                         InvokeResult::Error(UnavailableError("object lost")));
+      return;
+    }
+    StartLocate(msg.invocation_id);
+    return;
+  }
+  pending.redirects++;
+  if (pending.redirects > config_.max_redirects) {
+    stats_.invocations_unavailable++;
+    CompleteInvocation(
+        msg.invocation_id,
+        InvokeResult::Error(UnavailableError("forwarding chain too long")));
+    return;
+  }
+  stats_.redirects_followed++;
+  Trace(TraceEventKind::kRedirectFollowed, msg.name, msg.invocation_id,
+        "to station " + std::to_string(msg.new_host));
+  location_cache_[msg.name] = msg.new_host;
+  SendRequestTo(msg.invocation_id, msg.new_host);
+}
+
+void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg) {
+  const ObjectName name = msg.name;
+  // Replicas never answer: only the authoritative copy counts.
+  bool is_active_here = active_.count(name) > 0 || activating_.count(name) > 0;
+  if (is_active_here) {
+    LocateReplyMsg reply;
+    reply.query_id = msg.query_id;
+    reply.name = name;
+    reply.host = station();
+    reply.active = true;
+    transport_->SendBestEffort(msg.reply_to, reply.Encode());
+    return;
+  }
+  if (forwarding_.count(name) > 0 && !store_->Contains(CheckpointKey(name))) {
+    return;  // the new host will answer for itself
+  }
+  // If we hold the primary checkpoint we answer even with a forwarding entry
+  // outstanding: if the new host is alive its immediate "active" reply beats
+  // our delayed one; if it died, we are the only path back to the object.
+  if (store_->Contains(CheckpointKey(name))) {
+    // Delay so an active host's answer always arrives first.
+    sim().Schedule(config_.passive_locate_reply_delay,
+                   [this, query_id = msg.query_id, name,
+                    reply_to = msg.reply_to] {
+                     if (failed_) {
+                       return;
+                     }
+                     if (!store_->Contains(CheckpointKey(name))) {
+                       return;
+                     }
+                     LocateReplyMsg reply;
+                     reply.query_id = query_id;
+                     reply.name = name;
+                     reply.host = station();
+                     reply.active = active_.count(name) > 0;
+                     transport_->SendBestEffort(reply_to, reply.Encode());
+                   });
+  }
+}
+
+void NodeKernel::HandleLocateReply(const LocateReplyMsg& msg) {
+  if (msg.active || location_cache_.count(msg.name) == 0) {
+    location_cache_[msg.name] = msg.host;
+  }
+  auto it = pending_locates_.find(msg.query_id);
+  if (it == pending_locates_.end()) {
+    return;
+  }
+  sim().Cancel(it->second.timer);
+  std::vector<uint64_t> waiting = std::move(it->second.waiting);
+  locate_by_name_.erase(it->second.name);
+  pending_locates_.erase(it);
+  for (uint64_t id : waiting) {
+    SendRequestTo(id, msg.host);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server-side dispatch: the coordinator
+// ---------------------------------------------------------------------------
+
+void NodeKernel::AcceptDispatch(const std::shared_ptr<ActiveObject>& object,
+                                PendingDispatch d) {
+  if (!object->core->alive) {
+    RefuseDispatch(d, UnavailableError("object crashed"));
+    return;
+  }
+  if (object->activating || object->moving) {
+    object->hold_queue.push_back(std::move(d));
+    return;
+  }
+  const OperationSpec* op = object->type->FindOperation(d.request.operation);
+  if (op == nullptr) {
+    RefuseDispatch(d, UnimplementedError("no operation \"" + d.request.operation +
+                                         "\" on type " + object->type->name()));
+    return;
+  }
+  if (!d.request.target.rights().Covers(op->required_rights)) {
+    stats_.rights_denied++;
+    RefuseDispatch(d, PermissionDeniedError("capability lacks rights for \"" +
+                                            d.request.operation + "\""));
+    return;
+  }
+  if (object->frozen && op->mutates && !op->read_only) {
+    RefuseDispatch(d, FailedPreconditionError("object is frozen"));
+    return;
+  }
+  size_t class_index = op->invocation_class;
+  const InvocationClassSpec& spec = object->type->classes()[class_index];
+  if (object->class_running[class_index] < spec.concurrency_limit) {
+    object->class_running[class_index]++;
+    object->total_running++;
+    stats_.dispatches++;
+    RunInvocation(object, std::move(d), op);
+    return;
+  }
+  if (object->class_queues[class_index].size() < spec.queue_limit) {
+    object->class_queues[class_index].push_back(std::move(d));
+    return;
+  }
+  stats_.queue_refusals++;
+  RefuseDispatch(d, ResourceExhaustedError("invocation class \"" + spec.name +
+                                           "\" queue overflow"));
+}
+
+DetachedTask NodeKernel::RunInvocation(std::shared_ptr<ActiveObject> object,
+                                       PendingDispatch d, const OperationSpec* op) {
+  size_t class_index = op->invocation_class;
+  Trace(TraceEventKind::kDispatch, object->name, d.request.invocation_id,
+        d.request.operation);
+  // Coordinator overhead: rights were checked, now build the process.
+  co_await SleepFor(sim(), config_.dispatch_overhead);
+  if (!object->core->alive) {
+    ReplyTo(d, InvokeResult::Error(AbortedError("object crashed")), false);
+    FinishDispatch(object, class_index);
+    co_return;
+  }
+  InvokeContext context(this, object, d.request.operation, d.request.args,
+                        d.request.target.rights());
+  InvokeResult result = co_await op->handler(context);
+  // Even if the object crashed or moved while we ran, the invoker gets the
+  // produced reply (the work happened); bookkeeping checks map identity.
+  ReplyTo(d, result, object->frozen);
+  FinishDispatch(object, class_index);
+}
+
+void NodeKernel::FinishDispatch(const std::shared_ptr<ActiveObject>& object,
+                                size_t class_index) {
+  object->class_running[class_index]--;
+  object->total_running--;
+  object->invocations_served++;
+  if (object->drain_waiter.has_value() &&
+      object->total_running <= object->drain_threshold) {
+    Promise<Unit> waiter = std::move(*object->drain_waiter);
+    object->drain_waiter.reset();
+    waiter.Set(Unit{});
+  }
+  PumpQueues(object);
+}
+
+void NodeKernel::PumpQueues(const std::shared_ptr<ActiveObject>& object) {
+  if (!object->core->alive || object->activating || object->moving) {
+    return;
+  }
+  for (size_t ci = 0; ci < object->class_queues.size(); ci++) {
+    const InvocationClassSpec& spec = object->type->classes()[ci];
+    while (object->class_running[ci] < spec.concurrency_limit &&
+           !object->class_queues[ci].empty()) {
+      PendingDispatch d = std::move(object->class_queues[ci].front());
+      object->class_queues[ci].pop_front();
+      const OperationSpec* op = object->type->FindOperation(d.request.operation);
+      if (op == nullptr) {
+        RefuseDispatch(d, UnimplementedError("operation vanished"));
+        continue;
+      }
+      object->class_running[ci]++;
+      object->total_running++;
+      stats_.dispatches++;
+      RunInvocation(object, std::move(d), op);
+    }
+  }
+}
+
+void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
+                         bool target_frozen) {
+  uint64_t id = d.request.invocation_id;
+  if (d.local) {
+    SimDuration cost = SerializeCost(result.results.TotalBytes());
+    sim().Schedule(cost, [this, id, result = std::move(result)] {
+      CompleteInvocation(id, result);
+    });
+    return;
+  }
+  CacheReply(id, result, target_frozen);
+  requests_in_progress_.erase(id);
+  InvokeReplyMsg reply;
+  reply.invocation_id = id;
+  reply.result = std::move(result);
+  reply.target_frozen = target_frozen;
+  Bytes encoded = reply.Encode();
+  // Receive-side kernel processing for the request plus reply marshalling.
+  SimDuration cost = config_.remote_receive_overhead + SerializeCost(encoded.size());
+  sim().Schedule(cost, [this, dst = d.request.reply_to, encoded = std::move(encoded)] {
+    if (!failed_) {
+      transport_->SendReliable(dst, encoded);
+    }
+  });
+}
+
+void NodeKernel::RefuseDispatch(const PendingDispatch& d, Status status) {
+  ReplyTo(d, InvokeResult::Error(std::move(status)), false);
+}
+
+void NodeKernel::CacheReply(uint64_t invocation_id, const InvokeResult& result,
+                            bool frozen) {
+  reply_cache_[invocation_id] = {result, frozen};
+  reply_cache_order_.push_back(invocation_id);
+  while (reply_cache_order_.size() > config_.reply_cache_capacity) {
+    reply_cache_.erase(reply_cache_order_.front());
+    reply_cache_order_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activation (reincarnation) and behaviors
+// ---------------------------------------------------------------------------
+
+void NodeKernel::BeginActivation(const ObjectName& name) {
+  if (activating_.count(name) > 0 || active_.count(name) > 0) {
+    return;
+  }
+  activating_.insert(name);
+  RunActivation(name);
+}
+
+DetachedTask NodeKernel::RunActivation(ObjectName name) {
+  stats_.activations++;
+  Trace(TraceEventKind::kActivation, name, 0);
+  co_await SleepFor(sim(), config_.activation_overhead);
+
+  auto fail_waiters = [this, &name](const Status& status) {
+    activating_.erase(name);
+    auto local = activation_local_waiters_.find(name);
+    if (local != activation_local_waiters_.end()) {
+      std::vector<uint64_t> waiting = std::move(local->second);
+      activation_local_waiters_.erase(local);
+      for (uint64_t id : waiting) {
+        CompleteInvocation(id, InvokeResult::Error(status));
+      }
+    }
+    auto remote = activation_remote_hold_.find(name);
+    if (remote != activation_remote_hold_.end()) {
+      std::deque<PendingDispatch> held = std::move(remote->second);
+      activation_remote_hold_.erase(remote);
+      for (PendingDispatch& d : held) {
+        RefuseDispatch(d, status);
+      }
+    }
+  };
+
+  StatusOr<Bytes> record = co_await store_->Get(CheckpointKey(name));
+  if (failed_) {
+    co_return;
+  }
+  if (!record.ok()) {
+    fail_waiters(DataLossError("no checkpoint for " + name.ToString()));
+    co_return;
+  }
+
+  BufferReader reader(*record);
+  auto type_name = reader.ReadString();
+  auto policy = type_name.ok() ? CheckpointPolicy::Decode(reader)
+                               : StatusOr<CheckpointPolicy>(type_name.status());
+  auto frozen = policy.ok() ? reader.ReadBool() : StatusOr<bool>(policy.status());
+  auto rep = frozen.ok() ? Representation::Decode(reader)
+                         : StatusOr<Representation>(frozen.status());
+  if (!rep.ok()) {
+    fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
+    co_return;
+  }
+  std::shared_ptr<TypeManager> type = system_.FindType(*type_name);
+  if (type == nullptr) {
+    fail_waiters(DataLossError("unknown type in checkpoint: " + *type_name));
+    co_return;
+  }
+
+  auto object = std::make_shared<ActiveObject>(type);
+  object->name = name;
+  object->core = std::make_shared<ObjectCore>();
+  object->core->name = name;
+  object->core->rep = std::move(*rep);
+  object->policy = *policy;
+  object->frozen = *frozen;
+  object->activating = true;
+  active_[name] = object;
+  activating_.erase(name);
+
+  // "The coordinator will block the invocation while it attempts to execute
+  // the object's reincarnation condition handler."
+  if (type->reincarnation()) {
+    InvokeContext context(this, object, "<reincarnation>", InvokeArgs{},
+                          Rights::All());
+    Status status = co_await type->reincarnation()(context);
+    if (!status.ok()) {
+      EDEN_LOG(kWarning, "kernel")
+          << node_name_ << ": reincarnation handler for " << name.ToString()
+          << " failed: " << status.ToString();
+    }
+  }
+  if (!object->core->alive) {
+    co_return;  // the handler crashed the object
+  }
+
+  StartBehaviors(object);
+  object->activating = false;
+
+  // Dispatch everything that queued up while we were passive.
+  auto local = activation_local_waiters_.find(name);
+  if (local != activation_local_waiters_.end()) {
+    std::vector<uint64_t> waiting = std::move(local->second);
+    activation_local_waiters_.erase(local);
+    for (uint64_t id : waiting) {
+      TryResolve(id);
+    }
+  }
+  auto remote = activation_remote_hold_.find(name);
+  if (remote != activation_remote_hold_.end()) {
+    std::deque<PendingDispatch> held = std::move(remote->second);
+    activation_remote_hold_.erase(remote);
+    for (PendingDispatch& d : held) {
+      AcceptDispatch(object, std::move(d));
+    }
+  }
+  while (!object->hold_queue.empty()) {
+    PendingDispatch d = std::move(object->hold_queue.front());
+    object->hold_queue.pop_front();
+    AcceptDispatch(object, std::move(d));
+  }
+}
+
+void NodeKernel::StartBehaviors(const std::shared_ptr<ActiveObject>& object) {
+  if (object->is_replica) {
+    return;
+  }
+  for (const auto& [behavior_name, body] : object->type->behaviors()) {
+    RunBehavior(object, behavior_name, body);
+  }
+}
+
+DetachedTask NodeKernel::RunBehavior(std::shared_ptr<ActiveObject> object,
+                                     std::string name, BehaviorBody body) {
+  InvokeContext context(this, object, "<behavior:" + name + ">", InvokeArgs{},
+                        Rights::All());
+  co_await body(context);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / crash / destroy
+// ---------------------------------------------------------------------------
+
+Future<Status> NodeKernel::CheckpointObject(const ObjectName& name) {
+  auto it = active_.find(name);
+  if (it == active_.end()) {
+    return ReadyStatus(NotFoundError("object not active on this node"));
+  }
+  return CheckpointForObject(it->second);
+}
+
+Future<Status> NodeKernel::CheckpointForObject(
+    const std::shared_ptr<ActiveObject>& object) {
+  if (!object->core->alive) {
+    return ReadyStatus(FailedPreconditionError("object crashed"));
+  }
+  if (object->is_replica) {
+    return ReadyStatus(FailedPreconditionError("replicas do not checkpoint"));
+  }
+  stats_.checkpoints++;
+  Trace(TraceEventKind::kCheckpoint, object->name, 0);
+  Bytes record = EncodeCheckpointRecord(*object);
+  return WriteCheckpoint(object->name, std::move(record), object->policy);
+}
+
+Bytes NodeKernel::EncodeCheckpointRecord(const ActiveObject& object) const {
+  BufferWriter writer;
+  writer.WriteString(object.type->name());
+  object.policy.Encode(writer);
+  writer.WriteBool(object.frozen);
+  object.core->rep.Encode(writer);
+  return writer.Take();
+}
+
+Future<Status> NodeKernel::WriteCheckpoint(const ObjectName& name, Bytes record,
+                                           const CheckpointPolicy& policy) {
+  Future<Status> primary =
+      policy.primary_site == station()
+          ? store_->Put(CheckpointKey(name), record)
+          : SendRemoteCheckpoint(name, record, policy.primary_site,
+                                 /*is_mirror=*/false);
+  if (policy.level != ReliabilityLevel::kMirrored) {
+    return primary;
+  }
+  Future<Status> mirror =
+      policy.mirror_site == station()
+          ? store_->Put(MirrorKey(name), record)
+          : SendRemoteCheckpoint(name, std::move(record), policy.mirror_site,
+                                 /*is_mirror=*/true);
+  return CombineStatus(std::move(primary), std::move(mirror));
+}
+
+Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
+                                                Bytes record, StationId site,
+                                                bool is_mirror) {
+  uint64_t request_id = next_request_id_++;
+  PendingAck& pending = pending_acks_[request_id];
+  Future<Status> future = pending.promise.GetFuture();
+  pending.timer =
+      sim().Schedule(config_.attempt_timeout * 2, [this, request_id] {
+        auto it = pending_acks_.find(request_id);
+        if (it == pending_acks_.end()) {
+          return;
+        }
+        Promise<Status> promise = std::move(it->second.promise);
+        pending_acks_.erase(it);
+        promise.Set(UnavailableError("checksite unreachable"));
+      });
+
+  CheckpointPutMsg msg;
+  msg.request_id = request_id;
+  msg.reply_to = station();
+  msg.name = name;
+  msg.record = std::move(record);
+  msg.is_mirror = is_mirror;
+  Bytes encoded = msg.Encode();
+  sim().Schedule(SerializeCost(encoded.size()),
+                 [this, site, encoded = std::move(encoded)] {
+                   if (!failed_) {
+                     transport_->SendReliable(site, encoded);
+                   }
+                 });
+  return future;
+}
+
+void NodeKernel::HandleCheckpointPut(StationId src, CheckpointPutMsg msg) {
+  std::string key = msg.is_mirror ? MirrorKey(msg.name) : CheckpointKey(msg.name);
+  Future<Status> write = store_->Put(key, std::move(msg.record));
+  write.OnReady([this, write, request_id = msg.request_id,
+                 reply_to = msg.reply_to]() {
+    if (failed_) {
+      return;
+    }
+    CheckpointAckMsg ack;
+    ack.request_id = request_id;
+    ack.ok = write.Get().ok();
+    transport_->SendReliable(reply_to, ack.Encode());
+  });
+}
+
+void NodeKernel::HandleCheckpointAck(const CheckpointAckMsg& msg) {
+  auto it = pending_acks_.find(msg.request_id);
+  if (it == pending_acks_.end()) {
+    return;
+  }
+  sim().Cancel(it->second.timer);
+  Promise<Status> promise = std::move(it->second.promise);
+  pending_acks_.erase(it);
+  promise.Set(msg.ok ? OkStatus() : InternalError("checksite write failed"));
+}
+
+void NodeKernel::HandleCheckpointErase(const CheckpointEraseMsg& msg) {
+  store_->Delete(CheckpointKey(msg.name));
+  store_->Delete(MirrorKey(msg.name));
+}
+
+void NodeKernel::CrashObject(const std::shared_ptr<ActiveObject>& object,
+                             const Status& reason) {
+  if (!object->core->alive) {
+    return;
+  }
+  stats_.crashes++;
+  Trace(TraceEventKind::kObjectCrash, object->name, 0, reason.ToString());
+  object->core->Fail(reason);
+
+  // Refuse everything that was waiting; running invocations reply on their own.
+  auto refuse_all = [this, &reason](std::deque<PendingDispatch>& queue) {
+    while (!queue.empty()) {
+      PendingDispatch d = std::move(queue.front());
+      queue.pop_front();
+      RefuseDispatch(d, AbortedError(reason.message()));
+    }
+  };
+  refuse_all(object->hold_queue);
+  for (auto& queue : object->class_queues) {
+    refuse_all(queue);
+  }
+  if (object->drain_waiter.has_value()) {
+    Promise<Unit> waiter = std::move(*object->drain_waiter);
+    object->drain_waiter.reset();
+    waiter.Set(Unit{});
+  }
+
+  const ObjectName& name = object->name;
+  if (auto it = active_.find(name); it != active_.end() && it->second == object) {
+    active_.erase(it);
+  }
+  if (auto it = replicas_.find(name); it != replicas_.end() && it->second == object) {
+    replicas_.erase(it);
+  }
+}
+
+void NodeKernel::DestroyObject(const std::shared_ptr<ActiveObject>& object) {
+  ObjectName name = object->name;
+  CheckpointPolicy policy = object->policy;
+  CrashObject(object, AbortedError("object destroyed"));
+
+  // Erase long-term state everywhere it may live.
+  store_->Delete(CheckpointKey(name));
+  store_->Delete(MirrorKey(name));
+  CheckpointEraseMsg erase;
+  erase.name = name;
+  if (policy.primary_site != station()) {
+    transport_->SendReliable(policy.primary_site, erase.Encode());
+  }
+  if (policy.level == ReliabilityLevel::kMirrored &&
+      policy.mirror_site != station()) {
+    transport_->SendReliable(policy.mirror_site, erase.Encode());
+  }
+  forwarding_.erase(name);
+  location_cache_.erase(name);
+}
+
+Future<Status> NodeKernel::PromoteMirror(const ObjectName& name) {
+  Promise<Status> promise;
+  Future<Status> future = promise.GetFuture();
+  Future<StatusOr<Bytes>> read = store_->Get(MirrorKey(name));
+  read.OnReady([this, read, name, promise]() mutable {
+    if (!read.Get().ok()) {
+      promise.Set(read.Get().status());
+      return;
+    }
+    Future<Status> write = store_->Put(CheckpointKey(name), read.Get().value());
+    write.OnReady([write, promise]() mutable { promise.Set(write.Get()); });
+  });
+  return future;
+}
+
+// ---------------------------------------------------------------------------
+// Move (object mobility)
+// ---------------------------------------------------------------------------
+
+Future<Status> NodeKernel::MoveObject(const std::shared_ptr<ActiveObject>& object,
+                                      StationId destination) {
+  if (object->is_replica) {
+    return ReadyStatus(FailedPreconditionError("cannot move a replica"));
+  }
+  if (object->moving) {
+    return ReadyStatus(FailedPreconditionError("move already in progress"));
+  }
+  if (destination == station()) {
+    return ReadyStatus(OkStatus());
+  }
+  if (!object->core->alive) {
+    return ReadyStatus(FailedPreconditionError("object crashed"));
+  }
+  Promise<Status> done;
+  Future<Status> future = done.GetFuture();
+  RunMove(object, destination, std::move(done));
+  return future;
+}
+
+DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
+                                 StationId destination, Promise<Status> done) {
+  object->moving = true;
+  // Wait for other running invocations to drain. The invocation that
+  // requested the move is itself still running, hence threshold 1.
+  object->drain_threshold = 1;
+  while (object->total_running > 1 && object->core->alive) {
+    object->drain_waiter = Promise<Unit>();
+    Future<Unit> drained = object->drain_waiter->GetFuture();
+    co_await drained;
+  }
+  if (!object->core->alive) {
+    object->moving = false;
+    done.Set(AbortedError("object crashed during move"));
+    co_return;
+  }
+
+  uint64_t transfer_id = next_transfer_id_++;
+  MoveTransferMsg msg;
+  msg.transfer_id = transfer_id;
+  msg.source = station();
+  msg.name = object->name;
+  msg.type_name = object->type->name();
+  msg.representation = object->core->rep;
+  msg.policy = object->policy;
+  msg.frozen = object->frozen;
+  Bytes encoded = msg.Encode();
+
+  PendingMove& pending = pending_moves_[transfer_id];
+  pending.promise = std::move(done);
+  pending.object = object;
+  pending.destination = destination;
+  pending.timer =
+      sim().Schedule(config_.attempt_timeout * 2, [this, transfer_id] {
+        auto it = pending_moves_.find(transfer_id);
+        if (it == pending_moves_.end()) {
+          return;
+        }
+        PendingMove pending = std::move(it->second);
+        pending_moves_.erase(it);
+        // Abort: resume service on this node.
+        pending.object->moving = false;
+        Promise<Status> promise = std::move(pending.promise);
+        std::shared_ptr<ActiveObject> object = pending.object;
+        while (!object->hold_queue.empty()) {
+          PendingDispatch d = std::move(object->hold_queue.front());
+          object->hold_queue.pop_front();
+          AcceptDispatch(object, std::move(d));
+        }
+        PumpQueues(object);
+        promise.Set(UnavailableError("move destination unreachable"));
+      });
+
+  stats_.moves_out++;
+  Trace(TraceEventKind::kMoveOut, object->name, transfer_id,
+        "to station " + std::to_string(destination));
+  sim().Schedule(SerializeCost(encoded.size()),
+                 [this, destination, encoded = std::move(encoded)] {
+                   if (!failed_) {
+                     transport_->SendReliable(destination, encoded);
+                   }
+                 });
+}
+
+void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
+  MoveAckMsg ack;
+  ack.transfer_id = msg.transfer_id;
+  ack.name = msg.name;
+
+  if (active_.count(msg.name) > 0) {
+    // Duplicate transfer (retransmission past the transport window).
+    ack.accepted = true;
+    transport_->SendReliable(src, ack.Encode());
+    return;
+  }
+  std::shared_ptr<TypeManager> type = system_.FindType(msg.type_name);
+  if (type == nullptr) {
+    ack.accepted = false;
+    transport_->SendReliable(src, ack.Encode());
+    return;
+  }
+
+  auto object = std::make_shared<ActiveObject>(type);
+  object->name = msg.name;
+  object->core = std::make_shared<ObjectCore>();
+  object->core->name = msg.name;
+  object->core->rep = std::move(msg.representation);
+  object->policy = msg.policy;
+  object->frozen = msg.frozen;
+  object->activating = true;
+  active_[msg.name] = object;
+  forwarding_.erase(msg.name);
+  location_cache_.erase(msg.name);
+  stats_.moves_in++;
+  Trace(TraceEventKind::kMoveIn, msg.name, msg.transfer_id,
+        "from station " + std::to_string(msg.source));
+
+  ack.accepted = true;
+  transport_->SendReliable(src, ack.Encode());
+
+  // Arrival at a new node rebuilds short-term state exactly like a
+  // reincarnation: run the condition handler, restart behaviors, then serve.
+  [](NodeKernel* kernel, std::shared_ptr<ActiveObject> object) -> DetachedTask {
+    co_await SleepFor(kernel->sim(), kernel->config_.activation_overhead);
+    if (!object->core->alive) {
+      co_return;
+    }
+    if (object->type->reincarnation()) {
+      InvokeContext context(kernel, object, "<reincarnation>", InvokeArgs{},
+                            Rights::All());
+      co_await object->type->reincarnation()(context);
+    }
+    if (!object->core->alive) {
+      co_return;
+    }
+    kernel->StartBehaviors(object);
+    object->activating = false;
+    while (!object->hold_queue.empty()) {
+      PendingDispatch d = std::move(object->hold_queue.front());
+      object->hold_queue.pop_front();
+      kernel->AcceptDispatch(object, std::move(d));
+    }
+  }(this, object);
+}
+
+void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
+  auto it = pending_moves_.find(msg.transfer_id);
+  if (it == pending_moves_.end()) {
+    return;
+  }
+  sim().Cancel(it->second.timer);
+  PendingMove pending = std::move(it->second);
+  pending_moves_.erase(it);
+  std::shared_ptr<ActiveObject> object = pending.object;
+
+  if (!msg.accepted) {
+    object->moving = false;
+    while (!object->hold_queue.empty()) {
+      PendingDispatch d = std::move(object->hold_queue.front());
+      object->hold_queue.pop_front();
+      AcceptDispatch(object, std::move(d));
+    }
+    PumpQueues(object);
+    pending.promise.Set(UnavailableError("destination refused the object"));
+    return;
+  }
+
+  const ObjectName& name = object->name;
+  forwarding_[name] = pending.destination;
+  location_cache_[name] = pending.destination;
+
+  // Re-route everything that queued during the move.
+  auto forward = [this, &pending](PendingDispatch& d) {
+    if (d.local) {
+      SendRequestTo(d.request.invocation_id, pending.destination);
+    } else {
+      requests_in_progress_.erase(d.request.invocation_id);
+      transport_->SendReliable(pending.destination, d.request.Encode());
+    }
+  };
+  while (!object->hold_queue.empty()) {
+    PendingDispatch d = std::move(object->hold_queue.front());
+    object->hold_queue.pop_front();
+    forward(d);
+  }
+  for (auto& queue : object->class_queues) {
+    while (!queue.empty()) {
+      PendingDispatch d = std::move(queue.front());
+      queue.pop_front();
+      forward(d);
+    }
+  }
+
+  active_.erase(name);
+  object->moving = false;
+  // Behaviors and any post-move handler code on this node see a dead core.
+  object->core->Fail(AbortedError("object moved to another node"));
+  pending.promise.Set(OkStatus());
+}
+
+// ---------------------------------------------------------------------------
+// Frozen-object replication
+// ---------------------------------------------------------------------------
+
+void NodeKernel::MaybeFetchReplica(const ObjectName& name, StationId host) {
+  for (const auto& [request_id, pending_name] : pending_replica_fetches_) {
+    if (pending_name == name) {
+      return;  // fetch already under way
+    }
+  }
+  uint64_t request_id = next_request_id_++;
+  pending_replica_fetches_[request_id] = name;
+  stats_.replica_fetches++;
+  ReplicaFetchMsg msg;
+  msg.request_id = request_id;
+  msg.reply_to = station();
+  msg.name = name;
+  transport_->SendReliable(host, msg.Encode());
+}
+
+void NodeKernel::HandleReplicaFetch(StationId src, const ReplicaFetchMsg& msg) {
+  ReplicaReplyMsg reply;
+  reply.request_id = msg.request_id;
+  reply.name = msg.name;
+  auto it = active_.find(msg.name);
+  if (it != active_.end() && it->second->frozen && !it->second->is_replica) {
+    reply.ok = true;
+    reply.type_name = it->second->type->name();
+    reply.representation = it->second->core->rep;
+  } else {
+    reply.ok = false;
+  }
+  transport_->SendReliable(msg.reply_to, reply.Encode());
+}
+
+void NodeKernel::HandleReplicaReply(StationId src, ReplicaReplyMsg msg) {
+  auto it = pending_replica_fetches_.find(msg.request_id);
+  if (it == pending_replica_fetches_.end()) {
+    return;
+  }
+  pending_replica_fetches_.erase(it);
+  if (!msg.ok || replicas_.count(msg.name) > 0 || active_.count(msg.name) > 0) {
+    return;
+  }
+  std::shared_ptr<TypeManager> type = system_.FindType(msg.type_name);
+  if (type == nullptr) {
+    return;
+  }
+  auto replica = std::make_shared<ActiveObject>(type);
+  replica->name = msg.name;
+  replica->core = std::make_shared<ObjectCore>();
+  replica->core->name = msg.name;
+  replica->core->rep = std::move(msg.representation);
+  replica->frozen = true;
+  replica->is_replica = true;
+  replicas_[msg.name] = replica;
+}
+
+// ---------------------------------------------------------------------------
+// Node failure / restart
+// ---------------------------------------------------------------------------
+
+void NodeKernel::FailNode() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  Trace(TraceEventKind::kNodeFailure, ObjectName::Null(), 0);
+  system_.lan().DetachStation(station());
+  transport_->Reset();
+
+  // Volatile state dies. (The stable store, by definition, survives.)
+  auto active = std::move(active_);
+  active_.clear();
+  auto replicas = std::move(replicas_);
+  replicas_.clear();
+  for (auto& [name, object] : active) {
+    object->core->Fail(UnavailableError("node failed"));
+  }
+  for (auto& [name, object] : replicas) {
+    object->core->Fail(UnavailableError("node failed"));
+  }
+  forwarding_.clear();
+  location_cache_.clear();
+
+  auto pending = std::move(pending_invocations_);
+  pending_invocations_.clear();
+  for (auto& [id, invocation] : pending) {
+    sim().Cancel(invocation.user_timer);
+    sim().Cancel(invocation.attempt_timer);
+    invocation.promise.Set(
+        InvokeResult::Error(UnavailableError("invoking node failed")));
+  }
+  auto locates = std::move(pending_locates_);
+  pending_locates_.clear();
+  locate_by_name_.clear();
+  for (auto& [query_id, locate] : locates) {
+    sim().Cancel(locate.timer);
+  }
+  auto acks = std::move(pending_acks_);
+  pending_acks_.clear();
+  for (auto& [request_id, ack] : acks) {
+    sim().Cancel(ack.timer);
+    ack.promise.Set(UnavailableError("node failed"));
+  }
+  auto moves = std::move(pending_moves_);
+  pending_moves_.clear();
+  for (auto& [transfer_id, move] : moves) {
+    sim().Cancel(move.timer);
+    move.promise.Set(UnavailableError("node failed"));
+  }
+  pending_replica_fetches_.clear();
+  requests_in_progress_.clear();
+  reply_cache_.clear();
+  reply_cache_order_.clear();
+  activating_.clear();
+  activation_local_waiters_.clear();
+  activation_remote_hold_.clear();
+}
+
+void NodeKernel::RestartNode() {
+  if (!failed_) {
+    return;
+  }
+  failed_ = false;
+  Trace(TraceEventKind::kNodeRestart, ObjectName::Null(), 0);
+  system_.lan().ReattachStation(station());
+}
+
+// ---------------------------------------------------------------------------
+// InvokeContext methods that need the kernel definition
+// ---------------------------------------------------------------------------
+
+Future<InvokeResult> InvokeContext::Invoke(const Capability& target,
+                                           const std::string& op, InvokeArgs args,
+                                           SimDuration timeout) {
+  Promise<InvokeResult> promise;
+  Future<InvokeResult> future = promise.GetFuture();
+  kernel_->StartInvocation(target, op, std::move(args), timeout,
+                           std::move(promise));
+  return future;
+}
+
+Future<Status> InvokeContext::Checkpoint() {
+  return kernel_->CheckpointForObject(object_);
+}
+
+Status InvokeContext::SetChecksite(const CheckpointPolicy& policy) {
+  if (policy.level == ReliabilityLevel::kMirrored &&
+      policy.mirror_site == policy.primary_site) {
+    return InvalidArgumentError("mirror site must differ from primary site");
+  }
+  object_->policy = policy;
+  return OkStatus();
+}
+
+void InvokeContext::Crash() {
+  kernel_->CrashObject(object_, AbortedError("object crashed itself"));
+}
+
+void InvokeContext::Destroy() { kernel_->DestroyObject(object_); }
+
+Future<Status> InvokeContext::RequestMove(StationId new_home) {
+  return kernel_->MoveObject(object_, new_home);
+}
+
+Status InvokeContext::Freeze() {
+  if (object_->is_replica) {
+    return FailedPreconditionError("replicas are already frozen");
+  }
+  object_->frozen = true;
+  return OkStatus();
+}
+
+Future<Unit> InvokeContext::Sleep(SimDuration duration) {
+  return SleepFor(kernel_->sim(), duration);
+}
+
+StationId InvokeContext::node() const { return kernel_->station(); }
+
+Simulation& InvokeContext::sim() { return kernel_->sim(); }
+
+}  // namespace eden

@@ -1,0 +1,311 @@
+// NodeKernel: the per-node Eden kernel (paper section 4). It supplies the
+// primitives of section 4.5 — object/type creation, location-independent
+// invocation, preservation of long-term state over failures, and intra-object
+// communication — on top of the simulated LAN and stable store.
+//
+// One NodeKernel is one "node" in the paper's sense: an abstraction supplying
+// virtual memory for active objects' segments and virtual processors for
+// their invocations. A physical machine may host several node objects; in the
+// simulation, several NodeKernels simply share the Lan.
+#ifndef EDEN_SRC_KERNEL_NODE_KERNEL_H_
+#define EDEN_SRC_KERNEL_NODE_KERNEL_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/kernel/context.h"
+#include "src/kernel/message.h"
+#include "src/kernel/object.h"
+#include "src/kernel/type_manager.h"
+#include "src/net/transport.h"
+#include "src/storage/stable_store.h"
+#include "src/trace/trace.h"
+
+namespace eden {
+
+class EdenSystem;
+
+struct KernelConfig {
+  // Kernel-level costs, modeled on early-80s processor budgets (the paper
+  // itself flags GDP invocation performance as "something of a question
+  // mark"; these knobs are what bench_invocation sweeps).
+  SimDuration dispatch_overhead = Microseconds(200);    // validate + dispatch
+  SimDuration local_invoke_overhead = Microseconds(150);// same-node shortcut
+  SimDuration remote_receive_overhead = Microseconds(250);  // network kernel path
+  SimDuration serialize_per_kb = Microseconds(40);      // parameter copying
+  SimDuration activation_overhead = Microseconds(500);  // build address space
+
+  // End-to-end invocation management.
+  SimDuration default_invoke_timeout = Seconds(30);
+  SimDuration attempt_timeout = Seconds(2);  // per-host try before re-locate
+  // Resolution attempts (locate rounds). Each round can heal one stale hop
+  // of a forwarding chain, so this bounds the chain length that remains
+  // recoverable after the node at the chain's end dies.
+  int max_attempts = 5;
+  int max_redirects = 8;
+
+  // Location protocol.
+  SimDuration locate_timeout = Milliseconds(50);
+  int max_locate_attempts = 3;
+  // Passive holders delay their replies so an active host always wins.
+  SimDuration passive_locate_reply_delay = Milliseconds(2);
+
+  // Frozen-object replication (section 4.3).
+  bool cache_frozen_replicas = true;
+
+  // At-most-once server-side reply cache.
+  size_t reply_cache_capacity = 4096;
+};
+
+struct KernelStats {
+  uint64_t invocations_started = 0;
+  uint64_t invocations_local = 0;
+  uint64_t invocations_remote = 0;
+  uint64_t invocations_completed = 0;
+  uint64_t invocations_timed_out = 0;
+  uint64_t invocations_unavailable = 0;
+  uint64_t dispatches = 0;
+  uint64_t rights_denied = 0;
+  uint64_t queue_refusals = 0;
+  uint64_t locate_broadcasts = 0;
+  uint64_t locate_cache_hits = 0;
+  uint64_t redirects_followed = 0;
+  uint64_t activations = 0;
+  uint64_t checkpoints = 0;
+  uint64_t crashes = 0;
+  uint64_t moves_out = 0;
+  uint64_t moves_in = 0;
+  uint64_t replica_fetches = 0;
+  uint64_t replica_reads = 0;
+  uint64_t duplicate_requests = 0;
+};
+
+struct CreateOptions {
+  // Default policy: long-term state at the creating node, kLocal level.
+  std::optional<CheckpointPolicy> policy;
+};
+
+class NodeKernel {
+ public:
+  NodeKernel(EdenSystem& system, std::string node_name, KernelConfig config = {},
+             DiskConfig disk = {}, TransportConfig transport = {});
+  ~NodeKernel();
+
+  NodeKernel(const NodeKernel&) = delete;
+  NodeKernel& operator=(const NodeKernel&) = delete;
+
+  StationId station() const { return transport_->station_id(); }
+  const std::string& node_name() const { return node_name_; }
+
+  // --- Object lifecycle -----------------------------------------------------
+  // Creates an active object of a registered type with the given initial
+  // representation. The object is immediately invokable; it has NO long-term
+  // state until its first checkpoint.
+  StatusOr<Capability> CreateObject(const std::string& type_name,
+                                    Representation initial,
+                                    CreateOptions options = {});
+
+  // Forces a checkpoint of an active object (driver-side convenience; type
+  // code uses InvokeContext::Checkpoint).
+  Future<Status> CheckpointObject(const ObjectName& name);
+
+  // Requests migration of an active object to another node. Normally invoked
+  // from within the object (InvokeContext::RequestMove); exposed for policy
+  // drivers and tests.
+  Future<Status> MoveObject(const std::shared_ptr<ActiveObject>& object,
+                            StationId destination);
+
+  // --- Invocation (driver side) ----------------------------------------------
+  // Location-independent invocation from outside any object (applications,
+  // tests, benchmarks). timeout 0 selects the kernel default.
+  Future<InvokeResult> Invoke(const Capability& target, const std::string& op,
+                              InvokeArgs args = {}, SimDuration timeout = 0);
+
+  // --- Failure injection ------------------------------------------------------
+  // Node failure: all volatile state (active objects, caches, in-flight
+  // messages) is lost; the stable store survives.
+  void FailNode();
+  void RestartNode();
+  bool failed() const { return failed_; }
+
+  // Promotes a mirror checkpoint record to primary at THIS node, after the
+  // original primary site is permanently lost (administrative recovery).
+  Future<Status> PromoteMirror(const ObjectName& name);
+
+  // --- Introspection ------------------------------------------------------------
+  bool IsActive(const ObjectName& name) const { return active_.count(name) > 0; }
+  bool HasReplica(const ObjectName& name) const { return replicas_.count(name) > 0; }
+  bool HasCheckpoint(const ObjectName& name) const;
+  std::shared_ptr<ActiveObject> FindActive(const ObjectName& name) const;
+  size_t active_count() const { return active_.size(); }
+
+  // Attaches (or detaches, with nullptr) a trace buffer recording this
+  // kernel's events. The buffer must outlive the kernel or be detached first.
+  void set_trace(TraceBuffer* trace) { trace_ = trace; }
+
+  StableStore& store() { return *store_; }
+  Transport& transport() { return *transport_; }
+  KernelStats& stats() { return stats_; }
+  const KernelConfig& config() const { return config_; }
+  EdenSystem& system() { return system_; }
+  Simulation& sim();
+
+ private:
+  friend class InvokeContext;
+
+  // --- Client-side invocation state machine ---------------------------------
+  struct PendingInvocation {
+    Promise<InvokeResult> promise;
+    Capability target;
+    std::string operation;
+    InvokeArgs args;
+    EventId user_timer = kInvalidEventId;
+    EventId attempt_timer = kInvalidEventId;
+    int attempts = 0;
+    int redirects = 0;
+    // Host the request was last sent to, and every host that proved dead or
+    // ignorant so far (forwarded to target kernels as avoid_hosts).
+    StationId current_host = kNoStation;
+    std::set<StationId> dead_hosts;
+  };
+
+  struct PendingLocate {
+    ObjectName name;
+    std::vector<uint64_t> waiting;  // invocation ids
+    int attempts = 0;
+    EventId timer = kInvalidEventId;
+  };
+
+  struct PendingAck {
+    Promise<Status> promise;
+    EventId timer = kInvalidEventId;
+  };
+
+  struct PendingMove {
+    Promise<Status> promise;
+    std::shared_ptr<ActiveObject> object;
+    StationId destination = 0;
+    EventId timer = kInvalidEventId;
+  };
+
+  void Trace(TraceEventKind kind, const ObjectName& object, uint64_t id,
+             std::string detail = {}) {
+    if (trace_ != nullptr) {
+      trace_->Record(TraceEvent{sim().now(), kind, station(), object, id,
+                                std::move(detail)});
+    }
+  }
+
+  uint64_t NewInvocationId();
+  uint64_t StartInvocation(const Capability& target, const std::string& op,
+                           InvokeArgs args, SimDuration timeout,
+                           Promise<InvokeResult> promise);
+  void TryResolve(uint64_t id);
+  void SendRequestTo(uint64_t id, StationId host);
+  void DispatchLocally(uint64_t id, std::shared_ptr<ActiveObject> object);
+  void StartLocate(uint64_t id);
+  void LocateAttempt(uint64_t query_id);
+  void CompleteInvocation(uint64_t id, InvokeResult result);
+  void OnAttemptTimeout(uint64_t id);
+
+  // --- Message plumbing --------------------------------------------------------
+  void OnMessage(StationId src, const Bytes& message);
+  void HandleInvokeRequest(StationId src, InvokeRequestMsg msg);
+  void HandleInvokeReply(StationId src, const InvokeReplyMsg& msg);
+  void HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& msg);
+  void HandleLocateRequest(StationId src, const LocateRequestMsg& msg);
+  void HandleLocateReply(const LocateReplyMsg& msg);
+  void HandleMoveTransfer(StationId src, MoveTransferMsg msg);
+  void HandleMoveAck(const MoveAckMsg& msg);
+  void HandleCheckpointPut(StationId src, CheckpointPutMsg msg);
+  void HandleCheckpointAck(const CheckpointAckMsg& msg);
+  void HandleCheckpointErase(const CheckpointEraseMsg& msg);
+  void HandleReplicaFetch(StationId src, const ReplicaFetchMsg& msg);
+  void HandleReplicaReply(StationId src, ReplicaReplyMsg msg);
+
+  // --- Server-side dispatch (the coordinator) ------------------------------------
+  void AcceptDispatch(const std::shared_ptr<ActiveObject>& object, PendingDispatch d);
+  DetachedTask RunInvocation(std::shared_ptr<ActiveObject> object, PendingDispatch d,
+                             const OperationSpec* op);
+  void FinishDispatch(const std::shared_ptr<ActiveObject>& object, size_t class_index);
+  void PumpQueues(const std::shared_ptr<ActiveObject>& object);
+  void ReplyTo(const PendingDispatch& d, InvokeResult result, bool target_frozen);
+  void RefuseDispatch(const PendingDispatch& d, Status status);
+  void CacheReply(uint64_t invocation_id, const InvokeResult& result, bool frozen);
+  SimDuration SerializeCost(size_t bytes) const;
+
+  // --- Activation (reincarnation) -------------------------------------------------
+  void BeginActivation(const ObjectName& name);
+  DetachedTask RunActivation(ObjectName name);
+  void StartBehaviors(const std::shared_ptr<ActiveObject>& object);
+  DetachedTask RunBehavior(std::shared_ptr<ActiveObject> object, std::string name,
+                           BehaviorBody body);
+
+  // --- Checkpoint / crash / destroy / move / freeze (via InvokeContext) ------------
+  Future<Status> CheckpointForObject(const std::shared_ptr<ActiveObject>& object);
+  Bytes EncodeCheckpointRecord(const ActiveObject& object) const;
+  Future<Status> WriteCheckpoint(const ObjectName& name, Bytes record,
+                                 const CheckpointPolicy& policy);
+  Future<Status> SendRemoteCheckpoint(const ObjectName& name, Bytes record,
+                                      StationId site, bool is_mirror);
+  void CrashObject(const std::shared_ptr<ActiveObject>& object, const Status& reason);
+  void DestroyObject(const std::shared_ptr<ActiveObject>& object);
+  DetachedTask RunMove(std::shared_ptr<ActiveObject> object, StationId destination,
+                       Promise<Status> done);
+  void MaybeFetchReplica(const ObjectName& name, StationId host);
+
+  static std::string CheckpointKey(const ObjectName& name) {
+    return "ckpt/" + name.ToKey();
+  }
+  static std::string MirrorKey(const ObjectName& name) {
+    return "mirror/" + name.ToKey();
+  }
+
+  EdenSystem& system_;
+  std::string node_name_;
+  KernelConfig config_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<StableStore> store_;
+  bool failed_ = false;
+
+  std::map<ObjectName, std::shared_ptr<ActiveObject>> active_;
+  std::map<ObjectName, std::shared_ptr<ActiveObject>> replicas_;
+  std::map<ObjectName, StationId> forwarding_;
+  std::map<ObjectName, StationId> location_cache_;
+
+  std::map<uint64_t, PendingInvocation> pending_invocations_;
+  std::map<uint64_t, PendingLocate> pending_locates_;
+  std::map<ObjectName, uint64_t> locate_by_name_;
+  std::map<uint64_t, PendingAck> pending_acks_;
+  std::map<uint64_t, PendingMove> pending_moves_;
+  std::map<uint64_t, ObjectName> pending_replica_fetches_;
+
+  // Reincarnations in progress: invocations that arrived for the passive
+  // object wait here until the reincarnation handler finishes.
+  std::set<ObjectName> activating_;
+  std::map<ObjectName, std::vector<uint64_t>> activation_local_waiters_;
+  std::map<ObjectName, std::deque<PendingDispatch>> activation_remote_hold_;
+
+  // Server-side at-most-once execution.
+  std::set<uint64_t> requests_in_progress_;
+  std::map<uint64_t, std::pair<InvokeResult, bool>> reply_cache_;
+  std::deque<uint64_t> reply_cache_order_;
+
+  uint64_t next_invocation_seq_ = 1;
+  uint64_t next_object_seq_ = 1;
+  uint64_t next_query_id_ = 1;
+  uint64_t next_request_id_ = 1;
+  uint64_t next_transfer_id_ = 1;
+
+  KernelStats stats_;
+  TraceBuffer* trace_ = nullptr;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_NODE_KERNEL_H_

@@ -1,0 +1,122 @@
+// In-memory structures for active objects. Mirrors Figure 4 of the paper: an
+// object is (name, representation, type, short-term state). ObjectCore holds
+// the name, representation and the crash-volatile short-term state;
+// ActiveObject adds the kernel's per-object dispatch bookkeeping (the
+// coordinator's view).
+#ifndef EDEN_SRC_KERNEL_OBJECT_H_
+#define EDEN_SRC_KERNEL_OBJECT_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/checkpoint.h"
+#include "src/kernel/message.h"
+#include "src/kernel/representation.h"
+#include "src/kernel/sync.h"
+#include "src/kernel/type_manager.h"
+
+namespace eden {
+
+// The object state reachable from running invocation handlers. Held by
+// shared_ptr from every in-flight InvokeContext, so a crash (which marks the
+// core dead and drops the kernel's reference) never dangles a suspended
+// coroutine; post-crash writes land in a discarded core.
+struct ObjectCore {
+  ObjectName name;
+  Representation rep;
+  bool alive = true;
+  // Bumped on every (re)activation; a reply produced by a stale incarnation
+  // is discarded by the coordinator.
+  uint64_t incarnation = 0;
+
+  std::map<std::string, std::unique_ptr<Semaphore>> semaphores;
+  std::map<std::string, std::unique_ptr<MessagePort>> ports;
+
+  Semaphore& semaphore(const std::string& sem_name, int initial) {
+    auto it = semaphores.find(sem_name);
+    if (it == semaphores.end()) {
+      it = semaphores.emplace(sem_name, std::make_unique<Semaphore>(initial)).first;
+    }
+    return *it->second;
+  }
+
+  MessagePort& port(const std::string& port_name) {
+    auto it = ports.find(port_name);
+    if (it == ports.end()) {
+      it = ports.emplace(port_name, std::make_unique<MessagePort>()).first;
+    }
+    return *it->second;
+  }
+
+  // Crash: destroy short-term state. Every blocked P()/Receive() wakes with
+  // `reason`; the representation is left in place for any still-running
+  // handler but will never be checkpointed again.
+  void Fail(const Status& reason) {
+    alive = false;
+    for (auto& [sem_name, sem] : semaphores) {
+      sem->FailAll(reason);
+    }
+    for (auto& [port_name, port] : ports) {
+      port->FailAll(reason);
+    }
+  }
+};
+
+// An invocation accepted by this node but not yet completed.
+struct PendingDispatch {
+  InvokeRequestMsg request;
+  // True when the invoker is an object (or driver) on this same node: the
+  // reply is completed in-process instead of transmitted.
+  bool local = false;
+};
+
+// Kernel bookkeeping for one active object (the coordinator's state).
+struct ActiveObject {
+  ObjectName name;
+  std::shared_ptr<TypeManager> type;
+  std::shared_ptr<ObjectCore> core;
+  CheckpointPolicy policy;
+
+  bool frozen = false;
+  // True for a cached copy of a frozen object; serves read-only operations.
+  bool is_replica = false;
+  // Reincarnation handler still running; arrivals wait in hold_queue.
+  bool activating = false;
+  // Move in progress; new arrivals wait in hold_queue, to be forwarded.
+  bool moving = false;
+
+  // Per-invocation-class running counts and FIFO wait queues.
+  std::vector<int> class_running;
+  std::vector<std::deque<PendingDispatch>> class_queues;
+  std::deque<PendingDispatch> hold_queue;
+
+  int total_running = 0;
+  uint64_t invocations_served = 0;
+
+  // Move support: RunMove waits here until running invocations drain down to
+  // `drain_threshold` (1 = the invocation requesting the move itself).
+  std::optional<Promise<Unit>> drain_waiter;
+  int drain_threshold = 0;
+
+  explicit ActiveObject(std::shared_ptr<TypeManager> type_manager)
+      : type(std::move(type_manager)) {
+    class_running.assign(type->classes().size(), 0);
+    class_queues.resize(type->classes().size());
+  }
+
+  size_t QueuedCount() const {
+    size_t total = hold_queue.size();
+    for (const auto& queue : class_queues) {
+      total += queue.size();
+    }
+    return total;
+  }
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_OBJECT_H_

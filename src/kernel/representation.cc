@@ -1,0 +1,54 @@
+#include "src/kernel/representation.h"
+
+namespace eden {
+
+void Representation::Encode(BufferWriter& writer) const {
+  writer.WriteVarint(data_segments_.size());
+  for (const Bytes& segment : data_segments_) {
+    writer.WriteBytes(segment);
+  }
+  writer.WriteVarint(capabilities_.size());
+  for (const Capability& cap : capabilities_) {
+    cap.Encode(writer);
+  }
+}
+
+StatusOr<Representation> Representation::Decode(BufferReader& reader) {
+  Representation rep;
+  EDEN_ASSIGN_OR_RETURN(uint64_t segment_count, reader.ReadVarint());
+  if (segment_count > 1u << 20) {
+    return InvalidArgumentError("implausible segment count");
+  }
+  rep.data_segments_.reserve(segment_count);
+  for (uint64_t i = 0; i < segment_count; i++) {
+    EDEN_ASSIGN_OR_RETURN(Bytes segment, reader.ReadBytes());
+    rep.data_segments_.push_back(std::move(segment));
+  }
+  EDEN_ASSIGN_OR_RETURN(uint64_t cap_count, reader.ReadVarint());
+  if (cap_count > 1u << 20) {
+    return InvalidArgumentError("implausible capability count");
+  }
+  rep.capabilities_.reserve(cap_count);
+  for (uint64_t i = 0; i < cap_count; i++) {
+    EDEN_ASSIGN_OR_RETURN(Capability cap, Capability::Decode(reader));
+    rep.capabilities_.push_back(cap);
+  }
+  return rep;
+}
+
+size_t Representation::ByteSize() const {
+  size_t total = 0;
+  for (const Bytes& segment : data_segments_) {
+    total += segment.size();
+  }
+  total += capabilities_.size() * 20;  // 16-byte name + 4-byte rights
+  return total;
+}
+
+uint64_t Representation::DigestValue() const {
+  BufferWriter writer;
+  Encode(writer);
+  return Fnv1a64(writer.buffer());
+}
+
+}  // namespace eden

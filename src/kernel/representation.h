@@ -1,0 +1,85 @@
+// Representation: "the data and capability segments that form the object's
+// long-term state" (paper section 4.1, Figure 4). This is the only part of an
+// object that checkpoint writes to stable storage and that move transfers
+// between nodes; short-term state never leaves the node.
+#ifndef EDEN_SRC_KERNEL_REPRESENTATION_H_
+#define EDEN_SRC_KERNEL_REPRESENTATION_H_
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/kernel/capability.h"
+
+namespace eden {
+
+class Representation {
+ public:
+  Representation() = default;
+
+  // --- Data segments ---------------------------------------------------
+  size_t data_segment_count() const { return data_segments_.size(); }
+
+  // Grows the data segment vector to at least `count` segments.
+  void EnsureDataSegments(size_t count) {
+    if (data_segments_.size() < count) {
+      data_segments_.resize(count);
+    }
+  }
+
+  const Bytes& data(size_t index) const { return data_segments_.at(index); }
+  Bytes& mutable_data(size_t index) {
+    EnsureDataSegments(index + 1);
+    return data_segments_[index];
+  }
+  void set_data(size_t index, Bytes bytes) {
+    EnsureDataSegments(index + 1);
+    data_segments_[index] = std::move(bytes);
+  }
+
+  // Convenience: segment as string.
+  std::string DataAsString(size_t index) const {
+    if (index >= data_segments_.size()) {
+      return {};
+    }
+    return ToString(data_segments_[index]);
+  }
+  void SetDataFromString(size_t index, std::string_view text) {
+    set_data(index, ToBytes(text));
+  }
+
+  // --- Capability segment ----------------------------------------------
+  size_t capability_count() const { return capabilities_.size(); }
+  const Capability& capability(size_t index) const { return capabilities_.at(index); }
+  const std::vector<Capability>& capabilities() const { return capabilities_; }
+  void AddCapability(const Capability& cap) { capabilities_.push_back(cap); }
+  void SetCapability(size_t index, const Capability& cap) {
+    if (capabilities_.size() <= index) {
+      capabilities_.resize(index + 1);
+    }
+    capabilities_[index] = cap;
+  }
+  void ClearCapabilities() { capabilities_.clear(); }
+
+  // --- Whole-representation operations ----------------------------------
+  void Encode(BufferWriter& writer) const;
+  static StatusOr<Representation> Decode(BufferReader& reader);
+
+  // Approximate in-memory footprint (drives checkpoint/migration cost).
+  size_t ByteSize() const;
+
+  // Content digest (replica integrity, round-trip property tests).
+  uint64_t DigestValue() const;
+
+  bool operator==(const Representation& other) const {
+    return data_segments_ == other.data_segments_ &&
+           capabilities_ == other.capabilities_;
+  }
+
+ private:
+  std::vector<Bytes> data_segments_;
+  std::vector<Capability> capabilities_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_REPRESENTATION_H_

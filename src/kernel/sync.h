@@ -1,0 +1,131 @@
+// Intra-object synchronization primitives: "for fine-grained synchronization
+// control, programmers can use kernel-supplied semaphore and message port
+// primitives" (paper section 4.2).
+//
+// These live in an object's *short-term state*: they are destroyed (and all
+// waiters failed) when the object crashes, and they are never checkpointed.
+#ifndef EDEN_SRC_KERNEL_SYNC_H_
+#define EDEN_SRC_KERNEL_SYNC_H_
+
+#include <deque>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/task.h"
+
+namespace eden {
+
+// Counting semaphore. P() suspends the calling invocation until a unit is
+// available; V() releases one waiter in FIFO order.
+class Semaphore {
+ public:
+  explicit Semaphore(int initial = 1) : value_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // Acquire. Resolves OK when the unit is granted, or with kAborted if the
+  // object crashes while waiting.
+  Future<Status> P() {
+    Promise<Status> promise;
+    if (failed_) {
+      promise.Set(AbortedError("object crashed"));
+    } else if (value_ > 0) {
+      value_--;
+      promise.Set(OkStatus());
+    } else {
+      waiters_.push_back(promise);
+    }
+    return promise.GetFuture();
+  }
+
+  // Release. Hands the unit directly to the oldest waiter, if any.
+  void V() {
+    if (failed_) {
+      return;
+    }
+    if (!waiters_.empty()) {
+      Promise<Status> waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter.Set(OkStatus());
+    } else {
+      value_++;
+    }
+  }
+
+  int value() const { return value_; }
+  size_t waiter_count() const { return waiters_.size(); }
+
+  // Crash support: wake every waiter with an error; further P()s fail fast.
+  void FailAll(const Status& status) {
+    failed_ = true;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& waiter : waiters) {
+      waiter.Set(status);
+    }
+  }
+
+ private:
+  int value_;
+  bool failed_ = false;
+  std::deque<Promise<Status>> waiters_;
+};
+
+// Unbounded FIFO message port for data exchange between invocations and
+// behaviors within one object.
+class MessagePort {
+ public:
+  MessagePort() = default;
+
+  MessagePort(const MessagePort&) = delete;
+  MessagePort& operator=(const MessagePort&) = delete;
+
+  void Send(Bytes message) {
+    if (failed_) {
+      return;
+    }
+    if (!waiters_.empty()) {
+      Promise<StatusOr<Bytes>> waiter = waiters_.front();
+      waiters_.pop_front();
+      waiter.Set(StatusOr<Bytes>(std::move(message)));
+    } else {
+      queue_.push_back(std::move(message));
+    }
+  }
+
+  Future<StatusOr<Bytes>> Receive() {
+    Promise<StatusOr<Bytes>> promise;
+    if (failed_) {
+      promise.Set(StatusOr<Bytes>(AbortedError("object crashed")));
+    } else if (!queue_.empty()) {
+      promise.Set(StatusOr<Bytes>(std::move(queue_.front())));
+      queue_.pop_front();
+    } else {
+      waiters_.push_back(promise);
+    }
+    return promise.GetFuture();
+  }
+
+  size_t queued() const { return queue_.size(); }
+  size_t waiter_count() const { return waiters_.size(); }
+
+  void FailAll(const Status& status) {
+    failed_ = true;
+    queue_.clear();
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& waiter : waiters) {
+      waiter.Set(StatusOr<Bytes>(status));
+    }
+  }
+
+ private:
+  bool failed_ = false;
+  std::deque<Bytes> queue_;
+  std::deque<Promise<StatusOr<Bytes>>> waiters_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_SYNC_H_

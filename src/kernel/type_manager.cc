@@ -1,0 +1,55 @@
+#include "src/kernel/type_manager.h"
+
+#include <cassert>
+
+namespace eden {
+
+TypeManager::TypeManager(std::string type_name) : name_(std::move(type_name)) {
+  classes_.push_back(InvocationClassSpec{"default", 1, 1024});
+}
+
+size_t TypeManager::AddClass(std::string class_name, int concurrency_limit,
+                             size_t queue_limit) {
+  assert(concurrency_limit >= 1);
+  classes_.push_back(
+      InvocationClassSpec{std::move(class_name), concurrency_limit, queue_limit});
+  return classes_.size() - 1;
+}
+
+TypeManager& TypeManager::AddOperation(OperationSpec spec) {
+  assert(spec.handler && "operation needs a handler");
+  assert(spec.invocation_class < classes_.size() &&
+         "operation assigned to unknown invocation class");
+  assert(operations_.count(spec.name) == 0 && "duplicate operation name");
+  operations_[spec.name] = std::move(spec);
+  return *this;
+}
+
+TypeManager& TypeManager::SetReincarnation(ReincarnationHandler handler) {
+  reincarnation_ = std::move(handler);
+  return *this;
+}
+
+TypeManager& TypeManager::AddBehavior(std::string behavior_name, BehaviorBody body) {
+  behaviors_.emplace_back(std::move(behavior_name), std::move(body));
+  return *this;
+}
+
+const OperationSpec* TypeManager::FindOperation(const std::string& operation) const {
+  auto it = operations_.find(operation);
+  if (it == operations_.end()) {
+    return nullptr;
+  }
+  return &it->second;
+}
+
+std::vector<std::string> TypeManager::OperationNames() const {
+  std::vector<std::string> names;
+  names.reserve(operations_.size());
+  for (const auto& [name, spec] : operations_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace eden

@@ -1,0 +1,226 @@
+#include "src/net/lan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace eden {
+
+void Station::Send(Frame frame) {
+  assert(frame.payload.size() <= lan_->config().max_payload_bytes &&
+         "payload exceeds LAN MTU; use the transport layer to fragment");
+  frame.src = id_;
+  queue_.push_back(std::move(frame));
+  if (!transmitting_or_waiting_) {
+    transmitting_or_waiting_ = true;
+    attempt_ = 0;
+    lan_->Attempt(this);
+  }
+}
+
+void Station::Deliver(const Frame& frame) {
+  if (handler_) {
+    handler_(frame);
+  }
+}
+
+Lan::Lan(Simulation& sim, LanConfig config)
+    : sim_(sim), config_(config), rng_(sim.rng().Fork()) {}
+
+Lan::~Lan() = default;
+
+Station* Lan::AttachStation() {
+  auto id = static_cast<StationId>(stations_.size());
+  stations_.push_back(std::unique_ptr<Station>(new Station(this, id)));
+  partition_group_.push_back(0);
+  detached_.push_back(false);
+  return stations_.back().get();
+}
+
+Station* Lan::station(StationId id) {
+  assert(id < stations_.size());
+  return stations_[id].get();
+}
+
+void Lan::SetPartitionGroup(StationId station, int group) {
+  assert(station < partition_group_.size());
+  partition_group_[station] = group;
+}
+
+void Lan::ClearPartitions() {
+  std::fill(partition_group_.begin(), partition_group_.end(), 0);
+}
+
+void Lan::DetachStation(StationId station) {
+  assert(station < detached_.size());
+  detached_[station] = true;
+}
+
+void Lan::ReattachStation(StationId station) {
+  assert(station < detached_.size());
+  detached_[station] = false;
+}
+
+SimDuration Lan::FrameTime(size_t payload_bytes) const {
+  size_t wire_bytes =
+      std::max(payload_bytes + config_.frame_overhead_bytes, config_.min_frame_bytes);
+  double seconds =
+      static_cast<double>(wire_bytes) * 8.0 / config_.bandwidth_bits_per_sec;
+  return static_cast<SimDuration>(seconds * 1e9);
+}
+
+bool Lan::Reachable(StationId from, StationId to) const {
+  if (from >= stations_.size() || to >= stations_.size()) {
+    return false;
+  }
+  if (detached_[from] || detached_[to]) {
+    return false;
+  }
+  return partition_group_[from] == partition_group_[to];
+}
+
+void Lan::Attempt(Station* station) {
+  assert(!station->queue_.empty());
+  SimTime now = sim_.now();
+
+  if (detached_[station->id_]) {
+    // A failed node's pending output evaporates.
+    stats_.transmit_failures++;
+    station->queue_.pop_front();
+    station->attempt_ = 0;
+    if (station->queue_.empty()) {
+      station->transmitting_or_waiting_ = false;
+    } else {
+      sim_.Schedule(0, [this, station] { Attempt(station); });
+    }
+    return;
+  }
+
+  if (current_.has_value()) {
+    if (now < current_->started + config_.propagation_delay) {
+      // The other transmission has not propagated to us yet: we sense an idle
+      // carrier, transmit, and collide.
+      HandleCollision(stations_[current_->src].get(), station);
+      return;
+    }
+    // Carrier sensed busy: defer until the wire goes idle (1-persistent).
+    SimTime retry_at = std::max(busy_until_, now);
+    sim_.ScheduleAt(retry_at, [this, station] {
+      if (!station->queue_.empty()) {
+        Attempt(station);
+      }
+    });
+    return;
+  }
+
+  if (now < busy_until_) {
+    // Jam period after a collision.
+    sim_.ScheduleAt(busy_until_, [this, station] {
+      if (!station->queue_.empty()) {
+        Attempt(station);
+      }
+    });
+    return;
+  }
+
+  BeginTransmission(station);
+}
+
+void Lan::BeginTransmission(Station* station) {
+  const Frame& frame = station->queue_.front();
+  SimDuration duration = FrameTime(frame.payload.size());
+  busy_until_ = sim_.now() + duration;
+  EventId completion = sim_.Schedule(duration, [this, station] {
+    Frame frame = std::move(station->queue_.front());
+    FinishTransmission(station, std::move(frame));
+  });
+  current_ = Transmission{station->id_, sim_.now(), completion};
+}
+
+void Lan::HandleCollision(Station* first, Station* second) {
+  stats_.collisions++;
+  sim_.Cancel(current_->completion_event);
+  current_.reset();
+  // Jam signal occupies the wire for one slot.
+  busy_until_ = sim_.now() + config_.slot_time;
+  ScheduleRetry(first, /*after_collision=*/true);
+  ScheduleRetry(second, /*after_collision=*/true);
+}
+
+void Lan::ScheduleRetry(Station* station, bool after_collision) {
+  station->attempt_++;
+  if (station->attempt_ >= config_.max_transmit_attempts) {
+    EDEN_LOG(kWarning, "lan") << "station " << station->id_
+                              << " dropped frame after excessive collisions";
+    stats_.transmit_failures++;
+    station->queue_.pop_front();
+    station->attempt_ = 0;
+    if (station->queue_.empty()) {
+      station->transmitting_or_waiting_ = false;
+      return;
+    }
+  }
+  // Binary exponential backoff, capped at 2^10 slots.
+  int exponent = std::min(station->attempt_, 10);
+  uint64_t slots = rng_.NextBelow(1ull << exponent);
+  SimTime retry_at =
+      std::max(busy_until_, sim_.now()) + static_cast<SimDuration>(slots) *
+                                              config_.slot_time;
+  sim_.ScheduleAt(retry_at, [this, station] {
+    if (!station->queue_.empty()) {
+      Attempt(station);
+    }
+  });
+}
+
+void Lan::FinishTransmission(Station* station, Frame frame) {
+  SimDuration duration = FrameTime(frame.payload.size());
+  size_t wire_bytes = std::max(frame.payload.size() + config_.frame_overhead_bytes,
+                               config_.min_frame_bytes);
+  current_.reset();
+  stats_.frames_sent++;
+  stats_.bytes_on_wire += wire_bytes;
+  stats_.busy_time += duration;
+  station->queue_.pop_front();
+  station->attempt_ = 0;
+
+  // Deliver after the propagation delay, independently per receiver.
+  auto deliver_to = [this](StationId src, StationId dst, const Frame& f) {
+    if (!Reachable(src, dst)) {
+      stats_.frames_dropped_partition++;
+      return;
+    }
+    if (config_.loss_probability > 0.0 && rng_.NextBool(config_.loss_probability)) {
+      stats_.frames_lost++;
+      return;
+    }
+    stats_.frames_delivered++;
+    stations_[dst]->Deliver(f);
+  };
+
+  auto shared = std::make_shared<Frame>(std::move(frame));
+  sim_.Schedule(config_.propagation_delay, [this, shared, deliver_to] {
+    if (shared->dst == kBroadcastStation) {
+      for (StationId id = 0; id < stations_.size(); id++) {
+        if (id != shared->src) {
+          deliver_to(shared->src, id, *shared);
+        }
+      }
+    } else {
+      deliver_to(shared->src, shared->dst, *shared);
+    }
+  });
+
+  if (!station->queue_.empty()) {
+    sim_.Schedule(config_.interframe_gap, [this, station] {
+      if (!station->queue_.empty()) {
+        Attempt(station);
+      }
+    });
+  } else {
+    station->transmitting_or_waiting_ = false;
+  }
+}
+
+}  // namespace eden

@@ -1,0 +1,163 @@
+// Simulated Ethernet local area network (paper section 3: "the Ethernet
+// jointly specified by Digital, Intel and Xerox was the logical choice").
+//
+// The model is a single shared medium with:
+//   * transmission time = frame bytes / bandwidth,
+//   * end-to-end propagation delay,
+//   * 1-persistent CSMA/CD: stations sense the carrier, defer while busy, and
+//     two stations that begin transmitting within one propagation window
+//     collide; colliders jam and retry with binary exponential backoff
+//     (slot time 51.2 us, as in the 10 Mb/s specification),
+//   * seeded probabilistic frame loss and explicit partitions for failure
+//     injection.
+//
+// This is the substrate substitution documented in DESIGN.md section 2.2: it
+// exercises the same kernel code paths as real hardware (retransmission,
+// duplicate suppression, broadcast location) with era-appropriate timing.
+#ifndef EDEN_SRC_NET_LAN_H_
+#define EDEN_SRC_NET_LAN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+// Identifies a network interface on the LAN.
+using StationId = uint32_t;
+constexpr StationId kBroadcastStation = 0xffffffffu;
+
+struct LanConfig {
+  // 10 Mb/s Ethernet (the 1980 DIX specification).
+  double bandwidth_bits_per_sec = 10e6;
+  SimDuration propagation_delay = Microseconds(5);
+  SimDuration slot_time = Nanoseconds(51200);
+  // 9.6 us interframe gap: a station that just transmitted yields the wire
+  // before contending again.
+  SimDuration interframe_gap = Nanoseconds(9600);
+  // Preamble + addresses + type + CRC + interframe gap, amortized per frame.
+  size_t frame_overhead_bytes = 38;
+  size_t min_frame_bytes = 64;
+  size_t max_payload_bytes = 1500;
+  // Independent per-frame loss (bit-error stand-in). 0 = perfect wire.
+  double loss_probability = 0.0;
+  int max_transmit_attempts = 16;
+};
+
+struct Frame {
+  StationId src = 0;
+  StationId dst = 0;  // kBroadcastStation for broadcast
+  Bytes payload;
+};
+
+struct LanStats {
+  uint64_t frames_sent = 0;       // successfully placed on the wire
+  uint64_t frames_delivered = 0;  // per-receiver deliveries
+  uint64_t frames_lost = 0;       // dropped by loss injection
+  uint64_t frames_dropped_partition = 0;
+  uint64_t collisions = 0;
+  uint64_t transmit_failures = 0;  // gave up after max attempts
+  uint64_t bytes_on_wire = 0;      // includes per-frame overhead
+  SimDuration busy_time = 0;       // total time the medium carried bits
+};
+
+class Lan;
+
+// One network interface attached to the LAN. Owned by the Lan.
+class Station {
+ public:
+  using ReceiveHandler = std::function<void(const Frame&)>;
+
+  StationId id() const { return id_; }
+  void SetReceiveHandler(ReceiveHandler handler) { handler_ = std::move(handler); }
+
+  // Queues a frame for transmission; frames from one station go out in FIFO
+  // order. The payload must be at most max_payload_bytes.
+  void Send(Frame frame);
+
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  friend class Lan;
+  Station(Lan* lan, StationId id) : lan_(lan), id_(id) {}
+
+  void Deliver(const Frame& frame);
+  void TransmitComplete();
+
+  Lan* lan_;
+  StationId id_;
+  ReceiveHandler handler_;
+  std::deque<Frame> queue_;
+  bool transmitting_or_waiting_ = false;
+  int attempt_ = 0;
+};
+
+class Lan {
+ public:
+  Lan(Simulation& sim, LanConfig config = {});
+  ~Lan();
+
+  Lan(const Lan&) = delete;
+  Lan& operator=(const Lan&) = delete;
+
+  // Creates a new interface. The pointer remains valid for the Lan lifetime.
+  Station* AttachStation();
+
+  Station* station(StationId id);
+  size_t station_count() const { return stations_.size(); }
+
+  // Partition control: stations only hear stations in the same group.
+  // Everyone starts in group 0.
+  void SetPartitionGroup(StationId station, int group);
+  void ClearPartitions();
+  // A detached station hears nothing and reaches nobody (node failure).
+  void DetachStation(StationId station);
+  void ReattachStation(StationId station);
+
+  void set_loss_probability(double p) { config_.loss_probability = p; }
+
+  const LanConfig& config() const { return config_; }
+  const LanStats& stats() const { return stats_; }
+  Simulation& sim() { return sim_; }
+
+  // Time to clock one frame of `payload_bytes` onto the wire.
+  SimDuration FrameTime(size_t payload_bytes) const;
+
+ private:
+  friend class Station;
+
+  struct Transmission {
+    StationId src;
+    SimTime started;
+    EventId completion_event;
+  };
+
+  // Station wants the wire; called when a frame reaches its queue head.
+  void Attempt(Station* station);
+  void BeginTransmission(Station* station);
+  void FinishTransmission(Station* station, Frame frame);
+  void HandleCollision(Station* first, Station* second);
+  void ScheduleRetry(Station* station, bool after_collision);
+  bool Reachable(StationId from, StationId to) const;
+
+  Simulation& sim_;
+  LanConfig config_;
+  LanStats stats_;
+  std::vector<std::unique_ptr<Station>> stations_;
+  std::vector<int> partition_group_;   // index by StationId
+  std::vector<bool> detached_;
+  SimTime busy_until_ = 0;
+  std::optional<Transmission> current_;
+  Rng rng_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_NET_LAN_H_

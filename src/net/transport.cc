@@ -1,0 +1,240 @@
+#include "src/net/transport.h"
+
+#include <cassert>
+
+#include "src/common/log.h"
+
+namespace eden {
+
+namespace {
+// Per-fragment header budget inside one LAN frame.
+constexpr size_t kFragmentHeaderBytes = 24;
+}  // namespace
+
+Transport::Transport(Simulation& sim, Lan& lan, TransportConfig config)
+    : sim_(sim), lan_(lan), station_(lan.AttachStation()), config_(config) {
+  // Randomized so a restarted node never reuses a predecessor's ids (the
+  // peer's duplicate-suppression history would silently eat new messages).
+  next_msg_id_ = sim_.rng().NextU64() | 1;
+  station_->SetReceiveHandler([this](const Frame& frame) { OnFrame(frame); });
+}
+
+std::vector<Bytes> Transport::Fragment(uint64_t msg_id, bool reliable,
+                                       const Bytes& message) {
+  size_t max_chunk = lan_.config().max_payload_bytes - kFragmentHeaderBytes;
+  size_t count = message.empty() ? 1 : (message.size() + max_chunk - 1) / max_chunk;
+  std::vector<Bytes> fragments;
+  fragments.reserve(count);
+  for (size_t i = 0; i < count; i++) {
+    size_t offset = i * max_chunk;
+    size_t len = std::min(max_chunk, message.size() - offset);
+    BufferWriter writer;
+    writer.WriteU8(kData);
+    writer.WriteU64(msg_id);
+    writer.WriteBool(reliable);
+    writer.WriteVarint(i);
+    writer.WriteVarint(count);
+    writer.WriteVarint(len);
+    writer.WriteRaw(message.data() + offset, len);
+    fragments.push_back(writer.Take());
+  }
+  return fragments;
+}
+
+uint64_t Transport::SendReliable(StationId dst, Bytes message) {
+  assert(dst != kBroadcastStation && "reliable broadcast is not supported");
+  uint64_t msg_id = next_msg_id_++;
+  PendingSend pending;
+  pending.dst = dst;
+  pending.fragments = Fragment(msg_id, /*reliable=*/true, message);
+  stats_.messages_sent++;
+  TransmitFragments(pending);
+  pending_[msg_id] = std::move(pending);
+  ArmRetransmit(msg_id);
+  return msg_id;
+}
+
+void Transport::SendBestEffort(StationId dst, Bytes message) {
+  uint64_t msg_id = next_msg_id_++;
+  PendingSend once;
+  once.dst = dst;
+  once.fragments = Fragment(msg_id, /*reliable=*/false, message);
+  stats_.messages_sent++;
+  TransmitFragments(once);
+}
+
+void Transport::TransmitFragments(const PendingSend& pending) {
+  for (const Bytes& payload : pending.fragments) {
+    Frame frame;
+    frame.dst = pending.dst;
+    frame.payload = payload;
+    station_->Send(std::move(frame));
+    stats_.fragments_sent++;
+  }
+}
+
+void Transport::ArmRetransmit(uint64_t msg_id) {
+  auto it = pending_.find(msg_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  // Exponential backoff.
+  SimDuration timeout = config_.retransmit_timeout << it->second.retransmits;
+  it->second.timer = sim_.Schedule(timeout, [this, msg_id] {
+    auto it = pending_.find(msg_id);
+    if (it == pending_.end()) {
+      return;
+    }
+    if (it->second.retransmits >= config_.max_retransmits) {
+      EDEN_LOG(kDebug, "transport")
+          << "station " << station_->id() << " gave up on message " << msg_id;
+      stats_.send_failures++;
+      pending_.erase(it);
+      return;
+    }
+    it->second.retransmits++;
+    stats_.retransmits++;
+    TransmitFragments(it->second);
+    ArmRetransmit(msg_id);
+  });
+}
+
+void Transport::OnFrame(const Frame& frame) {
+  BufferReader reader(frame.payload);
+  auto kind = reader.ReadU8();
+  if (!kind.ok()) {
+    return;
+  }
+  switch (*kind) {
+    case kData:
+      HandleData(frame, reader);
+      break;
+    case kAck:
+      HandleAck(frame.src, reader);
+      break;
+    default:
+      EDEN_LOG(kWarning, "transport") << "unknown frame kind " << int{*kind};
+  }
+}
+
+void Transport::HandleAck(StationId src, BufferReader& reader) {
+  auto msg_id = reader.ReadU64();
+  if (!msg_id.ok()) {
+    return;
+  }
+  auto it = pending_.find(*msg_id);
+  if (it != pending_.end()) {
+    sim_.Cancel(it->second.timer);
+    pending_.erase(it);
+  }
+}
+
+void Transport::HandleData(const Frame& frame, BufferReader& reader) {
+  auto msg_id = reader.ReadU64();
+  auto reliable = msg_id.ok() ? reader.ReadBool() : StatusOr<bool>(msg_id.status());
+  auto index = reliable.ok() ? reader.ReadVarint() : StatusOr<uint64_t>(reliable.status());
+  auto count = index.ok() ? reader.ReadVarint() : index;
+  auto len = count.ok() ? reader.ReadVarint() : count;
+  if (!len.ok() || *count == 0 || *index >= *count || reader.remaining() < *len) {
+    EDEN_LOG(kWarning, "transport") << "malformed data frame dropped";
+    return;
+  }
+
+  auto send_ack = [this, &frame, &msg_id] {
+    BufferWriter writer;
+    writer.WriteU8(kAck);
+    writer.WriteU64(*msg_id);
+    Frame ack;
+    ack.dst = frame.src;
+    ack.payload = writer.Take();
+    station_->Send(std::move(ack));
+    stats_.acks_sent++;
+  };
+
+  if (AlreadyDelivered(frame.src, *msg_id)) {
+    stats_.duplicates_suppressed++;
+    if (*reliable) {
+      // The sender missed our ack; repeat it.
+      send_ack();
+    }
+    return;
+  }
+
+  // Garbage-collect abandoned reassembly buffers (e.g. best-effort broadcasts
+  // that lost a fragment and will never complete).
+  for (auto stale = reassembly_.begin(); stale != reassembly_.end();) {
+    if (sim_.now() - stale->second.last_progress > config_.reassembly_timeout) {
+      stale = reassembly_.erase(stale);
+    } else {
+      ++stale;
+    }
+  }
+
+  auto key = std::make_pair(frame.src, *msg_id);
+  auto [it, inserted] = reassembly_.try_emplace(key);
+  Reassembly& assembly = it->second;
+  if (inserted) {
+    assembly.fragments.resize(*count);
+    assembly.present.resize(*count, false);
+  }
+  if (assembly.fragments.size() != *count) {
+    EDEN_LOG(kWarning, "transport") << "inconsistent fragment count; dropped";
+    return;
+  }
+  if (!assembly.present[*index]) {
+    assembly.present[*index] = true;
+    assembly.received++;
+    const uint8_t* base =
+        frame.payload.data() + frame.payload.size() - reader.remaining();
+    assembly.fragments[*index] = Bytes(base, base + *len);
+  }
+  assembly.last_progress = sim_.now();
+
+  if (assembly.received < *count) {
+    return;
+  }
+
+  Bytes message;
+  for (const Bytes& fragment : assembly.fragments) {
+    message.insert(message.end(), fragment.begin(), fragment.end());
+  }
+  reassembly_.erase(it);
+  RecordDelivered(frame.src, *msg_id);
+  if (*reliable) {
+    send_ack();
+  }
+  stats_.messages_delivered++;
+  if (handler_) {
+    handler_(frame.src, message);
+  }
+}
+
+bool Transport::AlreadyDelivered(StationId src, uint64_t msg_id) const {
+  auto it = history_.find(src);
+  if (it == history_.end()) {
+    return false;
+  }
+  return it->second.delivered.count(msg_id) > 0;
+}
+
+void Transport::RecordDelivered(StationId src, uint64_t msg_id) {
+  PeerHistory& peer = history_[src];
+  peer.delivered.insert(msg_id);
+  peer.order.push_back(msg_id);
+  while (peer.order.size() > config_.dedup_window) {
+    peer.delivered.erase(peer.order.front());
+    peer.order.pop_front();
+  }
+}
+
+void Transport::Reset() {
+  for (auto& [msg_id, pending] : pending_) {
+    sim_.Cancel(pending.timer);
+  }
+  pending_.clear();
+  reassembly_.clear();
+  history_.clear();
+  next_msg_id_ = sim_.rng().NextU64() | 1;
+}
+
+}  // namespace eden

@@ -1,0 +1,121 @@
+// Reliable message transport over the simulated Ethernet.
+//
+// The Eden kernel exchanges messages (invocation requests/replies, checkpoint
+// writes, object transfers) that routinely exceed one Ethernet frame, so the
+// transport fragments messages into MTU-sized frames, reassembles them at the
+// receiver, acknowledges complete messages, retransmits on timeout with
+// exponential backoff, and suppresses duplicates. Broadcast messages (used by
+// the kernel's location protocol) are best-effort: no acknowledgements.
+//
+// The transport gives *at-most-once delivery per message id*; end-to-end
+// semantics (invocation timeouts, duplicate invocation suppression) are the
+// kernel's job, exactly as the paper divides responsibilities in section 4.2.
+#ifndef EDEN_SRC_NET_TRANSPORT_H_
+#define EDEN_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/net/lan.h"
+#include "src/sim/simulation.h"
+
+namespace eden {
+
+struct TransportConfig {
+  SimDuration retransmit_timeout = Milliseconds(20);
+  int max_retransmits = 8;
+  // Delivered message ids remembered per peer for duplicate suppression.
+  size_t dedup_window = 1024;
+  // Reassembly buffers are garbage-collected after this long without progress.
+  SimDuration reassembly_timeout = Seconds(5);
+};
+
+struct TransportStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t retransmits = 0;
+  uint64_t send_failures = 0;  // gave up after max_retransmits
+  uint64_t acks_sent = 0;
+  uint64_t fragments_sent = 0;
+};
+
+class Transport {
+ public:
+  using Handler = std::function<void(StationId src, const Bytes& message)>;
+
+  // Attaches a fresh station to `lan`.
+  Transport(Simulation& sim, Lan& lan, TransportConfig config = {});
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  StationId station_id() const { return station_->id(); }
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+
+  // Sends with retransmission until acknowledged (or max_retransmits).
+  // Returns the message id (for tests/diagnostics).
+  uint64_t SendReliable(StationId dst, Bytes message);
+
+  // Fire-and-forget; `dst` may be kBroadcastStation.
+  void SendBestEffort(StationId dst, Bytes message);
+
+  // Simulates the volatile state loss of a node failure: pending
+  // retransmissions and reassembly buffers are discarded. Dedup history is
+  // also dropped (a restarted node has no memory).
+  void Reset();
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  enum FrameKind : uint8_t { kData = 1, kAck = 2 };
+
+  struct PendingSend {
+    StationId dst;
+    std::vector<Bytes> fragments;  // pre-encoded frame payloads
+    int retransmits = 0;
+    EventId timer = kInvalidEventId;
+  };
+
+  struct Reassembly {
+    std::vector<Bytes> fragments;
+    std::vector<bool> present;
+    size_t received = 0;
+    SimTime last_progress = 0;
+  };
+
+  struct PeerHistory {
+    std::set<uint64_t> delivered;
+    std::deque<uint64_t> order;
+  };
+
+  void OnFrame(const Frame& frame);
+  void HandleData(const Frame& frame, BufferReader& reader);
+  void HandleAck(StationId src, BufferReader& reader);
+  void TransmitFragments(const PendingSend& pending);
+  void ArmRetransmit(uint64_t msg_id);
+  void RecordDelivered(StationId src, uint64_t msg_id);
+  bool AlreadyDelivered(StationId src, uint64_t msg_id) const;
+  std::vector<Bytes> Fragment(uint64_t msg_id, bool reliable, const Bytes& message);
+
+  Simulation& sim_;
+  Lan& lan_;
+  Station* station_;
+  TransportConfig config_;
+  TransportStats stats_;
+  Handler handler_;
+  uint64_t next_msg_id_ = 1;
+  std::map<uint64_t, PendingSend> pending_;
+  std::map<std::pair<StationId, uint64_t>, Reassembly> reassembly_;
+  std::map<StationId, PeerHistory> history_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_NET_TRANSPORT_H_

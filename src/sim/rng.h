@@ -1,0 +1,56 @@
+// Deterministic random number generation (SplitMix64). Every stochastic
+// decision in the simulation (collision backoff, loss injection, workload
+// arrival times) draws from an Rng seeded from the Simulation, so a given
+// seed reproduces an identical run.
+#ifndef EDEN_SRC_SIM_RNG_H_
+#define EDEN_SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace eden {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+  // Exponentially distributed with the given mean (Poisson inter-arrivals).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+  // Derives an independent stream (for per-component RNGs).
+  Rng Fork() { return Rng(NextU64() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_SIM_RNG_H_

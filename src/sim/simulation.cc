@@ -1,0 +1,104 @@
+#include "src/sim/simulation.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace eden {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[32];
+  if (d < Microseconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  } else if (d < Milliseconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ToMicroseconds(d));
+  } else if (d < Seconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ToMilliseconds(d));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(d));
+  }
+  return buf;
+}
+
+Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+
+EventId Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_[id] = true;
+  return id;
+}
+
+void Simulation::Cancel(EventId id) {
+  auto it = live_.find(id);
+  if (it != live_.end()) {
+    it->second = false;
+  }
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    auto it = live_.find(event.id);
+    bool alive = (it != live_.end()) && it->second;
+    if (it != live_.end()) {
+      live_.erase(it);
+    }
+    if (!alive) {
+      continue;
+    }
+    assert(event.when >= now_);
+    now_ = event.when;
+    events_executed_++;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; i++) {
+    if (!Step()) {
+      return;
+    }
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    auto it = live_.find(top.id);
+    bool alive = (it != live_.end()) && it->second;
+    if (!alive) {
+      queue_.pop();
+      if (it != live_.end()) {
+        live_.erase(it);
+      }
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool Simulation::RunWhile(const std::function<bool()>& pending) {
+  while (pending()) {
+    if (!Step()) {
+      return !pending();
+    }
+  }
+  return true;
+}
+
+}  // namespace eden

@@ -1,0 +1,95 @@
+// The discrete-event simulation driver. One Simulation instance is "the
+// world": it owns virtual time and the event queue; node kernels, the LAN and
+// stable stores all schedule work through it. Single-threaded and
+// deterministic by construction.
+#ifndef EDEN_SRC_SIM_SIMULATION_H_
+#define EDEN_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+// Identifies a scheduled event so it can be cancelled (e.g. invocation
+// timeouts whose reply arrived in time).
+using EventId = uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulation {
+ public:
+  explicit Simulation(uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `fn` to run at now() + delay (delay >= 0). Returns an id that
+  // can be passed to Cancel.
+  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is a
+  // no-op (the common race: a timeout firing at the same instant the reply
+  // lands).
+  void Cancel(EventId id);
+
+  // Runs a single event. Returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until the queue drains or `max_events` fire.
+  void Run(uint64_t max_events = UINT64_MAX);
+
+  // Runs events with timestamp <= deadline; clock ends at exactly `deadline`
+  // if the queue drains or the next event is later.
+  void RunUntil(SimTime deadline);
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  // Runs until `done` returns true or the queue drains. Returns done().
+  bool RunWhile(const std::function<bool()>& pending);
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+  // Trace digest: components Mix() interesting state transitions into this;
+  // property tests assert equal digests for equal seeds.
+  Digest& trace() { return trace_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // FIFO tiebreak for same-timestamp events
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Tombstones for cancelled events still sitting in the priority queue.
+  std::map<EventId, bool> live_;
+  Rng rng_;
+  Digest trace_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,34 @@
+// Virtual time for the discrete-event simulation. All kernel latencies,
+// network delays and disk service times are expressed in SimDuration; the
+// benchmarks report virtual microseconds, which is what makes results
+// deterministic and machine-independent.
+#ifndef EDEN_SRC_SIM_TIME_H_
+#define EDEN_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace eden {
+
+// Nanoseconds since simulation start.
+using SimTime = int64_t;
+// Nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration Nanoseconds(int64_t n) { return n; }
+constexpr SimDuration Microseconds(int64_t n) { return n * 1000; }
+constexpr SimDuration Milliseconds(int64_t n) { return n * 1000 * 1000; }
+constexpr SimDuration Seconds(int64_t n) { return n * 1000 * 1000 * 1000; }
+
+constexpr double ToMicroseconds(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMilliseconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e9; }
+
+constexpr SimTime kSimTimeNever = INT64_MAX;
+
+// "12.345ms" style rendering for logs.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_SIM_TIME_H_

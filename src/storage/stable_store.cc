@@ -1,0 +1,82 @@
+#include "src/storage/stable_store.h"
+
+#include <algorithm>
+
+namespace eden {
+
+StableStore::StableStore(Simulation& sim, DiskConfig config)
+    : sim_(sim), config_(config) {}
+
+SimDuration StableStore::ServiceDelay(uint64_t bytes) {
+  double transfer_sec =
+      static_cast<double>(bytes) / config_.transfer_bytes_per_sec;
+  SimDuration service = config_.average_seek + config_.rotational_latency +
+                        static_cast<SimDuration>(transfer_sec * 1e9);
+  SimTime start = std::max(arm_free_at_, sim_.now());
+  arm_free_at_ = start + service;
+  stats_.busy_time += service;
+  return arm_free_at_ - sim_.now();
+}
+
+Future<Status> StableStore::Put(const std::string& key, Bytes value) {
+  uint64_t new_bytes = value.size();
+  auto existing = records_.find(key);
+  uint64_t replaced = existing == records_.end() ? 0 : existing->second.size();
+  if (bytes_used_ - replaced + new_bytes > config_.capacity_bytes) {
+    Promise<Status> promise;
+    promise.Set(ResourceExhaustedError("disk full"));
+    return promise.GetFuture();
+  }
+  // The record becomes visible in the index immediately (the kernel issues
+  // dependent operations only after the completion future), but durability is
+  // only signalled after the simulated transfer.
+  bytes_used_ = bytes_used_ - replaced + new_bytes;
+  records_[key] = std::move(value);
+  stats_.writes++;
+  stats_.written_bytes += new_bytes;
+  SimDuration delay = ServiceDelay(new_bytes);
+  Promise<Status> promise;
+  sim_.Schedule(delay, [promise]() mutable { promise.Set(OkStatus()); });
+  return promise.GetFuture();
+}
+
+Future<StatusOr<Bytes>> StableStore::Get(const std::string& key) {
+  Promise<StatusOr<Bytes>> promise;
+  auto it = records_.find(key);
+  if (it == records_.end()) {
+    promise.Set(NotFoundError("no such record: " + key));
+    return promise.GetFuture();
+  }
+  stats_.reads++;
+  stats_.read_bytes += it->second.size();
+  SimDuration delay = ServiceDelay(it->second.size());
+  Bytes value = it->second;
+  sim_.Schedule(delay, [promise, value = std::move(value)]() mutable {
+    promise.Set(StatusOr<Bytes>(std::move(value)));
+  });
+  return promise.GetFuture();
+}
+
+Future<Status> StableStore::Delete(const std::string& key) {
+  auto it = records_.find(key);
+  if (it != records_.end()) {
+    bytes_used_ -= it->second.size();
+    records_.erase(it);
+    stats_.deletes++;
+  }
+  SimDuration delay = ServiceDelay(0);
+  Promise<Status> promise;
+  sim_.Schedule(delay, [promise]() mutable { promise.Set(OkStatus()); });
+  return promise.GetFuture();
+}
+
+std::vector<std::string> StableStore::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(records_.size());
+  for (const auto& [key, value] : records_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace eden

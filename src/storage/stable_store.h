@@ -1,0 +1,81 @@
+// Simulated stable storage: one Winchester-class disk per node machine
+// (paper section 3: a 300 MB disk on the file-server node; smaller disks
+// elsewhere). StableStore is the "reliable storage medium" of section 4.4:
+// its contents survive node failures; only the service *time* is simulated.
+//
+// Operations are asynchronous futures with a single-arm queueing model:
+// latency = queueing + seek + rotational + size / transfer rate.
+#ifndef EDEN_SRC_STORAGE_STABLE_STORE_H_
+#define EDEN_SRC_STORAGE_STABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace eden {
+
+struct DiskConfig {
+  // 1981-era Winchester drive.
+  SimDuration average_seek = Milliseconds(30);
+  SimDuration rotational_latency = Milliseconds(8);
+  double transfer_bytes_per_sec = 1.0e6;
+  uint64_t capacity_bytes = 300ull << 20;
+};
+
+struct StoreStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t deletes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+  SimDuration busy_time = 0;
+};
+
+class StableStore {
+ public:
+  StableStore(Simulation& sim, DiskConfig config = {});
+
+  StableStore(const StableStore&) = delete;
+  StableStore& operator=(const StableStore&) = delete;
+
+  // Writes (or overwrites) a record. Completes when the data is durable.
+  Future<Status> Put(const std::string& key, Bytes value);
+
+  // Reads a record; NotFound if absent.
+  Future<StatusOr<Bytes>> Get(const std::string& key);
+
+  // Removes a record; OK even if absent.
+  Future<Status> Delete(const std::string& key);
+
+  // Synchronous in-core directory checks (the kernel keeps the record index
+  // in memory, as any real filesystem would).
+  bool Contains(const std::string& key) const { return records_.count(key) > 0; }
+  size_t record_count() const { return records_.size(); }
+  uint64_t bytes_used() const { return bytes_used_; }
+  std::vector<std::string> Keys() const;
+
+  const StoreStats& stats() const { return stats_; }
+  const DiskConfig& config() const { return config_; }
+
+ private:
+  // Serializes requests through the single disk arm and returns the
+  // completion time of a transfer of `bytes`.
+  SimDuration ServiceDelay(uint64_t bytes);
+
+  Simulation& sim_;
+  DiskConfig config_;
+  StoreStats stats_;
+  std::map<std::string, Bytes> records_;
+  uint64_t bytes_used_ = 0;
+  SimTime arm_free_at_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_STORAGE_STABLE_STORE_H_

@@ -1,0 +1,103 @@
+#include "src/trace/trace.h"
+
+#include <cstdio>
+#include <map>
+
+namespace eden {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kInvokeStart:
+      return "INVOKE_START";
+    case TraceEventKind::kInvokeComplete:
+      return "INVOKE_COMPLETE";
+    case TraceEventKind::kDispatch:
+      return "DISPATCH";
+    case TraceEventKind::kLocateBroadcast:
+      return "LOCATE_BROADCAST";
+    case TraceEventKind::kRedirectFollowed:
+      return "REDIRECT_FOLLOWED";
+    case TraceEventKind::kActivation:
+      return "ACTIVATION";
+    case TraceEventKind::kCheckpoint:
+      return "CHECKPOINT";
+    case TraceEventKind::kMoveOut:
+      return "MOVE_OUT";
+    case TraceEventKind::kMoveIn:
+      return "MOVE_IN";
+    case TraceEventKind::kObjectCrash:
+      return "OBJECT_CRASH";
+    case TraceEventKind::kNodeFailure:
+      return "NODE_FAILURE";
+    case TraceEventKind::kNodeRestart:
+      return "NODE_RESTART";
+  }
+  return "UNKNOWN";
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  counts_[event.kind]++;
+  total_recorded_++;
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+void TraceBuffer::Clear() {
+  events_.clear();
+  counts_.clear();
+  total_recorded_ = 0;
+}
+
+std::string TraceBuffer::Dump(size_t last_n) const {
+  std::string out;
+  size_t start = events_.size() > last_n ? events_.size() - last_n : 0;
+  for (size_t i = start; i < events_.size(); i++) {
+    const TraceEvent& event = events_[i];
+    char line[256];
+    std::snprintf(line, sizeof(line), "[%12.3fms] node%-2u %-18s %-12s %s\n",
+                  ToMilliseconds(event.when), event.node,
+                  std::string(TraceEventKindName(event.kind)).c_str(),
+                  event.object.IsNull() ? "-" : event.object.ToString().c_str(),
+                  event.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string TraceBuffer::Summary() const {
+  std::string out;
+  for (const auto& [kind, count] : counts_) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "%-18s x%llu\n",
+                  std::string(TraceEventKindName(kind)).c_str(),
+                  static_cast<unsigned long long>(count));
+    out += line;
+  }
+  return out;
+}
+
+SimDuration TraceBuffer::MeanInvocationLatency() const {
+  std::map<uint64_t, SimTime> starts;
+  SimDuration total = 0;
+  uint64_t pairs = 0;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == TraceEventKind::kInvokeStart) {
+      starts[event.id] = event.when;
+    } else if (event.kind == TraceEventKind::kInvokeComplete) {
+      auto it = starts.find(event.id);
+      if (it != starts.end()) {
+        total += event.when - it->second;
+        pairs++;
+        starts.erase(it);
+      }
+    }
+  }
+  if (pairs == 0) {
+    return 0;
+  }
+  return total / static_cast<SimDuration>(pairs);
+}
+
+}  // namespace eden

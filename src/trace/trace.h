@@ -1,0 +1,88 @@
+// Kernel event tracing. The paper's project plan ends with "additional
+// functions can be moved into the kernel if measurements indicate that
+// significant performance gains will result" (section 4.5) — which
+// presupposes the ability to measure. TraceBuffer is that instrument: a
+// bounded ring of structured events (invocation lifecycle, location protocol,
+// activations, checkpoints, moves) that costs nothing when disabled and can
+// be dumped or summarized after a run.
+//
+// Usage:
+//   TraceBuffer trace(4096);
+//   kernel.set_trace(&trace);          // any subset of kernels
+//   ... run workload ...
+//   trace.Summary()                    // counts + latency per event kind
+//   trace.Dump(16)                     // last 16 events, human-readable
+#ifndef EDEN_SRC_TRACE_TRACE_H_
+#define EDEN_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "src/kernel/name.h"
+#include "src/net/lan.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+enum class TraceEventKind : uint8_t {
+  kInvokeStart = 0,       // client kernel accepted an Invoke
+  kInvokeComplete = 1,    // reply (or timeout/unavailable) delivered
+  kDispatch = 2,          // coordinator started an operation
+  kLocateBroadcast = 3,
+  kRedirectFollowed = 4,
+  kActivation = 5,        // reincarnation began
+  kCheckpoint = 6,
+  kMoveOut = 7,
+  kMoveIn = 8,
+  kObjectCrash = 9,
+  kNodeFailure = 10,
+  kNodeRestart = 11,
+};
+
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  SimTime when = 0;
+  TraceEventKind kind = TraceEventKind::kInvokeStart;
+  StationId node = 0;
+  ObjectName object;       // null when not applicable
+  uint64_t id = 0;         // invocation/transfer id when applicable
+  std::string detail;      // operation name, status, ...
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void Record(TraceEvent event);
+
+  size_t size() const { return events_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void Clear();
+
+  // Events per kind since the last Clear (counts survive ring eviction).
+  const std::map<TraceEventKind, uint64_t>& counts() const { return counts_; }
+
+  // Human-readable tail of the buffer.
+  std::string Dump(size_t last_n = 32) const;
+
+  // One line per event kind: "INVOKE_COMPLETE x120".
+  std::string Summary() const;
+
+  // Matches kInvokeStart/kInvokeComplete pairs by id and returns the mean
+  // virtual latency (0 if no pairs are present in the buffer window).
+  SimDuration MeanInvocationLatency() const;
+
+ private:
+  size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::map<TraceEventKind, uint64_t> counts_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_TRACE_TRACE_H_

@@ -1,0 +1,125 @@
+#include "src/types/abstract_type.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace eden {
+
+AbstractType& AbstractType::AddClass(std::string class_name, int concurrency_limit,
+                                     size_t queue_limit) {
+  classes_.push_back(ClassDef{std::move(class_name), concurrency_limit, queue_limit});
+  return *this;
+}
+
+AbstractType& AbstractType::AddOperation(AbstractOperation op) {
+  assert(op.handler && "operation needs a handler");
+  operations_.push_back(std::move(op));
+  return *this;
+}
+
+AbstractType& AbstractType::SetReincarnation(ReincarnationHandler handler) {
+  reincarnation_ = std::move(handler);
+  return *this;
+}
+
+AbstractType& AbstractType::AddBehavior(std::string behavior_name, BehaviorBody body) {
+  behaviors_.emplace_back(std::move(behavior_name), std::move(body));
+  return *this;
+}
+
+bool AbstractType::IsSubtypeOf(const AbstractType& ancestor) const {
+  const AbstractType* current = this;
+  while (current != nullptr) {
+    if (current == &ancestor || current->name_ == ancestor.name_) {
+      return true;
+    }
+    current = current->supertype_.get();
+  }
+  return false;
+}
+
+size_t AbstractType::Depth() const {
+  size_t depth = 0;
+  const AbstractType* current = supertype_.get();
+  while (current != nullptr) {
+    depth++;
+    current = current->supertype_.get();
+  }
+  return depth;
+}
+
+std::shared_ptr<TypeManager> AbstractType::BuildTypeManager() const {
+  // Collect the chain root-first, so derived definitions override.
+  std::vector<const AbstractType*> chain;
+  for (const AbstractType* current = this; current != nullptr;
+       current = current->supertype_.get()) {
+    chain.push_back(current);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Merge class definitions by name (derived wins).
+  std::vector<ClassDef> merged_classes;
+  merged_classes.push_back(ClassDef{"default", 1, 1024});
+  auto upsert_class = [&merged_classes](const ClassDef& def) {
+    for (ClassDef& existing : merged_classes) {
+      if (existing.name == def.name) {
+        existing = def;
+        return;
+      }
+    }
+    merged_classes.push_back(def);
+  };
+
+  // Merge operations by name (derived wins), behaviors accumulate, and the
+  // most-derived reincarnation handler applies.
+  std::map<std::string, AbstractOperation> merged_ops;
+  std::vector<std::pair<std::string, BehaviorBody>> merged_behaviors;
+  ReincarnationHandler reincarnation;
+  for (const AbstractType* level : chain) {
+    for (const ClassDef& def : level->classes_) {
+      upsert_class(def);
+    }
+    for (const AbstractOperation& op : level->operations_) {
+      merged_ops[op.name] = op;
+    }
+    for (const auto& behavior : level->behaviors_) {
+      merged_behaviors.push_back(behavior);
+    }
+    if (level->reincarnation_) {
+      reincarnation = level->reincarnation_;
+    }
+  }
+
+  auto type = std::make_shared<TypeManager>(name_);
+  std::map<std::string, size_t> class_index;
+  class_index["default"] = 0;
+  for (const ClassDef& def : merged_classes) {
+    if (def.name == "default") {
+      continue;
+    }
+    class_index[def.name] =
+        type->AddClass(def.name, def.concurrency_limit, def.queue_limit);
+  }
+  for (auto& [op_name, op] : merged_ops) {
+    auto found = class_index.find(op.invocation_class);
+    assert(found != class_index.end() && "operation references unknown class");
+    type->AddOperation(OperationSpec{
+        .name = op.name,
+        .handler = op.handler,
+        .required_rights = op.required_rights,
+        .invocation_class = found->second,
+        .read_only = op.read_only,
+        .mutates = op.mutates,
+    });
+  }
+  if (reincarnation) {
+    type->SetReincarnation(std::move(reincarnation));
+  }
+  for (auto& [behavior_name, body] : merged_behaviors) {
+    type->AddBehavior(behavior_name, body);
+  }
+  return type;
+}
+
+}  // namespace eden

@@ -1,0 +1,77 @@
+// Abstract type hierarchy (paper section 5): "One type may be declared as a
+// subtype of another, so that the subtype inherits the operations of its
+// supertype... a convenient mechanism for factoring information and for
+// defining defaults."
+//
+// An AbstractType is a *description*; BuildTypeManager() flattens the
+// inheritance chain into the concrete TypeManager the kernel executes.
+// Subtypes may add invocation classes and operations, and may override
+// inherited operations (including their rights, class and handler).
+#ifndef EDEN_SRC_TYPES_ABSTRACT_TYPE_H_
+#define EDEN_SRC_TYPES_ABSTRACT_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/type_manager.h"
+
+namespace eden {
+
+// Like OperationSpec but naming its invocation class symbolically, so that a
+// subtype can re-home inherited operations by redefining the class.
+struct AbstractOperation {
+  std::string name;
+  OperationHandler handler;
+  Rights required_rights = Rights(Rights::kInvoke);
+  std::string invocation_class = "default";
+  bool read_only = false;
+  bool mutates = true;  // see OperationSpec::mutates
+};
+
+class AbstractType : public std::enable_shared_from_this<AbstractType> {
+ public:
+  explicit AbstractType(std::string name,
+                        std::shared_ptr<const AbstractType> supertype = nullptr)
+      : name_(std::move(name)), supertype_(std::move(supertype)) {}
+
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<const AbstractType>& supertype() const { return supertype_; }
+
+  // --- Definition (builder style) ------------------------------------------
+  AbstractType& AddClass(std::string class_name, int concurrency_limit,
+                         size_t queue_limit = 1024);
+  AbstractType& AddOperation(AbstractOperation op);
+  AbstractType& SetReincarnation(ReincarnationHandler handler);
+  AbstractType& AddBehavior(std::string behavior_name, BehaviorBody body);
+
+  // --- Queries ----------------------------------------------------------------
+  // True if this type equals `ancestor` or inherits from it (walks the chain).
+  bool IsSubtypeOf(const AbstractType& ancestor) const;
+
+  // The inheritance distance to the root (root = 0).
+  size_t Depth() const;
+
+  // Flattens supertype chain into a concrete TypeManager: most-derived
+  // definitions win for same-named operations and classes; the most-derived
+  // non-null reincarnation handler is used; behaviors accumulate root-first.
+  std::shared_ptr<TypeManager> BuildTypeManager() const;
+
+ private:
+  struct ClassDef {
+    std::string name;
+    int concurrency_limit;
+    size_t queue_limit;
+  };
+
+  std::string name_;
+  std::shared_ptr<const AbstractType> supertype_;
+  std::vector<ClassDef> classes_;
+  std::vector<AbstractOperation> operations_;
+  ReincarnationHandler reincarnation_;
+  std::vector<std::pair<std::string, BehaviorBody>> behaviors_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_TYPES_ABSTRACT_TYPE_H_

@@ -1,0 +1,572 @@
+#include "src/types/standard_types.h"
+
+namespace eden {
+
+uint64_t RepReadU64(const Representation& rep, size_t index) {
+  if (index >= rep.data_segment_count()) {
+    return 0;
+  }
+  BufferReader reader(rep.data(index));
+  auto value = reader.ReadU64();
+  return value.ok() ? *value : 0;
+}
+
+void RepWriteU64(Representation& rep, size_t index, uint64_t value) {
+  BufferWriter writer;
+  writer.WriteU64(value);
+  rep.set_data(index, writer.Take());
+}
+
+Bytes EncodeBytesList(const std::vector<Bytes>& items) {
+  BufferWriter writer;
+  writer.WriteVarint(items.size());
+  for (const Bytes& item : items) {
+    writer.WriteBytes(item);
+  }
+  return writer.Take();
+}
+
+StatusOr<std::vector<Bytes>> DecodeBytesList(const Bytes& encoded) {
+  std::vector<Bytes> items;
+  if (encoded.empty()) {
+    return items;
+  }
+  BufferReader reader(encoded);
+  EDEN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  if (count > 1u << 20) {
+    return InvalidArgumentError("implausible list length");
+  }
+  items.reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    EDEN_ASSIGN_OR_RETURN(Bytes item, reader.ReadBytes());
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+Bytes EncodeStringList(const std::vector<std::string>& items) {
+  BufferWriter writer;
+  writer.WriteVarint(items.size());
+  for (const std::string& item : items) {
+    writer.WriteString(item);
+  }
+  return writer.Take();
+}
+
+StatusOr<std::vector<std::string>> DecodeStringList(const Bytes& encoded) {
+  std::vector<std::string> items;
+  if (encoded.empty()) {
+    return items;
+  }
+  BufferReader reader(encoded);
+  EDEN_ASSIGN_OR_RETURN(uint64_t count, reader.ReadVarint());
+  if (count > 1u << 20) {
+    return InvalidArgumentError("implausible list length");
+  }
+  items.reserve(count);
+  for (uint64_t i = 0; i < count; i++) {
+    EDEN_ASSIGN_OR_RETURN(std::string item, reader.ReadString());
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// std.object: generic kernel operations, inherited by every standard type.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<AbstractType> StdObjectType() {
+  auto type = std::make_shared<AbstractType>("std.object");
+  type->AddClass("kernel_ops", 2);
+
+  type->AddOperation(AbstractOperation{
+      .name = "checkpoint",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kCheckpoint),
+      .invocation_class = "kernel_ops",
+      .mutates = false,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "crash",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        ctx.Crash();
+        co_return InvokeResult::Ok();
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kOwner),
+      .invocation_class = "kernel_ops",
+      .mutates = false,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "destroy",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        ctx.Destroy();
+        co_return InvokeResult::Ok();
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kDestroy),
+      .invocation_class = "kernel_ops",
+      .mutates = false,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "move_to",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto station = ctx.args().U64At(0);
+        if (!station.ok()) {
+          co_return InvokeResult::Error(station.status());
+        }
+        Status status =
+            co_await ctx.RequestMove(static_cast<StationId>(*station));
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kMove),
+      .invocation_class = "kernel_ops",
+      .mutates = false,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "freeze",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult{ctx.Freeze(), {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kOwner),
+      .invocation_class = "kernel_ops",
+      .mutates = false,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "where",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(ctx.node()));
+      },
+      .invocation_class = "kernel_ops",
+      .read_only = true,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "describe",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(
+            InvokeArgs{}
+                .AddString(ctx.object()->type->name())
+                .AddU64(ctx.rep().ByteSize()));
+      },
+      .invocation_class = "kernel_ops",
+      .read_only = true,
+  });
+  return type;
+}
+
+// ---------------------------------------------------------------------------
+// std.counter
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<AbstractType> StdCounterType() {
+  auto type = std::make_shared<AbstractType>("std.counter", StdObjectType());
+  type->AddClass("writers", 1);
+  type->AddClass("readers", 4);
+  type->AddOperation(AbstractOperation{
+      .name = "increment",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        uint64_t delta = ctx.args().U64At(0).value_or(1);
+        uint64_t value = RepReadU64(ctx.rep(), 0) + delta;
+        RepWriteU64(ctx.rep(), 0, value);
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(value));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "writers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "read",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(RepReadU64(ctx.rep(), 0)));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "reset",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        RepWriteU64(ctx.rep(), 0, 0);
+        co_return InvokeResult::Ok();
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "writers",
+  });
+  return type;
+}
+
+// ---------------------------------------------------------------------------
+// std.data: an uninterpreted byte container.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<AbstractType> StdDataType() {
+  auto type = std::make_shared<AbstractType>("std.data", StdObjectType());
+  type->AddClass("writers", 1);
+  type->AddClass("readers", 8);
+  type->AddOperation(AbstractOperation{
+      .name = "get",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        Bytes content =
+            ctx.rep().data_segment_count() > 0 ? ctx.rep().data(0) : Bytes{};
+        co_return InvokeResult::Ok(InvokeArgs{}.AddBytes(std::move(content)));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "put",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto content = ctx.args().BytesAt(0);
+        if (!content.ok()) {
+          co_return InvokeResult::Error(content.status());
+        }
+        ctx.rep().set_data(0, std::move(*content));
+        co_return InvokeResult::Ok();
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "writers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "append",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto content = ctx.args().BytesAt(0);
+        if (!content.ok()) {
+          co_return InvokeResult::Error(content.status());
+        }
+        Bytes& segment = ctx.rep().mutable_data(0);
+        segment.insert(segment.end(), content->begin(), content->end());
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(segment.size()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "writers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "size",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        uint64_t size =
+            ctx.rep().data_segment_count() > 0 ? ctx.rep().data(0).size() : 0;
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(size));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+  return type;
+}
+
+// ---------------------------------------------------------------------------
+// std.queue: FIFO with blocking dequeue.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<Bytes> QueueItems(const Representation& rep) {
+  if (rep.data_segment_count() == 0) {
+    return {};
+  }
+  auto items = DecodeBytesList(rep.data(0));
+  return items.ok() ? std::move(*items) : std::vector<Bytes>{};
+}
+
+void SetQueueItems(Representation& rep, const std::vector<Bytes>& items) {
+  rep.set_data(0, EncodeBytesList(items));
+}
+
+}  // namespace
+
+std::shared_ptr<AbstractType> StdQueueType() {
+  auto type = std::make_shared<AbstractType>("std.queue", StdObjectType());
+  type->AddClass("producers", 1);
+  type->AddClass("consumers", 8);
+  type->AddClass("observers", 4);
+
+  // The "items" semaphore counts queued entries; it is short-term state and
+  // must be rebuilt from the representation on reincarnation — a textbook
+  // reincarnation condition handler.
+  type->SetReincarnation([](InvokeContext& ctx) -> Task<Status> {
+    size_t count = QueueItems(ctx.rep()).size();
+    Semaphore& items = ctx.semaphore("items", 0);
+    for (size_t i = 0; i < count; i++) {
+      items.V();
+    }
+    co_return OkStatus();
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "enqueue",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto item = ctx.args().BytesAt(0);
+        if (!item.ok()) {
+          co_return InvokeResult::Error(item.status());
+        }
+        std::vector<Bytes> items = QueueItems(ctx.rep());
+        items.push_back(std::move(*item));
+        SetQueueItems(ctx.rep(), items);
+        ctx.semaphore("items", 0).V();
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(items.size()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "producers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "dequeue",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        Status acquired = co_await ctx.semaphore("items", 0).P();
+        if (!acquired.ok()) {
+          co_return InvokeResult::Error(acquired);
+        }
+        std::vector<Bytes> items = QueueItems(ctx.rep());
+        if (items.empty()) {
+          co_return InvokeResult::Error(
+              InternalError("semaphore/queue desynchronized"));
+        }
+        Bytes front = std::move(items.front());
+        items.erase(items.begin());
+        SetQueueItems(ctx.rep(), items);
+        co_return InvokeResult::Ok(InvokeArgs{}.AddBytes(std::move(front)));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "consumers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "length",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(
+            InvokeArgs{}.AddU64(QueueItems(ctx.rep()).size()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "observers",
+      .read_only = true,
+  });
+  return type;
+}
+
+// ---------------------------------------------------------------------------
+// std.directory: name -> capability bindings, write-through checkpointing.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// The directory's representation: segment 0 holds names; the capability
+// segment holds the parallel capabilities.
+std::vector<std::string> DirNames(const Representation& rep) {
+  if (rep.data_segment_count() == 0) {
+    return {};
+  }
+  auto names = DecodeStringList(rep.data(0));
+  return names.ok() ? std::move(*names) : std::vector<std::string>{};
+}
+
+}  // namespace
+
+std::shared_ptr<AbstractType> StdDirectoryType() {
+  auto type = std::make_shared<AbstractType>("std.directory", StdObjectType());
+  type->AddClass("mutators", 1);
+  type->AddClass("readers", 8);
+
+  type->AddOperation(AbstractOperation{
+      .name = "bind",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto name = ctx.args().StringAt(0);
+        auto cap = ctx.args().CapabilityAt(0);
+        if (!name.ok() || !cap.ok()) {
+          co_return InvokeResult::Error(InvalidArgumentError(
+              "bind needs a name and a capability"));
+        }
+        std::vector<std::string> names = DirNames(ctx.rep());
+        std::vector<Capability> caps = ctx.rep().capabilities();
+        bool replaced = false;
+        for (size_t i = 0; i < names.size(); i++) {
+          if (names[i] == *name) {
+            caps[i] = *cap;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) {
+          names.push_back(*name);
+          caps.push_back(*cap);
+        }
+        ctx.rep().set_data(0, EncodeStringList(names));
+        ctx.rep().ClearCapabilities();
+        for (const Capability& c : caps) {
+          ctx.rep().AddCapability(c);
+        }
+        // Directories are write-through: a binding survives any crash.
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "mutators",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "lookup",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto name = ctx.args().StringAt(0);
+        if (!name.ok()) {
+          co_return InvokeResult::Error(name.status());
+        }
+        std::vector<std::string> names = DirNames(ctx.rep());
+        for (size_t i = 0; i < names.size(); i++) {
+          if (names[i] == *name && i < ctx.rep().capability_count()) {
+            co_return InvokeResult::Ok(
+                InvokeArgs{}.AddCapability(ctx.rep().capability(i)));
+          }
+        }
+        co_return InvokeResult::Error(
+            NotFoundError("no binding for \"" + *name + "\""));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "unbind",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto name = ctx.args().StringAt(0);
+        if (!name.ok()) {
+          co_return InvokeResult::Error(name.status());
+        }
+        std::vector<std::string> names = DirNames(ctx.rep());
+        std::vector<Capability> caps = ctx.rep().capabilities();
+        bool found = false;
+        for (size_t i = 0; i < names.size(); i++) {
+          if (names[i] == *name) {
+            names.erase(names.begin() + i);
+            caps.erase(caps.begin() + i);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          co_return InvokeResult::Error(
+              NotFoundError("no binding for \"" + *name + "\""));
+        }
+        ctx.rep().set_data(0, EncodeStringList(names));
+        ctx.rep().ClearCapabilities();
+        for (const Capability& c : caps) {
+          ctx.rep().AddCapability(c);
+        }
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "mutators",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "list",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        InvokeArgs out;
+        for (const std::string& name : DirNames(ctx.rep())) {
+          out.AddString(name);
+        }
+        co_return InvokeResult::Ok(std::move(out));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "readers",
+      .read_only = true,
+  });
+  return type;
+}
+
+// ---------------------------------------------------------------------------
+// std.mailbox: deposit / blocking retrieve.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Bytes EncodeMessage(const std::string& from, const Bytes& body) {
+  BufferWriter writer;
+  writer.WriteString(from);
+  writer.WriteBytes(body);
+  return writer.Take();
+}
+
+}  // namespace
+
+std::shared_ptr<AbstractType> StdMailboxType() {
+  auto type = std::make_shared<AbstractType>("std.mailbox", StdObjectType());
+  type->AddClass("depositors", 1);
+  type->AddClass("retrievers", 4);
+  type->AddClass("observers", 4);
+
+  type->SetReincarnation([](InvokeContext& ctx) -> Task<Status> {
+    size_t count = QueueItems(ctx.rep()).size();
+    Semaphore& mail = ctx.semaphore("mail", 0);
+    for (size_t i = 0; i < count; i++) {
+      mail.V();
+    }
+    co_return OkStatus();
+  });
+
+  type->AddOperation(AbstractOperation{
+      .name = "deposit",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto from = ctx.args().StringAt(0);
+        auto body = ctx.args().BytesAt(1);
+        if (!from.ok() || !body.ok()) {
+          co_return InvokeResult::Error(
+              InvalidArgumentError("deposit needs sender and body"));
+        }
+        std::vector<Bytes> messages = QueueItems(ctx.rep());
+        messages.push_back(EncodeMessage(*from, *body));
+        SetQueueItems(ctx.rep(), messages);
+        ctx.semaphore("mail", 0).V();
+        // Mail must survive crashes: write-through.
+        Status status = co_await ctx.Checkpoint();
+        co_return InvokeResult{status, InvokeArgs{}.AddU64(messages.size())};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "depositors",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "retrieve",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        Status acquired = co_await ctx.semaphore("mail", 0).P();
+        if (!acquired.ok()) {
+          co_return InvokeResult::Error(acquired);
+        }
+        std::vector<Bytes> messages = QueueItems(ctx.rep());
+        if (messages.empty()) {
+          co_return InvokeResult::Error(
+              InternalError("semaphore/mailbox desynchronized"));
+        }
+        Bytes envelope = std::move(messages.front());
+        messages.erase(messages.begin());
+        SetQueueItems(ctx.rep(), messages);
+        BufferReader reader(envelope);
+        auto from = reader.ReadString();
+        auto body = from.ok() ? reader.ReadBytes() : StatusOr<Bytes>(from.status());
+        if (!body.ok()) {
+          co_return InvokeResult::Error(body.status());
+        }
+        co_return InvokeResult::Ok(
+            InvokeArgs{}.AddString(*from).AddBytes(std::move(*body)));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "retrievers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "count",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(
+            InvokeArgs{}.AddU64(QueueItems(ctx.rep()).size()));
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kRead),
+      .invocation_class = "observers",
+      .read_only = true,
+  });
+  return type;
+}
+
+void RegisterStandardTypes(EdenSystem& system) {
+  system.RegisterType(StdObjectType()->BuildTypeManager());
+  system.RegisterType(StdCounterType()->BuildTypeManager());
+  system.RegisterType(StdDataType()->BuildTypeManager());
+  system.RegisterType(StdQueueType()->BuildTypeManager());
+  system.RegisterType(StdDirectoryType()->BuildTypeManager());
+  system.RegisterType(StdMailboxType()->BuildTypeManager());
+}
+
+}  // namespace eden

@@ -1,0 +1,56 @@
+// Standard object templates (paper section 4.1: "many type programmers in
+// Eden will not be concerned with these details, because language subsystems
+// will provide standard object templates").
+//
+// All templates inherit from the abstract base type "std.object", which
+// provides the generic kernel operations every object wants (checkpoint,
+// crash, destroy, move_to, freeze, where, describe). This exercises the
+// abstract type hierarchy of paper section 5 in production code.
+//
+//   std.object
+//     +-- std.counter    increment / read / reset
+//     +-- std.data       get / put / append / size
+//     +-- std.queue      enqueue / dequeue (blocking) / length
+//     +-- std.directory  bind / lookup / unbind / list   (write-through)
+//     +-- std.mailbox    deposit / retrieve (blocking) / count / peek
+#ifndef EDEN_SRC_TYPES_STANDARD_TYPES_H_
+#define EDEN_SRC_TYPES_STANDARD_TYPES_H_
+
+#include <memory>
+
+#include "src/kernel/eden_system.h"
+#include "src/types/abstract_type.h"
+
+namespace eden {
+
+// The abstract root of the standard hierarchy.
+std::shared_ptr<AbstractType> StdObjectType();
+
+// Subtypes. Each takes the shared base so the hierarchy is a real DAG.
+std::shared_ptr<AbstractType> StdCounterType();
+std::shared_ptr<AbstractType> StdDataType();
+std::shared_ptr<AbstractType> StdQueueType();
+std::shared_ptr<AbstractType> StdDirectoryType();
+std::shared_ptr<AbstractType> StdMailboxType();
+
+// Builds and registers concrete TypeManagers for every standard type.
+void RegisterStandardTypes(EdenSystem& system);
+
+// --- Representation helpers used by the standard types (and reusable by
+// --- application type programmers).
+
+// Reads/writes a u64 stored in data segment `index` (missing segment = 0).
+uint64_t RepReadU64(const Representation& rep, size_t index);
+void RepWriteU64(Representation& rep, size_t index, uint64_t value);
+
+// Serializes a list of byte strings into one data segment and back.
+Bytes EncodeBytesList(const std::vector<Bytes>& items);
+StatusOr<std::vector<Bytes>> DecodeBytesList(const Bytes& encoded);
+
+// Serializes a list of strings.
+Bytes EncodeStringList(const std::vector<std::string>& items);
+StatusOr<std::vector<std::string>> DecodeStringList(const Bytes& encoded);
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_TYPES_STANDARD_TYPES_H_

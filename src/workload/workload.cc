@@ -1,0 +1,162 @@
+#include "src/workload/workload.h"
+
+#include <cstdio>
+
+namespace eden {
+
+void LatencyRecorder::Record(SimDuration latency) {
+  if (count_ == 0 || latency < min_) {
+    min_ = latency;
+  }
+  if (latency > max_) {
+    max_ = latency;
+  }
+  count_++;
+  total_ += latency;
+  // Bucket i holds latencies in [2^i, 2^(i+1)) microseconds.
+  SimDuration us = latency / 1000;
+  size_t bucket = 0;
+  while (bucket + 1 < kBuckets && us >= (1ll << (bucket + 1))) {
+    bucket++;
+  }
+  buckets_[bucket]++;
+}
+
+SimDuration LatencyRecorder::Percentile(double fraction) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  uint64_t want = static_cast<uint64_t>(fraction * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; i++) {
+    seen += buckets_[i];
+    if (seen > want) {
+      return Microseconds(1ll << (i + 1));  // bucket upper bound
+    }
+  }
+  return max_;
+}
+
+std::string LatencyRecorder::Histogram() const {
+  std::string out;
+  for (size_t i = 0; i < kBuckets; i++) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    char line[96];
+    std::snprintf(line, sizeof(line), "  [%6lld us - %6lld us): %llu\n",
+                  static_cast<long long>(1ll << i),
+                  static_cast<long long>(1ll << (i + 1)),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+namespace {
+
+struct SharedRun {
+  WorkloadStats stats;
+  int live_clients = 0;
+  uint64_t outstanding = 0;
+  bool issuing_done = false;
+};
+
+// One closed-loop client. Parameters (not captures) so the frame owns them.
+Task<void> ClosedLoopClient(EdenSystem* system, size_t client_index,
+                            size_t node_index, WorkFactory factory,
+                            SimTime deadline, SimDuration mean_think,
+                            SimDuration timeout,
+                            std::shared_ptr<SharedRun> run) {
+  uint64_t seq = 0;
+  while (system->sim().now() < deadline) {
+    WorkItem item = factory(client_index, seq++);
+    SimTime start = system->sim().now();
+    InvokeResult result = co_await system->node(node_index)
+                              .Invoke(item.target, item.operation,
+                                      std::move(item.args), timeout);
+    if (result.ok()) {
+      run->stats.completed++;
+      run->stats.latency.Record(system->sim().now() - start);
+    } else {
+      run->stats.failed++;
+    }
+    if (mean_think > 0) {
+      SimDuration think = static_cast<SimDuration>(
+          system->sim().rng().NextExponential(static_cast<double>(mean_think)));
+      co_await SleepFor(system->sim(), think);
+    }
+  }
+  run->live_clients--;
+}
+
+// One open-loop request (fire-and-record).
+Task<void> OpenLoopRequest(EdenSystem* system, size_t node_index, WorkItem item,
+                           SimDuration timeout, std::shared_ptr<SharedRun> run) {
+  SimTime start = system->sim().now();
+  InvokeResult result =
+      co_await system->node(node_index)
+          .Invoke(item.target, item.operation, std::move(item.args), timeout);
+  if (result.ok()) {
+    run->stats.completed++;
+    run->stats.latency.Record(system->sim().now() - start);
+  } else {
+    run->stats.failed++;
+  }
+  run->outstanding--;
+}
+
+}  // namespace
+
+WorkloadStats RunClosedLoop(EdenSystem& system,
+                            const std::vector<size_t>& client_nodes,
+                            WorkFactory factory, SimDuration duration,
+                            SimDuration mean_think_time,
+                            SimDuration per_request_timeout) {
+  auto run = std::make_shared<SharedRun>();
+  run->live_clients = static_cast<int>(client_nodes.size());
+  SimTime deadline = system.sim().now() + duration;
+  for (size_t c = 0; c < client_nodes.size(); c++) {
+    Spawn(ClosedLoopClient(&system, c, client_nodes[c], factory, deadline,
+                           mean_think_time, per_request_timeout, run));
+  }
+  system.sim().RunWhile([run] { return run->live_clients > 0; });
+  return run->stats;
+}
+
+WorkloadStats RunOpenLoop(EdenSystem& system,
+                          const std::vector<size_t>& client_nodes,
+                          WorkFactory factory, double rate_per_sec,
+                          SimDuration duration,
+                          SimDuration per_request_timeout) {
+  auto run = std::make_shared<SharedRun>();
+  SimTime deadline = system.sim().now() + duration;
+  double mean_gap_ns = 1e9 / rate_per_sec;
+
+  // Arrival process: schedule the next arrival recursively.
+  auto seq = std::make_shared<uint64_t>(0);
+  std::shared_ptr<std::function<void()>> arrive =
+      std::make_shared<std::function<void()>>();
+  *arrive = [&system, client_nodes, factory, deadline, mean_gap_ns, seq, run,
+             per_request_timeout, arrive] {
+    if (system.sim().now() >= deadline) {
+      run->issuing_done = true;
+      return;
+    }
+    uint64_t n = (*seq)++;
+    size_t node_index = client_nodes[n % client_nodes.size()];
+    run->outstanding++;
+    Spawn(OpenLoopRequest(&system, node_index,
+                          factory(n % client_nodes.size(), n),
+                          per_request_timeout, run));
+    SimDuration gap = static_cast<SimDuration>(
+        system.sim().rng().NextExponential(mean_gap_ns));
+    system.sim().Schedule(gap, [arrive] { (*arrive)(); });
+  };
+  (*arrive)();
+  system.sim().RunWhile(
+      [run] { return !run->issuing_done || run->outstanding > 0; });
+  return run->stats;
+}
+
+}  // namespace eden

@@ -1,0 +1,87 @@
+// Synthetic workload generation for benchmarks and system tests: closed-loop
+// clients (think-time model, one outstanding request each) and open-loop
+// Poisson arrival drivers, plus a latency recorder with fixed power-of-two
+// buckets. All time is virtual; all randomness is seeded through the
+// simulation, so workloads are reproducible.
+#ifndef EDEN_SRC_WORKLOAD_WORKLOAD_H_
+#define EDEN_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/eden_system.h"
+
+namespace eden {
+
+// Latency statistics with 20 power-of-two buckets from 1 us up.
+class LatencyRecorder {
+ public:
+  void Record(SimDuration latency);
+
+  uint64_t count() const { return count_; }
+  SimDuration mean() const {
+    return count_ == 0 ? 0 : total_ / static_cast<SimDuration>(count_);
+  }
+  SimDuration max() const { return max_; }
+  SimDuration min() const { return count_ == 0 ? 0 : min_; }
+  // Latency below which `fraction` (0..1) of samples fall (bucket-resolution).
+  SimDuration Percentile(double fraction) const;
+  std::string Histogram() const;
+
+ private:
+  static constexpr size_t kBuckets = 20;
+  uint64_t count_ = 0;
+  SimDuration total_ = 0;
+  SimDuration max_ = 0;
+  SimDuration min_ = 0;
+  uint64_t buckets_[kBuckets] = {};
+};
+
+// What one client issues: given the issuing client index and a sequence
+// number, produce (target, operation, args).
+struct WorkItem {
+  Capability target;
+  std::string operation;
+  InvokeArgs args;
+};
+using WorkFactory = std::function<WorkItem(size_t client, uint64_t seq)>;
+
+struct WorkloadStats {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  LatencyRecorder latency;
+
+  double ThroughputPerVirtualSecond(SimDuration window) const {
+    return static_cast<double>(completed) / ToSeconds(window);
+  }
+  double AvailabilityPercent() const {
+    uint64_t total = completed + failed;
+    return total == 0 ? 100.0
+                      : 100.0 * static_cast<double>(completed) /
+                            static_cast<double>(total);
+  }
+};
+
+// Closed loop: `client_nodes.size()` clients, each with one outstanding
+// invocation and exponentially-distributed think time between requests.
+// Runs for `duration` of virtual time and returns aggregate stats.
+WorkloadStats RunClosedLoop(EdenSystem& system,
+                            const std::vector<size_t>& client_nodes,
+                            WorkFactory factory, SimDuration duration,
+                            SimDuration mean_think_time = 0,
+                            SimDuration per_request_timeout = Seconds(10));
+
+// Open loop: Poisson arrivals at `rate_per_sec` aggregate, issued round-robin
+// from `client_nodes`, independent of completions. Returns once every issued
+// request resolves (so tail latencies under overload are captured).
+WorkloadStats RunOpenLoop(EdenSystem& system,
+                          const std::vector<size_t>& client_nodes,
+                          WorkFactory factory, double rate_per_sec,
+                          SimDuration duration,
+                          SimDuration per_request_timeout = Seconds(10));
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,205 @@
+// Tests for the object-editor substrate: structured representations and the
+// inheritable editing operations (paper section 5).
+#include <gtest/gtest.h>
+
+#include "src/edit/editable.h"
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+namespace {
+
+StructureNode SampleDocument() {
+  StructureNode root("document", "Eden Design Notes");
+  StructureNode& intro = root.AddChild("section", "Introduction");
+  intro.AddChild("para", "Integration vs distribution.");
+  StructureNode& kernel = root.AddChild("section", "Kernel");
+  kernel.AddChild("para", "Objects and capabilities.");
+  kernel.AddChild("para", "Invocation is synchronous.");
+  return root;
+}
+
+TEST(StructurePathTest, ParseAndFormatRoundTrip) {
+  auto path = ParseStructurePath("0/2/15");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (StructurePath{0, 2, 15}));
+  EXPECT_EQ(FormatStructurePath(*path), "0/2/15");
+  EXPECT_TRUE(ParseStructurePath("")->empty());
+}
+
+TEST(StructurePathTest, RejectsMalformedPaths) {
+  EXPECT_FALSE(ParseStructurePath("a/b").ok());
+  EXPECT_FALSE(ParseStructurePath("1//2").ok());
+  EXPECT_FALSE(ParseStructurePath("/1").ok());
+}
+
+TEST(StructureNodeTest, CodecRoundTrip) {
+  StructureNode root = SampleDocument();
+  auto decoded = StructureNode::Deserialize(root.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, root);
+  EXPECT_EQ(decoded->TotalNodes(), 6u);
+}
+
+TEST(StructureNodeTest, DeserializeRejectsGarbageAndTrailingBytes) {
+  Bytes garbage = {0xff, 0xff, 0xff};
+  EXPECT_FALSE(StructureNode::Deserialize(garbage).ok());
+  Bytes valid = SampleDocument().Serialize();
+  valid.push_back(0x00);
+  EXPECT_FALSE(StructureNode::Deserialize(valid).ok());
+}
+
+TEST(StructureNodeTest, PathOperations) {
+  StructureNode root = SampleDocument();
+  auto node = root.Find({1, 0});
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->value(), "Objects and capabilities.");
+
+  ASSERT_TRUE(root.SetValueAt({0, 0}, "Revised intro.").ok());
+  EXPECT_EQ(root.Find({0, 0}).value()->value(), "Revised intro.");
+
+  ASSERT_TRUE(root.InsertAt({1}, 1, "para", "Inserted paragraph.").ok());
+  EXPECT_EQ(root.Find({1, 1}).value()->value(), "Inserted paragraph.");
+  EXPECT_EQ(root.Find({1, 2}).value()->value(), "Invocation is synchronous.");
+
+  ASSERT_TRUE(root.RemoveAt({0}).ok());
+  EXPECT_EQ(root.child(0).value(), "Kernel");
+
+  EXPECT_FALSE(root.Find({9}).ok());
+  EXPECT_FALSE(root.RemoveAt({}).ok());
+  EXPECT_FALSE(root.InsertAt({0}, 99, "x", "y").ok());
+}
+
+TEST(StructureNodeTest, RenderShowsHierarchy) {
+  std::string text = SampleDocument().Render();
+  EXPECT_NE(text.find("document: Eden Design Notes"), std::string::npos);
+  EXPECT_NE(text.find("  section: Kernel"), std::string::npos);
+  EXPECT_NE(text.find("    para: Invocation is synchronous."), std::string::npos);
+}
+
+class EditableFixture : public ::testing::Test {
+ protected:
+  EditableFixture() {
+    RegisterStandardTypes(system_);
+    RegisterEditTypes(system_);
+    system_.AddNodes(3);
+    doc_ = *system_.node(0).CreateObject("edit.document",
+                                         StructureRep(SampleDocument()));
+  }
+
+  InvokeResult Call(size_t node, const std::string& op, InvokeArgs args = {}) {
+    return system_.Await(system_.node(node).Invoke(doc_, op, std::move(args)));
+  }
+
+  EdenSystem system_;
+  Capability doc_;
+};
+
+TEST_F(EditableFixture, RenderFromRemoteNode) {
+  InvokeResult result = Call(2, "edit.render");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_NE(result.results.StringAt(0).value().find("section: Kernel"),
+            std::string::npos);
+}
+
+TEST_F(EditableFixture, GetSetInsertRemove) {
+  InvokeResult result = Call(1, "edit.get", InvokeArgs{}.AddString("1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.StringAt(1).value(), "Kernel");
+  EXPECT_EQ(result.results.U64At(2).value(), 2u);
+
+  ASSERT_TRUE(Call(1, "edit.set",
+                   InvokeArgs{}.AddString("1/0").AddString("Rewritten."))
+                  .ok());
+  result = Call(2, "edit.get", InvokeArgs{}.AddString("1/0"));
+  EXPECT_EQ(result.results.StringAt(1).value(), "Rewritten.");
+
+  ASSERT_TRUE(Call(1, "edit.insert",
+                   InvokeArgs{}
+                       .AddString("")
+                       .AddU64(2)
+                       .AddString("section")
+                       .AddString("Reliability"))
+                  .ok());
+  result = Call(2, "edit.count");
+  EXPECT_EQ(result.results.U64At(0).value(), 7u);
+
+  ASSERT_TRUE(Call(1, "edit.remove", InvokeArgs{}.AddString("0")).ok());
+  result = Call(2, "edit.count");
+  EXPECT_EQ(result.results.U64At(0).value(), 5u);
+}
+
+TEST_F(EditableFixture, EditsAreCrashDurable) {
+  ASSERT_TRUE(Call(1, "edit.set",
+                   InvokeArgs{}.AddString("").AddString("Durable Title"))
+                  .ok());
+  ASSERT_TRUE(Call(1, "crash").ok());
+  EXPECT_FALSE(system_.node(0).IsActive(doc_.name()));
+  InvokeResult result = Call(2, "edit.get", InvokeArgs{}.AddString(""));
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.StringAt(1).value(), "Durable Title");
+}
+
+TEST_F(EditableFixture, InvalidPathsAreRejectedNotFatal) {
+  EXPECT_EQ(Call(1, "edit.get", InvokeArgs{}.AddString("9/9")).status.code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Call(1, "edit.set",
+                 InvokeArgs{}.AddString("bogus!").AddString("x"))
+                .status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Call(1, "edit.remove", InvokeArgs{}.AddString("")).status.code(),
+            StatusCode::kInvalidArgument);
+  // The document is still healthy.
+  EXPECT_TRUE(Call(2, "edit.render").ok());
+}
+
+TEST_F(EditableFixture, InheritsKernelOpsFromStdObject) {
+  InvokeResult result = Call(1, "describe");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.StringAt(0).value(), "edit.document");
+  // And the editor ops come from std.editable: three-level inheritance.
+  EXPECT_TRUE(EditDocumentType()->IsSubtypeOf(*StdEditableType()));
+  EXPECT_TRUE(EditDocumentType()->IsSubtypeOf(*StdObjectType()));
+}
+
+TEST_F(EditableFixture, OutlineSubtypeOverridesInheritedDisplayCode) {
+  // The same structure renders differently through the edit.outline subtype:
+  // inherited edit.* operations, overridden edit.render (paper section 5,
+  // "display code for use with the object editor" as an inherited, and here
+  // specialized, attribute).
+  auto outline = system_.node(0).CreateObject("edit.outline",
+                                              StructureRep(SampleDocument()));
+  ASSERT_TRUE(outline.ok());
+  InvokeResult rendered =
+      system_.Await(system_.node(1).Invoke(*outline, "edit.render"));
+  ASSERT_TRUE(rendered.ok()) << rendered.status;
+  std::string text = rendered.results.StringAt(0).value();
+  EXPECT_NE(text.find("2. Kernel"), std::string::npos);
+  EXPECT_NE(text.find("2.2. Invocation is synchronous."), std::string::npos);
+  EXPECT_EQ(text.find("  section"), std::string::npos);  // no indent style
+
+  // Non-overridden operations still come from std.editable.
+  ASSERT_TRUE(system_.Await(system_.node(1).Invoke(
+      *outline, "edit.set",
+      InvokeArgs{}.AddString("1").AddString("The Kernel"))).ok());
+  rendered = system_.Await(system_.node(2).Invoke(*outline, "edit.render"));
+  EXPECT_NE(rendered.results.StringAt(0).value().find("2. The Kernel"),
+            std::string::npos);
+}
+
+TEST_F(EditableFixture, ConcurrentViewersOneEditor) {
+  // Viewers (limit 8) render concurrently while an editor mutates: the
+  // editors class (limit 1) serializes mutations; nothing deadlocks.
+  std::vector<Future<InvokeResult>> futures;
+  for (int i = 0; i < 8; i++) {
+    futures.push_back(system_.node(1 + i % 2).Invoke(doc_, "edit.render"));
+  }
+  futures.push_back(system_.node(2).Invoke(
+      doc_, "edit.set", InvokeArgs{}.AddString("").AddString("New Title")));
+  for (auto& future : futures) {
+    EXPECT_TRUE(system_.Await(std::move(future)).ok());
+  }
+}
+
+}  // namespace
+}  // namespace eden

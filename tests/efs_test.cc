@@ -1,0 +1,282 @@
+// Tests for the Eden File System (paper section 5): transactions, immutable
+// versions, replication, and crash recovery of prepared transactions.
+#include <gtest/gtest.h>
+
+#include "src/efs/client.h"
+#include "src/efs/file_store.h"
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+namespace {
+
+class EfsFixture : public ::testing::Test {
+ protected:
+  EfsFixture() {
+    RegisterStandardTypes(system_);
+    RegisterEfsTypes(system_);
+    system_.AddNodes(4);
+  }
+
+  // Creates one efs.store object on each of the first `replicas` nodes.
+  std::vector<Capability> MakeStores(size_t replicas) {
+    std::vector<Capability> stores;
+    for (size_t i = 0; i < replicas; i++) {
+      auto cap = system_.node(i).CreateObject("efs.store", Representation{});
+      EXPECT_TRUE(cap.ok());
+      stores.push_back(*cap);
+    }
+    return stores;
+  }
+
+  EdenSystem system_;
+};
+
+TEST_F(EfsFixture, CreateWriteRead) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  ASSERT_TRUE(system_.Await(client.CreateFile("/etc/motd")).ok());
+
+  auto txn = client.Begin();
+  txn.Write("/etc/motd", ToBytes("welcome to eden"));
+  Status status = system_.Await(txn.Commit());
+  ASSERT_TRUE(status.ok()) << status;
+
+  auto content = system_.Await(client.Read("/etc/motd"));
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "welcome to eden");
+}
+
+TEST_F(EfsFixture, VersionsAreImmutableAndAccumulate) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  ASSERT_TRUE(system_.Await(client.CreateFile("/doc")).ok());
+
+  for (int v = 1; v <= 3; v++) {
+    auto txn = client.Begin();
+    txn.Write("/doc", ToBytes("draft " + std::to_string(v)));
+    ASSERT_TRUE(system_.Await(txn.Commit()).ok());
+  }
+
+  auto latest = system_.Await(client.Latest("/doc"));
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 3u);
+  // Every historical version remains readable.
+  for (uint64_t v = 1; v <= 3; v++) {
+    auto content = system_.Await(client.Read("/doc", v));
+    ASSERT_TRUE(content.ok());
+    EXPECT_EQ(ToString(*content), "draft " + std::to_string(v));
+  }
+}
+
+TEST_F(EfsFixture, ReadOfMissingFileOrVersionFails) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  auto missing = system_.Await(client.Read("/nope"));
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(system_.Await(client.CreateFile("/empty")).ok());
+  auto empty = system_.Await(client.Read("/empty"));
+  EXPECT_EQ(empty.status().code(), StatusCode::kNotFound);
+  auto bad_version = system_.Await(client.Read("/empty", 7));
+  EXPECT_EQ(bad_version.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(EfsFixture, CreateIsExclusiveAtTheStoreButIdempotentAtTheClient) {
+  std::vector<Capability> stores = MakeStores(1);
+  NodeKernel& driver = system_.node(3);
+  ASSERT_TRUE(system_.Await(
+      driver.Invoke(stores[0], "create", InvokeArgs{}.AddString("/x"))).ok());
+  InvokeResult duplicate = system_.Await(
+      driver.Invoke(stores[0], "create", InvokeArgs{}.AddString("/x")));
+  EXPECT_EQ(duplicate.status.code(), StatusCode::kAlreadyExists);
+  // The client treats AlreadyExists as success (idempotent creation).
+  EfsClient client(driver, stores);
+  EXPECT_TRUE(system_.Await(client.CreateFile("/x")).ok());
+}
+
+TEST_F(EfsFixture, ConflictingTransactionsFirstPreparerWins) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  ASSERT_TRUE(system_.Await(client.CreateFile("/contested")).ok());
+
+  // Both transactions read latest=0, then race to prepare.
+  auto txn1 = client.Begin();
+  auto txn2 = client.Begin();
+  txn1.Write("/contested", ToBytes("from txn1"));
+  txn2.Write("/contested", ToBytes("from txn2"));
+
+  Future<Status> commit1 = txn1.Commit();
+  Future<Status> commit2 = txn2.Commit();
+  Status s1 = system_.Await(std::move(commit1));
+  Status s2 = system_.Await(std::move(commit2));
+
+  // Exactly one commits; the other aborts with kAborted.
+  EXPECT_NE(s1.ok(), s2.ok());
+  Status& loser = s1.ok() ? s2 : s1;
+  EXPECT_EQ(loser.code(), StatusCode::kAborted);
+
+  auto latest = system_.Await(client.Latest("/contested"));
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 1u);
+  auto content = system_.Await(client.Read("/contested"));
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(ToString(*content), s1.ok() ? "from txn1" : "from txn2");
+}
+
+TEST_F(EfsFixture, MultiFileTransactionIsAtomic) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  ASSERT_TRUE(system_.Await(client.CreateFile("/a")).ok());
+  ASSERT_TRUE(system_.Await(client.CreateFile("/b")).ok());
+
+  auto txn = client.Begin();
+  txn.Write("/a", ToBytes("alpha")).Write("/b", ToBytes("beta"));
+  ASSERT_TRUE(system_.Await(txn.Commit()).ok());
+
+  EXPECT_EQ(ToString(*system_.Await(client.Read("/a"))), "alpha");
+  EXPECT_EQ(ToString(*system_.Await(client.Read("/b"))), "beta");
+
+  // A transaction writing to a missing file aborts entirely: /a unchanged.
+  auto bad = client.Begin();
+  bad.Write("/a", ToBytes("alpha2")).Write("/missing", ToBytes("x"));
+  Status status = system_.Await(bad.Commit());
+  EXPECT_FALSE(status.ok());
+  auto latest = system_.Await(client.Latest("/a"));
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 1u);
+}
+
+TEST_F(EfsFixture, ReplicatedCommitReachesAllReplicas) {
+  std::vector<Capability> stores = MakeStores(3);
+  EfsClient client(system_.node(3), stores);
+  ASSERT_TRUE(system_.Await(client.CreateFile("/rep")).ok());
+  auto txn = client.Begin();
+  txn.Write("/rep", ToBytes("replicated"));
+  ASSERT_TRUE(system_.Await(txn.Commit()).ok());
+
+  // Ask each store directly: all hold version 1.
+  for (const Capability& store : stores) {
+    InvokeResult result = system_.Await(system_.node(3).Invoke(
+        store, "read", InvokeArgs{}.AddString("/rep").AddU64(1)));
+    ASSERT_TRUE(result.ok()) << result.status;
+    EXPECT_EQ(ToString(result.results.BytesAt(0).value()), "replicated");
+  }
+}
+
+TEST_F(EfsFixture, ReadsFailOverWhenAReplicaDies) {
+  std::vector<Capability> stores = MakeStores(3);
+  EfsClient client(system_.node(3), stores);
+  ASSERT_TRUE(system_.Await(client.CreateFile("/ha")).ok());
+  auto txn = client.Begin();
+  txn.Write("/ha", ToBytes("still here"));
+  ASSERT_TRUE(system_.Await(txn.Commit()).ok());
+
+  // Kill two of three replica hosts; reads still succeed.
+  system_.node(0).FailNode();
+  system_.node(1).FailNode();
+  auto content = system_.Await(client.Read("/ha"));
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "still here");
+}
+
+TEST_F(EfsFixture, PreparedTransactionSurvivesStoreCrash) {
+  // 2PC durability: prepare, crash the store node, commit after restart.
+  std::vector<Capability> stores = MakeStores(1);
+  NodeKernel& driver = system_.node(3);
+  ASSERT_TRUE(system_.Await(
+      driver.Invoke(stores[0], "create", InvokeArgs{}.AddString("/logged"))).ok());
+
+  uint64_t txn_id = 777;
+  InvokeResult prepared = system_.Await(driver.Invoke(
+      stores[0], "prepare",
+      InvokeArgs{}.AddU64(txn_id).AddString("/logged").AddU64(0).AddString(
+          "durable write")));
+  ASSERT_TRUE(prepared.ok()) << prepared.status;
+
+  system_.node(0).FailNode();
+  system_.node(0).RestartNode();
+
+  // The staging survived in the checkpoint; commit applies it.
+  InvokeResult committed = system_.Await(
+      driver.Invoke(stores[0], "commit", InvokeArgs{}.AddU64(txn_id)));
+  ASSERT_TRUE(committed.ok()) << committed.status;
+  EXPECT_EQ(committed.results.U64At(0).value(), 1u);
+
+  InvokeResult read = system_.Await(driver.Invoke(
+      stores[0], "read", InvokeArgs{}.AddString("/logged").AddU64(0)));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(ToString(read.results.BytesAt(0).value()), "durable write");
+}
+
+TEST_F(EfsFixture, AbortDropsStagedWrites) {
+  std::vector<Capability> stores = MakeStores(1);
+  NodeKernel& driver = system_.node(3);
+  ASSERT_TRUE(system_.Await(
+      driver.Invoke(stores[0], "create", InvokeArgs{}.AddString("/tmp"))).ok());
+  uint64_t txn_id = 888;
+  ASSERT_TRUE(system_.Await(driver.Invoke(
+      stores[0], "prepare",
+      InvokeArgs{}.AddU64(txn_id).AddString("/tmp").AddU64(0).AddString("x")))
+                  .ok());
+  ASSERT_TRUE(system_.Await(
+      driver.Invoke(stores[0], "abort", InvokeArgs{}.AddU64(txn_id))).ok());
+  // Commit after abort applies nothing.
+  InvokeResult committed = system_.Await(
+      driver.Invoke(stores[0], "commit", InvokeArgs{}.AddU64(txn_id)));
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(committed.results.U64At(0).value(), 0u);
+  InvokeResult latest = system_.Await(
+      driver.Invoke(stores[0], "latest", InvokeArgs{}.AddString("/tmp")));
+  EXPECT_EQ(latest.results.U64At(0).value(), 0u);
+}
+
+TEST_F(EfsFixture, ListReturnsAllFiles) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  ASSERT_TRUE(system_.Await(client.CreateFile("/one")).ok());
+  ASSERT_TRUE(system_.Await(client.CreateFile("/two")).ok());
+  auto listing = system_.Await(client.List());
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->size(), 2u);
+}
+
+TEST_F(EfsFixture, PruneRetiresOldVersionsButKeepsNumbering) {
+  std::vector<Capability> stores = MakeStores(1);
+  NodeKernel& driver = system_.node(3);
+  EfsClient client(driver, stores);
+  ASSERT_TRUE(system_.Await(client.CreateFile("/log")).ok());
+  for (int v = 1; v <= 5; v++) {
+    auto txn = client.Begin();
+    txn.Write("/log", ToBytes("v" + std::to_string(v)));
+    ASSERT_TRUE(system_.Await(txn.Commit()).ok());
+  }
+  InvokeResult pruned = system_.Await(driver.Invoke(
+      stores[0], "prune", InvokeArgs{}.AddString("/log").AddU64(2)));
+  ASSERT_TRUE(pruned.ok()) << pruned.status;
+  EXPECT_EQ(pruned.results.U64At(0).value(), 3u);
+
+  // Latest version numbering is unchanged; old content is gone, new remains.
+  auto latest = system_.Await(client.Latest("/log"));
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 5u);
+  EXPECT_EQ(system_.Await(client.Read("/log", 1)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ToString(*system_.Await(client.Read("/log", 4))), "v4");
+  EXPECT_EQ(ToString(*system_.Await(client.Read("/log", 5))), "v5");
+  // Pruning is idempotent.
+  pruned = system_.Await(driver.Invoke(
+      stores[0], "prune", InvokeArgs{}.AddString("/log").AddU64(2)));
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned.results.U64At(0).value(), 0u);
+}
+
+TEST_F(EfsFixture, StatsTrackOutcomes) {
+  EfsClient client(system_.node(3), MakeStores(1));
+  ASSERT_TRUE(system_.Await(client.CreateFile("/s")).ok());
+  auto good = client.Begin();
+  good.Write("/s", ToBytes("v1"));
+  ASSERT_TRUE(system_.Await(good.Commit()).ok());
+  auto bad = client.Begin();
+  bad.Write("/does-not-exist", ToBytes("x"));
+  EXPECT_FALSE(system_.Await(bad.Commit()).ok());
+  EXPECT_EQ(client.stats().transactions_committed, 1u);
+  EXPECT_EQ(client.stats().transactions_aborted, 1u);
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,132 @@
+// Tests for the foreign-machine gateway (paper section 2: foreign machines
+// are reached through an "object-like" interface, asymmetrically).
+#include <gtest/gtest.h>
+
+#include "src/gateway/gateway.h"
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+namespace {
+
+class GatewayFixture : public ::testing::Test {
+ protected:
+  GatewayFixture() {
+    RegisterStandardTypes(system_);
+    system_.AddNodes(3);
+    host_ = std::make_shared<ForeignMachine>(system_.sim(), "vax1");
+    host_->InstallService("echo", [](const std::string& payload) {
+      return StatusOr<std::string>("echo: " + payload);
+    });
+    host_->InstallService("upcase", [](const std::string& payload) {
+      std::string out = payload;
+      for (char& c : out) {
+        c = static_cast<char>(::toupper(c));
+      }
+      return StatusOr<std::string>(std::move(out));
+    });
+  }
+
+  EdenSystem system_;
+  std::shared_ptr<ForeignMachine> host_;
+};
+
+TEST_F(GatewayFixture, ForeignMachineServesRequestsFcfs) {
+  auto first = host_->Submit("echo one");
+  auto second = host_->Submit("echo two");
+  system_.sim().Run();
+  ASSERT_TRUE(first.ready());
+  ASSERT_TRUE(second.ready());
+  EXPECT_EQ(first.Get().value(), "echo: one");
+  EXPECT_EQ(second.Get().value(), "echo: two");
+  EXPECT_EQ(host_->requests_served(), 2u);
+}
+
+TEST_F(GatewayFixture, ForeignMachineUnknownServiceFails) {
+  auto reply = host_->Submit("fortran compile.f");
+  system_.sim().Run();
+  ASSERT_TRUE(reply.ready());
+  EXPECT_EQ(reply.Get().status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GatewayFixture, ForeignMachineChargesLinkAndServiceTime) {
+  SimTime start = system_.sim().now();
+  auto reply = host_->Submit("echo hi");
+  system_.sim().RunWhile([&] { return !reply.ready(); });
+  SimDuration elapsed = system_.sim().now() - start;
+  // 7 bytes at 960 B/s ≈ 7.3 ms out, 50 ms service, ~8.6 ms response back.
+  EXPECT_GT(elapsed, Milliseconds(55));
+  EXPECT_LT(elapsed, Milliseconds(120));
+}
+
+TEST_F(GatewayFixture, PowerCycleFailsQueuedJobs) {
+  auto doomed = host_->Submit("echo doomed");
+  host_->PowerCycle();
+  system_.sim().Run();
+  ASSERT_TRUE(doomed.ready());
+  EXPECT_EQ(doomed.Get().status().code(), StatusCode::kUnavailable);
+  // The machine serves again after the cycle.
+  auto ok = host_->Submit("echo back");
+  system_.sim().Run();
+  EXPECT_TRUE(ok.Get().ok());
+}
+
+TEST_F(GatewayFixture, GatewayObjectRelaysInvocationsFromAnyNode) {
+  auto gateway = AttachForeignMachine(system_, 0, host_);
+  ASSERT_TRUE(gateway.ok());
+  // Node 2 reaches the VAX through ordinary object invocation.
+  InvokeResult result = system_.Await(system_.node(2).Invoke(
+      *gateway, "submit", InvokeArgs{}.AddString("upcase").AddString("hello")));
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.StringAt(0).value(), "HELLO");
+}
+
+TEST_F(GatewayFixture, GatewayStatusReportsHost) {
+  auto gateway = AttachForeignMachine(system_, 0, host_);
+  ASSERT_TRUE(gateway.ok());
+  InvokeResult result = system_.Await(system_.node(1).Invoke(*gateway, "status"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.StringAt(0).value(), "vax1");
+}
+
+TEST_F(GatewayFixture, GatewayIsPinnedToItsLinkNode) {
+  auto gateway = AttachForeignMachine(system_, 0, host_);
+  ASSERT_TRUE(gateway.ok());
+  InvokeResult result = system_.Await(system_.node(1).Invoke(
+      *gateway, "move_to", InvokeArgs{}.AddU64(system_.node(2).station())));
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(system_.node(0).IsActive(gateway->name()));
+}
+
+TEST_F(GatewayFixture, GatewayRespectsRights) {
+  auto gateway = AttachForeignMachine(system_, 0, host_);
+  ASSERT_TRUE(gateway.ok());
+  Capability status_only =
+      gateway->Restrict(Rights(Rights::kInvoke | Rights::kRead));
+  InvokeResult result = system_.Await(system_.node(1).Invoke(
+      status_only, "submit", InvokeArgs{}.AddString("echo").AddString("nope")));
+  EXPECT_EQ(result.status.code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(system_.Await(system_.node(1).Invoke(status_only, "status")).ok());
+}
+
+TEST_F(GatewayFixture, ConcurrentSubmissionsQueueAtTheHost) {
+  auto gateway = AttachForeignMachine(system_, 0, host_);
+  ASSERT_TRUE(gateway.ok());
+  std::vector<Future<InvokeResult>> replies;
+  for (int i = 0; i < 6; i++) {
+    replies.push_back(system_.node(1 + i % 2).Invoke(
+        *gateway, "submit",
+        InvokeArgs{}.AddString("echo").AddString(std::to_string(i))));
+  }
+  int ok_count = 0;
+  for (auto& reply : replies) {
+    if (system_.Await(std::move(reply)).ok()) {
+      ok_count++;
+    }
+  }
+  EXPECT_EQ(ok_count, 6);
+  EXPECT_EQ(host_->requests_served(), 6u);
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,301 @@
+// Cross-module integration tests: multi-node scenarios combining invocation,
+// directories, EFS, behaviors, migration and failure injection — the "Figure
+// 1 installation" exercised end to end.
+#include <gtest/gtest.h>
+
+#include "src/efs/client.h"
+#include "src/efs/file_store.h"
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  IntegrationFixture() {
+    RegisterStandardTypes(system_);
+    RegisterEfsTypes(system_);
+    // The paper's late-1981 plan: five nodes, one acting as a file server.
+    system_.AddNodes(5);
+  }
+
+  InvokeResult Call(NodeKernel& from, const Capability& cap, const std::string& op,
+                    InvokeArgs args = {}) {
+    return system_.Await(from.Invoke(cap, op, std::move(args)));
+  }
+
+  EdenSystem system_;
+};
+
+TEST_F(IntegrationFixture, DirectoryNamedServicesAcrossNodes) {
+  // A system directory on the "file server" (node 4) names services living on
+  // other nodes; every user finds and uses them purely through capabilities.
+  auto dir = system_.node(4).CreateObject("std.directory", Representation{});
+  ASSERT_TRUE(dir.ok());
+
+  auto printer_queue = system_.node(1).CreateObject("std.queue", Representation{});
+  auto hit_counter = system_.node(2).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(printer_queue.ok());
+  ASSERT_TRUE(hit_counter.ok());
+  ASSERT_TRUE(Call(system_.node(1), *dir, "bind",
+                   InvokeArgs{}.AddString("printer").AddCapability(*printer_queue))
+                  .ok());
+  ASSERT_TRUE(Call(system_.node(2), *dir, "bind",
+                   InvokeArgs{}.AddString("hits").AddCapability(*hit_counter))
+                  .ok());
+
+  // Node 3 (which created nothing) looks up and uses both services.
+  InvokeResult lookup = Call(system_.node(3), *dir, "lookup",
+                             InvokeArgs{}.AddString("printer"));
+  ASSERT_TRUE(lookup.ok());
+  Capability printer = lookup.results.CapabilityAt(0).value();
+  ASSERT_TRUE(Call(system_.node(3), printer, "enqueue",
+                   InvokeArgs{}.AddString("job-1")).ok());
+
+  lookup = Call(system_.node(3), *dir, "lookup", InvokeArgs{}.AddString("hits"));
+  ASSERT_TRUE(lookup.ok());
+  ASSERT_TRUE(
+      Call(system_.node(3), lookup.results.CapabilityAt(0).value(), "increment")
+          .ok());
+
+  InvokeResult job = Call(system_.node(1), printer, "dequeue");
+  ASSERT_TRUE(job.ok());
+  EXPECT_EQ(ToString(job.results.BytesAt(0).value()), "job-1");
+}
+
+TEST_F(IntegrationFixture, ExactlyOnceCountingUnderHeavyFrameLoss) {
+  // 20% frame loss: retransmission and duplicate suppression must deliver
+  // exactly-once invocation execution — the counter ends exactly at N.
+  system_.lan().set_loss_probability(0.2);
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+
+  constexpr int kIncrements = 40;
+  int ok_count = 0;
+  for (int i = 0; i < kIncrements; i++) {
+    InvokeResult result = Call(system_.node(1 + i % 4), *cap, "increment");
+    if (result.ok()) {
+      ok_count++;
+    }
+  }
+  system_.lan().set_loss_probability(0.0);
+  InvokeResult read = Call(system_.node(2), *cap, "read");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.results.U64At(0).value(), static_cast<uint64_t>(ok_count));
+  EXPECT_EQ(ok_count, kIncrements);  // reliable transport rode out the loss
+}
+
+TEST_F(IntegrationFixture, MigrationUnderConcurrentLoad) {
+  // Clients hammer a counter while it moves between nodes; no increment is
+  // lost or duplicated.
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+
+  std::vector<Future<InvokeResult>> in_flight;
+  for (int i = 0; i < 10; i++) {
+    in_flight.push_back(system_.node(1 + i % 4).Invoke(*cap, "increment"));
+  }
+  // Kick off the move while those are in flight.
+  Future<InvokeResult> move = system_.node(1).Invoke(
+      *cap, "move_to", InvokeArgs{}.AddU64(system_.node(3).station()));
+  for (int i = 0; i < 10; i++) {
+    in_flight.push_back(system_.node(1 + i % 4).Invoke(*cap, "increment"));
+  }
+
+  int ok_count = 0;
+  for (auto& future : in_flight) {
+    if (system_.Await(std::move(future)).ok()) {
+      ok_count++;
+    }
+  }
+  ASSERT_TRUE(system_.Await(std::move(move)).ok());
+  system_.RunFor(Milliseconds(50));
+
+  EXPECT_TRUE(system_.node(3).IsActive(cap->name()));
+  InvokeResult read = Call(system_.node(2), *cap, "read");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.results.U64At(0).value(), static_cast<uint64_t>(ok_count));
+  EXPECT_EQ(ok_count, 20);
+}
+
+TEST_F(IntegrationFixture, CaretakerBehaviorCheckpointsPeriodically) {
+  // A type with a caretaker behavior (paper section 4.2: "behaviors can be
+  // used to perform object caretaking") that checkpoints every 100 ms. After
+  // a node failure, at most one checkpoint interval of work is lost.
+  auto type = std::make_shared<AbstractType>("journal", StdObjectType());
+  type->AddClass("writers", 1);
+  type->AddOperation(AbstractOperation{
+      .name = "log",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        Bytes& segment = ctx.rep().mutable_data(0);
+        auto line = ctx.args().BytesAt(0);
+        segment.insert(segment.end(), line->begin(), line->end());
+        segment.push_back('\n');
+        co_return InvokeResult::Ok();
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kWrite),
+      .invocation_class = "writers",
+  });
+  type->AddOperation(AbstractOperation{
+      .name = "dump",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        Bytes content =
+            ctx.rep().data_segment_count() > 0 ? ctx.rep().data(0) : Bytes{};
+        co_return InvokeResult::Ok(InvokeArgs{}.AddBytes(std::move(content)));
+      },
+      .read_only = true,
+  });
+  type->AddBehavior("autosave", [](InvokeContext& ctx) -> Task<void> {
+    while (ctx.alive()) {
+      co_await ctx.Sleep(Milliseconds(100));
+      if (!ctx.alive()) {
+        break;
+      }
+      co_await ctx.Checkpoint();
+    }
+  });
+  system_.RegisterType(type->BuildTypeManager());
+
+  auto cap = system_.node(0).CreateObject("journal", Representation{});
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(Call(system_.node(1), *cap, "log",
+                   InvokeArgs{}.AddString("entry one")).ok());
+  // Let the caretaker take at least one checkpoint.
+  system_.RunFor(Milliseconds(300));
+  system_.node(0).FailNode();
+  system_.node(0).RestartNode();
+
+  InvokeResult dump = Call(system_.node(1), *cap, "dump");
+  ASSERT_TRUE(dump.ok()) << dump.status;
+  EXPECT_NE(ToString(dump.results.BytesAt(0).value()).find("entry one"),
+            std::string::npos);
+}
+
+TEST_F(IntegrationFixture, EfsAndDirectoryComposeIntoAFileSystem) {
+  // EFS stores on nodes 3 and 4, a directory naming "volumes", and clients on
+  // other nodes reading/writing through the composed system.
+  std::vector<Capability> stores;
+  for (size_t i = 3; i <= 4; i++) {
+    auto cap = system_.node(i).CreateObject("efs.store", Representation{});
+    ASSERT_TRUE(cap.ok());
+    stores.push_back(*cap);
+  }
+  auto dir = system_.node(4).CreateObject("std.directory", Representation{});
+  ASSERT_TRUE(dir.ok());
+  for (size_t i = 0; i < stores.size(); i++) {
+    ASSERT_TRUE(Call(system_.node(4), *dir, "bind",
+                     InvokeArgs{}
+                         .AddString("volume" + std::to_string(i))
+                         .AddCapability(stores[i]))
+                    .ok());
+  }
+
+  // A client discovers the volumes through the directory.
+  std::vector<Capability> discovered;
+  for (size_t i = 0; i < 2; i++) {
+    InvokeResult lookup = Call(system_.node(0), *dir, "lookup",
+                               InvokeArgs{}.AddString("volume" + std::to_string(i)));
+    ASSERT_TRUE(lookup.ok());
+    discovered.push_back(lookup.results.CapabilityAt(0).value());
+  }
+  EfsClient client(system_.node(0), discovered);
+  ASSERT_TRUE(system_.Await(client.CreateFile("/home/readme")).ok());
+  auto txn = client.Begin();
+  txn.Write("/home/readme", ToBytes("Eden lives"));
+  ASSERT_TRUE(system_.Await(txn.Commit()).ok());
+
+  // Node 4 dies; reads fail over to node 3's replica.
+  system_.node(4).FailNode();
+  auto content = system_.Await(client.Read("/home/readme"));
+  ASSERT_TRUE(content.ok()) << content.status();
+  EXPECT_EQ(ToString(*content), "Eden lives");
+}
+
+TEST_F(IntegrationFixture, AsynchronousInvocationOverlapsWork) {
+  // Fire several invocations without awaiting (asynchronous invocation,
+  // paper section 4.2), then collect: total virtual time is bounded by the
+  // slowest, not the sum.
+  auto type = std::make_shared<AbstractType>("sleeper", StdObjectType());
+  type->AddClass("parallel", 8);
+  type->AddOperation(AbstractOperation{
+      .name = "nap",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_await ctx.Sleep(Milliseconds(100));
+        co_return InvokeResult::Ok();
+      },
+      .invocation_class = "parallel",
+  });
+  system_.RegisterType(type->BuildTypeManager());
+  auto cap = system_.node(0).CreateObject("sleeper", Representation{});
+  ASSERT_TRUE(cap.ok());
+
+  SimTime start = system_.sim().now();
+  std::vector<Future<InvokeResult>> futures;
+  for (int i = 0; i < 5; i++) {
+    futures.push_back(system_.node(1).Invoke(*cap, "nap"));
+  }
+  for (auto& future : futures) {
+    ASSERT_TRUE(system_.Await(std::move(future)).ok());
+  }
+  SimDuration elapsed = system_.sim().now() - start;
+  EXPECT_LT(elapsed, Milliseconds(200));  // 5 x 100ms ran concurrently
+}
+
+TEST_F(IntegrationFixture, PolicyObjectRelocatesOtherObjects) {
+  // "Some objects may have the ability to make location decisions for other
+  // objects in the system" (section 4.3). A policy object receives
+  // capabilities and rebalances them across nodes round-robin.
+  auto policy_type = std::make_shared<AbstractType>("placement.policy",
+                                                    StdObjectType());
+  policy_type->AddOperation(AbstractOperation{
+      .name = "rebalance",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        // args: [station...u64 data], caps: the objects to spread out.
+        uint64_t moved = 0;
+        for (size_t i = 0; i < ctx.args().caps.size(); i++) {
+          auto station = ctx.args().U64At(i % ctx.args().data.size());
+          InvokeResult result = co_await ctx.Invoke(
+              ctx.args().caps[i], "move_to", InvokeArgs{}.AddU64(*station));
+          if (result.ok()) {
+            moved++;
+          }
+        }
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(moved));
+      },
+      .required_rights = Rights(Rights::kInvoke),
+  });
+  system_.RegisterType(policy_type->BuildTypeManager());
+
+  // Three counters, all born on node 0.
+  std::vector<Capability> counters;
+  for (int i = 0; i < 3; i++) {
+    auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+    ASSERT_TRUE(cap.ok());
+    counters.push_back(*cap);
+  }
+  auto policy = system_.node(4).CreateObject("placement.policy", Representation{});
+  ASSERT_TRUE(policy.ok());
+
+  InvokeArgs args;
+  args.AddU64(system_.node(1).station());
+  args.AddU64(system_.node(2).station());
+  args.AddU64(system_.node(3).station());
+  for (const Capability& counter : counters) {
+    args.AddCapability(counter);
+  }
+  InvokeResult result = Call(system_.node(4), *policy, "rebalance", std::move(args));
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 3u);
+  system_.RunFor(Milliseconds(50));
+
+  EXPECT_TRUE(system_.node(1).IsActive(counters[0].name()));
+  EXPECT_TRUE(system_.node(2).IsActive(counters[1].name()));
+  EXPECT_TRUE(system_.node(3).IsActive(counters[2].name()));
+  for (const Capability& counter : counters) {
+    EXPECT_TRUE(Call(system_.node(0), counter, "increment").ok());
+  }
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,282 @@
+// Tests for paper section 4.3: the node abstraction, object location,
+// mobility (move), and frozen-object replication/caching.
+#include <gtest/gtest.h>
+
+#include "src/kernel/eden_system.h"
+#include "tests/test_util.h"
+
+namespace eden {
+namespace {
+
+// A counter type extended with a "move_to" operation that relocates the
+// object, and a "freeze" operation.
+std::shared_ptr<TypeManager> MakeMobileCounterType() {
+  auto type = MakeCounterType();
+  type->AddOperation(OperationSpec{
+      .name = "move_to",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto station = ctx.args().U64At(0);
+        if (!station.ok()) {
+          co_return InvokeResult::Error(station.status());
+        }
+        Status status =
+            co_await ctx.RequestMove(static_cast<StationId>(*station));
+        co_return InvokeResult{status, {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kMove),
+  });
+  type->AddOperation(OperationSpec{
+      .name = "freeze",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult{ctx.Freeze(), {}};
+      },
+      .required_rights = Rights(Rights::kInvoke | Rights::kOwner),
+  });
+  type->AddOperation(OperationSpec{
+      .name = "where",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(ctx.node()));
+      },
+      .required_rights = Rights(Rights::kInvoke),
+      .read_only = true,
+  });
+  return type;
+}
+
+class LocationFixture : public ::testing::Test {
+ protected:
+  LocationFixture() {
+    system_.RegisterType(MakeMobileCounterType());
+    system_.AddNodes(5);
+  }
+
+  InvokeResult Call(NodeKernel& from, const Capability& cap, const std::string& op,
+                    InvokeArgs args = {}) {
+    return system_.Await(from.Invoke(cap, op, std::move(args)));
+  }
+
+  EdenSystem system_;
+};
+
+TEST_F(LocationFixture, MoveRelocatesTheObject) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  Call(system_.node(0), *cap, "increment", InvokeArgs{}.AddU64(5));
+
+  InvokeResult result = Call(
+      system_.node(0), *cap, "move_to",
+      InvokeArgs{}.AddU64(system_.node(2).station()));
+  ASSERT_TRUE(result.ok()) << result.status;
+  system_.RunFor(Milliseconds(10));
+
+  EXPECT_FALSE(system_.node(0).IsActive(cap->name()));
+  EXPECT_TRUE(system_.node(2).IsActive(cap->name()));
+
+  // State travelled with the object.
+  result = Call(system_.node(3), *cap, "read");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 5u);
+  result = Call(system_.node(3), *cap, "where");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.U64At(0).value(), system_.node(2).station());
+}
+
+TEST_F(LocationFixture, StaleCacheIsHealedByForwarding) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  // Prime node 4's location cache.
+  ASSERT_TRUE(Call(system_.node(4), *cap, "increment").ok());
+  // Move the object away.
+  ASSERT_TRUE(Call(system_.node(0), *cap, "move_to",
+                   InvokeArgs{}.AddU64(system_.node(1).station()))
+                  .ok());
+  system_.RunFor(Milliseconds(10));
+
+  // Node 4 still points at node 0; the invocation follows the forwarding
+  // address transparently.
+  uint64_t redirects_before = system_.node(4).stats().redirects_followed;
+  InvokeResult result = Call(system_.node(4), *cap, "increment");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 2u);
+  EXPECT_GT(system_.node(4).stats().redirects_followed, redirects_before);
+
+  // The healed cache goes straight to node 1 now.
+  uint64_t redirects_after = system_.node(4).stats().redirects_followed;
+  ASSERT_TRUE(Call(system_.node(4), *cap, "increment").ok());
+  EXPECT_EQ(system_.node(4).stats().redirects_followed, redirects_after);
+}
+
+TEST_F(LocationFixture, ChainedMovesAreFollowed) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(Call(system_.node(4), *cap, "increment").ok());  // prime cache
+
+  // Move 0 -> 1 -> 2 -> 3.
+  for (size_t hop = 1; hop <= 3; hop++) {
+    ASSERT_TRUE(Call(system_.node(0), *cap, "move_to",
+                     InvokeArgs{}.AddU64(system_.node(hop).station()))
+                    .ok());
+    system_.RunFor(Milliseconds(10));
+  }
+  EXPECT_TRUE(system_.node(3).IsActive(cap->name()));
+
+  InvokeResult result = Call(system_.node(4), *cap, "read");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 1u);
+}
+
+TEST_F(LocationFixture, MoveToUnreachableNodeAbortsAndRecovers) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  Call(system_.node(0), *cap, "increment", InvokeArgs{}.AddU64(3));
+  system_.node(2).FailNode();
+
+  InvokeResult result = Call(
+      system_.node(0), *cap, "move_to",
+      InvokeArgs{}.AddU64(system_.node(2).station()));
+  EXPECT_FALSE(result.ok());
+
+  // The object still serves at its original home.
+  EXPECT_TRUE(system_.node(0).IsActive(cap->name()));
+  result = Call(system_.node(1), *cap, "read");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 3u);
+}
+
+TEST_F(LocationFixture, MoveWaitsForRunningInvocationsToDrain) {
+  // A slow operation is in flight when the move is requested; the move only
+  // completes after it drains, and the slow invocation still gets its reply.
+  auto type = std::make_shared<TypeManager>("slowpoke");
+  size_t parallel = type->AddClass("parallel", 4);
+  type->AddOperation(OperationSpec{
+      .name = "slow",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_await ctx.Sleep(Milliseconds(200));
+        co_return InvokeResult::Ok(InvokeArgs{}.AddString("slept"));
+      },
+      .invocation_class = parallel,
+  });
+  type->AddOperation(OperationSpec{
+      .name = "go",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        auto station = ctx.args().U64At(0);
+        Status status =
+            co_await ctx.RequestMove(static_cast<StationId>(*station));
+        co_return InvokeResult{status, {}};
+      },
+      .invocation_class = parallel,
+  });
+  system_.RegisterType(type);
+
+  auto cap = system_.node(0).CreateObject("slowpoke", Representation{});
+  ASSERT_TRUE(cap.ok());
+  Future<InvokeResult> slow = system_.node(1).Invoke(*cap, "slow");
+  system_.RunFor(Milliseconds(20));  // let it start
+  Future<InvokeResult> move = system_.node(1).Invoke(
+      *cap, "go", InvokeArgs{}.AddU64(system_.node(2).station()));
+
+  InvokeResult slow_result = system_.Await(std::move(slow));
+  EXPECT_TRUE(slow_result.ok()) << slow_result.status;
+  EXPECT_EQ(slow_result.results.StringAt(0).value(), "slept");
+  InvokeResult move_result = system_.Await(std::move(move));
+  EXPECT_TRUE(move_result.ok()) << move_result.status;
+  system_.RunFor(Milliseconds(10));
+  EXPECT_TRUE(system_.node(2).IsActive(cap->name()));
+}
+
+TEST_F(LocationFixture, FrozenObjectRejectsMutation) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  Call(system_.node(0), *cap, "increment", InvokeArgs{}.AddU64(9));
+  ASSERT_TRUE(Call(system_.node(0), *cap, "freeze").ok());
+
+  InvokeResult result = Call(system_.node(0), *cap, "increment");
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+  result = Call(system_.node(0), *cap, "read");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.U64At(0).value(), 9u);
+}
+
+TEST_F(LocationFixture, FrozenObjectIsCachedAndServedLocally) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  Call(system_.node(0), *cap, "increment", InvokeArgs{}.AddU64(9));
+  ASSERT_TRUE(Call(system_.node(0), *cap, "freeze").ok());
+
+  // First remote read announces "frozen"; the invoking kernel caches a
+  // replica in the background.
+  InvokeResult result = Call(system_.node(3), *cap, "read");
+  ASSERT_TRUE(result.ok());
+  system_.RunFor(Milliseconds(50));
+  EXPECT_TRUE(system_.node(3).HasReplica(cap->name()));
+
+  // Subsequent reads are served from the local replica: no remote traffic.
+  uint64_t remote_before = system_.node(3).stats().invocations_remote;
+  uint64_t replica_reads_before = system_.node(3).stats().replica_reads;
+  result = Call(system_.node(3), *cap, "read");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.U64At(0).value(), 9u);
+  EXPECT_EQ(system_.node(3).stats().invocations_remote, remote_before);
+  EXPECT_GT(system_.node(3).stats().replica_reads, replica_reads_before);
+}
+
+TEST_F(LocationFixture, ReplicaDoesNotServeMutations) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(Call(system_.node(0), *cap, "freeze").ok());
+  Call(system_.node(3), *cap, "read");
+  system_.RunFor(Milliseconds(50));
+  ASSERT_TRUE(system_.node(3).HasReplica(cap->name()));
+
+  // A mutating operation is routed to the (frozen) authoritative copy and
+  // refused there, not silently applied to the replica.
+  InvokeResult result = Call(system_.node(3), *cap, "increment");
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LocationFixture, PartitionMakesObjectUnavailableThenHeals) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(Call(system_.node(3), *cap, "increment").ok());
+
+  // Partition node 3 away from node 0.
+  system_.lan().SetPartitionGroup(system_.node(3).station(), 1);
+  InvokeResult result = system_.Await(
+      system_.node(3).Invoke(*cap, "read", {}, Milliseconds(500)));
+  EXPECT_FALSE(result.ok());
+
+  system_.lan().ClearPartitions();
+  result = Call(system_.node(3), *cap, "read");
+  EXPECT_TRUE(result.ok()) << result.status;
+}
+
+TEST_F(LocationFixture, InvocationClassLimitSerializesWriters) {
+  // Two slow writers on a limit-1 class must not overlap; with a limit-4
+  // class they do. We detect overlap through virtual completion times.
+  auto type = std::make_shared<TypeManager>("serialized");
+  type->AddOperation(OperationSpec{
+      .name = "work",
+      .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
+        co_await ctx.Sleep(Milliseconds(100));
+        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(
+            static_cast<uint64_t>(ctx.sim().now())));
+      },
+  });  // default class, limit 1
+  system_.RegisterType(type);
+  auto cap = system_.node(0).CreateObject("serialized", Representation{});
+  ASSERT_TRUE(cap.ok());
+
+  Future<InvokeResult> first = system_.node(1).Invoke(*cap, "work");
+  Future<InvokeResult> second = system_.node(2).Invoke(*cap, "work");
+  InvokeResult r1 = system_.Await(std::move(first));
+  InvokeResult r2 = system_.Await(std::move(second));
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  int64_t t1 = static_cast<int64_t>(r1.results.U64At(0).value());
+  int64_t t2 = static_cast<int64_t>(r2.results.U64At(0).value());
+  // Completions at least one full work-period apart: strictly serialized.
+  EXPECT_GE(std::abs(t2 - t1), Milliseconds(100));
+}
+
+}  // namespace
+}  // namespace eden

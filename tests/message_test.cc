@@ -1,0 +1,206 @@
+// Codec tests for every kernel wire message: round trips, kind dispatch, and
+// rejection of truncated/corrupted buffers (nothing a peer sends may crash a
+// kernel).
+#include <gtest/gtest.h>
+
+#include "src/kernel/message.h"
+
+namespace eden {
+namespace {
+
+Capability SampleCapability() {
+  return Capability(ObjectName(3, 77, 0xabcd), Rights(Rights::kInvoke | Rights::kRead));
+}
+
+Representation SampleRepresentation() {
+  Representation rep;
+  rep.SetDataFromString(0, "state");
+  rep.AddCapability(SampleCapability());
+  return rep;
+}
+
+// Every decoder must reject every strict prefix of a valid encoding.
+template <typename Msg>
+void ExpectPrefixRejection(const Bytes& encoded) {
+  for (size_t cut = 1; cut + 1 < encoded.size(); cut += 3) {
+    Bytes truncated(encoded.begin(), encoded.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Msg::Decode(truncated).ok()) << "prefix length " << cut;
+  }
+}
+
+TEST(MessageTest, InvokeRequestRoundTrip) {
+  InvokeRequestMsg msg;
+  msg.invocation_id = 0x123456789abcULL;
+  msg.reply_to = 4;
+  msg.target = SampleCapability();
+  msg.operation = "put";
+  msg.args.AddString("this is a new line").AddCapability(SampleCapability());
+  msg.avoid_hosts = {9, 11};
+
+  Bytes encoded = msg.Encode();
+  EXPECT_EQ(PeekMessageKind(encoded).value(), MessageKind::kInvokeRequest);
+  auto decoded = InvokeRequestMsg::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->invocation_id, msg.invocation_id);
+  EXPECT_EQ(decoded->reply_to, msg.reply_to);
+  EXPECT_EQ(decoded->target, msg.target);
+  EXPECT_EQ(decoded->operation, "put");
+  EXPECT_EQ(decoded->args.StringAt(0).value(), "this is a new line");
+  EXPECT_EQ(decoded->avoid_hosts, (std::vector<StationId>{9, 11}));
+  ExpectPrefixRejection<InvokeRequestMsg>(encoded);
+}
+
+TEST(MessageTest, InvokeReplyRoundTrip) {
+  InvokeReplyMsg msg;
+  msg.invocation_id = 42;
+  msg.result.status = TimeoutError("too slow");
+  msg.result.results.AddU64(7);
+  msg.target_frozen = true;
+
+  Bytes encoded = msg.Encode();
+  auto decoded = InvokeReplyMsg::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->result.status.code(), StatusCode::kTimeout);
+  EXPECT_EQ(decoded->result.status.message(), "too slow");
+  EXPECT_EQ(decoded->result.results.U64At(0).value(), 7u);
+  EXPECT_TRUE(decoded->target_frozen);
+  ExpectPrefixRejection<InvokeReplyMsg>(encoded);
+}
+
+TEST(MessageTest, InvokeRedirectRoundTrip) {
+  InvokeRedirectMsg msg;
+  msg.invocation_id = 5;
+  msg.name = ObjectName(1, 2, 3);
+  msg.new_host = kNoStation;
+  auto decoded = InvokeRedirectMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->new_host, kNoStation);
+  EXPECT_EQ(decoded->name, msg.name);
+}
+
+TEST(MessageTest, LocateRoundTrips) {
+  LocateRequestMsg request;
+  request.query_id = 77;
+  request.reply_to = 2;
+  request.name = ObjectName(9, 9, 9);
+  auto decoded_request = LocateRequestMsg::Decode(request.Encode());
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request->query_id, 77u);
+
+  LocateReplyMsg reply;
+  reply.query_id = 77;
+  reply.name = request.name;
+  reply.host = 3;
+  reply.active = true;
+  auto decoded_reply = LocateReplyMsg::Decode(reply.Encode());
+  ASSERT_TRUE(decoded_reply.ok());
+  EXPECT_TRUE(decoded_reply->active);
+  EXPECT_EQ(decoded_reply->host, 3u);
+}
+
+TEST(MessageTest, MoveTransferRoundTripCarriesEverything) {
+  MoveTransferMsg msg;
+  msg.transfer_id = 8;
+  msg.source = 1;
+  msg.name = ObjectName(1, 5, 6);
+  msg.type_name = "std.mailbox";
+  msg.representation = SampleRepresentation();
+  msg.policy = CheckpointPolicy{2, ReliabilityLevel::kMirrored, 3};
+  msg.frozen = true;
+
+  Bytes encoded = msg.Encode();
+  auto decoded = MoveTransferMsg::Decode(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type_name, "std.mailbox");
+  EXPECT_EQ(decoded->representation, msg.representation);
+  EXPECT_EQ(decoded->policy.level, ReliabilityLevel::kMirrored);
+  EXPECT_EQ(decoded->policy.mirror_site, 3u);
+  EXPECT_TRUE(decoded->frozen);
+  ExpectPrefixRejection<MoveTransferMsg>(encoded);
+}
+
+TEST(MessageTest, MoveAckRoundTrip) {
+  MoveAckMsg msg;
+  msg.transfer_id = 11;
+  msg.name = ObjectName(4, 4, 4);
+  msg.accepted = true;
+  auto decoded = MoveAckMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->accepted);
+}
+
+TEST(MessageTest, CheckpointMessagesRoundTrip) {
+  CheckpointPutMsg put;
+  put.request_id = 13;
+  put.reply_to = 1;
+  put.name = ObjectName(2, 3, 4);
+  put.record = ToBytes("record bytes");
+  put.is_mirror = true;
+  auto decoded_put = CheckpointPutMsg::Decode(put.Encode());
+  ASSERT_TRUE(decoded_put.ok());
+  EXPECT_TRUE(decoded_put->is_mirror);
+  EXPECT_EQ(ToString(decoded_put->record), "record bytes");
+
+  CheckpointAckMsg ack;
+  ack.request_id = 13;
+  ack.ok = true;
+  auto decoded_ack = CheckpointAckMsg::Decode(ack.Encode());
+  ASSERT_TRUE(decoded_ack.ok());
+  EXPECT_TRUE(decoded_ack->ok);
+
+  CheckpointEraseMsg erase;
+  erase.name = put.name;
+  auto decoded_erase = CheckpointEraseMsg::Decode(erase.Encode());
+  ASSERT_TRUE(decoded_erase.ok());
+  EXPECT_EQ(decoded_erase->name, put.name);
+}
+
+TEST(MessageTest, ReplicaMessagesRoundTrip) {
+  ReplicaFetchMsg fetch;
+  fetch.request_id = 21;
+  fetch.reply_to = 0;
+  fetch.name = ObjectName(7, 8, 9);
+  auto decoded_fetch = ReplicaFetchMsg::Decode(fetch.Encode());
+  ASSERT_TRUE(decoded_fetch.ok());
+  EXPECT_EQ(decoded_fetch->name, fetch.name);
+
+  ReplicaReplyMsg reply;
+  reply.request_id = 21;
+  reply.name = fetch.name;
+  reply.ok = true;
+  reply.type_name = "std.data";
+  reply.representation = SampleRepresentation();
+  Bytes encoded = reply.Encode();
+  auto decoded_reply = ReplicaReplyMsg::Decode(encoded);
+  ASSERT_TRUE(decoded_reply.ok());
+  EXPECT_EQ(decoded_reply->representation, reply.representation);
+  ExpectPrefixRejection<ReplicaReplyMsg>(encoded);
+}
+
+TEST(MessageTest, PeekRejectsGarbage) {
+  EXPECT_FALSE(PeekMessageKind({}).ok());
+  EXPECT_FALSE(PeekMessageKind({0x00}).ok());
+  EXPECT_FALSE(PeekMessageKind({0xee, 0x01}).ok());
+}
+
+TEST(MessageTest, DecodersRejectWrongKind) {
+  LocateRequestMsg locate;
+  locate.query_id = 1;
+  locate.reply_to = 0;
+  locate.name = ObjectName(1, 1, 1);
+  Bytes encoded = locate.Encode();
+  EXPECT_FALSE(InvokeRequestMsg::Decode(encoded).ok());
+  EXPECT_FALSE(MoveAckMsg::Decode(encoded).ok());
+}
+
+TEST(MessageTest, CheckpointPolicyRejectsBadLevel) {
+  BufferWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU8(99);  // invalid ReliabilityLevel
+  writer.WriteU32(2);
+  BufferReader reader(writer.buffer());
+  EXPECT_FALSE(CheckpointPolicy::Decode(reader).ok());
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,244 @@
+// Unit tests for the simulated Ethernet and the reliable transport.
+#include <gtest/gtest.h>
+
+#include "src/net/lan.h"
+#include "src/net/transport.h"
+#include "src/sim/simulation.h"
+
+namespace eden {
+namespace {
+
+TEST(LanTest, UnicastFrameIsDeliveredWithWireDelay) {
+  Simulation sim;
+  Lan lan(sim);
+  Station* a = lan.AttachStation();
+  Station* b = lan.AttachStation();
+
+  bool delivered = false;
+  b->SetReceiveHandler([&](const Frame& frame) {
+    delivered = true;
+    EXPECT_EQ(frame.src, a->id());
+    EXPECT_EQ(ToString(frame.payload), "ping");
+  });
+  a->Send(Frame{0, b->id(), ToBytes("ping")});
+  sim.Run();
+  EXPECT_TRUE(delivered);
+  // 64-byte minimum frame at 10 Mb/s = 51.2 us + 5 us propagation.
+  EXPECT_GE(sim.now(), Microseconds(56));
+  EXPECT_LT(sim.now(), Microseconds(80));
+  EXPECT_EQ(lan.stats().frames_sent, 1u);
+  EXPECT_EQ(lan.stats().frames_delivered, 1u);
+}
+
+TEST(LanTest, BroadcastReachesEveryoneButSender) {
+  Simulation sim;
+  Lan lan(sim);
+  Station* sender = lan.AttachStation();
+  int received = 0;
+  for (int i = 0; i < 4; i++) {
+    Station* s = lan.AttachStation();
+    s->SetReceiveHandler([&received](const Frame&) { received++; });
+  }
+  sender->SetReceiveHandler([&received](const Frame&) { received += 100; });
+  sender->Send(Frame{0, kBroadcastStation, ToBytes("hello all")});
+  sim.Run();
+  EXPECT_EQ(received, 4);
+}
+
+TEST(LanTest, FramesFromOneStationStayOrdered) {
+  Simulation sim;
+  Lan lan(sim);
+  Station* a = lan.AttachStation();
+  Station* b = lan.AttachStation();
+  std::vector<std::string> seen;
+  b->SetReceiveHandler(
+      [&](const Frame& frame) { seen.push_back(ToString(frame.payload)); });
+  for (int i = 0; i < 10; i++) {
+    a->Send(Frame{0, b->id(), ToBytes("m" + std::to_string(i))});
+  }
+  sim.Run();
+  ASSERT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(seen[i], "m" + std::to_string(i));
+  }
+}
+
+TEST(LanTest, ContendingStationsAllEventuallyTransmit) {
+  Simulation sim;
+  Lan lan(sim);
+  constexpr int kStations = 8;
+  Station* sink = lan.AttachStation();
+  int received = 0;
+  sink->SetReceiveHandler([&](const Frame&) { received++; });
+  std::vector<Station*> stations;
+  for (int i = 0; i < kStations; i++) {
+    stations.push_back(lan.AttachStation());
+  }
+  // Everyone transmits "simultaneously": collisions + backoff must resolve.
+  for (Station* s : stations) {
+    s->Send(Frame{0, sink->id(), Bytes(512)});
+  }
+  sim.Run();
+  EXPECT_EQ(received, kStations);
+  EXPECT_EQ(lan.stats().transmit_failures, 0u);
+}
+
+TEST(LanTest, LossInjectionDropsFrames) {
+  Simulation sim;
+  LanConfig config;
+  config.loss_probability = 1.0;
+  Lan lan(sim, config);
+  Station* a = lan.AttachStation();
+  Station* b = lan.AttachStation();
+  bool delivered = false;
+  b->SetReceiveHandler([&](const Frame&) { delivered = true; });
+  a->Send(Frame{0, b->id(), ToBytes("doomed")});
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(lan.stats().frames_lost, 1u);
+}
+
+TEST(LanTest, PartitionBlocksCrossGroupTraffic) {
+  Simulation sim;
+  Lan lan(sim);
+  Station* a = lan.AttachStation();
+  Station* b = lan.AttachStation();
+  Station* c = lan.AttachStation();
+  int b_got = 0, c_got = 0;
+  b->SetReceiveHandler([&](const Frame&) { b_got++; });
+  c->SetReceiveHandler([&](const Frame&) { c_got++; });
+
+  lan.SetPartitionGroup(c->id(), 1);
+  a->Send(Frame{0, kBroadcastStation, ToBytes("hi")});
+  sim.Run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+
+  lan.ClearPartitions();
+  a->Send(Frame{0, c->id(), ToBytes("hi again")});
+  sim.Run();
+  EXPECT_EQ(c_got, 1);
+}
+
+TEST(LanTest, DetachedStationIsUnreachable) {
+  Simulation sim;
+  Lan lan(sim);
+  Station* a = lan.AttachStation();
+  Station* b = lan.AttachStation();
+  int received = 0;
+  b->SetReceiveHandler([&](const Frame&) { received++; });
+  lan.DetachStation(b->id());
+  a->Send(Frame{0, b->id(), ToBytes("void")});
+  sim.Run();
+  EXPECT_EQ(received, 0);
+  lan.ReattachStation(b->id());
+  a->Send(Frame{0, b->id(), ToBytes("back")});
+  sim.Run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(LanTest, FrameTimeScalesWithSize) {
+  Simulation sim;
+  Lan lan(sim);
+  SimDuration small = lan.FrameTime(64);
+  SimDuration big = lan.FrameTime(1500);
+  EXPECT_GT(big, small);
+  // 1500+38 bytes at 10 Mb/s = ~1230 us.
+  EXPECT_NEAR(static_cast<double>(big), 1230.4e3, 1e3);
+}
+
+class TransportFixture : public ::testing::Test {
+ protected:
+  TransportFixture() : lan_(sim_) {}
+
+  Simulation sim_;
+  Lan lan_;
+};
+
+TEST_F(TransportFixture, SmallMessageRoundTrip) {
+  Transport a(sim_, lan_), b(sim_, lan_);
+  std::string received;
+  b.SetHandler([&](StationId src, const Bytes& message) {
+    EXPECT_EQ(src, a.station_id());
+    received = ToString(message);
+  });
+  a.SendReliable(b.station_id(), ToBytes("kernel message"));
+  sim_.Run();
+  EXPECT_EQ(received, "kernel message");
+  EXPECT_EQ(b.stats().messages_delivered, 1u);
+}
+
+TEST_F(TransportFixture, LargeMessageIsFragmentedAndReassembled) {
+  Transport a(sim_, lan_), b(sim_, lan_);
+  Bytes big(100 * 1024);
+  for (size_t i = 0; i < big.size(); i++) {
+    big[i] = static_cast<uint8_t>(i * 31);
+  }
+  Bytes received;
+  b.SetHandler([&](StationId, const Bytes& message) { received = message; });
+  a.SendReliable(b.station_id(), big);
+  sim_.Run();
+  EXPECT_EQ(received, big);
+  EXPECT_GT(a.stats().fragments_sent, 60u);  // ~1.5 KB MTU
+}
+
+TEST_F(TransportFixture, LossyWireIsSurvivedByRetransmission) {
+  lan_.set_loss_probability(0.2);
+  Transport a(sim_, lan_), b(sim_, lan_);
+  int delivered = 0;
+  b.SetHandler([&](StationId, const Bytes&) { delivered++; });
+  for (int i = 0; i < 20; i++) {
+    a.SendReliable(b.station_id(), Bytes(3000));
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 20);
+  EXPECT_GT(a.stats().retransmits, 0u);
+}
+
+TEST_F(TransportFixture, DuplicatesAreSuppressedExactlyOnceDelivery) {
+  // Drop many frames so acks get lost and retransmissions duplicate.
+  lan_.set_loss_probability(0.3);
+  Transport a(sim_, lan_), b(sim_, lan_);
+  int delivered = 0;
+  b.SetHandler([&](StationId, const Bytes&) { delivered++; });
+  for (int i = 0; i < 30; i++) {
+    a.SendReliable(b.station_id(), ToBytes("msg" + std::to_string(i)));
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 30);  // never more than once each
+}
+
+TEST_F(TransportFixture, BestEffortBroadcastReachesAll) {
+  Transport a(sim_, lan_), b(sim_, lan_), c(sim_, lan_);
+  int received = 0;
+  b.SetHandler([&](StationId, const Bytes&) { received++; });
+  c.SetHandler([&](StationId, const Bytes&) { received++; });
+  a.SendBestEffort(kBroadcastStation, ToBytes("who has object 42?"));
+  sim_.Run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(a.stats().acks_sent, 0u);
+  EXPECT_EQ(b.stats().acks_sent, 0u);
+}
+
+TEST_F(TransportFixture, GivesUpAfterMaxRetransmits) {
+  Transport a(sim_, lan_), b(sim_, lan_);
+  lan_.DetachStation(b.station_id());
+  a.SendReliable(b.station_id(), ToBytes("into the void"));
+  sim_.Run();
+  EXPECT_EQ(a.stats().send_failures, 1u);
+  EXPECT_EQ(b.stats().messages_delivered, 0u);
+}
+
+TEST_F(TransportFixture, ResetDropsPendingState) {
+  Transport a(sim_, lan_), b(sim_, lan_);
+  lan_.DetachStation(b.station_id());
+  a.SendReliable(b.station_id(), ToBytes("doomed"));
+  sim_.RunFor(Milliseconds(5));
+  a.Reset();
+  sim_.Run();
+  // After reset nothing is retransmitted and no failure is recorded for it.
+  EXPECT_EQ(a.stats().send_failures, 0u);
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,284 @@
+// Unit tests for the discrete-event simulation core: clock, event queue,
+// cancellation, RNG determinism, and the coroutine task/future layer.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/simulation.h"
+#include "src/sim/task.h"
+
+namespace eden {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(Milliseconds(30), [&] { order.push_back(3); });
+  sim.Schedule(Milliseconds(10), [&] { order.push_back(1); });
+  sim.Schedule(Milliseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Milliseconds(30));
+}
+
+TEST(SimulationTest, SameTimestampIsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; i++) {
+    sim.Schedule(Milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.Schedule(Milliseconds(5), [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulationTest, CancelAfterFireIsHarmless) {
+  Simulation sim;
+  EventId id = sim.Schedule(0, [] {});
+  sim.Run();
+  sim.Cancel(id);  // no crash, no effect
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockToDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.Schedule(Milliseconds(10), [&] { fired++; });
+  sim.Schedule(Milliseconds(100), [&] { fired++; });
+  sim.RunUntil(Milliseconds(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Milliseconds(50));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) {
+      sim.Schedule(Milliseconds(1), recurse);
+    }
+  };
+  sim.Schedule(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), Milliseconds(9));
+}
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DoubleIsInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) {
+    double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyTheRequestedMean) {
+  Rng rng(99);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; i++) {
+    sum += rng.NextExponential(5.0);
+  }
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 5.0, 0.2);
+}
+
+TEST(RngTest, NextInRangeIsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; i++) {
+    int64_t value = rng.NextInRange(2, 4);
+    EXPECT_GE(value, 2);
+    EXPECT_LE(value, 4);
+    saw_lo |= (value == 2);
+    saw_hi |= (value == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(FutureTest, ReadyValuePropagates) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  EXPECT_FALSE(future.ready());
+  promise.Set(42);
+  EXPECT_TRUE(future.ready());
+  EXPECT_EQ(future.Get(), 42);
+}
+
+TEST(FutureTest, CallbacksFireOnSetAndImmediatelyWhenLate) {
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  int calls = 0;
+  future.OnReady([&] { calls++; });
+  promise.Set(1);
+  EXPECT_EQ(calls, 1);
+  future.OnReady([&] { calls++; });  // already set: fires immediately
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(TaskTest, CoroutineAwaitsFutureAndResumes) {
+  Simulation sim;
+  Promise<int> promise;
+  Future<int> future = promise.GetFuture();
+  int observed = -1;
+
+  auto coro = [&](Future<int> f) -> Task<void> {
+    observed = co_await f;
+  };
+  Spawn(coro(future));
+  EXPECT_EQ(observed, -1);  // suspended
+  promise.Set(7);
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(TaskTest, SleepForAdvancesVirtualTime) {
+  Simulation sim;
+  SimTime woke_at = -1;
+  auto coro = [&]() -> Task<void> {
+    co_await SleepFor(sim, Milliseconds(25));
+    woke_at = sim.now();
+  };
+  Spawn(coro());
+  sim.Run();
+  EXPECT_EQ(woke_at, Milliseconds(25));
+}
+
+TEST(TaskTest, NestedTasksChainResults) {
+  Simulation sim;
+  auto inner = [&]() -> Task<int> {
+    co_await SleepFor(sim, Milliseconds(1));
+    co_return 10;
+  };
+  auto outer = [&]() -> Task<int> {
+    int a = co_await inner();
+    int b = co_await inner();
+    co_return a + b;
+  };
+  Future<int> result = Launch(outer());
+  sim.Run();
+  ASSERT_TRUE(result.ready());
+  EXPECT_EQ(result.Get(), 20);
+  EXPECT_EQ(sim.now(), Milliseconds(2));
+}
+
+TEST(TaskTest, MultipleWaitersAllResume) {
+  Simulation sim;
+  Promise<Unit> promise;
+  Future<Unit> future = promise.GetFuture();
+  int resumed = 0;
+  auto waiter = [&](Future<Unit> f) -> Task<void> {
+    co_await f;
+    resumed++;
+  };
+  for (int i = 0; i < 5; i++) {
+    Spawn(waiter(future));
+  }
+  EXPECT_EQ(resumed, 0);
+  promise.Set(Unit{});
+  EXPECT_EQ(resumed, 5);
+}
+
+TEST(TaskTest, LaunchExposesTaskResultAsFuture) {
+  Simulation sim;
+  auto work = [&]() -> Task<std::string> {
+    co_await SleepFor(sim, Microseconds(10));
+    co_return "done";
+  };
+  Future<std::string> future = Launch(work());
+  EXPECT_FALSE(future.ready());
+  sim.Run();
+  ASSERT_TRUE(future.ready());
+  EXPECT_EQ(future.Get(), "done");
+}
+
+TEST(BytesTest, WriterReaderRoundTripAllTypes) {
+  BufferWriter writer;
+  writer.WriteU8(0xab);
+  writer.WriteU16(0x1234);
+  writer.WriteU32(0xdeadbeef);
+  writer.WriteU64(0x0123456789abcdefULL);
+  writer.WriteI64(-42);
+  writer.WriteVarint(300);
+  writer.WriteString("hello");
+  writer.WriteBool(true);
+  writer.WriteDouble(3.25);
+  Bytes buffer = writer.Take();
+
+  BufferReader reader(buffer);
+  EXPECT_EQ(reader.ReadU8().value(), 0xab);
+  EXPECT_EQ(reader.ReadU16().value(), 0x1234);
+  EXPECT_EQ(reader.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(reader.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(reader.ReadI64().value(), -42);
+  EXPECT_EQ(reader.ReadVarint().value(), 300u);
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_EQ(reader.ReadBool().value(), true);
+  EXPECT_EQ(reader.ReadDouble().value(), 3.25);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadsFailCleanly) {
+  BufferWriter writer;
+  writer.WriteU64(1);
+  Bytes buffer = writer.Take();
+  buffer.resize(3);
+  BufferReader reader(buffer);
+  EXPECT_FALSE(reader.ReadU64().ok());
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  for (uint64_t value : {0ull, 127ull, 128ull, 16383ull, 16384ull,
+                         0xffffffffffffffffull}) {
+    BufferWriter writer;
+    writer.WriteVarint(value);
+    BufferReader reader(writer.buffer());
+    EXPECT_EQ(reader.ReadVarint().value(), value);
+  }
+}
+
+TEST(BytesTest, MalformedVarintRejected) {
+  Bytes evil(11, 0x80);  // continuation bits forever
+  BufferReader reader(evil);
+  EXPECT_FALSE(reader.ReadVarint().ok());
+}
+
+TEST(StatusTest, MacrosPropagateErrors) {
+  auto inner = []() -> StatusOr<int> { return NotFoundError("nope"); };
+  auto outer = [&]() -> StatusOr<int> {
+    EDEN_ASSIGN_OR_RETURN(int value, inner());
+    return value + 1;
+  };
+  auto result = outer();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(OkStatus().ToString(), "OK");
+  EXPECT_EQ(TimeoutError("too slow").ToString(), "TIMEOUT: too slow");
+}
+
+}  // namespace
+}  // namespace eden

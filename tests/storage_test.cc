@@ -1,0 +1,120 @@
+// Unit tests for the simulated stable store (the per-node disk).
+#include <gtest/gtest.h>
+
+#include "src/sim/task.h"
+#include "src/storage/stable_store.h"
+
+namespace eden {
+namespace {
+
+template <typename T>
+T Await(Simulation& sim, Future<T> future) {
+  sim.RunWhile([&] { return !future.ready(); });
+  EXPECT_TRUE(future.ready());
+  return future.Get();
+}
+
+TEST(StableStoreTest, PutThenGetReturnsValue) {
+  Simulation sim;
+  StableStore store(sim);
+  ASSERT_TRUE(Await(sim, store.Put("key", ToBytes("value"))).ok());
+  auto read = Await(sim, store.Get("key"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(ToString(*read), "value");
+}
+
+TEST(StableStoreTest, GetMissingIsNotFound) {
+  Simulation sim;
+  StableStore store(sim);
+  auto read = Await(sim, store.Get("missing"));
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StableStoreTest, OverwriteReplacesAndAccountsBytes) {
+  Simulation sim;
+  StableStore store(sim);
+  ASSERT_TRUE(Await(sim, store.Put("k", Bytes(1000))).ok());
+  EXPECT_EQ(store.bytes_used(), 1000u);
+  ASSERT_TRUE(Await(sim, store.Put("k", Bytes(10))).ok());
+  EXPECT_EQ(store.bytes_used(), 10u);
+  EXPECT_EQ(store.record_count(), 1u);
+}
+
+TEST(StableStoreTest, DeleteRemovesRecord) {
+  Simulation sim;
+  StableStore store(sim);
+  ASSERT_TRUE(Await(sim, store.Put("k", ToBytes("x"))).ok());
+  EXPECT_TRUE(store.Contains("k"));
+  ASSERT_TRUE(Await(sim, store.Delete("k")).ok());
+  EXPECT_FALSE(store.Contains("k"));
+  EXPECT_EQ(store.bytes_used(), 0u);
+  // Deleting again is OK (idempotent).
+  EXPECT_TRUE(Await(sim, store.Delete("k")).ok());
+}
+
+TEST(StableStoreTest, ServiceTimeIncludesSeekAndTransfer) {
+  Simulation sim;
+  DiskConfig config;
+  config.average_seek = Milliseconds(30);
+  config.rotational_latency = Milliseconds(8);
+  config.transfer_bytes_per_sec = 1e6;
+  StableStore store(sim, config);
+
+  SimTime start = sim.now();
+  ASSERT_TRUE(Await(sim, store.Put("k", Bytes(100000))).ok());
+  SimDuration elapsed = sim.now() - start;
+  // 38 ms access + 100 ms transfer.
+  EXPECT_NEAR(static_cast<double>(elapsed), 138e6, 2e6);
+}
+
+TEST(StableStoreTest, RequestsQueueThroughOneArm) {
+  Simulation sim;
+  StableStore store(sim);
+  Future<Status> first = store.Put("a", Bytes(10));
+  Future<Status> second = store.Put("b", Bytes(10));
+  SimTime start = sim.now();
+  Await(sim, second);
+  // Two sequential accesses, not one: the arm serializes.
+  EXPECT_GE(sim.now() - start, 2 * Milliseconds(38));
+  EXPECT_TRUE(first.ready());
+}
+
+TEST(StableStoreTest, CapacityIsEnforced) {
+  Simulation sim;
+  DiskConfig config;
+  config.capacity_bytes = 1000;
+  StableStore store(sim, config);
+  EXPECT_TRUE(Await(sim, store.Put("fits", Bytes(900))).ok());
+  Status status = Await(sim, store.Put("overflow", Bytes(200)));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  // Replacing the existing record within capacity is fine.
+  EXPECT_TRUE(Await(sim, store.Put("fits", Bytes(990))).ok());
+}
+
+TEST(StableStoreTest, KeysListsEverything) {
+  Simulation sim;
+  StableStore store(sim);
+  Await(sim, store.Put("b", Bytes(1)));
+  Await(sim, store.Put("a", Bytes(1)));
+  auto keys = store.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(StableStoreTest, StatsAccumulate) {
+  Simulation sim;
+  StableStore store(sim);
+  Await(sim, store.Put("k", Bytes(500)));
+  Await(sim, store.Get("k"));
+  Await(sim, store.Delete("k"));
+  EXPECT_EQ(store.stats().writes, 1u);
+  EXPECT_EQ(store.stats().reads, 1u);
+  EXPECT_EQ(store.stats().deletes, 1u);
+  EXPECT_EQ(store.stats().written_bytes, 500u);
+  EXPECT_EQ(store.stats().read_bytes, 500u);
+  EXPECT_GT(store.stats().busy_time, 0);
+}
+
+}  // namespace
+}  // namespace eden

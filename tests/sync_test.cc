@@ -1,0 +1,172 @@
+// Unit tests for the intra-object synchronization primitives of paper
+// section 4.2: semaphores and message ports, including their crash behavior
+// (they are short-term state).
+#include <gtest/gtest.h>
+
+#include "src/kernel/sync.h"
+#include "src/sim/simulation.h"
+
+namespace eden {
+namespace {
+
+TEST(SemaphoreTest, PSucceedsImmediatelyWhenAvailable) {
+  Semaphore sem(2);
+  Future<Status> first = sem.P();
+  Future<Status> second = sem.P();
+  EXPECT_TRUE(first.ready());
+  EXPECT_TRUE(second.ready());
+  EXPECT_TRUE(first.Get().ok());
+  EXPECT_EQ(sem.value(), 0);
+}
+
+TEST(SemaphoreTest, PBlocksUntilV) {
+  Semaphore sem(0);
+  Future<Status> waiter = sem.P();
+  EXPECT_FALSE(waiter.ready());
+  sem.V();
+  ASSERT_TRUE(waiter.ready());
+  EXPECT_TRUE(waiter.Get().ok());
+}
+
+TEST(SemaphoreTest, WaitersWakeInFifoOrder) {
+  Semaphore sem(0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; i++) {
+    sem.P().OnReady([&order, i] { order.push_back(i); });
+  }
+  sem.V();
+  sem.V();
+  sem.V();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SemaphoreTest, VWithNoWaitersAccumulates) {
+  Semaphore sem(0);
+  sem.V();
+  sem.V();
+  EXPECT_EQ(sem.value(), 2);
+  EXPECT_TRUE(sem.P().ready());
+  EXPECT_TRUE(sem.P().ready());
+  EXPECT_FALSE(sem.P().ready());
+}
+
+TEST(SemaphoreTest, FailAllWakesWaitersWithError) {
+  Semaphore sem(0);
+  Future<Status> waiter = sem.P();
+  sem.FailAll(AbortedError("crash"));
+  ASSERT_TRUE(waiter.ready());
+  EXPECT_EQ(waiter.Get().code(), StatusCode::kAborted);
+  // After failure, further P()s fail fast and V() is inert.
+  Future<Status> late = sem.P();
+  ASSERT_TRUE(late.ready());
+  EXPECT_FALSE(late.Get().ok());
+  sem.V();  // no crash
+}
+
+TEST(SemaphoreTest, MutualExclusionPattern) {
+  // The limit-1 pattern the paper highlights: P/V brackets never overlap.
+  Simulation sim;
+  Semaphore mutex(1);
+  int inside = 0;
+  int max_inside = 0;
+  int completed = 0;
+  auto critical = [&](Semaphore& m) -> Task<void> {
+    Status acquired = co_await m.P();
+    EXPECT_TRUE(acquired.ok());
+    inside++;
+    max_inside = std::max(max_inside, inside);
+    co_await SleepFor(sim, Milliseconds(10));
+    inside--;
+    m.V();
+    completed++;
+  };
+  for (int i = 0; i < 5; i++) {
+    Spawn(critical(mutex));
+  }
+  sim.Run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(max_inside, 1);
+}
+
+TEST(MessagePortTest, SendThenReceive) {
+  MessagePort port;
+  port.Send(ToBytes("hello"));
+  Future<StatusOr<Bytes>> received = port.Receive();
+  ASSERT_TRUE(received.ready());
+  EXPECT_EQ(ToString(received.Get().value()), "hello");
+}
+
+TEST(MessagePortTest, ReceiveBlocksUntilSend) {
+  MessagePort port;
+  Future<StatusOr<Bytes>> received = port.Receive();
+  EXPECT_FALSE(received.ready());
+  port.Send(ToBytes("late"));
+  ASSERT_TRUE(received.ready());
+  EXPECT_EQ(ToString(received.Get().value()), "late");
+}
+
+TEST(MessagePortTest, MessagesAndWaitersAreFifo) {
+  MessagePort port;
+  port.Send(ToBytes("a"));
+  port.Send(ToBytes("b"));
+  EXPECT_EQ(port.queued(), 2u);
+  EXPECT_EQ(ToString(port.Receive().Get().value()), "a");
+  EXPECT_EQ(ToString(port.Receive().Get().value()), "b");
+
+  // Waiters queue in order and sends resolve the oldest first.
+  Future<StatusOr<Bytes>> first = port.Receive();
+  Future<StatusOr<Bytes>> second = port.Receive();
+  EXPECT_EQ(port.waiter_count(), 2u);
+  port.Send(ToBytes("x"));
+  port.Send(ToBytes("y"));
+  EXPECT_EQ(ToString(first.Get().value()), "x");
+  EXPECT_EQ(ToString(second.Get().value()), "y");
+  EXPECT_EQ(port.waiter_count(), 0u);
+}
+
+TEST(MessagePortTest, FailAllWakesReceiversWithError) {
+  MessagePort port;
+  Future<StatusOr<Bytes>> waiter = port.Receive();
+  port.FailAll(AbortedError("crash"));
+  ASSERT_TRUE(waiter.ready());
+  EXPECT_EQ(waiter.Get().status().code(), StatusCode::kAborted);
+  // Post-failure behavior: receives fail, sends are dropped.
+  port.Send(ToBytes("void"));
+  Future<StatusOr<Bytes>> late = port.Receive();
+  ASSERT_TRUE(late.ready());
+  EXPECT_FALSE(late.Get().ok());
+}
+
+TEST(MessagePortTest, ProducerConsumerPipeline) {
+  // A behavior-style consumer drains a port fed by bursts of producers.
+  Simulation sim;
+  MessagePort port;
+  std::vector<std::string> consumed;
+  auto consumer = [&](MessagePort& p) -> Task<void> {
+    while (true) {
+      StatusOr<Bytes> message = co_await p.Receive();
+      if (!message.ok()) {
+        co_return;
+      }
+      consumed.push_back(ToString(*message));
+      if (consumed.size() == 6) {
+        co_return;
+      }
+    }
+  };
+  Spawn(consumer(port));
+  for (int burst = 0; burst < 2; burst++) {
+    sim.Schedule(Milliseconds(burst * 10), [&port, burst] {
+      for (int i = 0; i < 3; i++) {
+        port.Send(ToBytes("m" + std::to_string(burst * 3 + i)));
+      }
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(consumed.size(), 6u);
+  EXPECT_EQ(consumed.front(), "m0");
+  EXPECT_EQ(consumed.back(), "m5");
+}
+
+}  // namespace
+}  // namespace eden

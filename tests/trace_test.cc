@@ -1,0 +1,107 @@
+// Tests for the kernel tracing subsystem.
+#include <gtest/gtest.h>
+
+#include "src/kernel/eden_system.h"
+#include "src/trace/trace.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() {
+    RegisterStandardTypes(system_);
+    system_.AddNodes(3);
+    for (size_t n = 0; n < system_.node_count(); n++) {
+      system_.node(n).set_trace(&trace_);
+    }
+  }
+
+  EdenSystem system_;
+  TraceBuffer trace_;
+};
+
+TEST_F(TraceFixture, InvocationLifecycleIsRecorded) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  system_.Await(system_.node(1).Invoke(*cap, "increment"));
+
+  EXPECT_GE(trace_.counts().at(TraceEventKind::kInvokeStart), 1u);
+  EXPECT_GE(trace_.counts().at(TraceEventKind::kInvokeComplete), 1u);
+  EXPECT_GE(trace_.counts().at(TraceEventKind::kDispatch), 1u);
+  EXPECT_GE(trace_.counts().at(TraceEventKind::kLocateBroadcast), 1u);
+}
+
+TEST_F(TraceFixture, MeanInvocationLatencyMatchesPairs) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  for (int i = 0; i < 5; i++) {
+    system_.Await(system_.node(1).Invoke(*cap, "increment"));
+  }
+  SimDuration mean = trace_.MeanInvocationLatency();
+  // Remote invocations in the default configuration land near 700-900 us.
+  EXPECT_GT(mean, Microseconds(400));
+  EXPECT_LT(mean, Milliseconds(5));
+}
+
+TEST_F(TraceFixture, LifecycleEventsForCheckpointCrashActivation) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  system_.Await(system_.node(0).CheckpointObject(cap->name()));
+  system_.Await(system_.node(0).Invoke(*cap, "crash"));
+  system_.Await(system_.node(1).Invoke(*cap, "read"));
+
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kCheckpoint), 1u);
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kObjectCrash), 1u);
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kActivation), 1u);
+}
+
+TEST_F(TraceFixture, RingBufferEvictsButCountsPersist) {
+  TraceBuffer small(8);
+  system_.node(0).set_trace(&small);
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  for (int i = 0; i < 20; i++) {
+    system_.Await(system_.node(0).Invoke(*cap, "increment"));
+  }
+  EXPECT_LE(small.size(), 8u);
+  EXPECT_GE(small.total_recorded(), 40u);  // 20 starts + 20 completes
+  EXPECT_EQ(small.counts().at(TraceEventKind::kInvokeStart), 20u);
+}
+
+TEST_F(TraceFixture, DumpAndSummaryAreReadable) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  system_.Await(system_.node(1).Invoke(*cap, "increment"));
+  std::string dump = trace_.Dump(4);
+  EXPECT_NE(dump.find("INVOKE_COMPLETE"), std::string::npos);
+  std::string summary = trace_.Summary();
+  EXPECT_NE(summary.find("DISPATCH"), std::string::npos);
+  EXPECT_NE(summary.find("x"), std::string::npos);
+}
+
+TEST_F(TraceFixture, NodeFailureAndMoveAreTraced) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  auto object = system_.node(0).FindActive(cap->name());
+  system_.Await(system_.node(0).MoveObject(object, system_.node(2).station()));
+  system_.RunFor(Milliseconds(10));
+  system_.node(1).FailNode();
+  system_.node(1).RestartNode();
+
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kMoveOut), 1u);
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kMoveIn), 1u);
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kNodeFailure), 1u);
+  EXPECT_EQ(trace_.counts().at(TraceEventKind::kNodeRestart), 1u);
+}
+
+TEST_F(TraceFixture, ClearResetsEverything) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  system_.Await(system_.node(0).Invoke(*cap, "read"));
+  EXPECT_GT(trace_.size(), 0u);
+  trace_.Clear();
+  EXPECT_EQ(trace_.size(), 0u);
+  EXPECT_EQ(trace_.total_recorded(), 0u);
+  EXPECT_TRUE(trace_.counts().empty());
+}
+
+}  // namespace
+}  // namespace eden

@@ -1,0 +1,272 @@
+// Tests for the abstract type hierarchy (paper section 5) and the standard
+// object templates built on it.
+#include <gtest/gtest.h>
+
+#include "src/kernel/eden_system.h"
+#include "src/types/standard_types.h"
+
+namespace eden {
+namespace {
+
+TEST(AbstractTypeTest, SubtypeRelationIsReflexiveAndTransitive) {
+  auto base = StdObjectType();
+  auto middle = std::make_shared<AbstractType>("middle", base);
+  auto leaf = std::make_shared<AbstractType>("leaf", middle);
+  EXPECT_TRUE(leaf->IsSubtypeOf(*leaf));
+  EXPECT_TRUE(leaf->IsSubtypeOf(*middle));
+  EXPECT_TRUE(leaf->IsSubtypeOf(*base));
+  EXPECT_FALSE(base->IsSubtypeOf(*leaf));
+  EXPECT_EQ(leaf->Depth(), 2u);
+  EXPECT_EQ(base->Depth(), 0u);
+}
+
+TEST(AbstractTypeTest, SubtypeInheritsSupertypeOperations) {
+  auto counter = StdCounterType()->BuildTypeManager();
+  // Own operations.
+  EXPECT_NE(counter->FindOperation("increment"), nullptr);
+  // Inherited from std.object.
+  EXPECT_NE(counter->FindOperation("checkpoint"), nullptr);
+  EXPECT_NE(counter->FindOperation("move_to"), nullptr);
+  EXPECT_NE(counter->FindOperation("describe"), nullptr);
+}
+
+TEST(AbstractTypeTest, SubtypeOverridesInheritedOperation) {
+  auto base = std::make_shared<AbstractType>("base");
+  base->AddOperation(AbstractOperation{
+      .name = "greet",
+      .handler = [](InvokeContext&) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(InvokeArgs{}.AddString("base"));
+      },
+  });
+  auto derived = std::make_shared<AbstractType>("derived", base);
+  derived->AddOperation(AbstractOperation{
+      .name = "greet",
+      .handler = [](InvokeContext&) -> Task<InvokeResult> {
+        co_return InvokeResult::Ok(InvokeArgs{}.AddString("derived"));
+      },
+  });
+
+  EdenSystem system;
+  system.RegisterType(derived->BuildTypeManager());
+  system.AddNodes(1);
+  auto cap = system.node(0).CreateObject("derived", Representation{});
+  ASSERT_TRUE(cap.ok());
+  InvokeResult result = system.Await(system.node(0).Invoke(*cap, "greet"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.StringAt(0).value(), "derived");
+}
+
+TEST(AbstractTypeTest, SubtypeCanRetuneInheritedClass) {
+  // The derived type widens a class defined by the base: the concrete type
+  // manager must carry the derived limit.
+  auto base = std::make_shared<AbstractType>("base2");
+  base->AddClass("workers", 1);
+  auto derived = std::make_shared<AbstractType>("derived2", base);
+  derived->AddClass("workers", 6);
+  auto concrete = derived->BuildTypeManager();
+  bool found = false;
+  for (const auto& spec : concrete->classes()) {
+    if (spec.name == "workers") {
+      EXPECT_EQ(spec.concurrency_limit, 6);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+class StandardTypesFixture : public ::testing::Test {
+ protected:
+  StandardTypesFixture() {
+    RegisterStandardTypes(system_);
+    system_.AddNodes(3);
+  }
+
+  InvokeResult Call(NodeKernel& from, const Capability& cap, const std::string& op,
+                    InvokeArgs args = {}) {
+    return system_.Await(from.Invoke(cap, op, std::move(args)));
+  }
+
+  EdenSystem system_;
+};
+
+TEST_F(StandardTypesFixture, CounterWorksThroughInheritedAndOwnOps) {
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  InvokeResult result = Call(system_.node(1), *cap, "increment",
+                             InvokeArgs{}.AddU64(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.U64At(0).value(), 4u);
+  result = Call(system_.node(1), *cap, "describe");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.StringAt(0).value(), "std.counter");
+}
+
+TEST_F(StandardTypesFixture, DataObjectPutGetAppend) {
+  auto cap = system_.node(0).CreateObject("std.data", Representation{});
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(Call(system_.node(1), *cap, "put",
+                   InvokeArgs{}.AddString("hello")).ok());
+  InvokeResult result = Call(system_.node(2), *cap, "append",
+                             InvokeArgs{}.AddString(", world"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.U64At(0).value(), 12u);
+  result = Call(system_.node(1), *cap, "get");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToString(result.results.BytesAt(0).value()), "hello, world");
+}
+
+TEST_F(StandardTypesFixture, QueueDequeueBlocksUntilEnqueue) {
+  auto cap = system_.node(0).CreateObject("std.queue", Representation{});
+  ASSERT_TRUE(cap.ok());
+  Future<InvokeResult> consumer = system_.node(1).Invoke(*cap, "dequeue");
+  system_.RunFor(Milliseconds(100));
+  EXPECT_FALSE(consumer.ready());
+
+  ASSERT_TRUE(Call(system_.node(2), *cap, "enqueue",
+                   InvokeArgs{}.AddString("payload")).ok());
+  InvokeResult result = system_.Await(std::move(consumer));
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(ToString(result.results.BytesAt(0).value()), "payload");
+}
+
+TEST_F(StandardTypesFixture, QueueIsFifoAcrossManyItems) {
+  auto cap = system_.node(0).CreateObject("std.queue", Representation{});
+  ASSERT_TRUE(cap.ok());
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(Call(system_.node(1), *cap, "enqueue",
+                     InvokeArgs{}.AddString("item" + std::to_string(i))).ok());
+  }
+  InvokeResult length = Call(system_.node(2), *cap, "length");
+  EXPECT_EQ(length.results.U64At(0).value(), 10u);
+  for (int i = 0; i < 10; i++) {
+    InvokeResult result = Call(system_.node(2), *cap, "dequeue");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(ToString(result.results.BytesAt(0).value()),
+              "item" + std::to_string(i));
+  }
+}
+
+TEST_F(StandardTypesFixture, QueueSemaphoreIsRebuiltOnReincarnation) {
+  // Enqueue two items, checkpoint, crash. After reincarnation the "items"
+  // semaphore (short-term state!) must reflect the two queued items, so two
+  // dequeues succeed without blocking and a third blocks.
+  auto cap = system_.node(0).CreateObject("std.queue", Representation{});
+  ASSERT_TRUE(cap.ok());
+  Call(system_.node(1), *cap, "enqueue", InvokeArgs{}.AddString("a"));
+  Call(system_.node(1), *cap, "enqueue", InvokeArgs{}.AddString("b"));
+  ASSERT_TRUE(Call(system_.node(1), *cap, "checkpoint").ok());
+  ASSERT_TRUE(Call(system_.node(1), *cap, "crash").ok());
+
+  InvokeResult result = Call(system_.node(2), *cap, "dequeue");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(ToString(result.results.BytesAt(0).value()), "a");
+  result = Call(system_.node(2), *cap, "dequeue");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ToString(result.results.BytesAt(0).value()), "b");
+
+  Future<InvokeResult> blocked = system_.node(2).Invoke(*cap, "dequeue");
+  system_.RunFor(Milliseconds(100));
+  EXPECT_FALSE(blocked.ready());
+  Call(system_.node(1), *cap, "enqueue", InvokeArgs{}.AddString("c"));
+  EXPECT_TRUE(system_.Await(std::move(blocked)).ok());
+}
+
+TEST_F(StandardTypesFixture, DirectoryBindingsSurviveCrashWithoutExplicitCheckpoint) {
+  auto dir = system_.node(0).CreateObject("std.directory", Representation{});
+  ASSERT_TRUE(dir.ok());
+  auto target = system_.node(1).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(target.ok());
+
+  ASSERT_TRUE(Call(system_.node(2), *dir, "bind",
+                   InvokeArgs{}.AddString("my-counter").AddCapability(*target))
+                  .ok());
+  // Directories are write-through: crash immediately, binding must survive.
+  ASSERT_TRUE(Call(system_.node(2), *dir, "crash").ok());
+
+  InvokeResult result = Call(system_.node(2), *dir, "lookup",
+                             InvokeArgs{}.AddString("my-counter"));
+  ASSERT_TRUE(result.ok()) << result.status;
+  Capability found = result.results.CapabilityAt(0).value();
+  EXPECT_EQ(found.name(), target->name());
+
+  // The recovered capability still works end-to-end.
+  result = Call(system_.node(2), found, "increment");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.U64At(0).value(), 1u);
+}
+
+TEST_F(StandardTypesFixture, DirectoryUnbindAndList) {
+  auto dir = system_.node(0).CreateObject("std.directory", Representation{});
+  ASSERT_TRUE(dir.ok());
+  auto a = system_.node(0).CreateObject("std.counter", Representation{});
+  auto b = system_.node(0).CreateObject("std.counter", Representation{});
+  Call(system_.node(0), *dir, "bind", InvokeArgs{}.AddString("a").AddCapability(*a));
+  Call(system_.node(0), *dir, "bind", InvokeArgs{}.AddString("b").AddCapability(*b));
+
+  InvokeResult result = Call(system_.node(0), *dir, "list");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.data.size(), 2u);
+
+  ASSERT_TRUE(Call(system_.node(0), *dir, "unbind",
+                   InvokeArgs{}.AddString("a")).ok());
+  result = Call(system_.node(0), *dir, "lookup", InvokeArgs{}.AddString("a"));
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+  result = Call(system_.node(0), *dir, "lookup", InvokeArgs{}.AddString("b"));
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(StandardTypesFixture, DirectoryRebindReplacesCapability) {
+  auto dir = system_.node(0).CreateObject("std.directory", Representation{});
+  auto a = system_.node(0).CreateObject("std.counter", Representation{});
+  auto b = system_.node(0).CreateObject("std.counter", Representation{});
+  Call(system_.node(0), *dir, "bind", InvokeArgs{}.AddString("x").AddCapability(*a));
+  Call(system_.node(0), *dir, "bind", InvokeArgs{}.AddString("x").AddCapability(*b));
+  InvokeResult result = Call(system_.node(0), *dir, "lookup",
+                             InvokeArgs{}.AddString("x"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.CapabilityAt(0).value().name(), b->name());
+  result = Call(system_.node(0), *dir, "list");
+  EXPECT_EQ(result.results.data.size(), 1u);
+}
+
+TEST_F(StandardTypesFixture, MailboxDepositRetrieve) {
+  auto box = system_.node(0).CreateObject("std.mailbox", Representation{});
+  ASSERT_TRUE(box.ok());
+  ASSERT_TRUE(Call(system_.node(1), *box, "deposit",
+                   InvokeArgs{}.AddString("alice").AddString("hi bob")).ok());
+  InvokeResult count = Call(system_.node(2), *box, "count");
+  EXPECT_EQ(count.results.U64At(0).value(), 1u);
+
+  InvokeResult result = Call(system_.node(2), *box, "retrieve");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.results.StringAt(0).value(), "alice");
+  EXPECT_EQ(ToString(result.results.BytesAt(1).value()), "hi bob");
+}
+
+TEST_F(StandardTypesFixture, MailboxMailSurvivesNodeFailure) {
+  auto box = system_.node(0).CreateObject("std.mailbox", Representation{});
+  ASSERT_TRUE(box.ok());
+  ASSERT_TRUE(Call(system_.node(1), *box, "deposit",
+                   InvokeArgs{}.AddString("alice").AddString("important")).ok());
+  system_.node(0).FailNode();
+  system_.node(0).RestartNode();
+  InvokeResult result = Call(system_.node(1), *box, "retrieve");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.StringAt(0).value(), "alice");
+  EXPECT_EQ(ToString(result.results.BytesAt(1).value()), "important");
+}
+
+TEST(StandardTypeHelpersTest, ListCodecsRoundTrip) {
+  std::vector<Bytes> items = {ToBytes("one"), {}, ToBytes("three")};
+  auto decoded = DecodeBytesList(EncodeBytesList(items));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, items);
+
+  std::vector<std::string> names = {"a", "", "c"};
+  auto decoded_names = DecodeStringList(EncodeStringList(names));
+  ASSERT_TRUE(decoded_names.ok());
+  EXPECT_EQ(*decoded_names, names);
+}
+
+}  // namespace
+}  // namespace eden
