@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_efs.dir/bench_efs.cc.o"
+  "CMakeFiles/bench_efs.dir/bench_efs.cc.o.d"
+  "bench_efs"
+  "bench_efs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_efs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ethernet.dir/bench_ethernet.cc.o"
+  "CMakeFiles/bench_ethernet.dir/bench_ethernet.cc.o.d"
+  "bench_ethernet"
+  "bench_ethernet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ethernet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

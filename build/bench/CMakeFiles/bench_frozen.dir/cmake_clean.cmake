@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frozen.dir/bench_frozen.cc.o"
+  "CMakeFiles/bench_frozen.dir/bench_frozen.cc.o.d"
+  "bench_frozen"
+  "bench_frozen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frozen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invocation_classes.dir/bench_invocation_classes.cc.o"
+  "CMakeFiles/bench_invocation_classes.dir/bench_invocation_classes.cc.o.d"
+  "bench_invocation_classes"
+  "bench_invocation_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invocation_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reincarnation.dir/bench_reincarnation.cc.o"
+  "CMakeFiles/bench_reincarnation.dir/bench_reincarnation.cc.o.d"
+  "bench_reincarnation"
+  "bench_reincarnation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reincarnation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efs_workbench.dir/efs_workbench.cc.o"
+  "CMakeFiles/efs_workbench.dir/efs_workbench.cc.o.d"
+  "efs_workbench"
+  "efs_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efs_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

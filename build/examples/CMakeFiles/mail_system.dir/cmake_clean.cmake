@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_system.dir/mail_system.cc.o"
+  "CMakeFiles/mail_system.dir/mail_system.cc.o.d"
+  "mail_system"
+  "mail_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

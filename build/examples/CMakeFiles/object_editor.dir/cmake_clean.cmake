@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_editor.dir/object_editor.cc.o"
+  "CMakeFiles/object_editor.dir/object_editor.cc.o.d"
+  "object_editor"
+  "object_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

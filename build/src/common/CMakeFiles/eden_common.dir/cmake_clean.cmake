@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_common.dir/bytes.cc.o"
+  "CMakeFiles/eden_common.dir/bytes.cc.o.d"
+  "CMakeFiles/eden_common.dir/log.cc.o"
+  "CMakeFiles/eden_common.dir/log.cc.o.d"
+  "CMakeFiles/eden_common.dir/rights.cc.o"
+  "CMakeFiles/eden_common.dir/rights.cc.o.d"
+  "CMakeFiles/eden_common.dir/status.cc.o"
+  "CMakeFiles/eden_common.dir/status.cc.o.d"
+  "libeden_common.a"
+  "libeden_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_edit.dir/editable.cc.o"
+  "CMakeFiles/eden_edit.dir/editable.cc.o.d"
+  "CMakeFiles/eden_edit.dir/structure.cc.o"
+  "CMakeFiles/eden_edit.dir/structure.cc.o.d"
+  "libeden_edit.a"
+  "libeden_edit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_edit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

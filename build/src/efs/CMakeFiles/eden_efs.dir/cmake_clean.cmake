@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_efs.dir/client.cc.o"
+  "CMakeFiles/eden_efs.dir/client.cc.o.d"
+  "CMakeFiles/eden_efs.dir/file_store.cc.o"
+  "CMakeFiles/eden_efs.dir/file_store.cc.o.d"
+  "libeden_efs.a"
+  "libeden_efs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_efs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_gateway.dir/foreign_machine.cc.o"
+  "CMakeFiles/eden_gateway.dir/foreign_machine.cc.o.d"
+  "CMakeFiles/eden_gateway.dir/gateway.cc.o"
+  "CMakeFiles/eden_gateway.dir/gateway.cc.o.d"
+  "libeden_gateway.a"
+  "libeden_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/trace.cc" "src/kernel/CMakeFiles/eden_kernel.dir/__/trace/trace.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/__/trace/trace.cc.o.d"
+  "/root/repo/src/kernel/capability.cc" "src/kernel/CMakeFiles/eden_kernel.dir/capability.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/capability.cc.o.d"
+  "/root/repo/src/kernel/eden_system.cc" "src/kernel/CMakeFiles/eden_kernel.dir/eden_system.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/eden_system.cc.o.d"
+  "/root/repo/src/kernel/invoke.cc" "src/kernel/CMakeFiles/eden_kernel.dir/invoke.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/invoke.cc.o.d"
+  "/root/repo/src/kernel/message.cc" "src/kernel/CMakeFiles/eden_kernel.dir/message.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/message.cc.o.d"
+  "/root/repo/src/kernel/name.cc" "src/kernel/CMakeFiles/eden_kernel.dir/name.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/name.cc.o.d"
+  "/root/repo/src/kernel/node_kernel.cc" "src/kernel/CMakeFiles/eden_kernel.dir/node_kernel.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/node_kernel.cc.o.d"
+  "/root/repo/src/kernel/representation.cc" "src/kernel/CMakeFiles/eden_kernel.dir/representation.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/representation.cc.o.d"
+  "/root/repo/src/kernel/type_manager.cc" "src/kernel/CMakeFiles/eden_kernel.dir/type_manager.cc.o" "gcc" "src/kernel/CMakeFiles/eden_kernel.dir/type_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/eden_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eden_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eden_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eden_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_kernel.dir/__/trace/trace.cc.o"
+  "CMakeFiles/eden_kernel.dir/__/trace/trace.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/capability.cc.o"
+  "CMakeFiles/eden_kernel.dir/capability.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/eden_system.cc.o"
+  "CMakeFiles/eden_kernel.dir/eden_system.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/invoke.cc.o"
+  "CMakeFiles/eden_kernel.dir/invoke.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/message.cc.o"
+  "CMakeFiles/eden_kernel.dir/message.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/name.cc.o"
+  "CMakeFiles/eden_kernel.dir/name.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/node_kernel.cc.o"
+  "CMakeFiles/eden_kernel.dir/node_kernel.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/representation.cc.o"
+  "CMakeFiles/eden_kernel.dir/representation.cc.o.d"
+  "CMakeFiles/eden_kernel.dir/type_manager.cc.o"
+  "CMakeFiles/eden_kernel.dir/type_manager.cc.o.d"
+  "libeden_kernel.a"
+  "libeden_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

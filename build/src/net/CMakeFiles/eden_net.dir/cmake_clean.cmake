@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_net.dir/lan.cc.o"
+  "CMakeFiles/eden_net.dir/lan.cc.o.d"
+  "CMakeFiles/eden_net.dir/transport.cc.o"
+  "CMakeFiles/eden_net.dir/transport.cc.o.d"
+  "libeden_net.a"
+  "libeden_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_sim.dir/simulation.cc.o"
+  "CMakeFiles/eden_sim.dir/simulation.cc.o.d"
+  "libeden_sim.a"
+  "libeden_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_storage.dir/stable_store.cc.o"
+  "CMakeFiles/eden_storage.dir/stable_store.cc.o.d"
+  "libeden_storage.a"
+  "libeden_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

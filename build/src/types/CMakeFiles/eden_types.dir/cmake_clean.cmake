@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eden_types.dir/abstract_type.cc.o"
+  "CMakeFiles/eden_types.dir/abstract_type.cc.o.d"
+  "CMakeFiles/eden_types.dir/standard_types.cc.o"
+  "CMakeFiles/eden_types.dir/standard_types.cc.o.d"
+  "libeden_types.a"
+  "libeden_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eden_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

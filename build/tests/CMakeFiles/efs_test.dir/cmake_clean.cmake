@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efs_test.dir/efs_test.cc.o"
+  "CMakeFiles/efs_test.dir/efs_test.cc.o.d"
+  "efs_test"
+  "efs_test.pdb"
+  "efs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

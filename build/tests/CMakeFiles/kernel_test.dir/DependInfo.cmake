@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/efs/CMakeFiles/eden_efs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gateway/CMakeFiles/eden_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/edit/CMakeFiles/eden_edit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/eden_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/eden_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/eden_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eden_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/eden_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eden_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/eden_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

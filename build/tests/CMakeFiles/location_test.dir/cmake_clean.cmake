@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_test.dir/location_test.cc.o"
+  "CMakeFiles/location_test.dir/location_test.cc.o.d"
+  "location_test"
+  "location_test.pdb"
+  "location_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
