@@ -31,6 +31,7 @@ void BM_AblatePassiveReplyDelay(benchmark::State& state) {
     config.seed = 31 + static_cast<uint64_t>(state.range(0));
     config.kernel.passive_locate_reply_delay = delay;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.AddNodes(4);
     Capability data = MakeDataObject(system, 0, 4096);
@@ -56,6 +57,7 @@ void BM_AblateFrozenCache(benchmark::State& state) {
   SystemConfig config;
   config.kernel.cache_frozen_replicas = cache_on;
   EdenSystem system(config);
+  MetricsExportScope export_scope(system);
   RegisterStandardTypes(system);
   system.AddNodes(3);
   Capability data = MakeDataObject(system, 0, 8 * 1024);
@@ -78,6 +80,7 @@ void BM_AblateRetransmitTimeout(benchmark::State& state) {
   config.lan.loss_probability = 0.15;
   config.transport.retransmit_timeout = Milliseconds(state.range(0));
   EdenSystem system(config);
+  MetricsExportScope export_scope(system);
   RegisterStandardTypes(system);
   system.AddNodes(3);
   Capability data = MakeDataObject(system, 0, 2048);
@@ -120,6 +123,7 @@ void BM_AblateReplyCache(benchmark::State& state) {
     config.kernel.locate_timeout = Milliseconds(30);
     config.kernel.reply_cache_capacity = capacity;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.AddNodes(3);
     auto counter = system.node(0).CreateObject("std.counter", Representation{});
@@ -155,6 +159,7 @@ void BM_AblateAttemptTimeout(benchmark::State& state) {
     config.seed = 17 + static_cast<uint64_t>(state.range(0));
     config.kernel.attempt_timeout = attempt_timeout;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.AddNodes(4);
     Capability data = MakeDataObject(system, 0, 1024);
@@ -184,4 +189,4 @@ BENCHMARK(BM_AblateAttemptTimeout)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_ablation);

@@ -73,4 +73,4 @@ BENCHMARK(BM_CheckpointMirrored)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_checkpoint);

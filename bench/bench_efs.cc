@@ -33,6 +33,7 @@ void BM_EfsCommit(benchmark::State& state) {
   SystemConfig config;
   config.seed = 100 + replicas;
   EdenSystem system(config);
+  MetricsExportScope export_scope(system);
   RegisterStandardTypes(system);
   RegisterEfsTypes(system);
   system.AddNodes(replicas + 1);
@@ -53,6 +54,7 @@ void BM_EfsRead(benchmark::State& state) {
   SystemConfig config;
   config.seed = 200 + replicas;
   EdenSystem system(config);
+  MetricsExportScope export_scope(system);
   RegisterStandardTypes(system);
   RegisterEfsTypes(system);
   system.AddNodes(replicas + 1);
@@ -91,6 +93,7 @@ void BM_EfsReadScaling(benchmark::State& state) {
     SystemConfig config;
     config.seed = 300 + clients;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     RegisterEfsTypes(system);
     system.AddNodes(kReplicas + clients);
@@ -142,4 +145,4 @@ BENCHMARK(BM_EfsReadScaling)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_efs);

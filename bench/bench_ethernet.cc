@@ -114,4 +114,4 @@ BENCHMARK(BM_EthernetLoad)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_ethernet);

@@ -105,4 +105,4 @@ BENCHMARK(BM_ReadFrozenCached)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_frozen);

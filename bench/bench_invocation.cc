@@ -105,4 +105,4 @@ BENCHMARK(BM_InvokeNested)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseManualTime();
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_invocation);

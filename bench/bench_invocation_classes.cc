@@ -50,6 +50,7 @@ void BM_ClassLimit(benchmark::State& state) {
     SystemConfig config;
     config.seed = 3 + limit;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.RegisterType(MakeWorkerType(limit));
     system.AddNodes(5);
@@ -86,6 +87,7 @@ void BM_ClassIsolation(benchmark::State& state) {
     state.PauseTiming();
     SystemConfig config;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.RegisterType(MakeWorkerType(1));
     system.AddNodes(3);
@@ -112,4 +114,4 @@ BENCHMARK(BM_ClassIsolation)->UseManualTime();
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_invocation_classes);

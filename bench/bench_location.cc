@@ -85,4 +85,4 @@ BENCHMARK(BM_LocateForwardingChain)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_location);

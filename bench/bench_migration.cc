@@ -79,4 +79,4 @@ BENCHMARK(BM_PostMoveHealed)->UseManualTime();
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_migration);

@@ -69,4 +69,4 @@ BENCHMARK(BM_ReincarnateRemoteInvoker)
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_reincarnation);

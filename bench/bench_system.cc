@@ -86,6 +86,7 @@ void BM_MixedWorkload(benchmark::State& state) {
     SystemConfig config;
     config.seed = 900 + clients;
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.AddNodes(5);
     MixObjects mix = SetUpMix(system);
@@ -120,6 +121,7 @@ void BM_MixedWorkloadWithFailure(benchmark::State& state) {
     // bounded (see bench_ablation attempt-timeout sweep).
     config.kernel.attempt_timeout = Milliseconds(500);
     EdenSystem system(config);
+    MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
     system.AddNodes(5);
     MixObjects mix = SetUpMix(system);
@@ -153,4 +155,4 @@ BENCHMARK(BM_MixedWorkloadWithFailure)->UseManualTime()->Iterations(1);
 }  // namespace
 }  // namespace eden
 
-BENCHMARK_MAIN();
+EDEN_BENCH_MAIN(bench_system);

@@ -29,11 +29,9 @@ namespace {
 
 class EdenShell {
  public:
-  explicit EdenShell(EdenSystem& system) : system_(system) {
+  EdenShell(EdenSystem& system, TraceBuffer& trace)
+      : system_(system), trace_(trace) {
     directory_ = *system_.node(0).CreateObject("std.directory", Representation{});
-    for (size_t n = 0; n < system_.node_count(); n++) {
-      system_.node(n).set_trace(&trace_);
-    }
   }
 
   void Execute(const std::string& line) {
@@ -167,7 +165,7 @@ class EdenShell {
 
   EdenSystem& system_;
   Capability directory_;
-  TraceBuffer trace_;
+  TraceBuffer& trace_;
   size_t next_node_ = 1;
 };
 
@@ -177,8 +175,11 @@ int main() {
   std::printf("=== eden_shell: scripted operator session ===\n\n");
   EdenSystem system;
   RegisterStandardTypes(system);
-  system.AddNodes(5);
-  EdenShell shell(system);
+  TraceBuffer trace;
+  for (int i = 0; i < 5; i++) {
+    system.AddNode("node" + std::to_string(i)).WithTrace(&trace);
+  }
+  EdenShell shell(system, trace);
 
   const char* script[] = {
       "create hits std.counter",

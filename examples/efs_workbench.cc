@@ -23,7 +23,11 @@ int main() {
   EdenSystem system;
   RegisterStandardTypes(system);
   RegisterEfsTypes(system);
-  system.AddNodes(5);
+  for (int i = 0; i < 3; i++) {
+    system.AddNode("store" + std::to_string(i));
+  }
+  system.AddNode("alice");
+  system.AddNode("bob");
 
   // Three store replicas on nodes 0..2; clients on nodes 3 and 4.
   std::vector<Capability> stores;

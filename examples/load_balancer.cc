@@ -71,7 +71,9 @@ int main() {
   EdenSystem system;
   RegisterStandardTypes(system);
   system.RegisterType(BalancerType()->BuildTypeManager());
-  system.AddNodes(4);
+  for (int i = 0; i < 4; i++) {
+    system.AddNode("node" + std::to_string(i));
+  }
 
   // --- Part 1: rebalancing a subsystem --------------------------------------
   std::printf("-- eight workers, all created on node0 (hot spot):\n");

@@ -86,7 +86,14 @@ int main() {
 
   EdenSystem system;
   RegisterStandardTypes(system);
-  system.AddNodes(5);
+  // Workstations for the users; node4 is the post office and keeps the
+  // shared directory, so give it a patient kernel for bursty deliveries.
+  for (int i = 0; i < 4; i++) {
+    system.AddNode("node" + std::to_string(i));
+  }
+  KernelConfig office = system.config().kernel;
+  office.default_invoke_timeout = Seconds(60);
+  system.AddNode("postoffice").WithKernel(office);
 
   auto directory =
       system.node(4).CreateObject("std.directory", Representation{});

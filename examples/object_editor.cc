@@ -26,7 +26,9 @@ int main() {
   EdenSystem system;
   RegisterStandardTypes(system);
   RegisterEditTypes(system);
-  system.AddNodes(3);
+  for (int i = 0; i < 3; i++) {
+    system.AddNode("desk" + std::to_string(i));
+  }
 
   // The shared document, born with a skeleton outline.
   StructureNode outline("paper", "The Architecture of the Eden System");

@@ -56,7 +56,16 @@ int main() {
   EdenSystem system;
   RegisterStandardTypes(system);
   system.RegisterType(GuestbookType()->BuildTypeManager());
-  system.AddNodes(5);  // node4 will play the file server of Figure 1
+
+  // The Figure 1 installation: four workstations plus a file-server node
+  // with a faster, larger disk (node4).
+  for (int i = 0; i < 4; i++) {
+    system.AddNode("workstation" + std::to_string(i));
+  }
+  DiskConfig server_disk;
+  server_disk.average_seek = Milliseconds(20);
+  server_disk.capacity_bytes = 2ull << 30;
+  system.AddNode("fileserver").WithDisk(server_disk);
 
   // 1. Create a guestbook object on node 0. The creator gets an owner
   //    capability: the ONLY way anyone will ever refer to this object.

@@ -6,6 +6,13 @@
 
 namespace eden {
 
+namespace {
+// Store RPCs share one deadline. A namespace-scope constant (not an inline
+// temporary) because these calls sit inside co_await expressions — see the
+// note on kDefaultInvokeOptions.
+const InvokeOptions kStoreRpcOptions = InvokeOptions::WithTimeout(Seconds(5));
+}  // namespace
+
 EfsClient::EfsClient(NodeKernel& kernel, std::vector<Capability> stores)
     : kernel_(kernel), stores_(std::move(stores)) {
   assert(!stores_.empty() && "EFS needs at least one store replica");
@@ -67,7 +74,7 @@ Task<StatusOr<Bytes>> EfsClient::ReadTask(std::string path, uint64_t version) {
         stores_[(next_read_replica_ + attempt) % stores_.size()];
     InvokeResult result = co_await kernel_.Invoke(
         store, "read", InvokeArgs{}.AddString(path).AddU64(version),
-        Seconds(5));
+        kStoreRpcOptions);
     if (result.ok()) {
       next_read_replica_ = (next_read_replica_ + attempt) % stores_.size();
       if (attempt > 0) {
@@ -93,7 +100,7 @@ Task<StatusOr<uint64_t>> EfsClient::LatestTask(std::string path) {
     const Capability& store =
         stores_[(next_read_replica_ + attempt) % stores_.size()];
     InvokeResult result = co_await kernel_.Invoke(
-        store, "latest", InvokeArgs{}.AddString(path), Seconds(5));
+        store, "latest", InvokeArgs{}.AddString(path), kStoreRpcOptions);
     if (result.ok()) {
       co_return result.results.U64At(0);
     }
@@ -163,7 +170,7 @@ Task<Status> EfsClient::CommitTask(
     // Abort everywhere (best effort; stores that never prepared no-op).
     for (const Capability& store : stores_) {
       co_await kernel_.Invoke(store, "abort", InvokeArgs{}.AddU64(txn_id),
-                              Seconds(5));
+                              kStoreRpcOptions);
     }
     stats_.transactions_aborted++;
     if (failure.code() == StatusCode::kAborted) {

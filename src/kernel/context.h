@@ -48,10 +48,23 @@ class InvokeContext {
 
   // --- Kernel primitives (awaitable) ---------------------------------------
   // Synchronous invocation of another object: suspends this invocation until
-  // the reply or the timeout (0 = kernel default). For asynchronous
-  // invocation simply do not co_await the returned future immediately.
+  // the reply or the timeout in `options` (0 = kernel default). For
+  // asynchronous invocation simply do not co_await the returned future
+  // immediately.
+  // `options` is a const reference defaulting to a named constant, and
+  // custom options must be a named local at the call site, never an inline
+  // temporary — see the note on kDefaultInvokeOptions.
   Future<InvokeResult> Invoke(const Capability& target, const std::string& op,
-                              InvokeArgs args = {}, SimDuration timeout = 0);
+                              InvokeArgs args = {},
+                              const InvokeOptions& options = kDefaultInvokeOptions);
+
+  // Deprecated positional-timeout form; use InvokeOptions instead.
+  [[deprecated("pass InvokeOptions instead of a positional timeout")]]
+  Future<InvokeResult> Invoke(const Capability& target, const std::string& op,
+                              InvokeArgs args, SimDuration timeout) {
+    return Invoke(target, op, std::move(args),
+                  InvokeOptions::WithTimeout(timeout));
+  }
 
   // Records the representation on stable storage per the checksite policy.
   // The type programmer must call this at a consistent point (section 4.4).

@@ -1,19 +1,47 @@
 #include "src/kernel/eden_system.h"
 
+#include "src/trace/trace.h"
+
 namespace eden {
 
 EdenSystem::EdenSystem(SystemConfig config)
-    : config_(config), sim_(config.seed), lan_(sim_, config.lan) {}
+    : config_(config), sim_(config.seed), lan_(sim_, config.lan) {
+  lan_.set_metrics(&metrics_);
+}
 
-NodeKernel& EdenSystem::AddNode(const std::string& name) {
-  nodes_.push_back(std::make_unique<NodeKernel>(*this, name, config_.kernel,
-                                                config_.disk, config_.transport));
+NodeBuilder::NodeBuilder(EdenSystem* system, std::string name)
+    : system_(system),
+      name_(std::move(name)),
+      kernel_(system->config().kernel),
+      disk_(system->config().disk),
+      transport_(system->config().transport) {}
+
+NodeKernel& NodeBuilder::Build() {
+  if (node_ == nullptr) {
+    node_ = &system_->AddNodeWithConfig(name_, kernel_, disk_, transport_);
+    if (trace_ != nullptr) {
+      node_->set_trace(trace_);
+    }
+  }
+  return *node_;
+}
+
+NodeBuilder EdenSystem::AddNode(const std::string& name) {
+  return NodeBuilder(this, name);
+}
+
+NodeKernel& EdenSystem::AddNodeWithConfig(const std::string& name,
+                                          KernelConfig kernel, DiskConfig disk,
+                                          TransportConfig transport) {
+  nodes_.push_back(
+      std::make_unique<NodeKernel>(*this, name, kernel, disk, transport));
   return *nodes_.back();
 }
 
 void EdenSystem::AddNodes(size_t count) {
   for (size_t i = 0; i < count; i++) {
-    AddNode("node" + std::to_string(node_count()));
+    AddNodeWithConfig("node" + std::to_string(node_count()), config_.kernel,
+                      config_.disk, config_.transport);
   }
 }
 
@@ -38,5 +66,16 @@ std::shared_ptr<TypeManager> EdenSystem::FindType(const std::string& type_name) 
   }
   return it->second;
 }
+
+MetricsRegistry EdenSystem::Rollup() const {
+  MetricsRegistry rollup;
+  rollup.MergeFrom(metrics_);
+  for (const auto& node : nodes_) {
+    rollup.MergeFrom(node->metrics());
+  }
+  return rollup;
+}
+
+std::string EdenSystem::MetricsJson() const { return Rollup().ToJson(); }
 
 }  // namespace eden

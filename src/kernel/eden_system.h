@@ -16,11 +16,15 @@
 #include <vector>
 
 #include "src/kernel/node_kernel.h"
+#include "src/metrics/metrics.h"
 #include "src/net/lan.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 
 namespace eden {
+
+class EdenSystem;
+class TraceBuffer;
 
 struct SystemConfig {
   uint64_t seed = 1;
@@ -28,6 +32,62 @@ struct SystemConfig {
   KernelConfig kernel;
   DiskConfig disk;
   TransportConfig transport;
+};
+
+// Fluent per-node configuration, returned by EdenSystem::AddNode:
+//
+//   NodeKernel& server = system.AddNode("fileserver")
+//                            .WithDisk(big_disk)
+//                            .WithTrace(&trace);
+//
+// Each With* overrides the system-wide default from SystemConfig for this
+// node only. The node is created when Build() runs — explicitly, via the
+// NodeKernel& conversion, or (for a bare `system.AddNode("x");` statement)
+// when the builder goes out of scope at the end of the statement. Station
+// ids are therefore assigned in statement order, as before.
+class NodeBuilder {
+ public:
+  NodeBuilder(const NodeBuilder&) = delete;
+  NodeBuilder& operator=(const NodeBuilder&) = delete;
+
+  ~NodeBuilder() {
+    if (node_ == nullptr) {
+      Build();
+    }
+  }
+
+  NodeBuilder& WithKernel(KernelConfig config) {
+    kernel_ = config;
+    return *this;
+  }
+  NodeBuilder& WithDisk(DiskConfig config) {
+    disk_ = config;
+    return *this;
+  }
+  NodeBuilder& WithTransport(TransportConfig config) {
+    transport_ = config;
+    return *this;
+  }
+  NodeBuilder& WithTrace(TraceBuffer* trace) {
+    trace_ = trace;
+    return *this;
+  }
+
+  // Creates the node (idempotent).
+  NodeKernel& Build();
+  operator NodeKernel&() { return Build(); }
+
+ private:
+  friend class EdenSystem;
+  NodeBuilder(EdenSystem* system, std::string name);
+
+  EdenSystem* system_;
+  std::string name_;
+  KernelConfig kernel_;
+  DiskConfig disk_;
+  TransportConfig transport_;
+  TraceBuffer* trace_ = nullptr;
+  NodeKernel* node_ = nullptr;
 };
 
 class EdenSystem {
@@ -41,9 +101,10 @@ class EdenSystem {
   Lan& lan() { return lan_; }
   const SystemConfig& config() const { return config_; }
 
-  // Adds a node machine to the installation.
-  NodeKernel& AddNode(const std::string& name);
-  // Adds `count` nodes named "node0".."node<count-1>".
+  // Adds a node machine to the installation, configured with the system-wide
+  // defaults unless the returned builder overrides them.
+  NodeBuilder AddNode(const std::string& name);
+  // Adds `count` default-configured nodes named "node0".."node<count-1>".
   void AddNodes(size_t count);
 
   NodeKernel& node(size_t index) {
@@ -56,6 +117,18 @@ class EdenSystem {
   // --- Type registry ---------------------------------------------------------
   void RegisterType(std::shared_ptr<TypeManager> type);
   std::shared_ptr<TypeManager> FindType(const std::string& type_name) const;
+
+  // --- Metrics ---------------------------------------------------------------
+  // The system-wide registry: lan.* instruments live here.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Aggregates the system registry plus every node's registry into one
+  // snapshot: counters and gauges sum, histograms merge bucket-wise.
+  MetricsRegistry Rollup() const;
+
+  // JSON rendering of Rollup() (see MetricsRegistry::ToJson for the shape).
+  std::string MetricsJson() const;
 
   // --- Drive helpers (tests, examples, benchmarks) -----------------------------
   // Runs the simulation until the future resolves. Aborts if the event queue
@@ -71,8 +144,15 @@ class EdenSystem {
   void RunFor(SimDuration duration) { sim_.RunFor(duration); }
 
  private:
+  friend class NodeBuilder;
+
+  NodeKernel& AddNodeWithConfig(const std::string& name, KernelConfig kernel,
+                                DiskConfig disk, TransportConfig transport);
+
   SystemConfig config_;
   Simulation sim_;
+  // Holds lan.* instruments; must outlive (so precede) lan_.
+  MetricsRegistry metrics_;
   Lan lan_;
   std::vector<std::unique_ptr<NodeKernel>> nodes_;
   std::map<std::string, std::shared_ptr<TypeManager>> types_;

@@ -14,8 +14,40 @@
 #include "src/common/bytes.h"
 #include "src/common/status.h"
 #include "src/kernel/capability.h"
+#include "src/sim/time.h"
 
 namespace eden {
+
+// Per-invocation options for NodeKernel::Invoke / InvokeContext::Invoke.
+// Replaces the old positional `timeout` parameter so new knobs (trace
+// labels, metrics classification) do not keep widening the signature.
+struct InvokeOptions {
+  // End-to-end deadline for the invocation; 0 selects the kernel default
+  // (KernelConfig::default_invoke_timeout).
+  SimDuration timeout = 0;
+  // Free-form label appended to the INVOKE_START trace event, for picking
+  // one logical request stream out of a busy trace.
+  std::string trace_label;
+  // Operation class for latency accounting: when set, the completion latency
+  // is additionally recorded under kernel.invoke.latency.class.<name> in the
+  // invoking node's metrics registry.
+  std::string metrics_class;
+
+  static InvokeOptions WithTimeout(SimDuration timeout) {
+    InvokeOptions options;
+    options.timeout = timeout;
+    return options;
+  }
+};
+
+// Default for the `options` parameter of Invoke. A named constant rather
+// than `= {}` deliberately: GCC 12 miscompiles a defaulted (or inline
+// temporary) argument with std::string members when the call is part of a
+// co_await expression — the temporary is bitwise-relocated into the
+// coroutine frame and its SSO string self-pointer dangles. For the same
+// reason, coroutine code passing custom options must build them in a named
+// local first instead of writing `co_await ctx.Invoke(..., InvokeOptions{...})`.
+inline const InvokeOptions kDefaultInvokeOptions{};
 
 // Parameters of an invocation (also used for results).
 struct InvokeArgs {

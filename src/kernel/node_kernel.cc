@@ -49,13 +49,79 @@ NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
                        KernelConfig config, DiskConfig disk,
                        TransportConfig transport)
     : system_(system), node_name_(std::move(node_name)), config_(config) {
+  InitMetrics();
   transport_ = std::make_unique<Transport>(system_.sim(), system_.lan(), transport);
   store_ = std::make_unique<StableStore>(system_.sim(), disk);
+  transport_->set_metrics(&metrics_);
+  store_->set_metrics(&metrics_);
   transport_->SetHandler(
       [this](StationId src, const Bytes& message) { OnMessage(src, message); });
 }
 
 NodeKernel::~NodeKernel() = default;
+
+void NodeKernel::InitMetrics() {
+  counters_.invocations_started = &metrics_.counter("kernel.invoke.started");
+  counters_.invocations_local = &metrics_.counter("kernel.invoke.local");
+  counters_.invocations_remote = &metrics_.counter("kernel.invoke.remote");
+  counters_.invocations_completed = &metrics_.counter("kernel.invoke.completed");
+  counters_.invocations_timed_out = &metrics_.counter("kernel.invoke.timed_out");
+  counters_.invocations_unavailable =
+      &metrics_.counter("kernel.invoke.unavailable");
+  counters_.dispatches = &metrics_.counter("kernel.dispatches");
+  counters_.rights_denied = &metrics_.counter("kernel.rights_denied");
+  counters_.queue_refusals = &metrics_.counter("kernel.queue_refusals");
+  counters_.locate_broadcasts = &metrics_.counter("kernel.locate.broadcasts");
+  counters_.locate_cache_hits = &metrics_.counter("kernel.locate.cache_hits");
+  counters_.redirects_followed = &metrics_.counter("kernel.redirects_followed");
+  counters_.activations = &metrics_.counter("kernel.activations");
+  counters_.checkpoints = &metrics_.counter("kernel.checkpoints");
+  counters_.crashes = &metrics_.counter("kernel.crashes");
+  counters_.moves_out = &metrics_.counter("kernel.moves_out");
+  counters_.moves_in = &metrics_.counter("kernel.moves_in");
+  counters_.replica_fetches = &metrics_.counter("kernel.replica.fetches");
+  counters_.replica_reads = &metrics_.counter("kernel.replica.reads");
+  counters_.duplicate_requests = &metrics_.counter("kernel.duplicate_requests");
+  invoke_latency_local_ = &metrics_.histogram("kernel.invoke.latency.local");
+  invoke_latency_remote_ = &metrics_.histogram("kernel.invoke.latency.remote");
+  locate_latency_ = &metrics_.histogram("kernel.locate.latency");
+  checkpoint_latency_ = &metrics_.histogram("kernel.checkpoint.latency");
+}
+
+KernelStats NodeKernel::stats() const {
+  KernelStats s;
+  s.invocations_started = counters_.invocations_started->value();
+  s.invocations_local = counters_.invocations_local->value();
+  s.invocations_remote = counters_.invocations_remote->value();
+  s.invocations_completed = counters_.invocations_completed->value();
+  s.invocations_timed_out = counters_.invocations_timed_out->value();
+  s.invocations_unavailable = counters_.invocations_unavailable->value();
+  s.dispatches = counters_.dispatches->value();
+  s.rights_denied = counters_.rights_denied->value();
+  s.queue_refusals = counters_.queue_refusals->value();
+  s.locate_broadcasts = counters_.locate_broadcasts->value();
+  s.locate_cache_hits = counters_.locate_cache_hits->value();
+  s.redirects_followed = counters_.redirects_followed->value();
+  s.activations = counters_.activations->value();
+  s.checkpoints = counters_.checkpoints->value();
+  s.crashes = counters_.crashes->value();
+  s.moves_out = counters_.moves_out->value();
+  s.moves_in = counters_.moves_in->value();
+  s.replica_fetches = counters_.replica_fetches->value();
+  s.replica_reads = counters_.replica_reads->value();
+  s.duplicate_requests = counters_.duplicate_requests->value();
+  return s;
+}
+
+void NodeKernel::RecordInvocationLatency(const PendingInvocation& pending) {
+  SimDuration elapsed = sim().now() - pending.started;
+  (pending.went_remote ? invoke_latency_remote_ : invoke_latency_local_)
+      ->Record(elapsed);
+  if (!pending.metrics_class.empty()) {
+    metrics_.histogram("kernel.invoke.latency.class." + pending.metrics_class)
+        .Record(elapsed);
+  }
+}
 
 Simulation& NodeKernel::sim() { return system_.sim(); }
 
@@ -103,6 +169,7 @@ StatusOr<Capability> NodeKernel::CreateObject(const std::string& type_name,
   object->policy =
       options.policy.value_or(CheckpointPolicy{station(), ReliabilityLevel::kLocal, 0});
   active_[name] = object;
+  UpdateActiveGauge();
   StartBehaviors(object);
   return Capability(name, Rights::All());
 }
@@ -113,16 +180,16 @@ StatusOr<Capability> NodeKernel::CreateObject(const std::string& type_name,
 
 Future<InvokeResult> NodeKernel::Invoke(const Capability& target,
                                         const std::string& op, InvokeArgs args,
-                                        SimDuration timeout) {
+                                        const InvokeOptions& options) {
   Promise<InvokeResult> promise;
   Future<InvokeResult> future = promise.GetFuture();
-  StartInvocation(target, op, std::move(args), timeout, std::move(promise));
+  StartInvocation(target, op, std::move(args), options, std::move(promise));
   return future;
 }
 
 uint64_t NodeKernel::StartInvocation(const Capability& target,
                                      const std::string& op, InvokeArgs args,
-                                     SimDuration timeout,
+                                     const InvokeOptions& options,
                                      Promise<InvokeResult> promise) {
   uint64_t id = NewInvocationId();
   if (failed_) {
@@ -133,17 +200,20 @@ uint64_t NodeKernel::StartInvocation(const Capability& target,
     promise.Set(InvokeResult::Error(InvalidArgumentError("null capability")));
     return id;
   }
-  stats_.invocations_started++;
-  Trace(TraceEventKind::kInvokeStart, target.name(), id, op);
+  counters_.invocations_started->Increment();
+  Trace(TraceEventKind::kInvokeStart, target.name(), id,
+        options.trace_label.empty() ? op : op + " [" + options.trace_label + "]");
   PendingInvocation& pending = pending_invocations_[id];
   pending.promise = std::move(promise);
   pending.target = target;
   pending.operation = op;
   pending.args = std::move(args);
+  pending.started = sim().now();
+  pending.metrics_class = options.metrics_class;
   SimDuration user_timeout =
-      timeout > 0 ? timeout : config_.default_invoke_timeout;
+      options.timeout > 0 ? options.timeout : config_.default_invoke_timeout;
   pending.user_timer = sim().Schedule(user_timeout, [this, id] {
-    stats_.invocations_timed_out++;
+    counters_.invocations_timed_out->Increment();
     CompleteInvocation(
         id, InvokeResult::Error(TimeoutError("invocation timed out")));
   });
@@ -170,7 +240,7 @@ void NodeKernel::TryResolve(uint64_t id) {
     const OperationSpec* op =
         replica->second->type->FindOperation(pending.operation);
     if (op != nullptr && op->read_only) {
-      stats_.replica_reads++;
+      counters_.replica_reads->Increment();
       DispatchLocally(id, replica->second);
       return;
     }
@@ -197,7 +267,7 @@ void NodeKernel::TryResolve(uint64_t id) {
 
   // 5. Location cache.
   if (auto hint = location_cache_.find(name); hint != location_cache_.end()) {
-    stats_.locate_cache_hits++;
+    counters_.locate_cache_hits->Increment();
     SendRequestTo(id, hint->second);
     return;
   }
@@ -218,7 +288,7 @@ void NodeKernel::DispatchLocally(uint64_t id, std::shared_ptr<ActiveObject> obje
   if (it == pending_invocations_.end()) {
     return;
   }
-  stats_.invocations_local++;
+  counters_.invocations_local->Increment();
   PendingDispatch dispatch;
   dispatch.local = true;
   dispatch.request.invocation_id = id;
@@ -248,8 +318,9 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
     return;
   }
   PendingInvocation& pending = it->second;
-  stats_.invocations_remote++;
+  counters_.invocations_remote->Increment();
   pending.current_host = host;
+  pending.went_remote = true;
 
   InvokeRequestMsg msg;
   msg.invocation_id = id;
@@ -285,7 +356,7 @@ void NodeKernel::OnAttemptTimeout(uint64_t id) {
   }
   location_cache_.erase(pending.target.name());
   if (pending.attempts >= config_.max_attempts) {
-    stats_.invocations_unavailable++;
+    counters_.invocations_unavailable->Increment();
     CompleteInvocation(
         id, InvokeResult::Error(UnavailableError("object unreachable")));
     return;
@@ -306,6 +377,7 @@ void NodeKernel::StartLocate(uint64_t id) {
   uint64_t query_id = next_query_id_++;
   PendingLocate& locate = pending_locates_[query_id];
   locate.name = name;
+  locate.started = sim().now();
   locate.waiting.push_back(id);
   locate_by_name_[name] = query_id;
   LocateAttempt(query_id);
@@ -322,6 +394,7 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
       store_->Contains(CheckpointKey(it->second.name))) {
     std::vector<uint64_t> waiting = std::move(it->second.waiting);
     sim().Cancel(it->second.timer);
+    locate_latency_->Record(sim().now() - it->second.started);
     locate_by_name_.erase(it->second.name);
     pending_locates_.erase(it);
     for (uint64_t id : waiting) {
@@ -330,7 +403,7 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
     return;
   }
   PendingLocate& locate = it->second;
-  stats_.locate_broadcasts++;
+  counters_.locate_broadcasts->Increment();
   Trace(TraceEventKind::kLocateBroadcast, locate.name, query_id);
 
   LocateRequestMsg msg;
@@ -350,7 +423,7 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
       locate_by_name_.erase(it->second.name);
       pending_locates_.erase(it);
       for (uint64_t id : waiting) {
-        stats_.invocations_unavailable++;
+        counters_.invocations_unavailable->Increment();
         CompleteInvocation(
             id, InvokeResult::Error(UnavailableError("object not found")));
       }
@@ -369,9 +442,10 @@ void NodeKernel::CompleteInvocation(uint64_t id, InvokeResult result) {
   sim().Cancel(it->second.attempt_timer);
   Trace(TraceEventKind::kInvokeComplete, it->second.target.name(), id,
         std::string(StatusCodeName(result.status.code())));
+  RecordInvocationLatency(it->second);
   Promise<InvokeResult> promise = std::move(it->second.promise);
   pending_invocations_.erase(it);
-  stats_.invocations_completed++;
+  counters_.invocations_completed->Increment();
   promise.Set(std::move(result));
 }
 
@@ -481,7 +555,7 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
 
   // At-most-once execution: a retransmitted request must not run twice.
   if (auto cached = reply_cache_.find(id); cached != reply_cache_.end()) {
-    stats_.duplicate_requests++;
+    counters_.duplicate_requests->Increment();
     InvokeReplyMsg reply;
     reply.invocation_id = id;
     reply.result = cached->second.first;
@@ -490,7 +564,7 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
     return;
   }
   if (requests_in_progress_.count(id) > 0) {
-    stats_.duplicate_requests++;
+    counters_.duplicate_requests->Increment();
     return;  // still executing; the eventual reply covers this duplicate
   }
 
@@ -576,7 +650,7 @@ void NodeKernel::HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& ms
     location_cache_.erase(msg.name);
     pending.attempts++;
     if (pending.attempts >= config_.max_attempts) {
-      stats_.invocations_unavailable++;
+      counters_.invocations_unavailable->Increment();
       CompleteInvocation(msg.invocation_id,
                          InvokeResult::Error(UnavailableError("object lost")));
       return;
@@ -586,13 +660,13 @@ void NodeKernel::HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& ms
   }
   pending.redirects++;
   if (pending.redirects > config_.max_redirects) {
-    stats_.invocations_unavailable++;
+    counters_.invocations_unavailable->Increment();
     CompleteInvocation(
         msg.invocation_id,
         InvokeResult::Error(UnavailableError("forwarding chain too long")));
     return;
   }
-  stats_.redirects_followed++;
+  counters_.redirects_followed->Increment();
   Trace(TraceEventKind::kRedirectFollowed, msg.name, msg.invocation_id,
         "to station " + std::to_string(msg.new_host));
   location_cache_[msg.name] = msg.new_host;
@@ -648,6 +722,7 @@ void NodeKernel::HandleLocateReply(const LocateReplyMsg& msg) {
     return;
   }
   sim().Cancel(it->second.timer);
+  locate_latency_->Record(sim().now() - it->second.started);
   std::vector<uint64_t> waiting = std::move(it->second.waiting);
   locate_by_name_.erase(it->second.name);
   pending_locates_.erase(it);
@@ -677,7 +752,7 @@ void NodeKernel::AcceptDispatch(const std::shared_ptr<ActiveObject>& object,
     return;
   }
   if (!d.request.target.rights().Covers(op->required_rights)) {
-    stats_.rights_denied++;
+    counters_.rights_denied->Increment();
     RefuseDispatch(d, PermissionDeniedError("capability lacks rights for \"" +
                                             d.request.operation + "\""));
     return;
@@ -691,7 +766,7 @@ void NodeKernel::AcceptDispatch(const std::shared_ptr<ActiveObject>& object,
   if (object->class_running[class_index] < spec.concurrency_limit) {
     object->class_running[class_index]++;
     object->total_running++;
-    stats_.dispatches++;
+    counters_.dispatches->Increment();
     RunInvocation(object, std::move(d), op);
     return;
   }
@@ -699,7 +774,7 @@ void NodeKernel::AcceptDispatch(const std::shared_ptr<ActiveObject>& object,
     object->class_queues[class_index].push_back(std::move(d));
     return;
   }
-  stats_.queue_refusals++;
+  counters_.queue_refusals->Increment();
   RefuseDispatch(d, ResourceExhaustedError("invocation class \"" + spec.name +
                                            "\" queue overflow"));
 }
@@ -756,7 +831,7 @@ void NodeKernel::PumpQueues(const std::shared_ptr<ActiveObject>& object) {
       }
       object->class_running[ci]++;
       object->total_running++;
-      stats_.dispatches++;
+      counters_.dispatches->Increment();
       RunInvocation(object, std::move(d), op);
     }
   }
@@ -815,7 +890,7 @@ void NodeKernel::BeginActivation(const ObjectName& name) {
 }
 
 DetachedTask NodeKernel::RunActivation(ObjectName name) {
-  stats_.activations++;
+  counters_.activations->Increment();
   Trace(TraceEventKind::kActivation, name, 0);
   co_await SleepFor(sim(), config_.activation_overhead);
 
@@ -874,6 +949,7 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
   object->frozen = *frozen;
   object->activating = true;
   active_[name] = object;
+  UpdateActiveGauge();
   activating_.erase(name);
 
   // "The coordinator will block the invocation while it attempts to execute
@@ -955,10 +1031,16 @@ Future<Status> NodeKernel::CheckpointForObject(
   if (object->is_replica) {
     return ReadyStatus(FailedPreconditionError("replicas do not checkpoint"));
   }
-  stats_.checkpoints++;
+  counters_.checkpoints->Increment();
   Trace(TraceEventKind::kCheckpoint, object->name, 0);
   Bytes record = EncodeCheckpointRecord(*object);
-  return WriteCheckpoint(object->name, std::move(record), object->policy);
+  Future<Status> done =
+      WriteCheckpoint(object->name, std::move(record), object->policy);
+  SimTime started = sim().now();
+  done.OnReady([this, started] {
+    checkpoint_latency_->Record(sim().now() - started);
+  });
+  return done;
 }
 
 Bytes NodeKernel::EncodeCheckpointRecord(const ActiveObject& object) const {
@@ -1057,7 +1139,7 @@ void NodeKernel::CrashObject(const std::shared_ptr<ActiveObject>& object,
   if (!object->core->alive) {
     return;
   }
-  stats_.crashes++;
+  counters_.crashes->Increment();
   Trace(TraceEventKind::kObjectCrash, object->name, 0, reason.ToString());
   object->core->Fail(reason);
 
@@ -1082,6 +1164,7 @@ void NodeKernel::CrashObject(const std::shared_ptr<ActiveObject>& object,
   const ObjectName& name = object->name;
   if (auto it = active_.find(name); it != active_.end() && it->second == object) {
     active_.erase(it);
+    UpdateActiveGauge();
   }
   if (auto it = replicas_.find(name); it != replicas_.end() && it->second == object) {
     replicas_.erase(it);
@@ -1201,7 +1284,7 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
         promise.Set(UnavailableError("move destination unreachable"));
       });
 
-  stats_.moves_out++;
+  counters_.moves_out->Increment();
   Trace(TraceEventKind::kMoveOut, object->name, transfer_id,
         "to station " + std::to_string(destination));
   sim().Schedule(SerializeCost(encoded.size()),
@@ -1239,9 +1322,10 @@ void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
   object->frozen = msg.frozen;
   object->activating = true;
   active_[msg.name] = object;
+  UpdateActiveGauge();
   forwarding_.erase(msg.name);
   location_cache_.erase(msg.name);
-  stats_.moves_in++;
+  counters_.moves_in->Increment();
   Trace(TraceEventKind::kMoveIn, msg.name, msg.transfer_id,
         "from station " + std::to_string(msg.source));
 
@@ -1322,6 +1406,7 @@ void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
   }
 
   active_.erase(name);
+  UpdateActiveGauge();
   object->moving = false;
   // Behaviors and any post-move handler code on this node see a dead core.
   object->core->Fail(AbortedError("object moved to another node"));
@@ -1340,7 +1425,7 @@ void NodeKernel::MaybeFetchReplica(const ObjectName& name, StationId host) {
   }
   uint64_t request_id = next_request_id_++;
   pending_replica_fetches_[request_id] = name;
-  stats_.replica_fetches++;
+  counters_.replica_fetches->Increment();
   ReplicaFetchMsg msg;
   msg.request_id = request_id;
   msg.reply_to = station();
@@ -1463,10 +1548,10 @@ void NodeKernel::RestartNode() {
 
 Future<InvokeResult> InvokeContext::Invoke(const Capability& target,
                                            const std::string& op, InvokeArgs args,
-                                           SimDuration timeout) {
+                                           const InvokeOptions& options) {
   Promise<InvokeResult> promise;
   Future<InvokeResult> future = promise.GetFuture();
-  kernel_->StartInvocation(target, op, std::move(args), timeout,
+  kernel_->StartInvocation(target, op, std::move(args), options,
                            std::move(promise));
   return future;
 }

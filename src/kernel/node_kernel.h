@@ -22,6 +22,7 @@
 #include "src/kernel/message.h"
 #include "src/kernel/object.h"
 #include "src/kernel/type_manager.h"
+#include "src/metrics/metrics.h"
 #include "src/net/transport.h"
 #include "src/storage/stable_store.h"
 #include "src/trace/trace.h"
@@ -62,6 +63,9 @@ struct KernelConfig {
   size_t reply_cache_capacity = 4096;
 };
 
+// Snapshot of the kernel's registry-backed counters (see NodeKernel::stats).
+// Retained as a compatibility view: the authoritative counts live in the
+// node's MetricsRegistry under the kernel.* names listed in DESIGN.md.
 struct KernelStats {
   uint64_t invocations_started = 0;
   uint64_t invocations_local = 0;
@@ -122,9 +126,20 @@ class NodeKernel {
 
   // --- Invocation (driver side) ----------------------------------------------
   // Location-independent invocation from outside any object (applications,
-  // tests, benchmarks). timeout 0 selects the kernel default.
+  // tests, benchmarks). Per-call knobs (timeout, trace label, metrics class)
+  // travel in InvokeOptions, taken by const reference — see the note on
+  // kDefaultInvokeOptions for why the default is a named constant.
   Future<InvokeResult> Invoke(const Capability& target, const std::string& op,
-                              InvokeArgs args = {}, SimDuration timeout = 0);
+                              InvokeArgs args = {},
+                              const InvokeOptions& options = kDefaultInvokeOptions);
+
+  // Deprecated positional-timeout form; use InvokeOptions::WithTimeout (or a
+  // designated-initializer InvokeOptions) instead. Kept for one release.
+  [[deprecated("pass InvokeOptions instead of a positional timeout")]]
+  Future<InvokeResult> Invoke(const Capability& target, const std::string& op,
+                              InvokeArgs args, SimDuration timeout) {
+    return Invoke(target, op, std::move(args), InvokeOptions::WithTimeout(timeout));
+  }
 
   // --- Failure injection ------------------------------------------------------
   // Node failure: all volatile state (active objects, caches, in-flight
@@ -150,7 +165,12 @@ class NodeKernel {
 
   StableStore& store() { return *store_; }
   Transport& transport() { return *transport_; }
-  KernelStats& stats() { return stats_; }
+  // This node's metrics: kernel.* counters and latency histograms, plus the
+  // store.* and transport.* instruments of the owned subsystems.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // Compatibility snapshot of the registry-backed kernel counters.
+  KernelStats stats() const;
   const KernelConfig& config() const { return config_; }
   EdenSystem& system() { return system_; }
   Simulation& sim();
@@ -172,6 +192,11 @@ class NodeKernel {
     // ignorant so far (forwarded to target kernels as avoid_hosts).
     StationId current_host = kNoStation;
     std::set<StationId> dead_hosts;
+    // Latency accounting: start time, whether the request ever left this
+    // node, and the caller's metrics class (empty = unclassified).
+    SimTime started = 0;
+    bool went_remote = false;
+    std::string metrics_class;
   };
 
   struct PendingLocate {
@@ -179,6 +204,7 @@ class NodeKernel {
     std::vector<uint64_t> waiting;  // invocation ids
     int attempts = 0;
     EventId timer = kInvalidEventId;
+    SimTime started = 0;
   };
 
   struct PendingAck {
@@ -203,7 +229,7 @@ class NodeKernel {
 
   uint64_t NewInvocationId();
   uint64_t StartInvocation(const Capability& target, const std::string& op,
-                           InvokeArgs args, SimDuration timeout,
+                           InvokeArgs args, const InvokeOptions& options,
                            Promise<InvokeResult> promise);
   void TryResolve(uint64_t id);
   void SendRequestTo(uint64_t id, StationId host);
@@ -266,9 +292,47 @@ class NodeKernel {
     return "mirror/" + name.ToKey();
   }
 
+  // Cached Counter pointers into metrics_ for the kernel's hot paths; the
+  // names mirror the KernelStats fields (see NodeKernel::stats).
+  struct KernelCounters {
+    Counter* invocations_started = nullptr;
+    Counter* invocations_local = nullptr;
+    Counter* invocations_remote = nullptr;
+    Counter* invocations_completed = nullptr;
+    Counter* invocations_timed_out = nullptr;
+    Counter* invocations_unavailable = nullptr;
+    Counter* dispatches = nullptr;
+    Counter* rights_denied = nullptr;
+    Counter* queue_refusals = nullptr;
+    Counter* locate_broadcasts = nullptr;
+    Counter* locate_cache_hits = nullptr;
+    Counter* redirects_followed = nullptr;
+    Counter* activations = nullptr;
+    Counter* checkpoints = nullptr;
+    Counter* crashes = nullptr;
+    Counter* moves_out = nullptr;
+    Counter* moves_in = nullptr;
+    Counter* replica_fetches = nullptr;
+    Counter* replica_reads = nullptr;
+    Counter* duplicate_requests = nullptr;
+  };
+  void InitMetrics();
+  void RecordInvocationLatency(const PendingInvocation& pending);
+  void UpdateActiveGauge() {
+    metrics_.gauge("kernel.objects.active")
+        .Set(static_cast<int64_t>(active_.size()));
+  }
+
   EdenSystem& system_;
   std::string node_name_;
   KernelConfig config_;
+  // Declared before the transport and store, which hold pointers into it.
+  MetricsRegistry metrics_;
+  KernelCounters counters_;
+  Histogram* invoke_latency_local_ = nullptr;
+  Histogram* invoke_latency_remote_ = nullptr;
+  Histogram* locate_latency_ = nullptr;
+  Histogram* checkpoint_latency_ = nullptr;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<StableStore> store_;
   bool failed_ = false;
@@ -302,7 +366,6 @@ class NodeKernel {
   uint64_t next_request_id_ = 1;
   uint64_t next_transfer_id_ = 1;
 
-  KernelStats stats_;
   TraceBuffer* trace_ = nullptr;
 };
 

@@ -1,0 +1,52 @@
+// Minimal streaming JSON writer. The metrics registry, the Chrome-trace
+// exporter and the benchmark harness all need to emit machine-readable JSON;
+// the container bakes in no JSON library, so this ~100-line writer is the
+// single shared implementation. It tracks nesting and inserts commas itself,
+// so callers cannot produce structurally invalid output.
+#ifndef EDEN_SRC_METRICS_JSON_WRITER_H_
+#define EDEN_SRC_METRICS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eden {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Must precede every value inside an object.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& U64(uint64_t value);
+  JsonWriter& I64(int64_t value);
+  // Finite doubles render with enough precision to round-trip; NaN and
+  // infinities (invalid JSON) render as null.
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written
+  // (the next element needs a comma separator).
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_METRICS_JSON_WRITER_H_

@@ -1,0 +1,203 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace eden {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket geometry
+//
+// Index layout: values 0..15 get exact unit buckets 0..15. A value with most
+// significant bit `msb` >= 4 lands in block `msb - 3` (blocks of 16), with
+// the 4 bits below the msb selecting the linear sub-bucket. Block 59 (msb 62)
+// is the last, giving kBucketCount = 60 * 16 = 960.
+// ---------------------------------------------------------------------------
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  int msb = 63 - std::countl_zero(value);
+  if (msb > 62) {
+    msb = 62;  // clamp: values >= 2^63 share the final bucket range
+  }
+  uint64_t sub = (value >> (msb - 4)) & (kSubBuckets - 1);
+  size_t index = static_cast<size_t>(msb - 3) * kSubBuckets + sub;
+  return std::min(index, kBucketCount - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  int msb = static_cast<int>(index / kSubBuckets) + 3;
+  uint64_t sub = index % kSubBuckets;
+  return (uint64_t{1} << msb) + (sub << (msb - 4));
+}
+
+uint64_t Histogram::BucketWidth(size_t index) {
+  if (index < kSubBuckets) {
+    return 1;
+  }
+  int msb = static_cast<int>(index / kSubBuckets) + 3;
+  return uint64_t{1} << (msb - 4);
+}
+
+void Histogram::Record(SimDuration value) {
+  uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+  buckets_[BucketFor(v)]++;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+  count_++;
+  sum_ += value;
+}
+
+SimDuration Histogram::Percentile(double fraction) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  // Rank of the sample we want, 1-based.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(count_)));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; i++) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    if (cumulative + buckets_[i] >= rank) {
+      // Interpolate linearly inside the bucket.
+      double within = static_cast<double>(rank - cumulative) /
+                      static_cast<double>(buckets_[i]);
+      double estimate = static_cast<double>(BucketLowerBound(i)) +
+                        within * static_cast<double>(BucketWidth(i));
+      auto value = static_cast<SimDuration>(estimate);
+      return std::clamp(value, min(), max_);
+    }
+    cumulative += buckets_[i];
+  }
+  return max_;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kBucketCount; i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("count").U64(count_);
+  json.Key("mean_us").Double(ToMicroseconds(mean()));
+  json.Key("min_us").Double(ToMicroseconds(min()));
+  json.Key("p50_us").Double(ToMicroseconds(Percentile(0.50)));
+  json.Key("p90_us").Double(ToMicroseconds(Percentile(0.90)));
+  json.Key("p99_us").Double(ToMicroseconds(Percentile(0.99)));
+  json.Key("max_us").Double(ToMicroseconds(max_));
+  json.EndObject();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  const Counter* c = FindCounter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).Increment(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).Add(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name).MergeFrom(*h);
+  }
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, c] : counters_) {
+    json.Key(name).U64(c->value());
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    json.Key(name).I64(g->value());
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    json.Key(name);
+    h->WriteJson(json);
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter json;
+  WriteJson(json);
+  return json.Take();
+}
+
+}  // namespace eden

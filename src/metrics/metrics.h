@@ -1,0 +1,154 @@
+// The Eden metrics subsystem. The paper's project plan hinges on measurement
+// ("additional functions can be moved into the kernel if measurements
+// indicate that significant performance gains will result", section 4.5);
+// this module is the uniform instrument every layer shares:
+//
+//   * Counter    — monotonically increasing event count,
+//   * Gauge      — instantaneous level (active objects, bytes on disk),
+//   * Histogram  — log-linear-bucketed latency distribution over virtual
+//                  time with p50/p90/p99/max,
+//   * MetricsRegistry — a named collection of the above, mergeable across
+//                  nodes for the system-wide rollup, exportable as JSON.
+//
+// Naming scheme (see DESIGN.md "Observability"): dot-separated paths rooted
+// at the owning layer — kernel.*, store.*, transport.* live in each node's
+// registry; lan.* lives in the system registry. Latency histograms end in
+// ".latency" (or a ".latency.<subclass>" variant) and record nanoseconds of
+// virtual time.
+//
+// Everything here is deliberately dependency-light (sim/time.h only) so the
+// network, storage and trace layers can link it without cycles.
+#ifndef EDEN_SRC_METRICS_METRICS_H_
+#define EDEN_SRC_METRICS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/metrics/json_writer.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Log-linear bucketing (HdrHistogram-style): each power-of-two range is
+// split into 16 linear sub-buckets, so any recorded value lands in a bucket
+// whose width is at most 1/16 of the value — percentile estimates carry a
+// bounded ~6% relative error while the whole table stays a fixed 960
+// buckets covering [0, 2^63) nanoseconds.
+class Histogram {
+ public:
+  static constexpr size_t kSubBuckets = 16;  // 2^4 linear slices per octave
+  static constexpr size_t kBucketCount = 960;
+
+  void Record(SimDuration value);
+
+  uint64_t count() const { return count_; }
+  SimDuration sum() const { return sum_; }
+  SimDuration min() const { return count_ == 0 ? 0 : min_; }
+  SimDuration max() const { return max_; }
+  SimDuration mean() const {
+    return count_ == 0 ? 0 : sum_ / static_cast<SimDuration>(count_);
+  }
+
+  // Value below which `fraction` (in [0,1]) of recorded samples fall,
+  // linearly interpolated inside the containing bucket and clamped to the
+  // recorded [min, max].
+  SimDuration Percentile(double fraction) const;
+
+  void MergeFrom(const Histogram& other);
+
+  // {"count":n,"mean_us":..,"min_us":..,"p50_us":..,"p90_us":..,
+  //  "p99_us":..,"max_us":..} — microseconds, the unit benches report.
+  void WriteJson(JsonWriter& json) const;
+
+  // Bucket geometry, exposed for tests.
+  static size_t BucketFor(uint64_t value);
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketWidth(size_t index);
+
+ private:
+  uint64_t count_ = 0;
+  SimDuration sum_ = 0;
+  SimDuration min_ = 0;
+  SimDuration max_ = 0;
+  std::array<uint64_t, kBucketCount> buckets_ = {};
+};
+
+// A named collection of metrics. Instruments are created on first use and
+// live as long as the registry (pointers remain stable), so hot paths can
+// cache Counter*/Histogram* and skip the map lookup.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // Read-only lookups; null when the metric was never touched.
+  const Counter* FindCounter(const std::string& name) const;
+  const Gauge* FindGauge(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Convenience for compatibility accessors: 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+
+  // Aggregates `other` into this registry: counters and gauges add,
+  // histograms merge bucket-wise. Used for the per-system rollup (same
+  // metric names across nodes sum together).
+  void MergeFrom(const MetricsRegistry& other);
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t gauge_count() const { return gauges_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{...}}}
+  std::string ToJson() const;
+  // Emits the same structure into an enclosing writer (the bench exporter
+  // nests the registry inside its own envelope).
+  void WriteJson(JsonWriter& json) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_METRICS_METRICS_H_

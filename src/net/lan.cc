@@ -11,6 +11,7 @@ void Station::Send(Frame frame) {
   assert(frame.payload.size() <= lan_->config().max_payload_bytes &&
          "payload exceeds LAN MTU; use the transport layer to fragment");
   frame.src = id_;
+  frame.enqueued_at = lan_->sim().now();
   queue_.push_back(std::move(frame));
   if (!transmitting_or_waiting_) {
     transmitting_or_waiting_ = true;
@@ -27,6 +28,20 @@ void Station::Deliver(const Frame& frame) {
 
 Lan::Lan(Simulation& sim, LanConfig config)
     : sim_(sim), config_(config), rng_(sim.rng().Fork()) {}
+
+void Lan::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = LanMetrics{};
+    return;
+  }
+  metrics_.frames_sent = &registry->counter("lan.frames_sent");
+  metrics_.frames_delivered = &registry->counter("lan.frames_delivered");
+  metrics_.frames_lost = &registry->counter("lan.frames_lost");
+  metrics_.collisions = &registry->counter("lan.collisions");
+  metrics_.transmit_failures = &registry->counter("lan.transmit_failures");
+  metrics_.bytes_on_wire = &registry->counter("lan.bytes_on_wire");
+  metrics_.queue_delay = &registry->histogram("lan.queue_delay");
+}
 
 Lan::~Lan() = default;
 
@@ -87,6 +102,7 @@ void Lan::Attempt(Station* station) {
   if (detached_[station->id_]) {
     // A failed node's pending output evaporates.
     stats_.transmit_failures++;
+    Bump(metrics_.transmit_failures);
     station->queue_.pop_front();
     station->attempt_ = 0;
     if (station->queue_.empty()) {
@@ -140,6 +156,7 @@ void Lan::BeginTransmission(Station* station) {
 
 void Lan::HandleCollision(Station* first, Station* second) {
   stats_.collisions++;
+  Bump(metrics_.collisions);
   sim_.Cancel(current_->completion_event);
   current_.reset();
   // Jam signal occupies the wire for one slot.
@@ -154,6 +171,7 @@ void Lan::ScheduleRetry(Station* station, bool after_collision) {
     EDEN_LOG(kWarning, "lan") << "station " << station->id_
                               << " dropped frame after excessive collisions";
     stats_.transmit_failures++;
+    Bump(metrics_.transmit_failures);
     station->queue_.pop_front();
     station->attempt_ = 0;
     if (station->queue_.empty()) {
@@ -182,6 +200,13 @@ void Lan::FinishTransmission(Station* station, Frame frame) {
   stats_.frames_sent++;
   stats_.bytes_on_wire += wire_bytes;
   stats_.busy_time += duration;
+  Bump(metrics_.frames_sent);
+  Bump(metrics_.bytes_on_wire, wire_bytes);
+  if (metrics_.queue_delay != nullptr) {
+    // Time from Send() to the start of the successful transmission: queueing
+    // behind the sender's own backlog plus deferral/backoff on a busy medium.
+    metrics_.queue_delay->Record(sim_.now() - duration - frame.enqueued_at);
+  }
   station->queue_.pop_front();
   station->attempt_ = 0;
 
@@ -193,9 +218,11 @@ void Lan::FinishTransmission(Station* station, Frame frame) {
     }
     if (config_.loss_probability > 0.0 && rng_.NextBool(config_.loss_probability)) {
       stats_.frames_lost++;
+      Bump(metrics_.frames_lost);
       return;
     }
     stats_.frames_delivered++;
+    Bump(metrics_.frames_delivered);
     stations_[dst]->Deliver(f);
   };
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/metrics/metrics.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
 
@@ -55,6 +56,9 @@ struct Frame {
   StationId src = 0;
   StationId dst = 0;  // kBroadcastStation for broadcast
   Bytes payload;
+  // Stamped by Station::Send; drives the lan.queue_delay histogram (time the
+  // frame waited behind the sender's queue and the busy medium).
+  SimTime enqueued_at = 0;
 };
 
 struct LanStats {
@@ -127,6 +131,11 @@ class Lan {
   const LanStats& stats() const { return stats_; }
   Simulation& sim() { return sim_; }
 
+  // Mirrors the LanStats counters into `registry` under lan.* names and
+  // records per-frame queueing delay into lan.queue_delay. The registry must
+  // outlive this Lan; nullptr detaches.
+  void set_metrics(MetricsRegistry* registry);
+
   // Time to clock one frame of `payload_bytes` onto the wire.
   SimDuration FrameTime(size_t payload_bytes) const;
 
@@ -139,6 +148,22 @@ class Lan {
     EventId completion_event;
   };
 
+  struct LanMetrics {
+    Counter* frames_sent = nullptr;
+    Counter* frames_delivered = nullptr;
+    Counter* frames_lost = nullptr;
+    Counter* collisions = nullptr;
+    Counter* transmit_failures = nullptr;
+    Counter* bytes_on_wire = nullptr;
+    Histogram* queue_delay = nullptr;
+  };
+
+  static void Bump(Counter* counter, uint64_t n = 1) {
+    if (counter != nullptr) {
+      counter->Increment(n);
+    }
+  }
+
   // Station wants the wire; called when a frame reaches its queue head.
   void Attempt(Station* station);
   void BeginTransmission(Station* station);
@@ -150,6 +175,7 @@ class Lan {
   Simulation& sim_;
   LanConfig config_;
   LanStats stats_;
+  LanMetrics metrics_;
   std::vector<std::unique_ptr<Station>> stations_;
   std::vector<int> partition_group_;   // index by StationId
   std::vector<bool> detached_;

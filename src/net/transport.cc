@@ -19,6 +19,21 @@ Transport::Transport(Simulation& sim, Lan& lan, TransportConfig config)
   station_->SetReceiveHandler([this](const Frame& frame) { OnFrame(frame); });
 }
 
+void Transport::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    counters_ = TransportCounters{};
+    return;
+  }
+  counters_.messages_sent = &registry->counter("transport.messages_sent");
+  counters_.messages_delivered = &registry->counter("transport.messages_delivered");
+  counters_.duplicates_suppressed =
+      &registry->counter("transport.duplicates_suppressed");
+  counters_.retransmits = &registry->counter("transport.retransmits");
+  counters_.send_failures = &registry->counter("transport.send_failures");
+  counters_.acks_sent = &registry->counter("transport.acks_sent");
+  counters_.fragments_sent = &registry->counter("transport.fragments_sent");
+}
+
 std::vector<Bytes> Transport::Fragment(uint64_t msg_id, bool reliable,
                                        const Bytes& message) {
   size_t max_chunk = lan_.config().max_payload_bytes - kFragmentHeaderBytes;
@@ -48,6 +63,7 @@ uint64_t Transport::SendReliable(StationId dst, Bytes message) {
   pending.dst = dst;
   pending.fragments = Fragment(msg_id, /*reliable=*/true, message);
   stats_.messages_sent++;
+  Bump(counters_.messages_sent);
   TransmitFragments(pending);
   pending_[msg_id] = std::move(pending);
   ArmRetransmit(msg_id);
@@ -60,6 +76,7 @@ void Transport::SendBestEffort(StationId dst, Bytes message) {
   once.dst = dst;
   once.fragments = Fragment(msg_id, /*reliable=*/false, message);
   stats_.messages_sent++;
+  Bump(counters_.messages_sent);
   TransmitFragments(once);
 }
 
@@ -70,6 +87,7 @@ void Transport::TransmitFragments(const PendingSend& pending) {
     frame.payload = payload;
     station_->Send(std::move(frame));
     stats_.fragments_sent++;
+    Bump(counters_.fragments_sent);
   }
 }
 
@@ -89,11 +107,13 @@ void Transport::ArmRetransmit(uint64_t msg_id) {
       EDEN_LOG(kDebug, "transport")
           << "station " << station_->id() << " gave up on message " << msg_id;
       stats_.send_failures++;
+      Bump(counters_.send_failures);
       pending_.erase(it);
       return;
     }
     it->second.retransmits++;
     stats_.retransmits++;
+    Bump(counters_.retransmits);
     TransmitFragments(it->second);
     ArmRetransmit(msg_id);
   });
@@ -149,10 +169,12 @@ void Transport::HandleData(const Frame& frame, BufferReader& reader) {
     ack.payload = writer.Take();
     station_->Send(std::move(ack));
     stats_.acks_sent++;
+    Bump(counters_.acks_sent);
   };
 
   if (AlreadyDelivered(frame.src, *msg_id)) {
     stats_.duplicates_suppressed++;
+    Bump(counters_.duplicates_suppressed);
     if (*reliable) {
       // The sender missed our ack; repeat it.
       send_ack();
@@ -204,6 +226,7 @@ void Transport::HandleData(const Frame& frame, BufferReader& reader) {
     send_ack();
   }
   stats_.messages_delivered++;
+  Bump(counters_.messages_delivered);
   if (handler_) {
     handler_(frame.src, message);
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/metrics/metrics.h"
 #include "src/net/lan.h"
 #include "src/sim/simulation.h"
 
@@ -73,6 +74,10 @@ class Transport {
 
   const TransportStats& stats() const { return stats_; }
 
+  // Mirrors the TransportStats counters into `registry` under transport.*
+  // names. The registry must outlive this transport; nullptr detaches.
+  void set_metrics(MetricsRegistry* registry);
+
  private:
   enum FrameKind : uint8_t { kData = 1, kAck = 2 };
 
@@ -95,6 +100,22 @@ class Transport {
     std::deque<uint64_t> order;
   };
 
+  struct TransportCounters {
+    Counter* messages_sent = nullptr;
+    Counter* messages_delivered = nullptr;
+    Counter* duplicates_suppressed = nullptr;
+    Counter* retransmits = nullptr;
+    Counter* send_failures = nullptr;
+    Counter* acks_sent = nullptr;
+    Counter* fragments_sent = nullptr;
+  };
+
+  static void Bump(Counter* counter) {
+    if (counter != nullptr) {
+      counter->Increment();
+    }
+  }
+
   void OnFrame(const Frame& frame);
   void HandleData(const Frame& frame, BufferReader& reader);
   void HandleAck(StationId src, BufferReader& reader);
@@ -109,6 +130,7 @@ class Transport {
   Station* station_;
   TransportConfig config_;
   TransportStats stats_;
+  TransportCounters counters_;
   Handler handler_;
   uint64_t next_msg_id_ = 1;
   std::map<uint64_t, PendingSend> pending_;

@@ -7,6 +7,22 @@ namespace eden {
 StableStore::StableStore(Simulation& sim, DiskConfig config)
     : sim_(sim), config_(config) {}
 
+void StableStore::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = StoreMetrics{};
+    return;
+  }
+  metrics_.reads = &registry->counter("store.reads");
+  metrics_.writes = &registry->counter("store.writes");
+  metrics_.deletes = &registry->counter("store.deletes");
+  metrics_.read_bytes = &registry->counter("store.read_bytes");
+  metrics_.written_bytes = &registry->counter("store.written_bytes");
+  metrics_.bytes_used = &registry->gauge("store.bytes_used");
+  metrics_.read_latency = &registry->histogram("store.read.latency");
+  metrics_.write_latency = &registry->histogram("store.write.latency");
+  UpdateBytesUsedGauge();
+}
+
 SimDuration StableStore::ServiceDelay(uint64_t bytes) {
   double transfer_sec =
       static_cast<double>(bytes) / config_.transfer_bytes_per_sec;
@@ -35,6 +51,12 @@ Future<Status> StableStore::Put(const std::string& key, Bytes value) {
   stats_.writes++;
   stats_.written_bytes += new_bytes;
   SimDuration delay = ServiceDelay(new_bytes);
+  if (metrics_.writes != nullptr) {
+    metrics_.writes->Increment();
+    metrics_.written_bytes->Increment(new_bytes);
+    metrics_.write_latency->Record(delay);
+    UpdateBytesUsedGauge();
+  }
   Promise<Status> promise;
   sim_.Schedule(delay, [promise]() mutable { promise.Set(OkStatus()); });
   return promise.GetFuture();
@@ -50,6 +72,11 @@ Future<StatusOr<Bytes>> StableStore::Get(const std::string& key) {
   stats_.reads++;
   stats_.read_bytes += it->second.size();
   SimDuration delay = ServiceDelay(it->second.size());
+  if (metrics_.reads != nullptr) {
+    metrics_.reads->Increment();
+    metrics_.read_bytes->Increment(it->second.size());
+    metrics_.read_latency->Record(delay);
+  }
   Bytes value = it->second;
   sim_.Schedule(delay, [promise, value = std::move(value)]() mutable {
     promise.Set(StatusOr<Bytes>(std::move(value)));
@@ -63,6 +90,10 @@ Future<Status> StableStore::Delete(const std::string& key) {
     bytes_used_ -= it->second.size();
     records_.erase(it);
     stats_.deletes++;
+    if (metrics_.deletes != nullptr) {
+      metrics_.deletes->Increment();
+      UpdateBytesUsedGauge();
+    }
   }
   SimDuration delay = ServiceDelay(0);
   Promise<Status> promise;

@@ -15,6 +15,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/metrics/metrics.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 
@@ -63,14 +64,38 @@ class StableStore {
   const StoreStats& stats() const { return stats_; }
   const DiskConfig& config() const { return config_; }
 
+  // Mirrors the StoreStats counters into `registry` under store.* names and
+  // records per-operation service latency (queueing + seek + transfer) into
+  // store.read.latency / store.write.latency. The registry must outlive this
+  // store; nullptr detaches.
+  void set_metrics(MetricsRegistry* registry);
+
  private:
+  struct StoreMetrics {
+    Counter* reads = nullptr;
+    Counter* writes = nullptr;
+    Counter* deletes = nullptr;
+    Counter* read_bytes = nullptr;
+    Counter* written_bytes = nullptr;
+    Gauge* bytes_used = nullptr;
+    Histogram* read_latency = nullptr;
+    Histogram* write_latency = nullptr;
+  };
+
   // Serializes requests through the single disk arm and returns the
   // completion time of a transfer of `bytes`.
   SimDuration ServiceDelay(uint64_t bytes);
 
+  void UpdateBytesUsedGauge() {
+    if (metrics_.bytes_used != nullptr) {
+      metrics_.bytes_used->Set(static_cast<int64_t>(bytes_used_));
+    }
+  }
+
   Simulation& sim_;
   DiskConfig config_;
   StoreStats stats_;
+  StoreMetrics metrics_;
   std::map<std::string, Bytes> records_;
   uint64_t bytes_used_ = 0;
   SimTime arm_free_at_ = 0;

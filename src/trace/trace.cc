@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <map>
+#include <set>
+
+#include "src/metrics/json_writer.h"
 
 namespace eden {
 
@@ -98,6 +101,80 @@ SimDuration TraceBuffer::MeanInvocationLatency() const {
     return 0;
   }
   return total / static_cast<SimDuration>(pairs);
+}
+
+std::string TraceBuffer::ExportChromeTrace() const {
+  // First pass: pair up invocation starts and completions still in the
+  // window so they can be rendered as duration ("X") events.
+  struct OpenInvocation {
+    size_t start_index;
+    SimTime started;
+  };
+  std::map<uint64_t, OpenInvocation> open;
+  std::map<size_t, SimDuration> durations;  // start event index -> duration
+  std::set<size_t> folded;                  // completion indices absorbed
+  for (size_t i = 0; i < events_.size(); i++) {
+    const TraceEvent& event = events_[i];
+    if (event.kind == TraceEventKind::kInvokeStart) {
+      open[event.id] = OpenInvocation{i, event.when};
+    } else if (event.kind == TraceEventKind::kInvokeComplete) {
+      auto it = open.find(event.id);
+      if (it != open.end()) {
+        durations[it->second.start_index] = event.when - it->second.started;
+        folded.insert(i);
+        open.erase(it);
+      }
+    }
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (size_t i = 0; i < events_.size(); i++) {
+    const TraceEvent& event = events_[i];
+    // Completion of a paired invocation is folded into its "X" event; only
+    // unpaired completions (start evicted from the ring) appear alone.
+    if (folded.count(i) > 0) {
+      continue;
+    }
+    json.BeginObject();
+    auto duration_it = durations.find(i);
+    if (duration_it != durations.end()) {
+      json.Key("ph");
+      json.String("X");
+      json.Key("dur");
+      json.Double(static_cast<double>(duration_it->second) / 1000.0);
+    } else {
+      json.Key("ph");
+      json.String("i");
+      json.Key("s");
+      json.String("t");
+    }
+    json.Key("name");
+    // A paired start/complete renders as one duration slice covering the
+    // whole invocation, so drop the "_START" suffix from its label.
+    std::string name(duration_it != durations.end()
+                         ? "INVOKE"
+                         : TraceEventKindName(event.kind));
+    if (!event.object.IsNull()) {
+      name += " " + event.object.ToString();
+    }
+    if (!event.detail.empty()) {
+      name += " (" + event.detail + ")";
+    }
+    json.String(name);
+    json.Key("ts");
+    json.Double(static_cast<double>(event.when) / 1000.0);
+    json.Key("pid");
+    json.U64(event.node);
+    json.Key("tid");
+    json.U64(event.id);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
 }
 
 }  // namespace eden

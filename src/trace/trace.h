@@ -76,6 +76,12 @@ class TraceBuffer {
   // virtual latency (0 if no pairs are present in the buffer window).
   SimDuration MeanInvocationLatency() const;
 
+  // Chrome trace-event JSON ({"traceEvents":[...]}), loadable in
+  // chrome://tracing or Perfetto. Invocation start/complete pairs become "X"
+  // duration events (pid = node, tid = invocation id); everything else is an
+  // instant event. Timestamps are microseconds of virtual time.
+  std::string ExportChromeTrace() const;
+
  private:
   size_t capacity_;
   std::deque<TraceEvent> events_;

@@ -69,12 +69,14 @@ Task<void> ClosedLoopClient(EdenSystem* system, size_t client_index,
                             SimDuration timeout,
                             std::shared_ptr<SharedRun> run) {
   uint64_t seq = 0;
+  // Named local, not an inline temporary: see the note on kDefaultInvokeOptions.
+  InvokeOptions options = InvokeOptions::WithTimeout(timeout);
   while (system->sim().now() < deadline) {
     WorkItem item = factory(client_index, seq++);
     SimTime start = system->sim().now();
     InvokeResult result = co_await system->node(node_index)
                               .Invoke(item.target, item.operation,
-                                      std::move(item.args), timeout);
+                                      std::move(item.args), options);
     if (result.ok()) {
       run->stats.completed++;
       run->stats.latency.Record(system->sim().now() - start);
@@ -94,9 +96,11 @@ Task<void> ClosedLoopClient(EdenSystem* system, size_t client_index,
 Task<void> OpenLoopRequest(EdenSystem* system, size_t node_index, WorkItem item,
                            SimDuration timeout, std::shared_ptr<SharedRun> run) {
   SimTime start = system->sim().now();
+  // Named local, not an inline temporary: see the note on kDefaultInvokeOptions.
+  InvokeOptions options = InvokeOptions::WithTimeout(timeout);
   InvokeResult result =
       co_await system->node(node_index)
-          .Invoke(item.target, item.operation, std::move(item.args), timeout);
+          .Invoke(item.target, item.operation, std::move(item.args), options);
   if (result.ok()) {
     run->stats.completed++;
     run->stats.latency.Record(system->sim().now() - start);

@@ -93,7 +93,7 @@ TEST_P(FailureInjectionProperty, CheckpointedMonotonicLogSurvivesAnyCrashSchedul
     }
     uint64_t entry = next_entry++;
     InvokeResult result = system.Await(system.node(4).Invoke(
-        *log, "append", InvokeArgs{}.AddU64(entry), Seconds(20)));
+        *log, "append", InvokeArgs{}.AddU64(entry), InvokeOptions::WithTimeout(Seconds(20))));
     if (result.ok()) {
       acknowledged.push_back(entry);
     }
@@ -107,7 +107,7 @@ TEST_P(FailureInjectionProperty, CheckpointedMonotonicLogSurvivesAnyCrashSchedul
     }
   }
   InvokeResult final_log =
-      system.Await(system.node(4).Invoke(*log, "entries", {}, Seconds(30)));
+      system.Await(system.node(4).Invoke(*log, "entries", {}, InvokeOptions::WithTimeout(Seconds(30))));
   ASSERT_TRUE(final_log.ok()) << final_log.status;
 
   std::vector<uint64_t> persisted;

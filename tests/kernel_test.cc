@@ -192,7 +192,7 @@ TEST_F(KernelFixture, InvocationTimeoutFires) {
   // invocation is not completed within some time limit").
   Capability bogus(ObjectName(99, 1234, 1), Rights::All());
   Future<InvokeResult> future =
-      system_.node(0).Invoke(bogus, "read", {}, Milliseconds(5));
+      system_.node(0).Invoke(bogus, "read", {}, InvokeOptions::WithTimeout(Milliseconds(5)));
   InvokeResult result = system_.Await(future);
   // Either the locate gives up (Unavailable) or the timeout fires first.
   EXPECT_FALSE(result.ok());

@@ -242,7 +242,7 @@ TEST_F(LocationFixture, PartitionMakesObjectUnavailableThenHeals) {
   // Partition node 3 away from node 0.
   system_.lan().SetPartitionGroup(system_.node(3).station(), 1);
   InvokeResult result = system_.Await(
-      system_.node(3).Invoke(*cap, "read", {}, Milliseconds(500)));
+      system_.node(3).Invoke(*cap, "read", {}, InvokeOptions::WithTimeout(Milliseconds(500))));
   EXPECT_FALSE(result.ok());
 
   system_.lan().ClearPartitions();

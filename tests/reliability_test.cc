@@ -77,7 +77,7 @@ TEST_F(ReliabilityFixture, NodeFailureThenRestartRecoversCheckpointedState) {
 
   // While the node is down the object is unreachable.
   InvokeResult result = system_.Await(
-      system_.node(1).Invoke(cap, "read", {}, Milliseconds(500)));
+      system_.node(1).Invoke(cap, "read", {}, InvokeOptions::WithTimeout(Milliseconds(500))));
   EXPECT_FALSE(result.ok());
 
   system_.node(0).RestartNode();
@@ -138,7 +138,7 @@ TEST_F(ReliabilityFixture, MirrorPromotionRecoversFromPermanentPrimaryLoss) {
   // Node 0 (execution site AND primary checksite) is permanently lost.
   system_.node(0).FailNode();
   InvokeResult result = system_.Await(
-      system_.node(1).Invoke(*cap, "read", {}, Milliseconds(500)));
+      system_.node(1).Invoke(*cap, "read", {}, InvokeOptions::WithTimeout(Milliseconds(500))));
   EXPECT_FALSE(result.ok());
 
   // Administrative recovery: promote the mirror at node 3.

@@ -62,10 +62,10 @@ TEST_P(SoakProperty, EverythingAtOnce) {
       }
       case 1: {  // checkpoint + crash a counter
         InvokeResult ck = system.Await(system.node(actor).Invoke(
-            counters[target], "checkpoint", {}, Seconds(15)));
+            counters[target], "checkpoint", {}, InvokeOptions::WithTimeout(Seconds(15))));
         if (ck.ok()) {
           system.Await(
-              system.node(actor).Invoke(counters[target], "crash", {}, Seconds(15)));
+              system.node(actor).Invoke(counters[target], "crash", {}, InvokeOptions::WithTimeout(Seconds(15))));
         }
         break;
       }
@@ -89,12 +89,12 @@ TEST_P(SoakProperty, EverythingAtOnce) {
       }
       case 3: {  // read the frozen object
         system.Await(
-            system.node(actor).Invoke(*frozen, "get", {}, Seconds(15)));
+            system.node(actor).Invoke(*frozen, "get", {}, InvokeOptions::WithTimeout(Seconds(15))));
         break;
       }
       default: {  // increment a counter
         InvokeResult result = system.Await(system.node(actor).Invoke(
-            counters[target], "increment", InvokeArgs{}.AddU64(1), Seconds(15)));
+            counters[target], "increment", InvokeArgs{}.AddU64(1), InvokeOptions::WithTimeout(Seconds(15))));
         if (result.ok()) {
           acknowledged[target]++;
         }
@@ -115,7 +115,7 @@ TEST_P(SoakProperty, EverythingAtOnce) {
 
   for (size_t i = 0; i < kCounters; i++) {
     InvokeResult read = system.Await(
-        system.node(i % kNodes).Invoke(counters[i], "read", {}, Seconds(30)));
+        system.node(i % kNodes).Invoke(counters[i], "read", {}, InvokeOptions::WithTimeout(Seconds(30))));
     ASSERT_TRUE(read.ok()) << "counter " << i << " unreachable after the soak: "
                            << read.status << " (seed " << GetParam() << ")";
     uint64_t value = read.results.U64At(0).value();
