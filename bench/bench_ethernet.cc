@@ -51,11 +51,11 @@ void BM_EthernetLoad(benchmark::State& state) {
     for (size_t s = 0; s < stations; s++) {
       Station* station = lan.AttachStation();
       station->SetReceiveHandler([tracking, &sim](const Frame& frame) {
-        BufferReader reader(frame.payload);
+        BufferReader reader(frame.header);
         auto sent_at = reader.ReadI64();
         if (sent_at.ok()) {
           tracking->delivered++;
-          tracking->bytes += frame.payload.size();
+          tracking->bytes += frame.wire_size();
           tracking->total_delay += sim.now() - *sent_at;
         }
       });

@@ -1,0 +1,152 @@
+// E11 — Simulator-core wall-clock throughput.
+//
+// Every other benchmark in this directory reports *virtual* time: how fast
+// the modeled 1981 hardware is. This one deliberately reports *wall-clock*
+// time: how fast the simulator itself executes, which bounds how large a
+// simulated installation we can evaluate (SimBricks makes the same point for
+// full-system simulation). All series use ->UseManualTime() fed from a
+// monotonic host clock, so the google-benchmark "Time" column is host
+// seconds, not simulated seconds.
+//
+// Series:
+//   BM_SchedulerChurn        schedule/cancel/fire storm on a bare Simulation:
+//                            pure event-queue overhead, no kernel or LAN
+//   BM_TransportStream/bytes back-to-back reliable messages between two
+//                            stations: the message path (fragment, transmit,
+//                            reassemble, ack) without kernel logic
+//   BM_Saturated16           16-node system, one closed-loop client per node
+//                            invoking objects on the next node with zero
+//                            think time: the wire and every kernel stay busy
+//
+// Exported gauges (BENCH_bench_throughput.json):
+//   bench.throughput.events_per_sec        wall-clock simulator event rate
+//   bench.throughput.invocations_per_sec   completed invocations per host sec
+// Compare runs with scripts/perf_compare.py.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/workload/workload.h"
+
+namespace eden {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double WallSecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+// Pure event-queue churn: a self-rescheduling chain plus a ring of timers
+// that are cancelled just before they fire — the Schedule/Cancel pattern the
+// transport's retransmit path used to exercise per message.
+void BM_SchedulerChurn(benchmark::State& state) {
+  constexpr int kTimersPerTick = 8;
+  Simulation sim;
+  uint64_t fired = 0;
+  for (auto _ : state) {
+    constexpr uint64_t kEvents = 200000;
+    auto start = WallClock::now();
+    EventId cancel_ring[kTimersPerTick] = {};
+    std::function<void()> tick = [&] {
+      fired++;
+      for (int i = 0; i < kTimersPerTick; i++) {
+        sim.Cancel(cancel_ring[i]);
+        cancel_ring[i] = sim.Schedule(Milliseconds(5), [&fired] { fired++; });
+      }
+      sim.Schedule(Microseconds(10), tick);
+    };
+    sim.Schedule(0, tick);
+    sim.Run(kEvents);
+    state.SetIterationTime(WallSecondsSince(start));
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(sim.events_executed()), benchmark::Counter::kIsRate);
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_SchedulerChurn)->UseManualTime();
+
+// Message-path throughput: stream reliable messages of `bytes` between two
+// transports as fast as the simulated wire carries them.
+void BM_TransportStream(benchmark::State& state) {
+  size_t bytes = static_cast<size_t>(state.range(0));
+  Simulation sim;
+  Lan lan(sim);
+  Transport a(sim, lan), b(sim, lan);
+  uint64_t delivered = 0;
+  b.SetHandler([&](StationId, const auto& message) {
+    benchmark::DoNotOptimize(message.data());
+    delivered++;
+  });
+  for (auto _ : state) {
+    constexpr int kMessages = 2000;
+    uint64_t before = delivered;
+    auto start = WallClock::now();
+    for (int i = 0; i < kMessages; i++) {
+      a.SendReliable(b.station_id(), Bytes(bytes, 0x42));
+    }
+    sim.Run();
+    state.SetIterationTime(WallSecondsSince(start));
+    state.counters["msgs_per_sec"] = benchmark::Counter(
+        static_cast<double>(delivered - before), benchmark::Counter::kIsRate);
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(sim.events_executed()), benchmark::Counter::kIsRate);
+  }
+}
+BENCHMARK(BM_TransportStream)->Arg(256)->Arg(1200)->Arg(16384)->UseManualTime();
+
+// The headline series: a 16-node installation where every node runs one
+// zero-think-time closed-loop client invoking a data object on its ring
+// neighbor. The shared 10 Mb/s medium saturates; the wall-clock event rate
+// is the simulator's capacity on a busy system.
+void BM_Saturated16(benchmark::State& state) {
+  constexpr size_t kNodes = 16;
+  auto system = MakeBenchSystem(kNodes);
+  std::vector<Capability> targets;
+  std::vector<size_t> clients;
+  for (size_t i = 0; i < kNodes; i++) {
+    targets.push_back(MakeDataObject(*system, (i + 1) % kNodes, 64));
+    clients.push_back(i);
+  }
+  // Warm every location cache so the steady state has no broadcasts.
+  for (size_t i = 0; i < kNodes; i++) {
+    system->Await(system->node(i).Invoke(targets[i], "size"));
+  }
+  Bytes payload(128, 0x5a);
+  WorkFactory factory = [&](size_t client, uint64_t) {
+    return WorkItem{targets[client], "put", InvokeArgs{}.AddBytes(payload)};
+  };
+
+  uint64_t events = 0;
+  uint64_t invocations = 0;
+  double wall_seconds = 0;
+  for (auto _ : state) {
+    uint64_t events_before = system->sim().events_executed();
+    auto start = WallClock::now();
+    WorkloadStats stats = RunClosedLoop(*system, clients, factory,
+                                        /*duration=*/Milliseconds(200),
+                                        /*mean_think_time=*/0);
+    double elapsed = WallSecondsSince(start);
+    state.SetIterationTime(elapsed);
+    wall_seconds += elapsed;
+    events += system->sim().events_executed() - events_before;
+    invocations += stats.completed;
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+    state.counters["invocations_per_sec"] = benchmark::Counter(
+        static_cast<double>(invocations), benchmark::Counter::kIsRate);
+  }
+  if (wall_seconds > 0) {
+    BenchMetrics()
+        .gauge("bench.throughput.events_per_sec")
+        .Set(static_cast<int64_t>(static_cast<double>(events) / wall_seconds));
+    BenchMetrics()
+        .gauge("bench.throughput.invocations_per_sec")
+        .Set(static_cast<int64_t>(static_cast<double>(invocations) / wall_seconds));
+  }
+}
+BENCHMARK(BM_Saturated16)->UseManualTime()->MinTime(2.0);
+
+}  // namespace
+}  // namespace eden
+
+EDEN_BENCH_MAIN(bench_throughput);

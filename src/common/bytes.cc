@@ -10,6 +10,10 @@ std::string ToString(const Bytes& bytes) {
   return std::string(bytes.begin(), bytes.end());
 }
 
+std::string ToString(BytesView bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
 void BufferWriter::WriteU8(uint8_t value) { buffer_.push_back(value); }
 
 void BufferWriter::WriteU16(uint16_t value) {
@@ -169,7 +173,7 @@ uint64_t Fnv1a64(const uint8_t* data, size_t size) {
   return hash;
 }
 
-uint64_t Fnv1a64(const Bytes& bytes) { return Fnv1a64(bytes.data(), bytes.size()); }
+uint64_t Fnv1a64(BytesView bytes) { return Fnv1a64(bytes.data(), bytes.size()); }
 
 uint64_t Fnv1a64(std::string_view text) {
   return Fnv1a64(reinterpret_cast<const uint8_t*>(text.data()), text.size());

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,9 +18,92 @@ namespace eden {
 
 using Bytes = std::vector<uint8_t>;
 
+// A borrowed, non-owning view of a byte range (the uint8_t analogue of
+// std::string_view). The hot message path hands decoders and transport
+// handlers views instead of Bytes so a single-fragment message is never
+// copied between the wire and the kernel's decode. A view is only valid
+// while the underlying buffer lives; handlers that stash a payload must
+// call ToBytes().
+class BytesView {
+ public:
+  constexpr BytesView() = default;
+  constexpr BytesView(const uint8_t* data, size_t size)
+      : data_(data), size_(size) {}
+  BytesView(const Bytes& bytes)  // NOLINT(google-explicit-constructor)
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  BytesView subview(size_t offset, size_t length) const {
+    return BytesView(data_ + offset, length);
+  }
+
+  // Explicit copy into an owned buffer.
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+// An immutable, reference-counted byte buffer plus an offset/length window
+// into it. Copying or slicing a SharedBytes bumps a refcount; the underlying
+// allocation is shared. The transport moves each outgoing message into one
+// of these, fragments it by slicing, ships the slices inside LAN frames, and
+// reassembles by re-slicing — one allocation per message end to end.
+class SharedBytes {
+ public:
+  SharedBytes() = default;
+
+  // Takes ownership of `bytes` (one allocation, no copy).
+  explicit SharedBytes(Bytes bytes)
+      : buffer_(std::make_shared<const Bytes>(std::move(bytes))),
+        offset_(0),
+        length_(buffer_->size()) {}
+
+  // A sub-window sharing this buffer. `offset + length` must be in range.
+  SharedBytes Slice(size_t offset, size_t length) const {
+    SharedBytes out;
+    out.buffer_ = buffer_;
+    out.offset_ = offset_ + offset;
+    out.length_ = length;
+    return out;
+  }
+
+  const uint8_t* data() const {
+    return buffer_ == nullptr ? nullptr : buffer_->data() + offset_;
+  }
+  size_t size() const { return length_; }
+  bool empty() const { return length_ == 0; }
+  BytesView view() const { return BytesView(data(), length_); }
+  Bytes ToBytes() const { return Bytes(data(), data() + length_); }
+
+  // True when `other` is the window immediately following this one in the
+  // same underlying buffer (reassembly uses this to rebuild a fragmented
+  // message by widening a slice instead of concatenating).
+  bool Precedes(const SharedBytes& other) const {
+    return buffer_ != nullptr && buffer_ == other.buffer_ &&
+           offset_ + length_ == other.offset_;
+  }
+
+  // Widens this window to cover `other` as well (requires Precedes(other)).
+  void ExtendOver(const SharedBytes& other) { length_ += other.length_; }
+
+ private:
+  std::shared_ptr<const Bytes> buffer_;
+  size_t offset_ = 0;
+  size_t length_ = 0;
+};
+
 // Converts between Bytes and std::string views for convenience.
 Bytes ToBytes(std::string_view text);
 std::string ToString(const Bytes& bytes);
+std::string ToString(BytesView bytes);
 
 // Append-only encoder. All writes succeed (the buffer grows); the produced
 // buffer is retrieved with Take() or buffer().
@@ -54,7 +138,7 @@ class BufferWriter {
 // reader. Every Read* returns an error on truncation or overflow.
 class BufferReader {
  public:
-  explicit BufferReader(const Bytes& buffer)
+  explicit BufferReader(BytesView buffer)
       : data_(buffer.data()), size_(buffer.size()) {}
   BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
 
@@ -85,7 +169,7 @@ class BufferReader {
 // integrity checks). Not cryptographic; Eden's threat model excludes
 // malicious users (paper section 2).
 uint64_t Fnv1a64(const uint8_t* data, size_t size);
-uint64_t Fnv1a64(const Bytes& bytes);
+uint64_t Fnv1a64(BytesView bytes);
 uint64_t Fnv1a64(std::string_view text);
 
 // Incremental digest for hashing event traces.

@@ -21,7 +21,7 @@ Status ExpectKind(BufferReader& reader, MessageKind kind) {
 
 }  // namespace
 
-StatusOr<MessageKind> PeekMessageKind(const Bytes& message) {
+StatusOr<MessageKind> PeekMessageKind(BytesView message) {
   if (message.empty()) {
     return InvalidArgumentError("empty message");
   }
@@ -47,7 +47,7 @@ Bytes InvokeRequestMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<InvokeRequestMsg> InvokeRequestMsg::Decode(const Bytes& message) {
+StatusOr<InvokeRequestMsg> InvokeRequestMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kInvokeRequest));
   InvokeRequestMsg msg;
@@ -75,7 +75,7 @@ Bytes InvokeReplyMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<InvokeReplyMsg> InvokeReplyMsg::Decode(const Bytes& message) {
+StatusOr<InvokeReplyMsg> InvokeReplyMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kInvokeReply));
   InvokeReplyMsg msg;
@@ -93,7 +93,7 @@ Bytes InvokeRedirectMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<InvokeRedirectMsg> InvokeRedirectMsg::Decode(const Bytes& message) {
+StatusOr<InvokeRedirectMsg> InvokeRedirectMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kInvokeRedirect));
   InvokeRedirectMsg msg;
@@ -111,7 +111,7 @@ Bytes LocateRequestMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<LocateRequestMsg> LocateRequestMsg::Decode(const Bytes& message) {
+StatusOr<LocateRequestMsg> LocateRequestMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLocateRequest));
   LocateRequestMsg msg;
@@ -130,7 +130,7 @@ Bytes LocateReplyMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<LocateReplyMsg> LocateReplyMsg::Decode(const Bytes& message) {
+StatusOr<LocateReplyMsg> LocateReplyMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLocateReply));
   LocateReplyMsg msg;
@@ -153,7 +153,7 @@ Bytes MoveTransferMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<MoveTransferMsg> MoveTransferMsg::Decode(const Bytes& message) {
+StatusOr<MoveTransferMsg> MoveTransferMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kMoveTransfer));
   MoveTransferMsg msg;
@@ -175,7 +175,7 @@ Bytes MoveAckMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<MoveAckMsg> MoveAckMsg::Decode(const Bytes& message) {
+StatusOr<MoveAckMsg> MoveAckMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kMoveAck));
   MoveAckMsg msg;
@@ -195,7 +195,7 @@ Bytes CheckpointPutMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<CheckpointPutMsg> CheckpointPutMsg::Decode(const Bytes& message) {
+StatusOr<CheckpointPutMsg> CheckpointPutMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kCheckpointPut));
   CheckpointPutMsg msg;
@@ -214,7 +214,7 @@ Bytes CheckpointAckMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<CheckpointAckMsg> CheckpointAckMsg::Decode(const Bytes& message) {
+StatusOr<CheckpointAckMsg> CheckpointAckMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kCheckpointAck));
   CheckpointAckMsg msg;
@@ -229,7 +229,7 @@ Bytes CheckpointEraseMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<CheckpointEraseMsg> CheckpointEraseMsg::Decode(const Bytes& message) {
+StatusOr<CheckpointEraseMsg> CheckpointEraseMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kCheckpointErase));
   CheckpointEraseMsg msg;
@@ -245,7 +245,7 @@ Bytes ReplicaFetchMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<ReplicaFetchMsg> ReplicaFetchMsg::Decode(const Bytes& message) {
+StatusOr<ReplicaFetchMsg> ReplicaFetchMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kReplicaFetch));
   ReplicaFetchMsg msg;
@@ -265,7 +265,7 @@ Bytes ReplicaReplyMsg::Encode() const {
   return writer.Take();
 }
 
-StatusOr<ReplicaReplyMsg> ReplicaReplyMsg::Decode(const Bytes& message) {
+StatusOr<ReplicaReplyMsg> ReplicaReplyMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kReplicaReply));
   ReplicaReplyMsg msg;

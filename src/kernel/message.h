@@ -34,7 +34,7 @@ enum class MessageKind : uint8_t {
 };
 
 // Reads the kind tag without consuming the rest.
-StatusOr<MessageKind> PeekMessageKind(const Bytes& message);
+StatusOr<MessageKind> PeekMessageKind(BytesView message);
 
 constexpr StationId kNoStationRequest = 0xfffffffeu;
 
@@ -50,7 +50,7 @@ struct InvokeRequestMsg {
   std::vector<StationId> avoid_hosts;
 
   Bytes Encode() const;
-  static StatusOr<InvokeRequestMsg> Decode(const Bytes& message);
+  static StatusOr<InvokeRequestMsg> Decode(BytesView message);
 };
 
 struct InvokeReplyMsg {
@@ -61,7 +61,7 @@ struct InvokeReplyMsg {
   bool target_frozen = false;
 
   Bytes Encode() const;
-  static StatusOr<InvokeReplyMsg> Decode(const Bytes& message);
+  static StatusOr<InvokeReplyMsg> Decode(BytesView message);
 };
 
 constexpr StationId kNoStation = 0xfffffffeu;
@@ -73,7 +73,7 @@ struct InvokeRedirectMsg {
   StationId new_host = kNoStation;
 
   Bytes Encode() const;
-  static StatusOr<InvokeRedirectMsg> Decode(const Bytes& message);
+  static StatusOr<InvokeRedirectMsg> Decode(BytesView message);
 };
 
 struct LocateRequestMsg {
@@ -82,7 +82,7 @@ struct LocateRequestMsg {
   ObjectName name;
 
   Bytes Encode() const;
-  static StatusOr<LocateRequestMsg> Decode(const Bytes& message);
+  static StatusOr<LocateRequestMsg> Decode(BytesView message);
 };
 
 struct LocateReplyMsg {
@@ -94,7 +94,7 @@ struct LocateReplyMsg {
   bool active = false;
 
   Bytes Encode() const;
-  static StatusOr<LocateReplyMsg> Decode(const Bytes& message);
+  static StatusOr<LocateReplyMsg> Decode(BytesView message);
 };
 
 struct MoveTransferMsg {
@@ -107,7 +107,7 @@ struct MoveTransferMsg {
   bool frozen = false;
 
   Bytes Encode() const;
-  static StatusOr<MoveTransferMsg> Decode(const Bytes& message);
+  static StatusOr<MoveTransferMsg> Decode(BytesView message);
 };
 
 struct MoveAckMsg {
@@ -116,7 +116,7 @@ struct MoveAckMsg {
   bool accepted = false;
 
   Bytes Encode() const;
-  static StatusOr<MoveAckMsg> Decode(const Bytes& message);
+  static StatusOr<MoveAckMsg> Decode(BytesView message);
 };
 
 struct CheckpointPutMsg {
@@ -130,7 +130,7 @@ struct CheckpointPutMsg {
   bool is_mirror = false;
 
   Bytes Encode() const;
-  static StatusOr<CheckpointPutMsg> Decode(const Bytes& message);
+  static StatusOr<CheckpointPutMsg> Decode(BytesView message);
 };
 
 struct CheckpointAckMsg {
@@ -138,14 +138,14 @@ struct CheckpointAckMsg {
   bool ok = false;
 
   Bytes Encode() const;
-  static StatusOr<CheckpointAckMsg> Decode(const Bytes& message);
+  static StatusOr<CheckpointAckMsg> Decode(BytesView message);
 };
 
 struct CheckpointEraseMsg {
   ObjectName name;
 
   Bytes Encode() const;
-  static StatusOr<CheckpointEraseMsg> Decode(const Bytes& message);
+  static StatusOr<CheckpointEraseMsg> Decode(BytesView message);
 };
 
 struct ReplicaFetchMsg {
@@ -154,7 +154,7 @@ struct ReplicaFetchMsg {
   ObjectName name;
 
   Bytes Encode() const;
-  static StatusOr<ReplicaFetchMsg> Decode(const Bytes& message);
+  static StatusOr<ReplicaFetchMsg> Decode(BytesView message);
 };
 
 struct ReplicaReplyMsg {
@@ -165,7 +165,7 @@ struct ReplicaReplyMsg {
   Representation representation;
 
   Bytes Encode() const;
-  static StatusOr<ReplicaReplyMsg> Decode(const Bytes& message);
+  static StatusOr<ReplicaReplyMsg> Decode(BytesView message);
 };
 
 }  // namespace eden

@@ -55,7 +55,7 @@ NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
   transport_->set_metrics(&metrics_);
   store_->set_metrics(&metrics_);
   transport_->SetHandler(
-      [this](StationId src, const Bytes& message) { OnMessage(src, message); });
+      [this](StationId src, BytesView message) { OnMessage(src, message); });
 }
 
 NodeKernel::~NodeKernel() = default;
@@ -337,9 +337,9 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
                      [this, id] { OnAttemptTimeout(id); });
 
   sim().Schedule(SerializeCost(encoded.size()),
-                 [this, host, encoded = std::move(encoded)] {
+                 [this, host, encoded = std::move(encoded)]() mutable {
                    if (!failed_) {
-                     transport_->SendReliable(host, encoded);
+                     transport_->SendReliable(host, std::move(encoded));
                    }
                  });
 }
@@ -453,7 +453,7 @@ void NodeKernel::CompleteInvocation(uint64_t id, InvokeResult result) {
 // Message dispatch
 // ---------------------------------------------------------------------------
 
-void NodeKernel::OnMessage(StationId src, const Bytes& message) {
+void NodeKernel::OnMessage(StationId src, BytesView message) {
   if (failed_) {
     return;
   }
@@ -856,9 +856,9 @@ void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
   Bytes encoded = reply.Encode();
   // Receive-side kernel processing for the request plus reply marshalling.
   SimDuration cost = config_.remote_receive_overhead + SerializeCost(encoded.size());
-  sim().Schedule(cost, [this, dst = d.request.reply_to, encoded = std::move(encoded)] {
+  sim().Schedule(cost, [this, dst = d.request.reply_to, encoded = std::move(encoded)]() mutable {
     if (!failed_) {
-      transport_->SendReliable(dst, encoded);
+      transport_->SendReliable(dst, std::move(encoded));
     }
   });
 }
@@ -1095,9 +1095,9 @@ Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
   msg.is_mirror = is_mirror;
   Bytes encoded = msg.Encode();
   sim().Schedule(SerializeCost(encoded.size()),
-                 [this, site, encoded = std::move(encoded)] {
+                 [this, site, encoded = std::move(encoded)]() mutable {
                    if (!failed_) {
-                     transport_->SendReliable(site, encoded);
+                     transport_->SendReliable(site, std::move(encoded));
                    }
                  });
   return future;
@@ -1288,9 +1288,9 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
   Trace(TraceEventKind::kMoveOut, object->name, transfer_id,
         "to station " + std::to_string(destination));
   sim().Schedule(SerializeCost(encoded.size()),
-                 [this, destination, encoded = std::move(encoded)] {
+                 [this, destination, encoded = std::move(encoded)]() mutable {
                    if (!failed_) {
-                     transport_->SendReliable(destination, encoded);
+                     transport_->SendReliable(destination, std::move(encoded));
                    }
                  });
 }

@@ -240,7 +240,7 @@ class NodeKernel {
   void OnAttemptTimeout(uint64_t id);
 
   // --- Message plumbing --------------------------------------------------------
-  void OnMessage(StationId src, const Bytes& message);
+  void OnMessage(StationId src, BytesView message);
   void HandleInvokeRequest(StationId src, InvokeRequestMsg msg);
   void HandleInvokeReply(StationId src, const InvokeReplyMsg& msg);
   void HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& msg);

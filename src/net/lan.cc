@@ -8,7 +8,7 @@
 namespace eden {
 
 void Station::Send(Frame frame) {
-  assert(frame.payload.size() <= lan_->config().max_payload_bytes &&
+  assert(frame.wire_size() <= lan_->config().max_payload_bytes &&
          "payload exceeds LAN MTU; use the transport layer to fragment");
   frame.src = id_;
   frame.enqueued_at = lan_->sim().now();
@@ -145,7 +145,7 @@ void Lan::Attempt(Station* station) {
 
 void Lan::BeginTransmission(Station* station) {
   const Frame& frame = station->queue_.front();
-  SimDuration duration = FrameTime(frame.payload.size());
+  SimDuration duration = FrameTime(frame.wire_size());
   busy_until_ = sim_.now() + duration;
   EventId completion = sim_.Schedule(duration, [this, station] {
     Frame frame = std::move(station->queue_.front());
@@ -193,8 +193,8 @@ void Lan::ScheduleRetry(Station* station, bool after_collision) {
 }
 
 void Lan::FinishTransmission(Station* station, Frame frame) {
-  SimDuration duration = FrameTime(frame.payload.size());
-  size_t wire_bytes = std::max(frame.payload.size() + config_.frame_overhead_bytes,
+  SimDuration duration = FrameTime(frame.wire_size());
+  size_t wire_bytes = std::max(frame.wire_size() + config_.frame_overhead_bytes,
                                config_.min_frame_bytes);
   current_.reset();
   stats_.frames_sent++;

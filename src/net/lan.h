@@ -52,13 +52,21 @@ struct LanConfig {
   int max_transmit_attempts = 16;
 };
 
+// A frame is carried in two parts, scatter-gather style (real NICs do the
+// same with DMA descriptors): a small frame-local `header` owned by the
+// frame, and an optional refcounted `body` that is a zero-copy slice of the
+// sender's message buffer. The wire cost is header.size() + body.size();
+// receivers parse the header and hand the body on without copying it.
 struct Frame {
   StationId src = 0;
   StationId dst = 0;  // kBroadcastStation for broadcast
-  Bytes payload;
+  Bytes header;
+  SharedBytes body;
   // Stamped by Station::Send; drives the lan.queue_delay histogram (time the
   // frame waited behind the sender's queue and the busy medium).
   SimTime enqueued_at = 0;
+
+  size_t wire_size() const { return header.size() + body.size(); }
 };
 
 struct LanStats {

@@ -1,5 +1,6 @@
 #include "src/net/transport.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/common/log.h"
@@ -7,8 +8,13 @@
 namespace eden {
 
 namespace {
-// Per-fragment header budget inside one LAN frame.
+// Per-fragment header budget inside one LAN frame: kind (1) + msg id (8) +
+// reliable (1) + index/count varints (<=10) + empty ACK block (1), rounded
+// up. Full-size fragments leave no slack, so ACKs only piggyback on frames
+// with room to spare.
 constexpr size_t kFragmentHeaderBytes = 24;
+// Worst-case wire cost of one piggybacked ACK id (u64, plus varint growth).
+constexpr size_t kAckIdBytes = 9;
 }  // namespace
 
 Transport::Transport(Simulation& sim, Lan& lan, TransportConfig config)
@@ -31,96 +37,229 @@ void Transport::set_metrics(MetricsRegistry* registry) {
   counters_.retransmits = &registry->counter("transport.retransmits");
   counters_.send_failures = &registry->counter("transport.send_failures");
   counters_.acks_sent = &registry->counter("transport.acks_sent");
+  counters_.acks_piggybacked = &registry->counter("transport.acks_piggybacked");
   counters_.fragments_sent = &registry->counter("transport.fragments_sent");
 }
 
-std::vector<Bytes> Transport::Fragment(uint64_t msg_id, bool reliable,
-                                       const Bytes& message) {
-  size_t max_chunk = lan_.config().max_payload_bytes - kFragmentHeaderBytes;
-  size_t count = message.empty() ? 1 : (message.size() + max_chunk - 1) / max_chunk;
-  std::vector<Bytes> fragments;
-  fragments.reserve(count);
-  for (size_t i = 0; i < count; i++) {
-    size_t offset = i * max_chunk;
-    size_t len = std::min(max_chunk, message.size() - offset);
-    BufferWriter writer;
-    writer.WriteU8(kData);
-    writer.WriteU64(msg_id);
-    writer.WriteBool(reliable);
-    writer.WriteVarint(i);
-    writer.WriteVarint(count);
-    writer.WriteVarint(len);
-    writer.WriteRaw(message.data() + offset, len);
-    fragments.push_back(writer.Take());
-  }
-  return fragments;
-}
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
 
 uint64_t Transport::SendReliable(StationId dst, Bytes message) {
   assert(dst != kBroadcastStation && "reliable broadcast is not supported");
   uint64_t msg_id = next_msg_id_++;
   PendingSend pending;
   pending.dst = dst;
-  pending.fragments = Fragment(msg_id, /*reliable=*/true, message);
+  pending.msg_id = msg_id;
+  pending.message = SharedBytes(std::move(message));
+  pending.reliable = true;
   stats_.messages_sent++;
   Bump(counters_.messages_sent);
-  TransmitFragments(pending);
-  pending_[msg_id] = std::move(pending);
-  ArmRetransmit(msg_id);
+  auto [it, inserted] = pending_.emplace(msg_id, std::move(pending));
+  assert(inserted);
+  TransmitFragments(it->second);
+  ScheduleRetry(it->second, sim_.now() + config_.retransmit_timeout);
   return msg_id;
 }
 
 void Transport::SendBestEffort(StationId dst, Bytes message) {
-  uint64_t msg_id = next_msg_id_++;
   PendingSend once;
   once.dst = dst;
-  once.fragments = Fragment(msg_id, /*reliable=*/false, message);
+  once.msg_id = next_msg_id_++;
+  once.message = SharedBytes(std::move(message));
+  once.reliable = false;
   stats_.messages_sent++;
   Bump(counters_.messages_sent);
   TransmitFragments(once);
 }
 
-void Transport::TransmitFragments(const PendingSend& pending) {
-  for (const Bytes& payload : pending.fragments) {
+void Transport::TransmitFragments(PendingSend& pending) {
+  size_t max_chunk = lan_.config().max_payload_bytes - kFragmentHeaderBytes;
+  size_t size = pending.message.size();
+  size_t count = size == 0 ? 1 : (size + max_chunk - 1) / max_chunk;
+  for (size_t i = 0; i < count; i++) {
+    size_t offset = i * max_chunk;
+    size_t len = std::min(max_chunk, size - offset);
+    BufferWriter writer;
+    writer.WriteU8(kData);
+    writer.WriteU64(pending.msg_id);
+    writer.WriteBool(pending.reliable);
+    writer.WriteVarint(i);
+    writer.WriteVarint(count);
+    AppendPiggybackAcks(writer, pending.dst, len);
     Frame frame;
     frame.dst = pending.dst;
-    frame.payload = payload;
+    frame.header = writer.Take();
+    frame.body = pending.message.Slice(offset, len);
     station_->Send(std::move(frame));
     stats_.fragments_sent++;
     Bump(counters_.fragments_sent);
   }
 }
 
-void Transport::ArmRetransmit(uint64_t msg_id) {
-  auto it = pending_.find(msg_id);
-  if (it == pending_.end()) {
+// ---------------------------------------------------------------------------
+// Retransmission: one timer, a deadline heap, lazy invalidation
+// ---------------------------------------------------------------------------
+
+void Transport::ScheduleRetry(PendingSend& pending, SimTime at) {
+  pending.next_retry = at;
+  retry_queue_.push({at, pending.msg_id});
+  ArmRetryTimer();
+}
+
+void Transport::ArmRetryTimer() {
+  // Shed stale heads (acknowledged messages, superseded deadlines) so the
+  // timer is armed for a real deadline.
+  while (!retry_queue_.empty()) {
+    const auto& [at, msg_id] = retry_queue_.top();
+    auto it = pending_.find(msg_id);
+    if (it == pending_.end() || it->second.next_retry != at) {
+      retry_queue_.pop();
+      continue;
+    }
+    break;
+  }
+  if (retry_queue_.empty()) {
+    if (retry_timer_ != kInvalidEventId) {
+      sim_.Cancel(retry_timer_);
+      retry_timer_ = kInvalidEventId;
+    }
     return;
   }
-  // Exponential backoff.
-  SimDuration timeout = config_.retransmit_timeout << it->second.retransmits;
-  it->second.timer = sim_.Schedule(timeout, [this, msg_id] {
-    auto it = pending_.find(msg_id);
-    if (it == pending_.end()) {
-      return;
+  SimTime next = retry_queue_.top().first;
+  if (retry_timer_ != kInvalidEventId) {
+    if (retry_timer_at_ <= next) {
+      return;  // already armed early enough; OnRetryTimer re-arms for later
     }
-    if (it->second.retransmits >= config_.max_retransmits) {
+    sim_.Cancel(retry_timer_);
+  }
+  retry_timer_at_ = next;
+  retry_timer_ = sim_.ScheduleAt(next, [this] { OnRetryTimer(); });
+}
+
+void Transport::OnRetryTimer() {
+  retry_timer_ = kInvalidEventId;
+  SimTime now = sim_.now();
+  while (!retry_queue_.empty() && retry_queue_.top().first <= now) {
+    auto [at, msg_id] = retry_queue_.top();
+    retry_queue_.pop();
+    auto it = pending_.find(msg_id);
+    if (it == pending_.end() || it->second.next_retry != at) {
+      continue;  // acknowledged or rescheduled since this entry was pushed
+    }
+    PendingSend& pending = it->second;
+    if (pending.retransmits >= config_.max_retransmits) {
       EDEN_LOG(kDebug, "transport")
           << "station " << station_->id() << " gave up on message " << msg_id;
       stats_.send_failures++;
       Bump(counters_.send_failures);
       pending_.erase(it);
-      return;
+      continue;
     }
-    it->second.retransmits++;
+    pending.retransmits++;
     stats_.retransmits++;
     Bump(counters_.retransmits);
-    TransmitFragments(it->second);
-    ArmRetransmit(msg_id);
-  });
+    TransmitFragments(pending);
+    // Exponential backoff.
+    pending.next_retry = now + (config_.retransmit_timeout << pending.retransmits);
+    retry_queue_.push({pending.next_retry, msg_id});
+  }
+  ArmRetryTimer();
 }
 
+// ---------------------------------------------------------------------------
+// ACK coalescing: piggyback on data frames, else delay and batch
+// ---------------------------------------------------------------------------
+
+void Transport::AppendPiggybackAcks(BufferWriter& writer, StationId dst,
+                                    size_t body_bytes) {
+  size_t n = 0;
+  auto it = pending_acks_.find(dst);
+  if (it != pending_acks_.end() && !it->second.empty()) {
+    size_t used = writer.size() + body_bytes + 1;  // +1: the count varint
+    size_t max_payload = lan_.config().max_payload_bytes;
+    size_t slack = max_payload > used ? max_payload - used : 0;
+    n = std::min({it->second.size(), config_.max_acks_per_frame,
+                  slack / kAckIdBytes});
+  }
+  writer.WriteVarint(n);
+  if (n == 0) {
+    return;
+  }
+  std::vector<uint64_t>& ids = it->second;
+  for (size_t j = 0; j < n; j++) {
+    writer.WriteU64(ids[j]);
+  }
+  ids.erase(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(n));
+  pending_ack_total_ -= n;
+  stats_.acks_piggybacked += n;
+  Bump(counters_.acks_piggybacked, n);
+  if (ids.empty()) {
+    pending_acks_.erase(it);
+  }
+  MaybeCancelAckTimer();
+}
+
+void Transport::QueueAck(StationId peer, uint64_t msg_id) {
+  std::vector<uint64_t>& ids = pending_acks_[peer];
+  ids.push_back(msg_id);
+  pending_ack_total_++;
+  if (config_.ack_delay == 0 || ids.size() >= config_.max_acks_per_frame) {
+    FlushPeerAcks(peer, ids);
+    pending_acks_.erase(peer);
+    MaybeCancelAckTimer();
+    return;
+  }
+  if (ack_timer_ == kInvalidEventId) {
+    ack_timer_ = sim_.Schedule(config_.ack_delay, [this] {
+      ack_timer_ = kInvalidEventId;
+      FlushAllAcks();
+    });
+  }
+}
+
+void Transport::FlushPeerAcks(StationId peer, std::vector<uint64_t>& ids) {
+  for (size_t start = 0; start < ids.size();
+       start += config_.max_acks_per_frame) {
+    size_t n = std::min(config_.max_acks_per_frame, ids.size() - start);
+    BufferWriter writer;
+    writer.WriteU8(kAck);
+    writer.WriteVarint(n);
+    for (size_t j = 0; j < n; j++) {
+      writer.WriteU64(ids[start + j]);
+    }
+    Frame ack;
+    ack.dst = peer;
+    ack.header = writer.Take();
+    station_->Send(std::move(ack));
+    stats_.acks_sent++;
+    stats_.ack_ids_sent += n;
+    Bump(counters_.acks_sent);
+  }
+  pending_ack_total_ -= ids.size();
+  ids.clear();
+}
+
+void Transport::FlushAllAcks() {
+  for (auto& [peer, ids] : pending_acks_) {
+    FlushPeerAcks(peer, ids);
+  }
+  pending_acks_.clear();
+}
+
+void Transport::MaybeCancelAckTimer() {
+  if (pending_ack_total_ == 0 && ack_timer_ != kInvalidEventId) {
+    sim_.Cancel(ack_timer_);
+    ack_timer_ = kInvalidEventId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
 void Transport::OnFrame(const Frame& frame) {
-  BufferReader reader(frame.payload);
+  BufferReader reader(frame.header);
   auto kind = reader.ReadU8();
   if (!kind.ok()) {
     return;
@@ -130,22 +269,43 @@ void Transport::OnFrame(const Frame& frame) {
       HandleData(frame, reader);
       break;
     case kAck:
-      HandleAck(frame.src, reader);
+      HandleAck(reader);
       break;
     default:
       EDEN_LOG(kWarning, "transport") << "unknown frame kind " << int{*kind};
   }
 }
 
-void Transport::HandleAck(StationId src, BufferReader& reader) {
-  auto msg_id = reader.ReadU64();
-  if (!msg_id.ok()) {
+void Transport::HandleAck(BufferReader& reader) {
+  auto count = reader.ReadVarint();
+  if (!count.ok()) {
     return;
   }
-  auto it = pending_.find(*msg_id);
-  if (it != pending_.end()) {
-    sim_.Cancel(it->second.timer);
-    pending_.erase(it);
+  for (uint64_t i = 0; i < *count; i++) {
+    auto msg_id = reader.ReadU64();
+    if (!msg_id.ok()) {
+      return;
+    }
+    AckMsgId(*msg_id);
+  }
+}
+
+void Transport::AckMsgId(uint64_t msg_id) {
+  // The retry heap entry goes stale and is skipped when it surfaces; no
+  // simulation event needs cancelling.
+  pending_.erase(msg_id);
+}
+
+void Transport::DeliverFastPath(const Frame& frame, uint64_t msg_id,
+                                bool reliable) {
+  RecordDelivered(frame.src, msg_id);
+  if (reliable) {
+    QueueAck(frame.src, msg_id);
+  }
+  stats_.messages_delivered++;
+  Bump(counters_.messages_delivered);
+  if (handler_) {
+    handler_(frame.src, frame.body.view());
   }
 }
 
@@ -154,42 +314,28 @@ void Transport::HandleData(const Frame& frame, BufferReader& reader) {
   auto reliable = msg_id.ok() ? reader.ReadBool() : StatusOr<bool>(msg_id.status());
   auto index = reliable.ok() ? reader.ReadVarint() : StatusOr<uint64_t>(reliable.status());
   auto count = index.ok() ? reader.ReadVarint() : index;
-  auto len = count.ok() ? reader.ReadVarint() : count;
-  if (!len.ok() || *count == 0 || *index >= *count || reader.remaining() < *len) {
+  if (!count.ok() || *count == 0 || *index >= *count) {
     EDEN_LOG(kWarning, "transport") << "malformed data frame dropped";
     return;
   }
-
-  auto send_ack = [this, &frame, &msg_id] {
-    BufferWriter writer;
-    writer.WriteU8(kAck);
-    writer.WriteU64(*msg_id);
-    Frame ack;
-    ack.dst = frame.src;
-    ack.payload = writer.Take();
-    station_->Send(std::move(ack));
-    stats_.acks_sent++;
-    Bump(counters_.acks_sent);
-  };
+  // Piggybacked ACKs ride even on duplicates; process them first.
+  HandleAck(reader);
 
   if (AlreadyDelivered(frame.src, *msg_id)) {
     stats_.duplicates_suppressed++;
     Bump(counters_.duplicates_suppressed);
     if (*reliable) {
       // The sender missed our ack; repeat it.
-      send_ack();
+      QueueAck(frame.src, *msg_id);
     }
     return;
   }
 
-  // Garbage-collect abandoned reassembly buffers (e.g. best-effort broadcasts
-  // that lost a fragment and will never complete).
-  for (auto stale = reassembly_.begin(); stale != reassembly_.end();) {
-    if (sim_.now() - stale->second.last_progress > config_.reassembly_timeout) {
-      stale = reassembly_.erase(stale);
-    } else {
-      ++stale;
-    }
+  if (*count == 1) {
+    // Common case: the whole message fits one frame. No reassembly-table
+    // touch, no payload copy — the handler reads the sender's buffer.
+    DeliverFastPath(frame, *msg_id, *reliable);
+    return;
   }
 
   auto key = std::make_pair(frame.src, *msg_id);
@@ -197,18 +343,15 @@ void Transport::HandleData(const Frame& frame, BufferReader& reader) {
   Reassembly& assembly = it->second;
   if (inserted) {
     assembly.fragments.resize(*count);
-    assembly.present.resize(*count, false);
+    ArmReassemblySweep();
   }
   if (assembly.fragments.size() != *count) {
     EDEN_LOG(kWarning, "transport") << "inconsistent fragment count; dropped";
     return;
   }
-  if (!assembly.present[*index]) {
-    assembly.present[*index] = true;
+  if (assembly.fragments[*index].empty()) {
+    assembly.fragments[*index] = frame.body;  // refcounted slice, no copy
     assembly.received++;
-    const uint8_t* base =
-        frame.payload.data() + frame.payload.size() - reader.remaining();
-    assembly.fragments[*index] = Bytes(base, base + *len);
   }
   assembly.last_progress = sim_.now();
 
@@ -216,21 +359,68 @@ void Transport::HandleData(const Frame& frame, BufferReader& reader) {
     return;
   }
 
-  Bytes message;
-  for (const Bytes& fragment : assembly.fragments) {
-    message.insert(message.end(), fragment.begin(), fragment.end());
+  // All fragments present. They are normally contiguous slices of the
+  // sender's one message buffer, so reassembly is a slice widening; only if
+  // retransmission produced mixed buffers do we concatenate.
+  SharedBytes message = assembly.fragments[0];
+  bool contiguous = true;
+  for (size_t i = 1; i < assembly.fragments.size(); i++) {
+    if (!message.Precedes(assembly.fragments[i])) {
+      contiguous = false;
+      break;
+    }
+    message.ExtendOver(assembly.fragments[i]);
+  }
+  if (!contiguous) {
+    Bytes flat;
+    size_t total = 0;
+    for (const SharedBytes& fragment : assembly.fragments) {
+      total += fragment.size();
+    }
+    flat.reserve(total);
+    for (const SharedBytes& fragment : assembly.fragments) {
+      flat.insert(flat.end(), fragment.data(), fragment.data() + fragment.size());
+    }
+    message = SharedBytes(std::move(flat));
   }
   reassembly_.erase(it);
   RecordDelivered(frame.src, *msg_id);
   if (*reliable) {
-    send_ack();
+    QueueAck(frame.src, *msg_id);
   }
   stats_.messages_delivered++;
   Bump(counters_.messages_delivered);
   if (handler_) {
-    handler_(frame.src, message);
+    handler_(frame.src, message.view());
   }
 }
+
+// ---------------------------------------------------------------------------
+// Reassembly garbage collection: periodic sweep, armed only while needed
+// ---------------------------------------------------------------------------
+
+void Transport::ArmReassemblySweep() {
+  if (sweep_timer_ != kInvalidEventId) {
+    return;
+  }
+  sweep_timer_ = sim_.Schedule(config_.reassembly_timeout, [this] {
+    sweep_timer_ = kInvalidEventId;
+    for (auto stale = reassembly_.begin(); stale != reassembly_.end();) {
+      if (sim_.now() - stale->second.last_progress >= config_.reassembly_timeout) {
+        stale = reassembly_.erase(stale);
+      } else {
+        ++stale;
+      }
+    }
+    if (!reassembly_.empty()) {
+      ArmReassemblySweep();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Duplicate suppression
+// ---------------------------------------------------------------------------
 
 bool Transport::AlreadyDelivered(StationId src, uint64_t msg_id) const {
   auto it = history_.find(src);
@@ -251,11 +441,23 @@ void Transport::RecordDelivered(StationId src, uint64_t msg_id) {
 }
 
 void Transport::Reset() {
-  for (auto& [msg_id, pending] : pending_) {
-    sim_.Cancel(pending.timer);
-  }
   pending_.clear();
+  retry_queue_ = {};
+  if (retry_timer_ != kInvalidEventId) {
+    sim_.Cancel(retry_timer_);
+    retry_timer_ = kInvalidEventId;
+  }
+  pending_acks_.clear();
+  pending_ack_total_ = 0;
+  if (ack_timer_ != kInvalidEventId) {
+    sim_.Cancel(ack_timer_);
+    ack_timer_ = kInvalidEventId;
+  }
   reassembly_.clear();
+  if (sweep_timer_ != kInvalidEventId) {
+    sim_.Cancel(sweep_timer_);
+    sweep_timer_ = kInvalidEventId;
+  }
   history_.clear();
   next_msg_id_ = sim_.rng().NextU64() | 1;
 }

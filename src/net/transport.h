@@ -10,6 +10,17 @@
 // The transport gives *at-most-once delivery per message id*; end-to-end
 // semantics (invocation timeouts, duplicate invocation suppression) are the
 // kernel's job, exactly as the paper divides responsibilities in section 4.2.
+//
+// Fast-path engineering (DESIGN.md "Performance"):
+//   * Zero-copy payloads: an outgoing message is moved into a refcounted
+//     SharedBytes; fragments are slices of it riding Frame::body, and the
+//     receiver reassembles by re-slicing. A single-fragment message — the
+//     common case — reaches the handler without a single payload copy and
+//     without touching the reassembly table.
+//   * Coalesced ACKs: completed message ids are piggybacked on the next data
+//     frame to that peer, or batched into one ACK frame after ack_delay.
+//   * One retransmit timer per transport (a deadline min-heap), not one
+//     simulation event per in-flight message.
 #ifndef EDEN_SRC_NET_TRANSPORT_H_
 #define EDEN_SRC_NET_TRANSPORT_H_
 
@@ -17,7 +28,10 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <set>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -32,8 +46,17 @@ struct TransportConfig {
   int max_retransmits = 8;
   // Delivered message ids remembered per peer for duplicate suppression.
   size_t dedup_window = 1024;
-  // Reassembly buffers are garbage-collected after this long without progress.
+  // Reassembly buffers are garbage-collected after this long without
+  // progress, by a periodic sweep that runs every reassembly_timeout while
+  // any buffer is outstanding (never on the per-frame path).
   SimDuration reassembly_timeout = Seconds(5);
+  // How long a completed message's ACK may wait for a data frame to ride on
+  // (or for more ACKs to batch with) before a dedicated ACK frame is sent.
+  // 0 disables coalescing: every reliable message is ACKed immediately.
+  SimDuration ack_delay = Microseconds(500);
+  // ACK ids per frame — both the standalone-frame batch size and the flush
+  // threshold for a peer's pending-ACK queue.
+  size_t max_acks_per_frame = 32;
 };
 
 struct TransportStats {
@@ -42,13 +65,17 @@ struct TransportStats {
   uint64_t duplicates_suppressed = 0;
   uint64_t retransmits = 0;
   uint64_t send_failures = 0;  // gave up after max_retransmits
-  uint64_t acks_sent = 0;
+  uint64_t acks_sent = 0;      // standalone ACK frames
+  uint64_t ack_ids_sent = 0;   // message ids carried in standalone ACK frames
+  uint64_t acks_piggybacked = 0;  // message ids carried on data frames
   uint64_t fragments_sent = 0;
 };
 
 class Transport {
  public:
-  using Handler = std::function<void(StationId src, const Bytes& message)>;
+  // The payload view is only valid for the duration of the call; handlers
+  // that keep the bytes must copy them (BytesView::ToBytes).
+  using Handler = std::function<void(StationId src, BytesView message)>;
 
   // Attaches a fresh station to `lan`.
   Transport(Simulation& sim, Lan& lan, TransportConfig config = {});
@@ -61,15 +88,16 @@ class Transport {
   void SetHandler(Handler handler) { handler_ = std::move(handler); }
 
   // Sends with retransmission until acknowledged (or max_retransmits).
-  // Returns the message id (for tests/diagnostics).
+  // Returns the message id (for tests/diagnostics). Pass the payload with
+  // std::move — it is shared with the wire, never copied.
   uint64_t SendReliable(StationId dst, Bytes message);
 
   // Fire-and-forget; `dst` may be kBroadcastStation.
   void SendBestEffort(StationId dst, Bytes message);
 
   // Simulates the volatile state loss of a node failure: pending
-  // retransmissions and reassembly buffers are discarded. Dedup history is
-  // also dropped (a restarted node has no memory).
+  // retransmissions, delayed ACKs and reassembly buffers are discarded.
+  // Dedup history is also dropped (a restarted node has no memory).
   void Reset();
 
   const TransportStats& stats() const { return stats_; }
@@ -82,21 +110,24 @@ class Transport {
   enum FrameKind : uint8_t { kData = 1, kAck = 2 };
 
   struct PendingSend {
-    StationId dst;
-    std::vector<Bytes> fragments;  // pre-encoded frame payloads
+    StationId dst = 0;
+    uint64_t msg_id = 0;
+    SharedBytes message;
+    bool reliable = false;
     int retransmits = 0;
-    EventId timer = kInvalidEventId;
+    // Authoritative next deadline; stale retry-heap entries disagree and are
+    // skipped when popped.
+    SimTime next_retry = 0;
   };
 
   struct Reassembly {
-    std::vector<Bytes> fragments;
-    std::vector<bool> present;
+    std::vector<SharedBytes> fragments;  // zero-copy slices of sender buffers
     size_t received = 0;
     SimTime last_progress = 0;
   };
 
   struct PeerHistory {
-    std::set<uint64_t> delivered;
+    std::unordered_set<uint64_t> delivered;
     std::deque<uint64_t> order;
   };
 
@@ -107,23 +138,36 @@ class Transport {
     Counter* retransmits = nullptr;
     Counter* send_failures = nullptr;
     Counter* acks_sent = nullptr;
+    Counter* acks_piggybacked = nullptr;
     Counter* fragments_sent = nullptr;
   };
 
-  static void Bump(Counter* counter) {
+  static void Bump(Counter* counter, uint64_t n = 1) {
     if (counter != nullptr) {
-      counter->Increment();
+      counter->Increment(n);
     }
   }
 
   void OnFrame(const Frame& frame);
   void HandleData(const Frame& frame, BufferReader& reader);
-  void HandleAck(StationId src, BufferReader& reader);
-  void TransmitFragments(const PendingSend& pending);
-  void ArmRetransmit(uint64_t msg_id);
+  void HandleAck(BufferReader& reader);
+  void AckMsgId(uint64_t msg_id);
+  void TransmitFragments(PendingSend& pending);
+  // Writes the piggybacked-ACK block into a data frame header, consuming as
+  // many of `dst`'s pending ACK ids as fit beside `body_bytes` of payload.
+  void AppendPiggybackAcks(BufferWriter& writer, StationId dst,
+                           size_t body_bytes);
+  void QueueAck(StationId peer, uint64_t msg_id);
+  void FlushPeerAcks(StationId peer, std::vector<uint64_t>& ids);
+  void FlushAllAcks();
+  void MaybeCancelAckTimer();
+  void ScheduleRetry(PendingSend& pending, SimTime at);
+  void ArmRetryTimer();
+  void OnRetryTimer();
+  void ArmReassemblySweep();
   void RecordDelivered(StationId src, uint64_t msg_id);
   bool AlreadyDelivered(StationId src, uint64_t msg_id) const;
-  std::vector<Bytes> Fragment(uint64_t msg_id, bool reliable, const Bytes& message);
+  void DeliverFastPath(const Frame& frame, uint64_t msg_id, bool reliable);
 
   Simulation& sim_;
   Lan& lan_;
@@ -133,9 +177,26 @@ class Transport {
   TransportCounters counters_;
   Handler handler_;
   uint64_t next_msg_id_ = 1;
-  std::map<uint64_t, PendingSend> pending_;
+
+  std::unordered_map<uint64_t, PendingSend> pending_;
+  // Retransmit deadlines, lazily invalidated: one simulation timer serves
+  // every in-flight message.
+  std::priority_queue<std::pair<SimTime, uint64_t>,
+                      std::vector<std::pair<SimTime, uint64_t>>,
+                      std::greater<std::pair<SimTime, uint64_t>>>
+      retry_queue_;
+  EventId retry_timer_ = kInvalidEventId;
+  SimTime retry_timer_at_ = 0;
+
+  // std::map: ACK flush order must be deterministic across runs.
+  std::map<StationId, std::vector<uint64_t>> pending_acks_;
+  size_t pending_ack_total_ = 0;
+  EventId ack_timer_ = kInvalidEventId;
+
   std::map<std::pair<StationId, uint64_t>, Reassembly> reassembly_;
-  std::map<StationId, PeerHistory> history_;
+  EventId sweep_timer_ = kInvalidEventId;
+
+  std::unordered_map<StationId, PeerHistory> history_;
 };
 
 }  // namespace eden

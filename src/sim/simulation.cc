@@ -21,42 +21,77 @@ std::string FormatDuration(SimDuration d) {
 
 Simulation::Simulation(uint64_t seed) : rng_(seed) {}
 
-EventId Simulation::Schedule(SimDuration delay, std::function<void()> fn) {
+uint32_t Simulation::AllocSlot() {
+  if (free_head_ != kNoSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::ReleaseSlot(uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.generation++;  // invalidates every outstanding id/queue entry
+  slot.armed = false;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+EventId Simulation::Schedule(SimDuration delay, EventFn fn) {
   assert(delay >= 0 && "cannot schedule into the past");
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
-EventId Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+EventId Simulation::ScheduleAt(SimTime when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  live_[id] = true;
-  return id;
+  uint32_t index = AllocSlot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  queue_.push(QueueEntry{when, next_seq_++, index, slot.generation});
+  live_count_++;
+  return MakeId(slot.generation, index);
 }
 
 void Simulation::Cancel(EventId id) {
-  auto it = live_.find(id);
-  if (it != live_.end()) {
-    it->second = false;
+  uint32_t index = static_cast<uint32_t>(id);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size()) {
+    return;
   }
+  Slot& slot = slots_[index];
+  if (slot.generation != generation || !slot.armed) {
+    return;  // already fired, already cancelled, or never existed
+  }
+  slot.fn.Reset();  // release captures now, not when the entry surfaces
+  live_count_--;
+  ReleaseSlot(index);
 }
 
 bool Simulation::Step() {
   while (!queue_.empty()) {
-    Event event = queue_.top();
+    QueueEntry top = queue_.top();
     queue_.pop();
-    auto it = live_.find(event.id);
-    bool alive = (it != live_.end()) && it->second;
-    if (it != live_.end()) {
-      live_.erase(it);
+    Slot& slot = slots_[top.slot];
+    if (slot.generation != top.generation || !slot.armed) {
+      continue;  // cancelled: its slot was already recycled
     }
-    if (!alive) {
-      continue;
-    }
-    assert(event.when >= now_);
-    now_ = event.when;
+    assert(top.when >= now_);
+    now_ = top.when;
+    // Fingerprint the execution order. Two runs with equal seeds must pop an
+    // identical (when, seq) sequence; mixing both catches a same-timestamp
+    // FIFO swap that mixing the timestamp alone would miss.
+    trace_.Mix(static_cast<uint64_t>(top.when));
+    trace_.Mix(top.seq);
     events_executed_++;
-    event.fn();
+    live_count_--;
+    // Free the slot before invoking so the callback can schedule into it;
+    // the generation bump keeps this entry's id from resurrecting.
+    EventFn fn = std::move(slot.fn);
+    ReleaseSlot(top.slot);
+    fn();
     return true;
   }
   return false;
@@ -72,14 +107,10 @@ void Simulation::Run(uint64_t max_events) {
 
 void Simulation::RunUntil(SimTime deadline) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    auto it = live_.find(top.id);
-    bool alive = (it != live_.end()) && it->second;
-    if (!alive) {
-      queue_.pop();
-      if (it != live_.end()) {
-        live_.erase(it);
-      }
+    const QueueEntry& top = queue_.top();
+    const Slot& slot = slots_[top.slot];
+    if (slot.generation != top.generation || !slot.armed) {
+      queue_.pop();  // drop stale entries without advancing the clock
       continue;
     }
     if (top.when > deadline) {

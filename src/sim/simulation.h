@@ -2,24 +2,34 @@
 // world": it owns virtual time and the event queue; node kernels, the LAN and
 // stable stores all schedule work through it. Single-threaded and
 // deterministic by construction.
+//
+// The event queue is allocation-free on the steady-state path: callbacks
+// live in a free-list pool of generation-tagged slots (EventId = generation
+// + slot index), so Schedule and Cancel are O(1) bookkeeping plus one
+// priority-queue push, with no per-event node allocation and no tombstone
+// map. Cancelled events are skipped lazily when they surface at the top of
+// the heap, exactly as the old tombstone table did, and the global sequence
+// number keeps same-timestamp events FIFO — trace digests are unchanged
+// seed-for-seed across the rewrite (tests/determinism_test.cc proves it).
 #ifndef EDEN_SRC_SIM_SIMULATION_H_
 #define EDEN_SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <queue>
 #include <string>
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/sim/event_fn.h"
 #include "src/sim/rng.h"
 #include "src/sim/time.h"
 
 namespace eden {
 
 // Identifies a scheduled event so it can be cancelled (e.g. invocation
-// timeouts whose reply arrived in time).
+// timeouts whose reply arrived in time). Encodes {generation, slot}; ids are
+// never reused until a slot's 32-bit generation wraps.
 using EventId = uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
@@ -35,12 +45,12 @@ class Simulation {
 
   // Schedules `fn` to run at now() + delay (delay >= 0). Returns an id that
   // can be passed to Cancel.
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
-  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+  EventId Schedule(SimDuration delay, EventFn fn);
+  EventId ScheduleAt(SimTime when, EventFn fn);
 
-  // Cancels a pending event. Cancelling an already-fired or unknown id is a
-  // no-op (the common race: a timeout firing at the same instant the reply
-  // lands).
+  // Cancels a pending event in O(1). Cancelling an already-fired or unknown
+  // id is a no-op (the common race: a timeout firing at the same instant the
+  // reply lands).
   void Cancel(EventId id);
 
   // Runs a single event. Returns false if the queue is empty.
@@ -58,20 +68,35 @@ class Simulation {
   bool RunWhile(const std::function<bool()>& pending);
 
   uint64_t events_executed() const { return events_executed_; }
-  size_t pending_events() const { return queue_.size(); }
+  // Live (scheduled, not cancelled, not fired) events.
+  size_t pending_events() const { return live_count_; }
 
-  // Trace digest: components Mix() interesting state transitions into this;
-  // property tests assert equal digests for equal seeds.
+  // Trace digest: Step() mixes every executed event's (when, seq) into this,
+  // and components may Mix() additional state transitions. Determinism tests
+  // assert equal digests for equal seeds.
   Digest& trace() { return trace_; }
 
  private:
-  struct Event {
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
+  // Callback storage, recycled through a free list. A slot's generation
+  // bumps every time it is released, so a stale heap entry (cancelled or
+  // superseded event) is recognized and skipped when popped.
+  struct Slot {
+    uint32_t generation = 1;
+    bool armed = false;
+    uint32_t next_free = kNoSlot;
+    EventFn fn;
+  };
+
+  // What actually sits in the priority queue: 24 bytes, no callable.
+  struct QueueEntry {
     SimTime when;
     uint64_t seq;  // FIFO tiebreak for same-timestamp events
-    EventId id;
-    std::function<void()> fn;
+    uint32_t slot;
+    uint32_t generation;
 
-    bool operator>(const Event& other) const {
+    bool operator>(const QueueEntry& other) const {
       if (when != other.when) {
         return when > other.when;
       }
@@ -79,13 +104,22 @@ class Simulation {
     }
   };
 
+  static EventId MakeId(uint32_t generation, uint32_t slot) {
+    return (static_cast<uint64_t>(generation) << 32) | slot;
+  }
+
+  uint32_t AllocSlot();
+  void ReleaseSlot(uint32_t index);
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  // Tombstones for cancelled events still sitting in the priority queue.
-  std::map<EventId, bool> live_;
+  size_t live_count_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoSlot;
   Rng rng_;
   Digest trace_;
 };

@@ -1,0 +1,146 @@
+// Determinism regression tests for the scheduler and message-path fast
+// paths: equal seeds must produce bit-identical executions, fingerprinted by
+// Simulation::trace() — a digest of every executed event's (when, seq) pair.
+// Any reordering introduced by the slot-pool event queue, the zero-copy
+// fragment path, or ACK coalescing (e.g. iterating an unordered container to
+// produce wire traffic) shows up here as a digest mismatch.
+//
+// The two workloads mirror the shapes of bench_invocation and
+// bench_migration: a multi-node invocation mix over a lossy wire (exercising
+// fragmentation, retransmission and coalesced ACKs), and an object that
+// migrates between nodes while being invoked (exercising transfer,
+// redirection and cache healing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/kernel/eden_system.h"
+#include "src/sim/simulation.h"
+#include "src/types/standard_types.h"
+#include "src/workload/workload.h"
+
+namespace eden {
+namespace {
+
+// Execution-order digest plus end-state counters: the trace digest alone
+// proves event ordering, the stats prove the runs also did the same work.
+uint64_t Fingerprint(EdenSystem& system) {
+  Digest digest = system.sim().trace();
+  digest.Mix(static_cast<uint64_t>(system.sim().now()));
+  digest.Mix(system.sim().events_executed());
+  for (size_t n = 0; n < system.node_count(); n++) {
+    const KernelStats& stats = system.node(n).stats();
+    digest.Mix(stats.invocations_started);
+    digest.Mix(stats.invocations_remote);
+    digest.Mix(stats.dispatches);
+  }
+  digest.Mix(system.lan().stats().frames_sent);
+  digest.Mix(system.lan().stats().bytes_on_wire);
+  return digest.value();
+}
+
+// bench_invocation-shaped: closed-loop clients on four nodes invoking one
+// remote std.data object with mixed argument sizes (the 4 KB puts fragment
+// across several frames), over a lossy wire so retransmission, duplicate
+// suppression and delayed/piggybacked ACK paths all run.
+uint64_t RunInvocationWorkload(uint64_t seed) {
+  SystemConfig config;
+  config.seed = seed;
+  config.lan.loss_probability = 0.05;
+  EdenSystem system(config);
+  RegisterStandardTypes(system);
+  system.AddNodes(5);
+
+  Representation rep;
+  rep.set_data(0, Bytes(64, 0x5a));
+  auto cap = system.node(0).CreateObject("std.data", rep);
+  EXPECT_TRUE(cap.ok());
+
+  RunClosedLoop(
+      system, {1, 2, 3, 4},
+      [&](size_t client, uint64_t seq) {
+        size_t arg_bytes = (seq % 3 == 0) ? 4096 : (client % 2 == 0 ? 64 : 512);
+        return WorkItem{*cap, "put",
+                        InvokeArgs{}.AddBytes(Bytes(arg_bytes, 0x33))};
+      },
+      /*duration=*/Milliseconds(40), /*mean_think_time=*/Microseconds(200));
+  return Fingerprint(system);
+}
+
+// bench_migration-shaped: an object hops around the ring while other nodes
+// keep invoking it through stale location caches.
+uint64_t RunMigrationWorkload(uint64_t seed) {
+  SystemConfig config;
+  config.seed = seed;
+  EdenSystem system(config);
+  RegisterStandardTypes(system);
+  system.AddNodes(4);
+
+  Representation rep;
+  rep.set_data(0, Bytes(2048, 0x77));
+  auto cap = system.node(0).CreateObject("std.data", rep);
+  EXPECT_TRUE(cap.ok());
+
+  size_t host = 0;
+  for (int round = 0; round < 12; round++) {
+    // Invoke from a non-host node (warms/stales its cache), then move.
+    size_t invoker = (host + 2) % 4;
+    EXPECT_TRUE(system.Await(system.node(invoker).Invoke(*cap, "size")).ok());
+    auto object = system.node(host).FindActive(cap->name());
+    EXPECT_TRUE(object != nullptr) << "round " << round;
+    if (object == nullptr) {
+      return 0;
+    }
+    size_t next = (host + 1) % 4;
+    EXPECT_TRUE(
+        system
+            .Await(system.node(host).MoveObject(object,
+                                                system.node(next).station()))
+            .ok());
+    host = next;
+    // Chase the now-stale cache entry.
+    EXPECT_TRUE(system.Await(system.node(invoker).Invoke(*cap, "get")).ok());
+  }
+  system.RunFor(Milliseconds(5));
+  return Fingerprint(system);
+}
+
+class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismTest, InvocationWorkloadDigestIsSeedStable) {
+  EXPECT_EQ(RunInvocationWorkload(GetParam()), RunInvocationWorkload(GetParam()));
+}
+
+TEST_P(DeterminismTest, MigrationWorkloadDigestIsSeedStable) {
+  EXPECT_EQ(RunMigrationWorkload(GetParam()), RunMigrationWorkload(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
+                         ::testing::Values(1, 42, 1981, 0xede));
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  // Sanity: the fingerprint actually depends on the execution, so the
+  // equal-seed assertions above are not vacuous.
+  EXPECT_NE(RunInvocationWorkload(7), RunInvocationWorkload(8));
+}
+
+TEST(DeterminismTest, TraceDigestCapturesEventOrder) {
+  // Two bare simulations running identical schedules agree...
+  auto run = [](SimDuration second_delay) {
+    Simulation sim;
+    int fired = 0;
+    sim.Schedule(Microseconds(10), [&] { fired++; });
+    sim.Schedule(second_delay, [&] { fired++; });
+    EventId doomed = sim.Schedule(Microseconds(30), [&] { fired += 100; });
+    sim.Cancel(doomed);
+    sim.Run();
+    EXPECT_EQ(fired, 2);
+    return sim.trace().value();
+  };
+  EXPECT_EQ(run(Microseconds(20)), run(Microseconds(20)));
+  // ...and a schedule that differs only in one event's timestamp does not.
+  EXPECT_NE(run(Microseconds(20)), run(Microseconds(21)));
+}
+
+}  // namespace
+}  // namespace eden

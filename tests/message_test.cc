@@ -178,9 +178,9 @@ TEST(MessageTest, ReplicaMessagesRoundTrip) {
 }
 
 TEST(MessageTest, PeekRejectsGarbage) {
-  EXPECT_FALSE(PeekMessageKind({}).ok());
-  EXPECT_FALSE(PeekMessageKind({0x00}).ok());
-  EXPECT_FALSE(PeekMessageKind({0xee, 0x01}).ok());
+  EXPECT_FALSE(PeekMessageKind(Bytes{}).ok());
+  EXPECT_FALSE(PeekMessageKind(Bytes{0x00}).ok());
+  EXPECT_FALSE(PeekMessageKind(Bytes{0xee, 0x01}).ok());
 }
 
 TEST(MessageTest, DecodersRejectWrongKind) {

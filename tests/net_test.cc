@@ -18,7 +18,7 @@ TEST(LanTest, UnicastFrameIsDeliveredWithWireDelay) {
   b->SetReceiveHandler([&](const Frame& frame) {
     delivered = true;
     EXPECT_EQ(frame.src, a->id());
-    EXPECT_EQ(ToString(frame.payload), "ping");
+    EXPECT_EQ(ToString(frame.header), "ping");
   });
   a->Send(Frame{0, b->id(), ToBytes("ping")});
   sim.Run();
@@ -52,7 +52,7 @@ TEST(LanTest, FramesFromOneStationStayOrdered) {
   Station* b = lan.AttachStation();
   std::vector<std::string> seen;
   b->SetReceiveHandler(
-      [&](const Frame& frame) { seen.push_back(ToString(frame.payload)); });
+      [&](const Frame& frame) { seen.push_back(ToString(frame.header)); });
   for (int i = 0; i < 10; i++) {
     a->Send(Frame{0, b->id(), ToBytes("m" + std::to_string(i))});
   }
@@ -158,7 +158,7 @@ class TransportFixture : public ::testing::Test {
 TEST_F(TransportFixture, SmallMessageRoundTrip) {
   Transport a(sim_, lan_), b(sim_, lan_);
   std::string received;
-  b.SetHandler([&](StationId src, const Bytes& message) {
+  b.SetHandler([&](StationId src, BytesView message) {
     EXPECT_EQ(src, a.station_id());
     received = ToString(message);
   });
@@ -175,7 +175,7 @@ TEST_F(TransportFixture, LargeMessageIsFragmentedAndReassembled) {
     big[i] = static_cast<uint8_t>(i * 31);
   }
   Bytes received;
-  b.SetHandler([&](StationId, const Bytes& message) { received = message; });
+  b.SetHandler([&](StationId, BytesView message) { received = message.ToBytes(); });
   a.SendReliable(b.station_id(), big);
   sim_.Run();
   EXPECT_EQ(received, big);
@@ -186,7 +186,7 @@ TEST_F(TransportFixture, LossyWireIsSurvivedByRetransmission) {
   lan_.set_loss_probability(0.2);
   Transport a(sim_, lan_), b(sim_, lan_);
   int delivered = 0;
-  b.SetHandler([&](StationId, const Bytes&) { delivered++; });
+  b.SetHandler([&](StationId, BytesView) { delivered++; });
   for (int i = 0; i < 20; i++) {
     a.SendReliable(b.station_id(), Bytes(3000));
   }
@@ -200,7 +200,7 @@ TEST_F(TransportFixture, DuplicatesAreSuppressedExactlyOnceDelivery) {
   lan_.set_loss_probability(0.3);
   Transport a(sim_, lan_), b(sim_, lan_);
   int delivered = 0;
-  b.SetHandler([&](StationId, const Bytes&) { delivered++; });
+  b.SetHandler([&](StationId, BytesView) { delivered++; });
   for (int i = 0; i < 30; i++) {
     a.SendReliable(b.station_id(), ToBytes("msg" + std::to_string(i)));
   }
@@ -211,8 +211,8 @@ TEST_F(TransportFixture, DuplicatesAreSuppressedExactlyOnceDelivery) {
 TEST_F(TransportFixture, BestEffortBroadcastReachesAll) {
   Transport a(sim_, lan_), b(sim_, lan_), c(sim_, lan_);
   int received = 0;
-  b.SetHandler([&](StationId, const Bytes&) { received++; });
-  c.SetHandler([&](StationId, const Bytes&) { received++; });
+  b.SetHandler([&](StationId, BytesView) { received++; });
+  c.SetHandler([&](StationId, BytesView) { received++; });
   a.SendBestEffort(kBroadcastStation, ToBytes("who has object 42?"));
   sim_.Run();
   EXPECT_EQ(received, 2);
@@ -227,6 +227,94 @@ TEST_F(TransportFixture, GivesUpAfterMaxRetransmits) {
   sim_.Run();
   EXPECT_EQ(a.stats().send_failures, 1u);
   EXPECT_EQ(b.stats().messages_delivered, 0u);
+}
+
+// --- ACK coalescing ----------------------------------------------------------
+
+TEST_F(TransportFixture, PiggybackedAckSuppressesStandaloneAckAndRetransmit) {
+  // ACK delay far beyond the retransmit timeout: if the ACK had to wait for
+  // its own frame, the sender would retransmit. Reverse data traffic carries
+  // it in time instead.
+  TransportConfig config;
+  config.ack_delay = Milliseconds(50);
+  Transport a(sim_, lan_, config), b(sim_, lan_, config);
+  std::string reply;
+  b.SetHandler([&](StationId src, BytesView) {
+    b.SendReliable(src, ToBytes("reply"));
+  });
+  a.SetHandler([&](StationId, BytesView message) { reply = ToString(message); });
+  a.SendReliable(b.station_id(), ToBytes("request"));
+  sim_.RunFor(Milliseconds(10));  // before a's 20 ms retransmit deadline
+
+  EXPECT_EQ(reply, "reply");
+  EXPECT_EQ(b.stats().acks_piggybacked, 1u);  // rode b's reply frame
+  EXPECT_EQ(b.stats().acks_sent, 0u);         // no standalone ACK frame
+  EXPECT_EQ(a.stats().retransmits, 0u);
+
+  // a has no reverse traffic for b's reply: its ACK goes standalone, delayed
+  // (past b's retransmit timeout here, so b may retransmit — harmless).
+  sim_.Run();
+  EXPECT_GE(a.stats().acks_sent, 1u);
+  EXPECT_EQ(b.stats().send_failures, 0u);
+}
+
+TEST_F(TransportFixture, DelayedAcksBatchIntoOneFrame) {
+  TransportConfig config;
+  config.ack_delay = Milliseconds(5);
+  Transport a(sim_, lan_, config), b(sim_, lan_, config);
+  int delivered = 0;
+  b.SetHandler([&](StationId, BytesView) { delivered++; });
+  for (int i = 0; i < 10; i++) {
+    a.SendReliable(b.station_id(), ToBytes("m" + std::to_string(i)));
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 10);
+  // All ten land well inside one ack_delay window: one ACK frame, ten ids.
+  EXPECT_EQ(b.stats().acks_sent, 1u);
+  EXPECT_EQ(b.stats().ack_ids_sent, 10u);
+  EXPECT_EQ(a.stats().retransmits, 0u);
+}
+
+TEST_F(TransportFixture, DelayedAckFiresOnTimer) {
+  TransportConfig config;
+  config.ack_delay = Milliseconds(2);
+  Transport a(sim_, lan_, config), b(sim_, lan_, config);
+  b.SetHandler([](StationId, BytesView) {});
+  a.SendReliable(b.station_id(), ToBytes("ping"));
+  sim_.RunFor(Milliseconds(1));  // delivered (~60 us), ACK still waiting
+  EXPECT_EQ(b.stats().messages_delivered, 1u);
+  EXPECT_EQ(b.stats().acks_sent, 0u);
+  sim_.RunFor(Milliseconds(3));  // past delivery + ack_delay
+  EXPECT_EQ(b.stats().acks_sent, 1u);
+  EXPECT_EQ(b.stats().ack_ids_sent, 1u);
+}
+
+TEST_F(TransportFixture, DedupWindowStillHonoredWithBatchedAcks) {
+  // ACK delay beyond the retransmit timeout forces duplicate data frames;
+  // the receiver must deliver exactly once and re-ACK the duplicates.
+  TransportConfig config;
+  config.ack_delay = Milliseconds(50);
+  config.retransmit_timeout = Milliseconds(10);
+  Transport a(sim_, lan_, config), b(sim_, lan_, config);
+  int delivered = 0;
+  b.SetHandler([&](StationId, BytesView) { delivered++; });
+  a.SendReliable(b.station_id(), ToBytes("exactly once"));
+  sim_.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GE(a.stats().retransmits, 1u);
+  EXPECT_GE(b.stats().duplicates_suppressed, 1u);
+  EXPECT_EQ(a.stats().send_failures, 0u);
+}
+
+TEST_F(TransportFixture, ZeroAckDelayAcksImmediately) {
+  TransportConfig config;
+  config.ack_delay = 0;
+  Transport a(sim_, lan_, config), b(sim_, lan_, config);
+  b.SetHandler([](StationId, BytesView) {});
+  a.SendReliable(b.station_id(), ToBytes("now"));
+  sim_.RunFor(Milliseconds(1));
+  EXPECT_EQ(b.stats().acks_sent, 1u);
+  EXPECT_EQ(a.stats().retransmits, 0u);
 }
 
 TEST_F(TransportFixture, ResetDropsPendingState) {
