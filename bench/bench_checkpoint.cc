@@ -30,6 +30,11 @@ void RunCheckpointBenchmark(benchmark::State& state, ReliabilityLevel level,
   object->policy = policy;
 
   for (auto _ : state) {
+    // Full rewrite between checkpoints: this bench measures the classic
+    // cost-vs-size curve for a whole-representation record. (An unmutated
+    // object's checkpoint is a no-op, and lightly-dirty objects write small
+    // deltas — bench_storage covers those.)
+    object->core->rep.MarkAllDirty();
     SimDuration elapsed =
         TimeAwait(*system, system->node(0).CheckpointObject(data.name()));
     SetVirtualTime(state, elapsed);

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Tier-1 CI for the Eden repo:
+#
+#   1. Configure + build the default (RelWithDebInfo) tree and run the whole
+#      test suite (the `check` target).
+#   2. Configure + build an ASan+UBSan tree at build-asan and run the suite
+#      there too (catches lifetime bugs the fast build hides).
+#   3. Smoke-run the storage benchmark (--quick) so the perf harness itself
+#      stays green; the JSON export lands in the asan build dir and is
+#      discarded.
+#
+#   scripts/ci.sh [jobs]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+
+echo "== tier-1 build + tests =="
+cmake -B "$repo_root/build" -S "$repo_root"
+cmake --build "$repo_root/build" -j "$jobs"
+cmake --build "$repo_root/build" --target check
+
+echo "== ASan+UBSan build + tests =="
+cmake -B "$repo_root/build-asan" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer"
+cmake --build "$repo_root/build-asan" -j "$jobs"
+(cd "$repo_root/build-asan" && ctest --output-on-failure)
+
+echo "== bench smoke (storage fast path) =="
+"$repo_root/build/bench/bench_storage" --quick \
+  --json="$repo_root/build/BENCH_bench_storage_smoke.json"
+
+echo "CI OK"

@@ -6,9 +6,12 @@
 Prints, for every counter and gauge present in either file, the before/after
 values and the relative change, and for every histogram the mean and p99
 deltas. Rows whose |change| is below --threshold (default 1%) are folded into
-a summary line so regressions stand out. Exit status is always 0 — this is a
-reporting tool, not a gate; pipe it into review notes (EXPERIMENTS.md keeps
-the interesting ones).
+a summary line so regressions stand out.
+
+By default this is a reporting tool and always exits 0. With --gate PCT it
+becomes a CI gate: any histogram mean_us/p99_us that grew by more than PCT
+percent (histograms record latencies, so growth is a regression) is listed
+and the exit status is 1.
 
 Typical use, from the repository root:
 
@@ -73,7 +76,8 @@ def compare_section(title, before, after, threshold):
     print()
 
 
-def compare_histograms(before, after, threshold):
+def compare_histograms(before, after, threshold, gate=None):
+    """Prints the histogram diff; returns [(row, pct)] rows that grew > gate."""
     names = sorted(set(before) | set(after))
     rows = []
     for name in names:
@@ -82,15 +86,21 @@ def compare_histograms(before, after, threshold):
             continue
         for stat in ("mean_us", "p99_us"):
             rows.append((f"{name}.{stat}", b.get(stat, 0), a.get(stat, 0)))
+    regressions = []
     if not rows:
-        return
+        return regressions
     print("histograms:")
     folded = []
     for name, b, a in rows:
         emit_row(name, b, a, threshold, folded)
+        if gate is not None and b > 0:
+            pct = change_pct(b, a)
+            if pct is not None and pct > gate:
+                regressions.append((name, pct))
     if folded:
         print(f"  ({len(folded)} within +/-{threshold:g}%)")
     print()
+    return regressions
 
 
 def main():
@@ -100,6 +110,9 @@ def main():
     parser.add_argument("after")
     parser.add_argument("--threshold", type=float, default=1.0,
                         help="fold rows changing less than this %% (default 1)")
+    parser.add_argument("--gate", type=float, default=None, metavar="PCT",
+                        help="exit 1 if any histogram mean/p99 grew by more "
+                             "than PCT%% (latency regression gate)")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -116,8 +129,15 @@ def main():
                     nm.get("counters", {}), args.threshold)
     compare_section("gauges", bm.get("gauges", {}),
                     nm.get("gauges", {}), args.threshold)
-    compare_histograms(bm.get("histograms", {}),
-                       nm.get("histograms", {}), args.threshold)
+    regressions = compare_histograms(bm.get("histograms", {}),
+                                     nm.get("histograms", {}), args.threshold,
+                                     args.gate)
+    if args.gate is not None and regressions:
+        print(f"GATE FAILED: {len(regressions)} histogram stat(s) regressed "
+              f"more than {args.gate:g}%:")
+        for name, pct in regressions:
+            print(f"  {name}  +{pct:.1f}%")
+        sys.exit(1)
 
 
 if __name__ == "__main__":

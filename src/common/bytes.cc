@@ -50,6 +50,11 @@ void BufferWriter::WriteBytes(const Bytes& bytes) {
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
+void BufferWriter::WriteBytes(BytesView bytes) {
+  WriteVarint(bytes.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
 void BufferWriter::WriteString(std::string_view text) {
   WriteVarint(text.size());
   buffer_.insert(buffer_.end(), text.begin(), text.end());

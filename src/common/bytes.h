@@ -120,6 +120,7 @@ class BufferWriter {
   void WriteVarint(uint64_t value);
   // Varint length prefix + raw bytes.
   void WriteBytes(const Bytes& bytes);
+  void WriteBytes(BytesView bytes);
   void WriteString(std::string_view text);
   void WriteBool(bool value);
   void WriteDouble(double value);

@@ -11,8 +11,14 @@ namespace eden {
 namespace {
 
 // --- Representation layout --------------------------------------------------
-// Segment 0: the file table      map<file_id, vector<version bytes>>
+// Segment 0: the file index      map<file_id, data segment number>
 // Segment 1: staged transactions map<txn_id, vector<StagedWrite>>
+// Segment 2+k: version chain of the file the index maps to segment 2+k
+//
+// Spreading files across segments keeps the kernel's per-segment dirty bits
+// meaningful: a prepare dirties only the staging segment, a commit dirties
+// staging plus the touched files — so the delta checkpoints that follow each
+// transaction step write kilobytes, not the whole store.
 
 struct StagedWrite {
   std::string file_id;
@@ -20,48 +26,71 @@ struct StagedWrite {
   Bytes data;
 };
 
-using FileTable = std::map<std::string, std::vector<Bytes>>;
+using FileIndex = std::map<std::string, uint64_t>;
 using StagingTable = std::map<uint64_t, std::vector<StagedWrite>>;
+using VersionChain = std::vector<Bytes>;
 
-Bytes EncodeFileTable(const FileTable& files) {
+// The first representation segment used for file version chains.
+constexpr uint64_t kFirstFileSegment = 2;
+
+Bytes EncodeIndex(const FileIndex& index) {
   BufferWriter writer;
-  writer.WriteVarint(files.size());
-  for (const auto& [file_id, versions] : files) {
+  writer.WriteVarint(index.size());
+  for (const auto& [file_id, segment] : index) {
     writer.WriteString(file_id);
-    writer.WriteVarint(versions.size());
-    for (const Bytes& version : versions) {
-      writer.WriteBytes(version);
-    }
+    writer.WriteVarint(segment);
   }
   return writer.Take();
 }
 
-FileTable DecodeFileTable(const Bytes& encoded) {
-  FileTable files;
+FileIndex DecodeIndex(const Bytes& encoded) {
+  FileIndex index;
   if (encoded.empty()) {
-    return files;
+    return index;
   }
   BufferReader reader(encoded);
   auto count = reader.ReadVarint();
   if (!count.ok()) {
-    return files;
+    return index;
   }
   for (uint64_t i = 0; i < *count; i++) {
     auto file_id = reader.ReadString();
-    auto versions = reader.ReadVarint();
-    if (!file_id.ok() || !versions.ok()) {
-      return files;
+    auto segment = reader.ReadVarint();
+    if (!file_id.ok() || !segment.ok()) {
+      return index;
     }
-    std::vector<Bytes>& chain = files[*file_id];
-    for (uint64_t v = 0; v < *versions; v++) {
-      auto data = reader.ReadBytes();
-      if (!data.ok()) {
-        return files;
-      }
-      chain.push_back(std::move(*data));
-    }
+    index[*file_id] = *segment;
   }
-  return files;
+  return index;
+}
+
+Bytes EncodeChain(const VersionChain& versions) {
+  BufferWriter writer;
+  writer.WriteVarint(versions.size());
+  for (const Bytes& version : versions) {
+    writer.WriteBytes(version);
+  }
+  return writer.Take();
+}
+
+VersionChain DecodeChain(const Bytes& encoded) {
+  VersionChain versions;
+  if (encoded.empty()) {
+    return versions;
+  }
+  BufferReader reader(encoded);
+  auto count = reader.ReadVarint();
+  if (!count.ok()) {
+    return versions;
+  }
+  for (uint64_t v = 0; v < *count; v++) {
+    auto data = reader.ReadBytes();
+    if (!data.ok()) {
+      return versions;
+    }
+    versions.push_back(std::move(*data));
+  }
+  return versions;
 }
 
 Bytes EncodeStaging(const StagingTable& staging) {
@@ -114,22 +143,42 @@ StagingTable DecodeStaging(const Bytes& encoded) {
   return staging;
 }
 
-FileTable LoadFiles(InvokeContext& ctx) {
-  return ctx.rep().data_segment_count() > 0 ? DecodeFileTable(ctx.rep().data(0))
-                                            : FileTable{};
+// Read-only segment access: goes through the const accessor so the kernel's
+// dirty tracking is not tripped by loads.
+const Bytes* SegmentOrNull(InvokeContext& ctx, uint64_t segment) {
+  const Representation& rep = ctx.rep();
+  if (segment >= rep.data_segment_count()) {
+    return nullptr;
+  }
+  return &rep.data(segment);
+}
+
+FileIndex LoadIndex(InvokeContext& ctx) {
+  const Bytes* seg = SegmentOrNull(ctx, 0);
+  return seg != nullptr ? DecodeIndex(*seg) : FileIndex{};
 }
 
 StagingTable LoadStaging(InvokeContext& ctx) {
-  return ctx.rep().data_segment_count() > 1 ? DecodeStaging(ctx.rep().data(1))
-                                            : StagingTable{};
+  const Bytes* seg = SegmentOrNull(ctx, 1);
+  return seg != nullptr ? DecodeStaging(*seg) : StagingTable{};
 }
 
-void StoreFiles(InvokeContext& ctx, const FileTable& files) {
-  ctx.rep().set_data(0, EncodeFileTable(files));
+VersionChain LoadChain(InvokeContext& ctx, uint64_t segment) {
+  const Bytes* seg = SegmentOrNull(ctx, segment);
+  return seg != nullptr ? DecodeChain(*seg) : VersionChain{};
+}
+
+void StoreIndex(InvokeContext& ctx, const FileIndex& index) {
+  ctx.rep().set_data(0, EncodeIndex(index));
 }
 
 void StoreStaging(InvokeContext& ctx, const StagingTable& staging) {
   ctx.rep().set_data(1, EncodeStaging(staging));
+}
+
+void StoreChain(InvokeContext& ctx, uint64_t segment,
+                const VersionChain& versions) {
+  ctx.rep().set_data(segment, EncodeChain(versions));
 }
 
 // True if any transaction other than `txn_id` has staged a write to the file.
@@ -166,13 +215,15 @@ std::shared_ptr<AbstractType> EfsStoreType() {
         if (!file_id.ok()) {
           co_return InvokeResult::Error(file_id.status());
         }
-        FileTable files = LoadFiles(ctx);
-        if (files.count(*file_id) > 0) {
+        FileIndex index = LoadIndex(ctx);
+        if (index.count(*file_id) > 0) {
           co_return InvokeResult::Error(
               AlreadyExistsError("file exists: " + *file_id));
         }
-        files[*file_id] = {};
-        StoreFiles(ctx, files);
+        uint64_t segment = kFirstFileSegment + index.size();
+        index[*file_id] = segment;
+        StoreIndex(ctx, index);
+        StoreChain(ctx, segment, {});
         Status status = co_await ctx.Checkpoint();
         co_return InvokeResult{status, {}};
       },
@@ -191,13 +242,13 @@ std::shared_ptr<AbstractType> EfsStoreType() {
           co_return InvokeResult::Error(
               InvalidArgumentError("prepare(txn, file, base, data)"));
         }
-        FileTable files = LoadFiles(ctx);
-        auto file = files.find(*file_id);
-        if (file == files.end()) {
+        FileIndex index = LoadIndex(ctx);
+        auto file = index.find(*file_id);
+        if (file == index.end()) {
           co_return InvokeResult::Error(
               NotFoundError("no such file: " + *file_id));
         }
-        if (file->second.size() != *base_version) {
+        if (LoadChain(ctx, file->second).size() != *base_version) {
           co_return InvokeResult::Error(AbortedError(
               "stale base version for " + *file_id + " (txn lost the race)"));
         }
@@ -209,7 +260,8 @@ std::shared_ptr<AbstractType> EfsStoreType() {
         staging[*txn_id].push_back(
             StagedWrite{*file_id, *base_version, std::move(*data)});
         StoreStaging(ctx, staging);
-        // Durable vote: a prepared transaction survives a crash.
+        // Durable vote: a prepared transaction survives a crash. Only the
+        // staging segment is dirty, so the checkpoint delta is small.
         Status status = co_await ctx.Checkpoint();
         co_return InvokeResult{status, {}};
       },
@@ -231,14 +283,30 @@ std::shared_ptr<AbstractType> EfsStoreType() {
           // commit after a lost reply) or never prepared here.
           co_return InvokeResult::Ok(InvokeArgs{}.AddU64(0));
         }
-        FileTable files = LoadFiles(ctx);
+        FileIndex index = LoadIndex(ctx);
+        bool index_grew = false;
         uint64_t applied = 0;
         for (StagedWrite& write : staged->second) {
-          files[write.file_id].push_back(std::move(write.data));
+          auto file = index.find(write.file_id);
+          uint64_t segment;
+          if (file == index.end()) {
+            // Defensive: prepare guarantees existence, but a husk entry
+            // keeps a duplicate-free commit idempotent anyway.
+            segment = kFirstFileSegment + index.size();
+            index[write.file_id] = segment;
+            index_grew = true;
+          } else {
+            segment = file->second;
+          }
+          VersionChain versions = LoadChain(ctx, segment);
+          versions.push_back(std::move(write.data));
+          StoreChain(ctx, segment, versions);
           applied++;
         }
         staging.erase(staged);
-        StoreFiles(ctx, files);
+        if (index_grew) {
+          StoreIndex(ctx, index);
+        }
         StoreStaging(ctx, staging);
         Status status = co_await ctx.Checkpoint();
         co_return InvokeResult{status, InvokeArgs{}.AddU64(applied)};
@@ -278,25 +346,26 @@ std::shared_ptr<AbstractType> EfsStoreType() {
           co_return InvokeResult::Error(
               InvalidArgumentError("prune(file, keep)"));
         }
-        FileTable files = LoadFiles(ctx);
-        auto file = files.find(*file_id);
-        if (file == files.end()) {
+        FileIndex index = LoadIndex(ctx);
+        auto file = index.find(*file_id);
+        if (file == index.end()) {
           co_return InvokeResult::Error(
               NotFoundError("no such file: " + *file_id));
         }
+        VersionChain versions = LoadChain(ctx, file->second);
         uint64_t dropped = 0;
-        if (file->second.size() > *keep) {
-          uint64_t drop = file->second.size() - *keep;
+        if (versions.size() > *keep) {
+          uint64_t drop = versions.size() - *keep;
           for (uint64_t i = 0; i < drop; i++) {
             // Retired versions become empty husks; the chain keeps its
             // numbering so read(file, k) stays meaningful for live versions.
-            if (!file->second[i].empty()) {
-              file->second[i] = Bytes{};
+            if (!versions[i].empty()) {
+              versions[i] = Bytes{};
               dropped++;
             }
           }
         }
-        StoreFiles(ctx, files);
+        StoreChain(ctx, file->second, versions);
         Status status = co_await ctx.Checkpoint();
         co_return InvokeResult{status, InvokeArgs{}.AddU64(dropped)};
       },
@@ -312,27 +381,28 @@ std::shared_ptr<AbstractType> EfsStoreType() {
         if (!file_id.ok()) {
           co_return InvokeResult::Error(file_id.status());
         }
-        FileTable files = LoadFiles(ctx);
-        auto file = files.find(*file_id);
-        if (file == files.end()) {
+        FileIndex index = LoadIndex(ctx);
+        auto file = index.find(*file_id);
+        if (file == index.end()) {
           co_return InvokeResult::Error(
               NotFoundError("no such file: " + *file_id));
         }
+        VersionChain versions = LoadChain(ctx, file->second);
         uint64_t want = version.value_or(0);
         if (want == 0) {
-          want = file->second.size();
+          want = versions.size();
         }
-        if (want == 0 || want > file->second.size()) {
+        if (want == 0 || want > versions.size()) {
           co_return InvokeResult::Error(NotFoundError(
               "no version " + std::to_string(want) + " of " + *file_id));
         }
-        if (file->second[want - 1].empty() && want < file->second.size()) {
+        if (versions[want - 1].empty() && want < versions.size()) {
           co_return InvokeResult::Error(NotFoundError(
               "version " + std::to_string(want) + " of " + *file_id +
               " was pruned"));
         }
         co_return InvokeResult::Ok(
-            InvokeArgs{}.AddBytes(file->second[want - 1]).AddU64(want));
+            InvokeArgs{}.AddBytes(versions[want - 1]).AddU64(want));
       },
       .required_rights = Rights(Rights::kInvoke | Rights::kRead),
       .invocation_class = "readers",
@@ -346,13 +416,14 @@ std::shared_ptr<AbstractType> EfsStoreType() {
         if (!file_id.ok()) {
           co_return InvokeResult::Error(file_id.status());
         }
-        FileTable files = LoadFiles(ctx);
-        auto file = files.find(*file_id);
-        if (file == files.end()) {
+        FileIndex index = LoadIndex(ctx);
+        auto file = index.find(*file_id);
+        if (file == index.end()) {
           co_return InvokeResult::Error(
               NotFoundError("no such file: " + *file_id));
         }
-        co_return InvokeResult::Ok(InvokeArgs{}.AddU64(file->second.size()));
+        co_return InvokeResult::Ok(
+            InvokeArgs{}.AddU64(LoadChain(ctx, file->second).size()));
       },
       .required_rights = Rights(Rights::kInvoke | Rights::kRead),
       .invocation_class = "readers",
@@ -363,7 +434,7 @@ std::shared_ptr<AbstractType> EfsStoreType() {
       .name = "list",
       .handler = [](InvokeContext& ctx) -> Task<InvokeResult> {
         InvokeArgs out;
-        for (const auto& [file_id, versions] : LoadFiles(ctx)) {
+        for (const auto& [file_id, segment] : LoadIndex(ctx)) {
           out.AddString(file_id);
         }
         co_return InvokeResult::Ok(std::move(out));

@@ -22,6 +22,15 @@ enum class ReliabilityLevel : uint8_t {
   kMirrored = 1,
 };
 
+// Leading tag byte of an on-disk checkpoint record (DESIGN.md §10). A base
+// record carries the full representation; a delta carries only the segments
+// dirtied since the previous record in the chain. Any other leading byte is
+// treated as corruption (DataLoss on restore).
+enum class CheckpointRecordKind : uint8_t {
+  kBase = 1,
+  kDelta = 2,
+};
+
 struct CheckpointPolicy {
   // Node whose stable store holds the authoritative long-term state. This is
   // also where the object reincarnates after a failure. It "need not be the
@@ -34,6 +43,11 @@ struct CheckpointPolicy {
     writer.WriteU32(primary_site);
     writer.WriteU8(static_cast<uint8_t>(level));
     writer.WriteU32(mirror_site);
+  }
+
+  bool operator==(const CheckpointPolicy& other) const {
+    return primary_site == other.primary_site && level == other.level &&
+           mirror_site == other.mirror_site;
   }
 
   static StatusOr<CheckpointPolicy> Decode(BufferReader& reader) {

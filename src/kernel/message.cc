@@ -190,8 +190,9 @@ Bytes CheckpointPutMsg::Encode() const {
   writer.WriteU64(request_id);
   writer.WriteU32(reply_to);
   name.Encode(writer);
-  writer.WriteBytes(record);
+  writer.WriteBytes(record.view());
   writer.WriteBool(is_mirror);
+  writer.WriteVarint(delta_seq);
   return writer.Take();
 }
 
@@ -202,8 +203,10 @@ StatusOr<CheckpointPutMsg> CheckpointPutMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.request_id, reader.ReadU64());
   EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
   EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
-  EDEN_ASSIGN_OR_RETURN(msg.record, reader.ReadBytes());
+  EDEN_ASSIGN_OR_RETURN(Bytes record, reader.ReadBytes());
+  msg.record = SharedBytes(std::move(record));
   EDEN_ASSIGN_OR_RETURN(msg.is_mirror, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.delta_seq, reader.ReadVarint());
   return msg;
 }
 

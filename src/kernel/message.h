@@ -123,11 +123,17 @@ struct CheckpointPutMsg {
   uint64_t request_id = 0;
   StationId reply_to = 0;
   ObjectName name;
-  // Encoded checkpoint record (type name + policy + representation).
-  Bytes record;
+  // Encoded checkpoint record: a base record (full representation) when
+  // delta_seq == 0, else link `delta_seq` of the object's delta chain.
+  // Refcounted so the receiving checksite stores it without another copy.
+  SharedBytes record;
   // Mirror copies are redundancy only: they do not answer locate queries, so
   // a mirrored object still has a single authoritative passive home.
   bool is_mirror = false;
+  // 0 = base record; k > 0 = k-th delta since the last base. The checksite
+  // rejects a delta whose predecessor is missing, so stored chains are
+  // always contiguous.
+  uint64_t delta_seq = 0;
 
   Bytes Encode() const;
   static StatusOr<CheckpointPutMsg> Decode(BytesView message);

@@ -59,6 +59,24 @@ class ObjectName {
   uint32_t disambiguator_ = 0;
 };
 
+// Hash functor for unordered containers keyed by ObjectName (kernel location
+// cache and friends). FNV-style mix over the three fields; iteration order
+// of such containers must never be observable (wire traffic, promise
+// completion order) — keep a sorted structure where it is.
+struct ObjectNameHash {
+  size_t operator()(const ObjectName& name) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(name.birth_node());
+    mix(name.sequence());
+    mix(name.disambiguator());
+    return static_cast<size_t>(h);
+  }
+};
+
 }  // namespace eden
 
 #endif  // EDEN_SRC_KERNEL_NAME_H_

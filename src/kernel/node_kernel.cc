@@ -19,9 +19,9 @@ Future<Status> CombineStatus(Future<Status> a, Future<Status> b) {
   auto state = std::make_shared<JoinState>();
   Promise<Status> done;
   auto arm = [state, done](Future<Status> f) mutable {
-    f.OnReady([state, done, f]() mutable {
-      if (!f.Get().ok() && state->status.ok()) {
-        state->status = f.Get();
+    f.OnReadyValue([state, done](const Status& status) mutable {
+      if (!status.ok() && state->status.ok()) {
+        state->status = status;
       }
       if (--state->remaining == 0) {
         done.Set(state->status);
@@ -76,6 +76,11 @@ void NodeKernel::InitMetrics() {
   counters_.redirects_followed = &metrics_.counter("kernel.redirects_followed");
   counters_.activations = &metrics_.counter("kernel.activations");
   counters_.checkpoints = &metrics_.counter("kernel.checkpoints");
+  counters_.checkpoint_bases = &metrics_.counter("kernel.checkpoint.bases");
+  counters_.checkpoint_deltas = &metrics_.counter("kernel.checkpoint.deltas");
+  counters_.checkpoint_noops = &metrics_.counter("kernel.checkpoint.noops");
+  counters_.checkpoint_record_bytes =
+      &metrics_.counter("kernel.checkpoint.record_bytes");
   counters_.crashes = &metrics_.counter("kernel.crashes");
   counters_.moves_out = &metrics_.counter("kernel.moves_out");
   counters_.moves_in = &metrics_.counter("kernel.moves_in");
@@ -914,7 +919,7 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     }
   };
 
-  StatusOr<Bytes> record = co_await store_->Get(CheckpointKey(name));
+  StatusOr<SharedBytes> record = co_await store_->Get(CheckpointKey(name));
   if (failed_) {
     co_return;
   }
@@ -923,7 +928,13 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     co_return;
   }
 
-  BufferReader reader(*record);
+  BufferReader reader(record->view());
+  auto tag = reader.ReadU8();
+  if (!tag.ok() ||
+      *tag != static_cast<uint8_t>(CheckpointRecordKind::kBase)) {
+    fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
+    co_return;
+  }
   auto type_name = reader.ReadString();
   auto policy = type_name.ok() ? CheckpointPolicy::Decode(reader)
                                : StatusOr<CheckpointPolicy>(type_name.status());
@@ -934,6 +945,51 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
     co_return;
   }
+
+  // Replay the delta chain on top of the base. Links are contiguous by
+  // construction (WriteLocalCheckpoint's guard), so the first missing key
+  // ends the chain. Policy and frozen-ness track the newest link.
+  uint64_t chain_len = 0;
+  bool corrupt = false;
+  for (uint64_t k = 1;
+       store_->Contains(DeltaKey(name, k, /*is_mirror=*/false)); k++) {
+    StatusOr<SharedBytes> delta =
+        co_await store_->Get(DeltaKey(name, k, /*is_mirror=*/false));
+    if (failed_) {
+      co_return;
+    }
+    if (!delta.ok()) {
+      corrupt = true;
+      break;
+    }
+    BufferReader delta_reader(delta->view());
+    auto delta_tag = delta_reader.ReadU8();
+    if (!delta_tag.ok() ||
+        *delta_tag != static_cast<uint8_t>(CheckpointRecordKind::kDelta)) {
+      corrupt = true;
+      break;
+    }
+    auto delta_type = delta_reader.ReadString();
+    auto delta_policy = delta_type.ok()
+                            ? CheckpointPolicy::Decode(delta_reader)
+                            : StatusOr<CheckpointPolicy>(delta_type.status());
+    auto delta_frozen = delta_policy.ok()
+                            ? delta_reader.ReadBool()
+                            : StatusOr<bool>(delta_policy.status());
+    if (!delta_frozen.ok() || *delta_type != *type_name ||
+        !rep->ApplyDelta(delta_reader).ok()) {
+      corrupt = true;
+      break;
+    }
+    policy = *delta_policy;
+    frozen = *delta_frozen;
+    chain_len = k;
+  }
+  if (corrupt) {
+    fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
+    co_return;
+  }
+
   std::shared_ptr<TypeManager> type = system_.FindType(*type_name);
   if (type == nullptr) {
     fail_waiters(DataLossError("unknown type in checkpoint: " + *type_name));
@@ -945,8 +1001,15 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
   object->core = std::make_shared<ObjectCore>();
   object->core->name = name;
   object->core->rep = std::move(*rep);
+  object->core->rep.ClearDirty();
   object->policy = *policy;
   object->frozen = *frozen;
+  // The restored state is exactly what is on disk: resume the chain (and
+  // let a mutation-free checkpoint be a no-op).
+  object->ckpt_has_base = true;
+  object->ckpt_chain_len = chain_len;
+  object->ckpt_policy = *policy;
+  object->ckpt_frozen = *frozen;
   object->activating = true;
   active_[name] = object;
   UpdateActiveGauge();
@@ -999,13 +1062,16 @@ void NodeKernel::StartBehaviors(const std::shared_ptr<ActiveObject>& object) {
   if (object->is_replica) {
     return;
   }
+  std::erase_if(behaviors_, [](const Task<void>& task) { return task.done(); });
   for (const auto& [behavior_name, body] : object->type->behaviors()) {
-    RunBehavior(object, behavior_name, body);
+    Task<void> task = RunBehavior(object, behavior_name, body);
+    task.Start();
+    behaviors_.push_back(std::move(task));
   }
 }
 
-DetachedTask NodeKernel::RunBehavior(std::shared_ptr<ActiveObject> object,
-                                     std::string name, BehaviorBody body) {
+Task<void> NodeKernel::RunBehavior(std::shared_ptr<ActiveObject> object,
+                                   std::string name, BehaviorBody body) {
   InvokeContext context(this, object, "<behavior:" + name + ">", InvokeArgs{},
                         Rights::All());
   co_await body(context);
@@ -1033,45 +1099,140 @@ Future<Status> NodeKernel::CheckpointForObject(
   }
   counters_.checkpoints->Increment();
   Trace(TraceEventKind::kCheckpoint, object->name, 0);
-  Bytes record = EncodeCheckpointRecord(*object);
-  Future<Status> done =
-      WriteCheckpoint(object->name, std::move(record), object->policy);
+
+  // No-op checkpoint: nothing was dirtied since the last record was cut and
+  // the policy/frozen flag it captured still hold, so the durable chain
+  // already reproduces this state. Nothing is written — but durability is
+  // only as good as the last write, so return that write's future (if it
+  // later fails, its OnReady handler below has already forced the next
+  // checkpoint to write a fresh base).
+  Representation& rep = object->core->rep;
+  if (config_.checkpoint_deltas && object->ckpt_has_base && !rep.AnyDirty() &&
+      object->policy == object->ckpt_policy &&
+      object->frozen == object->ckpt_frozen) {
+    counters_.checkpoint_noops->Increment();
+    checkpoint_latency_->Record(0);
+    return object->ckpt_pending.value_or(ReadyStatus(OkStatus()));
+  }
+
+  // Write a full base record on the first checkpoint of an activation, when
+  // the delta chain has reached its compaction threshold (fold), when deltas
+  // are disabled, or when everything is dirty anyway (a delta would not be
+  // smaller than a base).
+  bool all_dirty = rep.data_segment_count() > 0 &&
+                   rep.DirtySegmentCount() == rep.data_segment_count() &&
+                   rep.caps_dirty();
+  bool base = !config_.checkpoint_deltas || !object->ckpt_has_base ||
+              object->ckpt_chain_len >= config_.checkpoint_delta_limit ||
+              all_dirty;
+  Bytes record = EncodeCheckpointRecord(
+      *object, base ? CheckpointRecordKind::kBase : CheckpointRecordKind::kDelta);
+  uint64_t delta_seq = 0;
+  if (base) {
+    counters_.checkpoint_bases->Increment();
+    object->ckpt_has_base = true;
+    object->ckpt_chain_len = 0;
+  } else {
+    counters_.checkpoint_deltas->Increment();
+    delta_seq = ++object->ckpt_chain_len;
+  }
+  counters_.checkpoint_record_bytes->Increment(record.size());
+  rep.ClearDirty();
+  object->ckpt_policy = object->policy;
+  object->ckpt_frozen = object->frozen;
+
+  Future<Status> done = WriteCheckpoint(object->name, SharedBytes(std::move(record)),
+                                        delta_seq, object->policy);
+  object->ckpt_pending = done;
   SimTime started = sim().now();
-  done.OnReady([this, started] {
+  // Weak capture: the object holds `done` in ckpt_pending, so a strong
+  // capture here (of either the object or the future) would cycle and leak
+  // any activation with a checkpoint still in flight at teardown.
+  std::weak_ptr<ActiveObject> weak = object;
+  done.OnReadyValue([this, weak, started](const Status& status) {
     checkpoint_latency_->Record(sim().now() - started);
+    if (!status.ok()) {
+      // The chain's durable suffix is now unknown (and the dirty bits that
+      // would have covered it are cleared): force a full base next time.
+      if (auto object = weak.lock()) {
+        object->ckpt_has_base = false;
+      }
+    }
   });
   return done;
 }
 
-Bytes NodeKernel::EncodeCheckpointRecord(const ActiveObject& object) const {
+Bytes NodeKernel::EncodeCheckpointRecord(const ActiveObject& object,
+                                         CheckpointRecordKind kind) const {
   BufferWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(kind));
   writer.WriteString(object.type->name());
   object.policy.Encode(writer);
   writer.WriteBool(object.frozen);
-  object.core->rep.Encode(writer);
+  if (kind == CheckpointRecordKind::kBase) {
+    object.core->rep.Encode(writer);
+  } else {
+    object.core->rep.EncodeDelta(writer);
+  }
   return writer.Take();
 }
 
-Future<Status> NodeKernel::WriteCheckpoint(const ObjectName& name, Bytes record,
+Future<Status> NodeKernel::WriteCheckpoint(const ObjectName& name,
+                                           SharedBytes record,
+                                           uint64_t delta_seq,
                                            const CheckpointPolicy& policy) {
   Future<Status> primary =
       policy.primary_site == station()
-          ? store_->Put(CheckpointKey(name), record)
-          : SendRemoteCheckpoint(name, record, policy.primary_site,
+          ? WriteLocalCheckpoint(name, record, delta_seq, /*is_mirror=*/false)
+          : SendRemoteCheckpoint(name, record, delta_seq, policy.primary_site,
                                  /*is_mirror=*/false);
   if (policy.level != ReliabilityLevel::kMirrored) {
     return primary;
   }
   Future<Status> mirror =
       policy.mirror_site == station()
-          ? store_->Put(MirrorKey(name), record)
-          : SendRemoteCheckpoint(name, std::move(record), policy.mirror_site,
-                                 /*is_mirror=*/true);
+          ? WriteLocalCheckpoint(name, std::move(record), delta_seq,
+                                 /*is_mirror=*/true)
+          : SendRemoteCheckpoint(name, std::move(record), delta_seq,
+                                 policy.mirror_site, /*is_mirror=*/true);
   return CombineStatus(std::move(primary), std::move(mirror));
 }
 
+Future<Status> NodeKernel::WriteLocalCheckpoint(const ObjectName& name,
+                                                SharedBytes record,
+                                                uint64_t delta_seq,
+                                                bool is_mirror) {
+  if (delta_seq == 0) {
+    // A fresh base supersedes the previous chain; the deletes join the base
+    // write's flush. Erase before Put so a same-key chain restarts cleanly.
+    EraseDeltaChain(name, is_mirror);
+    return store_->Put(is_mirror ? MirrorKey(name) : CheckpointKey(name),
+                       std::move(record));
+  }
+  // Contiguity guard: never store a delta whose predecessor is missing
+  // (e.g. after a capacity failure mid-chain) — restore stops at the first
+  // gap, so a stored successor would resurrect stale state later.
+  std::string base_key = is_mirror ? MirrorKey(name) : CheckpointKey(name);
+  if (!store_->Contains(base_key) ||
+      (delta_seq > 1 && !store_->Contains(DeltaKey(name, delta_seq - 1, is_mirror)))) {
+    return ReadyStatus(
+        FailedPreconditionError("checkpoint delta chain broken; base required"));
+  }
+  return store_->Put(DeltaKey(name, delta_seq, is_mirror), std::move(record));
+}
+
+void NodeKernel::EraseDeltaChain(const ObjectName& name, bool is_mirror,
+                                 uint64_t from_seq) {
+  for (uint64_t k = from_seq; store_->Contains(DeltaKey(name, k, is_mirror));
+       k++) {
+    store_->Delete(DeltaKey(name, k, is_mirror));
+  }
+}
+
 Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
-                                                Bytes record, StationId site,
+                                                SharedBytes record,
+                                                uint64_t delta_seq,
+                                                StationId site,
                                                 bool is_mirror) {
   uint64_t request_id = next_request_id_++;
   PendingAck& pending = pending_acks_[request_id];
@@ -1093,6 +1254,7 @@ Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
   msg.name = name;
   msg.record = std::move(record);
   msg.is_mirror = is_mirror;
+  msg.delta_seq = delta_seq;
   Bytes encoded = msg.Encode();
   sim().Schedule(SerializeCost(encoded.size()),
                  [this, site, encoded = std::move(encoded)]() mutable {
@@ -1104,16 +1266,19 @@ Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
 }
 
 void NodeKernel::HandleCheckpointPut(StationId src, CheckpointPutMsg msg) {
-  std::string key = msg.is_mirror ? MirrorKey(msg.name) : CheckpointKey(msg.name);
-  Future<Status> write = store_->Put(key, std::move(msg.record));
-  write.OnReady([this, write, request_id = msg.request_id,
-                 reply_to = msg.reply_to]() {
+  Future<Status> write = WriteLocalCheckpoint(msg.name, std::move(msg.record),
+                                             msg.delta_seq, msg.is_mirror);
+  write.OnReadyValue([this, request_id = msg.request_id,
+                      reply_to = msg.reply_to](const Status& status) {
     if (failed_) {
       return;
     }
     CheckpointAckMsg ack;
     ack.request_id = request_id;
-    ack.ok = write.Get().ok();
+    // A rejected delta (broken chain — e.g. an earlier link failed or the
+    // links arrived out of order) nacks, which makes the source write a
+    // full base on its next checkpoint.
+    ack.ok = status.ok();
     transport_->SendReliable(reply_to, ack.Encode());
   });
 }
@@ -1130,6 +1295,8 @@ void NodeKernel::HandleCheckpointAck(const CheckpointAckMsg& msg) {
 }
 
 void NodeKernel::HandleCheckpointErase(const CheckpointEraseMsg& msg) {
+  EraseDeltaChain(msg.name, /*is_mirror=*/false);
+  EraseDeltaChain(msg.name, /*is_mirror=*/true);
   store_->Delete(CheckpointKey(msg.name));
   store_->Delete(MirrorKey(msg.name));
 }
@@ -1177,6 +1344,8 @@ void NodeKernel::DestroyObject(const std::shared_ptr<ActiveObject>& object) {
   CrashObject(object, AbortedError("object destroyed"));
 
   // Erase long-term state everywhere it may live.
+  EraseDeltaChain(name, /*is_mirror=*/false);
+  EraseDeltaChain(name, /*is_mirror=*/true);
   store_->Delete(CheckpointKey(name));
   store_->Delete(MirrorKey(name));
   CheckpointEraseMsg erase;
@@ -1193,18 +1362,35 @@ void NodeKernel::DestroyObject(const std::shared_ptr<ActiveObject>& object) {
 }
 
 Future<Status> NodeKernel::PromoteMirror(const ObjectName& name) {
-  Promise<Status> promise;
-  Future<Status> future = promise.GetFuture();
-  Future<StatusOr<Bytes>> read = store_->Get(MirrorKey(name));
-  read.OnReady([this, read, name, promise]() mutable {
-    if (!read.Get().ok()) {
-      promise.Set(read.Get().status());
-      return;
+  return Launch(CopyMirrorChain(name));
+}
+
+Task<Status> NodeKernel::CopyMirrorChain(ObjectName name) {
+  StatusOr<SharedBytes> base = co_await store_->Get(MirrorKey(name));
+  if (!base.ok()) {
+    co_return base.status();
+  }
+  // Any stale primary chain dies with its base (and the base write batches
+  // with the deletes).
+  EraseDeltaChain(name, /*is_mirror=*/false);
+  Status written = co_await store_->Put(CheckpointKey(name), *base);
+  if (!written.ok()) {
+    co_return written;
+  }
+  for (uint64_t k = 1; store_->Contains(DeltaKey(name, k, /*is_mirror=*/true));
+       k++) {
+    StatusOr<SharedBytes> delta =
+        co_await store_->Get(DeltaKey(name, k, /*is_mirror=*/true));
+    if (!delta.ok()) {
+      co_return delta.status();
     }
-    Future<Status> write = store_->Put(CheckpointKey(name), read.Get().value());
-    write.OnReady([write, promise]() mutable { promise.Set(write.Get()); });
-  });
-  return future;
+    written = co_await store_->Put(DeltaKey(name, k, /*is_mirror=*/false),
+                                   *delta);
+    if (!written.ok()) {
+      co_return written;
+    }
+  }
+  co_return OkStatus();
 }
 
 // ---------------------------------------------------------------------------

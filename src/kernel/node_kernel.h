@@ -16,6 +16,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/kernel/context.h"
@@ -61,6 +62,13 @@ struct KernelConfig {
 
   // At-most-once server-side reply cache.
   size_t reply_cache_capacity = 4096;
+
+  // Delta checkpoints (DESIGN.md §10). When enabled, a checkpoint of an
+  // object whose base record is already durable writes only the dirty
+  // segments; after checkpoint_delta_limit deltas (or whenever every segment
+  // is dirty anyway) the chain is folded into a fresh base record.
+  bool checkpoint_deltas = true;
+  uint64_t checkpoint_delta_limit = 8;
 };
 
 // Snapshot of the kernel's registry-backed counters (see NodeKernel::stats).
@@ -269,16 +277,28 @@ class NodeKernel {
   void BeginActivation(const ObjectName& name);
   DetachedTask RunActivation(ObjectName name);
   void StartBehaviors(const std::shared_ptr<ActiveObject>& object);
-  DetachedTask RunBehavior(std::shared_ptr<ActiveObject> object, std::string name,
-                           BehaviorBody body);
+  Task<void> RunBehavior(std::shared_ptr<ActiveObject> object, std::string name,
+                         BehaviorBody body);
 
   // --- Checkpoint / crash / destroy / move / freeze (via InvokeContext) ------------
   Future<Status> CheckpointForObject(const std::shared_ptr<ActiveObject>& object);
-  Bytes EncodeCheckpointRecord(const ActiveObject& object) const;
-  Future<Status> WriteCheckpoint(const ObjectName& name, Bytes record,
+  Bytes EncodeCheckpointRecord(const ActiveObject& object,
+                               CheckpointRecordKind kind) const;
+  // delta_seq 0 writes a base record (and erases any stale delta chain);
+  // k > 0 appends link k. The record rides refcounted — a mirrored local
+  // write shares the same buffer.
+  Future<Status> WriteCheckpoint(const ObjectName& name, SharedBytes record,
+                                 uint64_t delta_seq,
                                  const CheckpointPolicy& policy);
-  Future<Status> SendRemoteCheckpoint(const ObjectName& name, Bytes record,
-                                      StationId site, bool is_mirror);
+  Future<Status> WriteLocalCheckpoint(const ObjectName& name, SharedBytes record,
+                                      uint64_t delta_seq, bool is_mirror);
+  Future<Status> SendRemoteCheckpoint(const ObjectName& name, SharedBytes record,
+                                      uint64_t delta_seq, StationId site,
+                                      bool is_mirror);
+  // Deletes delta links `from_seq`, `from_seq`+1, ... while they exist.
+  void EraseDeltaChain(const ObjectName& name, bool is_mirror,
+                       uint64_t from_seq = 1);
+  Task<Status> CopyMirrorChain(ObjectName name);
   void CrashObject(const std::shared_ptr<ActiveObject>& object, const Status& reason);
   void DestroyObject(const std::shared_ptr<ActiveObject>& object);
   DetachedTask RunMove(std::shared_ptr<ActiveObject> object, StationId destination,
@@ -290,6 +310,12 @@ class NodeKernel {
   }
   static std::string MirrorKey(const ObjectName& name) {
     return "mirror/" + name.ToKey();
+  }
+  // Delta link k of the (primary or mirror) chain: "<base key>#d<k>".
+  static std::string DeltaKey(const ObjectName& name, uint64_t seq,
+                              bool is_mirror) {
+    return (is_mirror ? MirrorKey(name) : CheckpointKey(name)) + "#d" +
+           std::to_string(seq);
   }
 
   // Cached Counter pointers into metrics_ for the kernel's hot paths; the
@@ -309,6 +335,10 @@ class NodeKernel {
     Counter* redirects_followed = nullptr;
     Counter* activations = nullptr;
     Counter* checkpoints = nullptr;
+    Counter* checkpoint_bases = nullptr;
+    Counter* checkpoint_deltas = nullptr;
+    Counter* checkpoint_noops = nullptr;
+    Counter* checkpoint_record_bytes = nullptr;
     Counter* crashes = nullptr;
     Counter* moves_out = nullptr;
     Counter* moves_in = nullptr;
@@ -337,13 +367,23 @@ class NodeKernel {
   std::unique_ptr<StableStore> store_;
   bool failed_ = false;
 
+  // active_ stays ordered: FailNode's iteration completes promises, so its
+  // order is observable in the execution trace (determinism_test).
   std::map<ObjectName, std::shared_ptr<ActiveObject>> active_;
   std::map<ObjectName, std::shared_ptr<ActiveObject>> replicas_;
+  // Behavior coroutines, owned so a frame still suspended when the kernel is
+  // torn down is destroyed instead of leaked (a behavior parked on a sleep or
+  // checkpoint future holds its object alive). A behavior that observes
+  // !alive() exits on its next resume; finished frames are reaped lazily in
+  // StartBehaviors.
+  std::vector<Task<void>> behaviors_;
   std::map<ObjectName, StationId> forwarding_;
-  std::map<ObjectName, StationId> location_cache_;
+  // Pure point-lookup tables: never iterated where order is observable.
+  std::unordered_map<ObjectName, StationId, ObjectNameHash> location_cache_;
 
   std::map<uint64_t, PendingInvocation> pending_invocations_;
-  std::map<uint64_t, PendingLocate> pending_locates_;
+  // Iterated only to cancel timers on node failure (order-insensitive).
+  std::unordered_map<uint64_t, PendingLocate> pending_locates_;
   std::map<ObjectName, uint64_t> locate_by_name_;
   std::map<uint64_t, PendingAck> pending_acks_;
   std::map<uint64_t, PendingMove> pending_moves_;

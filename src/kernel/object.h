@@ -97,6 +97,21 @@ struct ActiveObject {
   int total_running = 0;
   uint64_t invocations_served = 0;
 
+  // Delta-checkpoint chain bookkeeping (DESIGN.md §10). ckpt_has_base is
+  // true once a full base record is durably placed at the primary site for
+  // this activation; ckpt_chain_len counts the deltas written since. A fresh
+  // arrival (create, move-in) starts with no base, forcing the first
+  // checkpoint to write a full record.
+  bool ckpt_has_base = false;
+  uint64_t ckpt_chain_len = 0;
+  // No-op checkpoint support: a checkpoint of an object whose representation
+  // has no dirty bits — and whose policy/frozen flag match what the last
+  // record captured — writes nothing and returns the last write's future
+  // (durability is only claimed once that write lands).
+  std::optional<Future<Status>> ckpt_pending;
+  CheckpointPolicy ckpt_policy;
+  bool ckpt_frozen = false;
+
   // Move support: RunMove waits here until running invocations drain down to
   // `drain_threshold` (1 = the invocation requesting the move itself).
   std::optional<Promise<Unit>> drain_waiter;

@@ -149,6 +149,14 @@ class Task<void> {
 
   bool valid() const { return handle_ != nullptr; }
 
+  // Top-level alternative to co_await: starts the task with no continuation.
+  // On completion the frame suspends at final_suspend and waits for this
+  // Task's destructor — unlike DetachedTask, the owner controls the frame's
+  // lifetime, so a task still suspended at teardown is reclaimed rather than
+  // leaked. `done()` tells the owner the frame is reapable.
+  void Start() { handle_.resume(); }
+  bool done() const { return handle_ != nullptr && handle_.done(); }
+
   bool await_ready() const noexcept { return false; }
   std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) noexcept {
     handle_.promise().continuation = awaiter;
@@ -257,6 +265,24 @@ class Future {
     } else {
       state_->callbacks.push_back(std::move(fn));
     }
+  }
+
+  // Like OnReady, but passes the value and — unlike capturing this Future in
+  // an OnReady callback — does not keep the shared state alive from inside
+  // its own callback list. Use this whenever the callback needs the result,
+  // or when the future is also cached somewhere the callback references:
+  // capturing the future there forms a reference cycle that leaks any
+  // still-pending operation at teardown.
+  void OnReadyValue(std::function<void(const T&)> fn) {
+    if (ready()) {
+      fn(*state_->value);
+      return;
+    }
+    // The raw pointer is safe: the wrapper lives in this state's callback
+    // list, so it can only run (or be destroyed) while the state is alive.
+    auto* raw = state_.get();
+    state_->callbacks.push_back(
+        [raw, fn = std::move(fn)] { fn(*raw->value); });
   }
 
   // Awaitable interface.

@@ -1,11 +1,23 @@
 #include "src/storage/stable_store.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 namespace eden {
 
 StableStore::StableStore(Simulation& sim, DiskConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config) {
+  if (config_.track_count == 0) {
+    config_.track_count = 1;
+  }
+  if (config_.max_batch_ops == 0) {
+    config_.max_batch_ops = 1;
+  }
+  if (config_.max_writes_per_pass == 0) {
+    config_.max_writes_per_pass = 1;
+  }
+}
 
 void StableStore::set_metrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -17,71 +29,85 @@ void StableStore::set_metrics(MetricsRegistry* registry) {
   metrics_.deletes = &registry->counter("store.deletes");
   metrics_.read_bytes = &registry->counter("store.read_bytes");
   metrics_.written_bytes = &registry->counter("store.written_bytes");
+  metrics_.batched_writes = &registry->counter("store.batched_writes");
+  metrics_.batch_flushes = &registry->counter("store.batch_flushes");
   metrics_.bytes_used = &registry->gauge("store.bytes_used");
   metrics_.read_latency = &registry->histogram("store.read.latency");
   metrics_.write_latency = &registry->histogram("store.write.latency");
+  metrics_.arm_travel = &registry->histogram("store.arm_travel_tracks");
   UpdateBytesUsedGauge();
 }
 
-SimDuration StableStore::ServiceDelay(uint64_t bytes) {
-  double transfer_sec =
-      static_cast<double>(bytes) / config_.transfer_bytes_per_sec;
-  SimDuration service = config_.average_seek + config_.rotational_latency +
-                        static_cast<SimDuration>(transfer_sec * 1e9);
-  SimTime start = std::max(arm_free_at_, sim_.now());
-  arm_free_at_ = start + service;
-  stats_.busy_time += service;
-  return arm_free_at_ - sim_.now();
+uint32_t StableStore::TrackOf(const std::string& key) const {
+  // Records that differ only in a '#'-suffix (checkpoint delta links,
+  // "<base>#d<k>") share the base record's track — the cylinder-group
+  // placement a real filesystem gives an extent chain. Sequential chain
+  // appends and replays therefore pay settle-only seeks.
+  std::string_view placed(key);
+  size_t hash_pos = placed.find('#');
+  if (hash_pos != std::string_view::npos) {
+    placed = placed.substr(0, hash_pos);
+  }
+  return static_cast<uint32_t>(Fnv1a64(placed) % config_.track_count);
 }
 
-Future<Status> StableStore::Put(const std::string& key, Bytes value) {
+Future<Status> StableStore::Put(const std::string& key, SharedBytes value) {
   uint64_t new_bytes = value.size();
   auto existing = records_.find(key);
   uint64_t replaced = existing == records_.end() ? 0 : existing->second.size();
   if (bytes_used_ - replaced + new_bytes > config_.capacity_bytes) {
     Promise<Status> promise;
-    promise.Set(ResourceExhaustedError("disk full"));
+    promise.Set(ResourceExhaustedError(
+        "disk full: " + std::to_string(bytes_used_) + " used of " +
+        std::to_string(config_.capacity_bytes) + ", record needs " +
+        std::to_string(new_bytes) + " (replacing " + std::to_string(replaced) +
+        ")"));
     return promise.GetFuture();
   }
   // The record becomes visible in the index immediately (the kernel issues
   // dependent operations only after the completion future), but durability is
-  // only signalled after the simulated transfer.
+  // only signalled once its flush retires.
   bytes_used_ = bytes_used_ - replaced + new_bytes;
-  records_[key] = std::move(value);
+  records_[key] = value;
   stats_.writes++;
   stats_.written_bytes += new_bytes;
-  SimDuration delay = ServiceDelay(new_bytes);
   if (metrics_.writes != nullptr) {
     metrics_.writes->Increment();
     metrics_.written_bytes->Increment(new_bytes);
-    metrics_.write_latency->Record(delay);
     UpdateBytesUsedGauge();
   }
-  Promise<Status> promise;
-  sim_.Schedule(delay, [promise]() mutable { promise.Set(OkStatus()); });
-  return promise.GetFuture();
+
+  PendingOp op;
+  op.kind = PendingOp::kWrite;
+  op.track = TrackOf(key);
+  op.bytes = new_bytes;
+  Future<Status> done = op.done.GetFuture();
+  Enqueue(std::move(op));
+  return done;
 }
 
-Future<StatusOr<Bytes>> StableStore::Get(const std::string& key) {
-  Promise<StatusOr<Bytes>> promise;
+Future<StatusOr<SharedBytes>> StableStore::Get(const std::string& key) {
   auto it = records_.find(key);
   if (it == records_.end()) {
+    Promise<StatusOr<SharedBytes>> promise;
     promise.Set(NotFoundError("no such record: " + key));
     return promise.GetFuture();
   }
   stats_.reads++;
   stats_.read_bytes += it->second.size();
-  SimDuration delay = ServiceDelay(it->second.size());
   if (metrics_.reads != nullptr) {
     metrics_.reads->Increment();
     metrics_.read_bytes->Increment(it->second.size());
-    metrics_.read_latency->Record(delay);
   }
-  Bytes value = it->second;
-  sim_.Schedule(delay, [promise, value = std::move(value)]() mutable {
-    promise.Set(StatusOr<Bytes>(std::move(value)));
-  });
-  return promise.GetFuture();
+
+  PendingOp op;
+  op.kind = PendingOp::kRead;
+  op.track = TrackOf(key);
+  op.bytes = it->second.size();
+  op.value = it->second;  // refcounted snapshot at enqueue time
+  Future<StatusOr<SharedBytes>> done = op.read_done.GetFuture();
+  Enqueue(std::move(op));
+  return done;
 }
 
 Future<Status> StableStore::Delete(const std::string& key) {
@@ -95,10 +121,15 @@ Future<Status> StableStore::Delete(const std::string& key) {
       UpdateBytesUsedGauge();
     }
   }
-  SimDuration delay = ServiceDelay(0);
-  Promise<Status> promise;
-  sim_.Schedule(delay, [promise]() mutable { promise.Set(OkStatus()); });
-  return promise.GetFuture();
+  // A delete still costs a (zero-transfer) directory write; it joins write
+  // flushes like any other durable mutation.
+  PendingOp op;
+  op.kind = PendingOp::kDelete;
+  op.track = TrackOf(key);
+  op.bytes = 0;
+  Future<Status> done = op.done.GetFuture();
+  Enqueue(std::move(op));
+  return done;
 }
 
 std::vector<std::string> StableStore::Keys() const {
@@ -107,7 +138,232 @@ std::vector<std::string> StableStore::Keys() const {
   for (const auto& [key, value] : records_) {
     keys.push_back(key);
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
+}
+
+void StableStore::Enqueue(PendingOp op) {
+  op.seq = next_op_seq_++;
+  op.enqueued = sim_.now();
+  bool is_read = op.kind == PendingOp::kRead;
+  if (is_read) {
+    reads_pending_++;
+  }
+  pending_.push_back(std::move(op));
+  if (busy_) {
+    return;
+  }
+  // A read always spins the arm up immediately (and flushes any held
+  // writes along the way, per the scheduler's pick order). A write may be
+  // held for commit_interval so immediate followers can join its flush.
+  if (is_read || config_.commit_interval == 0) {
+    if (hold_timer_ != kInvalidEventId) {
+      sim_.Cancel(hold_timer_);
+      hold_timer_ = kInvalidEventId;
+    }
+    StartService();
+  } else if (hold_timer_ == kInvalidEventId) {
+    hold_timer_ = sim_.Schedule(config_.commit_interval, [this] {
+      hold_timer_ = kInvalidEventId;
+      StartService();
+    });
+  }
+}
+
+size_t StableStore::PickNext() const {
+  // Fairness: once max_writes_per_pass write services have run with a read
+  // waiting, the next service must be a read.
+  bool reads_only =
+      reads_pending_ > 0 && writes_since_read_ >= config_.max_writes_per_pass;
+
+  size_t best = pending_.size();
+  if (!config_.elevator) {
+    // FIFO: oldest eligible op.
+    for (size_t i = 0; i < pending_.size(); i++) {
+      if (reads_only && pending_[i].kind != PendingOp::kRead) continue;
+      if (best == pending_.size() || pending_[i].seq < pending_[best].seq) {
+        best = i;
+      }
+    }
+    return best;
+  }
+  // C-LOOK: smallest track at or ahead of the arm; if none, wrap to the
+  // smallest track overall. Ties (same track) go to arrival order.
+  auto better = [&](size_t a, size_t b) {  // is a better than b
+    if (b == pending_.size()) return true;
+    bool a_ahead = pending_[a].track >= arm_track_;
+    bool b_ahead = pending_[b].track >= arm_track_;
+    if (a_ahead != b_ahead) return a_ahead;
+    if (pending_[a].track != pending_[b].track) {
+      return pending_[a].track < pending_[b].track;
+    }
+    return pending_[a].seq < pending_[b].seq;
+  };
+  for (size_t i = 0; i < pending_.size(); i++) {
+    if (reads_only && pending_[i].kind != PendingOp::kRead) continue;
+    if (better(i, best)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+SimDuration StableStore::SeekTo(uint32_t track, uint32_t* travel_out) const {
+  if (arm_parked_) {
+    // No position knowledge after an idle spin-down: classic average seek.
+    *travel_out = config_.track_count / 2;
+    return config_.average_seek;
+  }
+  uint32_t travel;
+  if (config_.elevator) {
+    // C-LOOK: forward travel, or a full return stroke plus forward travel.
+    travel = track >= arm_track_
+                 ? track - arm_track_
+                 : (config_.track_count - arm_track_) + track;
+  } else {
+    travel = track >= arm_track_ ? track - arm_track_ : arm_track_ - track;
+  }
+  *travel_out = travel;
+  if (travel == 0) {
+    return config_.seek_settle;
+  }
+  return config_.seek_settle +
+         static_cast<SimDuration>(
+             static_cast<double>(config_.seek_full_stroke) * travel /
+             config_.track_count);
+}
+
+void StableStore::StartService() {
+  if (busy_ || pending_.empty()) {
+    return;
+  }
+  size_t lead = PickNext();
+  if (lead == pending_.size()) {
+    return;  // unreachable: pending_ non-empty always yields a pick
+  }
+  busy_ = true;
+
+  uint32_t travel = 0;
+  SimDuration seek = SeekTo(pending_[lead].track, &travel);
+
+  // Membership of this service: the lead op alone for reads; for writes and
+  // deletes, every other queued write/delete in pick order until a cap hits.
+  std::vector<size_t> members{lead};
+  uint64_t batch_bytes = pending_[lead].bytes;
+  if (pending_[lead].kind != PendingOp::kRead && config_.max_batch_ops > 1) {
+    // Remaining fairness budget bounds how many writes this flush may retire
+    // while a read waits.
+    size_t budget = config_.max_batch_ops;
+    if (reads_pending_ > 0) {
+      size_t pass_left =
+          config_.max_writes_per_pass > writes_since_read_
+              ? config_.max_writes_per_pass - writes_since_read_
+              : 1;
+      budget = std::min(budget, pass_left);
+    }
+    if (budget > members.size()) {
+      // Candidates in (track, seq) order starting from the lead's track so
+      // the arm keeps sweeping forward through the batch.
+      std::vector<size_t> candidates;
+      candidates.reserve(pending_.size());
+      for (size_t i = 0; i < pending_.size(); i++) {
+        if (i == lead || pending_[i].kind == PendingOp::kRead) continue;
+        candidates.push_back(i);
+      }
+      uint32_t origin = pending_[lead].track;
+      uint32_t tracks = config_.track_count;
+      std::sort(candidates.begin(), candidates.end(),
+                [&](size_t a, size_t b) {
+                  uint32_t da = (pending_[a].track + tracks - origin) % tracks;
+                  uint32_t db = (pending_[b].track + tracks - origin) % tracks;
+                  if (da != db) return da < db;
+                  return pending_[a].seq < pending_[b].seq;
+                });
+      for (size_t i : candidates) {
+        if (members.size() >= budget) break;
+        if (batch_bytes + pending_[i].bytes > config_.max_batch_bytes &&
+            !members.empty()) {
+          // Caps the flush transfer; oversized stragglers wait their turn.
+          continue;
+        }
+        batch_bytes += pending_[i].bytes;
+        members.push_back(i);
+      }
+    }
+  }
+
+  double transfer_sec =
+      static_cast<double>(batch_bytes) / config_.transfer_bytes_per_sec;
+  SimDuration service = seek + config_.rotational_latency +
+                        static_cast<SimDuration>(transfer_sec * 1e9);
+  stats_.busy_time += service;
+  if (metrics_.arm_travel != nullptr) {
+    metrics_.arm_travel->Record(static_cast<int64_t>(travel));
+  }
+
+  // The arm finishes at the last member's track (members are in sweep order).
+  arm_track_ = pending_[members.back()].track;
+  arm_parked_ = false;
+
+  // Bookkeeping for fairness and batching stats.
+  if (pending_[lead].kind == PendingOp::kRead) {
+    reads_pending_--;
+    writes_since_read_ = 0;
+  } else {
+    writes_since_read_ += members.size();
+    stats_.batch_flushes++;
+    if (metrics_.batch_flushes != nullptr) {
+      metrics_.batch_flushes->Increment();
+    }
+    if (members.size() > 1) {
+      stats_.batched_writes += members.size();
+      if (metrics_.batched_writes != nullptr) {
+        metrics_.batched_writes->Increment(
+            static_cast<uint64_t>(members.size()));
+      }
+    }
+  }
+
+  // Extract members from the queue (descending index order keeps the
+  // remaining indices valid), restoring sweep order for completion.
+  std::sort(members.begin(), members.end());
+  std::vector<PendingOp> service_ops;
+  service_ops.reserve(members.size());
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    service_ops.push_back(std::move(pending_[*it]));
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(*it));
+  }
+  std::sort(service_ops.begin(), service_ops.end(),
+            [](const PendingOp& a, const PendingOp& b) { return a.seq < b.seq; });
+
+  sim_.Schedule(service, [this, ops = std::move(service_ops)]() mutable {
+    CompleteOps(std::move(ops));
+  });
+}
+
+void StableStore::RecordOpLatency(const PendingOp& op) {
+  SimDuration latency = sim_.now() - op.enqueued;
+  Histogram* histogram = op.kind == PendingOp::kRead ? metrics_.read_latency
+                                                     : metrics_.write_latency;
+  if (histogram != nullptr) {
+    histogram->Record(latency);
+  }
+}
+
+void StableStore::CompleteOps(std::vector<PendingOp> ops) {
+  // Promises may resume coroutines that immediately issue new store ops;
+  // those just queue behind busy_ and are dispatched by the StartService
+  // below, keeping a single dispatch point.
+  for (PendingOp& op : ops) {
+    RecordOpLatency(op);
+    if (op.kind == PendingOp::kRead) {
+      op.read_done.Set(StatusOr<SharedBytes>(std::move(op.value)));
+    } else {
+      op.done.Set(OkStatus());
+    }
+  }
+  busy_ = false;
+  StartService();
 }
 
 }  // namespace eden

@@ -3,14 +3,36 @@
 // elsewhere). StableStore is the "reliable storage medium" of section 4.4:
 // its contents survive node failures; only the service *time* is simulated.
 //
-// Operations are asynchronous futures with a single-arm queueing model:
-// latency = queueing + seek + rotational + size / transfer rate.
+// The write path models the mechanisms a real 1981 disk subsystem would use
+// to survive checkpoint-heavy load (DESIGN.md §10 "Storage path"):
+//
+//   * Request scheduler: pending operations carry a track (a deterministic
+//     hash of the record key) and are serviced in C-LOOK elevator order —
+//     the arm sweeps toward higher tracks, then returns — instead of strict
+//     FIFO. Seek time is charged per track travelled (`seek_settle` +
+//     proportional share of `seek_full_stroke`); an idle ("parked") arm pays
+//     the classic `average_seek`. `elevator = false` restores FIFO for
+//     ablation baselines.
+//   * Group commit: writes (and deletes) that queue up while the arm is busy
+//     are coalesced into one batched durable flush — a single seek +
+//     rotational latency + the summed transfer — bounded by
+//     `max_batch_ops` / `max_batch_bytes`. `commit_interval` optionally
+//     holds a write that arrives at an idle arm, so immediately following
+//     writes can join its flush. Every operation keeps its own completion
+//     future and latency sample.
+//   * Read fairness: at most `max_writes_per_pass` write services may run
+//     while a read is waiting; then the elevator must pick a read. Reads are
+//     never batched (each wants its own rotational positioning).
+//
+// Capacity is enforced synchronously at Put time (ResourceExhausted), and
+// Delete / overwrite reclaim their bytes immediately — the in-core record
+// index is authoritative, as any real filesystem's would be.
 #ifndef EDEN_SRC_STORAGE_STABLE_STORE_H_
 #define EDEN_SRC_STORAGE_STABLE_STORE_H_
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -23,10 +45,28 @@ namespace eden {
 
 struct DiskConfig {
   // 1981-era Winchester drive.
-  SimDuration average_seek = Milliseconds(30);
+  SimDuration average_seek = Milliseconds(30);  // cold seek from a parked arm
   SimDuration rotational_latency = Milliseconds(8);
   double transfer_bytes_per_sec = 1.0e6;
   uint64_t capacity_bytes = 300ull << 20;
+
+  // --- Request scheduler -----------------------------------------------
+  // C-LOOK elevator over `track_count` tracks; false = strict FIFO.
+  bool elevator = true;
+  uint32_t track_count = 512;
+  SimDuration seek_settle = Milliseconds(4);       // track-to-track minimum
+  SimDuration seek_full_stroke = Milliseconds(52); // end-to-end arm travel
+
+  // --- Group commit ------------------------------------------------------
+  // Hold-off before servicing a write that arrives at an idle arm, letting
+  // immediately following writes join its flush (0 = start at once; reads
+  // always start the arm immediately).
+  SimDuration commit_interval = 0;
+  // Per-flush coalescing caps. max_batch_ops = 1 disables batching.
+  size_t max_batch_ops = 32;
+  uint64_t max_batch_bytes = 256 * 1024;
+  // Read fairness: write services allowed while a read waits.
+  size_t max_writes_per_pass = 8;
 };
 
 struct StoreStats {
@@ -35,6 +75,10 @@ struct StoreStats {
   uint64_t deletes = 0;
   uint64_t read_bytes = 0;
   uint64_t written_bytes = 0;
+  // Write/delete ops that shared a durable flush with at least one other.
+  uint64_t batched_writes = 0;
+  // Durable write flushes (each one seek + one rotational + summed transfer).
+  uint64_t batch_flushes = 0;
   SimDuration busy_time = 0;
 };
 
@@ -45,13 +89,20 @@ class StableStore {
   StableStore(const StableStore&) = delete;
   StableStore& operator=(const StableStore&) = delete;
 
-  // Writes (or overwrites) a record. Completes when the data is durable.
-  Future<Status> Put(const std::string& key, Bytes value);
+  // Writes (or overwrites) a record. The record is visible in the in-core
+  // index immediately; the future completes when the data is durable.
+  // Capacity overflow fails synchronously with ResourceExhausted and leaves
+  // any existing record untouched. The payload is refcounted, never copied.
+  Future<Status> Put(const std::string& key, SharedBytes value);
+  Future<Status> Put(const std::string& key, Bytes value) {
+    return Put(key, SharedBytes(std::move(value)));
+  }
 
-  // Reads a record; NotFound if absent.
-  Future<StatusOr<Bytes>> Get(const std::string& key);
+  // Reads a record; NotFound if absent (synchronously). The returned bytes
+  // are a refcounted snapshot taken at call time.
+  Future<StatusOr<SharedBytes>> Get(const std::string& key);
 
-  // Removes a record; OK even if absent.
+  // Removes a record; OK even if absent. Bytes are reclaimed immediately.
   Future<Status> Delete(const std::string& key);
 
   // Synchronous in-core directory checks (the kernel keeps the record index
@@ -59,15 +110,25 @@ class StableStore {
   bool Contains(const std::string& key) const { return records_.count(key) > 0; }
   size_t record_count() const { return records_.size(); }
   uint64_t bytes_used() const { return bytes_used_; }
+  // Sorted view: the index itself is an unordered map, but callers observe
+  // this listing (tests, shells), so it stays deterministic.
   std::vector<std::string> Keys() const;
+
+  // Scheduler introspection (tests, benches).
+  size_t queue_depth() const { return pending_.size(); }
+  // The track a key's record lives on (deterministic key-hash placement;
+  // a '#'-suffixed key shares its base key's track, so delta chains sit in
+  // one cylinder group).
+  uint32_t TrackOf(const std::string& key) const;
 
   const StoreStats& stats() const { return stats_; }
   const DiskConfig& config() const { return config_; }
 
-  // Mirrors the StoreStats counters into `registry` under store.* names and
-  // records per-operation service latency (queueing + seek + transfer) into
-  // store.read.latency / store.write.latency. The registry must outlive this
-  // store; nullptr detaches.
+  // Mirrors the StoreStats counters into `registry` under store.* names,
+  // records per-operation latency (queueing + seek + transfer) into
+  // store.read.latency / store.write.latency, and arm travel (in tracks,
+  // not nanoseconds) into store.arm_travel_tracks. The registry must
+  // outlive this store; nullptr detaches.
   void set_metrics(MetricsRegistry* registry);
 
  private:
@@ -77,14 +138,36 @@ class StableStore {
     Counter* deletes = nullptr;
     Counter* read_bytes = nullptr;
     Counter* written_bytes = nullptr;
+    Counter* batched_writes = nullptr;
+    Counter* batch_flushes = nullptr;
     Gauge* bytes_used = nullptr;
     Histogram* read_latency = nullptr;
     Histogram* write_latency = nullptr;
+    Histogram* arm_travel = nullptr;
   };
 
-  // Serializes requests through the single disk arm and returns the
-  // completion time of a transfer of `bytes`.
-  SimDuration ServiceDelay(uint64_t bytes);
+  struct PendingOp {
+    enum Kind : uint8_t { kRead, kWrite, kDelete };
+    Kind kind = kWrite;
+    uint32_t track = 0;
+    uint64_t bytes = 0;   // transfer size
+    uint64_t seq = 0;     // arrival order (FIFO mode + tie-break)
+    SimTime enqueued = 0;
+    Promise<Status> done;                      // write / delete
+    Promise<StatusOr<SharedBytes>> read_done;  // read
+    SharedBytes value;                         // read snapshot
+  };
+
+  void Enqueue(PendingOp op);
+  // Dispatches the next service (single read, or a coalesced write flush)
+  // if the arm is free and work is pending.
+  void StartService();
+  // Elevator / FIFO / fairness selection of the next op to service.
+  size_t PickNext() const;
+  // Seek cost of moving the arm to `track`, and the travel distance charged.
+  SimDuration SeekTo(uint32_t track, uint32_t* travel_out) const;
+  void CompleteOps(std::vector<PendingOp> ops);
+  void RecordOpLatency(const PendingOp& op);
 
   void UpdateBytesUsedGauge() {
     if (metrics_.bytes_used != nullptr) {
@@ -96,9 +179,17 @@ class StableStore {
   DiskConfig config_;
   StoreStats stats_;
   StoreMetrics metrics_;
-  std::map<std::string, Bytes> records_;
+  std::unordered_map<std::string, SharedBytes> records_;
   uint64_t bytes_used_ = 0;
-  SimTime arm_free_at_ = 0;
+
+  std::vector<PendingOp> pending_;
+  bool busy_ = false;
+  bool arm_parked_ = true;  // no position knowledge until the first service
+  uint32_t arm_track_ = 0;
+  uint64_t next_op_seq_ = 1;
+  size_t reads_pending_ = 0;
+  size_t writes_since_read_ = 0;
+  EventId hold_timer_ = kInvalidEventId;
 };
 
 }  // namespace eden

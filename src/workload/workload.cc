@@ -141,8 +141,13 @@ WorkloadStats RunOpenLoop(EdenSystem& system,
   auto seq = std::make_shared<uint64_t>(0);
   std::shared_ptr<std::function<void()>> arrive =
       std::make_shared<std::function<void()>>();
+  // Weak self-capture: a strong one would make the closure own itself and
+  // leak the whole run state. Each scheduled tick re-locks it, so the chain
+  // of pending arrival events keeps the closure alive exactly as long as the
+  // arrival process is running.
+  std::weak_ptr<std::function<void()>> weak_arrive = arrive;
   *arrive = [&system, client_nodes, factory, deadline, mean_gap_ns, seq, run,
-             per_request_timeout, arrive] {
+             per_request_timeout, weak_arrive] {
     if (system.sim().now() >= deadline) {
       run->issuing_done = true;
       return;
@@ -155,7 +160,8 @@ WorkloadStats RunOpenLoop(EdenSystem& system,
                           per_request_timeout, run));
     SimDuration gap = static_cast<SimDuration>(
         system.sim().rng().NextExponential(mean_gap_ns));
-    system.sim().Schedule(gap, [arrive] { (*arrive)(); });
+    system.sim().Schedule(gap,
+                          [arrive = weak_arrive.lock()] { (*arrive)(); });
   };
   (*arrive)();
   system.sim().RunWhile(

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "src/kernel/eden_system.h"
 #include "src/sim/simulation.h"
@@ -105,6 +106,50 @@ uint64_t RunMigrationWorkload(uint64_t seed) {
   return Fingerprint(system);
 }
 
+// Storage-path shaped: several objects on one node checkpoint concurrently
+// (delta chains + group commit on the shared disk arm), then the node fails
+// and every object reincarnates from base + replayed deltas. Exercises the
+// elevator scheduler, batched flushes and chain restore deterministically.
+uint64_t RunCheckpointWorkload(uint64_t seed) {
+  SystemConfig config;
+  config.seed = seed;
+  config.disk.commit_interval = Microseconds(500);
+  EdenSystem system(config);
+  RegisterStandardTypes(system);
+  system.AddNodes(3);
+
+  std::vector<Capability> caps;
+  for (int i = 0; i < 6; i++) {
+    Representation rep;
+    rep.set_data(0, Bytes(1024 + 256 * i, static_cast<uint8_t>(i)));
+    auto cap = system.node(0).CreateObject("std.data", rep);
+    EXPECT_TRUE(cap.ok());
+    caps.push_back(*cap);
+  }
+  for (int round = 0; round < 4; round++) {
+    std::vector<Future<Status>> checkpoints;
+    for (size_t i = 0; i < caps.size(); i++) {
+      EXPECT_TRUE(system
+                      .Await(system.node(1).Invoke(
+                          caps[i], "put",
+                          InvokeArgs{}.AddBytes(Bytes(
+                              512, static_cast<uint8_t>(round * 16 + i)))))
+                      .ok());
+      checkpoints.push_back(system.node(0).CheckpointObject(caps[i].name()));
+    }
+    for (auto& f : checkpoints) {
+      EXPECT_TRUE(system.Await(std::move(f)).ok());
+    }
+  }
+  system.node(0).FailNode();
+  system.node(0).RestartNode();
+  for (const Capability& cap : caps) {
+    EXPECT_TRUE(system.Await(system.node(2).Invoke(cap, "size")).ok());
+  }
+  system.RunFor(Milliseconds(5));
+  return Fingerprint(system);
+}
+
 class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DeterminismTest, InvocationWorkloadDigestIsSeedStable) {
@@ -113,6 +158,10 @@ TEST_P(DeterminismTest, InvocationWorkloadDigestIsSeedStable) {
 
 TEST_P(DeterminismTest, MigrationWorkloadDigestIsSeedStable) {
   EXPECT_EQ(RunMigrationWorkload(GetParam()), RunMigrationWorkload(GetParam()));
+}
+
+TEST_P(DeterminismTest, CheckpointWorkloadDigestIsSeedStable) {
+  EXPECT_EQ(RunCheckpointWorkload(GetParam()), RunCheckpointWorkload(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,

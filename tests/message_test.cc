@@ -134,12 +134,14 @@ TEST(MessageTest, CheckpointMessagesRoundTrip) {
   put.request_id = 13;
   put.reply_to = 1;
   put.name = ObjectName(2, 3, 4);
-  put.record = ToBytes("record bytes");
+  put.record = SharedBytes(ToBytes("record bytes"));
   put.is_mirror = true;
+  put.delta_seq = 7;
   auto decoded_put = CheckpointPutMsg::Decode(put.Encode());
   ASSERT_TRUE(decoded_put.ok());
   EXPECT_TRUE(decoded_put->is_mirror);
-  EXPECT_EQ(ToString(decoded_put->record), "record bytes");
+  EXPECT_EQ(decoded_put->delta_seq, 7u);
+  EXPECT_EQ(ToString(decoded_put->record.view()), "record bytes");
 
   CheckpointAckMsg ack;
   ack.request_id = 13;
