@@ -1,0 +1,215 @@
+// E13 — Chaos layer: availability and recovery latency under the standard
+// fault storm (DESIGN.md §11).
+//
+//   BM_InvokeUnderStorm/mode     A mirrored counter on a flaky node driven by
+//       a clean client. mode 0 = faults off (baseline wire with 2% loss);
+//       mode 1 = FaultPlan::StandardStorm (wire corruption/duplication/delay,
+//       flaky disks under the primary, crash-restart cycles, a partition/
+//       heal pair). Exports first-try availability, per-request invoke
+//       latency and — for requests that needed retries — the end-to-end
+//       recovery latency distribution (bench.chaos.recovery_latency).
+//
+//   BM_RestoreAfterCorruption/mode   Reincarnation latency when the primary
+//       checkpoint chain is damaged. mode 0 = intact chain (baseline restore),
+//       mode 1 = corrupt delta link (longest-intact-prefix fallback),
+//       mode 2 = corrupt base record (remote mirror promotion, including the
+//       DataLoss round-trip the first attempt pays). The bounded-recovery
+//       acceptance numbers come from these histograms.
+//
+// Run with --quick for a CI smoke (fewer iterations); --json=<path> to move
+// the metrics export.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fault/fault.h"
+
+namespace eden {
+namespace {
+
+void BM_InvokeUnderStorm(benchmark::State& state) {
+  const bool storm = state.range(0) == 1;
+  const std::string series = storm ? "chaos.storm" : "chaos.clean";
+  Histogram& invoke_latency =
+      BenchMetrics().histogram("bench." + series + ".invoke_latency");
+  Histogram& recovery_latency =
+      BenchMetrics().histogram("bench.chaos.recovery_latency");
+  Counter& unrecovered = BenchMetrics().counter("bench.chaos.unrecovered");
+
+  constexpr size_t kNodes = 6;
+  constexpr int kRounds = 40;
+  const SimTime storm_end = Seconds(6);
+  uint64_t iter = 0;
+  uint64_t requests = 0;
+  uint64_t first_try_ok = 0;
+  for (auto _ : state) {
+    SystemConfig config;
+    config.seed = 42 + iter++;
+    config.lan.loss_probability = 0.02;
+    EdenSystem system(config);
+    MetricsExportScope export_scope(system);
+    RegisterStandardTypes(system);
+    system.AddNodes(kNodes);
+    if (storm) {
+      system.EnableFaults(
+          FaultPlan::StandardStorm(kNodes, 3, Milliseconds(10), storm_end));
+    }
+
+    // Primary on flaky node 0, mirror on clean node 3; node 4 drives (its
+    // disk is clean and the storm's partition clips station 5, not it).
+    auto cap = system.node(0).CreateObject("std.counter", Representation{});
+    auto object = system.node(0).FindActive(cap->name());
+    object->policy = CheckpointPolicy{system.node(0).station(),
+                                      ReliabilityLevel::kMirrored,
+                                      system.node(3).station()};
+    system.Await(system.node(0).CheckpointObject(cap->name()));
+
+    SimTime start = system.sim().now();
+    for (int round = 0; round < kRounds; round++) {
+      requests++;
+      SimTime issued = system.sim().now();
+      InvokeResult result = system.Await(
+          system.node(4).Invoke(*cap, "increment", InvokeArgs{}.AddU64(1),
+                                InvokeOptions::WithTimeout(Seconds(2))));
+      if (result.ok()) {
+        first_try_ok++;
+        invoke_latency.Record(system.sim().now() - issued);
+      } else {
+        // Client-side retry loop: how long until the system serves us again?
+        bool recovered = false;
+        for (int attempt = 0; attempt < 8 && !recovered; attempt++) {
+          recovered = system
+                          .Await(system.node(4).Invoke(
+                              *cap, "increment", InvokeArgs{}.AddU64(1),
+                              InvokeOptions::WithTimeout(Seconds(10))))
+                          .ok();
+        }
+        if (recovered) {
+          recovery_latency.Record(system.sim().now() - issued);
+        } else {
+          unrecovered.Increment();
+        }
+      }
+      if (round % 4 == 3) {
+        system.Await(system.node(4).Invoke(
+            *cap, "checkpoint", {}, InvokeOptions::WithTimeout(Seconds(10))));
+      }
+      system.RunFor(Milliseconds(100));
+    }
+    // Past the storm the system must serve immediately: one final read.
+    while (system.sim().now() < storm_end) {
+      system.RunFor(Milliseconds(250));
+    }
+    InvokeResult final_read = system.Await(system.node(4).Invoke(
+        *cap, "read", {}, InvokeOptions::WithTimeout(Seconds(30))));
+    if (!final_read.ok()) {
+      unrecovered.Increment();
+    }
+    SetVirtualTime(state, system.sim().now() - start, series);
+  }
+  state.counters["first_try_pct"] = benchmark::Counter(
+      requests == 0 ? 0.0
+                    : 100.0 * static_cast<double>(first_try_ok) /
+                          static_cast<double>(requests));
+  state.counters["req_per_vsec"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InvokeUnderStorm)->Arg(0)->Arg(1)->UseManualTime();
+
+void BM_RestoreAfterCorruption(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const std::string series = mode == 0   ? "chaos.restore_clean"
+                             : mode == 1 ? "chaos.restore_prefix"
+                                         : "chaos.restore_mirror";
+  Histogram& restore_latency =
+      BenchMetrics().histogram("bench." + series + ".restore_latency");
+  Counter& unrecovered = BenchMetrics().counter("bench.chaos.unrecovered");
+
+  uint64_t iter = 0;
+  for (auto _ : state) {
+    SystemConfig config;
+    config.seed = 1000 + iter++;
+    EdenSystem system(config);
+    MetricsExportScope export_scope(system);
+    RegisterStandardTypes(system);
+    system.AddNodes(4);
+
+    auto cap = system.node(0).CreateObject("std.counter", Representation{});
+    auto object = system.node(0).FindActive(cap->name());
+    object->policy = CheckpointPolicy{system.node(0).station(),
+                                      ReliabilityLevel::kMirrored,
+                                      system.node(3).station()};
+    // Base + one delta link on both the primary and the mirror chain.
+    system.Await(system.node(0).Invoke(*cap, "increment",
+                                       InvokeArgs{}.AddU64(7)));
+    system.Await(system.node(0).CheckpointObject(cap->name()));
+    system.Await(system.node(0).Invoke(*cap, "increment",
+                                       InvokeArgs{}.AddU64(7)));
+    system.Await(system.node(0).CheckpointObject(cap->name()));
+    system.Await(system.node(0).Invoke(*cap, "crash", {}));
+
+    const std::string base_key = "ckpt/" + cap->name().ToKey();
+    if (mode == 1) {
+      system.node(0).store().CorruptRecord(base_key + "#d1");
+    } else if (mode == 2) {
+      system.node(0).store().CorruptRecord(base_key);
+    }
+
+    // Time from the first read to a served reply — including, in mode 2,
+    // the DataLoss the quarantined primary hands the first attempt before
+    // the mirror holder answers the next locate.
+    SimTime start = system.sim().now();
+    bool recovered = false;
+    for (int attempt = 0; attempt < 4 && !recovered; attempt++) {
+      recovered = system
+                      .Await(system.node(1).Invoke(
+                          *cap, "read", {},
+                          InvokeOptions::WithTimeout(Seconds(10))))
+                      .ok();
+    }
+    if (recovered) {
+      restore_latency.Record(system.sim().now() - start);
+    } else {
+      unrecovered.Increment();
+    }
+    SetVirtualTime(state, system.sim().now() - start, series);
+  }
+}
+BENCHMARK(BM_RestoreAfterCorruption)->Arg(0)->Arg(1)->Arg(2)->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+// Custom main: EDEN_BENCH_MAIN plus a --quick flag (CI smoke) that caps the
+// per-benchmark virtual-time budget.
+int main(int argc, char** argv) {
+  std::string json_path =
+      ::eden::ConsumeJsonFlag(&argc, argv, "BENCH_bench_chaos.json");
+  bool quick = false;
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int run_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&run_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(run_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!::eden::WriteBenchJson("bench_chaos", json_path)) {
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,13 @@
 #   3. Smoke-run the storage benchmark (--quick) so the perf harness itself
 #      stays green; the JSON export lands in the asan build dir and is
 #      discarded.
+#   4. Chaos smoke: re-run the seeded fault-matrix shard on its own, then run
+#      bench_chaos --quick and gate its recovery/availability histograms
+#      against the committed baseline (bench/baselines/BENCH_bench_chaos.json;
+#      virtual-time metrics, so the comparison is machine-independent).
+#      Regenerate the baseline with
+#        build/bench/bench_chaos --quick --json=bench/baselines/BENCH_bench_chaos.json
+#      when a change intentionally moves recovery latency.
 #
 #   scripts/ci.sh [jobs]
 set -eu
@@ -30,5 +37,14 @@ cmake --build "$repo_root/build-asan" -j "$jobs"
 echo "== bench smoke (storage fast path) =="
 "$repo_root/build/bench/bench_storage" --quick \
   --json="$repo_root/build/BENCH_bench_storage_smoke.json"
+
+echo "== chaos smoke (fault matrix + recovery-latency gate) =="
+"$repo_root/build/tests/fault_test" \
+  --gtest_filter='Storms/FaultMatrix.*:FaultDeterminism.*'
+"$repo_root/build/bench/bench_chaos" --quick \
+  --json="$repo_root/build/BENCH_bench_chaos.json"
+"$repo_root/scripts/perf_compare.py" \
+  "$repo_root/bench/baselines/BENCH_bench_chaos.json" \
+  "$repo_root/build/BENCH_bench_chaos.json" --gate 10
 
 echo "CI OK"

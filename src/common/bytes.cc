@@ -184,6 +184,44 @@ uint64_t Fnv1a64(std::string_view text) {
   return Fnv1a64(reinterpret_cast<const uint8_t*>(text.data()), text.size());
 }
 
+namespace {
+
+// Table-driven reflected CRC-32; the table is built once on first use.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t entries[256];
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; bit++) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = crc;
+    }
+    return entries;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Begin() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size) {
+  const uint32_t* table = Crc32Table();
+  for (size_t i = 0; i < size; i++) {
+    state = (state >> 8) ^ table[(state ^ data[i]) & 0xffu];
+  }
+  return state;
+}
+
+uint32_t Crc32End(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32(const uint8_t* data, size_t size) {
+  return Crc32End(Crc32Update(Crc32Begin(), data, size));
+}
+
+uint32_t Crc32(BytesView bytes) { return Crc32(bytes.data(), bytes.size()); }
+
 void Digest::Mix(uint64_t value) {
   for (int i = 0; i < 8; i++) {
     state_ ^= (value >> (8 * i)) & 0xff;

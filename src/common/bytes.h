@@ -173,6 +173,19 @@ uint64_t Fnv1a64(const uint8_t* data, size_t size);
 uint64_t Fnv1a64(BytesView bytes);
 uint64_t Fnv1a64(std::string_view text);
 
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum a
+// 1981-era controller would compute in hardware. Used to detect wire
+// bit-flips on transport frames and at-rest corruption / torn writes on
+// stable-store records. Not a defense against adversaries (see Fnv1a64
+// note); it exists to make injected faults *detectable* instead of silent.
+uint32_t Crc32(const uint8_t* data, size_t size);
+uint32_t Crc32(BytesView bytes);
+// Incremental form for multi-buffer frames (header + body): seed with
+// Crc32Begin(), fold in each buffer, finish with Crc32End().
+uint32_t Crc32Begin();
+uint32_t Crc32Update(uint32_t state, const uint8_t* data, size_t size);
+uint32_t Crc32End(uint32_t state);
+
 // Incremental digest for hashing event traces.
 class Digest {
  public:

@@ -1,5 +1,7 @@
 #include "src/kernel/eden_system.h"
 
+#include <algorithm>
+
 #include "src/trace/trace.h"
 
 namespace eden {
@@ -35,7 +37,63 @@ NodeKernel& EdenSystem::AddNodeWithConfig(const std::string& name,
                                           TransportConfig transport) {
   nodes_.push_back(
       std::make_unique<NodeKernel>(*this, name, kernel, disk, transport));
+  if (fault_injector_ != nullptr) {
+    nodes_.back()->store().set_fault_hook(
+        fault_injector_->DiskHookFor(nodes_.size() - 1));
+  }
   return *nodes_.back();
+}
+
+void EdenSystem::EnableFaults(const FaultPlan& plan, TraceBuffer* trace) {
+  assert(fault_injector_ == nullptr && "EnableFaults may be called only once");
+  fault_injector_ = std::make_unique<FaultInjector>(sim_, plan);
+  FaultInjector* injector = fault_injector_.get();
+  injector->set_metrics(&metrics_);
+  if (trace != nullptr) {
+    injector->set_event_sink([this, trace](const char* kind, uint32_t site) {
+      TraceEvent event;
+      event.when = sim_.now();
+      event.kind = TraceEventKind::kFaultInjected;
+      event.node = site == FaultInjector::kNoFaultSite ? 0 : site;
+      event.detail = kind;
+      trace->Record(std::move(event));
+    });
+  }
+  lan_.set_fault_hook(injector);
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    nodes_[i]->store().set_fault_hook(injector->DiskHookFor(i));
+  }
+
+  for (const PartitionEpoch& epoch : plan.partitions) {
+    sim_.ScheduleAt(std::max(epoch.at, sim_.now()),
+                    [this, groups = epoch.groups] {
+                      if (groups.empty()) {
+                        lan_.ClearPartitions();
+                      } else {
+                        for (const auto& [station, group] : groups) {
+                          lan_.SetPartitionGroup(station, group);
+                        }
+                      }
+                      fault_injector_->RecordPartitionEpoch();
+                    });
+  }
+  for (const CrashEvent& crash : plan.crashes) {
+    sim_.ScheduleAt(std::max(crash.fail_at, sim_.now()), [this, crash] {
+      if (crash.node >= nodes_.size() || nodes_[crash.node]->failed()) {
+        return;
+      }
+      nodes_[crash.node]->FailNode();
+      fault_injector_->RecordNodeFailure(crash.node);
+      sim_.Schedule(crash.down_for, [this, node = crash.node] {
+        // A test may have restarted (or re-failed) the node itself; only
+        // undo the failure this schedule caused.
+        if (node < nodes_.size() && nodes_[node]->failed()) {
+          nodes_[node]->RestartNode();
+          fault_injector_->RecordNodeRestart(node);
+        }
+      });
+    });
+  }
 }
 
 void EdenSystem::AddNodes(size_t count) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/fault.h"
 #include "src/kernel/node_kernel.h"
 #include "src/metrics/metrics.h"
 #include "src/net/lan.h"
@@ -114,6 +115,16 @@ class EdenSystem {
   size_t node_count() const { return nodes_.size(); }
   NodeKernel* NodeAt(StationId station);
 
+  // --- Fault injection (chaos layer, DESIGN.md §11) ---------------------------
+  // Arms `plan`: installs the injector's wire hook on the Lan and its disk
+  // hooks on every node's stable store (nodes added later are hooked as they
+  // are built), schedules the plan's partition and crash-restart timelines,
+  // and mirrors injected-fault counts into metrics() under fault.*. With a
+  // trace buffer, every injected fault is also recorded as a kFaultInjected
+  // event, interleaved with the recoveries it provokes. Call at most once.
+  void EnableFaults(const FaultPlan& plan, TraceBuffer* trace = nullptr);
+  FaultInjector* faults() { return fault_injector_.get(); }
+
   // --- Type registry ---------------------------------------------------------
   void RegisterType(std::shared_ptr<TypeManager> type);
   std::shared_ptr<TypeManager> FindType(const std::string& type_name) const;
@@ -154,6 +165,7 @@ class EdenSystem {
   // Holds lan.* instruments; must outlive (so precede) lan_.
   MetricsRegistry metrics_;
   Lan lan_;
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::vector<std::unique_ptr<NodeKernel>> nodes_;
   std::map<std::string, std::shared_ptr<TypeManager>> types_;
 };

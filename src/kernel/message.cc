@@ -27,7 +27,7 @@ StatusOr<MessageKind> PeekMessageKind(BytesView message) {
   }
   uint8_t tag = message[0];
   if (tag < static_cast<uint8_t>(MessageKind::kInvokeRequest) ||
-      tag > static_cast<uint8_t>(MessageKind::kReplicaReply)) {
+      tag > static_cast<uint8_t>(MessageKind::kPing)) {
     return InvalidArgumentError("unknown message kind");
   }
   return static_cast<MessageKind>(tag);
@@ -278,6 +278,16 @@ StatusOr<ReplicaReplyMsg> ReplicaReplyMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.type_name, reader.ReadString());
   EDEN_ASSIGN_OR_RETURN(msg.representation, Representation::Decode(reader));
   return msg;
+}
+
+Bytes PingMsg::Encode() const {
+  return StartMessage(MessageKind::kPing).Take();
+}
+
+StatusOr<PingMsg> PingMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kPing));
+  return PingMsg{};
 }
 
 }  // namespace eden

@@ -31,6 +31,10 @@ enum class MessageKind : uint8_t {
   kCheckpointErase = 10,  // destroy: remove long-term state
   kReplicaFetch = 11,   // pull a frozen object's representation for caching
   kReplicaReply = 12,
+  // Peer-health probe (DESIGN.md §11). Carries nothing: the transport-level
+  // ack of this reliable send is the "peer is alive" answer, so no reply
+  // message exists.
+  kPing = 13,
 };
 
 // Reads the kind tag without consuming the rest.
@@ -172,6 +176,11 @@ struct ReplicaReplyMsg {
 
   Bytes Encode() const;
   static StatusOr<ReplicaReplyMsg> Decode(BytesView message);
+};
+
+struct PingMsg {
+  Bytes Encode() const;
+  static StatusOr<PingMsg> Decode(BytesView message);
 };
 
 }  // namespace eden

@@ -48,7 +48,10 @@ Future<Status> ReadyStatus(Status status) {
 NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
                        KernelConfig config, DiskConfig disk,
                        TransportConfig transport)
-    : system_(system), node_name_(std::move(node_name)), config_(config) {
+    : system_(system),
+      node_name_(std::move(node_name)),
+      config_(config),
+      rng_(system.sim().rng().Fork()) {
   InitMetrics();
   transport_ = std::make_unique<Transport>(system_.sim(), system_.lan(), transport);
   store_ = std::make_unique<StableStore>(system_.sim(), disk);
@@ -56,6 +59,13 @@ NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
   store_->set_metrics(&metrics_);
   transport_->SetHandler(
       [this](StationId src, BytesView message) { OnMessage(src, message); });
+  transport_->SetSendOutcomeHandler([this](StationId dst, bool delivered) {
+    if (delivered) {
+      ReportPeerAlive(dst);
+    } else {
+      ReportPeerFailure(dst);
+    }
+  });
 }
 
 NodeKernel::~NodeKernel() = default;
@@ -87,6 +97,13 @@ void NodeKernel::InitMetrics() {
   counters_.replica_fetches = &metrics_.counter("kernel.replica.fetches");
   counters_.replica_reads = &metrics_.counter("kernel.replica.reads");
   counters_.duplicate_requests = &metrics_.counter("kernel.duplicate_requests");
+  counters_.peer_suspects = &metrics_.counter("kernel.peer.suspects");
+  counters_.peer_probes = &metrics_.counter("kernel.peer.probes");
+  counters_.peer_recoveries = &metrics_.counter("kernel.peer.recoveries");
+  counters_.suspect_fast_fails = &metrics_.counter("kernel.peer.fast_fails");
+  counters_.restore_fallbacks = &metrics_.counter("kernel.restore.fallbacks");
+  counters_.restore_quarantines =
+      &metrics_.counter("kernel.restore.quarantines");
   invoke_latency_local_ = &metrics_.histogram("kernel.invoke.latency.local");
   invoke_latency_remote_ = &metrics_.histogram("kernel.invoke.latency.remote");
   locate_latency_ = &metrics_.histogram("kernel.locate.latency");
@@ -148,6 +165,88 @@ std::shared_ptr<ActiveObject> NodeKernel::FindActive(const ObjectName& name) con
     return nullptr;
   }
   return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Peer health (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+bool NodeKernel::PeerSuspect(StationId peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.mode == PeerState::Mode::kSuspect;
+}
+
+int NodeKernel::PeerConsecutiveFailures(StationId peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.consecutive_failures;
+}
+
+void NodeKernel::ReportPeerAlive(StationId peer) {
+  // Healthy peers have no entry, so the common case is one failed lookup.
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    return;
+  }
+  if (it->second.mode == PeerState::Mode::kSuspect) {
+    counters_.peer_recoveries->Increment();
+    Trace(TraceEventKind::kPeerRecovered, ObjectName::Null(), peer);
+  }
+  sim().Cancel(it->second.probe_timer);
+  peers_.erase(it);
+}
+
+void NodeKernel::ReportPeerFailure(StationId peer) {
+  if (!config_.peer_health || failed_ || peer == station() ||
+      peer == kBroadcastStation) {
+    return;
+  }
+  PeerState& state = peers_[peer];
+  state.consecutive_failures++;
+  if (state.mode == PeerState::Mode::kHealthy) {
+    if (state.consecutive_failures < config_.suspect_after_failures) {
+      return;
+    }
+    state.mode = PeerState::Mode::kSuspect;
+    state.probes_sent = 0;
+    counters_.peer_suspects->Increment();
+    Trace(TraceEventKind::kPeerSuspect, ObjectName::Null(), peer);
+  }
+  // Suspect (newly or still): keep exactly one probe pending. The failure
+  // that lands here may itself be a probe's give-up, which is what walks the
+  // interval up the backoff ladder.
+  if (state.probe_timer == kInvalidEventId) {
+    SchedulePeerProbe(peer);
+  }
+}
+
+void NodeKernel::SchedulePeerProbe(StationId peer) {
+  PeerState& state = peers_[peer];
+  double interval = static_cast<double>(config_.probe_interval);
+  for (int k = 0;
+       k < state.probes_sent &&
+       interval < static_cast<double>(config_.probe_interval_max);
+       k++) {
+    interval *= config_.probe_backoff;
+  }
+  interval =
+      std::min(interval, static_cast<double>(config_.probe_interval_max));
+  state.probe_timer = sim().Schedule(static_cast<SimDuration>(interval),
+                                     [this, peer] { SendPeerProbe(peer); });
+}
+
+void NodeKernel::SendPeerProbe(StationId peer) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || failed_) {
+    return;
+  }
+  it->second.probe_timer = kInvalidEventId;
+  it->second.probes_sent++;
+  counters_.peer_probes->Increment();
+  Trace(TraceEventKind::kPeerProbe, ObjectName::Null(), peer);
+  // The transport outcome resolves the probe: an ack reports the peer alive
+  // (clearing the suspicion), a give-up reports another failure (scheduling
+  // the next, further-backed-off probe).
+  transport_->SendReliable(peer, PingMsg{}.Encode());
 }
 
 // ---------------------------------------------------------------------------
@@ -322,6 +421,14 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
     TryResolve(id);
     return;
   }
+  if (config_.peer_health && PeerSuspect(host)) {
+    // Fast-fail: recent traffic already proved this peer unresponsive, so
+    // don't burn a full attempt timeout on it — count the attempt and
+    // re-locate now. The probe loop owns its rehabilitation.
+    counters_.suspect_fast_fails->Increment();
+    FailAttempt(id, host, "object unreachable");
+    return;
+  }
   PendingInvocation& pending = it->second;
   counters_.invocations_remote->Increment();
   pending.current_host = host;
@@ -338,7 +445,7 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
 
   sim().Cancel(pending.attempt_timer);
   pending.attempt_timer =
-      sim().Schedule(config_.attempt_timeout + SerializeCost(encoded.size()),
+      sim().Schedule(AttemptTimeout(pending.attempts, encoded.size()),
                      [this, id] { OnAttemptTimeout(id); });
 
   sim().Schedule(SerializeCost(encoded.size()),
@@ -349,24 +456,52 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
                  });
 }
 
-void NodeKernel::OnAttemptTimeout(uint64_t id) {
+SimDuration NodeKernel::AttemptTimeout(int attempts, size_t bytes) {
+  double timeout = static_cast<double>(config_.attempt_timeout);
+  for (int k = 0;
+       k < attempts && timeout < static_cast<double>(config_.attempt_timeout_max);
+       k++) {
+    timeout *= config_.attempt_backoff;
+  }
+  timeout = std::min(timeout, static_cast<double>(config_.attempt_timeout_max));
+  if (config_.attempt_jitter > 0) {
+    timeout *= 1.0 + (rng_.NextDouble() * 2.0 - 1.0) * config_.attempt_jitter;
+  }
+  return static_cast<SimDuration>(timeout) + SerializeCost(bytes);
+}
+
+void NodeKernel::FailAttempt(uint64_t id, StationId host,
+                             const char* give_up_message) {
   auto it = pending_invocations_.find(id);
   if (it == pending_invocations_.end()) {
     return;
   }
   PendingInvocation& pending = it->second;
   pending.attempts++;
-  if (pending.current_host != kNoStation) {
-    pending.dead_hosts.insert(pending.current_host);
+  if (host != kNoStation) {
+    pending.dead_hosts.insert(host);
   }
   location_cache_.erase(pending.target.name());
   if (pending.attempts >= config_.max_attempts) {
     counters_.invocations_unavailable->Increment();
     CompleteInvocation(
-        id, InvokeResult::Error(UnavailableError("object unreachable")));
+        id, InvokeResult::Error(UnavailableError(give_up_message)));
     return;
   }
   StartLocate(id);
+}
+
+void NodeKernel::OnAttemptTimeout(uint64_t id) {
+  auto it = pending_invocations_.find(id);
+  if (it == pending_invocations_.end()) {
+    return;
+  }
+  StationId host = it->second.current_host;
+  // The silence that timed this attempt out is also peer-health evidence.
+  if (host != kNoStation) {
+    ReportPeerFailure(host);
+  }
+  FailAttempt(id, host, "object unreachable");
 }
 
 void NodeKernel::StartLocate(uint64_t id) {
@@ -424,9 +559,21 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
     }
     it->second.attempts++;
     if (it->second.attempts >= config_.max_locate_attempts) {
+      ObjectName name = it->second.name;
       std::vector<uint64_t> waiting = std::move(it->second.waiting);
-      locate_by_name_.erase(it->second.name);
+      locate_by_name_.erase(name);
       pending_locates_.erase(it);
+      if (config_.restore_fallback && !store_->Contains(CheckpointKey(name)) &&
+          store_->Contains(MirrorKey(name))) {
+        // Nobody answered for the object, but we hold its mirror chain: the
+        // primary site is gone, so promote the mirror and reincarnate here
+        // rather than failing the waiters (RunActivation does the promote).
+        for (uint64_t id : waiting) {
+          activation_local_waiters_[name].push_back(id);
+        }
+        BeginActivation(name);
+        return;
+      }
       for (uint64_t id : waiting) {
         counters_.invocations_unavailable->Increment();
         CompleteInvocation(
@@ -462,6 +609,8 @@ void NodeKernel::OnMessage(StationId src, BytesView message) {
   if (failed_) {
     return;
   }
+  // Any traffic from a peer is liveness evidence (find-only on healthy peers).
+  ReportPeerAlive(src);
   auto kind = PeekMessageKind(message);
   if (!kind.ok()) {
     EDEN_LOG(kWarning, "kernel") << node_name_ << ": undecodable message";
@@ -552,6 +701,9 @@ void NodeKernel::OnMessage(StationId src, BytesView message) {
       }
       break;
     }
+    case MessageKind::kPing:
+      // Health probe: the transport-level ack already answered it.
+      break;
   }
 }
 
@@ -611,6 +763,15 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
     }
   }
   if (store_->Contains(CheckpointKey(name))) {
+    requests_in_progress_.insert(id);
+    activation_remote_hold_[name].push_back(std::move(dispatch));
+    BeginActivation(name);
+    return;
+  }
+  if (config_.restore_fallback && store_->Contains(MirrorKey(name))) {
+    // Mirror-only holder targeted directly (our delayed locate reply won,
+    // so the primary passive site is gone): promote the mirror chain and
+    // reincarnate from it (RunActivation does the promote).
     requests_in_progress_.insert(id);
     activation_remote_hold_[name].push_back(std::move(dispatch));
     BeginActivation(name);
@@ -713,6 +874,27 @@ void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg)
                      reply.name = name;
                      reply.host = station();
                      reply.active = active_.count(name) > 0;
+                     transport_->SendBestEffort(reply_to, reply.Encode());
+                   });
+    return;
+  }
+  if (config_.restore_fallback && store_->Contains(MirrorKey(name))) {
+    // Mirror-only holder: answer at twice the passive delay, so both an
+    // active host and the primary passive site always win. If neither
+    // exists any more, this reply is the invoker's only path back to the
+    // state — the resulting request promotes our mirror chain.
+    sim().Schedule(config_.passive_locate_reply_delay * 2,
+                   [this, query_id = msg.query_id, name,
+                    reply_to = msg.reply_to] {
+                     if (failed_ || store_->Contains(CheckpointKey(name)) ||
+                         !store_->Contains(MirrorKey(name))) {
+                       return;
+                     }
+                     LocateReplyMsg reply;
+                     reply.query_id = query_id;
+                     reply.name = name;
+                     reply.host = station();
+                     reply.active = false;
                      transport_->SendBestEffort(reply_to, reply.Encode());
                    });
   }
@@ -919,80 +1101,74 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     }
   };
 
-  StatusOr<SharedBytes> record = co_await store_->Get(CheckpointKey(name));
+  RestoredChain chain;
+  Status restored = co_await ReadCheckpointChain(name, chain);
   if (failed_) {
     co_return;
   }
-  if (!record.ok()) {
-    fail_waiters(DataLossError("no checkpoint for " + name.ToString()));
+  bool complete = restored.ok() && !chain.corrupt;
+
+  if (!complete && config_.restore_fallback) {
+    // Tier 1: promote the local mirror chain (if any) over the damaged or
+    // missing primary and re-read. Covers both a corrupt primary with a
+    // healthy local mirror and the mirror-only holder reincarnating after
+    // the primary site died.
+    if (store_->Contains(MirrorKey(name))) {
+      (void)co_await CopyMirrorChain(name);
+      if (failed_) {
+        co_return;
+      }
+      RestoredChain retry;
+      Status reread = co_await ReadCheckpointChain(name, retry);
+      if (failed_) {
+        co_return;
+      }
+      if (reread.ok()) {
+        // The promotion rewrote the primary chain; whatever it produced is
+        // now the on-disk truth, corrupt tail or not.
+        chain = std::move(retry);
+        restored = OkStatus();
+        if (!chain.corrupt) {
+          complete = true;
+          counters_.restore_fallbacks->Increment();
+          Trace(TraceEventKind::kFallbackRestore, name, 0, "mirror");
+        }
+      } else if (reread.code() != StatusCode::kNotFound) {
+        restored = reread;
+      }
+    }
+    // Tier 2: the longest intact prefix — every state the object ever had
+    // acked durable up to the first bad link — beats data loss. Drop the
+    // unusable tail so the on-disk chain matches what was restored.
+    if (!complete && restored.ok() && chain.prefix_ok && chain.corrupt_at >= 1) {
+      EraseDeltaChain(name, /*is_mirror=*/false, chain.corrupt_at);
+      counters_.restore_fallbacks->Increment();
+      Trace(TraceEventKind::kFallbackRestore, name, 0,
+            "prefix@" + std::to_string(chain.corrupt_at));
+      complete = true;
+    }
+  }
+
+  if (!complete) {
+    if (!restored.ok() && restored.code() == StatusCode::kNotFound) {
+      fail_waiters(DataLossError("no checkpoint for " + name.ToString()));
+    } else {
+      // Unusable chain with no usable fallback: quarantine it so later
+      // locates stop landing on this site (a surviving mirror elsewhere
+      // becomes the answer instead).
+      if (config_.restore_fallback && store_->Contains(CheckpointKey(name))) {
+        counters_.restore_quarantines->Increment();
+        EraseDeltaChain(name, /*is_mirror=*/false);
+        store_->Delete(CheckpointKey(name));
+      }
+      fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
+    }
     co_return;
   }
 
-  BufferReader reader(record->view());
-  auto tag = reader.ReadU8();
-  if (!tag.ok() ||
-      *tag != static_cast<uint8_t>(CheckpointRecordKind::kBase)) {
-    fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
-    co_return;
-  }
-  auto type_name = reader.ReadString();
-  auto policy = type_name.ok() ? CheckpointPolicy::Decode(reader)
-                               : StatusOr<CheckpointPolicy>(type_name.status());
-  auto frozen = policy.ok() ? reader.ReadBool() : StatusOr<bool>(policy.status());
-  auto rep = frozen.ok() ? Representation::Decode(reader)
-                         : StatusOr<Representation>(frozen.status());
-  if (!rep.ok()) {
-    fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
-    co_return;
-  }
-
-  // Replay the delta chain on top of the base. Links are contiguous by
-  // construction (WriteLocalCheckpoint's guard), so the first missing key
-  // ends the chain. Policy and frozen-ness track the newest link.
-  uint64_t chain_len = 0;
-  bool corrupt = false;
-  for (uint64_t k = 1;
-       store_->Contains(DeltaKey(name, k, /*is_mirror=*/false)); k++) {
-    StatusOr<SharedBytes> delta =
-        co_await store_->Get(DeltaKey(name, k, /*is_mirror=*/false));
-    if (failed_) {
-      co_return;
-    }
-    if (!delta.ok()) {
-      corrupt = true;
-      break;
-    }
-    BufferReader delta_reader(delta->view());
-    auto delta_tag = delta_reader.ReadU8();
-    if (!delta_tag.ok() ||
-        *delta_tag != static_cast<uint8_t>(CheckpointRecordKind::kDelta)) {
-      corrupt = true;
-      break;
-    }
-    auto delta_type = delta_reader.ReadString();
-    auto delta_policy = delta_type.ok()
-                            ? CheckpointPolicy::Decode(delta_reader)
-                            : StatusOr<CheckpointPolicy>(delta_type.status());
-    auto delta_frozen = delta_policy.ok()
-                            ? delta_reader.ReadBool()
-                            : StatusOr<bool>(delta_policy.status());
-    if (!delta_frozen.ok() || *delta_type != *type_name ||
-        !rep->ApplyDelta(delta_reader).ok()) {
-      corrupt = true;
-      break;
-    }
-    policy = *delta_policy;
-    frozen = *delta_frozen;
-    chain_len = k;
-  }
-  if (corrupt) {
-    fail_waiters(DataLossError("corrupt checkpoint for " + name.ToString()));
-    co_return;
-  }
-
-  std::shared_ptr<TypeManager> type = system_.FindType(*type_name);
+  std::shared_ptr<TypeManager> type = system_.FindType(chain.type_name);
   if (type == nullptr) {
-    fail_waiters(DataLossError("unknown type in checkpoint: " + *type_name));
+    fail_waiters(DataLossError("unknown type in checkpoint: " + chain.type_name));
     co_return;
   }
 
@@ -1000,16 +1176,16 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
   object->name = name;
   object->core = std::make_shared<ObjectCore>();
   object->core->name = name;
-  object->core->rep = std::move(*rep);
+  object->core->rep = std::move(chain.rep);
   object->core->rep.ClearDirty();
-  object->policy = *policy;
-  object->frozen = *frozen;
+  object->policy = chain.policy;
+  object->frozen = chain.frozen;
   // The restored state is exactly what is on disk: resume the chain (and
   // let a mutation-free checkpoint be a no-op).
   object->ckpt_has_base = true;
-  object->ckpt_chain_len = chain_len;
-  object->ckpt_policy = *policy;
-  object->ckpt_frozen = *frozen;
+  object->ckpt_chain_len = chain.chain_len;
+  object->ckpt_policy = chain.policy;
+  object->ckpt_frozen = chain.frozen;
   object->activating = true;
   active_[name] = object;
   UpdateActiveGauge();
@@ -1056,6 +1232,91 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     object->hold_queue.pop_front();
     AcceptDispatch(object, std::move(d));
   }
+}
+
+Task<Status> NodeKernel::ReadCheckpointChain(const ObjectName& name,
+                                             RestoredChain& out) {
+  StatusOr<SharedBytes> record = co_await store_->Get(CheckpointKey(name));
+  if (failed_) {
+    co_return AbortedError("node failed during restore");
+  }
+  if (!record.ok()) {
+    // Missing base passes through as kNotFound; a checksum failure (the
+    // store reads under verify_checksums) or other read error is data loss.
+    co_return record.status().code() == StatusCode::kNotFound
+        ? record.status()
+        : DataLossError("corrupt checkpoint for " + name.ToString());
+  }
+
+  BufferReader reader(record->view());
+  auto tag = reader.ReadU8();
+  if (!tag.ok() ||
+      *tag != static_cast<uint8_t>(CheckpointRecordKind::kBase)) {
+    co_return DataLossError("corrupt checkpoint for " + name.ToString());
+  }
+  auto type_name = reader.ReadString();
+  auto policy = type_name.ok() ? CheckpointPolicy::Decode(reader)
+                               : StatusOr<CheckpointPolicy>(type_name.status());
+  auto frozen = policy.ok() ? reader.ReadBool() : StatusOr<bool>(policy.status());
+  auto rep = frozen.ok() ? Representation::Decode(reader)
+                         : StatusOr<Representation>(frozen.status());
+  if (!rep.ok()) {
+    co_return DataLossError("corrupt checkpoint for " + name.ToString());
+  }
+  out.type_name = *type_name;
+  out.policy = *policy;
+  out.frozen = *frozen;
+  out.rep = std::move(*rep);
+  out.chain_len = 0;
+  out.corrupt = false;
+  out.corrupt_at = 0;
+  out.prefix_ok = true;
+
+  // Replay the delta chain on top of the base. Links are contiguous by
+  // construction (WriteLocalCheckpoint's guard), so the first missing key
+  // ends the chain. Policy and frozen-ness track the newest link. Each link
+  // applies to a scratch copy, so a link that fails mid-apply leaves `rep`
+  // at the intact prefix instead of half-mutated.
+  for (uint64_t k = 1;
+       store_->Contains(DeltaKey(name, k, /*is_mirror=*/false)); k++) {
+    StatusOr<SharedBytes> delta =
+        co_await store_->Get(DeltaKey(name, k, /*is_mirror=*/false));
+    if (failed_) {
+      co_return AbortedError("node failed during restore");
+    }
+    if (!delta.ok()) {
+      out.corrupt = true;
+      out.corrupt_at = k;
+      break;
+    }
+    BufferReader delta_reader(delta->view());
+    auto delta_tag = delta_reader.ReadU8();
+    if (!delta_tag.ok() ||
+        *delta_tag != static_cast<uint8_t>(CheckpointRecordKind::kDelta)) {
+      out.corrupt = true;
+      out.corrupt_at = k;
+      break;
+    }
+    auto delta_type = delta_reader.ReadString();
+    auto delta_policy = delta_type.ok()
+                            ? CheckpointPolicy::Decode(delta_reader)
+                            : StatusOr<CheckpointPolicy>(delta_type.status());
+    auto delta_frozen = delta_policy.ok()
+                            ? delta_reader.ReadBool()
+                            : StatusOr<bool>(delta_policy.status());
+    Representation scratch = out.rep;
+    if (!delta_frozen.ok() || *delta_type != out.type_name ||
+        !scratch.ApplyDelta(delta_reader).ok()) {
+      out.corrupt = true;
+      out.corrupt_at = k;
+      break;
+    }
+    out.rep = std::move(scratch);
+    out.policy = *delta_policy;
+    out.frozen = *delta_frozen;
+    out.chain_len = k;
+  }
+  co_return OkStatus();
 }
 
 void NodeKernel::StartBehaviors(const std::shared_ptr<ActiveObject>& object) {
@@ -1717,6 +1978,12 @@ void NodeKernel::FailNode() {
   activating_.clear();
   activation_local_waiters_.clear();
   activation_remote_hold_.clear();
+  // Peer-health state is volatile too: a reborn node presumes everyone
+  // healthy. Probe timers must die with it (order-insensitive iteration).
+  for (auto& [peer, state] : peers_) {
+    sim().Cancel(state.probe_timer);
+  }
+  peers_.clear();
 }
 
 void NodeKernel::RestartNode() {

@@ -25,6 +25,7 @@
 #include "src/kernel/type_manager.h"
 #include "src/metrics/metrics.h"
 #include "src/net/transport.h"
+#include "src/sim/rng.h"
 #include "src/storage/stable_store.h"
 #include "src/trace/trace.h"
 
@@ -69,6 +70,30 @@ struct KernelConfig {
   // is dirty anyway) the chain is folded into a fresh base record.
   bool checkpoint_deltas = true;
   uint64_t checkpoint_delta_limit = 8;
+
+  // Invocation attempt backoff (DESIGN.md §11). Attempt k waits
+  // attempt_timeout * attempt_backoff^k before giving up on the host, capped
+  // at attempt_timeout_max, with ±attempt_jitter (a fraction) of seeded
+  // jitter so retry storms from many clients decorrelate.
+  double attempt_backoff = 2.0;
+  SimDuration attempt_timeout_max = Seconds(10);
+  double attempt_jitter = 0.2;
+
+  // Peer health (DESIGN.md §11). After suspect_after_failures consecutive
+  // reliable-send failures to a peer, the peer is suspect: requests to it
+  // fail fast into re-location while a cheap ping probe — retried with
+  // probe_backoff up to probe_interval_max — gates its return to service.
+  bool peer_health = true;
+  int suspect_after_failures = 3;
+  SimDuration probe_interval = Milliseconds(200);
+  double probe_backoff = 2.0;
+  SimDuration probe_interval_max = Seconds(5);
+
+  // Activation fallback (DESIGN.md §11). When the primary checkpoint chain
+  // is corrupt or torn, reincarnation tries the local mirror chain, then the
+  // longest intact chain prefix, before declaring data loss; an unusable
+  // chain is quarantined so locates stop landing on it.
+  bool restore_fallback = true;
 };
 
 // Snapshot of the kernel's registry-backed counters (see NodeKernel::stats).
@@ -141,14 +166,6 @@ class NodeKernel {
                               InvokeArgs args = {},
                               const InvokeOptions& options = kDefaultInvokeOptions);
 
-  // Deprecated positional-timeout form; use InvokeOptions::WithTimeout (or a
-  // designated-initializer InvokeOptions) instead. Kept for one release.
-  [[deprecated("pass InvokeOptions instead of a positional timeout")]]
-  Future<InvokeResult> Invoke(const Capability& target, const std::string& op,
-                              InvokeArgs args, SimDuration timeout) {
-    return Invoke(target, op, std::move(args), InvokeOptions::WithTimeout(timeout));
-  }
-
   // --- Failure injection ------------------------------------------------------
   // Node failure: all volatile state (active objects, caches, in-flight
   // messages) is lost; the stable store survives.
@@ -164,6 +181,11 @@ class NodeKernel {
   bool IsActive(const ObjectName& name) const { return active_.count(name) > 0; }
   bool HasReplica(const ObjectName& name) const { return replicas_.count(name) > 0; }
   bool HasCheckpoint(const ObjectName& name) const;
+  // Peer-health introspection (tests, policy drivers): whether `peer` is
+  // currently suspect, and its consecutive-failure count (0 when healthy —
+  // healthy peers carry no state at all).
+  bool PeerSuspect(StationId peer) const;
+  int PeerConsecutiveFailures(StationId peer) const;
   std::shared_ptr<ActiveObject> FindActive(const ObjectName& name) const;
   size_t active_count() const { return active_.size(); }
 
@@ -246,6 +268,24 @@ class NodeKernel {
   void LocateAttempt(uint64_t query_id);
   void CompleteInvocation(uint64_t id, InvokeResult result);
   void OnAttemptTimeout(uint64_t id);
+  // Mark this attempt's host dead, count the attempt, and either re-locate
+  // or complete with `give_up_message` if the attempt budget is spent.
+  void FailAttempt(uint64_t id, StationId host, const char* give_up_message);
+  // Per-host attempt timeout: exponential in `attempts` with seeded jitter.
+  SimDuration AttemptTimeout(int attempts, size_t bytes);
+
+  // --- Peer health (DESIGN.md §11) -------------------------------------------
+  struct PeerState {
+    enum class Mode { kHealthy, kSuspect };
+    Mode mode = Mode::kHealthy;
+    int consecutive_failures = 0;
+    int probes_sent = 0;
+    EventId probe_timer = kInvalidEventId;
+  };
+  void ReportPeerAlive(StationId peer);
+  void ReportPeerFailure(StationId peer);
+  void SchedulePeerProbe(StationId peer);
+  void SendPeerProbe(StationId peer);
 
   // --- Message plumbing --------------------------------------------------------
   void OnMessage(StationId src, BytesView message);
@@ -276,6 +316,24 @@ class NodeKernel {
   // --- Activation (reincarnation) -------------------------------------------------
   void BeginActivation(const ObjectName& name);
   DetachedTask RunActivation(ObjectName name);
+  // Result of replaying a checkpoint chain from the store. `corrupt_at` is
+  // the first unusable delta link (base failures surface as a non-OK status
+  // instead); links [1, corrupt_at) are already applied to `rep` when
+  // `prefix_ok` is set, so a fallback can resume from that prefix.
+  struct RestoredChain {
+    std::string type_name;
+    CheckpointPolicy policy;
+    bool frozen = false;
+    Representation rep;
+    uint64_t chain_len = 0;
+    uint64_t corrupt_at = 0;
+    bool corrupt = false;
+    bool prefix_ok = false;
+  };
+  // Reads base + delta chain for `name`. Non-OK when the base record is
+  // missing (kNotFound) or unreadable/corrupt (kDataLoss); OK otherwise,
+  // with `out.corrupt` flagging a bad delta link partway down the chain.
+  Task<Status> ReadCheckpointChain(const ObjectName& name, RestoredChain& out);
   void StartBehaviors(const std::shared_ptr<ActiveObject>& object);
   Task<void> RunBehavior(std::shared_ptr<ActiveObject> object, std::string name,
                          BehaviorBody body);
@@ -345,6 +403,12 @@ class NodeKernel {
     Counter* replica_fetches = nullptr;
     Counter* replica_reads = nullptr;
     Counter* duplicate_requests = nullptr;
+    Counter* peer_suspects = nullptr;
+    Counter* peer_probes = nullptr;
+    Counter* peer_recoveries = nullptr;
+    Counter* suspect_fast_fails = nullptr;
+    Counter* restore_fallbacks = nullptr;
+    Counter* restore_quarantines = nullptr;
   };
   void InitMetrics();
   void RecordInvocationLatency(const PendingInvocation& pending);
@@ -356,6 +420,9 @@ class NodeKernel {
   EdenSystem& system_;
   std::string node_name_;
   KernelConfig config_;
+  // Kernel-private randomness (attempt jitter), forked from the simulation
+  // seed so chaotic runs stay reproducible.
+  Rng rng_;
   // Declared before the transport and store, which hold pointers into it.
   MetricsRegistry metrics_;
   KernelCounters counters_;
@@ -380,6 +447,10 @@ class NodeKernel {
   std::map<ObjectName, StationId> forwarding_;
   // Pure point-lookup tables: never iterated where order is observable.
   std::unordered_map<ObjectName, StationId, ObjectNameHash> location_cache_;
+
+  // Peers with recent consecutive send failures (healthy peers are absent).
+  // Iterated only to cancel probe timers on node failure.
+  std::unordered_map<StationId, PeerState> peers_;
 
   std::map<uint64_t, PendingInvocation> pending_invocations_;
   // Iterated only to cancel timers on node failure (order-insensitive).

@@ -41,6 +41,10 @@ void Lan::set_metrics(MetricsRegistry* registry) {
   metrics_.transmit_failures = &registry->counter("lan.transmit_failures");
   metrics_.bytes_on_wire = &registry->counter("lan.bytes_on_wire");
   metrics_.queue_delay = &registry->histogram("lan.queue_delay");
+  metrics_.frames_corrupted = &registry->counter("lan.frames_corrupted");
+  metrics_.frames_duplicated = &registry->counter("lan.frames_duplicated");
+  metrics_.frames_delayed = &registry->counter("lan.frames_delayed");
+  metrics_.frames_dropped_fault = &registry->counter("lan.frames_dropped_fault");
 }
 
 Lan::~Lan() = default;
@@ -221,6 +225,19 @@ void Lan::FinishTransmission(Station* station, Frame frame) {
       Bump(metrics_.frames_lost);
       return;
     }
+    if (fault_hook_ != nullptr) {
+      WireFaultHook::Decision decision =
+          fault_hook_->OnDeliver(src, dst, f.wire_size());
+      if (decision.drop) {
+        stats_.frames_dropped_fault++;
+        Bump(metrics_.frames_dropped_fault);
+        return;
+      }
+      if (decision.corrupt || decision.duplicate || decision.extra_delay > 0) {
+        DeliverWithFaults(dst, f, decision);
+        return;
+      }
+    }
     stats_.frames_delivered++;
     Bump(metrics_.frames_delivered);
     stations_[dst]->Deliver(f);
@@ -247,6 +264,63 @@ void Lan::FinishTransmission(Station* station, Frame frame) {
     });
   } else {
     station->transmitting_or_waiting_ = false;
+  }
+}
+
+void Lan::DeliverWithFaults(StationId dst, const Frame& frame,
+                            const WireFaultHook::Decision& decision) {
+  Frame copy;
+  copy.src = frame.src;
+  copy.dst = frame.dst;
+  copy.header = frame.header;
+  copy.body = frame.body;
+  copy.enqueued_at = frame.enqueued_at;
+
+  if (decision.corrupt && copy.wire_size() > 0) {
+    // One random bit flips somewhere in the frame. The body is a zero-copy
+    // slice of the sender's retransmit buffer, so a body hit must flatten
+    // the whole frame into a private header first — never mutate the shared
+    // buffer the sender will retransmit from.
+    size_t bit = rng_.NextBelow(copy.wire_size() * 8);
+    size_t byte = bit / 8;
+    if (byte >= copy.header.size()) {
+      Bytes flat = copy.header;
+      flat.insert(flat.end(), copy.body.data(),
+                  copy.body.data() + copy.body.size());
+      copy.header = std::move(flat);
+      copy.body = SharedBytes();
+    }
+    copy.header[byte] ^= static_cast<uint8_t>(1u << (bit % 8));
+    stats_.frames_corrupted++;
+    Bump(metrics_.frames_corrupted);
+  }
+
+  auto deliver_copy = [this, dst](const Frame& f) {
+    if (!Reachable(f.src, dst)) {
+      stats_.frames_dropped_partition++;
+      return;
+    }
+    stats_.frames_delivered++;
+    Bump(metrics_.frames_delivered);
+    stations_[dst]->Deliver(f);
+  };
+
+  if (decision.extra_delay > 0) {
+    stats_.frames_delayed++;
+    Bump(metrics_.frames_delayed);
+    auto shared = std::make_shared<Frame>(copy);
+    sim_.Schedule(decision.extra_delay,
+                  [shared, deliver_copy] { deliver_copy(*shared); });
+  } else {
+    deliver_copy(copy);
+  }
+
+  if (decision.duplicate) {
+    stats_.frames_duplicated++;
+    Bump(metrics_.frames_duplicated);
+    auto shared = std::make_shared<Frame>(std::move(copy));
+    sim_.Schedule(decision.extra_delay + config_.slot_time,
+                  [shared, deliver_copy] { deliver_copy(*shared); });
   }
 }
 

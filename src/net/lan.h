@@ -78,9 +78,33 @@ struct LanStats {
   uint64_t transmit_failures = 0;  // gave up after max attempts
   uint64_t bytes_on_wire = 0;      // includes per-frame overhead
   SimDuration busy_time = 0;       // total time the medium carried bits
+  // Injected by a WireFaultHook (chaos harness), not the base loss model.
+  uint64_t frames_corrupted = 0;   // delivered with flipped bits
+  uint64_t frames_duplicated = 0;  // delivered twice
+  uint64_t frames_delayed = 0;     // delivered late (reordering jitter)
+  uint64_t frames_dropped_fault = 0;
 };
 
 class Lan;
+
+// Per-delivery fault decision, consulted by the Lan between the loss model
+// and the receiver (i.e. the frame survived partitions and base loss).
+// Implemented by the chaos harness (src/fault); the Lan itself applies the
+// decision — flips a seeded bit, schedules the duplicate or the delay — so
+// the hook stays a pure policy object and rng draw order stays with the Lan.
+class WireFaultHook {
+ public:
+  virtual ~WireFaultHook() = default;
+
+  struct Decision {
+    bool drop = false;       // swallow the frame (counted separately from loss)
+    bool corrupt = false;    // flip one random bit before delivery
+    bool duplicate = false;  // deliver a second copy one slot later
+    SimDuration extra_delay = 0;  // defer delivery (reorders against others)
+  };
+  virtual Decision OnDeliver(StationId src, StationId dst,
+                             size_t wire_bytes) = 0;
+};
 
 // One network interface attached to the LAN. Owned by the Lan.
 class Station {
@@ -135,6 +159,10 @@ class Lan {
 
   void set_loss_probability(double p) { config_.loss_probability = p; }
 
+  // Installs (or clears, with nullptr) the chaos harness's per-delivery fault
+  // hook. The hook must outlive this Lan.
+  void set_fault_hook(WireFaultHook* hook) { fault_hook_ = hook; }
+
   const LanConfig& config() const { return config_; }
   const LanStats& stats() const { return stats_; }
   Simulation& sim() { return sim_; }
@@ -164,6 +192,10 @@ class Lan {
     Counter* transmit_failures = nullptr;
     Counter* bytes_on_wire = nullptr;
     Histogram* queue_delay = nullptr;
+    Counter* frames_corrupted = nullptr;
+    Counter* frames_duplicated = nullptr;
+    Counter* frames_delayed = nullptr;
+    Counter* frames_dropped_fault = nullptr;
   };
 
   static void Bump(Counter* counter, uint64_t n = 1) {
@@ -179,6 +211,10 @@ class Lan {
   void HandleCollision(Station* first, Station* second);
   void ScheduleRetry(Station* station, bool after_collision);
   bool Reachable(StationId from, StationId to) const;
+  // Applies the fault hook's decision (bit flip, duplicate, delay) and hands
+  // the (possibly mutated copy of the) frame to the destination station.
+  void DeliverWithFaults(StationId dst, const Frame& frame,
+                         const WireFaultHook::Decision& decision);
 
   Simulation& sim_;
   LanConfig config_;
@@ -189,6 +225,7 @@ class Lan {
   std::vector<bool> detached_;
   SimTime busy_until_ = 0;
   std::optional<Transmission> current_;
+  WireFaultHook* fault_hook_ = nullptr;
   Rng rng_;
 };
 

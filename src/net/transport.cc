@@ -8,13 +8,33 @@
 namespace eden {
 
 namespace {
-// Per-fragment header budget inside one LAN frame: kind (1) + msg id (8) +
-// reliable (1) + index/count varints (<=10) + empty ACK block (1), rounded
-// up. Full-size fragments leave no slack, so ACKs only piggyback on frames
-// with room to spare.
-constexpr size_t kFragmentHeaderBytes = 24;
+// Every frame leads with kind (1) + CRC32 (4) over the rest of the header
+// plus the body — the simulated equivalent of the Ethernet FCS the LAN
+// model only charges as overhead bytes.
+constexpr size_t kFrameChecksumBytes = 5;
+// Per-fragment header budget inside one LAN frame: kind + CRC (5) + msg id
+// (8) + reliable (1) + index/count varints (<=10) + empty ACK block (1),
+// rounded up. Full-size fragments leave no slack, so ACKs only piggyback on
+// frames with room to spare.
+constexpr size_t kFragmentHeaderBytes = 28;
 // Worst-case wire cost of one piggybacked ACK id (u64, plus varint growth).
 constexpr size_t kAckIdBytes = 9;
+
+// Checksums the kind tag, `payload` (the header bytes after kind+crc) and
+// `body`, and returns the completed frame header. The kind byte must be
+// covered: a flip there would otherwise route the frame to the wrong (or no)
+// handler while the rest of the checksum still verifies.
+Bytes SealFrame(uint8_t kind, BufferWriter& payload, const SharedBytes& body) {
+  uint32_t crc = Crc32Begin();
+  crc = Crc32Update(crc, &kind, 1);
+  crc = Crc32Update(crc, payload.buffer().data(), payload.size());
+  crc = Crc32Update(crc, body.data(), body.size());
+  BufferWriter header;
+  header.WriteU8(kind);
+  header.WriteU32(Crc32End(crc));
+  header.WriteRaw(payload.buffer().data(), payload.size());
+  return header.Take();
+}
 }  // namespace
 
 Transport::Transport(Simulation& sim, Lan& lan, TransportConfig config)
@@ -39,6 +59,8 @@ void Transport::set_metrics(MetricsRegistry* registry) {
   counters_.acks_sent = &registry->counter("transport.acks_sent");
   counters_.acks_piggybacked = &registry->counter("transport.acks_piggybacked");
   counters_.fragments_sent = &registry->counter("transport.fragments_sent");
+  counters_.frames_corrupt_dropped =
+      &registry->counter("transport.frames_corrupt_dropped");
 }
 
 // ---------------------------------------------------------------------------
@@ -81,7 +103,6 @@ void Transport::TransmitFragments(PendingSend& pending) {
     size_t offset = i * max_chunk;
     size_t len = std::min(max_chunk, size - offset);
     BufferWriter writer;
-    writer.WriteU8(kData);
     writer.WriteU64(pending.msg_id);
     writer.WriteBool(pending.reliable);
     writer.WriteVarint(i);
@@ -89,8 +110,8 @@ void Transport::TransmitFragments(PendingSend& pending) {
     AppendPiggybackAcks(writer, pending.dst, len);
     Frame frame;
     frame.dst = pending.dst;
-    frame.header = writer.Take();
     frame.body = pending.message.Slice(offset, len);
+    frame.header = SealFrame(kData, writer, frame.body);
     station_->Send(std::move(frame));
     stats_.fragments_sent++;
     Bump(counters_.fragments_sent);
@@ -153,7 +174,11 @@ void Transport::OnRetryTimer() {
           << "station " << station_->id() << " gave up on message " << msg_id;
       stats_.send_failures++;
       Bump(counters_.send_failures);
+      StationId dst = pending.dst;
       pending_.erase(it);
+      if (on_send_outcome_) {
+        on_send_outcome_(dst, /*delivered=*/false);
+      }
       continue;
     }
     pending.retransmits++;
@@ -176,7 +201,8 @@ void Transport::AppendPiggybackAcks(BufferWriter& writer, StationId dst,
   size_t n = 0;
   auto it = pending_acks_.find(dst);
   if (it != pending_acks_.end() && !it->second.empty()) {
-    size_t used = writer.size() + body_bytes + 1;  // +1: the count varint
+    // +1: the count varint; the kind+CRC prefix is added by SealFrame later.
+    size_t used = kFrameChecksumBytes + writer.size() + body_bytes + 1;
     size_t max_payload = lan_.config().max_payload_bytes;
     size_t slack = max_payload > used ? max_payload - used : 0;
     n = std::min({it->second.size(), config_.max_acks_per_frame,
@@ -223,14 +249,13 @@ void Transport::FlushPeerAcks(StationId peer, std::vector<uint64_t>& ids) {
        start += config_.max_acks_per_frame) {
     size_t n = std::min(config_.max_acks_per_frame, ids.size() - start);
     BufferWriter writer;
-    writer.WriteU8(kAck);
     writer.WriteVarint(n);
     for (size_t j = 0; j < n; j++) {
       writer.WriteU64(ids[start + j]);
     }
     Frame ack;
     ack.dst = peer;
-    ack.header = writer.Take();
+    ack.header = SealFrame(kAck, writer, ack.body);
     station_->Send(std::move(ack));
     stats_.acks_sent++;
     stats_.ack_ids_sent += n;
@@ -261,7 +286,27 @@ void Transport::MaybeCancelAckTimer() {
 void Transport::OnFrame(const Frame& frame) {
   BufferReader reader(frame.header);
   auto kind = reader.ReadU8();
-  if (!kind.ok()) {
+  auto crc = kind.ok() ? reader.ReadU32() : StatusOr<uint32_t>(kind.status());
+  if (!crc.ok()) {
+    stats_.frames_corrupt_dropped++;
+    Bump(counters_.frames_corrupt_dropped);
+    return;
+  }
+  // Verify before trusting any field — a flipped bit may sit anywhere,
+  // including the kind tag itself. A corrupt frame is indistinguishable from
+  // a lost one: drop it and let the sender's retransmission recover.
+  uint32_t actual = Crc32Begin();
+  actual = Crc32Update(actual, frame.header.data(), 1);  // the kind tag
+  size_t checked = reader.position();
+  actual = Crc32Update(actual, frame.header.data() + checked,
+                       frame.header.size() - checked);
+  actual = Crc32Update(actual, frame.body.data(), frame.body.size());
+  if (Crc32End(actual) != *crc) {
+    stats_.frames_corrupt_dropped++;
+    Bump(counters_.frames_corrupt_dropped);
+    EDEN_LOG(kDebug, "transport")
+        << "station " << station_->id() << " dropped corrupt frame from "
+        << frame.src;
     return;
   }
   switch (*kind) {
@@ -293,7 +338,16 @@ void Transport::HandleAck(BufferReader& reader) {
 void Transport::AckMsgId(uint64_t msg_id) {
   // The retry heap entry goes stale and is skipped when it surfaces; no
   // simulation event needs cancelling.
-  pending_.erase(msg_id);
+  auto it = pending_.find(msg_id);
+  if (it == pending_.end()) {
+    return;  // duplicate ACK
+  }
+  StationId dst = it->second.dst;
+  bool reliable = it->second.reliable;
+  pending_.erase(it);
+  if (reliable && on_send_outcome_) {
+    on_send_outcome_(dst, /*delivered=*/true);
+  }
 }
 
 void Transport::DeliverFastPath(const Frame& frame, uint64_t msg_id,

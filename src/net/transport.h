@@ -69,6 +69,9 @@ struct TransportStats {
   uint64_t ack_ids_sent = 0;   // message ids carried in standalone ACK frames
   uint64_t acks_piggybacked = 0;  // message ids carried on data frames
   uint64_t fragments_sent = 0;
+  // Frames whose CRC32 failed verification: treated exactly like lost frames
+  // (the sender's retransmission recovers the message).
+  uint64_t frames_corrupt_dropped = 0;
 };
 
 class Transport {
@@ -79,6 +82,16 @@ class Transport {
 
   // Attaches a fresh station to `lan`.
   Transport(Simulation& sim, Lan& lan, TransportConfig config = {});
+
+  // Observes the fate of every *reliable* send: `delivered` is true when the
+  // peer's ACK arrives, false when the transport gives up after
+  // max_retransmits. The kernel's peer-health tracker feeds on this. The
+  // handler may issue new sends. Invoked after the pending entry is retired,
+  // never for Reset()-discarded messages.
+  using SendOutcomeHandler = std::function<void(StationId dst, bool delivered)>;
+  void SetSendOutcomeHandler(SendOutcomeHandler handler) {
+    on_send_outcome_ = std::move(handler);
+  }
 
   Transport(const Transport&) = delete;
   Transport& operator=(const Transport&) = delete;
@@ -140,6 +153,7 @@ class Transport {
     Counter* acks_sent = nullptr;
     Counter* acks_piggybacked = nullptr;
     Counter* fragments_sent = nullptr;
+    Counter* frames_corrupt_dropped = nullptr;
   };
 
   static void Bump(Counter* counter, uint64_t n = 1) {
@@ -176,6 +190,7 @@ class Transport {
   TransportStats stats_;
   TransportCounters counters_;
   Handler handler_;
+  SendOutcomeHandler on_send_outcome_;
   uint64_t next_msg_id_ = 1;
 
   std::unordered_map<uint64_t, PendingSend> pending_;

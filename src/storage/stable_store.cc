@@ -35,6 +35,8 @@ void StableStore::set_metrics(MetricsRegistry* registry) {
   metrics_.read_latency = &registry->histogram("store.read.latency");
   metrics_.write_latency = &registry->histogram("store.write.latency");
   metrics_.arm_travel = &registry->histogram("store.arm_travel_tracks");
+  metrics_.checksum_failures = &registry->counter("store.checksum_failures");
+  metrics_.write_faults = &registry->counter("store.write_faults");
   UpdateBytesUsedGauge();
 }
 
@@ -54,7 +56,8 @@ uint32_t StableStore::TrackOf(const std::string& key) const {
 Future<Status> StableStore::Put(const std::string& key, SharedBytes value) {
   uint64_t new_bytes = value.size();
   auto existing = records_.find(key);
-  uint64_t replaced = existing == records_.end() ? 0 : existing->second.size();
+  uint64_t replaced =
+      existing == records_.end() ? 0 : existing->second.value.size();
   if (bytes_used_ - replaced + new_bytes > config_.capacity_bytes) {
     Promise<Status> promise;
     promise.Set(ResourceExhaustedError(
@@ -68,7 +71,10 @@ Future<Status> StableStore::Put(const std::string& key, SharedBytes value) {
   // dependent operations only after the completion future), but durability is
   // only signalled once its flush retires.
   bytes_used_ = bytes_used_ - replaced + new_bytes;
-  records_[key] = value;
+  Record& record = records_[key];
+  record.crc = Crc32(value.view());
+  record.value = std::move(value);
+  record.version = next_version_++;
   stats_.writes++;
   stats_.written_bytes += new_bytes;
   if (metrics_.writes != nullptr) {
@@ -81,6 +87,8 @@ Future<Status> StableStore::Put(const std::string& key, SharedBytes value) {
   op.kind = PendingOp::kWrite;
   op.track = TrackOf(key);
   op.bytes = new_bytes;
+  op.key = key;
+  op.version = record.version;
   Future<Status> done = op.done.GetFuture();
   Enqueue(std::move(op));
   return done;
@@ -94,17 +102,19 @@ Future<StatusOr<SharedBytes>> StableStore::Get(const std::string& key) {
     return promise.GetFuture();
   }
   stats_.reads++;
-  stats_.read_bytes += it->second.size();
+  stats_.read_bytes += it->second.value.size();
   if (metrics_.reads != nullptr) {
     metrics_.reads->Increment();
-    metrics_.read_bytes->Increment(it->second.size());
+    metrics_.read_bytes->Increment(it->second.value.size());
   }
 
   PendingOp op;
   op.kind = PendingOp::kRead;
   op.track = TrackOf(key);
-  op.bytes = it->second.size();
-  op.value = it->second;  // refcounted snapshot at enqueue time
+  op.bytes = it->second.value.size();
+  op.key = key;
+  op.value = it->second.value;  // refcounted snapshot at enqueue time
+  op.crc = it->second.crc;
   Future<StatusOr<SharedBytes>> done = op.read_done.GetFuture();
   Enqueue(std::move(op));
   return done;
@@ -113,7 +123,7 @@ Future<StatusOr<SharedBytes>> StableStore::Get(const std::string& key) {
 Future<Status> StableStore::Delete(const std::string& key) {
   auto it = records_.find(key);
   if (it != records_.end()) {
-    bytes_used_ -= it->second.size();
+    bytes_used_ -= it->second.value.size();
     records_.erase(it);
     stats_.deletes++;
     if (metrics_.deletes != nullptr) {
@@ -127,6 +137,7 @@ Future<Status> StableStore::Delete(const std::string& key) {
   op.kind = PendingOp::kDelete;
   op.track = TrackOf(key);
   op.bytes = 0;
+  op.key = key;
   Future<Status> done = op.done.GetFuture();
   Enqueue(std::move(op));
   return done;
@@ -296,6 +307,26 @@ void StableStore::StartService() {
       static_cast<double>(batch_bytes) / config_.transfer_bytes_per_sec;
   SimDuration service = seek + config_.rotational_latency +
                         static_cast<SimDuration>(transfer_sec * 1e9);
+  if (fault_hook_ != nullptr) {
+    // Soft read errors: the controller retries in place, paying one extra
+    // platter revolution per retry. Reads are serviced alone, so only the
+    // lead op can be a read.
+    if (pending_[lead].kind == PendingOp::kRead) {
+      int retries = fault_hook_->ReadRetries(pending_[lead].key);
+      if (retries > 0) {
+        stats_.read_soft_retries += static_cast<uint64_t>(retries);
+        service += static_cast<SimDuration>(retries) *
+                   config_.rotational_latency;
+      }
+    }
+    // Degraded mechanics: the whole service (seek + rotation + transfer)
+    // slows by the hook's factor.
+    double factor = fault_hook_->ServiceFactor();
+    if (factor > 1.0) {
+      stats_.degraded_services++;
+      service = static_cast<SimDuration>(static_cast<double>(service) * factor);
+    }
+  }
   stats_.busy_time += service;
   if (metrics_.arm_travel != nullptr) {
     metrics_.arm_travel->Record(static_cast<int64_t>(travel));
@@ -357,13 +388,76 @@ void StableStore::CompleteOps(std::vector<PendingOp> ops) {
   for (PendingOp& op : ops) {
     RecordOpLatency(op);
     if (op.kind == PendingOp::kRead) {
-      op.read_done.Set(StatusOr<SharedBytes>(std::move(op.value)));
-    } else {
-      op.done.Set(OkStatus());
+      if (config_.verify_checksums && Crc32(op.value.view()) != op.crc) {
+        stats_.checksum_failures++;
+        if (metrics_.checksum_failures != nullptr) {
+          metrics_.checksum_failures->Increment();
+        }
+        op.read_done.Set(StatusOr<SharedBytes>(
+            DataLossError("checksum mismatch reading record: " + op.key)));
+      } else {
+        op.read_done.Set(StatusOr<SharedBytes>(std::move(op.value)));
+      }
+      continue;
     }
+    DiskFaultHook::WriteFault fault;
+    if (fault_hook_ != nullptr && op.kind == PendingOp::kWrite) {
+      fault = fault_hook_->OnWriteFlush(op.key);
+      if (fault.error || fault.torn) {
+        // The platter holds a partial record either way; only `error` tells
+        // the caller. A torn-but-acked write is the nastier fault — the CRC
+        // catches it at the next read.
+        TearRecordVersion(op.key, op.version);
+        if (fault.error) {
+          stats_.write_faults++;
+          if (metrics_.write_faults != nullptr) {
+            metrics_.write_faults->Increment();
+          }
+        } else {
+          stats_.torn_writes++;
+        }
+      } else if (fault_hook_->CorruptAtRest(op.key)) {
+        CorruptRecord(op.key, /*bit=*/op.version % 64);
+        stats_.latent_corruptions++;
+      }
+    }
+    op.done.Set(fault.error
+                    ? InternalError("injected disk write error: " + op.key)
+                    : OkStatus());
   }
   busy_ = false;
   StartService();
+}
+
+void StableStore::TearRecordVersion(const std::string& key, uint64_t version) {
+  auto it = records_.find(key);
+  if (it == records_.end() || it->second.value.empty()) {
+    return;
+  }
+  // A later Put may have already replaced the generation this flush carried;
+  // tearing would then damage good data the newer flush will make durable.
+  if (version != 0 && it->second.version != version) {
+    return;
+  }
+  size_t keep = it->second.value.size() / 2;
+  bytes_used_ -= it->second.value.size() - keep;
+  it->second.value = it->second.value.Slice(0, keep);
+  UpdateBytesUsedGauge();
+}
+
+void StableStore::TearRecord(const std::string& key) {
+  TearRecordVersion(key, 0);
+}
+
+void StableStore::CorruptRecord(const std::string& key, size_t bit) {
+  auto it = records_.find(key);
+  if (it == records_.end() || it->second.value.empty()) {
+    return;
+  }
+  Bytes damaged = it->second.value.ToBytes();
+  size_t index = (bit / 8) % damaged.size();
+  damaged[index] ^= static_cast<uint8_t>(1u << (bit % 8));
+  it->second.value = SharedBytes(std::move(damaged));
 }
 
 }  // namespace eden

@@ -67,6 +67,13 @@ struct DiskConfig {
   uint64_t max_batch_bytes = 256 * 1024;
   // Read fairness: write services allowed while a read waits.
   size_t max_writes_per_pass = 8;
+
+  // --- Integrity ---------------------------------------------------------
+  // Every record carries a CRC32 computed at Put time; reads verify it at
+  // service completion and fail with kDataLoss on mismatch (torn writes and
+  // at-rest bit rot become *detected* faults instead of silent corruption).
+  // false = trust the platter (ablation baseline).
+  bool verify_checksums = true;
 };
 
 struct StoreStats {
@@ -80,6 +87,40 @@ struct StoreStats {
   // Durable write flushes (each one seek + one rotational + summed transfer).
   uint64_t batch_flushes = 0;
   SimDuration busy_time = 0;
+  // Fault-path observability (populated by the chaos harness's hook and the
+  // checksum verifier).
+  uint64_t write_faults = 0;        // flushes failed by injection
+  uint64_t torn_writes = 0;         // durable copies silently truncated
+  uint64_t latent_corruptions = 0;  // durable copies bit-rotted at rest
+  uint64_t read_soft_retries = 0;   // transparent read retries (extra spins)
+  uint64_t degraded_services = 0;   // services slowed by a degraded arm
+  uint64_t checksum_failures = 0;   // reads that failed CRC verification
+};
+
+// Consulted by the store at its fault-injection points. Implemented by the
+// chaos harness (src/fault); every method is called in deterministic
+// simulation order, so a seeded hook keeps runs reproducible.
+class DiskFaultHook {
+ public:
+  virtual ~DiskFaultHook() = default;
+
+  struct WriteFault {
+    bool error = false;  // the flush fails; the completion future errors and
+                         // the durable copy is torn (a detected bad write)
+    bool torn = false;   // the durable copy is truncated but the flush still
+                         // acks OK — a silent torn write, caught by CRC later
+  };
+  // One consult per write/delete op, at flush-completion time.
+  virtual WriteFault OnWriteFlush(const std::string& key) = 0;
+  // True = flip a bit in the durable copy after an otherwise clean flush
+  // (latent sector rot, detected only by a later read's checksum).
+  virtual bool CorruptAtRest(const std::string& key) = 0;
+  // Transparent retries a read service needs (soft read errors); each retry
+  // costs one extra rotational latency.
+  virtual int ReadRetries(const std::string& key) = 0;
+  // Service-time multiplier for the next arm movement (degraded mechanics;
+  // values <= 1 mean healthy).
+  virtual double ServiceFactor() = 0;
 };
 
 class StableStore {
@@ -104,6 +145,17 @@ class StableStore {
 
   // Removes a record; OK even if absent. Bytes are reclaimed immediately.
   Future<Status> Delete(const std::string& key);
+
+  // Fault/test surface: damages the durable copy of `key` without updating
+  // its stored checksum, so its next read fails verification (kDataLoss).
+  // CorruptRecord flips one bit; TearRecord truncates to half length (a torn
+  // write). Both are no-ops if the key is absent.
+  void CorruptRecord(const std::string& key, size_t bit = 0);
+  void TearRecord(const std::string& key);
+
+  // Installs (or clears, with nullptr) the chaos harness's fault hook. The
+  // hook must outlive this store.
+  void set_fault_hook(DiskFaultHook* hook) { fault_hook_ = hook; }
 
   // Synchronous in-core directory checks (the kernel keeps the record index
   // in memory, as any real filesystem would).
@@ -144,6 +196,17 @@ class StableStore {
     Histogram* read_latency = nullptr;
     Histogram* write_latency = nullptr;
     Histogram* arm_travel = nullptr;
+    Counter* checksum_failures = nullptr;
+    Counter* write_faults = nullptr;
+  };
+
+  // A durable record: the bytes plus the CRC computed when they were Put.
+  // `version` bumps on every overwrite so asynchronous fault effects (a torn
+  // flush completing after a newer Put) never damage the wrong generation.
+  struct Record {
+    SharedBytes value;
+    uint32_t crc = 0;
+    uint64_t version = 0;
   };
 
   struct PendingOp {
@@ -153,6 +216,9 @@ class StableStore {
     uint64_t bytes = 0;   // transfer size
     uint64_t seq = 0;     // arrival order (FIFO mode + tie-break)
     SimTime enqueued = 0;
+    std::string key;
+    uint64_t version = 0;                      // written generation (writes)
+    uint32_t crc = 0;                          // snapshot checksum (reads)
     Promise<Status> done;                      // write / delete
     Promise<StatusOr<SharedBytes>> read_done;  // read
     SharedBytes value;                         // read snapshot
@@ -168,6 +234,9 @@ class StableStore {
   SimDuration SeekTo(uint32_t track, uint32_t* travel_out) const;
   void CompleteOps(std::vector<PendingOp> ops);
   void RecordOpLatency(const PendingOp& op);
+  // Truncates the durable copy of `key` (leaving its checksum stale) if the
+  // record still holds generation `version`; 0 = whatever is current.
+  void TearRecordVersion(const std::string& key, uint64_t version);
 
   void UpdateBytesUsedGauge() {
     if (metrics_.bytes_used != nullptr) {
@@ -179,8 +248,10 @@ class StableStore {
   DiskConfig config_;
   StoreStats stats_;
   StoreMetrics metrics_;
-  std::unordered_map<std::string, SharedBytes> records_;
+  DiskFaultHook* fault_hook_ = nullptr;
+  std::unordered_map<std::string, Record> records_;
   uint64_t bytes_used_ = 0;
+  uint64_t next_version_ = 1;
 
   std::vector<PendingOp> pending_;
   bool busy_ = false;

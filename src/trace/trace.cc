@@ -34,6 +34,16 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "NODE_FAILURE";
     case TraceEventKind::kNodeRestart:
       return "NODE_RESTART";
+    case TraceEventKind::kFaultInjected:
+      return "FAULT_INJECTED";
+    case TraceEventKind::kFallbackRestore:
+      return "FALLBACK_RESTORE";
+    case TraceEventKind::kPeerSuspect:
+      return "PEER_SUSPECT";
+    case TraceEventKind::kPeerProbe:
+      return "PEER_PROBE";
+    case TraceEventKind::kPeerRecovered:
+      return "PEER_RECOVERED";
   }
   return "UNKNOWN";
 }

@@ -39,6 +39,11 @@ enum class TraceEventKind : uint8_t {
   kObjectCrash = 9,
   kNodeFailure = 10,
   kNodeRestart = 11,
+  kFaultInjected = 12,    // chaos layer injected a fault (detail = fault kind)
+  kFallbackRestore = 13,  // activation recovered via mirror/prefix fallback
+  kPeerSuspect = 14,      // peer marked suspect after consecutive failures
+  kPeerProbe = 15,        // health probe sent to a suspect peer
+  kPeerRecovered = 16,    // suspect peer answered; normal traffic resumes
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

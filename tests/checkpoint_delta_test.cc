@@ -243,7 +243,7 @@ TEST_F(CheckpointDeltaFixture, RemoteChecksiteAccumulatesTheChain) {
   EXPECT_TRUE(system_.node(2).IsActive(cap->name()));
 }
 
-TEST_F(CheckpointDeltaFixture, CorruptDeltaLinkYieldsDataLoss) {
+TEST_F(CheckpointDeltaFixture, CorruptDeltaLinkFallsBackToIntactPrefix) {
   auto cap = system_.node(0).CreateObject("counter", CounterRep());
   ASSERT_TRUE(cap.ok());
   ASSERT_TRUE(Call(system_.node(0), *cap, "checkpoint").ok());
@@ -251,10 +251,61 @@ TEST_F(CheckpointDeltaFixture, CorruptDeltaLinkYieldsDataLoss) {
   ASSERT_TRUE(Call(system_.node(0), *cap, "checkpoint").ok());
   ASSERT_TRUE(Call(system_.node(0), *cap, "crash").ok());
 
+  // Garbage over delta link 1: reincarnation restores the longest intact
+  // prefix — the base record's state — instead of declaring data loss
+  // (DESIGN.md §11).
   system_.Await(
       system_.node(0).store().Put(DeltaKey(*cap, 1), Bytes{0xde, 0xad}));
   InvokeResult result = Call(system_.node(1), *cap, "read");
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 0u);
+  // The unusable tail was dropped, so the on-disk chain matches the
+  // restored state, and the fallback was counted.
+  EXPECT_FALSE(system_.node(0).store().Contains(DeltaKey(*cap, 1)));
+  EXPECT_EQ(
+      system_.node(0).metrics().counter("kernel.restore.fallbacks").value(),
+      1u);
+}
+
+TEST_F(CheckpointDeltaFixture, CorruptDeltaLinkWithFallbackDisabledIsDataLoss) {
+  SystemConfig config;
+  config.kernel.restore_fallback = false;
+  EdenSystem strict(config);
+  strict.RegisterType(MakeCounterType());
+  strict.AddNodes(2);
+
+  auto cap = strict.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(strict.Await(strict.node(0).Invoke(*cap, "checkpoint", {})).ok());
+  strict.Await(strict.node(0).Invoke(*cap, "increment", {}));
+  ASSERT_TRUE(strict.Await(strict.node(0).Invoke(*cap, "checkpoint", {})).ok());
+  ASSERT_TRUE(strict.Await(strict.node(0).Invoke(*cap, "crash", {})).ok());
+
+  strict.Await(
+      strict.node(0).store().Put(DeltaKey(*cap, 1), Bytes{0xde, 0xad}));
+  InvokeResult result = strict.Await(strict.node(1).Invoke(*cap, "read", {}));
   EXPECT_EQ(result.status.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointDeltaFixture, CorruptBaseWithoutMirrorIsDataLoss) {
+  auto cap = system_.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(Call(system_.node(0), *cap, "checkpoint").ok());
+  Call(system_.node(0), *cap, "increment");
+  ASSERT_TRUE(Call(system_.node(0), *cap, "checkpoint").ok());
+  ASSERT_TRUE(Call(system_.node(0), *cap, "crash").ok());
+
+  // The base itself is unreadable and there is no mirror: nothing to fall
+  // back to.
+  system_.Await(system_.node(0).store().Put(BaseKey(*cap), Bytes{0xde, 0xad}));
+  InvokeResult result = Call(system_.node(1), *cap, "read");
+  EXPECT_EQ(result.status.code(), StatusCode::kDataLoss);
+  // The unusable chain was quarantined so later locates stop landing here.
+  EXPECT_FALSE(system_.node(0).store().Contains(BaseKey(*cap)));
+  EXPECT_FALSE(system_.node(0).store().Contains(DeltaKey(*cap, 1)));
+  EXPECT_EQ(
+      system_.node(0).metrics().counter("kernel.restore.quarantines").value(),
+      1u);
 }
 
 }  // namespace

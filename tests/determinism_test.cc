@@ -150,6 +150,48 @@ uint64_t RunCheckpointWorkload(uint64_t seed) {
   return Fingerprint(system);
 }
 
+// Chaos-shaped: the standard fault storm (wire corruption/duplication/delay,
+// flaky disks, crash-restart cycles, a partition/heal pair) over a live
+// cross-node workload. Every fault decision draws from rngs forked off the
+// simulation seed, so the digest must stay exactly as seed-stable as a clean
+// run — this is the acceptance check that the chaos layer (DESIGN.md §11)
+// never consults an unseeded source.
+uint64_t RunChaosWorkload(uint64_t seed) {
+  SystemConfig config;
+  config.seed = seed;
+  config.lan.loss_probability = 0.02;
+  EdenSystem system(config);
+  RegisterStandardTypes(system);
+  system.AddNodes(5);
+  system.EnableFaults(
+      FaultPlan::StandardStorm(5, 2, Milliseconds(1), Seconds(2)));
+
+  Representation rep;
+  rep.set_data(0, Bytes(512, 0x42));
+  auto cap = system.node(0).CreateObject("std.data", rep);
+  EXPECT_TRUE(cap.ok());
+  EXPECT_TRUE(system.Await(system.node(0).CheckpointObject(cap->name())).ok());
+
+  for (int round = 0; round < 30; round++) {
+    size_t invoker = 3 + (round % 2);  // the two non-flaky nodes drive
+    system.Await(system.node(invoker).Invoke(
+        *cap, "put", InvokeArgs{}.AddBytes(Bytes(256, uint8_t(round))),
+        InvokeOptions::WithTimeout(Seconds(10))));
+    system.RunFor(Milliseconds(60));
+  }
+  Digest digest;
+  digest.Mix(Fingerprint(system));
+  const FaultStats& faults = system.faults()->stats();
+  digest.Mix(faults.wire_corrupted);
+  digest.Mix(faults.wire_duplicated);
+  digest.Mix(faults.wire_delayed);
+  digest.Mix(faults.disk_write_errors);
+  digest.Mix(faults.disk_torn_writes);
+  digest.Mix(faults.disk_latent_corruptions);
+  digest.Mix(faults.node_failures + faults.node_restarts);
+  return digest.value();
+}
+
 class DeterminismTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DeterminismTest, InvocationWorkloadDigestIsSeedStable) {
@@ -162,6 +204,10 @@ TEST_P(DeterminismTest, MigrationWorkloadDigestIsSeedStable) {
 
 TEST_P(DeterminismTest, CheckpointWorkloadDigestIsSeedStable) {
   EXPECT_EQ(RunCheckpointWorkload(GetParam()), RunCheckpointWorkload(GetParam()));
+}
+
+TEST_P(DeterminismTest, ChaosWorkloadDigestIsSeedStable) {
+  EXPECT_EQ(RunChaosWorkload(GetParam()), RunChaosWorkload(GetParam()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,

@@ -125,7 +125,7 @@ TEST_F(ReliabilityFixture, MirroredCheckpointWritesBothSites) {
   EXPECT_GT(system_.node(3).store().record_count(), 0u);
 }
 
-TEST_F(ReliabilityFixture, MirrorPromotionRecoversFromPermanentPrimaryLoss) {
+TEST_F(ReliabilityFixture, MirrorPromotesAutomaticallyAfterPermanentPrimaryLoss) {
   auto cap = system_.node(0).CreateObject("counter", CounterRep());
   ASSERT_TRUE(cap.ok());
   auto object = system_.node(0).FindActive(cap->name());
@@ -135,19 +135,51 @@ TEST_F(ReliabilityFixture, MirrorPromotionRecoversFromPermanentPrimaryLoss) {
   Call(system_.node(0), *cap, "increment", InvokeArgs{}.AddU64(21));
   ASSERT_TRUE(system_.Await(system_.node(0).CheckpointObject(cap->name())).ok());
 
-  // Node 0 (execution site AND primary checksite) is permanently lost.
+  // Node 0 (execution site AND primary checksite) is permanently lost. The
+  // mirror holder answers the locate (after active and primary-passive
+  // sites had their chance), promotes its mirror chain, and reincarnates
+  // the object — no administrative intervention (DESIGN.md §11).
   system_.node(0).FailNode();
-  InvokeResult result = system_.Await(
-      system_.node(1).Invoke(*cap, "read", {}, InvokeOptions::WithTimeout(Milliseconds(500))));
-  EXPECT_FALSE(result.ok());
-
-  // Administrative recovery: promote the mirror at node 3.
-  Status promoted = system_.Await(system_.node(3).PromoteMirror(cap->name()));
-  ASSERT_TRUE(promoted.ok()) << promoted;
-  result = Call(system_.node(1), *cap, "read");
+  InvokeResult result = Call(system_.node(1), *cap, "read");
   ASSERT_TRUE(result.ok()) << result.status;
   EXPECT_EQ(result.results.U64At(0).value(), 21u);
   EXPECT_TRUE(system_.node(3).IsActive(cap->name()));
+  EXPECT_TRUE(system_.node(3).HasCheckpoint(cap->name()));
+  EXPECT_EQ(
+      system_.node(3).metrics().counter("kernel.restore.fallbacks").value(),
+      1u);
+}
+
+TEST(ReliabilityNoFallback, ManualMirrorPromotionStillRecovers) {
+  // With the automatic fallback disabled, permanent primary loss leaves the
+  // object unavailable until an administrator promotes the mirror.
+  SystemConfig config;
+  config.kernel.restore_fallback = false;
+  EdenSystem system(config);
+  system.RegisterType(MakeCounterType());
+  system.AddNodes(4);
+
+  auto cap = system.node(0).CreateObject("counter", CounterRep());
+  ASSERT_TRUE(cap.ok());
+  auto object = system.node(0).FindActive(cap->name());
+  object->policy = CheckpointPolicy{system.node(0).station(),
+                                    ReliabilityLevel::kMirrored,
+                                    system.node(3).station()};
+  system.Await(
+      system.node(0).Invoke(*cap, "increment", InvokeArgs{}.AddU64(21)));
+  ASSERT_TRUE(system.Await(system.node(0).CheckpointObject(cap->name())).ok());
+
+  system.node(0).FailNode();
+  InvokeResult result = system.Await(system.node(1).Invoke(
+      *cap, "read", {}, InvokeOptions::WithTimeout(Milliseconds(500))));
+  EXPECT_FALSE(result.ok());
+
+  Status promoted = system.Await(system.node(3).PromoteMirror(cap->name()));
+  ASSERT_TRUE(promoted.ok()) << promoted;
+  result = system.Await(system.node(1).Invoke(*cap, "read", {}));
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(result.results.U64At(0).value(), 21u);
+  EXPECT_TRUE(system.node(3).IsActive(cap->name()));
 }
 
 TEST_F(ReliabilityFixture, CheckpointToUnreachableChecksiteFails) {

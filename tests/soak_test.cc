@@ -1,6 +1,6 @@
 // Whole-system soak: many objects, many nodes, and every mechanism at once —
-// migrations, checkpoints, crashes, frozen reads, node failures and frame
-// loss — driven by a seeded schedule. The invariant web:
+// migrations, checkpoints, crashes, frozen reads, node failures, network
+// partitions and frame loss — driven by a seeded schedule. The invariant web:
 //   * counters never lose or duplicate an acknowledged increment,
 //   * checkpointed objects always come back,
 //   * the run is deterministic per seed,
@@ -48,7 +48,7 @@ TEST_P(SoakProperty, EverythingAtOnce) {
   for (int round = 0; round < 120; round++) {
     size_t actor = chaos.NextBelow(kNodes);
     size_t target = chaos.NextBelow(kCounters);
-    switch (chaos.NextBelow(10)) {
+    switch (chaos.NextBelow(11)) {
       case 0: {  // migrate a counter (from wherever it is)
         for (size_t n = 0; n < kNodes; n++) {
           auto object = system.node(n).FindActive(counters[target].name());
@@ -87,7 +87,16 @@ TEST_P(SoakProperty, EverythingAtOnce) {
         }
         break;
       }
-      case 3: {  // read the frozen object
+      case 3: {  // partition a node away from the majority, heal shortly after
+        StationId victim = system.node(chaos.NextBelow(kNodes)).station();
+        system.lan().SetPartitionGroup(victim, 1);
+        system.sim().Schedule(
+            Milliseconds(chaos.NextInRange(100, 500)), [&system, victim] {
+              system.lan().SetPartitionGroup(victim, 0);
+            });
+        break;
+      }
+      case 4: {  // read the frozen object
         system.Await(
             system.node(actor).Invoke(*frozen, "get", {}, InvokeOptions::WithTimeout(Seconds(15))));
         break;
@@ -104,12 +113,14 @@ TEST_P(SoakProperty, EverythingAtOnce) {
     system.RunFor(Milliseconds(chaos.NextInRange(0, 40)));
   }
 
-  // Restore, quiesce, verify.
+  // Restore, quiesce, verify. Any partition still standing (a heal may be
+  // scheduled but not yet fired) must come down before the final reads.
   for (size_t n = 0; n < kNodes; n++) {
     if (system.node(n).failed()) {
       system.node(n).RestartNode();
     }
   }
+  system.lan().ClearPartitions();
   system.lan().set_loss_probability(0.0);
   system.RunFor(Seconds(5));
 
