@@ -1,0 +1,187 @@
+// E14 — Causal-span tracing overhead and critical-path attribution
+// (DESIGN.md §12).
+//
+//   BM_Saturated16Tracing   the bench_throughput Saturated16 shape — a
+//       16-node installation, one zero-think-time closed-loop client per
+//       node invoking its ring neighbor — where every iteration runs one
+//       100 ms (virtual) segment with no SpanCollector attached and one with
+//       full span assembly, critical-path attribution and phase histograms,
+//       on the SAME system, alternating which runs first. Pairing the modes
+//       inside each iteration cancels host drift (frequency scaling, noisy
+//       neighbors), which dwarfs the effect being measured when the modes
+//       run as separate benchmarks.
+//
+// Like bench_throughput this series reports *wall-clock* iteration time
+// (UseManualTime fed from a host clock): the span layer never adds simulated
+// work — the determinism tests prove virtual time is bit-identical either
+// way — so its cost is host-side only. Exported:
+//
+//   bench.tracing.off.invocations_per_segment   histograms; identical by the
+//   bench.tracing.on.invocations_per_segment    determinism contract, so
+//                                               perf_compare gates on them
+//   bench.tracing.off.events_per_sec    wall-clock simulator event rate
+//   bench.tracing.on.events_per_sec     gauges, host-dependent, not gated
+//   bench.tracing.overhead_pct          (off - on) / off * 100, rounded
+//
+// After the run the binary prints the measured overhead, the aggregate
+// critical-path breakdown over the retained traces, and the worst slow
+// exemplar — the "where does a saturated invocation spend its time" table
+// the span layer exists for.
+//
+// Run with --quick for a CI smoke; --json=<path> to move the metrics export.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/trace/span.h"
+#include "src/workload/workload.h"
+
+namespace eden {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double WallSecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+void BM_Saturated16Tracing(benchmark::State& state) {
+  constexpr size_t kNodes = 16;
+
+  SpanCollectorConfig trace_config;
+  trace_config.slow_exemplars = 1;
+  SpanCollector spans(trace_config);  // Declared before the system: outlives it.
+  auto system = MakeBenchSystem(kNodes);
+  std::vector<Capability> targets;
+  std::vector<size_t> clients;
+  for (size_t i = 0; i < kNodes; i++) {
+    targets.push_back(MakeDataObject(*system, (i + 1) % kNodes, 64));
+    clients.push_back(i);
+  }
+  // Warm every location cache so the steady state has no broadcasts.
+  for (size_t i = 0; i < kNodes; i++) {
+    system->Await(system->node(i).Invoke(targets[i], "size"));
+  }
+  Bytes payload(128, 0x5a);
+  WorkFactory factory = [&](size_t client, uint64_t) {
+    return WorkItem{targets[client], "put", InvokeArgs{}.AddBytes(payload)};
+  };
+
+  // [0] = untraced, [1] = traced.
+  double wall[2] = {0.0, 0.0};
+  uint64_t events[2] = {0, 0};
+  uint64_t invocations[2] = {0, 0};
+  auto run_segment = [&](bool traced) {
+    if (traced) {
+      system->set_span_collector(&spans);
+    }
+    uint64_t events_before = system->sim().events_executed();
+    auto start = WallClock::now();
+    WorkloadStats stats = RunClosedLoop(*system, clients, factory,
+                                        /*duration=*/Milliseconds(100),
+                                        /*mean_think_time=*/0);
+    double elapsed = WallSecondsSince(start);
+    if (traced) {
+      // Detach and force-close the spans of requests still in flight, so
+      // the untraced segment starts from a collector at rest.
+      system->set_span_collector(nullptr);
+      spans.Flush(system->sim().now());
+    }
+    size_t mode = traced ? 1 : 0;
+    wall[mode] += elapsed;
+    events[mode] += system->sim().events_executed() - events_before;
+    invocations[mode] += stats.completed;
+    BenchMetrics()
+        .histogram(traced ? "bench.tracing.on.invocations_per_segment"
+                          : "bench.tracing.off.invocations_per_segment")
+        .Record(static_cast<SimDuration>(stats.completed));
+    return elapsed;
+  };
+
+  uint64_t iteration = 0;
+  for (auto _ : state) {
+    bool traced_first = (iteration++ % 2) == 1;
+    double elapsed =
+        run_segment(traced_first) + run_segment(!traced_first);
+    state.SetIterationTime(elapsed);
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events[0] + events[1]), benchmark::Counter::kIsRate);
+    state.counters["invocations_per_sec"] =
+        benchmark::Counter(static_cast<double>(invocations[0] + invocations[1]),
+                           benchmark::Counter::kIsRate);
+  }
+
+  if (wall[0] > 0 && wall[1] > 0) {
+    double rate_off = static_cast<double>(events[0]) / wall[0];
+    double rate_on = static_cast<double>(events[1]) / wall[1];
+    BenchMetrics()
+        .gauge("bench.tracing.off.events_per_sec")
+        .Set(static_cast<int64_t>(rate_off));
+    BenchMetrics()
+        .gauge("bench.tracing.on.events_per_sec")
+        .Set(static_cast<int64_t>(rate_on));
+    double overhead = (rate_off - rate_on) / rate_off * 100.0;
+    BenchMetrics()
+        .gauge("bench.tracing.overhead_pct")
+        .Set(static_cast<int64_t>(overhead));
+    std::printf("tracing overhead: %.1f%% of wall-clock events/s "
+                "(off %.0f/s, on %.0f/s, %llu paired segments)\n",
+                overhead, rate_off, rate_on,
+                static_cast<unsigned long long>(iteration));
+  }
+
+  // Where a saturated invocation spends its time: the aggregate critical-path
+  // attribution over the retained traces.
+  PhaseBreakdown aggregate;
+  for (const TraceTree& tree : spans.completed()) {
+    PhaseBreakdown one = SpanCollector::CriticalPath(tree);
+    for (size_t k = 0; k < kSpanKindCount; k++) {
+      aggregate.by_kind[k] += one.by_kind[k];
+    }
+    aggregate.total += one.total;
+  }
+  std::printf("Saturated16 critical path over %zu traces:\n%s",
+              spans.completed().size(),
+              SpanCollector::FormatBreakdown(aggregate).c_str());
+  std::printf("worst exemplar:\n%s", spans.DumpSlowTraces().c_str());
+}
+BENCHMARK(BM_Saturated16Tracing)->UseManualTime()->MinTime(2.0);
+
+}  // namespace
+}  // namespace eden
+
+// Custom main: EDEN_BENCH_MAIN plus a --quick flag (CI smoke) that caps the
+// per-benchmark time budget.
+int main(int argc, char** argv) {
+  std::string json_path =
+      ::eden::ConsumeJsonFlag(&argc, argv, "BENCH_bench_tracing.json");
+  bool quick = false;
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int run_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&run_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(run_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!::eden::WriteBenchJson("bench_tracing", json_path)) {
+    return 1;
+  }
+  return 0;
+}

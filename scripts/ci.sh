@@ -15,6 +15,16 @@
 #      Regenerate the baseline with
 #        build/bench/bench_chaos --quick --json=bench/baselines/BENCH_bench_chaos.json
 #      when a change intentionally moves recovery latency.
+#   5. Tracing smoke: run trace_test under the ASan tree on its own (the span
+#      collector is the newest lifetime-heavy code), then bench_tracing
+#      --quick gated against bench/baselines/BENCH_bench_tracing.json. The
+#      gated histograms are invocations-per-segment with tracing off/on —
+#      virtual-time counts that the determinism suite pins to be identical
+#      with and without a collector, so any drift means the tracing layer
+#      started doing simulated work (the "disabled overhead" contract).
+#      Regenerate with
+#        build/bench/bench_tracing --quick --json=bench/baselines/BENCH_bench_tracing.json
+#      when the workload itself intentionally changes.
 #
 #   scripts/ci.sh [jobs]
 set -eu
@@ -46,5 +56,13 @@ echo "== chaos smoke (fault matrix + recovery-latency gate) =="
 "$repo_root/scripts/perf_compare.py" \
   "$repo_root/bench/baselines/BENCH_bench_chaos.json" \
   "$repo_root/build/BENCH_bench_chaos.json" --gate 10
+
+echo "== tracing smoke (span suite under ASan + disabled-overhead gate) =="
+"$repo_root/build-asan/tests/trace_test"
+"$repo_root/build/bench/bench_tracing" --quick \
+  --json="$repo_root/build/BENCH_bench_tracing.json"
+"$repo_root/scripts/perf_compare.py" \
+  "$repo_root/bench/baselines/BENCH_bench_tracing.json" \
+  "$repo_root/build/BENCH_bench_tracing.json" --gate 10
 
 echo "CI OK"

@@ -19,13 +19,15 @@ class NodeKernel;
 class InvokeContext {
  public:
   InvokeContext(NodeKernel* kernel, std::shared_ptr<ActiveObject> object,
-                std::string operation, InvokeArgs args, Rights caller_rights)
+                std::string operation, InvokeArgs args, Rights caller_rights,
+                SpanContext span = {})
       : kernel_(kernel),
         object_(std::move(object)),
         core_(object_->core),
         operation_(std::move(operation)),
         args_(std::move(args)),
-        caller_rights_(caller_rights) {}
+        caller_rights_(caller_rights),
+        span_(span) {}
 
   // --- Identity & parameters ---------------------------------------------
   const ObjectName& self_name() const { return core_->name; }
@@ -103,6 +105,11 @@ class InvokeContext {
   NodeKernel& kernel() { return *kernel_; }
   const std::shared_ptr<ActiveObject>& object() const { return object_; }
 
+  // The dispatch span this invocation runs under (invalid when tracing is
+  // off). Nested Invoke/Checkpoint calls parent their spans here, so a
+  // cross-node call chain assembles into one trace tree.
+  const SpanContext& span() const { return span_; }
+
  private:
   NodeKernel* kernel_;
   std::shared_ptr<ActiveObject> object_;
@@ -110,6 +117,7 @@ class InvokeContext {
   std::string operation_;
   InvokeArgs args_;
   Rights caller_rights_;
+  SpanContext span_;
 };
 
 }  // namespace eden

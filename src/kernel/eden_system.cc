@@ -41,7 +41,20 @@ NodeKernel& EdenSystem::AddNodeWithConfig(const std::string& name,
     nodes_.back()->store().set_fault_hook(
         fault_injector_->DiskHookFor(nodes_.size() - 1));
   }
+  if (span_collector_ != nullptr) {
+    nodes_.back()->set_spans(span_collector_);
+  }
   return *nodes_.back();
+}
+
+void EdenSystem::set_span_collector(SpanCollector* spans) {
+  span_collector_ = spans;
+  if (spans != nullptr) {
+    spans->set_metrics(&metrics_);
+  }
+  for (auto& node : nodes_) {
+    node->set_spans(spans);
+  }
 }
 
 void EdenSystem::EnableFaults(const FaultPlan& plan, TraceBuffer* trace) {

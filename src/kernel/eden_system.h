@@ -125,6 +125,16 @@ class EdenSystem {
   void EnableFaults(const FaultPlan& plan, TraceBuffer* trace = nullptr);
   FaultInjector* faults() { return fault_injector_.get(); }
 
+  // --- Causal tracing (DESIGN.md §12) ----------------------------------------
+  // Attaches one shared SpanCollector to every node kernel (present and
+  // future), wiring it into the system metrics registry so trace.phase.*
+  // histograms appear in Rollup(). Spans never schedule simulation events or
+  // consume simulation randomness, so enabling tracing cannot change a run's
+  // execution. nullptr detaches. The collector must outlive this system or be
+  // detached first.
+  void set_span_collector(SpanCollector* spans);
+  SpanCollector* span_collector() { return span_collector_; }
+
   // --- Type registry ---------------------------------------------------------
   void RegisterType(std::shared_ptr<TypeManager> type);
   std::shared_ptr<TypeManager> FindType(const std::string& type_name) const;
@@ -166,6 +176,7 @@ class EdenSystem {
   MetricsRegistry metrics_;
   Lan lan_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  SpanCollector* span_collector_ = nullptr;
   std::vector<std::unique_ptr<NodeKernel>> nodes_;
   std::map<std::string, std::shared_ptr<TypeManager>> types_;
 };

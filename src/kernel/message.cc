@@ -44,6 +44,7 @@ Bytes InvokeRequestMsg::Encode() const {
   for (StationId host : avoid_hosts) {
     writer.WriteU32(host);
   }
+  span.Encode(writer);
   return writer.Take();
 }
 
@@ -64,6 +65,7 @@ StatusOr<InvokeRequestMsg> InvokeRequestMsg::Decode(BytesView message) {
     EDEN_ASSIGN_OR_RETURN(StationId host, reader.ReadU32());
     msg.avoid_hosts.push_back(host);
   }
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
   return msg;
 }
 
@@ -108,6 +110,7 @@ Bytes LocateRequestMsg::Encode() const {
   writer.WriteU64(query_id);
   writer.WriteU32(reply_to);
   name.Encode(writer);
+  span.Encode(writer);
   return writer.Take();
 }
 
@@ -118,6 +121,7 @@ StatusOr<LocateRequestMsg> LocateRequestMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.query_id, reader.ReadU64());
   EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
   EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
   return msg;
 }
 
@@ -150,6 +154,7 @@ Bytes MoveTransferMsg::Encode() const {
   representation.Encode(writer);
   policy.Encode(writer);
   writer.WriteBool(frozen);
+  span.Encode(writer);
   return writer.Take();
 }
 
@@ -164,6 +169,7 @@ StatusOr<MoveTransferMsg> MoveTransferMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.representation, Representation::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.policy, CheckpointPolicy::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.frozen, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
   return msg;
 }
 
@@ -193,6 +199,7 @@ Bytes CheckpointPutMsg::Encode() const {
   writer.WriteBytes(record.view());
   writer.WriteBool(is_mirror);
   writer.WriteVarint(delta_seq);
+  span.Encode(writer);
   return writer.Take();
 }
 
@@ -207,6 +214,7 @@ StatusOr<CheckpointPutMsg> CheckpointPutMsg::Decode(BytesView message) {
   msg.record = SharedBytes(std::move(record));
   EDEN_ASSIGN_OR_RETURN(msg.is_mirror, reader.ReadBool());
   EDEN_ASSIGN_OR_RETURN(msg.delta_seq, reader.ReadVarint());
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
   return msg;
 }
 
@@ -245,6 +253,7 @@ Bytes ReplicaFetchMsg::Encode() const {
   writer.WriteU64(request_id);
   writer.WriteU32(reply_to);
   name.Encode(writer);
+  span.Encode(writer);
   return writer.Take();
 }
 
@@ -255,6 +264,7 @@ StatusOr<ReplicaFetchMsg> ReplicaFetchMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.request_id, reader.ReadU64());
   EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
   EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
   return msg;
 }
 

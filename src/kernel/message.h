@@ -13,6 +13,7 @@
 #include "src/kernel/invoke.h"
 #include "src/kernel/representation.h"
 #include "src/net/lan.h"
+#include "src/trace/span.h"
 
 namespace eden {
 
@@ -52,6 +53,10 @@ struct InvokeRequestMsg {
   // receiving kernel invalidates any forwarding address pointing at one of
   // them (the active copy is gone; checkpoints are now authoritative).
   std::vector<StationId> avoid_hosts;
+  // Causal context of the invoking client's span (DESIGN.md §12). Encoded
+  // fixed-width — all-zero when tracing is off — so the message size never
+  // depends on whether a collector is attached.
+  SpanContext span;
 
   Bytes Encode() const;
   static StatusOr<InvokeRequestMsg> Decode(BytesView message);
@@ -84,6 +89,8 @@ struct LocateRequestMsg {
   uint64_t query_id = 0;
   StationId reply_to = 0;
   ObjectName name;
+  // Causal context of the locate span driving this broadcast (fixed-width).
+  SpanContext span;
 
   Bytes Encode() const;
   static StatusOr<LocateRequestMsg> Decode(BytesView message);
@@ -109,6 +116,8 @@ struct MoveTransferMsg {
   Representation representation;
   CheckpointPolicy policy;
   bool frozen = false;
+  // Causal context of the source-side move span (fixed-width).
+  SpanContext span;
 
   Bytes Encode() const;
   static StatusOr<MoveTransferMsg> Decode(BytesView message);
@@ -138,6 +147,9 @@ struct CheckpointPutMsg {
   // rejects a delta whose predecessor is missing, so stored chains are
   // always contiguous.
   uint64_t delta_seq = 0;
+  // Causal context of the checkpoint span at the object's host, so the
+  // checksite's store-write span links across nodes (fixed-width).
+  SpanContext span;
 
   Bytes Encode() const;
   static StatusOr<CheckpointPutMsg> Decode(BytesView message);
@@ -162,6 +174,8 @@ struct ReplicaFetchMsg {
   uint64_t request_id = 0;
   StationId reply_to = 0;
   ObjectName name;
+  // Causal context of the invocation whose reply prompted the fetch.
+  SpanContext span;
 
   Bytes Encode() const;
   static StatusOr<ReplicaFetchMsg> Decode(BytesView message);

@@ -287,14 +287,16 @@ Future<InvokeResult> NodeKernel::Invoke(const Capability& target,
                                         const InvokeOptions& options) {
   Promise<InvokeResult> promise;
   Future<InvokeResult> future = promise.GetFuture();
-  StartInvocation(target, op, std::move(args), options, std::move(promise));
+  StartInvocation(target, op, std::move(args), options, std::move(promise),
+                  SpanContext{});
   return future;
 }
 
 uint64_t NodeKernel::StartInvocation(const Capability& target,
                                      const std::string& op, InvokeArgs args,
                                      const InvokeOptions& options,
-                                     Promise<InvokeResult> promise) {
+                                     Promise<InvokeResult> promise,
+                                     const SpanContext& parent_span) {
   uint64_t id = NewInvocationId();
   if (failed_) {
     promise.Set(InvokeResult::Error(UnavailableError("node is down")));
@@ -314,6 +316,10 @@ uint64_t NodeKernel::StartInvocation(const Capability& target,
   pending.args = std::move(args);
   pending.started = sim().now();
   pending.metrics_class = options.metrics_class;
+  // A driver call (invalid parent) roots a fresh trace; a nested Invoke hangs
+  // off the calling invocation's dispatch span.
+  pending.span = StartSpan(parent_span, SpanKind::kInvocation, target.name(),
+                           options.trace_label.empty() ? op : options.trace_label);
   SimDuration user_timeout =
       options.timeout > 0 ? options.timeout : config_.default_invoke_timeout;
   pending.user_timer = sim().Schedule(user_timeout, [this, id] {
@@ -379,7 +385,7 @@ void NodeKernel::TryResolve(uint64_t id) {
   // 6. Passive on this node (we hold its authoritative checkpoint).
   if (store_->Contains(CheckpointKey(name))) {
     activation_local_waiters_[name].push_back(id);
-    BeginActivation(name);
+    BeginActivation(name, pending.span);
     return;
   }
 
@@ -400,6 +406,9 @@ void NodeKernel::DispatchLocally(uint64_t id, std::shared_ptr<ActiveObject> obje
   dispatch.request.target = it->second.target;
   dispatch.request.operation = it->second.operation;
   dispatch.request.args = it->second.args;
+  dispatch.request.span = it->second.span;
+  dispatch.span = ChildSpan(it->second.span, SpanKind::kDispatch,
+                            it->second.target.name(), it->second.operation);
   SimDuration cost = config_.local_invoke_overhead +
                      SerializeCost(it->second.args.TotalBytes());
   sim().Schedule(cost, [this, object = std::move(object),
@@ -426,6 +435,8 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
     // don't burn a full attempt timeout on it — count the attempt and
     // re-locate now. The probe loop owns its rehabilitation.
     counters_.suspect_fast_fails->Increment();
+    AnnotateSpan(it->second.span,
+                 "suspect_fast_fail host " + std::to_string(host));
     FailAttempt(id, host, "object unreachable");
     return;
   }
@@ -441,6 +452,7 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
   msg.operation = pending.operation;
   msg.args = pending.args;
   msg.avoid_hosts.assign(pending.dead_hosts.begin(), pending.dead_hosts.end());
+  msg.span = pending.span;
   Bytes encoded = msg.Encode();
 
   sim().Cancel(pending.attempt_timer);
@@ -449,9 +461,10 @@ void NodeKernel::SendRequestTo(uint64_t id, StationId host) {
                      [this, id] { OnAttemptTimeout(id); });
 
   sim().Schedule(SerializeCost(encoded.size()),
-                 [this, host, encoded = std::move(encoded)]() mutable {
+                 [this, host, span = pending.span,
+                  encoded = std::move(encoded)]() mutable {
                    if (!failed_) {
-                     transport_->SendReliable(host, std::move(encoded));
+                     transport_->SendReliable(host, std::move(encoded), span);
                    }
                  });
 }
@@ -481,6 +494,8 @@ void NodeKernel::FailAttempt(uint64_t id, StationId host,
   if (host != kNoStation) {
     pending.dead_hosts.insert(host);
   }
+  AnnotateSpan(pending.span, "attempt " + std::to_string(pending.attempts) +
+                                 " failed at host " + std::to_string(host));
   location_cache_.erase(pending.target.name());
   if (pending.attempts >= config_.max_attempts) {
     counters_.invocations_unavailable->Increment();
@@ -519,6 +534,7 @@ void NodeKernel::StartLocate(uint64_t id) {
   locate.name = name;
   locate.started = sim().now();
   locate.waiting.push_back(id);
+  locate.span = ChildSpan(it->second.span, SpanKind::kLocate, name, "locate");
   locate_by_name_[name] = query_id;
   LocateAttempt(query_id);
 }
@@ -535,6 +551,7 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
     std::vector<uint64_t> waiting = std::move(it->second.waiting);
     sim().Cancel(it->second.timer);
     locate_latency_->Record(sim().now() - it->second.started);
+    EndSpan(it->second.span, "resolved_locally");
     locate_by_name_.erase(it->second.name);
     pending_locates_.erase(it);
     for (uint64_t id : waiting) {
@@ -550,6 +567,7 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
   msg.query_id = query_id;
   msg.reply_to = station();
   msg.name = locate.name;
+  msg.span = locate.span;
   transport_->SendBestEffort(kBroadcastStation, msg.Encode());
 
   locate.timer = sim().Schedule(config_.locate_timeout, [this, query_id] {
@@ -558,9 +576,12 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
       return;
     }
     it->second.attempts++;
+    AnnotateSpan(it->second.span,
+                 "broadcast timeout #" + std::to_string(it->second.attempts));
     if (it->second.attempts >= config_.max_locate_attempts) {
       ObjectName name = it->second.name;
       std::vector<uint64_t> waiting = std::move(it->second.waiting);
+      SpanContext locate_span = it->second.span;
       locate_by_name_.erase(name);
       pending_locates_.erase(it);
       if (config_.restore_fallback && !store_->Contains(CheckpointKey(name)) &&
@@ -568,12 +589,21 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
         // Nobody answered for the object, but we hold its mirror chain: the
         // primary site is gone, so promote the mirror and reincarnate here
         // rather than failing the waiters (RunActivation does the promote).
+        EndSpan(locate_span, "mirror_fallback");
+        SpanContext act_parent;
+        if (!waiting.empty()) {
+          auto w = pending_invocations_.find(waiting.front());
+          if (w != pending_invocations_.end()) {
+            act_parent = w->second.span;
+          }
+        }
         for (uint64_t id : waiting) {
           activation_local_waiters_[name].push_back(id);
         }
-        BeginActivation(name);
+        BeginActivation(name, act_parent);
         return;
       }
+      EndSpan(locate_span, "not_found");
       for (uint64_t id : waiting) {
         counters_.invocations_unavailable->Increment();
         CompleteInvocation(
@@ -594,6 +624,10 @@ void NodeKernel::CompleteInvocation(uint64_t id, InvokeResult result) {
   sim().Cancel(it->second.attempt_timer);
   Trace(TraceEventKind::kInvokeComplete, it->second.target.name(), id,
         std::string(StatusCodeName(result.status.code())));
+  EndSpan(it->second.span,
+          result.status.ok()
+              ? std::string()
+              : std::string(StatusCodeName(result.status.code())));
   RecordInvocationLatency(it->second);
   Promise<InvokeResult> promise = std::move(it->second.promise);
   pending_invocations_.erase(it);
@@ -730,14 +764,22 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
   PendingDispatch dispatch;
   dispatch.local = false;
   dispatch.request = std::move(msg);
+  // Opened only on paths that accept the request for execution here; redirect
+  // paths reply without ever owning the invocation.
+  auto open_dispatch_span = [this, &dispatch, &name] {
+    dispatch.span = ChildSpan(dispatch.request.span, SpanKind::kDispatch, name,
+                              dispatch.request.operation);
+  };
 
   if (auto it = active_.find(name); it != active_.end()) {
     requests_in_progress_.insert(id);
+    open_dispatch_span();
     AcceptDispatch(it->second, std::move(dispatch));
     return;
   }
   if (activating_.count(name) > 0) {
     requests_in_progress_.insert(id);
+    open_dispatch_span();
     activation_remote_hold_[name].push_back(std::move(dispatch));
     return;
   }
@@ -764,8 +806,10 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
   }
   if (store_->Contains(CheckpointKey(name))) {
     requests_in_progress_.insert(id);
+    open_dispatch_span();
+    SpanContext act_parent = dispatch.request.span;
     activation_remote_hold_[name].push_back(std::move(dispatch));
-    BeginActivation(name);
+    BeginActivation(name, act_parent);
     return;
   }
   if (config_.restore_fallback && store_->Contains(MirrorKey(name))) {
@@ -773,8 +817,10 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
     // so the primary passive site is gone): promote the mirror chain and
     // reincarnate from it (RunActivation does the promote).
     requests_in_progress_.insert(id);
+    open_dispatch_span();
+    SpanContext act_parent = dispatch.request.span;
     activation_remote_hold_[name].push_back(std::move(dispatch));
-    BeginActivation(name);
+    BeginActivation(name, act_parent);
     return;
   }
   InvokeRedirectMsg redirect;
@@ -790,10 +836,11 @@ void NodeKernel::HandleInvokeReply(StationId src, const InvokeReplyMsg& msg) {
     return;
   }
   ObjectName name = it->second.target.name();
+  SpanContext inv_span = it->second.span;
   CompleteInvocation(msg.invocation_id, msg.result);
   if (msg.target_frozen && config_.cache_frozen_replicas &&
       replicas_.count(name) == 0 && active_.count(name) == 0) {
-    MaybeFetchReplica(name, src);
+    MaybeFetchReplica(name, src, inv_span);
   }
 }
 
@@ -835,6 +882,8 @@ void NodeKernel::HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& ms
   counters_.redirects_followed->Increment();
   Trace(TraceEventKind::kRedirectFollowed, msg.name, msg.invocation_id,
         "to station " + std::to_string(msg.new_host));
+  AnnotateSpan(pending.span, "redirect from host " + std::to_string(src) +
+                                 " to host " + std::to_string(msg.new_host));
   location_cache_[msg.name] = msg.new_host;
   SendRequestTo(msg.invocation_id, msg.new_host);
 }
@@ -910,6 +959,8 @@ void NodeKernel::HandleLocateReply(const LocateReplyMsg& msg) {
   }
   sim().Cancel(it->second.timer);
   locate_latency_->Record(sim().now() - it->second.started);
+  EndSpan(it->second.span,
+          msg.active ? std::string() : std::string("passive_host"));
   std::vector<uint64_t> waiting = std::move(it->second.waiting);
   locate_by_name_.erase(it->second.name);
   pending_locates_.erase(it);
@@ -979,7 +1030,7 @@ DetachedTask NodeKernel::RunInvocation(std::shared_ptr<ActiveObject> object,
     co_return;
   }
   InvokeContext context(this, object, d.request.operation, d.request.args,
-                        d.request.target.rights());
+                        d.request.target.rights(), d.span);
   InvokeResult result = co_await op->handler(context);
   // Even if the object crashed or moved while we ran, the invoker gets the
   // produced reply (the work happened); bookkeeping checks map identity.
@@ -1027,6 +1078,9 @@ void NodeKernel::PumpQueues(const std::shared_ptr<ActiveObject>& object) {
 void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
                          bool target_frozen) {
   uint64_t id = d.request.invocation_id;
+  EndSpan(d.span, result.status.ok()
+                      ? std::string()
+                      : std::string(StatusCodeName(result.status.code())));
   if (d.local) {
     SimDuration cost = SerializeCost(result.results.TotalBytes());
     sim().Schedule(cost, [this, id, result = std::move(result)] {
@@ -1043,9 +1097,13 @@ void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
   Bytes encoded = reply.Encode();
   // Receive-side kernel processing for the request plus reply marshalling.
   SimDuration cost = config_.remote_receive_overhead + SerializeCost(encoded.size());
-  sim().Schedule(cost, [this, dst = d.request.reply_to, encoded = std::move(encoded)]() mutable {
+  sim().Schedule(cost, [this, dst = d.request.reply_to, span = d.span,
+                        encoded = std::move(encoded)]() mutable {
     if (!failed_) {
-      transport_->SendReliable(dst, std::move(encoded));
+      // The reply's wire span parents to the (just closed) dispatch span:
+      // the trace stays open until the reply is acknowledged, so its ACK
+      // leg is attributed rather than lost.
+      transport_->SendReliable(dst, std::move(encoded), span);
     }
   });
 }
@@ -1068,17 +1126,20 @@ void NodeKernel::CacheReply(uint64_t invocation_id, const InvokeResult& result,
 // Activation (reincarnation) and behaviors
 // ---------------------------------------------------------------------------
 
-void NodeKernel::BeginActivation(const ObjectName& name) {
+void NodeKernel::BeginActivation(const ObjectName& name,
+                                 const SpanContext& parent) {
   if (activating_.count(name) > 0 || active_.count(name) > 0) {
     return;
   }
   activating_.insert(name);
-  RunActivation(name);
+  RunActivation(name, parent);
 }
 
-DetachedTask NodeKernel::RunActivation(ObjectName name) {
+DetachedTask NodeKernel::RunActivation(ObjectName name, SpanContext parent) {
   counters_.activations->Increment();
   Trace(TraceEventKind::kActivation, name, 0);
+  SpanContext act_span =
+      ChildSpan(parent, SpanKind::kActivation, name, "activation");
   co_await SleepFor(sim(), config_.activation_overhead);
 
   auto fail_waiters = [this, &name](const Status& status) {
@@ -1102,8 +1163,9 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
   };
 
   RestoredChain chain;
-  Status restored = co_await ReadCheckpointChain(name, chain);
+  Status restored = co_await ReadCheckpointChain(name, chain, act_span);
   if (failed_) {
+    EndSpan(act_span, "node_failed");
     co_return;
   }
   bool complete = restored.ok() && !chain.corrupt;
@@ -1114,13 +1176,16 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     // healthy local mirror and the mirror-only holder reincarnating after
     // the primary site died.
     if (store_->Contains(MirrorKey(name))) {
+      AnnotateSpan(act_span, "fallback:mirror_promote");
       (void)co_await CopyMirrorChain(name);
       if (failed_) {
+        EndSpan(act_span, "node_failed");
         co_return;
       }
       RestoredChain retry;
-      Status reread = co_await ReadCheckpointChain(name, retry);
+      Status reread = co_await ReadCheckpointChain(name, retry, act_span);
       if (failed_) {
+        EndSpan(act_span, "node_failed");
         co_return;
       }
       if (reread.ok()) {
@@ -1145,11 +1210,14 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
       counters_.restore_fallbacks->Increment();
       Trace(TraceEventKind::kFallbackRestore, name, 0,
             "prefix@" + std::to_string(chain.corrupt_at));
+      AnnotateSpan(act_span,
+                   "fallback:prefix@" + std::to_string(chain.corrupt_at));
       complete = true;
     }
   }
 
   if (!complete) {
+    EndSpan(act_span, "data_loss");
     if (!restored.ok() && restored.code() == StatusCode::kNotFound) {
       fail_waiters(DataLossError("no checkpoint for " + name.ToString()));
     } else {
@@ -1168,6 +1236,7 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
 
   std::shared_ptr<TypeManager> type = system_.FindType(chain.type_name);
   if (type == nullptr) {
+    EndSpan(act_span, "unknown_type");
     fail_waiters(DataLossError("unknown type in checkpoint: " + chain.type_name));
     co_return;
   }
@@ -1195,7 +1264,7 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
   // the object's reincarnation condition handler."
   if (type->reincarnation()) {
     InvokeContext context(this, object, "<reincarnation>", InvokeArgs{},
-                          Rights::All());
+                          Rights::All(), act_span);
     Status status = co_await type->reincarnation()(context);
     if (!status.ok()) {
       EDEN_LOG(kWarning, "kernel")
@@ -1204,11 +1273,13 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
     }
   }
   if (!object->core->alive) {
+    EndSpan(act_span, "crashed");
     co_return;  // the handler crashed the object
   }
 
   StartBehaviors(object);
   object->activating = false;
+  EndSpan(act_span);
 
   // Dispatch everything that queued up while we were passive.
   auto local = activation_local_waiters_.find(name);
@@ -1235,8 +1306,10 @@ DetachedTask NodeKernel::RunActivation(ObjectName name) {
 }
 
 Task<Status> NodeKernel::ReadCheckpointChain(const ObjectName& name,
-                                             RestoredChain& out) {
-  StatusOr<SharedBytes> record = co_await store_->Get(CheckpointKey(name));
+                                             RestoredChain& out,
+                                             const SpanContext& parent) {
+  StatusOr<SharedBytes> record =
+      co_await store_->Get(CheckpointKey(name), parent);
   if (failed_) {
     co_return AbortedError("node failed during restore");
   }
@@ -1280,7 +1353,7 @@ Task<Status> NodeKernel::ReadCheckpointChain(const ObjectName& name,
   for (uint64_t k = 1;
        store_->Contains(DeltaKey(name, k, /*is_mirror=*/false)); k++) {
     StatusOr<SharedBytes> delta =
-        co_await store_->Get(DeltaKey(name, k, /*is_mirror=*/false));
+        co_await store_->Get(DeltaKey(name, k, /*is_mirror=*/false), parent);
     if (failed_) {
       co_return AbortedError("node failed during restore");
     }
@@ -1351,7 +1424,7 @@ Future<Status> NodeKernel::CheckpointObject(const ObjectName& name) {
 }
 
 Future<Status> NodeKernel::CheckpointForObject(
-    const std::shared_ptr<ActiveObject>& object) {
+    const std::shared_ptr<ActiveObject>& object, const SpanContext& parent) {
   if (!object->core->alive) {
     return ReadyStatus(FailedPreconditionError("object crashed"));
   }
@@ -1402,16 +1475,25 @@ Future<Status> NodeKernel::CheckpointForObject(
   object->ckpt_policy = object->policy;
   object->ckpt_frozen = object->frozen;
 
+  // A checkpoint issued inside a traced invocation hangs off that invocation's
+  // dispatch span; a bare driver-side checkpoint roots its own trace. Opened
+  // only for real writes — no-op checkpoints above do no attributable work.
+  SpanContext ckpt_span = StartSpan(parent, SpanKind::kCheckpoint, object->name,
+                                    base ? "checkpoint base"
+                                         : "checkpoint delta " +
+                                               std::to_string(delta_seq));
   Future<Status> done = WriteCheckpoint(object->name, SharedBytes(std::move(record)),
-                                        delta_seq, object->policy);
+                                        delta_seq, object->policy, ckpt_span);
   object->ckpt_pending = done;
   SimTime started = sim().now();
   // Weak capture: the object holds `done` in ckpt_pending, so a strong
   // capture here (of either the object or the future) would cycle and leak
   // any activation with a checkpoint still in flight at teardown.
   std::weak_ptr<ActiveObject> weak = object;
-  done.OnReadyValue([this, weak, started](const Status& status) {
+  done.OnReadyValue([this, weak, started, ckpt_span](const Status& status) {
     checkpoint_latency_->Record(sim().now() - started);
+    EndSpan(ckpt_span, status.ok() ? std::string()
+                                   : std::string(StatusCodeName(status.code())));
     if (!status.ok()) {
       // The chain's durable suffix is now unknown (and the dirty bits that
       // would have covered it are cleared): force a full base next time.
@@ -1441,34 +1523,38 @@ Bytes NodeKernel::EncodeCheckpointRecord(const ActiveObject& object,
 Future<Status> NodeKernel::WriteCheckpoint(const ObjectName& name,
                                            SharedBytes record,
                                            uint64_t delta_seq,
-                                           const CheckpointPolicy& policy) {
+                                           const CheckpointPolicy& policy,
+                                           const SpanContext& parent) {
   Future<Status> primary =
       policy.primary_site == station()
-          ? WriteLocalCheckpoint(name, record, delta_seq, /*is_mirror=*/false)
+          ? WriteLocalCheckpoint(name, record, delta_seq, /*is_mirror=*/false,
+                                 parent)
           : SendRemoteCheckpoint(name, record, delta_seq, policy.primary_site,
-                                 /*is_mirror=*/false);
+                                 /*is_mirror=*/false, parent);
   if (policy.level != ReliabilityLevel::kMirrored) {
     return primary;
   }
   Future<Status> mirror =
       policy.mirror_site == station()
           ? WriteLocalCheckpoint(name, std::move(record), delta_seq,
-                                 /*is_mirror=*/true)
+                                 /*is_mirror=*/true, parent)
           : SendRemoteCheckpoint(name, std::move(record), delta_seq,
-                                 policy.mirror_site, /*is_mirror=*/true);
+                                 policy.mirror_site, /*is_mirror=*/true,
+                                 parent);
   return CombineStatus(std::move(primary), std::move(mirror));
 }
 
 Future<Status> NodeKernel::WriteLocalCheckpoint(const ObjectName& name,
                                                 SharedBytes record,
                                                 uint64_t delta_seq,
-                                                bool is_mirror) {
+                                                bool is_mirror,
+                                                const SpanContext& parent) {
   if (delta_seq == 0) {
     // A fresh base supersedes the previous chain; the deletes join the base
     // write's flush. Erase before Put so a same-key chain restarts cleanly.
     EraseDeltaChain(name, is_mirror);
     return store_->Put(is_mirror ? MirrorKey(name) : CheckpointKey(name),
-                       std::move(record));
+                       std::move(record), parent);
   }
   // Contiguity guard: never store a delta whose predecessor is missing
   // (e.g. after a capacity failure mid-chain) — restore stops at the first
@@ -1479,7 +1565,8 @@ Future<Status> NodeKernel::WriteLocalCheckpoint(const ObjectName& name,
     return ReadyStatus(
         FailedPreconditionError("checkpoint delta chain broken; base required"));
   }
-  return store_->Put(DeltaKey(name, delta_seq, is_mirror), std::move(record));
+  return store_->Put(DeltaKey(name, delta_seq, is_mirror), std::move(record),
+                     parent);
 }
 
 void NodeKernel::EraseDeltaChain(const ObjectName& name, bool is_mirror,
@@ -1494,7 +1581,8 @@ Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
                                                 SharedBytes record,
                                                 uint64_t delta_seq,
                                                 StationId site,
-                                                bool is_mirror) {
+                                                bool is_mirror,
+                                                const SpanContext& parent) {
   uint64_t request_id = next_request_id_++;
   PendingAck& pending = pending_acks_[request_id];
   Future<Status> future = pending.promise.GetFuture();
@@ -1516,19 +1604,24 @@ Future<Status> NodeKernel::SendRemoteCheckpoint(const ObjectName& name,
   msg.record = std::move(record);
   msg.is_mirror = is_mirror;
   msg.delta_seq = delta_seq;
+  msg.span = parent;
   Bytes encoded = msg.Encode();
   sim().Schedule(SerializeCost(encoded.size()),
-                 [this, site, encoded = std::move(encoded)]() mutable {
+                 [this, site, span = parent,
+                  encoded = std::move(encoded)]() mutable {
                    if (!failed_) {
-                     transport_->SendReliable(site, std::move(encoded));
+                     transport_->SendReliable(site, std::move(encoded), span);
                    }
                  });
   return future;
 }
 
 void NodeKernel::HandleCheckpointPut(StationId src, CheckpointPutMsg msg) {
+  // The checksite's disk write becomes a cross-node store-write child of the
+  // origin's checkpoint span.
   Future<Status> write = WriteLocalCheckpoint(msg.name, std::move(msg.record),
-                                             msg.delta_seq, msg.is_mirror);
+                                             msg.delta_seq, msg.is_mirror,
+                                             msg.span);
   write.OnReadyValue([this, request_id = msg.request_id,
                       reply_to = msg.reply_to](const Status& status) {
     if (failed_) {
@@ -1659,7 +1752,8 @@ Task<Status> NodeKernel::CopyMirrorChain(ObjectName name) {
 // ---------------------------------------------------------------------------
 
 Future<Status> NodeKernel::MoveObject(const std::shared_ptr<ActiveObject>& object,
-                                      StationId destination) {
+                                      StationId destination,
+                                      const SpanContext& parent) {
   if (object->is_replica) {
     return ReadyStatus(FailedPreconditionError("cannot move a replica"));
   }
@@ -1674,12 +1768,17 @@ Future<Status> NodeKernel::MoveObject(const std::shared_ptr<ActiveObject>& objec
   }
   Promise<Status> done;
   Future<Status> future = done.GetFuture();
-  RunMove(object, destination, std::move(done));
+  RunMove(object, destination, std::move(done), parent);
   return future;
 }
 
 DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
-                                 StationId destination, Promise<Status> done) {
+                                 StationId destination, Promise<Status> done,
+                                 SpanContext parent) {
+  // Opened before the drain wait, so drain latency is attributed to the move.
+  SpanContext move_span =
+      StartSpan(parent, SpanKind::kMove, object->name,
+                "move to node" + std::to_string(destination));
   object->moving = true;
   // Wait for other running invocations to drain. The invocation that
   // requested the move is itself still running, hence threshold 1.
@@ -1691,6 +1790,7 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
   }
   if (!object->core->alive) {
     object->moving = false;
+    EndSpan(move_span, "crashed");
     done.Set(AbortedError("object crashed during move"));
     co_return;
   }
@@ -1704,12 +1804,14 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
   msg.representation = object->core->rep;
   msg.policy = object->policy;
   msg.frozen = object->frozen;
+  msg.span = move_span;
   Bytes encoded = msg.Encode();
 
   PendingMove& pending = pending_moves_[transfer_id];
   pending.promise = std::move(done);
   pending.object = object;
   pending.destination = destination;
+  pending.span = move_span;
   pending.timer =
       sim().Schedule(config_.attempt_timeout * 2, [this, transfer_id] {
         auto it = pending_moves_.find(transfer_id);
@@ -1719,6 +1821,7 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
         PendingMove pending = std::move(it->second);
         pending_moves_.erase(it);
         // Abort: resume service on this node.
+        EndSpan(pending.span, "destination_unreachable");
         pending.object->moving = false;
         Promise<Status> promise = std::move(pending.promise);
         std::shared_ptr<ActiveObject> object = pending.object;
@@ -1735,9 +1838,11 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
   Trace(TraceEventKind::kMoveOut, object->name, transfer_id,
         "to station " + std::to_string(destination));
   sim().Schedule(SerializeCost(encoded.size()),
-                 [this, destination, encoded = std::move(encoded)]() mutable {
+                 [this, destination, span = move_span,
+                  encoded = std::move(encoded)]() mutable {
                    if (!failed_) {
-                     transport_->SendReliable(destination, std::move(encoded));
+                     transport_->SendReliable(destination, std::move(encoded),
+                                              span);
                    }
                  });
 }
@@ -1779,29 +1884,38 @@ void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
   ack.accepted = true;
   transport_->SendReliable(src, ack.Encode());
 
+  // The move-in rebuild is a cross-node kActivation child of the mover's
+  // kMove span.
+  SpanContext act_span =
+      ChildSpan(msg.span, SpanKind::kActivation, msg.name, "move-in");
+
   // Arrival at a new node rebuilds short-term state exactly like a
   // reincarnation: run the condition handler, restart behaviors, then serve.
-  [](NodeKernel* kernel, std::shared_ptr<ActiveObject> object) -> DetachedTask {
+  [](NodeKernel* kernel, std::shared_ptr<ActiveObject> object,
+     SpanContext act_span) -> DetachedTask {
     co_await SleepFor(kernel->sim(), kernel->config_.activation_overhead);
     if (!object->core->alive) {
+      kernel->EndSpan(act_span, "crashed");
       co_return;
     }
     if (object->type->reincarnation()) {
       InvokeContext context(kernel, object, "<reincarnation>", InvokeArgs{},
-                            Rights::All());
+                            Rights::All(), act_span);
       co_await object->type->reincarnation()(context);
     }
     if (!object->core->alive) {
+      kernel->EndSpan(act_span, "crashed");
       co_return;
     }
     kernel->StartBehaviors(object);
     object->activating = false;
+    kernel->EndSpan(act_span);
     while (!object->hold_queue.empty()) {
       PendingDispatch d = std::move(object->hold_queue.front());
       object->hold_queue.pop_front();
       kernel->AcceptDispatch(object, std::move(d));
     }
-  }(this, object);
+  }(this, object, act_span);
 }
 
 void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
@@ -1815,6 +1929,7 @@ void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
   std::shared_ptr<ActiveObject> object = pending.object;
 
   if (!msg.accepted) {
+    EndSpan(pending.span, "refused");
     object->moving = false;
     while (!object->hold_queue.empty()) {
       PendingDispatch d = std::move(object->hold_queue.front());
@@ -1855,6 +1970,7 @@ void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
   active_.erase(name);
   UpdateActiveGauge();
   object->moving = false;
+  EndSpan(pending.span);
   // Behaviors and any post-move handler code on this node see a dead core.
   object->core->Fail(AbortedError("object moved to another node"));
   pending.promise.Set(OkStatus());
@@ -1864,7 +1980,8 @@ void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
 // Frozen-object replication
 // ---------------------------------------------------------------------------
 
-void NodeKernel::MaybeFetchReplica(const ObjectName& name, StationId host) {
+void NodeKernel::MaybeFetchReplica(const ObjectName& name, StationId host,
+                                   const SpanContext& parent) {
   for (const auto& [request_id, pending_name] : pending_replica_fetches_) {
     if (pending_name == name) {
       return;  // fetch already under way
@@ -1877,6 +1994,10 @@ void NodeKernel::MaybeFetchReplica(const ObjectName& name, StationId host) {
   msg.request_id = request_id;
   msg.reply_to = station();
   msg.name = name;
+  // Context only: the fetch is a background prefetch whose triggering
+  // invocation has already completed, so no span is opened for it (the
+  // parent trace may finalize before the fetch resolves).
+  msg.span = parent;
   transport_->SendReliable(host, msg.Encode());
 }
 
@@ -1950,14 +2071,28 @@ void NodeKernel::FailNode() {
   for (auto& [id, invocation] : pending) {
     sim().Cancel(invocation.user_timer);
     sim().Cancel(invocation.attempt_timer);
+    EndSpan(invocation.span, "node_failed");
     invocation.promise.Set(
         InvokeResult::Error(UnavailableError("invoking node failed")));
   }
-  auto locates = std::move(pending_locates_);
-  pending_locates_.clear();
-  locate_by_name_.clear();
-  for (auto& [query_id, locate] : locates) {
-    sim().Cancel(locate.timer);
+  {
+    // pending_locates_ iterates in hash order; close spans in query-id order
+    // so the collector sees the same sequence on every run.
+    std::vector<std::pair<uint64_t, SpanContext>> locate_spans;
+    auto locates = std::move(pending_locates_);
+    pending_locates_.clear();
+    locate_by_name_.clear();
+    for (auto& [query_id, locate] : locates) {
+      sim().Cancel(locate.timer);
+      if (locate.span.valid()) {
+        locate_spans.emplace_back(query_id, locate.span);
+      }
+    }
+    std::sort(locate_spans.begin(), locate_spans.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [query_id, span] : locate_spans) {
+      EndSpan(span, "node_failed");
+    }
   }
   auto acks = std::move(pending_acks_);
   pending_acks_.clear();
@@ -1969,6 +2104,7 @@ void NodeKernel::FailNode() {
   pending_moves_.clear();
   for (auto& [transfer_id, move] : moves) {
     sim().Cancel(move.timer);
+    EndSpan(move.span, "node_failed");
     move.promise.Set(UnavailableError("node failed"));
   }
   pending_replica_fetches_.clear();
@@ -2005,12 +2141,12 @@ Future<InvokeResult> InvokeContext::Invoke(const Capability& target,
   Promise<InvokeResult> promise;
   Future<InvokeResult> future = promise.GetFuture();
   kernel_->StartInvocation(target, op, std::move(args), options,
-                           std::move(promise));
+                           std::move(promise), span_);
   return future;
 }
 
 Future<Status> InvokeContext::Checkpoint() {
-  return kernel_->CheckpointForObject(object_);
+  return kernel_->CheckpointForObject(object_, span_);
 }
 
 Status InvokeContext::SetChecksite(const CheckpointPolicy& policy) {
@@ -2029,7 +2165,7 @@ void InvokeContext::Crash() {
 void InvokeContext::Destroy() { kernel_->DestroyObject(object_); }
 
 Future<Status> InvokeContext::RequestMove(StationId new_home) {
-  return kernel_->MoveObject(object_, new_home);
+  return kernel_->MoveObject(object_, new_home, span_);
 }
 
 Status InvokeContext::Freeze() {

@@ -16,6 +16,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "src/net/transport.h"
 #include "src/sim/rng.h"
 #include "src/storage/stable_store.h"
+#include "src/trace/span.h"
 #include "src/trace/trace.h"
 
 namespace eden {
@@ -153,9 +155,11 @@ class NodeKernel {
 
   // Requests migration of an active object to another node. Normally invoked
   // from within the object (InvokeContext::RequestMove); exposed for policy
-  // drivers and tests.
+  // drivers and tests. A valid `parent` parents the kMove span; a driver call
+  // without one mints a root move trace.
   Future<Status> MoveObject(const std::shared_ptr<ActiveObject>& object,
-                            StationId destination);
+                            StationId destination,
+                            const SpanContext& parent = {});
 
   // --- Invocation (driver side) ----------------------------------------------
   // Location-independent invocation from outside any object (applications,
@@ -193,6 +197,17 @@ class NodeKernel {
   // kernel's events. The buffer must outlive the kernel or be detached first.
   void set_trace(TraceBuffer* trace) { trace_ = trace; }
 
+  // Attaches the shared causal-span collector (DESIGN.md §12) and propagates
+  // it to the owned transport and store. Spans never schedule simulation
+  // events or consume simulation randomness, so attaching a collector cannot
+  // change execution. The collector must outlive this kernel; nullptr
+  // detaches.
+  void set_spans(SpanCollector* spans) {
+    spans_ = spans;
+    transport_->set_spans(spans);
+    store_->set_spans(spans, station());
+  }
+
   StableStore& store() { return *store_; }
   Transport& transport() { return *transport_; }
   // This node's metrics: kernel.* counters and latency histograms, plus the
@@ -227,6 +242,10 @@ class NodeKernel {
     SimTime started = 0;
     bool went_remote = false;
     std::string metrics_class;
+    // The kInvocation span covering this invocation end to end (a root when
+    // the caller is a driver, a child of the calling invocation's dispatch
+    // span otherwise; invalid when tracing is off).
+    SpanContext span;
   };
 
   struct PendingLocate {
@@ -235,6 +254,8 @@ class NodeKernel {
     int attempts = 0;
     EventId timer = kInvalidEventId;
     SimTime started = 0;
+    // kLocate span, child of the first waiting invocation's span.
+    SpanContext span;
   };
 
   struct PendingAck {
@@ -247,6 +268,7 @@ class NodeKernel {
     std::shared_ptr<ActiveObject> object;
     StationId destination = 0;
     EventId timer = kInvalidEventId;
+    SpanContext span;  // kMove span, open until ack / timeout
   };
 
   void Trace(TraceEventKind kind, const ObjectName& object, uint64_t id,
@@ -257,10 +279,44 @@ class NodeKernel {
     }
   }
 
+  // --- Causal spans (DESIGN.md §12) ------------------------------------------
+  // StartSpan opens a child of `parent`, or a new root trace when `parent` is
+  // invalid; ChildSpan additionally requires a valid parent (mid-path spans
+  // must never mint root traces of their own). All three are no-ops without a
+  // collector and return/accept invalid contexts freely, so call sites need
+  // no guards.
+  SpanContext StartSpan(const SpanContext& parent, SpanKind kind,
+                        const ObjectName& object, std::string_view label) {
+    if (spans_ == nullptr) {
+      return {};
+    }
+    return spans_->StartSpan(parent, kind, station(), object, label,
+                             sim().now());
+  }
+  SpanContext ChildSpan(const SpanContext& parent, SpanKind kind,
+                        const ObjectName& object, std::string_view label) {
+    if (spans_ == nullptr || !parent.valid()) {
+      return {};
+    }
+    return spans_->StartSpan(parent, kind, station(), object, label,
+                             sim().now());
+  }
+  void EndSpan(const SpanContext& ctx, std::string_view status = {}) {
+    if (spans_ != nullptr && ctx.valid()) {
+      spans_->EndSpan(ctx, sim().now(), status);
+    }
+  }
+  void AnnotateSpan(const SpanContext& ctx, std::string_view note) {
+    if (spans_ != nullptr && ctx.valid()) {
+      spans_->Annotate(ctx, sim().now(), note);
+    }
+  }
+
   uint64_t NewInvocationId();
   uint64_t StartInvocation(const Capability& target, const std::string& op,
                            InvokeArgs args, const InvokeOptions& options,
-                           Promise<InvokeResult> promise);
+                           Promise<InvokeResult> promise,
+                           const SpanContext& parent_span);
   void TryResolve(uint64_t id);
   void SendRequestTo(uint64_t id, StationId host);
   void DispatchLocally(uint64_t id, std::shared_ptr<ActiveObject> object);
@@ -314,8 +370,10 @@ class NodeKernel {
   SimDuration SerializeCost(size_t bytes) const;
 
   // --- Activation (reincarnation) -------------------------------------------------
-  void BeginActivation(const ObjectName& name);
-  DetachedTask RunActivation(ObjectName name);
+  // `parent` (when valid) parents the kActivation span to whichever request
+  // first forced the passive object back to life.
+  void BeginActivation(const ObjectName& name, const SpanContext& parent = {});
+  DetachedTask RunActivation(ObjectName name, SpanContext parent);
   // Result of replaying a checkpoint chain from the store. `corrupt_at` is
   // the first unusable delta link (base failures surface as a non-OK status
   // instead); links [1, corrupt_at) are already applied to `rep` when
@@ -333,13 +391,15 @@ class NodeKernel {
   // Reads base + delta chain for `name`. Non-OK when the base record is
   // missing (kNotFound) or unreadable/corrupt (kDataLoss); OK otherwise,
   // with `out.corrupt` flagging a bad delta link partway down the chain.
-  Task<Status> ReadCheckpointChain(const ObjectName& name, RestoredChain& out);
+  Task<Status> ReadCheckpointChain(const ObjectName& name, RestoredChain& out,
+                                   const SpanContext& parent = {});
   void StartBehaviors(const std::shared_ptr<ActiveObject>& object);
   Task<void> RunBehavior(std::shared_ptr<ActiveObject> object, std::string name,
                          BehaviorBody body);
 
   // --- Checkpoint / crash / destroy / move / freeze (via InvokeContext) ------------
-  Future<Status> CheckpointForObject(const std::shared_ptr<ActiveObject>& object);
+  Future<Status> CheckpointForObject(const std::shared_ptr<ActiveObject>& object,
+                                     const SpanContext& parent = {});
   Bytes EncodeCheckpointRecord(const ActiveObject& object,
                                CheckpointRecordKind kind) const;
   // delta_seq 0 writes a base record (and erases any stale delta chain);
@@ -347,12 +407,15 @@ class NodeKernel {
   // write shares the same buffer.
   Future<Status> WriteCheckpoint(const ObjectName& name, SharedBytes record,
                                  uint64_t delta_seq,
-                                 const CheckpointPolicy& policy);
+                                 const CheckpointPolicy& policy,
+                                 const SpanContext& parent = {});
   Future<Status> WriteLocalCheckpoint(const ObjectName& name, SharedBytes record,
-                                      uint64_t delta_seq, bool is_mirror);
+                                      uint64_t delta_seq, bool is_mirror,
+                                      const SpanContext& parent = {});
   Future<Status> SendRemoteCheckpoint(const ObjectName& name, SharedBytes record,
                                       uint64_t delta_seq, StationId site,
-                                      bool is_mirror);
+                                      bool is_mirror,
+                                      const SpanContext& parent = {});
   // Deletes delta links `from_seq`, `from_seq`+1, ... while they exist.
   void EraseDeltaChain(const ObjectName& name, bool is_mirror,
                        uint64_t from_seq = 1);
@@ -360,8 +423,9 @@ class NodeKernel {
   void CrashObject(const std::shared_ptr<ActiveObject>& object, const Status& reason);
   void DestroyObject(const std::shared_ptr<ActiveObject>& object);
   DetachedTask RunMove(std::shared_ptr<ActiveObject> object, StationId destination,
-                       Promise<Status> done);
-  void MaybeFetchReplica(const ObjectName& name, StationId host);
+                       Promise<Status> done, SpanContext parent);
+  void MaybeFetchReplica(const ObjectName& name, StationId host,
+                         const SpanContext& parent = {});
 
   static std::string CheckpointKey(const ObjectName& name) {
     return "ckpt/" + name.ToKey();
@@ -478,6 +542,7 @@ class NodeKernel {
   uint64_t next_transfer_id_ = 1;
 
   TraceBuffer* trace_ = nullptr;
+  SpanCollector* spans_ = nullptr;
 };
 
 }  // namespace eden

@@ -72,6 +72,9 @@ struct PendingDispatch {
   // True when the invoker is an object (or driver) on this same node: the
   // reply is completed in-process instead of transmitted.
   bool local = false;
+  // The kDispatch span covering queueing + execution at this node (child of
+  // the request's invocation span; invalid when tracing is off).
+  SpanContext span;
 };
 
 // Kernel bookkeeping for one active object (the coordinator's state).

@@ -67,7 +67,8 @@ void Transport::set_metrics(MetricsRegistry* registry) {
 // Send path
 // ---------------------------------------------------------------------------
 
-uint64_t Transport::SendReliable(StationId dst, Bytes message) {
+uint64_t Transport::SendReliable(StationId dst, Bytes message,
+                                 const SpanContext& parent) {
   assert(dst != kBroadcastStation && "reliable broadcast is not supported");
   uint64_t msg_id = next_msg_id_++;
   PendingSend pending;
@@ -75,6 +76,11 @@ uint64_t Transport::SendReliable(StationId dst, Bytes message) {
   pending.msg_id = msg_id;
   pending.message = SharedBytes(std::move(message));
   pending.reliable = true;
+  if (spans_ != nullptr && parent.valid()) {
+    pending.span =
+        spans_->StartSpan(parent, SpanKind::kWire, station_->id(), ObjectName{},
+                          "to node" + std::to_string(dst), sim_.now());
+  }
   stats_.messages_sent++;
   Bump(counters_.messages_sent);
   auto [it, inserted] = pending_.emplace(msg_id, std::move(pending));
@@ -175,6 +181,9 @@ void Transport::OnRetryTimer() {
       stats_.send_failures++;
       Bump(counters_.send_failures);
       StationId dst = pending.dst;
+      if (spans_ != nullptr && pending.span.valid()) {
+        spans_->EndSpan(pending.span, now, "gave_up");
+      }
       pending_.erase(it);
       if (on_send_outcome_) {
         on_send_outcome_(dst, /*delivered=*/false);
@@ -184,6 +193,10 @@ void Transport::OnRetryTimer() {
     pending.retransmits++;
     stats_.retransmits++;
     Bump(counters_.retransmits);
+    if (spans_ != nullptr && pending.span.valid()) {
+      spans_->Annotate(pending.span, now,
+                       "retransmit#" + std::to_string(pending.retransmits));
+    }
     TransmitFragments(pending);
     // Exponential backoff.
     pending.next_retry = now + (config_.retransmit_timeout << pending.retransmits);
@@ -344,6 +357,9 @@ void Transport::AckMsgId(uint64_t msg_id) {
   }
   StationId dst = it->second.dst;
   bool reliable = it->second.reliable;
+  if (spans_ != nullptr && it->second.span.valid()) {
+    spans_->EndSpan(it->second.span, sim_.now());
+  }
   pending_.erase(it);
   if (reliable && on_send_outcome_) {
     on_send_outcome_(dst, /*delivered=*/true);
@@ -495,6 +511,23 @@ void Transport::RecordDelivered(StationId src, uint64_t msg_id) {
 }
 
 void Transport::Reset() {
+  if (spans_ != nullptr) {
+    // Close wire spans of discarded in-flight messages in a deterministic
+    // (msg-id) order — pending_ itself iterates in hash order.
+    std::vector<const PendingSend*> doomed;
+    for (const auto& [msg_id, pending] : pending_) {
+      if (pending.span.valid()) {
+        doomed.push_back(&pending);
+      }
+    }
+    std::sort(doomed.begin(), doomed.end(),
+              [](const PendingSend* a, const PendingSend* b) {
+                return a->msg_id < b->msg_id;
+              });
+    for (const PendingSend* pending : doomed) {
+      spans_->EndSpan(pending->span, sim_.now(), "reset");
+    }
+  }
   pending_.clear();
   retry_queue_ = {};
   if (retry_timer_ != kInvalidEventId) {

@@ -38,6 +38,7 @@
 #include "src/metrics/metrics.h"
 #include "src/net/lan.h"
 #include "src/sim/simulation.h"
+#include "src/trace/span.h"
 
 namespace eden {
 
@@ -103,7 +104,15 @@ class Transport {
   // Sends with retransmission until acknowledged (or max_retransmits).
   // Returns the message id (for tests/diagnostics). Pass the payload with
   // std::move — it is shared with the wire, never copied.
-  uint64_t SendReliable(StationId dst, Bytes message);
+  uint64_t SendReliable(StationId dst, Bytes message) {
+    return SendReliable(dst, std::move(message), SpanContext{});
+  }
+
+  // As above, but opens a kWire span (child of `parent`) covering first
+  // transmit -> ACK. Retransmits annotate the span; give-up and Reset close
+  // it with an error status. No-op when no collector is attached.
+  uint64_t SendReliable(StationId dst, Bytes message,
+                        const SpanContext& parent);
 
   // Fire-and-forget; `dst` may be kBroadcastStation.
   void SendBestEffort(StationId dst, Bytes message);
@@ -119,6 +128,10 @@ class Transport {
   // names. The registry must outlive this transport; nullptr detaches.
   void set_metrics(MetricsRegistry* registry);
 
+  // Attaches the shared span collector for kWire spans (DESIGN.md §12). The
+  // collector must outlive this transport; nullptr detaches.
+  void set_spans(SpanCollector* spans) { spans_ = spans; }
+
  private:
   enum FrameKind : uint8_t { kData = 1, kAck = 2 };
 
@@ -131,6 +144,8 @@ class Transport {
     // Authoritative next deadline; stale retry-heap entries disagree and are
     // skipped when popped.
     SimTime next_retry = 0;
+    // The kWire span riding this message (invalid when tracing is off).
+    SpanContext span;
   };
 
   struct Reassembly {
@@ -189,6 +204,7 @@ class Transport {
   TransportConfig config_;
   TransportStats stats_;
   TransportCounters counters_;
+  SpanCollector* spans_ = nullptr;
   Handler handler_;
   SendOutcomeHandler on_send_outcome_;
   uint64_t next_msg_id_ = 1;

@@ -53,7 +53,8 @@ uint32_t StableStore::TrackOf(const std::string& key) const {
   return static_cast<uint32_t>(Fnv1a64(placed) % config_.track_count);
 }
 
-Future<Status> StableStore::Put(const std::string& key, SharedBytes value) {
+Future<Status> StableStore::Put(const std::string& key, SharedBytes value,
+                                const SpanContext& parent) {
   uint64_t new_bytes = value.size();
   auto existing = records_.find(key);
   uint64_t replaced =
@@ -89,12 +90,17 @@ Future<Status> StableStore::Put(const std::string& key, SharedBytes value) {
   op.bytes = new_bytes;
   op.key = key;
   op.version = record.version;
+  if (spans_ != nullptr && parent.valid()) {
+    op.span = spans_->StartSpan(parent, SpanKind::kStoreWrite, span_node_,
+                                ObjectName{}, key, sim_.now());
+  }
   Future<Status> done = op.done.GetFuture();
   Enqueue(std::move(op));
   return done;
 }
 
-Future<StatusOr<SharedBytes>> StableStore::Get(const std::string& key) {
+Future<StatusOr<SharedBytes>> StableStore::Get(const std::string& key,
+                                               const SpanContext& parent) {
   auto it = records_.find(key);
   if (it == records_.end()) {
     Promise<StatusOr<SharedBytes>> promise;
@@ -115,12 +121,17 @@ Future<StatusOr<SharedBytes>> StableStore::Get(const std::string& key) {
   op.key = key;
   op.value = it->second.value;  // refcounted snapshot at enqueue time
   op.crc = it->second.crc;
+  if (spans_ != nullptr && parent.valid()) {
+    op.span = spans_->StartSpan(parent, SpanKind::kStoreRead, span_node_,
+                                ObjectName{}, key, sim_.now());
+  }
   Future<StatusOr<SharedBytes>> done = op.read_done.GetFuture();
   Enqueue(std::move(op));
   return done;
 }
 
-Future<Status> StableStore::Delete(const std::string& key) {
+Future<Status> StableStore::Delete(const std::string& key,
+                                   const SpanContext& parent) {
   auto it = records_.find(key);
   if (it != records_.end()) {
     bytes_used_ -= it->second.value.size();
@@ -138,6 +149,10 @@ Future<Status> StableStore::Delete(const std::string& key) {
   op.track = TrackOf(key);
   op.bytes = 0;
   op.key = key;
+  if (spans_ != nullptr && parent.valid()) {
+    op.span = spans_->StartSpan(parent, SpanKind::kStoreWrite, span_node_,
+                                ObjectName{}, "delete " + key, sim_.now());
+  }
   Future<Status> done = op.done.GetFuture();
   Enqueue(std::move(op));
   return done;
@@ -317,6 +332,10 @@ void StableStore::StartService() {
         stats_.read_soft_retries += static_cast<uint64_t>(retries);
         service += static_cast<SimDuration>(retries) *
                    config_.rotational_latency;
+        if (spans_ != nullptr && pending_[lead].span.valid()) {
+          spans_->Annotate(pending_[lead].span, sim_.now(),
+                           "fault:read_retry x" + std::to_string(retries));
+        }
       }
     }
     // Degraded mechanics: the whole service (seek + rotation + transfer)
@@ -387,15 +406,22 @@ void StableStore::CompleteOps(std::vector<PendingOp> ops) {
   // below, keeping a single dispatch point.
   for (PendingOp& op : ops) {
     RecordOpLatency(op);
+    bool span_live = spans_ != nullptr && op.span.valid();
     if (op.kind == PendingOp::kRead) {
       if (config_.verify_checksums && Crc32(op.value.view()) != op.crc) {
         stats_.checksum_failures++;
         if (metrics_.checksum_failures != nullptr) {
           metrics_.checksum_failures->Increment();
         }
+        if (span_live) {
+          spans_->EndSpan(op.span, sim_.now(), "checksum_failure");
+        }
         op.read_done.Set(StatusOr<SharedBytes>(
             DataLossError("checksum mismatch reading record: " + op.key)));
       } else {
+        if (span_live) {
+          spans_->EndSpan(op.span, sim_.now());
+        }
         op.read_done.Set(StatusOr<SharedBytes>(std::move(op.value)));
       }
       continue;
@@ -415,11 +441,21 @@ void StableStore::CompleteOps(std::vector<PendingOp> ops) {
           }
         } else {
           stats_.torn_writes++;
+          if (span_live) {
+            spans_->Annotate(op.span, sim_.now(), "fault:torn_write");
+          }
         }
       } else if (fault_hook_->CorruptAtRest(op.key)) {
         CorruptRecord(op.key, /*bit=*/op.version % 64);
         stats_.latent_corruptions++;
+        if (span_live) {
+          spans_->Annotate(op.span, sim_.now(), "fault:latent_corruption");
+        }
       }
+    }
+    if (span_live) {
+      spans_->EndSpan(op.span, sim_.now(),
+                      fault.error ? "fault:write_error" : "");
     }
     op.done.Set(fault.error
                     ? InternalError("injected disk write error: " + op.key)

@@ -40,6 +40,7 @@
 #include "src/metrics/metrics.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
+#include "src/trace/span.h"
 
 namespace eden {
 
@@ -134,17 +135,23 @@ class StableStore {
   // index immediately; the future completes when the data is durable.
   // Capacity overflow fails synchronously with ResourceExhausted and leaves
   // any existing record untouched. The payload is refcounted, never copied.
-  Future<Status> Put(const std::string& key, SharedBytes value);
-  Future<Status> Put(const std::string& key, Bytes value) {
-    return Put(key, SharedBytes(std::move(value)));
+  // A valid `parent` span context opens a kStoreWrite span (queueing + seek +
+  // transfer) closed when the op retires; injected faults annotate it.
+  Future<Status> Put(const std::string& key, SharedBytes value,
+                     const SpanContext& parent = {});
+  Future<Status> Put(const std::string& key, Bytes value,
+                     const SpanContext& parent = {}) {
+    return Put(key, SharedBytes(std::move(value)), parent);
   }
 
   // Reads a record; NotFound if absent (synchronously). The returned bytes
-  // are a refcounted snapshot taken at call time.
-  Future<StatusOr<SharedBytes>> Get(const std::string& key);
+  // are a refcounted snapshot taken at call time. A valid `parent` opens a
+  // kStoreRead span for the service.
+  Future<StatusOr<SharedBytes>> Get(const std::string& key,
+                                    const SpanContext& parent = {});
 
   // Removes a record; OK even if absent. Bytes are reclaimed immediately.
-  Future<Status> Delete(const std::string& key);
+  Future<Status> Delete(const std::string& key, const SpanContext& parent = {});
 
   // Fault/test surface: damages the durable copy of `key` without updating
   // its stored checksum, so its next read fails verification (kDataLoss).
@@ -182,6 +189,14 @@ class StableStore {
   // not nanoseconds) into store.arm_travel_tracks. The registry must
   // outlive this store; nullptr detaches.
   void set_metrics(MetricsRegistry* registry);
+
+  // Attaches the shared span collector for store-request spans (DESIGN.md
+  // §12); `node` is the owning node's station id, recorded on the spans. The
+  // collector must outlive this store; nullptr detaches.
+  void set_spans(SpanCollector* spans, StationId node) {
+    spans_ = spans;
+    span_node_ = node;
+  }
 
  private:
   struct StoreMetrics {
@@ -222,6 +237,7 @@ class StableStore {
     Promise<Status> done;                      // write / delete
     Promise<StatusOr<SharedBytes>> read_done;  // read
     SharedBytes value;                         // read snapshot
+    SpanContext span;                          // invalid when tracing is off
   };
 
   void Enqueue(PendingOp op);
@@ -249,6 +265,8 @@ class StableStore {
   StoreStats stats_;
   StoreMetrics metrics_;
   DiskFaultHook* fault_hook_ = nullptr;
+  SpanCollector* spans_ = nullptr;
+  StationId span_node_ = 0;
   std::unordered_map<std::string, Record> records_;
   uint64_t bytes_used_ = 0;
   uint64_t next_version_ = 1;

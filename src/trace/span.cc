@@ -1,0 +1,612 @@
+#include "src/trace/span.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/metrics/json_writer.h"
+
+namespace eden {
+
+void SpanContext::Encode(BufferWriter& writer) const {
+  writer.WriteU64(trace_id);
+  writer.WriteU64(span_id);
+  writer.WriteU64(parent_span_id);
+}
+
+StatusOr<SpanContext> SpanContext::Decode(BufferReader& reader) {
+  SpanContext ctx;
+  EDEN_ASSIGN_OR_RETURN(ctx.trace_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(ctx.span_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(ctx.parent_span_id, reader.ReadU64());
+  return ctx;
+}
+
+std::string_view SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kInvocation:
+      return "invoke";
+    case SpanKind::kLocate:
+      return "locate";
+    case SpanKind::kWire:
+      return "wire";
+    case SpanKind::kDispatch:
+      return "dispatch";
+    case SpanKind::kActivation:
+      return "activation";
+    case SpanKind::kStoreRead:
+      return "store_read";
+    case SpanKind::kStoreWrite:
+      return "store_write";
+    case SpanKind::kCheckpoint:
+      return "checkpoint";
+    case SpanKind::kMove:
+      return "move";
+  }
+  return "unknown";
+}
+
+const Span* TraceTree::Find(uint64_t span_id) const {
+  for (const Span& span : spans) {
+    if (span.span_id == span_id) {
+      return &span;
+    }
+  }
+  return nullptr;
+}
+
+SpanCollector::SpanCollector(SpanCollectorConfig config)
+    : config_(config) {}
+
+SpanContext SpanCollector::StartSpan(const SpanContext& parent, SpanKind kind,
+                                     StationId node, const ObjectName& object,
+                                     std::string_view label, SimTime now) {
+  uint64_t id = next_id_++;
+  SpanContext ctx;
+  ctx.span_id = id;
+  LiveTrace* trace = nullptr;
+  if (parent.valid()) {
+    ctx.trace_id = parent.trace_id;
+    ctx.parent_span_id = parent.span_id;
+    trace = FindLive(parent);
+    if (trace == nullptr) {
+      // Parent trace already finalized (or was dropped): the late child
+      // cannot be attached, so it is dropped rather than resurrected.
+      stats_.spans_dropped++;
+      return SpanContext{};
+    }
+    if (trace->tree.spans.size() >= config_.max_spans_per_trace) {
+      stats_.spans_dropped++;
+      return SpanContext{};
+    }
+  } else {
+    ctx.trace_id = id;
+    if (live_.size() >= config_.max_live_traces) {
+      stats_.spans_dropped++;
+      return SpanContext{};
+    }
+    if (!spare_nodes_.empty()) {
+      auto node = std::move(spare_nodes_.back());
+      spare_nodes_.pop_back();
+      node.key() = id;
+      LiveTrace& fresh = node.mapped();
+      fresh.tree.trace_id = id;
+      fresh.tree.spans.clear();
+      fresh.open_spans = 0;
+      fresh.root_closed = false;
+      trace = &live_.insert(std::move(node)).position->second;
+    } else {
+      trace = &live_[id];
+      trace->tree.trace_id = id;
+    }
+    if (trace->tree.spans.capacity() == 0) {
+      if (!spare_spans_.empty()) {
+        trace->tree.spans = std::move(spare_spans_.back());
+        spare_spans_.pop_back();
+      } else {
+        trace->tree.spans.reserve(8);
+      }
+    }
+    cached_trace_id_ = id;
+    cached_trace_ = trace;
+    stats_.traces_started++;
+  }
+
+  ctx.slot = static_cast<uint32_t>(trace->tree.spans.size());
+  Span& span = trace->tree.spans.emplace_back();
+  span.trace_id = ctx.trace_id;
+  span.span_id = id;
+  span.parent_span_id = ctx.parent_span_id;
+  span.kind = kind;
+  span.node = node;
+  span.object = object;
+  span.label = label;
+  span.start = now;
+  span.end = now;
+  trace->open_spans++;
+  stats_.spans_started++;
+  return ctx;
+}
+
+SpanCollector::LiveTrace* SpanCollector::FindLive(const SpanContext& ctx) {
+  if (!ctx.valid()) {
+    return nullptr;
+  }
+  if (ctx.trace_id == cached_trace_id_ && cached_trace_ != nullptr) {
+    return cached_trace_;
+  }
+  auto it = live_.find(ctx.trace_id);
+  if (it == live_.end()) {
+    return nullptr;
+  }
+  cached_trace_id_ = ctx.trace_id;
+  cached_trace_ = &it->second;
+  return cached_trace_;
+}
+
+Span* SpanCollector::FindOpen(LiveTrace* trace, uint64_t span_id) {
+  if (trace == nullptr) {
+    return nullptr;
+  }
+  // Spans per trace are few and closers are usually recent: scan from the
+  // back.
+  auto& spans = trace->tree.spans;
+  for (size_t i = spans.size(); i-- > 0;) {
+    if (spans[i].span_id == span_id) {
+      return &spans[i];
+    }
+  }
+  return nullptr;
+}
+
+Span* SpanCollector::FindOpen(LiveTrace* trace, const SpanContext& ctx) {
+  if (trace == nullptr) {
+    return nullptr;
+  }
+  // Fast path via the context's slot hint (stable while the trace is live);
+  // fall back to the scan for contexts that lost it (e.g. decoded ones).
+  auto& spans = trace->tree.spans;
+  if (ctx.slot < spans.size() && spans[ctx.slot].span_id == ctx.span_id) {
+    return &spans[ctx.slot];
+  }
+  return FindOpen(trace, ctx.span_id);
+}
+
+void SpanCollector::Annotate(const SpanContext& ctx, SimTime now,
+                             std::string_view note) {
+  Span* span = FindOpen(FindLive(ctx), ctx);
+  if (span == nullptr) {
+    if (ctx.valid()) {
+      stats_.orphan_events++;
+    }
+    return;
+  }
+  span->notes.push_back(SpanNote{now, std::string(note)});
+}
+
+void SpanCollector::EndSpan(const SpanContext& ctx, SimTime now,
+                            std::string_view status) {
+  LiveTrace* trace = FindLive(ctx);
+  if (trace == nullptr) {
+    if (ctx.valid()) {
+      stats_.orphan_events++;
+    }
+    return;
+  }
+  Span* span = FindOpen(trace, ctx);
+  if (span == nullptr || !span->open) {
+    stats_.orphan_events++;
+    return;
+  }
+  span->open = false;
+  span->end = now;
+  span->status = status;
+  stats_.spans_closed++;
+  trace->open_spans--;
+  if (span->parent_span_id == 0) {
+    trace->root_closed = true;
+  }
+  MaybeFinalize(ctx.trace_id, *trace);
+}
+
+void SpanCollector::MaybeFinalize(uint64_t trace_id, LiveTrace& trace) {
+  if (!trace.root_closed || trace.open_spans != 0) {
+    return;
+  }
+  // Extract instead of erase: the map node is recycled for the next trace,
+  // so the traced steady state performs no per-trace node allocation. This
+  // runs once per trace; the per-span fast path never touches iterators.
+  if (cached_trace_ == &trace) {
+    cached_trace_ = nullptr;
+    cached_trace_id_ = 0;
+  }
+  auto node = live_.extract(trace_id);
+  if (node.empty()) {
+    return;
+  }
+  Finalize(node.key(), std::move(node.mapped()));
+  constexpr size_t kMaxSpareNodes = 32;
+  if (spare_nodes_.size() < kMaxSpareNodes) {
+    spare_nodes_.push_back(std::move(node));
+  }
+}
+
+void SpanCollector::Flush(SimTime now) {
+  // Two passes: close stragglers first, then finalize, so iteration never
+  // touches live_ while erasing.
+  std::vector<uint64_t> ready;
+  for (auto& [trace_id, trace] : live_) {
+    for (Span& span : trace.tree.spans) {
+      if (span.open) {
+        span.open = false;
+        span.end = std::max(span.start, now);
+        span.status = "unclosed";
+        stats_.spans_closed++;
+        trace.open_spans--;
+        if (span.parent_span_id == 0) {
+          trace.root_closed = true;
+        }
+      }
+    }
+    if (trace.root_closed && trace.open_spans == 0) {
+      ready.push_back(trace_id);
+    }
+  }
+  // Deterministic finalize order (live_ is unordered, but nothing here feeds
+  // back into the simulation; sorting keeps dumps/export stable anyway).
+  std::sort(ready.begin(), ready.end());
+  for (uint64_t trace_id : ready) {
+    auto it = live_.find(trace_id);
+    if (it != live_.end()) {
+      MaybeFinalize(trace_id, it->second);
+    }
+  }
+}
+
+void SpanCollector::Finalize(uint64_t trace_id, LiveTrace&& trace) {
+  stats_.traces_completed++;
+  PhaseBreakdown breakdown = CriticalPath(trace.tree);
+  RecordPhaseMetrics(breakdown);
+  KeepExemplar(trace.tree);
+  completed_.push_back(std::move(trace.tree));
+  while (completed_.size() > config_.retain_completed) {
+    Recycle(std::move(completed_.front()));
+    completed_.pop_front();
+  }
+  (void)trace_id;
+}
+
+void SpanCollector::Recycle(TraceTree&& tree) {
+  constexpr size_t kMaxSpare = 64;
+  if (spare_spans_.size() < kMaxSpare && tree.spans.capacity() > 0) {
+    tree.spans.clear();
+    spare_spans_.push_back(std::move(tree.spans));
+  }
+}
+
+void SpanCollector::RecordPhaseMetrics(const PhaseBreakdown& breakdown) {
+  if (registry_ == nullptr) {
+    return;
+  }
+  for (size_t k = 0; k < kSpanKindCount; k++) {
+    if (breakdown.by_kind[k] > 0 && phase_hist_[k] != nullptr) {
+      phase_hist_[k]->Record(breakdown.by_kind[k]);
+    }
+  }
+  if (e2e_hist_ != nullptr) {
+    e2e_hist_->Record(breakdown.total);
+  }
+  if (traces_completed_counter_ != nullptr) {
+    traces_completed_counter_->Increment();
+  }
+}
+
+void SpanCollector::KeepExemplar(const TraceTree& tree) {
+  if (config_.slow_exemplars == 0 || tree.root() == nullptr) {
+    return;
+  }
+  SimDuration duration = tree.root()->duration();
+  if (exemplars_.size() >= config_.slow_exemplars &&
+      duration <= exemplars_.back().root()->duration()) {
+    return;
+  }
+  exemplars_.push_back(tree);
+  std::sort(exemplars_.begin(), exemplars_.end(),
+            [](const TraceTree& a, const TraceTree& b) {
+              if (a.root()->duration() != b.root()->duration()) {
+                return a.root()->duration() > b.root()->duration();
+              }
+              return a.trace_id < b.trace_id;
+            });
+  while (exemplars_.size() > config_.slow_exemplars) {
+    Recycle(std::move(exemplars_.back()));
+    exemplars_.pop_back();
+  }
+}
+
+const TraceTree* SpanCollector::FindTrace(uint64_t trace_id,
+                                          TraceTree& scratch) const {
+  for (const TraceTree& tree : completed_) {
+    if (tree.trace_id == trace_id) {
+      return &tree;
+    }
+  }
+  auto it = live_.find(trace_id);
+  if (it != live_.end()) {
+    scratch = it->second.tree;
+    return &scratch;
+  }
+  return nullptr;
+}
+
+PhaseBreakdown SpanCollector::CriticalPath(const TraceTree& tree) {
+  PhaseBreakdown out;
+  const Span* root = tree.root();
+  if (root == nullptr) {
+    return out;
+  }
+  SimTime lo = root->start;
+  SimTime hi = std::max(root->start, root->end);
+  out.total = hi - lo;
+  if (out.total == 0) {
+    return out;
+  }
+
+  // Depth of each span (root = 0); a span whose parent is unknown (dropped
+  // by a cap) hangs off the root. This runs once per finalized trace on the
+  // traced hot path, so it avoids the heap for typical trees: StartSpan
+  // appends children strictly after their parents, so one forward pass with
+  // a backward parent scan resolves every depth.
+  size_t n = tree.spans.size();
+  constexpr size_t kInlineSpans = 64;
+  int depth_inline[kInlineSpans];
+  std::vector<int> depth_heap;
+  int* depth = depth_inline;
+  if (n > kInlineSpans) {
+    depth_heap.resize(n);
+    depth = depth_heap.data();
+  }
+  depth[0] = 0;
+  for (size_t i = 1; i < n; i++) {
+    depth[i] = 1;  // orphan default: treat as a child of the root
+    uint64_t parent = tree.spans[i].parent_span_id;
+    for (size_t j = i; j-- > 0;) {
+      if (tree.spans[j].span_id == parent) {
+        depth[i] = depth[j] + 1;
+        break;
+      }
+    }
+  }
+
+  // Sweep the root interval; each segment between adjacent boundaries is
+  // charged to the deepest covering span (ties: the later-started one).
+  SimTime bounds_inline[2 * kInlineSpans + 2];
+  std::vector<SimTime> bounds_heap;
+  SimTime* bounds = bounds_inline;
+  if (n > kInlineSpans) {
+    bounds_heap.resize(2 * n + 2);
+    bounds = bounds_heap.data();
+  }
+  size_t bound_count = 0;
+  for (const Span& span : tree.spans) {
+    SimTime s = std::clamp(span.start, lo, hi);
+    SimTime e = std::clamp(std::max(span.start, span.end), lo, hi);
+    if (e > s) {
+      bounds[bound_count++] = s;
+      bounds[bound_count++] = e;
+    }
+  }
+  bounds[bound_count++] = lo;
+  bounds[bound_count++] = hi;
+  std::sort(bounds, bounds + bound_count);
+  bound_count = static_cast<size_t>(
+      std::unique(bounds, bounds + bound_count) - bounds);
+
+  for (size_t b = 0; b + 1 < bound_count; b++) {
+    SimTime seg_lo = bounds[b];
+    SimTime seg_hi = bounds[b + 1];
+    int best_depth = -1;
+    SimTime best_start = 0;
+    SpanKind best_kind = root->kind;
+    for (size_t i = 0; i < n; i++) {
+      const Span& span = tree.spans[i];
+      SimTime s = std::clamp(span.start, lo, hi);
+      SimTime e = std::clamp(std::max(span.start, span.end), lo, hi);
+      if (s > seg_lo || e < seg_hi || e == s) {
+        continue;  // does not cover the whole segment
+      }
+      if (depth[i] > best_depth ||
+          (depth[i] == best_depth && span.start > best_start)) {
+        best_depth = depth[i];
+        best_start = span.start;
+        best_kind = span.kind;
+      }
+    }
+    out.by_kind[static_cast<size_t>(best_kind)] += seg_hi - seg_lo;
+  }
+  return out;
+}
+
+std::string SpanCollector::FormatBreakdown(const PhaseBreakdown& breakdown) {
+  std::string out;
+  double total_ms = ToMilliseconds(breakdown.total);
+  for (size_t k = 0; k < kSpanKindCount; k++) {
+    if (breakdown.by_kind[k] == 0) {
+      continue;
+    }
+    double ms = ToMilliseconds(breakdown.by_kind[k]);
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-11s %9.3fms %5.1f%%\n",
+                  std::string(SpanKindName(static_cast<SpanKind>(k))).c_str(),
+                  ms, total_ms > 0 ? 100.0 * ms / total_ms : 0.0);
+    out += line;
+  }
+  char line[64];
+  std::snprintf(line, sizeof(line), "  %-11s %9.3fms\n", "total", total_ms);
+  out += line;
+  return out;
+}
+
+std::string SpanCollector::DumpSlowTraces() const {
+  std::string out;
+  for (const TraceTree& tree : exemplars_) {
+    const Span* root = tree.root();
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "trace %llu: %s %s — %.3fms, %zu spans\n",
+                  static_cast<unsigned long long>(tree.trace_id),
+                  std::string(SpanKindName(root->kind)).c_str(),
+                  root->label.c_str(), ToMilliseconds(root->duration()),
+                  tree.spans.size());
+    out += head;
+    for (const Span& span : tree.spans) {
+      char line[224];
+      std::snprintf(line, sizeof(line),
+                    "  [%12.3fms +%9.3fms] node%-2u %-11s %-12s %s%s%s\n",
+                    ToMilliseconds(span.start),
+                    ToMilliseconds(span.duration()), span.node,
+                    std::string(SpanKindName(span.kind)).c_str(),
+                    span.object.IsNull() ? "-" : span.object.ToString().c_str(),
+                    span.label.c_str(), span.status.empty() ? "" : " !",
+                    span.status.c_str());
+      out += line;
+    }
+    out += "critical path:\n";
+    out += FormatBreakdown(CriticalPath(tree));
+  }
+  return out;
+}
+
+std::string SpanCollector::ExportChromeTrace() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (const TraceTree& tree : completed_) {
+    for (const Span& span : tree.spans) {
+      json.BeginObject();
+      json.Key("ph");
+      json.String("X");
+      json.Key("name");
+      std::string name(SpanKindName(span.kind));
+      if (!span.object.IsNull()) {
+        name += " " + span.object.ToString();
+      }
+      if (!span.label.empty()) {
+        name += " (" + span.label + ")";
+      }
+      json.String(name);
+      json.Key("ts");
+      json.Double(static_cast<double>(span.start) / 1000.0);
+      json.Key("dur");
+      json.Double(static_cast<double>(span.duration()) / 1000.0);
+      json.Key("pid");
+      json.U64(span.node);
+      json.Key("tid");
+      json.U64(span.trace_id);
+      json.Key("args");
+      json.BeginObject();
+      json.Key("span");
+      json.U64(span.span_id);
+      json.Key("parent");
+      json.U64(span.parent_span_id);
+      if (!span.status.empty()) {
+        json.Key("status");
+        json.String(span.status);
+      }
+      json.EndObject();
+      json.EndObject();
+
+      // Cross-node causality as a flow arrow from the parent's slice to this
+      // one (both ends at the child's start time in virtual time).
+      const Span* parent =
+          span.parent_span_id != 0 ? tree.Find(span.parent_span_id) : nullptr;
+      if (parent != nullptr && parent->node != span.node) {
+        json.BeginObject();
+        json.Key("ph");
+        json.String("s");
+        json.Key("id");
+        json.U64(span.span_id);
+        json.Key("name");
+        json.String("causal");
+        json.Key("cat");
+        json.String("causal");
+        json.Key("ts");
+        json.Double(static_cast<double>(span.start) / 1000.0);
+        json.Key("pid");
+        json.U64(parent->node);
+        json.Key("tid");
+        json.U64(span.trace_id);
+        json.EndObject();
+        json.BeginObject();
+        json.Key("ph");
+        json.String("f");
+        json.Key("bp");
+        json.String("e");
+        json.Key("id");
+        json.U64(span.span_id);
+        json.Key("name");
+        json.String("causal");
+        json.Key("cat");
+        json.String("causal");
+        json.Key("ts");
+        json.Double(static_cast<double>(span.start) / 1000.0);
+        json.Key("pid");
+        json.U64(span.node);
+        json.Key("tid");
+        json.U64(span.trace_id);
+        json.EndObject();
+      }
+      for (const SpanNote& note : span.notes) {
+        json.BeginObject();
+        json.Key("ph");
+        json.String("i");
+        json.Key("s");
+        json.String("t");
+        json.Key("name");
+        json.String(note.text);
+        json.Key("ts");
+        json.Double(static_cast<double>(note.when) / 1000.0);
+        json.Key("pid");
+        json.U64(span.node);
+        json.Key("tid");
+        json.U64(span.trace_id);
+        json.EndObject();
+      }
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Take();
+}
+
+void SpanCollector::set_metrics(MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    for (size_t k = 0; k < kSpanKindCount; k++) {
+      phase_hist_[k] = nullptr;
+    }
+    e2e_hist_ = nullptr;
+    traces_completed_counter_ = nullptr;
+    return;
+  }
+  for (size_t k = 0; k < kSpanKindCount; k++) {
+    phase_hist_[k] = &registry->histogram(
+        "trace.phase." + std::string(SpanKindName(static_cast<SpanKind>(k))) +
+        ".latency");
+  }
+  e2e_hist_ = &registry->histogram("trace.e2e.latency");
+  traces_completed_counter_ = &registry->counter("trace.traces_completed");
+}
+
+void SpanCollector::Clear() {
+  live_.clear();
+  cached_trace_ = nullptr;
+  cached_trace_id_ = 0;
+  completed_.clear();
+  exemplars_.clear();
+  spare_spans_.clear();
+  spare_nodes_.clear();
+  stats_ = SpanCollectorStats{};
+}
+
+}  // namespace eden

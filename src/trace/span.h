@@ -1,0 +1,247 @@
+// Causal spans: cross-node invocation tracing (DESIGN.md §12).
+//
+// TraceBuffer (trace.h) records flat per-node events; it cannot say where a
+// location-independent invocation spent its time once the kernel fans out
+// across locates, redirects, activations, checkpoint writes and retries on
+// several nodes. Spans fix that: every unit of kernel work is a Span with a
+// causal parent, identified by a SpanContext that rides inside the kernel's
+// wire messages, so work performed on a remote node links to the invocation
+// (or checkpoint, or move) that caused it. A SpanCollector shared by all node
+// kernels assembles the spans of one trace into a tree, attributes the
+// end-to-end latency to typed phases along the critical path, feeds
+// trace.phase.* histograms, exports flame-style Chrome trace JSON with flow
+// events between nodes, and keeps the K worst complete traces as exemplars.
+//
+// Determinism contract (determinism_test relies on this): tracing never
+// schedules simulation events, never consumes simulation randomness (span
+// ids come from a collector-private counter), and SpanContext encodes
+// FIXED-WIDTH on the wire — zeros when tracing is off — so message sizes,
+// serialize costs, fragmentation and therefore the execution trace are
+// bit-identical whether a collector is attached or not.
+#ifndef EDEN_SRC_TRACE_SPAN_H_
+#define EDEN_SRC_TRACE_SPAN_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/kernel/name.h"
+#include "src/metrics/metrics.h"
+#include "src/net/lan.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+// The causal identity carried on kernel messages. A zero span_id means "no
+// tracing"; receivers then create no child spans.
+struct SpanContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  // Local-only hint: index of this span in its trace's span array. Spans are
+  // append-only while live, so the index is stable. NOT encoded on the wire;
+  // a decoded context (slot unknown) is only ever used as a parent. EndSpan/
+  // Annotate verify span_id before trusting it.
+  uint32_t slot = 0;
+
+  bool valid() const { return span_id != 0; }
+
+  // Fixed-width (3 x u64, zeros when tracing is disabled) so message byte
+  // sizes never depend on whether a collector is attached.
+  void Encode(BufferWriter& writer) const;
+  static StatusOr<SpanContext> Decode(BufferReader& reader);
+};
+
+// The typed phases of a distributed invocation. Each span has exactly one
+// kind; critical-path attribution buckets time by kind, so these are also
+// the trace.phase.* histogram names.
+enum class SpanKind : uint8_t {
+  kInvocation = 0,  // client-side Invoke: accepted -> completion (root/nested)
+  kLocate = 1,      // location broadcast rounds on the invoking kernel
+  kWire = 2,        // reliable send: first transmit -> ACK (or give-up)
+  kDispatch = 3,    // coordinator: request accepted -> reply sent (incl. queue)
+  kActivation = 4,  // passive -> active reincarnation
+  kStoreRead = 5,   // stable-store read service (queue + seek + transfer)
+  kStoreWrite = 6,  // stable-store write/delete service
+  kCheckpoint = 7,  // one checkpoint operation (local or remote site)
+  kMove = 8,        // object transfer, source side
+};
+constexpr size_t kSpanKindCount = 9;
+
+std::string_view SpanKindName(SpanKind kind);
+
+// A timestamped note on a span: retransmits, redirects followed, injected
+// faults, backoff decisions.
+struct SpanNote {
+  SimTime when = 0;
+  std::string text;
+};
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 for a trace root
+  SpanKind kind = SpanKind::kInvocation;
+  StationId node = 0;
+  ObjectName object;   // null when not applicable
+  std::string label;   // operation, store key, peer, ...
+  SimTime start = 0;
+  SimTime end = 0;
+  bool open = true;
+  // Empty = closed clean; otherwise a short status ("timeout", "reset", ...).
+  std::string status;
+  std::vector<SpanNote> notes;
+
+  SimDuration duration() const { return end - start; }
+};
+
+struct SpanCollectorConfig {
+  // K worst complete traces kept (by root duration) for post-run dumps.
+  size_t slow_exemplars = 4;
+  // Most recent complete traces retained for export/inspection. Kept modest
+  // by default: the retained trees are the traced hot path's largest cache
+  // footprint (every finalized trace cycles through this window).
+  size_t retain_completed = 64;
+  // Safety caps; beyond them spans are counted as dropped, not recorded.
+  size_t max_live_traces = 4096;
+  size_t max_spans_per_trace = 512;
+};
+
+struct SpanCollectorStats {
+  uint64_t spans_started = 0;
+  uint64_t spans_closed = 0;
+  uint64_t traces_started = 0;
+  uint64_t traces_completed = 0;
+  uint64_t spans_dropped = 0;   // cap overflow
+  uint64_t orphan_events = 0;   // End/Annotate for an unknown span
+};
+
+// Latency attribution for one trace: for every instant of the root span's
+// lifetime, the time is charged to the kind of the *deepest* span covering
+// that instant (ties: the later-started span). The per-kind times therefore
+// sum exactly to the root's end-to-end duration. For a synchronous RPC chain
+// this is the critical path; concurrent subtrees (e.g. mirrored checkpoint
+// writes) are approximated by depth.
+struct PhaseBreakdown {
+  SimDuration by_kind[kSpanKindCount] = {};
+  SimDuration total = 0;
+
+  SimDuration of(SpanKind kind) const {
+    return by_kind[static_cast<size_t>(kind)];
+  }
+};
+
+// One assembled trace: every span sharing a trace_id, root first.
+struct TraceTree {
+  uint64_t trace_id = 0;
+  std::vector<Span> spans;
+
+  const Span* root() const { return spans.empty() ? nullptr : &spans[0]; }
+  const Span* Find(uint64_t span_id) const;
+};
+
+// Shared by every node kernel (they are all one process); null pointers at
+// the instrumentation sites mean tracing is off and cost one branch.
+class SpanCollector {
+ public:
+  explicit SpanCollector(SpanCollectorConfig config = {});
+
+  // Opens a span. An invalid `parent` starts a new trace rooted here.
+  // Text parameters are string_views copied into the span only here, so hot
+  // call sites pay no temporary std::string construction.
+  SpanContext StartSpan(const SpanContext& parent, SpanKind kind,
+                        StationId node, const ObjectName& object,
+                        std::string_view label, SimTime now);
+  void Annotate(const SpanContext& ctx, SimTime now, std::string_view note);
+  // Closes a span; empty status = success. When this closes the last open
+  // span of a trace whose root is closed, the trace is finalized: phase
+  // histograms are recorded and the tree moves to completed()/exemplars.
+  void EndSpan(const SpanContext& ctx, SimTime now,
+               std::string_view status = {});
+
+  // Force-closes every still-open span (status "unclosed") and finalizes
+  // root-closed traces. Call after a run involving node failures, where
+  // server-side spans on a dead node can never close normally.
+  void Flush(SimTime now);
+
+  // Completed traces, oldest first (bounded by retain_completed).
+  const std::deque<TraceTree>& completed() const { return completed_; }
+  // The K worst complete traces by root duration, worst first.
+  const std::vector<TraceTree>& slow_exemplars() const { return exemplars_; }
+  // Looks in completed traces first, then live ones; nullptr if unknown.
+  // The returned tree for a live trace is a snapshot copy into `scratch`.
+  const TraceTree* FindTrace(uint64_t trace_id, TraceTree& scratch) const;
+
+  static PhaseBreakdown CriticalPath(const TraceTree& tree);
+
+  // Human-readable per-phase table for one breakdown ("  wire 3.2ms 41%").
+  static std::string FormatBreakdown(const PhaseBreakdown& breakdown);
+  // Human-readable dump of the slow exemplars: per-trace span tree plus its
+  // critical-path breakdown.
+  std::string DumpSlowTraces() const;
+
+  // Chrome trace-event JSON over the completed traces: every span is an "X"
+  // slice (pid = node, tid = trace id), cross-node parent->child edges are
+  // flow events, notes are instant events. Loadable in chrome://tracing.
+  std::string ExportChromeTrace() const;
+
+  // Mirrors phase attributions into `registry` as trace.phase.<kind>
+  // histograms plus trace.e2e.latency, recorded when each trace finalizes.
+  // The registry must outlive this collector; nullptr detaches.
+  void set_metrics(MetricsRegistry* registry);
+
+  const SpanCollectorStats& stats() const { return stats_; }
+  size_t live_traces() const { return live_.size(); }
+  void Clear();
+
+ private:
+  struct LiveTrace {
+    TraceTree tree;
+    size_t open_spans = 0;
+    bool root_closed = false;
+  };
+  using LiveMap = std::unordered_map<uint64_t, LiveTrace>;
+
+  Span* FindOpen(LiveTrace* trace, uint64_t span_id);
+  Span* FindOpen(LiveTrace* trace, const SpanContext& ctx);
+  LiveTrace* FindLive(const SpanContext& ctx);
+  void MaybeFinalize(uint64_t trace_id, LiveTrace& trace);
+  void Finalize(uint64_t trace_id, LiveTrace&& trace);
+  void RecordPhaseMetrics(const PhaseBreakdown& breakdown);
+  void KeepExemplar(const TraceTree& tree);
+  // Returns a retiring tree's span storage to spare_spans_, so the traced
+  // steady state allocates no per-trace vectors.
+  void Recycle(TraceTree&& tree);
+
+  SpanCollectorConfig config_;
+  SpanCollectorStats stats_;
+  uint64_t next_id_ = 1;
+
+  LiveMap live_;
+  // One-entry lookup cache: collector calls cluster by trace (a kernel works
+  // one message at a time), so most live_ probes hit the previous trace.
+  // Node-based map pointers are stable until extraction, which invalidates.
+  uint64_t cached_trace_id_ = 0;
+  LiveTrace* cached_trace_ = nullptr;
+  std::deque<TraceTree> completed_;
+  std::vector<TraceTree> exemplars_;  // sorted worst-first
+  // Recycled storage: the traced steady state starts a trace without any
+  // allocation — map nodes and span vectors both come from retired traces.
+  std::vector<std::vector<Span>> spare_spans_;
+  std::vector<LiveMap::node_type> spare_nodes_;
+
+  MetricsRegistry* registry_ = nullptr;
+  Histogram* phase_hist_[kSpanKindCount] = {};
+  Histogram* e2e_hist_ = nullptr;
+  Counter* traces_completed_counter_ = nullptr;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_TRACE_SPAN_H_

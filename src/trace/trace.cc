@@ -1,5 +1,6 @@
 #include "src/trace/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -54,6 +55,20 @@ void TraceBuffer::Record(TraceEvent event) {
   events_.push_back(std::move(event));
   while (events_.size() > capacity_) {
     events_.pop_front();
+    dropped_++;
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->Increment();
+    }
+  }
+  high_water_ = std::max(high_water_, events_.size());
+  if (recorded_counter_ != nullptr) {
+    recorded_counter_->Increment();
+  }
+  if (high_water_gauge_ != nullptr) {
+    high_water_gauge_->Set(static_cast<int64_t>(high_water_));
+  }
+  if (size_gauge_ != nullptr) {
+    size_gauge_->Set(static_cast<int64_t>(events_.size()));
   }
 }
 
@@ -61,6 +76,28 @@ void TraceBuffer::Clear() {
   events_.clear();
   counts_.clear();
   total_recorded_ = 0;
+  dropped_ = 0;
+  high_water_ = 0;
+  if (size_gauge_ != nullptr) {
+    size_gauge_->Set(0);
+  }
+  if (high_water_gauge_ != nullptr) {
+    high_water_gauge_->Set(0);
+  }
+}
+
+void TraceBuffer::set_metrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    recorded_counter_ = nullptr;
+    dropped_counter_ = nullptr;
+    high_water_gauge_ = nullptr;
+    size_gauge_ = nullptr;
+    return;
+  }
+  recorded_counter_ = &registry->counter("trace.buffer.recorded");
+  dropped_counter_ = &registry->counter("trace.buffer.dropped");
+  high_water_gauge_ = &registry->gauge("trace.buffer.high_water");
+  size_gauge_ = &registry->gauge("trace.buffer.size");
 }
 
 std::string TraceBuffer::Dump(size_t last_n) const {
@@ -88,6 +125,12 @@ std::string TraceBuffer::Summary() const {
                   static_cast<unsigned long long>(count));
     out += line;
   }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "(ring: %zu/%zu, high-water %zu, dropped %llu)\n",
+                events_.size(), capacity_, high_water_,
+                static_cast<unsigned long long>(dropped_));
+  out += tail;
   return out;
 }
 

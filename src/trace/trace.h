@@ -21,6 +21,7 @@
 #include <string>
 
 #include "src/kernel/name.h"
+#include "src/metrics/metrics.h"
 #include "src/net/lan.h"
 #include "src/sim/time.h"
 
@@ -65,8 +66,18 @@ class TraceBuffer {
 
   size_t size() const { return events_.size(); }
   uint64_t total_recorded() const { return total_recorded_; }
+  // Events evicted by the ring wrapping (previously a silent overwrite), and
+  // the largest population the ring ever reached.
+  uint64_t dropped() const { return dropped_; }
+  size_t high_water() const { return high_water_; }
   const std::deque<TraceEvent>& events() const { return events_; }
   void Clear();
+
+  // Mirrors the buffer's occupancy into `registry`: trace.buffer.recorded /
+  // trace.buffer.dropped counters plus trace.buffer.high_water and
+  // trace.buffer.size gauges, updated on every Record. The registry must
+  // outlive this buffer; nullptr detaches.
+  void set_metrics(MetricsRegistry* registry);
 
   // Events per kind since the last Clear (counts survive ring eviction).
   const std::map<TraceEventKind, uint64_t>& counts() const { return counts_; }
@@ -92,6 +103,13 @@ class TraceBuffer {
   std::deque<TraceEvent> events_;
   std::map<TraceEventKind, uint64_t> counts_;
   uint64_t total_recorded_ = 0;
+  uint64_t dropped_ = 0;
+  size_t high_water_ = 0;
+
+  Counter* recorded_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Gauge* high_water_gauge_ = nullptr;
+  Gauge* size_gauge_ = nullptr;
 };
 
 }  // namespace eden

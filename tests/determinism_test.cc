@@ -17,6 +17,7 @@
 
 #include "src/kernel/eden_system.h"
 #include "src/sim/simulation.h"
+#include "src/trace/span.h"
 #include "src/types/standard_types.h"
 #include "src/workload/workload.h"
 
@@ -44,11 +45,15 @@ uint64_t Fingerprint(EdenSystem& system) {
 // remote std.data object with mixed argument sizes (the 4 KB puts fragment
 // across several frames), over a lossy wire so retransmission, duplicate
 // suppression and delayed/piggybacked ACK paths all run.
-uint64_t RunInvocationWorkload(uint64_t seed) {
+uint64_t RunInvocationWorkload(uint64_t seed, bool traced = false) {
   SystemConfig config;
   config.seed = seed;
   config.lan.loss_probability = 0.05;
+  SpanCollector spans;
   EdenSystem system(config);
+  if (traced) {
+    system.set_span_collector(&spans);
+  }
   RegisterStandardTypes(system);
   system.AddNodes(5);
 
@@ -156,11 +161,15 @@ uint64_t RunCheckpointWorkload(uint64_t seed) {
 // simulation seed, so the digest must stay exactly as seed-stable as a clean
 // run — this is the acceptance check that the chaos layer (DESIGN.md §11)
 // never consults an unseeded source.
-uint64_t RunChaosWorkload(uint64_t seed) {
+uint64_t RunChaosWorkload(uint64_t seed, bool traced = false) {
   SystemConfig config;
   config.seed = seed;
   config.lan.loss_probability = 0.02;
+  SpanCollector spans;
   EdenSystem system(config);
+  if (traced) {
+    system.set_span_collector(&spans);
+  }
   RegisterStandardTypes(system);
   system.AddNodes(5);
   system.EnableFaults(
@@ -208,6 +217,22 @@ TEST_P(DeterminismTest, CheckpointWorkloadDigestIsSeedStable) {
 
 TEST_P(DeterminismTest, ChaosWorkloadDigestIsSeedStable) {
   EXPECT_EQ(RunChaosWorkload(GetParam()), RunChaosWorkload(GetParam()));
+}
+
+// The span layer's determinism contract (span.h): attaching a SpanCollector
+// must not change the execution by one event. SpanContext rides fixed-width
+// in every message (zeros when disabled), span ids come from a collector-
+// private counter, and the collector never schedules simulation work — so a
+// traced run and an untraced run of the same seed are bit-identical, even
+// under packet loss and the full chaos storm.
+TEST_P(DeterminismTest, TracingDoesNotPerturbTheInvocationWorkload) {
+  EXPECT_EQ(RunInvocationWorkload(GetParam(), /*traced=*/false),
+            RunInvocationWorkload(GetParam(), /*traced=*/true));
+}
+
+TEST_P(DeterminismTest, TracingDoesNotPerturbTheChaosWorkload) {
+  EXPECT_EQ(RunChaosWorkload(GetParam(), /*traced=*/false),
+            RunChaosWorkload(GetParam(), /*traced=*/true));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismTest,
