@@ -25,6 +25,14 @@
 #      Regenerate with
 #        build/bench/bench_tracing --quick --json=bench/baselines/BENCH_bench_tracing.json
 #      when the workload itself intentionally changes.
+#   6. Location smoke: run location_test under the ASan tree on its own (the
+#      directory backend is the newest kernel code), then bench_location
+#      --quick gated against bench/baselines/BENCH_bench_location.json. The
+#      gated histograms are the cold-resolve and Zipf-churn virtual-time
+#      series for both backends — the broadcast-vs-directory ablation of
+#      EXPERIMENTS.md E15. Regenerate with
+#        build/bench/bench_location --quick --json=bench/baselines/BENCH_bench_location.json
+#      when locate behavior intentionally changes.
 #
 #   scripts/ci.sh [jobs]
 set -eu
@@ -64,5 +72,13 @@ echo "== tracing smoke (span suite under ASan + disabled-overhead gate) =="
 "$repo_root/scripts/perf_compare.py" \
   "$repo_root/bench/baselines/BENCH_bench_tracing.json" \
   "$repo_root/build/BENCH_bench_tracing.json" --gate 10
+
+echo "== location smoke (directory backend under ASan + scaling gate) =="
+"$repo_root/build-asan/tests/location_test"
+"$repo_root/build/bench/bench_location" --quick \
+  --json="$repo_root/build/BENCH_bench_location.json"
+"$repo_root/scripts/perf_compare.py" \
+  "$repo_root/bench/baselines/BENCH_bench_location.json" \
+  "$repo_root/build/BENCH_bench_location.json" --gate 10
 
 echo "CI OK"

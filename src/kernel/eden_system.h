@@ -69,6 +69,16 @@ class NodeBuilder {
     transport_ = config;
     return *this;
   }
+  // Selects the location backend (DESIGN.md §13) — or overrides the whole
+  // locate configuration — for this node only.
+  NodeBuilder& WithLocation(LocationBackend backend) {
+    kernel_.locate.backend = backend;
+    return *this;
+  }
+  NodeBuilder& WithLocation(const LocateConfig& locate) {
+    kernel_.locate = locate;
+    return *this;
+  }
   NodeBuilder& WithTrace(TraceBuffer* trace) {
     trace_ = trace;
     return *this;

@@ -27,7 +27,7 @@ StatusOr<MessageKind> PeekMessageKind(BytesView message) {
   }
   uint8_t tag = message[0];
   if (tag < static_cast<uint8_t>(MessageKind::kInvokeRequest) ||
-      tag > static_cast<uint8_t>(MessageKind::kPing)) {
+      tag > static_cast<uint8_t>(MessageKind::kDirectoryReply)) {
     return InvalidArgumentError("unknown message kind");
   }
   return static_cast<MessageKind>(tag);
@@ -92,6 +92,7 @@ Bytes InvokeRedirectMsg::Encode() const {
   writer.WriteU64(invocation_id);
   name.Encode(writer);
   writer.WriteU32(new_host);
+  writer.WriteU64(epoch);
   return writer.Take();
 }
 
@@ -102,6 +103,7 @@ StatusOr<InvokeRedirectMsg> InvokeRedirectMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.invocation_id, reader.ReadU64());
   EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.new_host, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
   return msg;
 }
 
@@ -131,6 +133,7 @@ Bytes LocateReplyMsg::Encode() const {
   name.Encode(writer);
   writer.WriteU32(host);
   writer.WriteBool(active);
+  writer.WriteU64(epoch);
   return writer.Take();
 }
 
@@ -142,6 +145,7 @@ StatusOr<LocateReplyMsg> LocateReplyMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.host, reader.ReadU32());
   EDEN_ASSIGN_OR_RETURN(msg.active, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
   return msg;
 }
 
@@ -178,6 +182,7 @@ Bytes MoveAckMsg::Encode() const {
   writer.WriteU64(transfer_id);
   name.Encode(writer);
   writer.WriteBool(accepted);
+  writer.WriteU64(epoch);
   return writer.Take();
 }
 
@@ -188,6 +193,7 @@ StatusOr<MoveAckMsg> MoveAckMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.transfer_id, reader.ReadU64());
   EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.accepted, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
   return msg;
 }
 
@@ -298,6 +304,84 @@ StatusOr<PingMsg> PingMsg::Decode(BytesView message) {
   BufferReader reader(message);
   EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kPing));
   return PingMsg{};
+}
+
+Bytes DirectoryUpdateMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kDirectoryUpdate);
+  name.Encode(writer);
+  writer.WriteU32(host);
+  writer.WriteU64(epoch);
+  writer.WriteBool(active);
+  writer.WriteBool(removal);
+  return writer.Take();
+}
+
+StatusOr<DirectoryUpdateMsg> DirectoryUpdateMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kDirectoryUpdate));
+  DirectoryUpdateMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.host, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.active, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.removal, reader.ReadBool());
+  return msg;
+}
+
+Bytes DirectoryLookupMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kDirectoryLookup);
+  writer.WriteU64(query_id);
+  writer.WriteU32(reply_to);
+  name.Encode(writer);
+  writer.WriteVarint(avoid_hosts.size());
+  for (StationId host : avoid_hosts) {
+    writer.WriteU32(host);
+  }
+  span.Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<DirectoryLookupMsg> DirectoryLookupMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kDirectoryLookup));
+  DirectoryLookupMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.query_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.reply_to, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(uint64_t avoid_count, reader.ReadVarint());
+  if (avoid_count > 64) {
+    return InvalidArgumentError("implausible avoid-host count");
+  }
+  for (uint64_t i = 0; i < avoid_count; i++) {
+    EDEN_ASSIGN_OR_RETURN(StationId host, reader.ReadU32());
+    msg.avoid_hosts.push_back(host);
+  }
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
+  return msg;
+}
+
+Bytes DirectoryReplyMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kDirectoryReply);
+  writer.WriteU64(query_id);
+  name.Encode(writer);
+  writer.WriteBool(known);
+  writer.WriteU32(host);
+  writer.WriteU64(epoch);
+  writer.WriteBool(active);
+  return writer.Take();
+}
+
+StatusOr<DirectoryReplyMsg> DirectoryReplyMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kDirectoryReply));
+  DirectoryReplyMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.query_id, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.known, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.host, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.active, reader.ReadBool());
+  return msg;
 }
 
 }  // namespace eden

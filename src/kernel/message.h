@@ -36,6 +36,12 @@ enum class MessageKind : uint8_t {
   // ack of this reliable send is the "peer is alive" answer, so no reply
   // message exists.
   kPing = 13,
+  // Partitioned directory location service (DESIGN.md §13). All three ride
+  // best-effort: a lost update or reply is repaired lazily by the broadcast
+  // fallback, never retransmitted.
+  kDirectoryUpdate = 14,  // residence publish to the object's home node(s)
+  kDirectoryLookup = 15,
+  kDirectoryReply = 16,
 };
 
 // Reads the kind tag without consuming the rest.
@@ -80,6 +86,11 @@ struct InvokeRedirectMsg {
   ObjectName name;
   // kNoStation when the sender has no forwarding address.
   StationId new_host = kNoStation;
+  // Version stamp of the forwarding hint: the time `new_host` acquired the
+  // object, as reported by its move ack. The invoker's location cache merges
+  // by epoch (newer wins), so a hint older than what the cache already holds
+  // is dropped rather than followed. 0 = unversioned.
+  uint64_t epoch = 0;
 
   Bytes Encode() const;
   static StatusOr<InvokeRedirectMsg> Decode(BytesView message);
@@ -103,6 +114,10 @@ struct LocateReplyMsg {
   // True if the object is active at `host`; false if `host` merely holds its
   // checkpoint (and would reincarnate it on demand).
   bool active = false;
+  // Residence-acquisition time at `host` (0 for passive holders): lets the
+  // directory backend push a correctly-versioned repair to the home node
+  // after a fallback broadcast.
+  uint64_t epoch = 0;
 
   Bytes Encode() const;
   static StatusOr<LocateReplyMsg> Decode(BytesView message);
@@ -127,6 +142,10 @@ struct MoveAckMsg {
   uint64_t transfer_id = 0;
   ObjectName name;
   bool accepted = false;
+  // The residence epoch the destination minted at move-in (0 on refusal).
+  // The source stamps its forwarding hint with this — not with its own
+  // clock, which could overtake a later move's epoch and pin a stale hint.
+  uint64_t epoch = 0;
 
   Bytes Encode() const;
   static StatusOr<MoveAckMsg> Decode(BytesView message);
@@ -195,6 +214,51 @@ struct ReplicaReplyMsg {
 struct PingMsg {
   Bytes Encode() const;
   static StatusOr<PingMsg> Decode(BytesView message);
+};
+
+// Residence publish to a home node (DESIGN.md §13). Sent by the host that
+// acquired the object (create, move-in, reincarnation), by a fallback
+// resolver repairing the directory, or — with `removal` — by the destroyer.
+struct DirectoryUpdateMsg {
+  ObjectName name;
+  StationId host = kNoStation;
+  // Residence-acquisition time at `host`; the home merges by epoch (strictly
+  // newer wins, equal-epoch active beats passive, 0 only fills empty slots).
+  uint64_t epoch = 0;
+  bool active = false;
+  // Tombstone: drop the record if its epoch is <= this update's epoch.
+  bool removal = false;
+
+  Bytes Encode() const;
+  static StatusOr<DirectoryUpdateMsg> Decode(BytesView message);
+};
+
+struct DirectoryLookupMsg {
+  uint64_t query_id = 0;
+  StationId reply_to = 0;
+  ObjectName name;
+  // Hosts the querying invocations proved dead: the home drops a record
+  // pointing at one of them instead of returning the stale answer.
+  std::vector<StationId> avoid_hosts;
+  // Causal context of the locate round driving this lookup (fixed-width).
+  SpanContext span;
+
+  Bytes Encode() const;
+  static StatusOr<DirectoryLookupMsg> Decode(BytesView message);
+};
+
+struct DirectoryReplyMsg {
+  uint64_t query_id = 0;
+  ObjectName name;
+  // False when the home has no record: the querier falls back to one
+  // broadcast round and repairs the home from whatever answers.
+  bool known = false;
+  StationId host = kNoStation;
+  uint64_t epoch = 0;
+  bool active = false;
+
+  Bytes Encode() const;
+  static StatusOr<DirectoryReplyMsg> Decode(BytesView message);
 };
 
 }  // namespace eden

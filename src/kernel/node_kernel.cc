@@ -52,9 +52,21 @@ NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
       node_name_(std::move(node_name)),
       config_(config),
       rng_(system.sim().rng().Fork()) {
+  // Resolve the deprecated loose locate knobs into config_.locate: a value
+  // differing from its documented default overrides the struct field.
+  if (config_.locate_timeout != Milliseconds(50)) {
+    config_.locate.timeout = config_.locate_timeout;
+  }
+  if (config_.max_locate_attempts != 3) {
+    config_.locate.max_attempts = config_.max_locate_attempts;
+  }
+  if (config_.passive_locate_reply_delay != Milliseconds(2)) {
+    config_.locate.passive_reply_delay = config_.passive_locate_reply_delay;
+  }
   InitMetrics();
   transport_ = std::make_unique<Transport>(system_.sim(), system_.lan(), transport);
   store_ = std::make_unique<StableStore>(system_.sim(), disk);
+  location_ = LocationService::Create(*this, config_.locate.backend);
   transport_->set_metrics(&metrics_);
   store_->set_metrics(&metrics_);
   transport_->SetHandler(
@@ -81,8 +93,20 @@ void NodeKernel::InitMetrics() {
   counters_.dispatches = &metrics_.counter("kernel.dispatches");
   counters_.rights_denied = &metrics_.counter("kernel.rights_denied");
   counters_.queue_refusals = &metrics_.counter("kernel.queue_refusals");
-  counters_.locate_broadcasts = &metrics_.counter("kernel.locate.broadcasts");
+  counters_.locate_queries_broadcast =
+      &metrics_.counter("kernel.locate.queries.broadcast");
+  counters_.locate_queries_directory =
+      &metrics_.counter("kernel.locate.queries.directory");
   counters_.locate_cache_hits = &metrics_.counter("kernel.locate.cache_hits");
+  counters_.directory_lookups = &metrics_.counter("kernel.directory.lookups");
+  counters_.directory_updates = &metrics_.counter("kernel.directory.updates");
+  counters_.directory_stale_updates =
+      &metrics_.counter("kernel.directory.stale_updates");
+  counters_.directory_stale_forwards =
+      &metrics_.counter("kernel.directory.stale_forwards");
+  counters_.directory_fallbacks =
+      &metrics_.counter("kernel.directory.fallbacks");
+  counters_.directory_repairs = &metrics_.counter("kernel.directory.repairs");
   counters_.redirects_followed = &metrics_.counter("kernel.redirects_followed");
   counters_.activations = &metrics_.counter("kernel.activations");
   counters_.checkpoints = &metrics_.counter("kernel.checkpoints");
@@ -121,8 +145,12 @@ KernelStats NodeKernel::stats() const {
   s.dispatches = counters_.dispatches->value();
   s.rights_denied = counters_.rights_denied->value();
   s.queue_refusals = counters_.queue_refusals->value();
-  s.locate_broadcasts = counters_.locate_broadcasts->value();
+  s.locate_queries = counters_.locate_queries_broadcast->value() +
+                     counters_.locate_queries_directory->value();
+  s.locate_broadcasts = counters_.locate_queries_broadcast->value();
   s.locate_cache_hits = counters_.locate_cache_hits->value();
+  s.directory_updates = counters_.directory_updates->value();
+  s.directory_stale_forwards = counters_.directory_stale_forwards->value();
   s.redirects_followed = counters_.redirects_followed->value();
   s.activations = counters_.activations->value();
   s.checkpoints = counters_.checkpoints->value();
@@ -274,6 +302,7 @@ StatusOr<Capability> NodeKernel::CreateObject(const std::string& type_name,
       options.policy.value_or(CheckpointPolicy{station(), ReliabilityLevel::kLocal, 0});
   active_[name] = object;
   UpdateActiveGauge();
+  PublishResidenceHere(object);
   StartBehaviors(object);
   return Capability(name, Rights::All());
 }
@@ -367,10 +396,10 @@ void NodeKernel::TryResolve(uint64_t id) {
   // pointer is stale and must be dropped (same healing the remote path gets
   // via InvokeRequestMsg::avoid_hosts).
   if (auto fwd = forwarding_.find(name); fwd != forwarding_.end()) {
-    if (pending.dead_hosts.count(fwd->second) > 0) {
+    if (pending.dead_hosts.count(fwd->second.host) > 0) {
       forwarding_.erase(fwd);
     } else {
-      SendRequestTo(id, fwd->second);
+      SendRequestTo(id, fwd->second.host);
       return;
     }
   }
@@ -378,7 +407,7 @@ void NodeKernel::TryResolve(uint64_t id) {
   // 5. Location cache.
   if (auto hint = location_cache_.find(name); hint != location_cache_.end()) {
     counters_.locate_cache_hits->Increment();
-    SendRequestTo(id, hint->second);
+    SendRequestTo(id, hint->second.host);
     return;
   }
 
@@ -545,12 +574,13 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
     return;
   }
   // The object may have arrived here (move, reincarnation) after the locate
-  // began; our own broadcast would never reach us, so re-check locally.
+  // began; our own query would never reach us, so re-check locally.
   if (active_.count(it->second.name) > 0 || activating_.count(it->second.name) > 0 ||
       store_->Contains(CheckpointKey(it->second.name))) {
     std::vector<uint64_t> waiting = std::move(it->second.waiting);
     sim().Cancel(it->second.timer);
     locate_latency_->Record(sim().now() - it->second.started);
+    location_->EndQuery(query_id, "resolved_locally");
     EndSpan(it->second.span, "resolved_locally");
     locate_by_name_.erase(it->second.name);
     pending_locates_.erase(it);
@@ -560,59 +590,124 @@ void NodeKernel::LocateAttempt(uint64_t query_id) {
     return;
   }
   PendingLocate& locate = it->second;
-  counters_.locate_broadcasts->Increment();
-  Trace(TraceEventKind::kLocateBroadcast, locate.name, query_id);
-
-  LocateRequestMsg msg;
-  msg.query_id = query_id;
-  msg.reply_to = station();
-  msg.name = locate.name;
-  msg.span = locate.span;
-  transport_->SendBestEffort(kBroadcastStation, msg.Encode());
-
-  locate.timer = sim().Schedule(config_.locate_timeout, [this, query_id] {
-    auto it = pending_locates_.find(query_id);
-    if (it == pending_locates_.end()) {
-      return;
+  // Hosts the waiting invocations proved dead or ignorant: the backends drop
+  // stale records pointing there instead of returning them.
+  std::set<StationId> dead;
+  for (uint64_t id : locate.waiting) {
+    auto w = pending_invocations_.find(id);
+    if (w != pending_invocations_.end()) {
+      dead.insert(w->second.dead_hosts.begin(), w->second.dead_hosts.end());
     }
-    it->second.attempts++;
-    AnnotateSpan(it->second.span,
-                 "broadcast timeout #" + std::to_string(it->second.attempts));
-    if (it->second.attempts >= config_.max_locate_attempts) {
-      ObjectName name = it->second.name;
-      std::vector<uint64_t> waiting = std::move(it->second.waiting);
-      SpanContext locate_span = it->second.span;
-      locate_by_name_.erase(name);
-      pending_locates_.erase(it);
-      if (config_.restore_fallback && !store_->Contains(CheckpointKey(name)) &&
-          store_->Contains(MirrorKey(name))) {
-        // Nobody answered for the object, but we hold its mirror chain: the
-        // primary site is gone, so promote the mirror and reincarnate here
-        // rather than failing the waiters (RunActivation does the promote).
-        EndSpan(locate_span, "mirror_fallback");
-        SpanContext act_parent;
-        if (!waiting.empty()) {
-          auto w = pending_invocations_.find(waiting.front());
-          if (w != pending_invocations_.end()) {
-            act_parent = w->second.span;
-          }
-        }
-        for (uint64_t id : waiting) {
-          activation_local_waiters_[name].push_back(id);
-        }
-        BeginActivation(name, act_parent);
-        return;
-      }
-      EndSpan(locate_span, "not_found");
-      for (uint64_t id : waiting) {
-        counters_.invocations_unavailable->Increment();
-        CompleteInvocation(
-            id, InvokeResult::Error(UnavailableError("object not found")));
-      }
-      return;
-    }
-    LocateAttempt(query_id);
+  }
+  std::vector<StationId> avoid(dead.begin(), dead.end());
+  // Arm the round timer BEFORE issuing the round: a directory query whose
+  // home is this very node can resolve synchronously through ResolveLocate,
+  // which cancels the timer and erases the PendingLocate.
+  locate.timer = sim().Schedule(config_.locate.timeout, [this, query_id] {
+    OnLocateRoundFailed(query_id);
   });
+  location_->QueryRound(query_id, locate.name, locate.attempts, avoid,
+                        locate.span);
+}
+
+void NodeKernel::OnLocateRoundFailed(uint64_t query_id) {
+  auto it = pending_locates_.find(query_id);
+  if (it == pending_locates_.end()) {
+    return;
+  }
+  it->second.attempts++;
+  AnnotateSpan(it->second.span,
+               "round timeout #" + std::to_string(it->second.attempts));
+  if (it->second.attempts >= config_.locate.max_attempts) {
+    ObjectName name = it->second.name;
+    std::vector<uint64_t> waiting = std::move(it->second.waiting);
+    SpanContext locate_span = it->second.span;
+    location_->EndQuery(query_id, "not_found");
+    locate_by_name_.erase(name);
+    pending_locates_.erase(it);
+    if (config_.restore_fallback && !store_->Contains(CheckpointKey(name)) &&
+        store_->Contains(MirrorKey(name))) {
+      // Nobody answered for the object, but we hold its mirror chain: the
+      // primary site is gone, so promote the mirror and reincarnate here
+      // rather than failing the waiters (RunActivation does the promote).
+      EndSpan(locate_span, "mirror_fallback");
+      SpanContext act_parent;
+      if (!waiting.empty()) {
+        auto w = pending_invocations_.find(waiting.front());
+        if (w != pending_invocations_.end()) {
+          act_parent = w->second.span;
+        }
+      }
+      for (uint64_t id : waiting) {
+        activation_local_waiters_[name].push_back(id);
+      }
+      BeginActivation(name, act_parent);
+      return;
+    }
+    EndSpan(locate_span, "not_found");
+    for (uint64_t id : waiting) {
+      counters_.invocations_unavailable->Increment();
+      CompleteInvocation(
+          id, InvokeResult::Error(UnavailableError("object not found")));
+    }
+    return;
+  }
+  LocateAttempt(query_id);
+}
+
+void NodeKernel::RetryLocateNow(uint64_t query_id) {
+  auto it = pending_locates_.find(query_id);
+  if (it == pending_locates_.end()) {
+    return;
+  }
+  // Short-circuit the round timer: the round is already known lost (a home
+  // answered "unknown"), so count it against the budget and move on now.
+  sim().Cancel(it->second.timer);
+  it->second.timer = kInvalidEventId;
+  OnLocateRoundFailed(query_id);
+}
+
+void NodeKernel::ResolveLocate(uint64_t query_id, StationId host,
+                               uint64_t epoch, bool active) {
+  auto it = pending_locates_.find(query_id);
+  if (it == pending_locates_.end()) {
+    return;
+  }
+  CacheLocation(it->second.name, ResidenceRecord{host, epoch, active});
+  sim().Cancel(it->second.timer);
+  locate_latency_->Record(sim().now() - it->second.started);
+  location_->EndQuery(query_id, active ? "resolved" : "passive_host");
+  EndSpan(it->second.span,
+          active ? std::string() : std::string("passive_host"));
+  std::vector<uint64_t> waiting = std::move(it->second.waiting);
+  locate_by_name_.erase(it->second.name);
+  pending_locates_.erase(it);
+  for (uint64_t id : waiting) {
+    SendRequestTo(id, host);
+  }
+}
+
+void NodeKernel::CacheLocation(const ObjectName& name,
+                               const ResidenceRecord& record) {
+  auto [it, inserted] = location_cache_.try_emplace(name, record);
+  if (inserted) {
+    return;
+  }
+  ResidenceRecord& existing = it->second;
+  if (record.epoch > existing.epoch ||
+      (record.epoch == existing.epoch && record.active && !existing.active)) {
+    existing = record;
+  }
+}
+
+uint64_t NodeKernel::PublishResidenceHere(
+    const std::shared_ptr<ActiveObject>& object) {
+  // +1 so an object acquired at the simulation origin still outranks the
+  // passive-sighting sentinel epoch 0.
+  object->location_epoch = static_cast<uint64_t>(sim().now()) + 1;
+  location_->PublishResidence(
+      object->name, ResidenceRecord{station(), object->location_epoch, true});
+  return object->location_epoch;
 }
 
 void NodeKernel::CompleteInvocation(uint64_t id, InvokeResult result) {
@@ -738,6 +833,27 @@ void NodeKernel::OnMessage(StationId src, BytesView message) {
     case MessageKind::kPing:
       // Health probe: the transport-level ack already answered it.
       break;
+    case MessageKind::kDirectoryUpdate: {
+      auto msg = DirectoryUpdateMsg::Decode(message);
+      if (msg.ok()) {
+        location_->HandleDirectoryUpdate(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kDirectoryLookup: {
+      auto msg = DirectoryLookupMsg::Decode(message);
+      if (msg.ok()) {
+        location_->HandleDirectoryLookup(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kDirectoryReply: {
+      auto msg = DirectoryReplyMsg::Decode(message);
+      if (msg.ok()) {
+        location_->HandleDirectoryReply(*msg);
+      }
+      break;
+    }
   }
 }
 
@@ -786,7 +902,7 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
   if (auto fwd = forwarding_.find(name); fwd != forwarding_.end()) {
     bool stale = false;
     for (StationId avoid : dispatch.request.avoid_hosts) {
-      if (fwd->second == avoid) {
+      if (fwd->second.host == avoid) {
         stale = true;
         break;
       }
@@ -796,10 +912,14 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
       // active copy is gone; our checkpoint, if any, is now authoritative.
       forwarding_.erase(fwd);
     } else {
+      // The invoker landed on a stale host: hand back a version-stamped
+      // forward hint so its cache merges it by epoch.
+      counters_.directory_stale_forwards->Increment();
       InvokeRedirectMsg redirect;
       redirect.invocation_id = id;
       redirect.name = name;
-      redirect.new_host = fwd->second;
+      redirect.new_host = fwd->second.host;
+      redirect.epoch = fwd->second.epoch;
       transport_->SendReliable(reply_to, redirect.Encode());
       return;
     }
@@ -884,8 +1004,13 @@ void NodeKernel::HandleInvokeRedirect(StationId src, const InvokeRedirectMsg& ms
         "to station " + std::to_string(msg.new_host));
   AnnotateSpan(pending.span, "redirect from host " + std::to_string(src) +
                                  " to host " + std::to_string(msg.new_host));
-  location_cache_[msg.name] = msg.new_host;
-  SendRequestTo(msg.invocation_id, msg.new_host);
+  // Merge the version-stamped hint; if the cache already holds a strictly
+  // newer sighting (the object moved again and that move's update got here
+  // first), follow the cache instead of the older hint.
+  CacheLocation(msg.name, ResidenceRecord{msg.new_host, msg.epoch, true});
+  auto hint = location_cache_.find(msg.name);
+  SendRequestTo(msg.invocation_id,
+                hint != location_cache_.end() ? hint->second.host : msg.new_host);
 }
 
 void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg) {
@@ -898,6 +1023,10 @@ void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg)
     reply.name = name;
     reply.host = station();
     reply.active = true;
+    // A still-activating object has no epoch minted yet; 0 + active still
+    // beats passive sightings and fills empty slots.
+    auto it = active_.find(name);
+    reply.epoch = it != active_.end() ? it->second->location_epoch : 0;
     transport_->SendBestEffort(msg.reply_to, reply.Encode());
     return;
   }
@@ -909,7 +1038,7 @@ void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg)
   // our delayed one; if it died, we are the only path back to the object.
   if (store_->Contains(CheckpointKey(name))) {
     // Delay so an active host's answer always arrives first.
-    sim().Schedule(config_.passive_locate_reply_delay,
+    sim().Schedule(config_.locate.passive_reply_delay,
                    [this, query_id = msg.query_id, name,
                     reply_to = msg.reply_to] {
                      if (failed_) {
@@ -932,7 +1061,7 @@ void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg)
     // active host and the primary passive site always win. If neither
     // exists any more, this reply is the invoker's only path back to the
     // state — the resulting request promotes our mirror chain.
-    sim().Schedule(config_.passive_locate_reply_delay * 2,
+    sim().Schedule(config_.locate.passive_reply_delay * 2,
                    [this, query_id = msg.query_id, name,
                     reply_to = msg.reply_to] {
                      if (failed_ || store_->Contains(CheckpointKey(name)) ||
@@ -950,23 +1079,17 @@ void NodeKernel::HandleLocateRequest(StationId src, const LocateRequestMsg& msg)
 }
 
 void NodeKernel::HandleLocateReply(const LocateReplyMsg& msg) {
-  if (msg.active || location_cache_.count(msg.name) == 0) {
-    location_cache_[msg.name] = msg.host;
-  }
+  ResidenceRecord record{msg.host, msg.epoch, msg.active};
   auto it = pending_locates_.find(msg.query_id);
   if (it == pending_locates_.end()) {
+    // Late reply (another holder already answered): still a sighting.
+    CacheLocation(msg.name, record);
     return;
   }
-  sim().Cancel(it->second.timer);
-  locate_latency_->Record(sim().now() - it->second.started);
-  EndSpan(it->second.span,
-          msg.active ? std::string() : std::string("passive_host"));
-  std::vector<uint64_t> waiting = std::move(it->second.waiting);
-  locate_by_name_.erase(it->second.name);
-  pending_locates_.erase(it);
-  for (uint64_t id : waiting) {
-    SendRequestTo(id, msg.host);
-  }
+  // The first broadcast reply for a still-pending query is what a fallback
+  // round learned: let the directory repair its home partition from it.
+  location_->NoteResidence(msg.name, record);
+  ResolveLocate(msg.query_id, msg.host, msg.epoch, msg.active);
 }
 
 // ---------------------------------------------------------------------------
@@ -1259,6 +1382,7 @@ DetachedTask NodeKernel::RunActivation(ObjectName name, SpanContext parent) {
   active_[name] = object;
   UpdateActiveGauge();
   activating_.erase(name);
+  PublishResidenceHere(object);
 
   // "The coordinator will block the invocation while it attempts to execute
   // the object's reincarnation condition handler."
@@ -1713,6 +1837,9 @@ void NodeKernel::DestroyObject(const std::shared_ptr<ActiveObject>& object) {
   }
   forwarding_.erase(name);
   location_cache_.erase(name);
+  // Tombstone the directory record (names are never reused, so the epoch
+  // only guards against an in-flight move's fresher update).
+  location_->PublishRemoval(name, static_cast<uint64_t>(sim().now()) + 1);
 }
 
 Future<Status> NodeKernel::PromoteMirror(const ObjectName& name) {
@@ -1852,9 +1979,11 @@ void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
   ack.transfer_id = msg.transfer_id;
   ack.name = msg.name;
 
-  if (active_.count(msg.name) > 0) {
-    // Duplicate transfer (retransmission past the transport window).
+  if (auto dup = active_.find(msg.name); dup != active_.end()) {
+    // Duplicate transfer (retransmission past the transport window). Re-ack
+    // with the epoch the first arrival minted.
     ack.accepted = true;
+    ack.epoch = dup->second->location_epoch;
     transport_->SendReliable(src, ack.Encode());
     return;
   }
@@ -1882,6 +2011,10 @@ void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
         "from station " + std::to_string(msg.source));
 
   ack.accepted = true;
+  // The destination mints the epoch: a causally later move always lands at a
+  // later simulation time here than the acquisition it supersedes, so epochs
+  // stay monotone along any chain of moves.
+  ack.epoch = PublishResidenceHere(object);
   transport_->SendReliable(src, ack.Encode());
 
   // The move-in rebuild is a cross-node kActivation child of the mover's
@@ -1942,8 +2075,9 @@ void NodeKernel::HandleMoveAck(const MoveAckMsg& msg) {
   }
 
   const ObjectName& name = object->name;
-  forwarding_[name] = pending.destination;
-  location_cache_[name] = pending.destination;
+  ResidenceRecord moved{pending.destination, msg.epoch, true};
+  forwarding_[name] = moved;
+  CacheLocation(name, moved);
 
   // Re-route everything that queued during the move.
   auto forward = [this, &pending](PendingDispatch& d) {
@@ -2065,6 +2199,9 @@ void NodeKernel::FailNode() {
   }
   forwarding_.clear();
   location_cache_.clear();
+  // Both backend roles are volatile: the home partition dies with the node
+  // and is rebuilt lazily from the hosts' inventories via fallback + repair.
+  location_->OnNodeFailed();
 
   auto pending = std::move(pending_invocations_);
   pending_invocations_.clear();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kernel/context.h"
+#include "src/kernel/location.h"
 #include "src/kernel/message.h"
 #include "src/kernel/object.h"
 #include "src/kernel/type_manager.h"
@@ -54,11 +55,16 @@ struct KernelConfig {
   int max_attempts = 5;
   int max_redirects = 8;
 
-  // Location protocol.
-  SimDuration locate_timeout = Milliseconds(50);
-  int max_locate_attempts = 3;
-  // Passive holders delay their replies so an active host always wins.
+  // Location protocol (DESIGN.md §13): backend selection plus every locate
+  // knob, gathered in one struct (builder: WithLocation).
+  LocateConfig locate;
+  // DEPRECATED aliases for the pre-LocateConfig loose knobs, honored for one
+  // PR: a value differing from the documented default overrides the matching
+  // `locate.*` field at node construction. New code sets `locate` directly.
+  SimDuration locate_timeout = Milliseconds(50);       // -> locate.timeout
+  int max_locate_attempts = 3;                         // -> locate.max_attempts
   SimDuration passive_locate_reply_delay = Milliseconds(2);
+  // ^ -> locate.passive_reply_delay
 
   // Frozen-object replication (section 4.3).
   bool cache_frozen_replicas = true;
@@ -111,8 +117,14 @@ struct KernelStats {
   uint64_t dispatches = 0;
   uint64_t rights_denied = 0;
   uint64_t queue_refusals = 0;
+  // Locate query rounds issued, by backend: locate_queries is the total
+  // (kernel.locate.queries.broadcast + kernel.locate.queries.directory);
+  // locate_broadcasts remains as the broadcast-tagged compat view.
+  uint64_t locate_queries = 0;
   uint64_t locate_broadcasts = 0;
   uint64_t locate_cache_hits = 0;
+  uint64_t directory_updates = 0;
+  uint64_t directory_stale_forwards = 0;
   uint64_t redirects_followed = 0;
   uint64_t activations = 0;
   uint64_t checkpoints = 0;
@@ -210,6 +222,9 @@ class NodeKernel {
 
   StableStore& store() { return *store_; }
   Transport& transport() { return *transport_; }
+  // The location backend this kernel resolves through (DESIGN.md §13).
+  LocationService& location() { return *location_; }
+  const LocationService& location() const { return *location_; }
   // This node's metrics: kernel.* counters and latency histograms, plus the
   // store.* and transport.* instruments of the owned subsystems.
   MetricsRegistry& metrics() { return metrics_; }
@@ -222,6 +237,8 @@ class NodeKernel {
 
  private:
   friend class InvokeContext;
+  friend class BroadcastLocation;
+  friend class DirectoryLocation;
 
   // --- Client-side invocation state machine ---------------------------------
   struct PendingInvocation {
@@ -322,6 +339,21 @@ class NodeKernel {
   void DispatchLocally(uint64_t id, std::shared_ptr<ActiveObject> object);
   void StartLocate(uint64_t id);
   void LocateAttempt(uint64_t query_id);
+  // Shared locate machinery driven by the LocationService backends
+  // (location.h). ResolveLocate completes the pending locate with a learned
+  // residence; OnLocateRoundFailed counts a round against the budget and
+  // either retries or gives up; RetryLocateNow short-circuits the round
+  // timer (a directory miss falls back to broadcast without waiting).
+  void ResolveLocate(uint64_t query_id, StationId host, uint64_t epoch,
+                     bool active);
+  void OnLocateRoundFailed(uint64_t query_id);
+  void RetryLocateNow(uint64_t query_id);
+  // Merges a residence sighting into the location cache: strictly newer
+  // epoch wins, equal-epoch active beats passive, older is dropped.
+  void CacheLocation(const ObjectName& name, const ResidenceRecord& record);
+  // Stamps `object` as acquired now and publishes the residence to the
+  // location backend. The epoch is returned (move acks carry it).
+  uint64_t PublishResidenceHere(const std::shared_ptr<ActiveObject>& object);
   void CompleteInvocation(uint64_t id, InvokeResult result);
   void OnAttemptTimeout(uint64_t id);
   // Mark this attempt's host dead, count the attempt, and either re-locate
@@ -452,8 +484,17 @@ class NodeKernel {
     Counter* dispatches = nullptr;
     Counter* rights_denied = nullptr;
     Counter* queue_refusals = nullptr;
-    Counter* locate_broadcasts = nullptr;
+    // Backend-tagged locate query rounds (kernel.locate.queries.<backend>)
+    // plus the directory.* instruments (DESIGN.md §13).
+    Counter* locate_queries_broadcast = nullptr;
+    Counter* locate_queries_directory = nullptr;
     Counter* locate_cache_hits = nullptr;
+    Counter* directory_lookups = nullptr;
+    Counter* directory_updates = nullptr;
+    Counter* directory_stale_updates = nullptr;
+    Counter* directory_stale_forwards = nullptr;
+    Counter* directory_fallbacks = nullptr;
+    Counter* directory_repairs = nullptr;
     Counter* redirects_followed = nullptr;
     Counter* activations = nullptr;
     Counter* checkpoints = nullptr;
@@ -496,6 +537,9 @@ class NodeKernel {
   Histogram* checkpoint_latency_ = nullptr;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<StableStore> store_;
+  // The pluggable location backend (DESIGN.md §13); constructed after the
+  // transport it sends through.
+  std::unique_ptr<LocationService> location_;
   bool failed_ = false;
 
   // active_ stays ordered: FailNode's iteration completes promises, so its
@@ -508,9 +552,13 @@ class NodeKernel {
   // !alive() exits on its next resume; finished frames are reaped lazily in
   // StartBehaviors.
   std::vector<Task<void>> behaviors_;
-  std::map<ObjectName, StationId> forwarding_;
-  // Pure point-lookup tables: never iterated where order is observable.
-  std::unordered_map<ObjectName, StationId, ObjectNameHash> location_cache_;
+  // Forwarding hints left behind by moves, stamped with the destination's
+  // residence epoch (from its move ack) so redirects are versioned.
+  std::map<ObjectName, ResidenceRecord> forwarding_;
+  // Pure point-lookup table: never iterated where order is observable.
+  // Entries merge by epoch (CacheLocation) — lazy invalidation.
+  std::unordered_map<ObjectName, ResidenceRecord, ObjectNameHash>
+      location_cache_;
 
   // Peers with recent consecutive send failures (healthy peers are absent).
   // Iterated only to cancel probe timers on node failure.

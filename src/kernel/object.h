@@ -92,6 +92,12 @@ struct ActiveObject {
   // Move in progress; new arrivals wait in hold_queue, to be forwarded.
   bool moving = false;
 
+  // Residence epoch (DESIGN.md §13): the simulation time this node acquired
+  // the object (create, move-in, reincarnation). Stamped on every directory
+  // update, locate reply and forwarding hint this host issues, so stale
+  // location records lose to fresh ones everywhere they meet.
+  uint64_t location_epoch = 0;
+
   // Per-invocation-class running counts and FIFO wait queues.
   std::vector<int> class_running;
   std::vector<std::deque<PendingDispatch>> class_queues;

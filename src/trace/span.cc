@@ -41,6 +41,8 @@ std::string_view SpanKindName(SpanKind kind) {
       return "checkpoint";
     case SpanKind::kMove:
       return "move";
+    case SpanKind::kDirectory:
+      return "directory";
   }
   return "unknown";
 }

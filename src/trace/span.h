@@ -71,8 +71,9 @@ enum class SpanKind : uint8_t {
   kStoreWrite = 6,  // stable-store write/delete service
   kCheckpoint = 7,  // one checkpoint operation (local or remote site)
   kMove = 8,        // object transfer, source side
+  kDirectory = 9,   // one partitioned-directory lookup round (DESIGN.md §13)
 };
-constexpr size_t kSpanKindCount = 9;
+constexpr size_t kSpanKindCount = 10;
 
 std::string_view SpanKindName(SpanKind kind);
 

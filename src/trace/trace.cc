@@ -45,6 +45,10 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "PEER_PROBE";
     case TraceEventKind::kPeerRecovered:
       return "PEER_RECOVERED";
+    case TraceEventKind::kDirectoryLookup:
+      return "DIRECTORY_LOOKUP";
+    case TraceEventKind::kDirectoryUpdate:
+      return "DIRECTORY_UPDATE";
   }
   return "UNKNOWN";
 }

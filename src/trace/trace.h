@@ -45,6 +45,8 @@ enum class TraceEventKind : uint8_t {
   kPeerSuspect = 14,      // peer marked suspect after consecutive failures
   kPeerProbe = 15,        // health probe sent to a suspect peer
   kPeerRecovered = 16,    // suspect peer answered; normal traffic resumes
+  kDirectoryLookup = 17,  // directory lookup round sent to home node(s)
+  kDirectoryUpdate = 18,  // residence update applied to this home partition
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

@@ -208,7 +208,7 @@ TEST_F(KernelEdgeFixture, StatsAccountForTheBasicFlows) {
   const KernelStats& remote = system_.node(1).stats();
   EXPECT_EQ(local.invocations_local, 1u);
   EXPECT_EQ(remote.invocations_remote, 2u);
-  EXPECT_EQ(remote.locate_broadcasts, 1u);
+  EXPECT_EQ(remote.locate_queries, 1u);
   EXPECT_EQ(remote.locate_cache_hits, 1u);
   EXPECT_EQ(local.dispatches, 3u);
 }

@@ -72,10 +72,12 @@ TEST(MessageTest, InvokeRedirectRoundTrip) {
   msg.invocation_id = 5;
   msg.name = ObjectName(1, 2, 3);
   msg.new_host = kNoStation;
+  msg.epoch = 0x1122334455ULL;
   auto decoded = InvokeRedirectMsg::Decode(msg.Encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->new_host, kNoStation);
   EXPECT_EQ(decoded->name, msg.name);
+  EXPECT_EQ(decoded->epoch, msg.epoch);
 }
 
 TEST(MessageTest, LocateRoundTrips) {
@@ -92,10 +94,12 @@ TEST(MessageTest, LocateRoundTrips) {
   reply.name = request.name;
   reply.host = 3;
   reply.active = true;
+  reply.epoch = 987654321u;
   auto decoded_reply = LocateReplyMsg::Decode(reply.Encode());
   ASSERT_TRUE(decoded_reply.ok());
   EXPECT_TRUE(decoded_reply->active);
   EXPECT_EQ(decoded_reply->host, 3u);
+  EXPECT_EQ(decoded_reply->epoch, 987654321u);
 }
 
 TEST(MessageTest, MoveTransferRoundTripCarriesEverything) {
@@ -124,9 +128,71 @@ TEST(MessageTest, MoveAckRoundTrip) {
   msg.transfer_id = 11;
   msg.name = ObjectName(4, 4, 4);
   msg.accepted = true;
+  msg.epoch = 42424242u;
   auto decoded = MoveAckMsg::Decode(msg.Encode());
   ASSERT_TRUE(decoded.ok());
   EXPECT_TRUE(decoded->accepted);
+  EXPECT_EQ(decoded->epoch, 42424242u);
+}
+
+TEST(MessageTest, DirectoryMessagesRoundTrip) {
+  DirectoryUpdateMsg update;
+  update.name = ObjectName(6, 7, 8);
+  update.host = 5;
+  update.epoch = 0xdeadbeefULL;
+  update.active = true;
+  Bytes encoded = update.Encode();
+  EXPECT_EQ(PeekMessageKind(encoded).value(), MessageKind::kDirectoryUpdate);
+  auto decoded_update = DirectoryUpdateMsg::Decode(encoded);
+  ASSERT_TRUE(decoded_update.ok());
+  EXPECT_EQ(decoded_update->name, update.name);
+  EXPECT_EQ(decoded_update->host, 5u);
+  EXPECT_EQ(decoded_update->epoch, 0xdeadbeefULL);
+  EXPECT_TRUE(decoded_update->active);
+  EXPECT_FALSE(decoded_update->removal);
+  ExpectPrefixRejection<DirectoryUpdateMsg>(encoded);
+
+  DirectoryUpdateMsg removal;
+  removal.name = update.name;
+  removal.epoch = 99;
+  removal.removal = true;
+  auto decoded_removal = DirectoryUpdateMsg::Decode(removal.Encode());
+  ASSERT_TRUE(decoded_removal.ok());
+  EXPECT_TRUE(decoded_removal->removal);
+  EXPECT_EQ(decoded_removal->epoch, 99u);
+
+  DirectoryLookupMsg lookup;
+  lookup.query_id = 31;
+  lookup.reply_to = 2;
+  lookup.name = update.name;
+  lookup.avoid_hosts = {4, 12};
+  Bytes lookup_encoded = lookup.Encode();
+  EXPECT_EQ(PeekMessageKind(lookup_encoded).value(),
+            MessageKind::kDirectoryLookup);
+  auto decoded_lookup = DirectoryLookupMsg::Decode(lookup_encoded);
+  ASSERT_TRUE(decoded_lookup.ok());
+  EXPECT_EQ(decoded_lookup->query_id, 31u);
+  EXPECT_EQ(decoded_lookup->reply_to, 2u);
+  EXPECT_EQ(decoded_lookup->avoid_hosts, (std::vector<StationId>{4, 12}));
+  ExpectPrefixRejection<DirectoryLookupMsg>(lookup_encoded);
+
+  DirectoryReplyMsg reply;
+  reply.query_id = 31;
+  reply.name = update.name;
+  reply.known = true;
+  reply.host = 5;
+  reply.epoch = 0xdeadbeefULL;
+  reply.active = true;
+  Bytes reply_encoded = reply.Encode();
+  EXPECT_EQ(PeekMessageKind(reply_encoded).value(),
+            MessageKind::kDirectoryReply);
+  auto decoded_reply = DirectoryReplyMsg::Decode(reply_encoded);
+  ASSERT_TRUE(decoded_reply.ok());
+  EXPECT_TRUE(decoded_reply->known);
+  EXPECT_EQ(decoded_reply->host, 5u);
+  EXPECT_EQ(decoded_reply->epoch, 0xdeadbeefULL);
+  EXPECT_TRUE(decoded_reply->active);
+  ExpectPrefixRejection<DirectoryReplyMsg>(reply_encoded);
 }
 
 TEST(MessageTest, CheckpointMessagesRoundTrip) {

@@ -329,6 +329,31 @@ TEST_F(MetricsSystemTest, KernelStatsCompatibilityAccessor) {
   EXPECT_GE(stats.dispatches, 2u);  // served both the local and remote call
 }
 
+TEST_F(MetricsSystemTest, LocateMetricsAreBackendTagged) {
+  // Default backend is the partitioned directory: locate rounds land on the
+  // directory-tagged counter and the broadcast counter stays untouched.
+  auto cap = system_.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(system_.Await(system_.node(1).Invoke(*cap, "increment")).ok());
+
+  const MetricsRegistry& m1 = system_.node(1).metrics();
+  EXPECT_EQ(m1.CounterValue("kernel.locate.queries.directory"), 1u);
+  EXPECT_EQ(m1.CounterValue("kernel.locate.queries.broadcast"), 0u);
+
+  // The stats() view sums both backends into locate_queries and keeps
+  // locate_broadcasts as the broadcast-only slice.
+  KernelStats stats = system_.node(1).stats();
+  EXPECT_EQ(stats.locate_queries, 1u);
+  EXPECT_EQ(stats.locate_broadcasts, 0u);
+
+  // Creation published a residence to the name's home partition somewhere,
+  // and the home's entry count gauge reflects it.
+  MetricsRegistry rollup = system_.Rollup();
+  EXPECT_GE(rollup.CounterValue("kernel.directory.updates"), 1u);
+  ASSERT_NE(rollup.FindGauge("kernel.directory.entries"), nullptr);
+  EXPECT_GE(rollup.FindGauge("kernel.directory.entries")->value(), 1);
+}
+
 TEST_F(MetricsSystemTest, RegistryJsonRoundTrips) {
   auto cap = system_.node(0).CreateObject("std.counter", Representation{});
   ASSERT_TRUE(cap.ok());
@@ -470,6 +495,48 @@ TEST(NodeBuilder, OverridesApplyToOneNodeOnly) {
   EXPECT_EQ(system.node(1).config().default_invoke_timeout,
             system.config().kernel.default_invoke_timeout);
   EXPECT_EQ(&system.node(0), &special);
+}
+
+TEST(NodeBuilder, WithLocationSelectsTheBackend) {
+  EdenSystem system;
+  RegisterStandardTypes(system);
+  NodeKernel& classic = system.AddNode("classic").WithLocation(
+      LocationBackend::kBroadcast);
+  system.AddNode("modern");
+  EXPECT_EQ(classic.config().locate.backend, LocationBackend::kBroadcast);
+  EXPECT_EQ(system.node(1).config().locate.backend,
+            LocationBackend::kDirectory);
+
+  // A broadcast-configured node resolves a remote name via the broadcast
+  // counter; its directory counter never moves.
+  auto cap = system.node(1).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  ASSERT_TRUE(system.Await(classic.Invoke(*cap, "increment")).ok());
+  EXPECT_EQ(classic.metrics().CounterValue("kernel.locate.queries.broadcast"),
+            1u);
+  EXPECT_EQ(classic.metrics().CounterValue("kernel.locate.queries.directory"),
+            0u);
+
+  LocateConfig tuned;
+  tuned.backend = LocationBackend::kDirectory;
+  tuned.directory_fanout = 2;
+  NodeKernel& wide = system.AddNode("wide").WithLocation(tuned);
+  EXPECT_EQ(wide.config().locate.directory_fanout, 2);
+}
+
+TEST(NodeBuilder, DeprecatedLocateAliasesStillApply) {
+  // The loose locate_* fields survive one more PR as aliases: a non-default
+  // value overrides the corresponding LocateConfig knob at node construction.
+  EdenSystem system;
+  RegisterStandardTypes(system);
+  KernelConfig old_style;
+  old_style.locate_timeout = Milliseconds(125);
+  old_style.max_locate_attempts = 7;
+  NodeKernel& node = system.AddNode("legacy").WithKernel(old_style);
+  EXPECT_EQ(node.config().locate.timeout, Milliseconds(125));
+  EXPECT_EQ(node.config().locate.max_attempts, 7);
+  // Untouched aliases leave the LocateConfig defaults alone.
+  EXPECT_EQ(node.config().locate.passive_reply_delay, Milliseconds(2));
 }
 
 TEST(NodeBuilder, WithTraceWiresTheBuffer) {

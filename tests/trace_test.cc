@@ -33,7 +33,8 @@ TEST_F(TraceFixture, InvocationLifecycleIsRecorded) {
   EXPECT_GE(trace_.counts().at(TraceEventKind::kInvokeStart), 1u);
   EXPECT_GE(trace_.counts().at(TraceEventKind::kInvokeComplete), 1u);
   EXPECT_GE(trace_.counts().at(TraceEventKind::kDispatch), 1u);
-  EXPECT_GE(trace_.counts().at(TraceEventKind::kLocateBroadcast), 1u);
+  // The default backend resolves through the partitioned directory.
+  EXPECT_GE(trace_.counts().at(TraceEventKind::kDirectoryLookup), 1u);
 }
 
 TEST_F(TraceFixture, MeanInvocationLatencyMatchesPairs) {
