@@ -29,7 +29,7 @@ void BM_AblatePassiveReplyDelay(benchmark::State& state) {
     state.PauseTiming();
     SystemConfig config;
     config.seed = 31 + static_cast<uint64_t>(state.range(0));
-    config.kernel.passive_locate_reply_delay = delay;
+    config.kernel.locate.passive_reply_delay = delay;
     EdenSystem system(config);
     MetricsExportScope export_scope(system);
     RegisterStandardTypes(system);
@@ -120,7 +120,7 @@ void BM_AblateReplyCache(benchmark::State& state) {
     config.lan.loss_probability = 0.2;
     config.transport.max_retransmits = 0;
     config.kernel.attempt_timeout = Milliseconds(150);
-    config.kernel.locate_timeout = Milliseconds(30);
+    config.kernel.locate.timeout = Milliseconds(30);
     config.kernel.reply_cache_capacity = capacity;
     EdenSystem system(config);
     MetricsExportScope export_scope(system);

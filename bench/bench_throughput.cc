@@ -17,12 +17,19 @@
 //   BM_Saturated16           16-node system, one closed-loop client per node
 //                            invoking objects on the next node with zero
 //                            think time: the wire and every kernel stay busy
+//   BM_ShardedSaturated/S/N  the same saturated ring at N nodes on the
+//                            parallel sharded engine with S worker shards
+//                            (switched LAN, DESIGN.md §14); S=1 is the
+//                            sharded baseline the speedup is measured against
 //
 // Exported gauges (BENCH_bench_throughput.json):
 //   bench.throughput.events_per_sec        wall-clock simulator event rate
 //   bench.throughput.invocations_per_sec   completed invocations per host sec
+//   bench.throughput.shards<S>.nodes<N>.events_per_sec   sharded sweep (E16)
 // Compare runs with scripts/perf_compare.py.
 #include <chrono>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/workload/workload.h"
@@ -146,7 +153,105 @@ void BM_Saturated16(benchmark::State& state) {
 }
 BENCHMARK(BM_Saturated16)->UseManualTime()->MinTime(2.0);
 
+// The tentpole series (E16): the saturated ring again, but on the parallel
+// sharded engine. Block placement keeps each client's ring neighbor on the
+// same shard except at the S boundaries, so the sweep measures engine scaling
+// with a realistic mostly-local traffic matrix. Events are counted across
+// every shard; the rate is wall-clock, so the S>1 rows show real speedup
+// (acceptance bar: >= 3x at S=8, N=256, checked by scripts/ci.sh in full
+// mode via the exported gauges).
+void BM_ShardedSaturated(benchmark::State& state) {
+  size_t shards = static_cast<size_t>(state.range(0));
+  size_t nodes = static_cast<size_t>(state.range(1));
+  SystemConfig config;
+  config.seed = 42;
+  config.shards = shards;
+  EdenSystem system(config);
+  MetricsExportScope export_scope(system);
+  RegisterStandardTypes(system);
+  system.AddNodes(nodes);
+  std::vector<Capability> targets;
+  std::vector<size_t> clients;
+  for (size_t i = 0; i < nodes; i++) {
+    targets.push_back(MakeDataObject(system, (i + 1) % nodes, 64));
+    clients.push_back(i);
+  }
+  for (size_t i = 0; i < nodes; i++) {
+    system.Await(system.node(i).Invoke(targets[i], "size"));
+  }
+  Bytes payload(128, 0x5a);
+  WorkFactory factory = [&](size_t client, uint64_t) {
+    return WorkItem{targets[client], "put", InvokeArgs{}.AddBytes(payload)};
+  };
+
+  uint64_t events = 0;
+  uint64_t invocations = 0;
+  double wall_seconds = 0;
+  for (auto _ : state) {
+    uint64_t events_before = system.total_events();
+    auto start = WallClock::now();
+    WorkloadStats stats = RunClosedLoop(system, clients, factory,
+                                        /*duration=*/Milliseconds(200),
+                                        /*mean_think_time=*/0);
+    double elapsed = WallSecondsSince(start);
+    state.SetIterationTime(elapsed);
+    wall_seconds += elapsed;
+    events += system.total_events() - events_before;
+    invocations += stats.completed;
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+    state.counters["invocations_per_sec"] = benchmark::Counter(
+        static_cast<double>(invocations), benchmark::Counter::kIsRate);
+  }
+  if (wall_seconds > 0) {
+    std::string prefix = "bench.throughput.shards" + std::to_string(shards) +
+                         ".nodes" + std::to_string(nodes);
+    BenchMetrics()
+        .gauge(prefix + ".events_per_sec")
+        .Set(static_cast<int64_t>(static_cast<double>(events) / wall_seconds));
+    BenchMetrics()
+        .gauge(prefix + ".invocations_per_sec")
+        .Set(static_cast<int64_t>(static_cast<double>(invocations) /
+                                  wall_seconds));
+  }
+}
+BENCHMARK(BM_ShardedSaturated)
+    ->ArgsProduct({{1, 2, 4, 8}, {64, 256}})
+    ->UseManualTime()
+    ->MinTime(1.0);
+
 }  // namespace
 }  // namespace eden
 
-EDEN_BENCH_MAIN(bench_throughput);
+// Custom main: EDEN_BENCH_MAIN plus a --quick flag (CI smoke) that caps the
+// per-benchmark budget so the sharded sweep still covers every shard count.
+int main(int argc, char** argv) {
+  std::string json_path =
+      ::eden::ConsumeJsonFlag(&argc, argv, "BENCH_bench_throughput.json");
+  bool quick = false;
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int run_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&run_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(run_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!::eden::WriteBenchJson("bench_throughput", json_path)) {
+    return 1;
+  }
+  return 0;
+}

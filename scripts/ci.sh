@@ -33,6 +33,14 @@
 #      EXPERIMENTS.md E15. Regenerate with
 #        build/bench/bench_location --quick --json=bench/baselines/BENCH_bench_location.json
 #      when locate behavior intentionally changes.
+#   7. Parallel-engine smoke: build the sharded-engine determinism suite under
+#      TSan at build-tsan and run it (the threaded RunUntil windows, the SPSC
+#      channels and the horizon protocol are the only concurrent code in the
+#      repo — a data race there silently breaks the determinism oracle), then
+#      smoke-run bench_throughput --quick, whose BM_ShardedSaturated series
+#      sweeps 1/2/4/8 shards at 64 and 256 nodes. The sweep's wall-clock
+#      speedup is NOT gated: it depends on host core count (a 1-core CI box
+#      legitimately measures ~1x). The determinism gate is the ctest suite.
 #
 #   scripts/ci.sh [jobs]
 set -eu
@@ -80,5 +88,16 @@ echo "== location smoke (directory backend under ASan + scaling gate) =="
 "$repo_root/scripts/perf_compare.py" \
   "$repo_root/bench/baselines/BENCH_bench_location.json" \
   "$repo_root/build/BENCH_bench_location.json" --gate 10
+
+echo "== TSan build + parallel determinism suite =="
+cmake -B "$repo_root/build-tsan" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
+cmake --build "$repo_root/build-tsan" -j "$jobs" --target parallel_sim_test
+"$repo_root/build-tsan/tests/parallel_sim_test"
+
+echo "== sharded engine smoke (shard sweep, quick) =="
+"$repo_root/build/bench/bench_throughput" --quick \
+  --json="$repo_root/build/BENCH_bench_throughput_smoke.json"
 
 echo "CI OK"

@@ -9,6 +9,49 @@ namespace eden {
 EdenSystem::EdenSystem(SystemConfig config)
     : config_(config), sim_(config.seed), lan_(sim_, config.lan) {
   lan_.set_metrics(&metrics_);
+  if (config_.shards > 0) {
+    WithShards(config_.shards);
+  }
+}
+
+EdenSystem& EdenSystem::WithShards(size_t n) {
+  assert(n >= 1);
+  assert(engine_ == nullptr && "WithShards may be called only once");
+  assert(nodes_.empty() && "call WithShards before adding nodes");
+  assert(fault_injector_ == nullptr &&
+         "the chaos layer requires the single-threaded CSMA world");
+  config_.shards = n;
+  // Sharding requires the switched LAN: delivery times must be computable at
+  // send time for the engine's lookahead to hold.
+  lan_.EnableSwitched();
+  for (size_t k = 1; k < n; k++) {
+    // Shard rngs deliberately diverge from the primary's stream; nothing
+    // layout-sensitive draws from them (see the randomness notes on
+    // NodeKernel's constructor).
+    extra_sims_.push_back(std::make_unique<Simulation>(
+        config_.seed ^ (0x9e3779b97f4a7c15ULL * k)));
+  }
+  std::vector<Simulation*> sims;
+  sims.push_back(&sim_);
+  for (auto& s : extra_sims_) {
+    sims.push_back(s.get());
+  }
+  engine_ = std::make_unique<ShardedEngine>(std::move(sims), lan_.lookahead());
+  engine_->set_deliver(
+      [this](const CrossShardMsg& msg) { lan_.DeliverRouted(msg); });
+  lan_.set_cross_shard_sink(
+      [this](uint32_t from, uint32_t to, CrossShardMsg msg) {
+        engine_->Push(from, to, std::move(msg));
+      });
+  return *this;
+}
+
+uint64_t EdenSystem::total_events() const {
+  uint64_t total = sim_.events_executed();
+  for (const auto& s : extra_sims_) {
+    total += s->events_executed();
+  }
+  return total;
 }
 
 NodeBuilder::NodeBuilder(EdenSystem* system, std::string name)
@@ -20,7 +63,8 @@ NodeBuilder::NodeBuilder(EdenSystem* system, std::string name)
 
 NodeKernel& NodeBuilder::Build() {
   if (node_ == nullptr) {
-    node_ = &system_->AddNodeWithConfig(name_, kernel_, disk_, transport_);
+    node_ = &system_->AddNodeWithConfig(name_, kernel_, disk_, transport_,
+                                        shard_);
     if (trace_ != nullptr) {
       node_->set_trace(trace_);
     }
@@ -34,17 +78,54 @@ NodeBuilder EdenSystem::AddNode(const std::string& name) {
 
 NodeKernel& EdenSystem::AddNodeWithConfig(const std::string& name,
                                           KernelConfig kernel, DiskConfig disk,
-                                          TransportConfig transport) {
-  nodes_.push_back(
-      std::make_unique<NodeKernel>(*this, name, kernel, disk, transport));
+                                          TransportConfig transport,
+                                          int shard) {
+  uint32_t s = 0;
+  Simulation* shard_sim_ptr = nullptr;
+  if (engine_ != nullptr) {
+    size_t count = engine_->shard_count();
+    s = shard >= 0 ? static_cast<uint32_t>(shard)
+                   : next_shard_rr_++ % static_cast<uint32_t>(count);
+    assert(s < count && "WithShard index out of range");
+    shard_sim_ptr = &shard_sim(s);
+  }
+  nodes_.push_back(std::make_unique<NodeKernel>(*this, name, kernel, disk,
+                                                transport, shard_sim_ptr));
+  node_shard_.push_back(s);
+  if (engine_ != nullptr) {
+    lan_.SetStationShard(nodes_.back()->station(), s);
+  }
   if (fault_injector_ != nullptr) {
     nodes_.back()->store().set_fault_hook(
         fault_injector_->DiskHookFor(nodes_.size() - 1));
   }
   if (span_collector_ != nullptr) {
-    nodes_.back()->set_spans(span_collector_);
+    nodes_.back()->set_spans(ShardCollectorFor(s));
   }
   return *nodes_.back();
+}
+
+SpanCollector* EdenSystem::ShardCollectorFor(uint32_t s) {
+  if (engine_ == nullptr) {
+    return span_collector_;
+  }
+  if (span_collector_ == nullptr) {
+    return nullptr;
+  }
+  if (shard_spans_.empty()) {
+    shard_spans_.resize(engine_->shard_count());
+    shard_span_metrics_.resize(engine_->shard_count());
+  }
+  if (shard_spans_[s] == nullptr) {
+    shard_spans_[s] = std::make_unique<SpanCollector>();
+    // Partitioned id space (ids never collide across shards) and fragment
+    // mode (a cross-shard child records locally; MergeSpans rejoins it).
+    shard_spans_[s]->set_id_base((static_cast<uint64_t>(s) << 56) | 1);
+    shard_spans_[s]->set_fragments_enabled(true);
+    shard_span_metrics_[s] = std::make_unique<MetricsRegistry>();
+    shard_spans_[s]->set_metrics(shard_span_metrics_[s].get());
+  }
+  return shard_spans_[s].get();
 }
 
 void EdenSystem::set_span_collector(SpanCollector* spans) {
@@ -52,13 +133,31 @@ void EdenSystem::set_span_collector(SpanCollector* spans) {
   if (spans != nullptr) {
     spans->set_metrics(&metrics_);
   }
-  for (auto& node : nodes_) {
-    node->set_spans(spans);
+  if (spans == nullptr) {
+    shard_spans_.clear();
+    shard_span_metrics_.clear();
+  }
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    nodes_[i]->set_spans(spans == nullptr ? nullptr
+                                          : ShardCollectorFor(node_shard_[i]));
+  }
+}
+
+void EdenSystem::MergeSpans() {
+  if (span_collector_ == nullptr) {
+    return;
+  }
+  for (auto& shard_collector : shard_spans_) {
+    if (shard_collector != nullptr) {
+      span_collector_->Absorb(*shard_collector);
+    }
   }
 }
 
 void EdenSystem::EnableFaults(const FaultPlan& plan, TraceBuffer* trace) {
   assert(fault_injector_ == nullptr && "EnableFaults may be called only once");
+  assert(engine_ == nullptr &&
+         "the chaos layer requires the single-threaded CSMA world");
   fault_injector_ = std::make_unique<FaultInjector>(sim_, plan);
   FaultInjector* injector = fault_injector_.get();
   injector->set_metrics(&metrics_);
@@ -111,8 +210,14 @@ void EdenSystem::EnableFaults(const FaultPlan& plan, TraceBuffer* trace) {
 
 void EdenSystem::AddNodes(size_t count) {
   for (size_t i = 0; i < count; i++) {
+    int shard = -1;
+    if (engine_ != nullptr) {
+      // Contiguous blocks: node i -> shard i*S/count, so ring/neighbor
+      // workloads keep most traffic shard-local.
+      shard = static_cast<int>((i * engine_->shard_count()) / count);
+    }
     AddNodeWithConfig("node" + std::to_string(node_count()), config_.kernel,
-                      config_.disk, config_.transport);
+                      config_.disk, config_.transport, shard);
   }
 }
 
@@ -139,10 +244,18 @@ std::shared_ptr<TypeManager> EdenSystem::FindType(const std::string& type_name) 
 }
 
 MetricsRegistry EdenSystem::Rollup() const {
+  // Switched mode defers its wire counters (they are per-station for thread
+  // safety); fold the outstanding deltas into metrics_ first.
+  lan_.SyncMetrics();
   MetricsRegistry rollup;
   rollup.MergeFrom(metrics_);
   for (const auto& node : nodes_) {
     rollup.MergeFrom(node->metrics());
+  }
+  for (const auto& shard_registry : shard_span_metrics_) {
+    if (shard_registry != nullptr) {
+      rollup.MergeFrom(*shard_registry);
+    }
   }
   return rollup;
 }

@@ -19,6 +19,7 @@
 #include "src/kernel/node_kernel.h"
 #include "src/metrics/metrics.h"
 #include "src/net/lan.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
 
@@ -33,6 +34,12 @@ struct SystemConfig {
   KernelConfig kernel;
   DiskConfig disk;
   TransportConfig transport;
+  // 0 = the classic single-threaded CSMA/CD world (the default and the
+  // correctness baseline). >= 1 = switched LAN + parallel sharded engine
+  // (DESIGN.md §14) with this many worker shards; 1 is the sharded code path
+  // with a single shard (pass-through, used as the sharded-mode oracle).
+  // Equivalent builder-style knob: EdenSystem::WithShards before AddNode.
+  size_t shards = 0;
 };
 
 // Fluent per-node configuration, returned by EdenSystem::AddNode:
@@ -83,6 +90,12 @@ class NodeBuilder {
     trace_ = trace;
     return *this;
   }
+  // Pins this node to a specific shard (sharded systems only; the default is
+  // round-robin placement).
+  NodeBuilder& WithShard(uint32_t shard) {
+    shard_ = static_cast<int>(shard);
+    return *this;
+  }
 
   // Creates the node (idempotent).
   NodeKernel& Build();
@@ -98,6 +111,7 @@ class NodeBuilder {
   DiskConfig disk_;
   TransportConfig transport_;
   TraceBuffer* trace_ = nullptr;
+  int shard_ = -1;  // -1 = auto placement
   NodeKernel* node_ = nullptr;
 };
 
@@ -108,14 +122,40 @@ class EdenSystem {
   EdenSystem(const EdenSystem&) = delete;
   EdenSystem& operator=(const EdenSystem&) = delete;
 
+  // The primary simulation (shard 0 under the parallel engine). Setup-time
+  // randomness (node rng forks, transport ids, object nonces) always draws
+  // from this one so it is independent of the shard layout.
   Simulation& sim() { return sim_; }
   Lan& lan() { return lan_; }
   const SystemConfig& config() const { return config_; }
+
+  // --- Parallel sharded engine (DESIGN.md §14) -------------------------------
+  // Equivalent to SystemConfig::shards = n: flips the LAN into switched mode
+  // and partitions subsequently-added nodes across n worker shards, each
+  // with its own Simulation, synchronized conservatively with the LAN's
+  // minimum wire latency as lookahead. Call before adding any node.
+  EdenSystem& WithShards(size_t n);
+  bool sharded() const { return engine_ != nullptr; }
+  size_t shard_count() const { return engine_ ? engine_->shard_count() : 1; }
+  // Simulation driving shard `s` (s == 0 is sim()).
+  Simulation& shard_sim(size_t s) {
+    return s == 0 ? sim_ : *extra_sims_[s - 1];
+  }
+  // Shard that owns node `index` (0 when unsharded).
+  uint32_t node_shard(size_t index) const {
+    return index < node_shard_.size() ? node_shard_[index] : 0;
+  }
+  ShardedEngine* engine() { return engine_.get(); }
+  // Events executed across every shard (== sim().events_executed() when
+  // unsharded).
+  uint64_t total_events() const;
 
   // Adds a node machine to the installation, configured with the system-wide
   // defaults unless the returned builder overrides them.
   NodeBuilder AddNode(const std::string& name);
   // Adds `count` default-configured nodes named "node0".."node<count-1>".
+  // Under the sharded engine, the batch is placed in contiguous blocks
+  // (node i -> shard i*S/count) so ring/neighbor traffic stays shard-local.
   void AddNodes(size_t count);
 
   NodeKernel& node(size_t index) {
@@ -155,36 +195,77 @@ class EdenSystem {
   const MetricsRegistry& metrics() const { return metrics_; }
 
   // Aggregates the system registry plus every node's registry into one
-  // snapshot: counters and gauges sum, histograms merge bucket-wise.
+  // snapshot: counters and gauges sum, histograms merge bucket-wise. Under
+  // the sharded engine this also syncs the LAN's deferred per-station
+  // counters and the per-shard span-phase registries; call it only between
+  // runs (shards quiescent).
   MetricsRegistry Rollup() const;
 
   // JSON rendering of Rollup() (see MetricsRegistry::ToJson for the shape).
   std::string MetricsJson() const;
+
+  // Folds every shard's span collector into the one passed to
+  // set_span_collector, so post-run span analysis (critical paths,
+  // exemplars) sees the whole installation. No-op when unsharded. Call
+  // between runs.
+  void MergeSpans();
 
   // --- Drive helpers (tests, examples, benchmarks) -----------------------------
   // Runs the simulation until the future resolves. Aborts if the event queue
   // drains first (a deadlock in the scenario under test).
   template <typename T>
   T Await(Future<T> future) {
-    bool done = sim_.RunWhile([&future] { return !future.ready(); });
+    auto pending = [&future] { return !future.ready(); };
+    bool done = engine_ != nullptr ? engine_->DriveWhile(pending)
+                                   : sim_.RunWhile(pending);
     assert(done && "simulation deadlocked while awaiting a future");
     (void)done;
     return future.Get();
   }
 
-  void RunFor(SimDuration duration) { sim_.RunFor(duration); }
+  void RunFor(SimDuration duration) { RunUntil(sim_.now() + duration); }
+  // Advances the whole installation (every shard, in parallel when sharded)
+  // to exactly `deadline`.
+  void RunUntil(SimTime deadline) {
+    if (engine_ != nullptr) {
+      engine_->RunUntil(deadline);
+    } else {
+      sim_.RunUntil(deadline);
+    }
+  }
+  // Runs conservative single-threaded rounds while `pending()` is true (the
+  // sharded counterpart of Simulation::RunWhile); plain RunWhile when
+  // unsharded. Returns false if the world drained with `pending` still true.
+  bool DriveWhile(const std::function<bool()>& pending) {
+    return engine_ != nullptr ? engine_->DriveWhile(pending)
+                              : sim_.RunWhile(pending);
+  }
 
  private:
   friend class NodeBuilder;
 
   NodeKernel& AddNodeWithConfig(const std::string& name, KernelConfig kernel,
-                                DiskConfig disk, TransportConfig transport);
+                                DiskConfig disk, TransportConfig transport,
+                                int shard = -1);
+  // The collector nodes of shard `s` should record into: the user's
+  // collector when unsharded, a lazily-created shard-local collector (with
+  // a partitioned id space) otherwise.
+  SpanCollector* ShardCollectorFor(uint32_t s);
 
   SystemConfig config_;
   Simulation sim_;
   // Holds lan.* instruments; must outlive (so precede) lan_.
   MetricsRegistry metrics_;
   Lan lan_;
+  // Shards 1..S-1 (shard 0 is sim_). Unique_ptrs so Simulation needn't move.
+  std::vector<std::unique_ptr<Simulation>> extra_sims_;
+  std::unique_ptr<ShardedEngine> engine_;
+  std::vector<uint32_t> node_shard_;  // by node index
+  uint32_t next_shard_rr_ = 0;        // round-robin cursor for single AddNode
+  // Per-shard span collectors and the registries their phase histograms
+  // record into; MergeSpans/Rollup fold them into the user-visible ones.
+  std::vector<std::unique_ptr<SpanCollector>> shard_spans_;
+  std::vector<std::unique_ptr<MetricsRegistry>> shard_span_metrics_;
   std::unique_ptr<FaultInjector> fault_injector_;
   SpanCollector* span_collector_ = nullptr;
   std::vector<std::unique_ptr<NodeKernel>> nodes_;

@@ -47,25 +47,19 @@ Future<Status> ReadyStatus(Status status) {
 
 NodeKernel::NodeKernel(EdenSystem& system, std::string node_name,
                        KernelConfig config, DiskConfig disk,
-                       TransportConfig transport)
+                       TransportConfig transport, Simulation* shard_sim)
     : system_(system),
       node_name_(std::move(node_name)),
+      sim_(shard_sim != nullptr ? shard_sim : &system.sim()),
       config_(config),
       rng_(system.sim().rng().Fork()) {
-  // Resolve the deprecated loose locate knobs into config_.locate: a value
-  // differing from its documented default overrides the struct field.
-  if (config_.locate_timeout != Milliseconds(50)) {
-    config_.locate.timeout = config_.locate_timeout;
-  }
-  if (config_.max_locate_attempts != 3) {
-    config_.locate.max_attempts = config_.max_locate_attempts;
-  }
-  if (config_.passive_locate_reply_delay != Milliseconds(2)) {
-    config_.locate.passive_reply_delay = config_.passive_locate_reply_delay;
-  }
   InitMetrics();
-  transport_ = std::make_unique<Transport>(system_.sim(), system_.lan(), transport);
-  store_ = std::make_unique<StableStore>(system_.sim(), disk);
+  // The transport and store run on this node's shard simulation; message ids
+  // keep drawing from the primary rng so the id sequence depends only on
+  // node-creation order, never on the shard layout.
+  transport_ = std::make_unique<Transport>(*sim_, system_.lan(), transport,
+                                           &system_.sim().rng());
+  store_ = std::make_unique<StableStore>(*sim_, disk);
   location_ = LocationService::Create(*this, config_.locate.backend);
   transport_->set_metrics(&metrics_);
   store_->set_metrics(&metrics_);
@@ -172,8 +166,6 @@ void NodeKernel::RecordInvocationLatency(const PendingInvocation& pending) {
         .Record(elapsed);
   }
 }
-
-Simulation& NodeKernel::sim() { return system_.sim(); }
 
 SimDuration NodeKernel::SerializeCost(size_t bytes) const {
   return config_.serialize_per_kb * static_cast<SimDuration>(bytes / 1024 + 1);
@@ -291,8 +283,10 @@ StatusOr<Capability> NodeKernel::CreateObject(const std::string& type_name,
   if (type == nullptr) {
     return NotFoundError("unknown type: " + type_name);
   }
+  // Nonce from the primary rng: object names must not depend on which shard
+  // the creating node landed on (they feed directory-home hashing).
   ObjectName name(station(), next_object_seq_++,
-                  static_cast<uint32_t>(sim().rng().NextU64()));
+                  static_cast<uint32_t>(system_.sim().rng().NextU64()));
   auto object = std::make_shared<ActiveObject>(type);
   object->name = name;
   object->core = std::make_shared<ObjectCore>();
@@ -738,6 +732,10 @@ void NodeKernel::OnMessage(StationId src, BytesView message) {
   if (failed_) {
     return;
   }
+  // Per-node determinism oracle: the full inbound stream in arrival order.
+  digest_.Mix(static_cast<uint64_t>(sim().now()));
+  digest_.Mix(src);
+  digest_.Mix(Fnv1a64(message));
   // Any traffic from a peer is liveness evidence (find-only on healthy peers).
   ReportPeerAlive(src);
   auto kind = PeekMessageKind(message);

@@ -58,13 +58,6 @@ struct KernelConfig {
   // Location protocol (DESIGN.md §13): backend selection plus every locate
   // knob, gathered in one struct (builder: WithLocation).
   LocateConfig locate;
-  // DEPRECATED aliases for the pre-LocateConfig loose knobs, honored for one
-  // PR: a value differing from the documented default overrides the matching
-  // `locate.*` field at node construction. New code sets `locate` directly.
-  SimDuration locate_timeout = Milliseconds(50);       // -> locate.timeout
-  int max_locate_attempts = 3;                         // -> locate.max_attempts
-  SimDuration passive_locate_reply_delay = Milliseconds(2);
-  // ^ -> locate.passive_reply_delay
 
   // Frozen-object replication (section 4.3).
   bool cache_frozen_replicas = true;
@@ -143,8 +136,12 @@ struct CreateOptions {
 
 class NodeKernel {
  public:
+  // `shard_sim` is the simulation that drives this node — its shard's event
+  // queue and clock under the parallel engine; nullptr means the system's
+  // primary simulation (the unsharded default).
   NodeKernel(EdenSystem& system, std::string node_name, KernelConfig config = {},
-             DiskConfig disk = {}, TransportConfig transport = {});
+             DiskConfig disk = {}, TransportConfig transport = {},
+             Simulation* shard_sim = nullptr);
   ~NodeKernel();
 
   NodeKernel(const NodeKernel&) = delete;
@@ -233,7 +230,15 @@ class NodeKernel {
   KernelStats stats() const;
   const KernelConfig& config() const { return config_; }
   EdenSystem& system() { return system_; }
-  Simulation& sim();
+  // This node's driving simulation (its shard's under the parallel engine).
+  Simulation& sim() { return *sim_; }
+
+  // Order-sensitive digest of every message this node received: mixes
+  // (arrival time, source, payload hash) per message. Because it is built
+  // entirely from one node's inbound stream, it is the per-node determinism
+  // oracle for parallel runs — serial and sharded executions of the same
+  // seed must produce identical digests (tests/parallel_sim_test.cc).
+  const Digest& digest() const { return digest_; }
 
  private:
   friend class InvokeContext;
@@ -524,6 +529,9 @@ class NodeKernel {
 
   EdenSystem& system_;
   std::string node_name_;
+  // The simulation this node schedules through (see the constructor).
+  Simulation* sim_;
+  Digest digest_;
   KernelConfig config_;
   // Kernel-private randomness (attempt jitter), forked from the simulation
   // seed so chaotic runs stay reproducible.

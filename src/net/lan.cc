@@ -11,6 +11,10 @@ void Station::Send(Frame frame) {
   assert(frame.wire_size() <= lan_->config().max_payload_bytes &&
          "payload exceeds LAN MTU; use the transport layer to fragment");
   frame.src = id_;
+  if (lan_->config().switched) {
+    lan_->SwitchedSend(this, std::move(frame));
+    return;
+  }
   frame.enqueued_at = lan_->sim().now();
   queue_.push_back(std::move(frame));
   if (!transmitting_or_waiting_) {
@@ -49,11 +53,16 @@ void Lan::set_metrics(MetricsRegistry* registry) {
 
 Lan::~Lan() = default;
 
-Station* Lan::AttachStation() {
+Station* Lan::AttachStation(Simulation* owner) {
   auto id = static_cast<StationId>(stations_.size());
-  stations_.push_back(std::unique_ptr<Station>(new Station(this, id)));
+  stations_.push_back(std::unique_ptr<Station>(
+      new Station(this, id, owner != nullptr ? owner : &sim_)));
   partition_group_.push_back(0);
   detached_.push_back(false);
+  if (config_.switched) {
+    stations_.back()->loss_rng_ =
+        Rng(switched_seed_ ^ (0x9e3779b97f4a7c15ULL * (id + 1)));
+  }
   return stations_.back().get();
 }
 
@@ -79,6 +88,141 @@ void Lan::DetachStation(StationId station) {
 void Lan::ReattachStation(StationId station) {
   assert(station < detached_.size());
   detached_[station] = false;
+}
+
+void Lan::EnableSwitched() {
+  assert(stats_.frames_sent == 0 && "switch modes before any traffic");
+  if (config_.switched) {
+    return;
+  }
+  config_.switched = true;
+  // One draw from the (otherwise now-unused) CSMA rng seeds every station's
+  // loss stream. Each receiver's draws then follow its own canonical
+  // delivery order, so loss decisions are identical across shard layouts.
+  switched_seed_ = rng_.NextU64();
+  for (auto& st : stations_) {
+    st->loss_rng_ = Rng(switched_seed_ ^ (0x9e3779b97f4a7c15ULL * (st->id_ + 1)));
+  }
+}
+
+void Lan::SetStationShard(StationId station, uint32_t shard) {
+  assert(station < stations_.size());
+  stations_[station]->shard_ = shard;
+}
+
+void Lan::SwitchedSend(Station* station, Frame frame) {
+  Simulation& owner = *station->sim_;
+  frame.enqueued_at = owner.now();
+  if (detached_[station->id_]) {
+    station->wire_stats_.transmit_failures++;
+    return;
+  }
+  SimDuration frame_time = FrameTime(frame.wire_size());
+  size_t wire_bytes = std::max(frame.wire_size() + config_.frame_overhead_bytes,
+                               config_.min_frame_bytes);
+  // Full duplex: the only contention is the sender's own egress port.
+  SimTime start = std::max(owner.now(), station->egress_free_at_);
+  station->egress_free_at_ = start + frame_time + config_.interframe_gap;
+  station->wire_stats_.frames_sent++;
+  station->wire_stats_.bytes_on_wire += wire_bytes;
+  station->wire_stats_.busy_time += frame_time;
+  // wire_bytes >= min_frame_bytes, so deliver_at >= now + lookahead() always
+  // — the invariant the conservative synchronizer relies on.
+  SimTime deliver_at = start + frame_time + config_.propagation_delay;
+  auto shared = std::make_shared<Frame>(std::move(frame));
+  if (shared->dst == kBroadcastStation) {
+    for (StationId id = 0; id < stations_.size(); id++) {
+      if (id != station->id_) {
+        RouteSwitched(station, id, deliver_at, shared);
+      }
+    }
+  } else {
+    RouteSwitched(station, shared->dst, deliver_at, shared);
+  }
+}
+
+void Lan::RouteSwitched(Station* src, StationId dst, SimTime deliver_at,
+                        const std::shared_ptr<Frame>& frame) {
+  assert(dst < stations_.size());
+  if (dst >= src->pair_seq_.size()) {
+    src->pair_seq_.resize(stations_.size(), 0);
+  }
+  // Canonical delivery key: (receiver, sender, per-pair frame count). All
+  // three are properties of the simulated system, not of the shard layout,
+  // so same-instant deliveries merge identically however the nodes are
+  // partitioned. +1 keeps keyed events disjoint from the unkeyed domain 0.
+  uint64_t seq = ++src->pair_seq_[dst];
+  Station* dst_station = stations_[dst].get();
+  if (src->shard_ == dst_station->shard_) {
+    dst_station->sim_->ScheduleAtKeyed(
+        deliver_at, dst + 1, src->id_ + 1, seq,
+        [this, dst, frame] { SwitchedDeliver(dst, *frame); });
+  } else {
+    assert(cross_shard_sink_ && "cross-shard traffic with no engine sink");
+    CrossShardMsg msg;
+    msg.deliver_at = deliver_at;
+    msg.dst_entity = dst;
+    msg.src_entity = src->id_;
+    msg.seq = seq;
+    msg.payload = frame;
+    cross_shard_sink_(src->shard_, dst_station->shard_, std::move(msg));
+  }
+}
+
+void Lan::DeliverRouted(const CrossShardMsg& msg) {
+  StationId dst = msg.dst_entity;
+  auto frame = std::static_pointer_cast<Frame>(msg.payload);
+  stations_[dst]->sim_->ScheduleAtKeyed(
+      msg.deliver_at, dst + 1, msg.src_entity + 1, msg.seq,
+      [this, dst, frame] { SwitchedDeliver(dst, *frame); });
+}
+
+void Lan::SwitchedDeliver(StationId dst, const Frame& frame) {
+  Station* station = stations_[dst].get();
+  if (!Reachable(frame.src, dst)) {
+    station->wire_stats_.frames_dropped_partition++;
+    return;
+  }
+  if (config_.loss_probability > 0.0 &&
+      station->loss_rng_.NextBool(config_.loss_probability)) {
+    station->wire_stats_.frames_lost++;
+    return;
+  }
+  station->wire_stats_.frames_delivered++;
+  station->Deliver(frame);
+}
+
+const LanStats& Lan::stats() const {
+  if (!config_.switched) {
+    return stats_;
+  }
+  merged_stats_ = stats_;
+  for (const auto& st : stations_) {
+    const StationWireStats& w = st->wire_stats_;
+    merged_stats_.frames_sent += w.frames_sent;
+    merged_stats_.bytes_on_wire += w.bytes_on_wire;
+    merged_stats_.busy_time += w.busy_time;
+    merged_stats_.transmit_failures += w.transmit_failures;
+    merged_stats_.frames_delivered += w.frames_delivered;
+    merged_stats_.frames_lost += w.frames_lost;
+    merged_stats_.frames_dropped_partition += w.frames_dropped_partition;
+  }
+  return merged_stats_;
+}
+
+void Lan::SyncMetrics() const {
+  if (!config_.switched) {
+    return;  // CSMA mode bumps counters inline
+  }
+  const LanStats& s = stats();
+  Bump(metrics_.frames_sent, s.frames_sent - synced_.frames_sent);
+  Bump(metrics_.frames_delivered,
+       s.frames_delivered - synced_.frames_delivered);
+  Bump(metrics_.frames_lost, s.frames_lost - synced_.frames_lost);
+  Bump(metrics_.bytes_on_wire, s.bytes_on_wire - synced_.bytes_on_wire);
+  Bump(metrics_.transmit_failures,
+       s.transmit_failures - synced_.transmit_failures);
+  synced_ = s;
 }
 
 SimDuration Lan::FrameTime(size_t payload_bytes) const {

@@ -26,6 +26,7 @@
 
 #include "src/common/bytes.h"
 #include "src/metrics/metrics.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulation.h"
 #include "src/sim/time.h"
 
@@ -50,6 +51,13 @@ struct LanConfig {
   // Independent per-frame loss (bit-error stand-in). 0 = perfect wire.
   double loss_probability = 0.0;
   int max_transmit_attempts = 16;
+  // Switched full-duplex mode (set via Lan::EnableSwitched, required for
+  // sharding): no shared medium, no CSMA/CD. Each station serializes its own
+  // egress (frame time + interframe gap per frame) and a frame's delivery
+  // time is computable from the send alone — which is what gives the sharded
+  // engine its lookahead. Collisions never happen; loss/partition/detach
+  // still apply. The chaos fault hook is CSMA-mode only.
+  bool switched = false;
 };
 
 // A frame is carried in two parts, scatter-gather style (real NICs do the
@@ -106,6 +114,20 @@ class WireFaultHook {
                              size_t wire_bytes) = 0;
 };
 
+// Per-station wire counters for switched mode. Thread-safety by ownership:
+// every field is written only on the station's owner-shard thread (a
+// station's sends run there, and so do deliveries *to* it), so no locks are
+// needed; Lan::stats() / SyncMetrics() aggregate after the shards quiesce.
+struct StationWireStats {
+  uint64_t frames_sent = 0;
+  uint64_t bytes_on_wire = 0;
+  SimDuration busy_time = 0;
+  uint64_t transmit_failures = 0;  // detached sender
+  uint64_t frames_delivered = 0;
+  uint64_t frames_lost = 0;
+  uint64_t frames_dropped_partition = 0;
+};
+
 // One network interface attached to the LAN. Owned by the Lan.
 class Station {
  public:
@@ -122,17 +144,28 @@ class Station {
 
  private:
   friend class Lan;
-  Station(Lan* lan, StationId id) : lan_(lan), id_(id) {}
+  Station(Lan* lan, StationId id, Simulation* sim)
+      : lan_(lan), id_(id), sim_(sim) {}
 
   void Deliver(const Frame& frame);
   void TransmitComplete();
 
   Lan* lan_;
   StationId id_;
+  // Owner shard's simulation: the clock for this station's sends and the
+  // queue its inbound deliveries are scheduled into. The Lan's own sim when
+  // unsharded.
+  Simulation* sim_;
+  uint32_t shard_ = 0;
   ReceiveHandler handler_;
   std::deque<Frame> queue_;
   bool transmitting_or_waiting_ = false;
   int attempt_ = 0;
+  // Switched-mode state, all owner-thread-only.
+  SimTime egress_free_at_ = 0;
+  std::vector<uint64_t> pair_seq_;  // per-destination frame counters
+  Rng loss_rng_{1};
+  StationWireStats wire_stats_;
 };
 
 class Lan {
@@ -144,7 +177,9 @@ class Lan {
   Lan& operator=(const Lan&) = delete;
 
   // Creates a new interface. The pointer remains valid for the Lan lifetime.
-  Station* AttachStation();
+  // `owner` is the simulation that drives the station (its shard's clock and
+  // event queue); nullptr means the Lan's own simulation.
+  Station* AttachStation(Simulation* owner = nullptr);
 
   Station* station(StationId id);
   size_t station_count() const { return stations_.size(); }
@@ -164,8 +199,44 @@ class Lan {
   void set_fault_hook(WireFaultHook* hook) { fault_hook_ = hook; }
 
   const LanConfig& config() const { return config_; }
-  const LanStats& stats() const { return stats_; }
+  // In switched mode this aggregates the per-station wire counters (call
+  // only while the shards are quiescent); otherwise it is the live totals.
+  const LanStats& stats() const;
   Simulation& sim() { return sim_; }
+
+  // --- Switched full-duplex mode (sharding substrate) ---
+
+  // Flips the LAN into switched mode (see LanConfig::switched). Must be
+  // called before any traffic; seeds per-station loss streams from one draw
+  // on the Lan rng so serial and sharded layouts see identical loss
+  // sequences per receiver.
+  void EnableSwitched();
+
+  // Minimum send-to-delivery latency in switched mode: every frame arrives
+  // at least FrameTime(0) + propagation_delay after its Send. This is the
+  // sharded engine's lookahead.
+  SimDuration lookahead() const {
+    return config_.propagation_delay + FrameTime(0);
+  }
+
+  // Routes deliveries whose destination lives on another shard into the
+  // engine's channels instead of scheduling directly.
+  using CrossShardSink =
+      std::function<void(uint32_t from_shard, uint32_t to_shard,
+                         CrossShardMsg msg)>;
+  void set_cross_shard_sink(CrossShardSink sink) {
+    cross_shard_sink_ = std::move(sink);
+  }
+  void SetStationShard(StationId station, uint32_t shard);
+
+  // The engine's deliver callback: runs on the destination shard's thread,
+  // schedules the (keyed) delivery into that shard's simulation.
+  void DeliverRouted(const CrossShardMsg& msg);
+
+  // Pushes switched-mode per-station counter deltas into the metrics
+  // registry (counters are not thread-safe, so switched mode defers them).
+  // Call from the rollup path, with the shards quiescent.
+  void SyncMetrics() const;
 
   // Mirrors the LanStats counters into `registry` under lan.* names and
   // records per-frame queueing delay into lan.queue_delay. The registry must
@@ -211,6 +282,13 @@ class Lan {
   void HandleCollision(Station* first, Station* second);
   void ScheduleRetry(Station* station, bool after_collision);
   bool Reachable(StationId from, StationId to) const;
+  // Switched-mode path: compute the delivery time from the sender's egress
+  // serialization, then route each (src, dst) copy by shard.
+  void SwitchedSend(Station* station, Frame frame);
+  void RouteSwitched(Station* src, StationId dst, SimTime deliver_at,
+                     const std::shared_ptr<Frame>& frame);
+  // Runs on the destination's owner thread at the delivery instant.
+  void SwitchedDeliver(StationId dst, const Frame& frame);
   // Applies the fault hook's decision (bit flip, duplicate, delay) and hands
   // the (possibly mutated copy of the) frame to the destination station.
   void DeliverWithFaults(StationId dst, const Frame& frame,
@@ -227,6 +305,11 @@ class Lan {
   std::optional<Transmission> current_;
   WireFaultHook* fault_hook_ = nullptr;
   Rng rng_;
+  uint64_t switched_seed_ = 0;  // base for per-station loss streams
+  CrossShardSink cross_shard_sink_;
+  // Aggregation scratch for switched-mode stats()/SyncMetrics().
+  mutable LanStats merged_stats_;
+  mutable LanStats synced_;
 };
 
 }  // namespace eden

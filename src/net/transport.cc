@@ -37,11 +37,16 @@ Bytes SealFrame(uint8_t kind, BufferWriter& payload, const SharedBytes& body) {
 }
 }  // namespace
 
-Transport::Transport(Simulation& sim, Lan& lan, TransportConfig config)
-    : sim_(sim), lan_(lan), station_(lan.AttachStation()), config_(config) {
+Transport::Transport(Simulation& sim, Lan& lan, TransportConfig config,
+                     Rng* id_rng)
+    : sim_(sim),
+      lan_(lan),
+      station_(lan.AttachStation(&sim)),
+      config_(config),
+      id_rng_(id_rng != nullptr ? id_rng : &sim.rng()) {
   // Randomized so a restarted node never reuses a predecessor's ids (the
   // peer's duplicate-suppression history would silently eat new messages).
-  next_msg_id_ = sim_.rng().NextU64() | 1;
+  next_msg_id_ = id_rng_->NextU64() | 1;
   station_->SetReceiveHandler([this](const Frame& frame) { OnFrame(frame); });
 }
 
@@ -546,7 +551,7 @@ void Transport::Reset() {
     sweep_timer_ = kInvalidEventId;
   }
   history_.clear();
-  next_msg_id_ = sim_.rng().NextU64() | 1;
+  next_msg_id_ = id_rng_->NextU64() | 1;
 }
 
 }  // namespace eden

@@ -81,8 +81,13 @@ class Transport {
   // that keep the bytes must copy them (BytesView::ToBytes).
   using Handler = std::function<void(StationId src, BytesView message)>;
 
-  // Attaches a fresh station to `lan`.
-  Transport(Simulation& sim, Lan& lan, TransportConfig config = {});
+  // Attaches a fresh station to `lan`, owned by `sim` (the shard clock that
+  // drives this endpoint). `id_rng` is the stream message ids are drawn
+  // from; nullptr means `sim`'s rng. Sharded systems pass the primary
+  // shard's rng so id draws happen in node-creation order, independent of
+  // which shard each node landed on.
+  Transport(Simulation& sim, Lan& lan, TransportConfig config = {},
+            Rng* id_rng = nullptr);
 
   // Observes the fate of every *reliable* send: `delivered` is true when the
   // peer's ACK arrives, false when the transport gives up after
@@ -207,6 +212,7 @@ class Transport {
   SpanCollector* spans_ = nullptr;
   Handler handler_;
   SendOutcomeHandler on_send_outcome_;
+  Rng* id_rng_;  // message-id stream (see the constructor comment)
   uint64_t next_msg_id_ = 1;
 
   std::unordered_map<uint64_t, PendingSend> pending_;

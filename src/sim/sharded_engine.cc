@@ -1,0 +1,201 @@
+#include "src/sim/sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace eden {
+
+ShardedEngine::ShardedEngine(std::vector<Simulation*> sims,
+                             SimDuration lookahead)
+    : shards_(sims.size()), lookahead_(lookahead) {
+  assert(!sims.empty());
+  assert(lookahead_ > 0 && "zero lookahead would serialize every window");
+  for (size_t i = 0; i < sims.size(); i++) {
+    shards_[i].sim = sims[i];
+    shards_[i].horizon.store(sims[i]->now(), std::memory_order_relaxed);
+  }
+  channels_.resize(shards_.size() * shards_.size());
+  for (auto& ch : channels_) {
+    ch = std::make_unique<SpscQueue<CrossShardMsg>>();
+  }
+}
+
+void ShardedEngine::Push(uint32_t from, uint32_t to, CrossShardMsg msg) {
+  assert(from != to && "same-shard traffic must be scheduled locally");
+  channel(from, to).Push(std::move(msg));
+}
+
+SimTime ShardedEngine::MinPeerHorizon(size_t me) const {
+  SimTime min_h = kSimTimeNever;
+  for (size_t i = 0; i < shards_.size(); i++) {
+    if (i == me) {
+      continue;
+    }
+    // Acquire pairs with the worker's release publish: once we observe
+    // horizon H, every channel push that peer made before publishing H is
+    // visible to our Drain.
+    SimTime h = shards_[i].horizon.load(std::memory_order_acquire);
+    min_h = std::min(min_h, h);
+  }
+  return min_h;
+}
+
+void ShardedEngine::Drain(size_t me) {
+  for (size_t from = 0; from < shards_.size(); from++) {
+    if (from == me) {
+      continue;
+    }
+    SpscQueue<CrossShardMsg>& ch = channel(static_cast<uint32_t>(from),
+                                           static_cast<uint32_t>(me));
+    CrossShardMsg msg;
+    while (ch.Pop(msg)) {
+      deliver_(msg);
+    }
+  }
+}
+
+void ShardedEngine::Worker(size_t me, SimTime deadline) {
+  Shard& self = shards_[me];
+  Simulation& sim = *self.sim;
+  for (;;) {
+    // Read peer horizons BEFORE draining: any message that could arrive
+    // inside [now, bound) was pushed before its sender published past the
+    // send time, so the acquire reads above make it visible to this Drain.
+    SimTime horizon = MinPeerHorizon(me);
+    SimTime bound = deadline;
+    if (horizon != kSimTimeNever && horizon + lookahead_ < bound) {
+      bound = horizon + lookahead_;
+    }
+    Drain(me);
+    sim.RunEventsBefore(bound);
+    SimTime prev = self.horizon.load(std::memory_order_relaxed);
+    if (bound > prev) {
+      self.horizon.store(bound, std::memory_order_release);
+    }
+    if (bound >= deadline) {
+      break;
+    }
+    if (bound == prev) {
+      std::this_thread::yield();  // waiting on the slowest peer
+    }
+  }
+  // Inclusive final phase: events AT the deadline may receive cross-shard
+  // traffic stamped exactly `deadline` (senders run their ==deadline events
+  // only in this phase, and anything they emit lands >= deadline +
+  // lookahead, i.e. strictly later — left in the channels for the next
+  // run's first Drain). Wait for every peer to pass the exclusive phase,
+  // ingest, then run the deadline instant and pin the clock.
+  for (size_t i = 0; i < shards_.size(); i++) {
+    while (shards_[i].horizon.load(std::memory_order_acquire) < deadline) {
+      std::this_thread::yield();
+    }
+  }
+  Drain(me);
+  sim.RunUntil(deadline);
+}
+
+void ShardedEngine::RunUntilRoundRobin(SimTime deadline) {
+  const size_t n = shards_.size();
+  for (;;) {
+    bool all_done = true;
+    for (size_t s = 0; s < n; s++) {
+      SimTime horizon = MinPeerHorizon(s);
+      SimTime bound = deadline;
+      if (horizon != kSimTimeNever && horizon + lookahead_ < bound) {
+        bound = horizon + lookahead_;
+      }
+      Drain(s);
+      shards_[s].sim->RunEventsBefore(bound);
+      if (bound > shards_[s].horizon.load(std::memory_order_relaxed)) {
+        shards_[s].horizon.store(bound, std::memory_order_relaxed);
+      }
+      if (bound < deadline) {
+        all_done = false;
+      }
+    }
+    if (all_done) {
+      break;
+    }
+  }
+  for (size_t s = 0; s < n; s++) {
+    Drain(s);
+    shards_[s].sim->RunUntil(deadline);
+  }
+}
+
+void ShardedEngine::RunUntil(SimTime deadline, bool threaded) {
+  assert(deliver_ && "set_deliver must be called before running");
+  if (shards_.size() == 1) {
+    // Exact pass-through: no channels, no windows — identical to an
+    // unsharded Simulation::RunUntil.
+    shards_[0].sim->RunUntil(deadline);
+    shards_[0].horizon.store(deadline, std::memory_order_relaxed);
+    return;
+  }
+  if (!threaded) {
+    RunUntilRoundRobin(deadline);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); s++) {
+    workers.emplace_back([this, s, deadline] { Worker(s, deadline); });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+}
+
+bool ShardedEngine::DriveWhile(const std::function<bool()>& pred) {
+  assert(deliver_ && "set_deliver must be called before running");
+  const size_t n = shards_.size();
+  if (n == 1) {
+    return shards_[0].sim->RunWhile(pred);
+  }
+  while (pred()) {
+    // One conservative round: ingest everything in flight, find the next
+    // event anywhere, run every shard through that instant's safe window.
+    for (size_t s = 0; s < n; s++) {
+      Drain(s);
+    }
+    SimTime next = kSimTimeNever;
+    for (size_t s = 0; s < n; s++) {
+      next = std::min(next, shards_[s].sim->PeekNextEventTime());
+    }
+    if (next == kSimTimeNever) {
+      bool idle = true;
+      for (const auto& ch : channels_) {
+        if (!ch->Empty()) {
+          idle = false;
+          break;
+        }
+      }
+      if (idle) {
+        return !pred();  // world fully drained; pred can never change
+      }
+      continue;  // messages still in flight — drain again
+    }
+    // Every cross-shard message emitted at `next` arrives >= next +
+    // lookahead, so [.., next + lookahead) is a safe window for all shards
+    // simultaneously.
+    SimTime bound = next + lookahead_;
+    for (size_t s = 0; s < n; s++) {
+      shards_[s].sim->RunEventsBefore(bound);
+      if (bound > shards_[s].horizon.load(std::memory_order_relaxed)) {
+        shards_[s].horizon.store(bound, std::memory_order_relaxed);
+      }
+    }
+  }
+  return true;
+}
+
+uint64_t ShardedEngine::total_events() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.sim->events_executed();
+  }
+  return total;
+}
+
+}  // namespace eden

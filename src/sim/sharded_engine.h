@@ -1,0 +1,124 @@
+// Conservative parallel driver for a set of Simulation shards (DESIGN.md
+// §14). Each shard is one Simulation instance owning a subset of the
+// simulated nodes; cross-shard traffic travels through per-shard-pair SPSC
+// channels stamped with delivery virtual time, and each shard advances to
+//
+//     bound = min(peer horizons) + lookahead
+//
+// where `lookahead` is the minimum wire latency (the LAN's minimum
+// transmission time plus propagation delay): a peer that has published
+// horizon H can send nothing that arrives before H + lookahead, so every
+// event strictly before `bound` is safe to execute. Horizons only grow, and
+// the minimum horizon always has a runnable window, so the protocol cannot
+// deadlock. This is the loosely-coupled-simulators design SimBricks uses
+// between component simulators, applied to node shards.
+//
+// Determinism: a shard's execution is a pure function of its event queue —
+// the window boundaries only chunk it. Cross-shard deliveries are scheduled
+// with canonical (receiver, sender, per-pair-seq) order keys, so the merged
+// order at a receiver is independent of the shard layout and of thread
+// timing; parallel runs produce bit-identical per-node digests to the
+// single-shard run (tests/parallel_sim_test.cc gates this).
+//
+// Two drive modes execute identical per-shard event sequences:
+//   * RunUntil(deadline): one worker thread per shard, horizons exchanged
+//     through padded atomics (threaded=false forces the round-robin loop).
+//   * DriveWhile(pred): single-threaded round-robin windows, for setup and
+//     drain phases whose predicate lives on the driver thread.
+#ifndef EDEN_SRC_SIM_SHARDED_ENGINE_H_
+#define EDEN_SRC_SIM_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulation.h"
+#include "src/sim/spsc_queue.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+// One cross-shard handoff: deliver `payload` (opaque to the engine; the LAN
+// registers a deliver callback that decodes it) to `dst_entity` at virtual
+// time `deliver_at`, ordered by (dst_entity, src_entity, seq) among
+// same-instant deliveries.
+struct CrossShardMsg {
+  SimTime deliver_at = 0;
+  uint32_t dst_entity = 0;
+  uint32_t src_entity = 0;
+  uint64_t seq = 0;
+  std::shared_ptr<void> payload;
+};
+
+class ShardedEngine {
+ public:
+  // Runs on the destination shard's thread at the start of the window that
+  // may contain `deliver_at`; must schedule the delivery into the
+  // destination's Simulation (keyed) and nothing else.
+  using Deliver = std::function<void(const CrossShardMsg&)>;
+
+  // `sims[0]` is the primary shard (drives the world clock for RunFor);
+  // `lookahead` must be a lower bound on every cross-shard latency.
+  ShardedEngine(std::vector<Simulation*> sims, SimDuration lookahead);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  void set_deliver(Deliver deliver) { deliver_ = std::move(deliver); }
+
+  size_t shard_count() const { return shards_.size(); }
+  Simulation& shard(size_t i) { return *shards_[i].sim; }
+  SimDuration lookahead() const { return lookahead_; }
+
+  // Producer API, called from a source shard's thread (or the driver thread
+  // between runs): enqueue a cross-shard message. `from`/`to` are shard
+  // indices; `from == to` is a caller bug (deliver locally instead).
+  void Push(uint32_t from, uint32_t to, CrossShardMsg msg);
+
+  // Advances every shard through `deadline` inclusive and leaves every
+  // shard clock at exactly `deadline`. Threaded by default; pass
+  // threaded=false (or run with one shard) for the single-threaded
+  // round-robin loop — both produce identical executions.
+  void RunUntil(SimTime deadline, bool threaded = true);
+
+  // Single-threaded round-robin windows while `pred()` is true, checked
+  // between windows on the driver thread. Returns true when pred became
+  // false; false when every shard drained and every channel emptied with
+  // pred still true (the awaited condition can never be met).
+  bool DriveWhile(const std::function<bool()>& pred);
+
+  // Sum of events executed across all shards.
+  uint64_t total_events() const;
+
+ private:
+  // Cache-line padded so horizon publishes don't false-share.
+  struct alignas(64) Shard {
+    Simulation* sim = nullptr;
+    // Virtual time this shard has fully processed (exclusive): every event
+    // strictly before `horizon` has executed, and nothing this shard sends
+    // from now on can arrive anywhere before horizon + lookahead.
+    std::atomic<SimTime> horizon{0};
+  };
+
+  SpscQueue<CrossShardMsg>& channel(uint32_t from, uint32_t to) {
+    return *channels_[from * shards_.size() + to];
+  }
+
+  SimTime MinPeerHorizon(size_t me) const;
+  // Ingests every pending message from all peers into shard `me`'s event
+  // queue via the deliver callback. Only shard `me`'s owner thread may call.
+  void Drain(size_t me);
+  void Worker(size_t me, SimTime deadline);
+  void RunUntilRoundRobin(SimTime deadline);
+
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<SpscQueue<CrossShardMsg>>> channels_;
+  SimDuration lookahead_;
+  Deliver deliver_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_SIM_SHARDED_ENGINE_H_

@@ -19,7 +19,9 @@ std::string FormatDuration(SimDuration d) {
   return buf;
 }
 
-Simulation::Simulation(uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(uint64_t seed) : rng_(seed) {
+  domain_seq_.push_back(1);  // domain 0: the legacy global FIFO counter
+}
 
 uint32_t Simulation::AllocSlot() {
   if (free_head_ != kNoSlot) {
@@ -39,18 +41,37 @@ void Simulation::ReleaseSlot(uint32_t index) {
   free_head_ = index;
 }
 
+uint64_t Simulation::NextDomainSeq(uint32_t domain) {
+  if (domain >= domain_seq_.size()) {
+    domain_seq_.resize(domain + 1, 1);
+  }
+  return domain_seq_[domain]++;
+}
+
 EventId Simulation::Schedule(SimDuration delay, EventFn fn) {
   assert(delay >= 0 && "cannot schedule into the past");
   return ScheduleAt(now_ + delay, std::move(fn));
 }
 
 EventId Simulation::ScheduleAt(SimTime when, EventFn fn) {
+  return Push(when, current_domain_, 0, NextDomainSeq(current_domain_),
+              std::move(fn));
+}
+
+EventId Simulation::ScheduleAtKeyed(SimTime when, uint32_t domain,
+                                    uint32_t stream, uint64_t seq,
+                                    EventFn fn) {
+  return Push(when, domain, stream, seq, std::move(fn));
+}
+
+EventId Simulation::Push(SimTime when, uint32_t domain, uint32_t stream,
+                         uint64_t seq, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
   uint32_t index = AllocSlot();
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
   slot.armed = true;
-  queue_.push(QueueEntry{when, next_seq_++, index, slot.generation});
+  queue_.push(QueueEntry{when, seq, domain, stream, index, slot.generation});
   live_count_++;
   return MakeId(slot.generation, index);
 }
@@ -70,6 +91,31 @@ void Simulation::Cancel(EventId id) {
   ReleaseSlot(index);
 }
 
+void Simulation::Execute(const QueueEntry& top) {
+  Slot& slot = slots_[top.slot];
+  assert(top.when >= now_);
+  now_ = top.when;
+  // Fingerprint the execution order. Two runs with equal seeds must pop an
+  // identical (when, key) sequence; mixing the sequence number catches a
+  // same-timestamp FIFO swap that mixing the timestamp alone would miss.
+  // Unkeyed events mix exactly (when, seq) as they always have; keyed events
+  // additionally mix their (domain, stream) so distinct streams cannot alias.
+  trace_.Mix(static_cast<uint64_t>(top.when));
+  trace_.Mix(top.seq);
+  if ((top.domain | top.stream) != 0) {
+    trace_.Mix((static_cast<uint64_t>(top.domain) << 32) | top.stream);
+  }
+  events_executed_++;
+  live_count_--;
+  // Free the slot before invoking so the callback can schedule into it;
+  // the generation bump keeps this entry's id from resurrecting.
+  EventFn fn = std::move(slot.fn);
+  ReleaseSlot(top.slot);
+  current_domain_ = top.domain;
+  fn();
+  current_domain_ = 0;
+}
+
 bool Simulation::Step() {
   while (!queue_.empty()) {
     QueueEntry top = queue_.top();
@@ -78,20 +124,7 @@ bool Simulation::Step() {
     if (slot.generation != top.generation || !slot.armed) {
       continue;  // cancelled: its slot was already recycled
     }
-    assert(top.when >= now_);
-    now_ = top.when;
-    // Fingerprint the execution order. Two runs with equal seeds must pop an
-    // identical (when, seq) sequence; mixing both catches a same-timestamp
-    // FIFO swap that mixing the timestamp alone would miss.
-    trace_.Mix(static_cast<uint64_t>(top.when));
-    trace_.Mix(top.seq);
-    events_executed_++;
-    live_count_--;
-    // Free the slot before invoking so the callback can schedule into it;
-    // the generation bump keeps this entry's id from resurrecting.
-    EventFn fn = std::move(slot.fn);
-    ReleaseSlot(top.slot);
-    fn();
+    Execute(top);
     return true;
   }
   return false;
@@ -121,6 +154,34 @@ void Simulation::RunUntil(SimTime deadline) {
   if (now_ < deadline) {
     now_ = deadline;
   }
+}
+
+void Simulation::RunEventsBefore(SimTime bound) {
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    const Slot& slot = slots_[top.slot];
+    if (slot.generation != top.generation || !slot.armed) {
+      queue_.pop();
+      continue;
+    }
+    if (top.when >= bound) {
+      break;
+    }
+    Step();
+  }
+}
+
+SimTime Simulation::PeekNextEventTime() {
+  while (!queue_.empty()) {
+    const QueueEntry& top = queue_.top();
+    const Slot& slot = slots_[top.slot];
+    if (slot.generation != top.generation || !slot.armed) {
+      queue_.pop();
+      continue;
+    }
+    return top.when;
+  }
+  return kSimTimeNever;
 }
 
 bool Simulation::RunWhile(const std::function<bool()>& pending) {

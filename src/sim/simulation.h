@@ -1,16 +1,33 @@
-// The discrete-event simulation driver. One Simulation instance is "the
-// world": it owns virtual time and the event queue; node kernels, the LAN and
-// stable stores all schedule work through it. Single-threaded and
-// deterministic by construction.
+// The discrete-event simulation driver. One Simulation instance is "a
+// world": it owns virtual time and an event queue; node kernels, the LAN and
+// stable stores all schedule work through it. Each instance is
+// single-threaded and deterministic by construction; the parallel sharded
+// engine (sharded_engine.h) runs several instances side by side, one per
+// worker thread, and keeps them causally consistent with conservative
+// lookahead synchronization.
 //
 // The event queue is allocation-free on the steady-state path: callbacks
 // live in a free-list pool of generation-tagged slots (EventId = generation
 // + slot index), so Schedule and Cancel are O(1) bookkeeping plus one
 // priority-queue push, with no per-event node allocation and no tombstone
 // map. Cancelled events are skipped lazily when they surface at the top of
-// the heap, exactly as the old tombstone table did, and the global sequence
-// number keeps same-timestamp events FIFO — trace digests are unchanged
-// seed-for-seed across the rewrite (tests/determinism_test.cc proves it).
+// the heap, exactly as the old tombstone table did.
+//
+// Same-timestamp ordering is governed by a canonical key (domain, stream,
+// seq) rather than a single global sequence number, so the order is a pure
+// function of the simulated system's state and not of how the node set is
+// partitioned across shards:
+//   * Events scheduled without an explicit key inherit the domain of the
+//     event currently executing (0 at top level) and draw a per-domain
+//     sequence number. A purely serial run therefore keeps today's global
+//     FIFO order bit-for-bit: everything is domain 0, and the domain-0
+//     counter is the old global counter.
+//   * Cross-entity handoffs that must order identically regardless of shard
+//     layout (switched-LAN frame deliveries) are scheduled with an explicit
+//     key: domain = receiver, stream = sender, seq = the sender's per-pair
+//     frame count — all quantities independent of the partition.
+// Trace digests are unchanged seed-for-seed for legacy (unkeyed) runs
+// (tests/determinism_test.cc proves it).
 #ifndef EDEN_SRC_SIM_SIMULATION_H_
 #define EDEN_SRC_SIM_SIMULATION_H_
 
@@ -44,9 +61,17 @@ class Simulation {
   Rng& rng() { return rng_; }
 
   // Schedules `fn` to run at now() + delay (delay >= 0). Returns an id that
-  // can be passed to Cancel.
+  // can be passed to Cancel. The event inherits the currently-executing
+  // event's ordering domain (see the header comment).
   EventId Schedule(SimDuration delay, EventFn fn);
   EventId ScheduleAt(SimTime when, EventFn fn);
+
+  // Schedules with an explicit canonical order key. Same-timestamp events
+  // order by (domain, stream, seq); the caller owns seq monotonicity within
+  // its (domain, stream) pair. Used for cross-shard-safe handoffs whose
+  // relative order must not depend on the shard layout.
+  EventId ScheduleAtKeyed(SimTime when, uint32_t domain, uint32_t stream,
+                          uint64_t seq, EventFn fn);
 
   // Cancels a pending event in O(1). Cancelling an already-fired or unknown
   // id is a no-op (the common race: a timeout firing at the same instant the
@@ -64,16 +89,30 @@ class Simulation {
   void RunUntil(SimTime deadline);
   void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
 
-  // Runs until `done` returns true or the queue drains. Returns done().
+  // Runs events while `pending()` is true. Returns true when the wait
+  // succeeded (pending became false); returns false when the event queue
+  // drained with `pending` still true — the caller's condition can then
+  // never be met (a deadlock in the scenario under test).
   bool RunWhile(const std::function<bool()>& pending);
+
+  // Conservative-window primitive for the sharded engine: runs every event
+  // with timestamp strictly BEFORE `bound` and leaves the clock at the last
+  // executed event (never advanced to `bound` — later windows may still
+  // ingest cross-shard deliveries inside this one).
+  void RunEventsBefore(SimTime bound);
+
+  // Timestamp of the next live event, or kSimTimeNever if the queue is
+  // empty. Pops stale (cancelled) heap entries as a side effect.
+  SimTime PeekNextEventTime();
 
   uint64_t events_executed() const { return events_executed_; }
   // Live (scheduled, not cancelled, not fired) events.
   size_t pending_events() const { return live_count_; }
 
-  // Trace digest: Step() mixes every executed event's (when, seq) into this,
-  // and components may Mix() additional state transitions. Determinism tests
-  // assert equal digests for equal seeds.
+  // Trace digest: Step() mixes every executed event's (when, seq) — plus the
+  // order key for keyed events — into this, and components may Mix()
+  // additional state transitions. Determinism tests assert equal digests for
+  // equal seeds.
   Digest& trace() { return trace_; }
 
  private:
@@ -89,16 +128,24 @@ class Simulation {
     EventFn fn;
   };
 
-  // What actually sits in the priority queue: 24 bytes, no callable.
+  // What actually sits in the priority queue: 32 bytes, no callable.
   struct QueueEntry {
     SimTime when;
-    uint64_t seq;  // FIFO tiebreak for same-timestamp events
+    uint64_t seq;  // FIFO tiebreak within (when, domain, stream)
+    uint32_t domain;
+    uint32_t stream;
     uint32_t slot;
     uint32_t generation;
 
     bool operator>(const QueueEntry& other) const {
       if (when != other.when) {
         return when > other.when;
+      }
+      if (domain != other.domain) {
+        return domain > other.domain;
+      }
+      if (stream != other.stream) {
+        return stream > other.stream;
       }
       return seq > other.seq;
     }
@@ -110,11 +157,19 @@ class Simulation {
 
   uint32_t AllocSlot();
   void ReleaseSlot(uint32_t index);
+  uint64_t NextDomainSeq(uint32_t domain);
+  EventId Push(SimTime when, uint32_t domain, uint32_t stream, uint64_t seq,
+               EventFn fn);
+  void Execute(const QueueEntry& top);
 
   SimTime now_ = 0;
-  uint64_t next_seq_ = 1;
   uint64_t events_executed_ = 0;
   size_t live_count_ = 0;
+  // Domain the currently-executing event belongs to; inherited by events it
+  // schedules without an explicit key. 0 between events.
+  uint32_t current_domain_ = 0;
+  // Per-domain FIFO counters; index 0 is the legacy global counter.
+  std::vector<uint64_t> domain_seq_;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                       std::greater<QueueEntry>>
       queue_;

@@ -1,0 +1,81 @@
+// Unbounded single-producer / single-consumer queue for cross-shard frame
+// channels (sharded_engine.h). One producer thread pushes, one consumer
+// thread pops; the only synchronization is one release store / acquire load
+// per node, so a push costs an allocation and two atomic operations and a pop
+// costs one load plus a delete.
+//
+// This is the classic two-lock-free linked design (a stub node separates the
+// producer-owned tail from the consumer-owned head), which is all the
+// conservative synchronizer needs: channel contents only become *visible*
+// work when the consumer's shard reaches the delivery window, and the
+// engine's horizon protocol (publish-after-push with release/acquire on the
+// horizon atomics) already guarantees every frame inside a window is pushed
+// before the window is processed.
+#ifndef EDEN_SRC_SIM_SPSC_QUEUE_H_
+#define EDEN_SRC_SIM_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <utility>
+
+namespace eden {
+
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() {
+    Node* stub = new Node();
+    head_ = stub;
+    tail_ = stub;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Node* node = head_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  // Producer side.
+  void Push(T value) {
+    Node* node = new Node(std::move(value));
+    tail_->next.store(node, std::memory_order_release);
+    tail_ = node;
+  }
+
+  // Consumer side. Returns false when the queue is (currently) empty.
+  bool Pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      return false;
+    }
+    out = std::move(next->value);
+    delete head_;
+    head_ = next;
+    return true;
+  }
+
+  // Consumer side (or any thread after the producer has quiesced).
+  bool Empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value;
+  };
+
+  Node* head_;  // consumer-owned; points at the current stub
+  Node* tail_;  // producer-owned
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_SIM_SPSC_QUEUE_H_

@@ -71,10 +71,24 @@ SpanContext SpanCollector::StartSpan(const SpanContext& parent, SpanKind kind,
     ctx.parent_span_id = parent.span_id;
     trace = FindLive(parent);
     if (trace == nullptr) {
-      // Parent trace already finalized (or was dropped): the late child
-      // cannot be attached, so it is dropped rather than resurrected.
-      stats_.spans_dropped++;
-      return SpanContext{};
+      if (!fragments_enabled_) {
+        // Parent trace already finalized (or was dropped): the late child
+        // cannot be attached, so it is dropped rather than resurrected.
+        stats_.spans_dropped++;
+        return SpanContext{};
+      }
+      // Shard-local collection: the parent's trace is rooted in another
+      // shard's collector. Open a fragment here; Absorb joins it back to
+      // its root by trace_id after the run.
+      if (live_.size() >= config_.max_live_traces) {
+        stats_.spans_dropped++;
+        return SpanContext{};
+      }
+      trace = &live_[ctx.trace_id];
+      trace->tree.trace_id = ctx.trace_id;
+      trace->fragment = true;
+      cached_trace_id_ = ctx.trace_id;
+      cached_trace_ = trace;
     }
     if (trace->tree.spans.size() >= config_.max_spans_per_trace) {
       stats_.spans_dropped++;
@@ -211,7 +225,7 @@ void SpanCollector::EndSpan(const SpanContext& ctx, SimTime now,
 }
 
 void SpanCollector::MaybeFinalize(uint64_t trace_id, LiveTrace& trace) {
-  if (!trace.root_closed || trace.open_spans != 0) {
+  if (trace.open_spans != 0 || !(trace.root_closed || trace.fragment)) {
     return;
   }
   // Extract instead of erase: the map node is recycled for the next trace,
@@ -249,7 +263,7 @@ void SpanCollector::Flush(SimTime now) {
         }
       }
     }
-    if (trace.root_closed && trace.open_spans == 0) {
+    if ((trace.root_closed || trace.fragment) && trace.open_spans == 0) {
       ready.push_back(trace_id);
     }
   }
@@ -265,10 +279,17 @@ void SpanCollector::Flush(SimTime now) {
 }
 
 void SpanCollector::Finalize(uint64_t trace_id, LiveTrace&& trace) {
-  stats_.traces_completed++;
-  PhaseBreakdown breakdown = CriticalPath(trace.tree);
-  RecordPhaseMetrics(breakdown);
-  KeepExemplar(trace.tree);
+  // Fragments carry no root, so their end-to-end duration is unknowable
+  // here: they retire into completed_ for Absorb to rejoin, but record no
+  // phase metrics and count as no completed trace.
+  bool has_root = !trace.tree.spans.empty() &&
+                  trace.tree.spans[0].parent_span_id == 0;
+  if (has_root) {
+    stats_.traces_completed++;
+    PhaseBreakdown breakdown = CriticalPath(trace.tree);
+    RecordPhaseMetrics(breakdown);
+    KeepExemplar(trace.tree);
+  }
   completed_.push_back(std::move(trace.tree));
   while (completed_.size() > config_.retain_completed) {
     Recycle(std::move(completed_.front()));
@@ -322,6 +343,59 @@ void SpanCollector::KeepExemplar(const TraceTree& tree) {
   while (exemplars_.size() > config_.slow_exemplars) {
     Recycle(std::move(exemplars_.back()));
     exemplars_.pop_back();
+  }
+}
+
+void SpanCollector::Absorb(SpanCollector& other) {
+  if (&other == this) {
+    return;
+  }
+  std::unordered_map<uint64_t, size_t> index;
+  for (size_t i = 0; i < completed_.size(); i++) {
+    index[completed_[i].trace_id] = i;
+  }
+  for (TraceTree& tree : other.completed_) {
+    auto it = index.find(tree.trace_id);
+    if (it == index.end()) {
+      index[tree.trace_id] = completed_.size();
+      completed_.push_back(std::move(tree));
+      continue;
+    }
+    // Same trace seen by both collectors: join the span sets, keeping a
+    // true root (parent_span_id == 0) at spans[0] so tree.root() holds.
+    TraceTree& dst = completed_[it->second];
+    bool incoming_has_root =
+        !tree.spans.empty() && tree.spans[0].parent_span_id == 0;
+    bool dst_has_root =
+        !dst.spans.empty() && dst.spans[0].parent_span_id == 0;
+    if (incoming_has_root && !dst_has_root) {
+      tree.spans.insert(tree.spans.end(),
+                        std::make_move_iterator(dst.spans.begin()),
+                        std::make_move_iterator(dst.spans.end()));
+      dst.spans = std::move(tree.spans);
+    } else {
+      dst.spans.insert(dst.spans.end(),
+                       std::make_move_iterator(tree.spans.begin()),
+                       std::make_move_iterator(tree.spans.end()));
+    }
+  }
+  other.completed_.clear();
+
+  stats_.spans_started += other.stats_.spans_started;
+  stats_.spans_closed += other.stats_.spans_closed;
+  stats_.traces_started += other.stats_.traces_started;
+  stats_.traces_completed += other.stats_.traces_completed;
+  stats_.spans_dropped += other.stats_.spans_dropped;
+  stats_.orphan_events += other.stats_.orphan_events;
+  other.stats_ = SpanCollectorStats{};
+
+  // Joined trees may now carry spans their original ranking never saw;
+  // re-rank the exemplars over the merged retained window.
+  exemplars_.clear();
+  for (const TraceTree& tree : completed_) {
+    if (!tree.spans.empty() && tree.spans[0].parent_span_id == 0) {
+      KeepExemplar(tree);
+    }
   }
 }
 

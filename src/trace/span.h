@@ -197,6 +197,24 @@ class SpanCollector {
   // The registry must outlive this collector; nullptr detaches.
   void set_metrics(MetricsRegistry* registry);
 
+  // --- Shard-local collection (DESIGN.md §14) --------------------------------
+  // Under the parallel engine each shard gets its own collector (collectors
+  // are not thread-safe). set_id_base partitions the id space — shard s uses
+  // (s << 56) | 1 — so span/trace ids never collide across collectors.
+  void set_id_base(uint64_t base) { next_id_ = base; }
+  // Fragment mode: a child span whose parent trace is unknown (its root
+  // lives in another shard's collector) is recorded locally as a trace
+  // fragment instead of being dropped; Absorb reunites fragments with their
+  // roots by trace_id. Off by default — a plain collector keeps the legacy
+  // late-child-is-dropped policy.
+  void set_fragments_enabled(bool on) { fragments_enabled_ = on; }
+  // Merges `other`'s completed traces (and stats) into this collector,
+  // joining same-trace_id trees so cross-shard traces export as one tree,
+  // and re-ranks the slow exemplars over the merged retained window.
+  // `other` is left empty of completed traces. Flush `other` first if open
+  // spans should be force-closed.
+  void Absorb(SpanCollector& other);
+
   const SpanCollectorStats& stats() const { return stats_; }
   size_t live_traces() const { return live_.size(); }
   void Clear();
@@ -206,6 +224,9 @@ class SpanCollector {
     TraceTree tree;
     size_t open_spans = 0;
     bool root_closed = false;
+    // Root lives in another shard's collector (see set_fragments_enabled);
+    // finalizes when its local spans close, without a root.
+    bool fragment = false;
   };
   using LiveMap = std::unordered_map<uint64_t, LiveTrace>;
 
@@ -223,6 +244,7 @@ class SpanCollector {
   SpanCollectorConfig config_;
   SpanCollectorStats stats_;
   uint64_t next_id_ = 1;
+  bool fragments_enabled_ = false;
 
   LiveMap live_;
   // One-entry lookup cache: collector calls cluster by trace (a kernel works

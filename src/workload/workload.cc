@@ -1,6 +1,8 @@
 #include "src/workload/workload.h"
 
+#include <cassert>
 #include <cstdio>
+#include <utility>
 
 namespace eden {
 
@@ -20,6 +22,23 @@ void LatencyRecorder::Record(SimDuration latency) {
     bucket++;
   }
   buckets_[bucket]++;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  total_ += other.total_;
+  for (size_t i = 0; i < kBuckets; i++) {
+    buckets_[i] += other.buckets_[i];
+  }
 }
 
 SimDuration LatencyRecorder::Percentile(double fraction) const {
@@ -110,6 +129,91 @@ Task<void> OpenLoopRequest(EdenSystem* system, size_t node_index, WorkItem item,
   run->outstanding--;
 }
 
+// Per-client state for the sharded path. Each client writes only its own
+// entry, and only from its node's shard thread, so the threaded window needs
+// no synchronization; `done` is read by the driver after the worker threads
+// join (RunUntil) or between single-threaded rounds (DriveWhile).
+struct ShardedClientRun {
+  WorkloadStats stats;
+  bool done = false;
+  // Think-time draws come from here instead of the shared simulation rng:
+  // seeded by system seed and client index only, so each client's draw
+  // sequence is identical under any shard layout.
+  Rng rng{1};
+};
+
+// The sharded counterpart of ClosedLoopClient: clocked by the node's shard
+// simulation and recording into its private ShardedClientRun.
+Task<void> ShardedClosedLoopClient(EdenSystem* system, size_t client_index,
+                                   size_t node_index, WorkFactory factory,
+                                   SimTime deadline, SimDuration mean_think,
+                                   SimDuration timeout,
+                                   std::shared_ptr<std::vector<ShardedClientRun>> runs) {
+  NodeKernel& node = system->node(node_index);
+  Simulation& clock = node.sim();
+  ShardedClientRun& run = (*runs)[client_index];
+  uint64_t seq = 0;
+  InvokeOptions options = InvokeOptions::WithTimeout(timeout);
+  while (clock.now() < deadline) {
+    WorkItem item = factory(client_index, seq++);
+    SimTime start = clock.now();
+    InvokeResult result = co_await node.Invoke(item.target, item.operation,
+                                               std::move(item.args), options);
+    if (result.ok()) {
+      run.stats.completed++;
+      run.stats.latency.Record(clock.now() - start);
+    } else {
+      run.stats.failed++;
+    }
+    if (mean_think > 0) {
+      SimDuration think = static_cast<SimDuration>(
+          run.rng.NextExponential(static_cast<double>(mean_think)));
+      co_await SleepFor(clock, think);
+    }
+  }
+  run.done = true;
+}
+
+WorkloadStats RunShardedClosedLoop(EdenSystem& system,
+                                   const std::vector<size_t>& client_nodes,
+                                   WorkFactory factory, SimDuration duration,
+                                   SimDuration mean_think_time,
+                                   SimDuration per_request_timeout) {
+  auto runs =
+      std::make_shared<std::vector<ShardedClientRun>>(client_nodes.size());
+  SimTime deadline = system.sim().now() + duration;
+  for (size_t c = 0; c < client_nodes.size(); c++) {
+    (*runs)[c].rng =
+        Rng(system.config().seed ^ (0x9e3779b97f4a7c15ULL * (c + 1)));
+  }
+  for (size_t c = 0; c < client_nodes.size(); c++) {
+    Spawn(ShardedClosedLoopClient(&system, c, client_nodes[c], factory,
+                                  deadline, mean_think_time,
+                                  per_request_timeout, runs));
+  }
+  // Bulk of the window runs threaded; the tail (requests in flight at the
+  // deadline) drains in conservative single-threaded rounds. Any such split
+  // executes the identical event sequence (DESIGN.md §14).
+  system.RunUntil(deadline);
+  bool done = system.DriveWhile([runs] {
+    for (const ShardedClientRun& r : *runs) {
+      if (!r.done) {
+        return true;
+      }
+    }
+    return false;
+  });
+  assert(done && "sharded closed-loop workload deadlocked");
+  (void)done;
+  WorkloadStats total;
+  for (const ShardedClientRun& r : *runs) {
+    total.completed += r.stats.completed;
+    total.failed += r.stats.failed;
+    total.latency.Merge(r.stats.latency);
+  }
+  return total;
+}
+
 }  // namespace
 
 WorkloadStats RunClosedLoop(EdenSystem& system,
@@ -117,6 +221,11 @@ WorkloadStats RunClosedLoop(EdenSystem& system,
                             WorkFactory factory, SimDuration duration,
                             SimDuration mean_think_time,
                             SimDuration per_request_timeout) {
+  if (system.sharded()) {
+    return RunShardedClosedLoop(system, client_nodes, std::move(factory),
+                                duration, mean_think_time,
+                                per_request_timeout);
+  }
   auto run = std::make_shared<SharedRun>();
   run->live_clients = static_cast<int>(client_nodes.size());
   SimTime deadline = system.sim().now() + duration;
@@ -133,6 +242,9 @@ WorkloadStats RunOpenLoop(EdenSystem& system,
                           WorkFactory factory, double rate_per_sec,
                           SimDuration duration,
                           SimDuration per_request_timeout) {
+  assert(!system.sharded() &&
+         "RunOpenLoop drives a central arrival process on the primary clock; "
+         "use RunClosedLoop on sharded systems");
   auto run = std::make_shared<SharedRun>();
   SimTime deadline = system.sim().now() + duration;
   double mean_gap_ns = 1e9 / rate_per_sec;

@@ -19,6 +19,9 @@ namespace eden {
 class LatencyRecorder {
  public:
   void Record(SimDuration latency);
+  // Folds another recorder's samples into this one (sharded runs keep one
+  // recorder per client, merged in client order after the run).
+  void Merge(const LatencyRecorder& other);
 
   uint64_t count() const { return count_; }
   SimDuration mean() const {
@@ -67,6 +70,12 @@ struct WorkloadStats {
 // Closed loop: `client_nodes.size()` clients, each with one outstanding
 // invocation and exponentially-distributed think time between requests.
 // Runs for `duration` of virtual time and returns aggregate stats.
+//
+// Under the parallel sharded engine the clients run on their nodes' shard
+// clocks with per-client think rngs (seeded from the system seed and the
+// client index, so draws are independent of the shard layout), the bulk of
+// the window executes threaded, and per-client stats merge in client order —
+// aggregate results are deterministic and layout-independent.
 WorkloadStats RunClosedLoop(EdenSystem& system,
                             const std::vector<size_t>& client_nodes,
                             WorkFactory factory, SimDuration duration,
@@ -76,6 +85,8 @@ WorkloadStats RunClosedLoop(EdenSystem& system,
 // Open loop: Poisson arrivals at `rate_per_sec` aggregate, issued round-robin
 // from `client_nodes`, independent of completions. Returns once every issued
 // request resolves (so tail latencies under overload are captured).
+// Single-threaded systems only (the central arrival process would serialize
+// the shards anyway).
 WorkloadStats RunOpenLoop(EdenSystem& system,
                           const std::vector<size_t>& client_nodes,
                           WorkFactory factory, double rate_per_sec,

@@ -524,21 +524,6 @@ TEST(NodeBuilder, WithLocationSelectsTheBackend) {
   EXPECT_EQ(wide.config().locate.directory_fanout, 2);
 }
 
-TEST(NodeBuilder, DeprecatedLocateAliasesStillApply) {
-  // The loose locate_* fields survive one more PR as aliases: a non-default
-  // value overrides the corresponding LocateConfig knob at node construction.
-  EdenSystem system;
-  RegisterStandardTypes(system);
-  KernelConfig old_style;
-  old_style.locate_timeout = Milliseconds(125);
-  old_style.max_locate_attempts = 7;
-  NodeKernel& node = system.AddNode("legacy").WithKernel(old_style);
-  EXPECT_EQ(node.config().locate.timeout, Milliseconds(125));
-  EXPECT_EQ(node.config().locate.max_attempts, 7);
-  // Untouched aliases leave the LocateConfig defaults alone.
-  EXPECT_EQ(node.config().locate.passive_reply_delay, Milliseconds(2));
-}
-
 TEST(NodeBuilder, WithTraceWiresTheBuffer) {
   EdenSystem system;
   RegisterStandardTypes(system);
