@@ -33,7 +33,16 @@
 #      EXPERIMENTS.md E15. Regenerate with
 #        build/bench/bench_location --quick --json=bench/baselines/BENCH_bench_location.json
 #      when locate behavior intentionally changes.
-#   7. Parallel-engine smoke: build the sharded-engine determinism suite under
+#   7. Lease smoke: run lease_test under the ASan tree on its own (the lease
+#      cache and recall coroutine paths are the newest lifetime-heavy kernel
+#      code), then bench_lease --quick gated against
+#      bench/baselines/BENCH_bench_lease.json. The gated histograms are the
+#      hot-object read-mix virtual-time series with leases off/on plus the
+#      recall round — the caching win and its write-side cost from
+#      EXPERIMENTS.md E17. Regenerate with
+#        build/bench/bench_lease --quick --json=bench/baselines/BENCH_bench_lease.json
+#      when lease behavior intentionally changes.
+#   8. Parallel-engine smoke: build the sharded-engine determinism suite under
 #      TSan at build-tsan and run it (the threaded RunUntil windows, the SPSC
 #      channels and the horizon protocol are the only concurrent code in the
 #      repo — a data race there silently breaks the determinism oracle), then
@@ -88,6 +97,14 @@ echo "== location smoke (directory backend under ASan + scaling gate) =="
 "$repo_root/scripts/perf_compare.py" \
   "$repo_root/bench/baselines/BENCH_bench_location.json" \
   "$repo_root/build/BENCH_bench_location.json" --gate 10
+
+echo "== lease smoke (read-cache suite under ASan + throughput gate) =="
+"$repo_root/build-asan/tests/lease_test"
+"$repo_root/build/bench/bench_lease" --quick \
+  --json="$repo_root/build/BENCH_bench_lease.json"
+"$repo_root/scripts/perf_compare.py" \
+  "$repo_root/bench/baselines/BENCH_bench_lease.json" \
+  "$repo_root/build/BENCH_bench_lease.json" --gate 10
 
 echo "== TSan build + parallel determinism suite =="
 cmake -B "$repo_root/build-tsan" -S "$repo_root" \

@@ -27,7 +27,7 @@ StatusOr<MessageKind> PeekMessageKind(BytesView message) {
   }
   uint8_t tag = message[0];
   if (tag < static_cast<uint8_t>(MessageKind::kInvokeRequest) ||
-      tag > static_cast<uint8_t>(MessageKind::kDirectoryReply)) {
+      tag > static_cast<uint8_t>(MessageKind::kLeaseRelease)) {
     return InvalidArgumentError("unknown message kind");
   }
   return static_cast<MessageKind>(tag);
@@ -74,6 +74,7 @@ Bytes InvokeReplyMsg::Encode() const {
   writer.WriteU64(invocation_id);
   result.Encode(writer);
   writer.WriteBool(target_frozen);
+  writer.WriteU64(lease_renew_expiry);
   return writer.Take();
 }
 
@@ -84,6 +85,7 @@ StatusOr<InvokeReplyMsg> InvokeReplyMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.invocation_id, reader.ReadU64());
   EDEN_ASSIGN_OR_RETURN(msg.result, InvokeResult::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.target_frozen, reader.ReadBool());
+  EDEN_ASSIGN_OR_RETURN(msg.lease_renew_expiry, reader.ReadU64());
   return msg;
 }
 
@@ -357,6 +359,70 @@ StatusOr<DirectoryLookupMsg> DirectoryLookupMsg::Decode(BytesView message) {
     msg.avoid_hosts.push_back(host);
   }
   EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
+  return msg;
+}
+
+Bytes LeaseGrantMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kLeaseGrant);
+  name.Encode(writer);
+  writer.WriteString(type_name);
+  representation.Encode(writer);
+  writer.WriteU64(expiry);
+  writer.WriteU64(epoch);
+  writer.WriteU64(seq);
+  return writer.Take();
+}
+
+StatusOr<LeaseGrantMsg> LeaseGrantMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLeaseGrant));
+  LeaseGrantMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.type_name, reader.ReadString());
+  EDEN_ASSIGN_OR_RETURN(msg.representation, Representation::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.expiry, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.seq, reader.ReadU64());
+  return msg;
+}
+
+Bytes LeaseRecallMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kLeaseRecall);
+  name.Encode(writer);
+  writer.WriteU64(epoch);
+  writer.WriteU64(seq);
+  span.Encode(writer);
+  return writer.Take();
+}
+
+StatusOr<LeaseRecallMsg> LeaseRecallMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLeaseRecall));
+  LeaseRecallMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.seq, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
+  return msg;
+}
+
+Bytes LeaseReleaseMsg::Encode() const {
+  BufferWriter writer = StartMessage(MessageKind::kLeaseRelease);
+  name.Encode(writer);
+  writer.WriteU32(holder);
+  writer.WriteU64(epoch);
+  writer.WriteU64(seq);
+  return writer.Take();
+}
+
+StatusOr<LeaseReleaseMsg> LeaseReleaseMsg::Decode(BytesView message) {
+  BufferReader reader(message);
+  EDEN_RETURN_IF_ERROR(ExpectKind(reader, MessageKind::kLeaseRelease));
+  LeaseReleaseMsg msg;
+  EDEN_ASSIGN_OR_RETURN(msg.name, ObjectName::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(msg.holder, reader.ReadU32());
+  EDEN_ASSIGN_OR_RETURN(msg.epoch, reader.ReadU64());
+  EDEN_ASSIGN_OR_RETURN(msg.seq, reader.ReadU64());
   return msg;
 }
 

@@ -42,6 +42,14 @@ enum class MessageKind : uint8_t {
   kDirectoryUpdate = 14,  // residence publish to the object's home node(s)
   kDirectoryLookup = 15,
   kDirectoryReply = 16,
+  // Lease-based read caching of mutable objects (DESIGN.md §15). The home
+  // node pushes a grant (with a representation snapshot) to a reader; writes
+  // recall outstanding leases, holders answer with a release. All three ride
+  // the reliable transport — a recall lost under a partition is bounded by
+  // the lease's expiry, never by an unbounded retry.
+  kLeaseGrant = 17,
+  kLeaseRecall = 18,
+  kLeaseRelease = 19,
 };
 
 // Reads the kind tag without consuming the rest.
@@ -74,6 +82,11 @@ struct InvokeReplyMsg {
   // Tells the invoking kernel the target is frozen, so it may cache a
   // replica (paper section 4.3).
   bool target_frozen = false;
+  // Lease renewal piggyback (DESIGN.md §15): when nonzero, the home extends
+  // the invoker's read lease on the target to this absolute expiry. Encoded
+  // fixed-width — always present, zero when leases are off — so message
+  // sizes never depend on the lease configuration.
+  uint64_t lease_renew_expiry = 0;
 
   Bytes Encode() const;
   static StatusOr<InvokeReplyMsg> Decode(BytesView message);
@@ -245,6 +258,57 @@ struct DirectoryLookupMsg {
 
   Bytes Encode() const;
   static StatusOr<DirectoryLookupMsg> Decode(BytesView message);
+};
+
+// Read-lease grant pushed by an object's home node (DESIGN.md §15). Carries
+// a snapshot of the representation; the holder installs it as a local cached
+// copy and serves read-class invocations from it until `expiry`.
+struct LeaseGrantMsg {
+  ObjectName name;
+  std::string type_name;
+  Representation representation;
+  // Absolute virtual-time expiry of the lease.
+  uint64_t expiry = 0;
+  // Lease version: (epoch, seq) compared lexicographically. `epoch` is the
+  // home's residence epoch for the object (so grants from a pre-move or
+  // pre-crash home lose to later recalls); `seq` is a per-object counter at
+  // that home. A holder that released in answer to recall (e, s) refuses any
+  // grant versioned <= (e, s) — a late grant can never resurrect a lease the
+  // writer already believes recalled.
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+
+  Bytes Encode() const;
+  static StatusOr<LeaseGrantMsg> Decode(BytesView message);
+};
+
+// Home -> holder: give the lease back (a write is waiting). The holder drops
+// its cached copy immediately and answers with LeaseRelease; if this message
+// is lost (partition), the home's backstop timer waits out the lease expiry
+// instead — the writer is delayed, never fed stale state.
+struct LeaseRecallMsg {
+  ObjectName name;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+  // Causal context of the home-side kLease span (fixed-width), so the
+  // recall's wire legs and the holder-side handling link into the writing
+  // invocation's trace.
+  SpanContext span;
+
+  Bytes Encode() const;
+  static StatusOr<LeaseRecallMsg> Decode(BytesView message);
+};
+
+// Holder -> home: lease dropped. Sent in answer to a recall (echoing its
+// version) and voluntarily when a holder discards an expired entry.
+struct LeaseReleaseMsg {
+  ObjectName name;
+  StationId holder = kNoStation;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+
+  Bytes Encode() const;
+  static StatusOr<LeaseReleaseMsg> Decode(BytesView message);
 };
 
 struct DirectoryReplyMsg {

@@ -1,6 +1,7 @@
 #include "src/kernel/name.h"
 
 #include <cstdio>
+#include <cstring>
 
 namespace eden {
 
@@ -22,6 +23,26 @@ std::string ObjectName::ToKey() const {
   std::snprintf(buf, sizeof(buf), "obj/%u/%llu/%u", birth_node_,
                 static_cast<unsigned long long>(sequence_), disambiguator_);
   return buf;
+}
+
+StatusOr<ObjectName> ObjectName::FromKey(std::string_view key) {
+  // snprintf/sscanf need NUL-terminated input; keys are short.
+  char buf[64];
+  if (key.size() >= sizeof(buf)) {
+    return InvalidArgumentError("object key too long");
+  }
+  std::memcpy(buf, key.data(), key.size());
+  buf[key.size()] = '\0';
+  unsigned birth = 0;
+  unsigned long long sequence = 0;
+  unsigned disambiguator = 0;
+  int consumed = 0;
+  if (std::sscanf(buf, "obj/%u/%llu/%u%n", &birth, &sequence, &disambiguator,
+                  &consumed) != 3 ||
+      static_cast<size_t>(consumed) != key.size()) {
+    return InvalidArgumentError("not an object key");
+  }
+  return ObjectName(birth, sequence, disambiguator);
 }
 
 std::string ObjectName::ToString() const {

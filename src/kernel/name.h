@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
@@ -50,6 +51,10 @@ class ObjectName {
 
   // Stable string key for storage indices: "obj/<birth>/<seq>/<disamb>".
   std::string ToKey() const;
+  // Inverse of ToKey. Rejects anything that is not exactly a base object key
+  // (delta-chain suffixes like "#d3" fail), so store scans can recover the
+  // names behind checkpoint keys.
+  static StatusOr<ObjectName> FromKey(std::string_view key);
   // Human-readable: "obj-2.17".
   std::string ToString() const;
 

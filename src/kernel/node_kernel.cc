@@ -115,6 +115,11 @@ void NodeKernel::InitMetrics() {
   counters_.replica_fetches = &metrics_.counter("kernel.replica.fetches");
   counters_.replica_reads = &metrics_.counter("kernel.replica.reads");
   counters_.duplicate_requests = &metrics_.counter("kernel.duplicate_requests");
+  counters_.lease_grants = &metrics_.counter("kernel.lease.grants");
+  counters_.lease_recalls = &metrics_.counter("kernel.lease.recalls");
+  counters_.lease_renewals = &metrics_.counter("kernel.lease.renewals");
+  counters_.lease_expiries = &metrics_.counter("kernel.lease.expiries");
+  counters_.lease_local_reads = &metrics_.counter("kernel.lease.local_reads");
   counters_.peer_suspects = &metrics_.counter("kernel.peer.suspects");
   counters_.peer_probes = &metrics_.counter("kernel.peer.probes");
   counters_.peer_recoveries = &metrics_.counter("kernel.peer.recoveries");
@@ -154,6 +159,11 @@ KernelStats NodeKernel::stats() const {
   s.replica_fetches = counters_.replica_fetches->value();
   s.replica_reads = counters_.replica_reads->value();
   s.duplicate_requests = counters_.duplicate_requests->value();
+  s.lease_grants = counters_.lease_grants->value();
+  s.lease_recalls = counters_.lease_recalls->value();
+  s.lease_renewals = counters_.lease_renewals->value();
+  s.lease_expiries = counters_.lease_expiries->value();
+  s.lease_local_reads = counters_.lease_local_reads->value();
   return s;
 }
 
@@ -368,7 +378,32 @@ void NodeKernel::TryResolve(uint64_t id) {
     return;
   }
 
-  // 2. Cached replica of a frozen object, for read-only operations.
+  // 2. Unexpired read lease on this node (DESIGN.md §15): read-class
+  // invocations dispatch into the leased copy with zero network traffic.
+  // Near expiry the read routes to the home instead, so the reply can
+  // piggyback a renewal; write-class invocations always route to the home.
+  if (config_.lease_reads) {
+    if (auto lease = lease_cache_.find(name); lease != lease_cache_.end()) {
+      SimTime now = sim().now();
+      if (lease->second.expiry <= now) {
+        counters_.lease_expiries->Increment();
+        lease_cache_.erase(lease);
+      } else {
+        const OperationSpec* op =
+            lease->second.replica->type->FindOperation(pending.operation);
+        if (op != nullptr && op->read_only &&
+            lease->second.expiry > now + config_.lease_renew_margin) {
+          counters_.lease_local_reads->Increment();
+          DispatchLocally(id, lease->second.replica);
+          return;
+        }
+        SendRequestTo(id, lease->second.home);
+        return;
+      }
+    }
+  }
+
+  // 3. Cached replica of a frozen object, for read-only operations.
   if (auto replica = replicas_.find(name); replica != replicas_.end()) {
     const OperationSpec* op =
         replica->second->type->FindOperation(pending.operation);
@@ -379,13 +414,13 @@ void NodeKernel::TryResolve(uint64_t id) {
     }
   }
 
-  // 3. Reincarnation already under way on this node.
+  // 4. Reincarnation already under way on this node.
   if (activating_.count(name) > 0) {
     activation_local_waiters_[name].push_back(id);
     return;
   }
 
-  // 4. We moved it away: follow the forwarding address — unless this very
+  // 5. We moved it away: follow the forwarding address — unless this very
   // invocation already found that host dead or ignorant, in which case the
   // pointer is stale and must be dropped (same healing the remote path gets
   // via InvokeRequestMsg::avoid_hosts).
@@ -398,21 +433,21 @@ void NodeKernel::TryResolve(uint64_t id) {
     }
   }
 
-  // 5. Location cache.
+  // 6. Location cache.
   if (auto hint = location_cache_.find(name); hint != location_cache_.end()) {
     counters_.locate_cache_hits->Increment();
     SendRequestTo(id, hint->second.host);
     return;
   }
 
-  // 6. Passive on this node (we hold its authoritative checkpoint).
+  // 7. Passive on this node (we hold its authoritative checkpoint).
   if (store_->Contains(CheckpointKey(name))) {
     activation_local_waiters_[name].push_back(id);
     BeginActivation(name, pending.span);
     return;
   }
 
-  // 7. Ask the network.
+  // 8. Ask the network.
   StartLocate(id);
 }
 
@@ -852,6 +887,27 @@ void NodeKernel::OnMessage(StationId src, BytesView message) {
       }
       break;
     }
+    case MessageKind::kLeaseGrant: {
+      auto msg = LeaseGrantMsg::Decode(message);
+      if (msg.ok()) {
+        HandleLeaseGrant(src, std::move(*msg));
+      }
+      break;
+    }
+    case MessageKind::kLeaseRecall: {
+      auto msg = LeaseRecallMsg::Decode(message);
+      if (msg.ok()) {
+        HandleLeaseRecall(src, *msg);
+      }
+      break;
+    }
+    case MessageKind::kLeaseRelease: {
+      auto msg = LeaseReleaseMsg::Decode(message);
+      if (msg.ok()) {
+        HandleLeaseRelease(src, *msg);
+      }
+      break;
+    }
   }
 }
 
@@ -955,6 +1011,17 @@ void NodeKernel::HandleInvokeReply(StationId src, const InvokeReplyMsg& msg) {
   }
   ObjectName name = it->second.target.name();
   SpanContext inv_span = it->second.span;
+  // Renewal piggyback (DESIGN.md §15): the home extends a lease we already
+  // hold on this object. Only forward extensions apply — a lease recalled or
+  // re-granted in the meantime carries a different version and the stale
+  // piggyback simply loses the max.
+  if (msg.lease_renew_expiry != 0) {
+    if (auto lease = lease_cache_.find(name);
+        lease != lease_cache_.end() && lease->second.home == src) {
+      lease->second.expiry = std::max(
+          lease->second.expiry, static_cast<SimTime>(msg.lease_renew_expiry));
+    }
+  }
   CompleteInvocation(msg.invocation_id, msg.result);
   if (msg.target_frozen && config_.cache_frozen_replicas &&
       replicas_.count(name) == 0 && active_.count(name) == 0) {
@@ -1120,6 +1187,20 @@ void NodeKernel::AcceptDispatch(const std::shared_ptr<ActiveObject>& object,
     RefuseDispatch(d, FailedPreconditionError("object is frozen"));
     return;
   }
+  // Lease write gate (DESIGN.md §15): a write-class invocation cannot touch
+  // the representation while any node may still be serving leased reads —
+  // recall the leases (or wait out the post-reincarnation quiesce) first.
+  // Admitted writes are counted in lease_mutators_pending from here until
+  // they terminate, so no lease is granted over a queued or running write.
+  if (config_.lease_reads && !object->is_replica && op->mutates &&
+      !op->read_only) {
+    if (LeaseWriteBlocked(object)) {
+      StartLeaseRecall(object, std::move(d));
+      return;
+    }
+    d.lease_mutator = true;
+    object->lease_mutators_pending++;
+  }
   size_t class_index = op->invocation_class;
   const InvocationClassSpec& spec = object->type->classes()[class_index];
   if (object->class_running[class_index] < spec.concurrency_limit) {
@@ -1132,6 +1213,9 @@ void NodeKernel::AcceptDispatch(const std::shared_ptr<ActiveObject>& object,
   if (object->class_queues[class_index].size() < spec.queue_limit) {
     object->class_queues[class_index].push_back(std::move(d));
     return;
+  }
+  if (d.lease_mutator) {
+    object->lease_mutators_pending--;
   }
   counters_.queue_refusals->Increment();
   RefuseDispatch(d, ResourceExhaustedError("invocation class \"" + spec.name +
@@ -1146,6 +1230,9 @@ DetachedTask NodeKernel::RunInvocation(std::shared_ptr<ActiveObject> object,
   // Coordinator overhead: rights were checked, now build the process.
   co_await SleepFor(sim(), config_.dispatch_overhead);
   if (!object->core->alive) {
+    if (d.lease_mutator) {
+      object->lease_mutators_pending--;
+    }
     ReplyTo(d, InvokeResult::Error(AbortedError("object crashed")), false);
     FinishDispatch(object, class_index);
     co_return;
@@ -1153,9 +1240,18 @@ DetachedTask NodeKernel::RunInvocation(std::shared_ptr<ActiveObject> object,
   InvokeContext context(this, object, d.request.operation, d.request.args,
                         d.request.target.rights(), d.span);
   InvokeResult result = co_await op->handler(context);
+  if (d.lease_mutator) {
+    object->lease_mutators_pending--;
+  }
+  // A successful remote read-class invocation is the lease machinery's cue:
+  // grant (or renew) and piggyback the expiry on the reply (DESIGN.md §15).
+  uint64_t lease_renew_expiry = 0;
+  if (!d.local && op->read_only && result.status.ok()) {
+    lease_renew_expiry = MaybeGrantLease(object, d.request.reply_to);
+  }
   // Even if the object crashed or moved while we ran, the invoker gets the
   // produced reply (the work happened); bookkeeping checks map identity.
-  ReplyTo(d, result, object->frozen);
+  ReplyTo(d, result, object->frozen, lease_renew_expiry);
   FinishDispatch(object, class_index);
 }
 
@@ -1185,6 +1281,9 @@ void NodeKernel::PumpQueues(const std::shared_ptr<ActiveObject>& object) {
       object->class_queues[ci].pop_front();
       const OperationSpec* op = object->type->FindOperation(d.request.operation);
       if (op == nullptr) {
+        if (d.lease_mutator) {
+          object->lease_mutators_pending--;
+        }
         RefuseDispatch(d, UnimplementedError("operation vanished"));
         continue;
       }
@@ -1197,7 +1296,7 @@ void NodeKernel::PumpQueues(const std::shared_ptr<ActiveObject>& object) {
 }
 
 void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
-                         bool target_frozen) {
+                         bool target_frozen, uint64_t lease_renew_expiry) {
   uint64_t id = d.request.invocation_id;
   EndSpan(d.span, result.status.ok()
                       ? std::string()
@@ -1215,6 +1314,7 @@ void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
   reply.invocation_id = id;
   reply.result = std::move(result);
   reply.target_frozen = target_frozen;
+  reply.lease_renew_expiry = lease_renew_expiry;
   Bytes encoded = reply.Encode();
   // Receive-side kernel processing for the request plus reply marshalling.
   SimDuration cost = config_.remote_receive_overhead + SerializeCost(encoded.size());
@@ -1240,6 +1340,292 @@ void NodeKernel::CacheReply(uint64_t invocation_id, const InvokeResult& result,
   while (reply_cache_order_.size() > config_.reply_cache_capacity) {
     reply_cache_.erase(reply_cache_order_.front());
     reply_cache_order_.pop_front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read leases (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+uint64_t NodeKernel::MaybeGrantLease(const std::shared_ptr<ActiveObject>& object,
+                                     StationId reader) {
+  // No grant while anything could invalidate the snapshot: a write queued or
+  // running, a recall open, a move draining, the post-reincarnation quiesce.
+  if (!config_.lease_reads || object->is_replica || object->frozen ||
+      !object->core->alive || object->moving ||
+      object->lease_recall.has_value() || object->lease_mutators_pending > 0 ||
+      reader == station()) {
+    return 0;
+  }
+  SimTime now = sim().now();
+  if (now < object->lease_quiesce_until) {
+    return 0;
+  }
+  SimTime expiry = now + config_.lease_duration;
+  if (auto it = object->lease_holders.find(reader);
+      it != object->lease_holders.end() && it->second.expiry > now) {
+    // Renewal rides the invoke reply alone: the holder's cached copy is
+    // still the current state (no write got past the gate since the grant),
+    // so no new snapshot needs to travel.
+    it->second.expiry = std::max(it->second.expiry, expiry);
+    counters_.lease_renewals->Increment();
+    return static_cast<uint64_t>(it->second.expiry);
+  }
+  uint64_t seq = ++object->lease_seq;
+  object->lease_holders[reader] = {expiry, seq};
+  counters_.lease_grants->Increment();
+  Trace(TraceEventKind::kLeaseGrant, object->name, reader);
+  LeaseGrantMsg grant;
+  grant.name = object->name;
+  grant.type_name = object->type->name();
+  grant.representation = object->core->rep;  // snapshot at grant time
+  grant.expiry = static_cast<uint64_t>(expiry);
+  grant.epoch = object->location_epoch;
+  grant.seq = seq;
+  Bytes encoded = grant.Encode();
+  sim().Schedule(SerializeCost(encoded.size()),
+                 [this, reader, encoded = std::move(encoded)]() mutable {
+                   if (!failed_) {
+                     transport_->SendReliable(reader, std::move(encoded));
+                   }
+                 });
+  return static_cast<uint64_t>(expiry);
+}
+
+bool NodeKernel::LeaseWriteBlocked(const std::shared_ptr<ActiveObject>& object) {
+  if (object->lease_recall.has_value()) {
+    return true;
+  }
+  SimTime now = sim().now();
+  if (object->lease_quiesce_until > now) {
+    return true;
+  }
+  // Prune holders whose term lapsed — their copies self-invalidate, no
+  // recall owed.
+  for (auto it = object->lease_holders.begin();
+       it != object->lease_holders.end();) {
+    if (it->second.expiry <= now) {
+      counters_.lease_expiries->Increment();
+      it = object->lease_holders.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return !object->lease_holders.empty();
+}
+
+void NodeKernel::OpenLeaseRecall(const std::shared_ptr<ActiveObject>& object,
+                                 const SpanContext& parent) {
+  counters_.lease_recalls->Increment();
+  Trace(TraceEventKind::kLeaseRecall, object->name,
+        object->lease_holders.size());
+  ActiveObject::LeaseRecall recall;
+  recall.epoch = object->location_epoch;
+  // The recall's seq outranks every grant issued so far, so a holder's floor
+  // set from it also kills grants still in flight.
+  recall.seq = ++object->lease_seq;
+  recall.span = ChildSpan(parent, SpanKind::kLease, object->name, "lease recall");
+  SimTime now = sim().now();
+  SimTime backstop = std::max(now, object->lease_quiesce_until);
+  for (const auto& [holder, lease] : object->lease_holders) {
+    recall.waiting.emplace(holder, lease);
+    backstop = std::max(backstop, lease.expiry);
+  }
+  object->lease_recall = std::move(recall);
+  // Per-holder recall messages; lease_holders is an ordered map, so the wire
+  // send order is deterministic. Each wire leg parents to the kLease span.
+  // The batch goes out after the marshalling cost (matching every other send
+  // path); a recall that resolved meanwhile is harmless on the wire — the
+  // holder floors and releases, the home ignores the stale release.
+  std::vector<std::pair<StationId, Bytes>> sends;
+  size_t total_bytes = 0;
+  for (const auto& [holder, lease] : object->lease_recall->waiting) {
+    LeaseRecallMsg msg;
+    msg.name = object->name;
+    msg.epoch = object->lease_recall->epoch;
+    msg.seq = object->lease_recall->seq;
+    msg.span = object->lease_recall->span;
+    Bytes encoded = msg.Encode();
+    total_bytes += encoded.size();
+    sends.emplace_back(holder, std::move(encoded));
+  }
+  sim().Schedule(SerializeCost(total_bytes),
+                 [this, span = object->lease_recall->span,
+                  sends = std::move(sends)]() mutable {
+                   if (failed_) {
+                     return;
+                   }
+                   for (auto& [holder, encoded] : sends) {
+                     transport_->SendReliable(holder, std::move(encoded), span);
+                   }
+                 });
+  // Backstop: past `backstop` every recalled lease has lapsed of its own
+  // accord, so lost releases (holder crash, partition) only ever delay the
+  // write to the lease term — never block it forever, never leave a holder
+  // serving reads the home no longer honors.
+  object->lease_recall->backstop_timer = sim().Schedule(
+      backstop + 1 - now, [this, weak = std::weak_ptr<ActiveObject>(object)] {
+        std::shared_ptr<ActiveObject> object = weak.lock();
+        if (object == nullptr || !object->lease_recall.has_value()) {
+          return;
+        }
+        object->lease_recall->backstop_timer = kInvalidEventId;
+        counters_.lease_expiries->Increment(
+            object->lease_recall->waiting.size());
+        FinishLeaseRecall(object, "expired");
+      });
+}
+
+void NodeKernel::StartLeaseRecall(const std::shared_ptr<ActiveObject>& object,
+                                  PendingDispatch d) {
+  if (!object->lease_recall.has_value()) {
+    OpenLeaseRecall(object, d.span);
+  }
+  object->lease_recall->write_queue.push_back(std::move(d));
+}
+
+void NodeKernel::FinishLeaseRecall(const std::shared_ptr<ActiveObject>& object,
+                                   std::string_view how) {
+  ActiveObject::LeaseRecall recall = std::move(*object->lease_recall);
+  object->lease_recall.reset();
+  sim().Cancel(recall.backstop_timer);
+  object->lease_holders.clear();
+  EndSpan(recall.span, how);
+  for (Promise<Unit>& waiter : recall.waiters) {
+    waiter.Set(Unit{});
+  }
+  // Re-admit the blocked writes through the full gate: a waiter (a move) may
+  // have set `moving`, the object may have crashed — AcceptDispatch re-checks
+  // everything. The first write admitted bumps lease_mutators_pending, so no
+  // grant slips in between queued writes.
+  while (!recall.write_queue.empty()) {
+    PendingDispatch d = std::move(recall.write_queue.front());
+    recall.write_queue.pop_front();
+    AcceptDispatch(object, std::move(d));
+  }
+}
+
+void NodeKernel::TeardownLeases(const std::shared_ptr<ActiveObject>& object,
+                                const Status* refuse) {
+  object->lease_holders.clear();
+  object->lease_quiesce_until = 0;
+  if (!object->lease_recall.has_value()) {
+    return;
+  }
+  ActiveObject::LeaseRecall recall = std::move(*object->lease_recall);
+  object->lease_recall.reset();
+  sim().Cancel(recall.backstop_timer);
+  EndSpan(recall.span, refuse != nullptr
+                           ? std::string_view(StatusCodeName(refuse->code()))
+                           : std::string_view());
+  for (Promise<Unit>& waiter : recall.waiters) {
+    waiter.Set(Unit{});
+  }
+  while (!recall.write_queue.empty()) {
+    PendingDispatch d = std::move(recall.write_queue.front());
+    recall.write_queue.pop_front();
+    if (refuse != nullptr) {
+      RefuseDispatch(d, *refuse);
+    } else {
+      AcceptDispatch(object, std::move(d));
+    }
+  }
+}
+
+void NodeKernel::HandleLeaseGrant(StationId src, LeaseGrantMsg msg) {
+  if (active_.count(msg.name) > 0) {
+    // Home-side authority here now (the object moved to this node while the
+    // grant was in flight); the cached copy would be a stale shadow.
+    return;
+  }
+  std::pair<uint64_t, uint64_t> version{msg.epoch, msg.seq};
+  if (auto floor = lease_floor_.find(msg.name);
+      floor != lease_floor_.end() && version <= floor->second) {
+    return;  // recalled before the grant arrived: dead on arrival
+  }
+  SimTime now = sim().now();
+  if (static_cast<SimTime>(msg.expiry) <= now) {
+    counters_.lease_expiries->Increment();
+    return;
+  }
+  if (auto it = lease_cache_.find(msg.name);
+      it != lease_cache_.end() &&
+      std::pair<uint64_t, uint64_t>{it->second.epoch, it->second.seq} >
+          version) {
+    return;  // an even fresher grant already landed
+  }
+  std::shared_ptr<TypeManager> type = system_.FindType(msg.type_name);
+  if (type == nullptr) {
+    return;
+  }
+  auto replica = std::make_shared<ActiveObject>(type);
+  replica->name = msg.name;
+  replica->core = std::make_shared<ObjectCore>();
+  replica->core->name = msg.name;
+  replica->core->rep = std::move(msg.representation);
+  // Frozen replica: the dispatch path refuses mutating operations outright,
+  // so a leased copy can only ever serve read-class invocations.
+  replica->frozen = true;
+  replica->is_replica = true;
+  Trace(TraceEventKind::kLeaseGrant, msg.name, src);
+  LeaseEntry entry;
+  entry.replica = std::move(replica);
+  entry.expiry = static_cast<SimTime>(msg.expiry);
+  entry.home = src;
+  entry.epoch = msg.epoch;
+  entry.seq = msg.seq;
+  lease_cache_[msg.name] = std::move(entry);
+}
+
+void NodeKernel::HandleLeaseRecall(StationId src, const LeaseRecallMsg& msg) {
+  Trace(TraceEventKind::kLeaseRecall, msg.name, src);
+  std::pair<uint64_t, uint64_t> version{msg.epoch, msg.seq};
+  auto& floor = lease_floor_[msg.name];
+  floor = std::max(floor, version);
+  if (auto it = lease_cache_.find(msg.name);
+      it != lease_cache_.end() &&
+      std::pair<uint64_t, uint64_t>{it->second.epoch, it->second.seq} <=
+          version) {
+    lease_cache_.erase(it);
+  }
+  // Always release, even with nothing cached: the grant may still be in
+  // flight (the floor above makes it dead on arrival), and the home's write
+  // stays blocked until it hears from us or the backstop fires.
+  LeaseReleaseMsg release;
+  release.name = msg.name;
+  release.holder = station();
+  release.epoch = msg.epoch;
+  release.seq = msg.seq;
+  transport_->SendReliable(src, release.Encode(), msg.span);
+}
+
+void NodeKernel::HandleLeaseRelease(StationId src, const LeaseReleaseMsg& msg) {
+  auto it = active_.find(msg.name);
+  if (it == active_.end()) {
+    return;
+  }
+  std::shared_ptr<ActiveObject> object = it->second;
+  if (!object->lease_recall.has_value()) {
+    // No recall open (it resolved by backstop just before this arrived, or
+    // the holder volunteered a release): drop the holder unless a fresher
+    // grant to the same station superseded the one being released.
+    if (auto h = object->lease_holders.find(msg.holder);
+        h != object->lease_holders.end() && h->second.seq <= msg.seq) {
+      object->lease_holders.erase(h);
+    }
+    return;
+  }
+  if (object->lease_recall->epoch != msg.epoch ||
+      object->lease_recall->seq != msg.seq) {
+    return;  // a release for some older recall; this home's state moved on
+  }
+  object->lease_recall->waiting.erase(msg.holder);
+  object->lease_holders.erase(msg.holder);
+  // The recall also waits out any reincarnation quiesce still running — the
+  // backstop timer covers that tail.
+  if (object->lease_recall->waiting.empty() &&
+      object->lease_quiesce_until <= sim().now()) {
+    FinishLeaseRecall(object, {});
   }
 }
 
@@ -1377,6 +1763,15 @@ DetachedTask NodeKernel::RunActivation(ObjectName name, SpanContext parent) {
   object->ckpt_policy = chain.policy;
   object->ckpt_frozen = chain.frozen;
   object->activating = true;
+  if (config_.lease_reads) {
+    // Gray & Cheriton's recovering-server rule: the reborn home cannot know
+    // what leases its predecessor granted, so write-class invocations wait
+    // until every pre-crash lease must have expired.
+    object->lease_quiesce_until = sim().now() + config_.lease_duration;
+    // Any lease this node held as a *client* is superseded by home-side
+    // authority over the same object.
+    lease_cache_.erase(name);
+  }
   active_[name] = object;
   UpdateActiveGauge();
   activating_.erase(name);
@@ -1798,6 +2193,10 @@ void NodeKernel::CrashObject(const std::shared_ptr<ActiveObject>& object,
   for (auto& queue : object->class_queues) {
     refuse_all(queue);
   }
+  {
+    Status aborted = AbortedError(reason.message());
+    TeardownLeases(object, &aborted);
+  }
   if (object->drain_waiter.has_value()) {
     Promise<Unit> waiter = std::move(*object->drain_waiter);
     object->drain_waiter.reset();
@@ -1913,6 +2312,23 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
     Future<Unit> drained = object->drain_waiter->GetFuture();
     co_await drained;
   }
+  // A move carries the representation to a new home, where the old
+  // (epoch, seq) versions stop meaning anything — so clear every outstanding
+  // lease first. `moving` is already set, so no new lease or write can slip
+  // in behind the recall (AcceptDispatch holds them).
+  if (config_.lease_reads) {
+    while (object->core->alive &&
+           (object->lease_recall.has_value() || !object->lease_holders.empty() ||
+            object->lease_quiesce_until > sim().now())) {
+      if (!object->lease_recall.has_value()) {
+        OpenLeaseRecall(object, move_span);
+      }
+      Promise<Unit> cleared;
+      Future<Unit> lease_clear = cleared.GetFuture();
+      object->lease_recall->waiters.push_back(std::move(cleared));
+      co_await lease_clear;
+    }
+  }
   if (!object->core->alive) {
     object->moving = false;
     EndSpan(move_span, "crashed");
@@ -2004,6 +2420,8 @@ void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
   UpdateActiveGauge();
   forwarding_.erase(msg.name);
   location_cache_.erase(msg.name);
+  // Home-side authority supersedes any read lease this node held as a client.
+  lease_cache_.erase(msg.name);
   counters_.moves_in->Increment();
   Trace(TraceEventKind::kMoveIn, msg.name, msg.transfer_id,
         "from station " + std::to_string(msg.source));
@@ -2191,10 +2609,28 @@ void NodeKernel::FailNode() {
   replicas_.clear();
   for (auto& [name, object] : active) {
     object->core->Fail(UnavailableError("node failed"));
+    // Open recalls die with the home: cancel the backstop, close the kLease
+    // span, and wake any co_awaiting mover so its coroutine is not leaked.
+    // (active_ is an ordered map, so span close order is deterministic.)
+    if (object->lease_recall.has_value()) {
+      ActiveObject::LeaseRecall recall = std::move(*object->lease_recall);
+      object->lease_recall.reset();
+      sim().Cancel(recall.backstop_timer);
+      EndSpan(recall.span, "node_failed");
+      for (Promise<Unit>& waiter : recall.waiters) {
+        waiter.Set(Unit{});
+      }
+      // write_queue replies die silently: the invokers' attempt timers fire.
+    }
+    object->lease_holders.clear();
   }
   for (auto& [name, object] : replicas) {
     object->core->Fail(UnavailableError("node failed"));
   }
+  // Client-side leases are volatile; holders that crash simply stop serving,
+  // and the home's recall backstop covers any release they now fail to send.
+  lease_cache_.clear();
+  lease_floor_.clear();
   forwarding_.clear();
   location_cache_.clear();
   // Both backend roles are volatile: the home partition dies with the node
@@ -2264,6 +2700,26 @@ void NodeKernel::RestartNode() {
   failed_ = false;
   Trace(TraceEventKind::kNodeRestart, ObjectName::Null(), 0);
   system_.lan().ReattachStation(station());
+
+  // Proactive directory repair (DESIGN.md §13): scan the stable store for
+  // checkpoint bases and re-publish a passive residence record for each. The
+  // epoch-0 record only fills an *empty* directory slot — if the object moved
+  // (or was reincarnated elsewhere) while this node was down, the incumbent
+  // record has a real epoch and wins — so locates for objects that only ever
+  // lived here resolve without a broadcast fallback round.
+  for (const std::string& key : store_->Keys()) {
+    constexpr std::string_view kPrefix = "ckpt/";
+    if (key.compare(0, kPrefix.size(), kPrefix) != 0) {
+      continue;
+    }
+    // Delta links ("...#d<k>") fail the parse; only bases publish.
+    StatusOr<ObjectName> name =
+        ObjectName::FromKey(std::string_view(key).substr(kPrefix.size()));
+    if (!name.ok()) {
+      continue;
+    }
+    location_->PublishResidence(*name, ResidenceRecord{station(), 0, false});
+  }
 }
 
 // ---------------------------------------------------------------------------

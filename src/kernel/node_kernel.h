@@ -95,6 +95,17 @@ struct KernelConfig {
   // longest intact chain prefix, before declaring data loss; an unusable
   // chain is quarantined so locates stop landing on it.
   bool restore_fallback = true;
+
+  // Lease-based read caching of mutable objects (DESIGN.md §15). Off by
+  // default: leases change which node executes a read, so runs that pin
+  // digests keep their exact traffic unless they opt in.
+  bool lease_reads = false;
+  // Lease term. Longer = fewer grants and renewals, but a lost recall (or a
+  // crashed holder) blocks writers for up to this long.
+  SimDuration lease_duration = Milliseconds(500);
+  // A holder whose lease expires within this margin routes the read to the
+  // home instead of serving it locally; the reply piggybacks a renewal.
+  SimDuration lease_renew_margin = Milliseconds(100);
 };
 
 // Snapshot of the kernel's registry-backed counters (see NodeKernel::stats).
@@ -127,6 +138,11 @@ struct KernelStats {
   uint64_t replica_fetches = 0;
   uint64_t replica_reads = 0;
   uint64_t duplicate_requests = 0;
+  uint64_t lease_grants = 0;
+  uint64_t lease_recalls = 0;
+  uint64_t lease_renewals = 0;
+  uint64_t lease_expiries = 0;
+  uint64_t lease_local_reads = 0;
 };
 
 struct CreateOptions {
@@ -394,6 +410,39 @@ class NodeKernel {
   void HandleCheckpointErase(const CheckpointEraseMsg& msg);
   void HandleReplicaFetch(StationId src, const ReplicaFetchMsg& msg);
   void HandleReplicaReply(StationId src, ReplicaReplyMsg msg);
+  void HandleLeaseGrant(StationId src, LeaseGrantMsg msg);
+  void HandleLeaseRecall(StationId src, const LeaseRecallMsg& msg);
+  void HandleLeaseRelease(StationId src, const LeaseReleaseMsg& msg);
+
+  // --- Read leases (DESIGN.md §15) -------------------------------------------
+  // Home side. MaybeGrantLease runs as a read-class invocation from station
+  // `reader` completes: it grants a fresh lease (pushing a LeaseGrant with a
+  // representation snapshot) or renews an existing one, and returns the
+  // absolute expiry to piggyback on the reply (0 = no lease). StartLeaseRecall
+  // opens the recall window for a write-class dispatch `d` that hit live
+  // leases (or the reincarnation quiesce); FinishLeaseRecall closes it —
+  // normally on the last release, or from the backstop timer at the maximum
+  // outstanding expiry when releases were lost.
+  uint64_t MaybeGrantLease(const std::shared_ptr<ActiveObject>& object,
+                           StationId reader);
+  // True when a write-class dispatch must wait: live leases, a recall already
+  // open, or the post-reincarnation quiesce window.
+  bool LeaseWriteBlocked(const std::shared_ptr<ActiveObject>& object);
+  // Opens the recall window without queueing a write (RunMove waits out
+  // leases this way); StartLeaseRecall opens it for — and queues — a blocked
+  // write-class dispatch.
+  void OpenLeaseRecall(const std::shared_ptr<ActiveObject>& object,
+                       const SpanContext& parent);
+  void StartLeaseRecall(const std::shared_ptr<ActiveObject>& object,
+                        PendingDispatch d);
+  void FinishLeaseRecall(const std::shared_ptr<ActiveObject>& object,
+                         std::string_view how);
+  // Drops every lease granted by this home for `object` without recall
+  // (crash/destroy/move teardown): cancels the backstop, fails or drains the
+  // queued writes via `refuse` (null = re-admit through AcceptDispatch), and
+  // resolves waiters.
+  void TeardownLeases(const std::shared_ptr<ActiveObject>& object,
+                      const Status* refuse);
 
   // --- Server-side dispatch (the coordinator) ------------------------------------
   void AcceptDispatch(const std::shared_ptr<ActiveObject>& object, PendingDispatch d);
@@ -401,7 +450,8 @@ class NodeKernel {
                              const OperationSpec* op);
   void FinishDispatch(const std::shared_ptr<ActiveObject>& object, size_t class_index);
   void PumpQueues(const std::shared_ptr<ActiveObject>& object);
-  void ReplyTo(const PendingDispatch& d, InvokeResult result, bool target_frozen);
+  void ReplyTo(const PendingDispatch& d, InvokeResult result, bool target_frozen,
+               uint64_t lease_renew_expiry = 0);
   void RefuseDispatch(const PendingDispatch& d, Status status);
   void CacheReply(uint64_t invocation_id, const InvokeResult& result, bool frozen);
   SimDuration SerializeCost(size_t bytes) const;
@@ -513,6 +563,11 @@ class NodeKernel {
     Counter* replica_fetches = nullptr;
     Counter* replica_reads = nullptr;
     Counter* duplicate_requests = nullptr;
+    Counter* lease_grants = nullptr;
+    Counter* lease_recalls = nullptr;
+    Counter* lease_renewals = nullptr;
+    Counter* lease_expiries = nullptr;
+    Counter* lease_local_reads = nullptr;
     Counter* peer_suspects = nullptr;
     Counter* peer_probes = nullptr;
     Counter* peer_recoveries = nullptr;
@@ -585,6 +640,25 @@ class NodeKernel {
   std::set<ObjectName> activating_;
   std::map<ObjectName, std::vector<uint64_t>> activation_local_waiters_;
   std::map<ObjectName, std::deque<PendingDispatch>> activation_remote_hold_;
+
+  // --- Client-side lease cache (DESIGN.md §15) -------------------------------
+  // One entry per object this node holds a read lease on. `replica` is a
+  // frozen local copy built from the grant's representation snapshot;
+  // read-class invocations dispatch into it with zero network traffic until
+  // `expiry`. Ordered map: FailNode teardown iterates it.
+  struct LeaseEntry {
+    std::shared_ptr<ActiveObject> replica;
+    SimTime expiry = 0;
+    StationId home = kNoStation;
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+  };
+  std::map<ObjectName, LeaseEntry> lease_cache_;
+  // Highest recall version answered (or grant dropped) per object: a grant
+  // versioned <= this floor arrived late and is refused, so a recalled lease
+  // can never resurrect. Bounded by the number of leased objects; entries
+  // die with the node (leases are volatile state).
+  std::map<ObjectName, std::pair<uint64_t, uint64_t>> lease_floor_;
 
   // Server-side at-most-once execution.
   std::set<uint64_t> requests_in_progress_;

@@ -18,6 +18,7 @@
 #include "src/kernel/representation.h"
 #include "src/kernel/sync.h"
 #include "src/kernel/type_manager.h"
+#include "src/sim/simulation.h"
 
 namespace eden {
 
@@ -75,6 +76,9 @@ struct PendingDispatch {
   // The kDispatch span covering queueing + execution at this node (child of
   // the request's invocation span; invalid when tracing is off).
   SpanContext span;
+  // Write-class dispatch counted in its object's lease_mutators_pending
+  // (DESIGN.md §15); the count drops when this dispatch terminates.
+  bool lease_mutator = false;
 };
 
 // Kernel bookkeeping for one active object (the coordinator's state).
@@ -125,6 +129,45 @@ struct ActiveObject {
   // `drain_threshold` (1 = the invocation requesting the move itself).
   std::optional<Promise<Unit>> drain_waiter;
   int drain_threshold = 0;
+
+  // --- Home-side lease state (DESIGN.md §15) -------------------------------
+  struct LeaseHolder {
+    SimTime expiry = 0;
+    uint64_t seq = 0;
+  };
+  // A recall in flight: one write-class invocation hit live leases. Further
+  // writes queue behind it; it resolves when every recalled holder releases
+  // (and any reincarnation quiesce has passed) or the backstop timer fires
+  // at the maximum outstanding expiry.
+  struct LeaseRecall {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    // Holders still owing a release (std::map: wire sends iterate this).
+    std::map<StationId, LeaseHolder> waiting;
+    EventId backstop_timer = kInvalidEventId;
+    // The kLease span covering block -> cleared (child of the triggering
+    // write's dispatch span; invalid when tracing is off).
+    SpanContext span;
+    // Write-class dispatches admitted only once the recall resolves.
+    std::deque<PendingDispatch> write_queue;
+    // Moves (and anything else) co_awaiting lease clearance.
+    std::vector<Promise<Unit>> waiters;
+  };
+  // Stations holding an unexpired read lease (std::map: grant/recall sends
+  // iterate this, so order must be deterministic).
+  std::map<StationId, LeaseHolder> lease_holders;
+  std::optional<LeaseRecall> lease_recall;
+  // Per-object grant counter; (location_epoch, lease_seq) versions every
+  // grant so late grants lose to recalls across moves and home crashes.
+  uint64_t lease_seq = 0;
+  // Write-class invocations admitted but not yet completed. While nonzero no
+  // new lease is granted — a grant racing a queued or running mutation could
+  // serve the pre-write state after the write commits.
+  int lease_mutators_pending = 0;
+  // Reincarnation quiesce (Gray & Cheriton's recovering-server rule): a
+  // reborn home cannot know what leases its predecessor granted, so writes
+  // wait until every pre-crash lease must have expired.
+  SimTime lease_quiesce_until = 0;
 
   explicit ActiveObject(std::shared_ptr<TypeManager> type_manager)
       : type(std::move(type_manager)) {

@@ -43,6 +43,8 @@ std::string_view SpanKindName(SpanKind kind) {
       return "move";
     case SpanKind::kDirectory:
       return "directory";
+    case SpanKind::kLease:
+      return "lease";
   }
   return "unknown";
 }

@@ -72,8 +72,9 @@ enum class SpanKind : uint8_t {
   kCheckpoint = 7,  // one checkpoint operation (local or remote site)
   kMove = 8,        // object transfer, source side
   kDirectory = 9,   // one partitioned-directory lookup round (DESIGN.md §13)
+  kLease = 10,      // lease recall window: write blocked -> leases cleared
 };
-constexpr size_t kSpanKindCount = 10;
+constexpr size_t kSpanKindCount = 11;
 
 std::string_view SpanKindName(SpanKind kind);
 

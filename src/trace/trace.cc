@@ -49,6 +49,10 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
       return "DIRECTORY_LOOKUP";
     case TraceEventKind::kDirectoryUpdate:
       return "DIRECTORY_UPDATE";
+    case TraceEventKind::kLeaseGrant:
+      return "LEASE_GRANT";
+    case TraceEventKind::kLeaseRecall:
+      return "LEASE_RECALL";
   }
   return "UNKNOWN";
 }

@@ -47,6 +47,8 @@ enum class TraceEventKind : uint8_t {
   kPeerRecovered = 16,    // suspect peer answered; normal traffic resumes
   kDirectoryLookup = 17,  // directory lookup round sent to home node(s)
   kDirectoryUpdate = 18,  // residence update applied to this home partition
+  kLeaseGrant = 19,       // read lease granted (or renewed) by the home node
+  kLeaseRecall = 20,      // recall started: a write waits for lease holders
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);

@@ -434,6 +434,53 @@ TEST_F(LocationFixture, HomeCrashFallsBackAndReconstructsTheDirectory) {
   }
 }
 
+TEST_F(LocationFixture, RestartRepublishHealsTheDirectoryWithoutFallback) {
+  // An object hosted (and checkpointed) on node 0 whose directory home is a
+  // different node — and neither is node 3, the cold invoker at the end.
+  Capability cap;
+  NodeKernel* home = nullptr;
+  for (int attempt = 0; attempt < 32; attempt++) {
+    auto candidate = system_.node(0).CreateObject("counter", CounterRep());
+    ASSERT_TRUE(candidate.ok());
+    StationId home_station =
+        system_.node(0).location().HomesOf(candidate->name())[0];
+    if (home_station != system_.node(0).station() &&
+        home_station != system_.node(3).station()) {
+      cap = *candidate;
+      home = system_.NodeAt(home_station);
+      break;
+    }
+  }
+  ASSERT_NE(home, nullptr) << "no name hashed away from nodes 0/3 in 32 tries";
+  ASSERT_TRUE(system_.Await(system_.node(0).CheckpointObject(cap.name())).ok());
+  system_.RunFor(Milliseconds(5));
+
+  // Host and directory home both die: the record is gone with the home's
+  // partition, and the host's active copy is gone with the host.
+  home->FailNode();
+  system_.node(0).FailNode();
+  home->RestartNode();
+  ASSERT_EQ(home->location().directory_entries(), 0u);
+
+  // The host's restart proactively re-publishes a passive residence record
+  // for every checkpoint base in its store — the directory heals without
+  // waiting for a locate to miss first.
+  system_.node(0).RestartNode();
+  system_.RunFor(Milliseconds(10));
+  const ResidenceRecord* entry = home->location().DirectoryEntry(cap.name());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->host, system_.node(0).station());
+  EXPECT_FALSE(entry->active);
+
+  // So a cold invoker resolves through the directory alone: one lookup, no
+  // broadcast fallback round.
+  InvokeResult result = Call(system_.node(3), cap, "read");
+  ASSERT_TRUE(result.ok()) << result.status;
+  const MetricsRegistry& m3 = system_.node(3).metrics();
+  EXPECT_EQ(m3.CounterValue("kernel.directory.fallbacks"), 0u);
+  EXPECT_EQ(m3.CounterValue("kernel.locate.queries.broadcast"), 0u);
+}
+
 // One workload, both backends: same results, and per-seed deterministic
 // digests whether or not a span collector is attached.
 uint64_t RunLocateWorkload(uint64_t seed, LocationBackend backend,

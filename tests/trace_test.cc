@@ -306,6 +306,65 @@ TEST_F(SpanFixture, ChromeExportAndSlowDumpAreWellFormed) {
   EXPECT_NE(dump.find("invoke"), std::string::npos);
 }
 
+// Lease traffic is its own phase (DESIGN.md §15): a write that must recall an
+// outstanding read lease produces a kLease span inside its invocation tree,
+// and the typed phases still partition the end-to-end latency exactly.
+TEST(LeaseSpanTest, RecallWindowIsAttributedToLeasePhaseAndSumsToEndToEnd) {
+  SystemConfig config;
+  config.kernel.lease_reads = true;
+  EdenSystem system(config);
+  SpanCollector spans;
+  system.set_span_collector(&spans);
+  RegisterStandardTypes(system);
+  system.AddNodes(3);
+
+  auto cap = system.node(0).CreateObject("std.counter", Representation{});
+  ASSERT_TRUE(cap.ok());
+  // A remote read picks up a lease; let the grant land and setup traces close.
+  ASSERT_TRUE(system.Await(system.node(1).Invoke(*cap, "read")).ok());
+  system.RunFor(Milliseconds(20));
+  spans.Clear();
+
+  SimTime before = system.sim().now();
+  ASSERT_TRUE(system.Await(system.node(2).Invoke(*cap, "increment")).ok());
+  SimTime after = system.sim().now();
+  system.RunFor(Milliseconds(20));
+
+  // Find the write's tree: rooted at node 2's invocation.
+  const TraceTree* write_tree = nullptr;
+  for (const TraceTree& tree : spans.completed()) {
+    const Span* root = tree.root();
+    if (root != nullptr && root->kind == SpanKind::kInvocation &&
+        root->node == system.node(2).station()) {
+      write_tree = &tree;
+    }
+  }
+  ASSERT_NE(write_tree, nullptr);
+  const Span* root = write_tree->root();
+  EXPECT_EQ(root->duration(), after - before);
+
+  // The recall span is present, closed, and parent-linked into this tree.
+  bool saw_lease_span = false;
+  for (const Span& span : write_tree->spans) {
+    EXPECT_FALSE(span.open);
+    if (span.kind == SpanKind::kLease) {
+      saw_lease_span = true;
+      EXPECT_NE(write_tree->Find(span.parent_span_id), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_lease_span);
+
+  // Attribution stays exhaustive with the new phase in play, and the recall
+  // window actually charges time to it.
+  PhaseBreakdown breakdown = SpanCollector::CriticalPath(*write_tree);
+  SimDuration sum = 0;
+  for (size_t k = 0; k < kSpanKindCount; k++) {
+    sum += breakdown.by_kind[k];
+  }
+  EXPECT_EQ(sum, root->duration());
+  EXPECT_GT(breakdown.of(SpanKind::kLease), SimDuration{0});
+}
+
 // A collector with tracing spanning checkpoints and moves: driver-initiated
 // checkpoints and moves root their own traces and close cleanly.
 TEST_F(SpanFixture, CheckpointAndMoveRootTheirOwnTraces) {
