@@ -1,0 +1,177 @@
+// E18 — Elastic membership (DESIGN.md §16): what a drain costs and what a
+// rolling restart does to the tail.
+//
+// Series:
+//   BM_DrainEvacuation/objects
+//       one node of an 8-node installation holds `objects` counters and is
+//       drained out (LeaveNode). The timed quantity is the full evacuation:
+//       membership change, directory-partition handoff, rebalancer moves,
+//       departure. Exports objects_per_vsec. Histogram series
+//       bench.membership.drain.virtual_time.
+//   BM_RestartTailLatency/restarts
+//       8 nodes under continuous elastic closed-loop increment traffic for a
+//       fixed window; `restarts` of them are gracefully restarted one at a
+//       time mid-window (restarts == 0 is the steady-state control). The
+//       per-iteration workload p99 is recorded as
+//       bench.membership.steady_p99.virtual_time (control) and
+//       bench.membership.restart_p99.virtual_time (roll) — the two series
+//       the CI gate watches: the first pins the elastic client's overhead,
+//       the second bounds the restart-induced tail bump. Exports
+//       completed_per_vsec, failed (must stay 0), and p99_us.
+//
+// Expected shape: a drain streams objects off at the move pipeline's pace
+// (rate-limited by RebalanceConfig, so tens of ms for tens of objects), and
+// a full roll costs the tail a bounded bump — EXPERIMENTS.md E18 tabulates
+// the SLO numbers.
+//
+// Run with --quick for a CI smoke (fewer iterations); --json=<path> to move
+// the metrics export.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workload/workload.h"
+
+namespace eden {
+namespace {
+
+void BM_DrainEvacuation(benchmark::State& state) {
+  const size_t kNodes = 8;
+  const size_t objects = static_cast<size_t>(state.range(0));
+  uint64_t drained = 0;
+  double vseconds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto system = MakeBenchSystem(kNodes, 1981 + state.iterations());
+    std::vector<Capability> caps;
+    caps.reserve(objects);
+    for (size_t k = 0; k < objects; k++) {
+      auto cap = system->node(1).CreateObject("std.counter", Representation{});
+      caps.push_back(cap.value_or(Capability()));
+    }
+    system->RunFor(Milliseconds(5));  // creation publishes land
+    state.ResumeTiming();
+
+    SimDuration elapsed =
+        TimeAwait(*system, system->LeaveNode(1, /*drain=*/true));
+    SetVirtualTime(state, elapsed, "membership.drain");
+    drained += objects;
+    vseconds += ToSeconds(elapsed);
+  }
+  state.counters["objects_per_vsec"] =
+      vseconds == 0 ? 0.0 : static_cast<double>(drained) / vseconds;
+}
+BENCHMARK(BM_DrainEvacuation)->Arg(8)->Arg(32)->UseManualTime();
+
+void BM_RestartTailLatency(benchmark::State& state) {
+  const size_t kNodes = 8;
+  const size_t kClients = 12;
+  const SimDuration kWindow = Seconds(2);
+  const size_t restarts = static_cast<size_t>(state.range(0));
+  const std::string series = restarts == 0 ? "membership.steady_p99"
+                                           : "membership.restart_p99";
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  double vseconds = 0;
+  SimDuration worst_p99 = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SystemConfig config;
+    config.seed = 1981 + state.iterations();
+    config.membership.rebalance.spread_gap = 2;
+    EdenSystem system(config);
+    MetricsExportScope export_scope(system);
+    RegisterStandardTypes(system);
+    system.AddNodes(kNodes);
+    std::vector<Capability> caps;
+    caps.reserve(kNodes);
+    for (size_t i = 0; i < kNodes; i++) {
+      auto cap = system.node(i).CreateObject("std.counter", Representation{});
+      caps.push_back(cap.value_or(Capability()));
+    }
+    system.RunFor(Milliseconds(5));
+
+    Promise<Status> rolled;
+    [](EdenSystem* sys, size_t count, Promise<Status> done) -> DetachedTask {
+      Status worst = OkStatus();
+      for (size_t i = 0; i < count; i++) {
+        Status status = co_await sys->GracefulRestart(i, Milliseconds(40));
+        if (!status.ok()) {
+          worst = status;
+        }
+        co_await SleepFor(sys->sim(), sys->config().membership.join_warmup);
+      }
+      done.Set(worst);
+    }(&system, restarts, rolled);
+    state.ResumeTiming();
+
+    SimTime start = system.sim().now();
+    WorkloadStats stats = RunClosedLoopElastic(
+        system, kClients,
+        [&caps](size_t client, uint64_t seq) {
+          WorkItem item;
+          item.target = caps[(client + seq) % caps.size()];
+          item.operation = "increment";
+          return item;
+        },
+        kWindow, /*mean_think_time=*/Milliseconds(2));
+    system.Await(rolled.GetFuture());
+    SimDuration elapsed = system.sim().now() - start;
+
+    state.SetIterationTime(ToSeconds(elapsed));
+    BenchMetrics().histogram("bench.iteration.virtual_time").Record(elapsed);
+    // The gated quantity is the workload's tail, not the window length.
+    SimDuration p99 = stats.latency.Percentile(0.99);
+    BenchMetrics()
+        .histogram("bench." + series + ".virtual_time")
+        .Record(p99);
+    completed += stats.completed;
+    failed += stats.failed;
+    vseconds += ToSeconds(elapsed);
+    if (p99 > worst_p99) {
+      worst_p99 = p99;
+    }
+  }
+  state.counters["completed_per_vsec"] =
+      vseconds == 0 ? 0.0 : static_cast<double>(completed) / vseconds;
+  state.counters["failed"] = static_cast<double>(failed);
+  state.counters["p99_us"] = static_cast<double>(worst_p99);
+}
+BENCHMARK(BM_RestartTailLatency)->Arg(0)->Arg(8)->UseManualTime();
+
+}  // namespace
+}  // namespace eden
+
+// Custom main: EDEN_BENCH_MAIN plus a --quick flag (CI smoke) that caps the
+// per-benchmark budget.
+int main(int argc, char** argv) {
+  std::string json_path =
+      ::eden::ConsumeJsonFlag(&argc, argv, "BENCH_bench_membership.json");
+  bool quick = false;
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int run_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&run_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(run_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!::eden::WriteBenchJson("bench_membership", json_path)) {
+    return 1;
+  }
+  return 0;
+}

@@ -42,7 +42,18 @@
 #      EXPERIMENTS.md E17. Regenerate with
 #        build/bench/bench_lease --quick --json=bench/baselines/BENCH_bench_lease.json
 #      when lease behavior intentionally changes.
-#   8. Parallel-engine smoke: build the sharded-engine determinism suite under
+#   8. Membership smoke: run membership_test under the ASan tree on its own
+#      (the drain/rebalance coroutines and the directory handoff path are the
+#      newest lifetime-heavy kernel code), re-run the seeded rolling-restart
+#      chaos case on the fast build (zero lost/duplicated invocations under
+#      wire faults, bit-identical across two same-seed runs), then
+#      bench_membership --quick gated against
+#      bench/baselines/BENCH_bench_membership.json. The gated histograms are
+#      drain evacuation time and the steady-state vs rolling-restart workload
+#      p99 — the SLO numbers of EXPERIMENTS.md E18. Regenerate with
+#        build/bench/bench_membership --quick --json=bench/baselines/BENCH_bench_membership.json
+#      when drain pacing or restart behavior intentionally changes.
+#   9. Parallel-engine smoke: build the sharded-engine determinism suite under
 #      TSan at build-tsan and run it (the threaded RunUntil windows, the SPSC
 #      channels and the horizon protocol are the only concurrent code in the
 #      repo — a data race there silently breaks the determinism oracle), then
@@ -105,6 +116,16 @@ echo "== lease smoke (read-cache suite under ASan + throughput gate) =="
 "$repo_root/scripts/perf_compare.py" \
   "$repo_root/bench/baselines/BENCH_bench_lease.json" \
   "$repo_root/build/BENCH_bench_lease.json" --gate 10
+
+echo "== membership smoke (elastic membership under ASan + restart-SLO gate) =="
+"$repo_root/build-asan/tests/membership_test"
+"$repo_root/build/tests/membership_test" \
+  --gtest_filter='RollingRestartChaos.*'
+"$repo_root/build/bench/bench_membership" --quick \
+  --json="$repo_root/build/BENCH_bench_membership.json"
+"$repo_root/scripts/perf_compare.py" \
+  "$repo_root/bench/baselines/BENCH_bench_membership.json" \
+  "$repo_root/build/BENCH_bench_membership.json" --gate 10
 
 echo "== TSan build + parallel determinism suite =="
 cmake -B "$repo_root/build-tsan" -S "$repo_root" \

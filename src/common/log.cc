@@ -47,6 +47,13 @@ void Logger::set_sink(Sink sink) {
   }
 }
 
+void FatalError(std::string_view message) {
+  std::fprintf(stderr, "[F eden] %.*s\n", static_cast<int>(message.size()),
+               message.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
 void Logger::Log(LogLevel level, std::string_view component,
                  std::string_view message) {
   if (level < level_) {

@@ -67,6 +67,13 @@ class LogStatement {
   if (::eden::Logger::Get().level() <= ::eden::LogLevel::severity)      \
   ::eden::LogStatement(::eden::LogLevel::severity, (component))
 
+// Unconditional fatal error: prints to stderr (bypassing the configurable
+// sink, which a test may have silenced) and aborts the process. For API
+// misuse that would otherwise be *silently wrong* in release builds, where
+// a plain assert() compiles away — e.g. combining the chaos layer or the
+// open-loop driver with the parallel sharded engine.
+[[noreturn]] void FatalError(std::string_view message);
+
 }  // namespace eden
 
 #endif  // EDEN_SRC_COMMON_LOG_H_

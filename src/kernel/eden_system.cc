@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/log.h"
 #include "src/trace/trace.h"
 
 namespace eden {
@@ -9,17 +10,24 @@ namespace eden {
 EdenSystem::EdenSystem(SystemConfig config)
     : config_(config), sim_(config.seed), lan_(sim_, config.lan) {
   lan_.set_metrics(&metrics_);
+  placement_ = Placement::Create(config_.membership.placement);
+  rebalancer_ =
+      std::make_unique<Rebalancer>(*this, config_.membership.rebalance);
   if (config_.shards > 0) {
     WithShards(config_.shards);
   }
 }
 
 EdenSystem& EdenSystem::WithShards(size_t n) {
+  if (fault_injector_ != nullptr) {
+    FatalError(
+        "WithShards: the chaos layer is armed, and fault injection requires "
+        "the single-threaded CSMA world (EnableFaults + WithShards cannot be "
+        "combined)");
+  }
   assert(n >= 1);
   assert(engine_ == nullptr && "WithShards may be called only once");
   assert(nodes_.empty() && "call WithShards before adding nodes");
-  assert(fault_injector_ == nullptr &&
-         "the chaos layer requires the single-threaded CSMA world");
   config_.shards = n;
   // Sharding requires the switched LAN: delivery times must be computable at
   // send time for the engine's lookahead to hold.
@@ -102,6 +110,8 @@ NodeKernel& EdenSystem::AddNodeWithConfig(const std::string& name,
   if (span_collector_ != nullptr) {
     nodes_.back()->set_spans(ShardCollectorFor(s));
   }
+  lifecycle_.push_back(NodeLifecycle::kActive);
+  RebuildMembers();
   return *nodes_.back();
 }
 
@@ -155,9 +165,12 @@ void EdenSystem::MergeSpans() {
 }
 
 void EdenSystem::EnableFaults(const FaultPlan& plan, TraceBuffer* trace) {
+  if (engine_ != nullptr) {
+    FatalError(
+        "EnableFaults: fault injection requires the single-threaded CSMA "
+        "world (WithShards + EnableFaults cannot be combined)");
+  }
   assert(fault_injector_ == nullptr && "EnableFaults may be called only once");
-  assert(engine_ == nullptr &&
-         "the chaos layer requires the single-threaded CSMA world");
   fault_injector_ = std::make_unique<FaultInjector>(sim_, plan);
   FaultInjector* injector = fault_injector_.get();
   injector->set_metrics(&metrics_);
@@ -228,6 +241,183 @@ NodeKernel* EdenSystem::NodeAt(StationId station) {
     }
   }
   return nullptr;
+}
+
+// --- Elastic membership (DESIGN.md §16) --------------------------------------
+
+void EdenSystem::RequireMembershipOp(const char* op, size_t index) const {
+  if (engine_ != nullptr) {
+    FatalError(std::string(op) +
+               ": elastic membership requires the single-threaded world "
+               "(shards == 0)");
+  }
+  if (index >= nodes_.size()) {
+    FatalError(std::string(op) + ": node index out of range");
+  }
+}
+
+void EdenSystem::SetLifecycle(size_t index, NodeLifecycle lifecycle) {
+  lifecycle_[index] = lifecycle;
+  metrics_.counter("membership.transitions").Increment();
+}
+
+void EdenSystem::RebuildMembers() {
+  members_.clear();
+  for (size_t i = 0; i < nodes_.size(); i++) {
+    if (lifecycle_[i] == NodeLifecycle::kJoining ||
+        lifecycle_[i] == NodeLifecycle::kActive) {
+      members_.push_back(Member{i, nodes_[i]->station()});
+    }
+  }
+  ++membership_epoch_;
+  placement_->OnMembershipChange(members_);
+  // Every location service re-checks which directory partitions it homes;
+  // records whose home set changed are handed off here (epoch-monotone, so a
+  // straggling hand-off can never clobber a newer publish). Failed nodes are
+  // included: their in-memory directory is already empty, so it's a no-op.
+  for (auto& node : nodes_) {
+    node->location().OnMembershipChange();
+  }
+  metrics_.gauge("membership.members")
+      .Set(static_cast<int64_t>(members_.size()));
+}
+
+NodeKernel& EdenSystem::JoinNode(const std::string& name) {
+  if (engine_ != nullptr) {
+    FatalError(
+        "JoinNode: elastic membership requires the single-threaded world "
+        "(shards == 0)");
+  }
+  NodeKernel& node =
+      AddNodeWithConfig(name, config_.kernel, config_.disk, config_.transport);
+  size_t index = nodes_.size() - 1;
+  // AddNodeWithConfig already rebuilt the member set with this node in it;
+  // joining nodes are members too, so flip the lifecycle without a second
+  // rebuild.
+  lifecycle_[index] = NodeLifecycle::kJoining;
+  sim_.Schedule(config_.membership.join_warmup, [this, index] {
+    if (lifecycle_[index] == NodeLifecycle::kJoining) {
+      SetLifecycle(index, NodeLifecycle::kActive);
+    }
+  });
+  rebalancer_->EnsureRunning();
+  return node;
+}
+
+Status EdenSystem::RejoinNode(size_t index) {
+  RequireMembershipOp("RejoinNode", index);
+  if (lifecycle_[index] != NodeLifecycle::kDeparted) {
+    return FailedPreconditionError("RejoinNode: node is not departed");
+  }
+  NodeKernel& node = *nodes_[index];
+  if (node.failed()) {
+    // Reattaches to the wire and re-publishes this store's checkpointed
+    // objects (passive, epoch 0 — fills only empty directory slots).
+    node.RestartNode();
+  }
+  node.set_draining(false);
+  SetLifecycle(index, NodeLifecycle::kJoining);
+  RebuildMembers();
+  sim_.Schedule(config_.membership.join_warmup, [this, index] {
+    if (lifecycle_[index] == NodeLifecycle::kJoining) {
+      SetLifecycle(index, NodeLifecycle::kActive);
+    }
+  });
+  rebalancer_->EnsureRunning();
+  return OkStatus();
+}
+
+Future<Status> EdenSystem::LeaveNode(size_t index, bool drain) {
+  RequireMembershipOp("LeaveNode", index);
+  Promise<Status> done;
+  Future<Status> result = done.GetFuture();
+  if (lifecycle_[index] == NodeLifecycle::kDraining ||
+      lifecycle_[index] == NodeLifecycle::kDeparted) {
+    done.Set(FailedPreconditionError("LeaveNode: node is already leaving"));
+    return result;
+  }
+  SetLifecycle(index, NodeLifecycle::kDraining);
+  nodes_[index]->set_draining(true);
+  if (drain) {
+    // A permanent departure also evacuates the node's passive state: its
+    // checkpointed objects reactivate here and move off, and chains anchored
+    // at this station resite elsewhere.
+    evacuate_passive_.insert(index);
+  }
+  RebuildMembers();
+  if (!drain || nodes_[index]->failed()) {
+    FinishDepart(index);
+    done.Set(OkStatus());
+    return result;
+  }
+  rebalancer_->EnsureRunning();
+  RunDrain(index, std::move(done));
+  return result;
+}
+
+Future<Status> EdenSystem::GracefulRestart(size_t index, SimDuration down_for) {
+  RequireMembershipOp("GracefulRestart", index);
+  Promise<Status> done;
+  Future<Status> result = done.GetFuture();
+  if (lifecycle_[index] != NodeLifecycle::kActive &&
+      lifecycle_[index] != NodeLifecycle::kJoining) {
+    done.Set(FailedPreconditionError("GracefulRestart: node is not a member"));
+    return result;
+  }
+  // Drain WITHOUT evacuating passive state: checkpoints stay on this store
+  // across the restart, and the restart scan re-publishes them.
+  SetLifecycle(index, NodeLifecycle::kDraining);
+  nodes_[index]->set_draining(true);
+  RebuildMembers();
+  rebalancer_->EnsureRunning();
+  RunGracefulRestart(index, down_for, std::move(done));
+  return result;
+}
+
+Task<Status> EdenSystem::AwaitDrain(size_t index) {
+  SimTime deadline = sim_.now() + config_.membership.drain_timeout;
+  while (true) {
+    if (nodes_[index]->failed()) {
+      // Crashed out from under the drain: the volatile state is already
+      // gone, and whatever survives in checkpoints reincarnates elsewhere
+      // on demand. Nothing left to wait for.
+      co_return OkStatus();
+    }
+    if (rebalancer_->DrainComplete(index)) {
+      co_return OkStatus();
+    }
+    if (sim_.now() >= deadline) {
+      co_return TimeoutError(
+          "drain deadline passed; node departs with residual state");
+    }
+    co_await SleepFor(sim_, config_.membership.drain_poll);
+  }
+}
+
+DetachedTask EdenSystem::RunDrain(size_t index, Promise<Status> done) {
+  Status status = co_await AwaitDrain(index);
+  FinishDepart(index);
+  done.Set(status);
+}
+
+DetachedTask EdenSystem::RunGracefulRestart(size_t index, SimDuration down_for,
+                                            Promise<Status> done) {
+  Status drained = co_await AwaitDrain(index);
+  FinishDepart(index);
+  co_await SleepFor(sim_, down_for);
+  Status rejoined = RejoinNode(index);
+  done.Set(drained.ok() ? rejoined : drained);
+}
+
+void EdenSystem::FinishDepart(size_t index) {
+  evacuate_passive_.erase(index);
+  SetLifecycle(index, NodeLifecycle::kDeparted);
+  if (!nodes_[index]->failed()) {
+    // Detach from the wire. After a clean drain this loses nothing: the
+    // kernel reported DrainIdle, so there is no volatile state left to shed.
+    nodes_[index]->FailNode();
+  }
+  metrics_.counter("membership.departures").Increment();
 }
 
 void EdenSystem::RegisterType(std::shared_ptr<TypeManager> type) {

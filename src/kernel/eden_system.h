@@ -12,11 +12,14 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/fault/fault.h"
 #include "src/kernel/node_kernel.h"
+#include "src/kernel/placement.h"
+#include "src/kernel/rebalancer.h"
 #include "src/metrics/metrics.h"
 #include "src/net/lan.h"
 #include "src/sim/sharded_engine.h"
@@ -28,12 +31,27 @@ namespace eden {
 class EdenSystem;
 class TraceBuffer;
 
+// Elastic membership (DESIGN.md §16): how joins warm up, how drains pace
+// themselves, and which placement policy assigns homes and move targets.
+struct MembershipConfig {
+  PlacementPolicyKind placement = PlacementPolicyKind::kModulo;
+  // A joining node serves directory traffic immediately but is only marked
+  // active (eligible as a rebalance/spread target) after this warmup.
+  SimDuration join_warmup = Milliseconds(50);
+  // Drain progress poll period and overall deadline. A drain that cannot
+  // finish by the deadline departs anyway and reports TimeoutError.
+  SimDuration drain_poll = Milliseconds(5);
+  SimDuration drain_timeout = Seconds(30);
+  RebalanceConfig rebalance;
+};
+
 struct SystemConfig {
   uint64_t seed = 1;
   LanConfig lan;
   KernelConfig kernel;
   DiskConfig disk;
   TransportConfig transport;
+  MembershipConfig membership;
   // 0 = the classic single-threaded CSMA/CD world (the default and the
   // correctness baseline). >= 1 = switched LAN + parallel sharded engine
   // (DESIGN.md §14) with this many worker shards; 1 is the sharded code path
@@ -241,6 +259,56 @@ class EdenSystem {
                               : sim_.RunWhile(pending);
   }
 
+  // --- Elastic membership (DESIGN.md §16) ------------------------------------
+  // Every node has a lifecycle: joining -> active -> draining -> departed.
+  // The *member set* — the nodes that home directory partitions and are
+  // eligible rebalance targets — is the joining + active nodes, recomputed on
+  // every transition. A crashed node stays a member (crash != leave: its
+  // directory slice is repaired by broadcast fallback and its objects
+  // reincarnate from checkpoints); a draining node leaves the member set
+  // immediately so its directory partitions hand off up front.
+  //
+  // All membership operations require the single-threaded world (shards == 0);
+  // calling them on a sharded system is a FatalError.
+  NodeLifecycle lifecycle(size_t index) const {
+    assert(index < lifecycle_.size());
+    return lifecycle_[index];
+  }
+  // Bumped on every member-set recomputation; directory handoffs and caches
+  // are keyed monotonically by it.
+  uint64_t membership_epoch() const { return membership_epoch_; }
+  // Current members (joining + active), sorted by node index.
+  const std::vector<Member>& members() const { return members_; }
+  Placement& placement() { return *placement_; }
+  Rebalancer& rebalancer() { return *rebalancer_; }
+  // True while a LeaveNode drain must also evacuate the node's *passive*
+  // state (checkpointed objects reactivate here, then move off; chains
+  // anchored at this station resite). GracefulRestart drains without this —
+  // checkpoints stay put and are re-published by the restart scan.
+  bool drain_evacuates_passive(size_t index) const {
+    return evacuate_passive_.count(index) > 0;
+  }
+
+  // Adds a node to a *running* installation. It serves directory traffic and
+  // invocations immediately, and becomes an eligible rebalance/spread target
+  // once the join warmup elapses.
+  NodeKernel& JoinNode(const std::string& name);
+  // Brings a departed node back: restarts it if crashed (checkpoint scan
+  // re-publishes its passive objects), then runs the join warmup.
+  Status RejoinNode(size_t index);
+  // Removes a node. With drain (the default): hands off its directory
+  // partitions now, then streams active objects off via the rebalancer,
+  // reactivates + evacuates its checkpointed state, waits for in-flight
+  // protocol work to settle, and only then detaches it from the wire —
+  // zero lost invocations. Resolves OK when drained (TimeoutError if the
+  // drain deadline passes first; the node departs regardless). Without
+  // drain: immediate hard departure (equivalent to a crash that nobody
+  // will restart).
+  Future<Status> LeaveNode(size_t index, bool drain = true);
+  // Rolling-restart primitive: drain (keeping checkpoints in place), depart,
+  // stay down for `down_for`, then restart + rejoin.
+  Future<Status> GracefulRestart(size_t index, SimDuration down_for);
+
  private:
   friend class NodeBuilder;
 
@@ -251,6 +319,23 @@ class EdenSystem {
   // collector when unsharded, a lazily-created shard-local collector (with
   // a partitioned id space) otherwise.
   SpanCollector* ShardCollectorFor(uint32_t s);
+
+  // FatalError unless this system can run membership transitions (unsharded,
+  // node index valid).
+  void RequireMembershipOp(const char* op, size_t index) const;
+  void SetLifecycle(size_t index, NodeLifecycle lifecycle);
+  // Recomputes members_, bumps the epoch, and notifies the placement policy
+  // and every node's location service (directory partitions hand off here).
+  void RebuildMembers();
+  // Polls the rebalancer until node `index` is fully drained (or the drain
+  // deadline passes, or the node crashes out from under the drain).
+  Task<Status> AwaitDrain(size_t index);
+  DetachedTask RunDrain(size_t index, Promise<Status> done);
+  DetachedTask RunGracefulRestart(size_t index, SimDuration down_for,
+                                  Promise<Status> done);
+  // Final step of every departure: the node leaves the world (FailNode
+  // detaches it from the wire) and is marked departed.
+  void FinishDepart(size_t index);
 
   SystemConfig config_;
   Simulation sim_;
@@ -270,6 +355,13 @@ class EdenSystem {
   SpanCollector* span_collector_ = nullptr;
   std::vector<std::unique_ptr<NodeKernel>> nodes_;
   std::map<std::string, std::shared_ptr<TypeManager>> types_;
+  // --- Elastic membership state (DESIGN.md §16) ------------------------------
+  std::vector<NodeLifecycle> lifecycle_;  // by node index
+  std::vector<Member> members_;           // joining + active, by node index
+  uint64_t membership_epoch_ = 0;
+  std::unique_ptr<Placement> placement_;
+  std::unique_ptr<Rebalancer> rebalancer_;
+  std::set<size_t> evacuate_passive_;  // indices of evacuating drains
 };
 
 }  // namespace eden

@@ -53,24 +53,69 @@ void BroadcastLocation::QueryRound(uint64_t query_id, const ObjectName& name,
 DirectoryLocation::DirectoryLocation(NodeKernel& kernel)
     : LocationService(kernel) {
   entries_gauge_ = &kernel.metrics_.gauge("kernel.directory.entries");
+  last_members_ = kernel.system().members();
+}
+
+std::vector<StationId> DirectoryLocation::HomesWith(
+    const ObjectName& name, const std::vector<Member>& members) const {
+  if (members.empty()) {
+    return {};
+  }
+  int configured = kernel_.config_.locate.directory_fanout;
+  // Auto fanout: once the installation is big enough that a home crash is
+  // routine (16+ members), record every residence at two homes.
+  int fanout = configured > 0 ? configured : (members.size() >= 16 ? 2 : 1);
+  return kernel_.system().placement().HomesOf(name, members, fanout);
 }
 
 std::vector<StationId> DirectoryLocation::HomesOf(const ObjectName& name) {
-  EdenSystem& system = kernel_.system();
-  size_t node_count = system.node_count();
-  if (node_count == 0) {
-    return {};
+  return HomesWith(name, kernel_.system().members());
+}
+
+void DirectoryLocation::OnMembershipChange() {
+  const std::vector<Member>& members = kernel_.system().members();
+  if (members == last_members_) {
+    return;
   }
-  size_t fanout = static_cast<size_t>(
-      std::max(1, kernel_.config_.locate.directory_fanout));
-  fanout = std::min(fanout, node_count);
-  size_t first = ObjectNameHash{}(name) % node_count;
-  std::vector<StationId> homes;
-  homes.reserve(fanout);
-  for (size_t k = 0; k < fanout; k++) {
-    homes.push_back(system.node((first + k) % node_count).station());
+  std::vector<Member> previous = std::move(last_members_);
+  last_members_ = members;
+  if (partition_.empty()) {
+    return;
   }
-  return homes;
+  StationId self = kernel_.station();
+  for (auto it = partition_.begin(); it != partition_.end();) {
+    const ObjectName& name = it->first;
+    std::vector<StationId> new_homes = HomesWith(name, members);
+    bool still_home =
+        std::find(new_homes.begin(), new_homes.end(), self) != new_homes.end();
+    std::vector<StationId> old_homes = HomesWith(name, previous);
+    DirectoryUpdateMsg msg;
+    msg.name = name;
+    msg.host = it->second.host;
+    msg.epoch = it->second.epoch;
+    msg.active = it->second.active;
+    for (StationId home : new_homes) {
+      if (home == self) {
+        continue;
+      }
+      // Still a home: top up only the *newly* responsible homes. Leaving the
+      // home set: push the record to every new home — the receivers merge by
+      // epoch, so a duplicate is harmless and a miss would cost a fallback
+      // broadcast. Handoffs ride the reliable transport for the same reason.
+      if (still_home && std::find(old_homes.begin(), old_homes.end(), home) !=
+                            old_homes.end()) {
+        continue;
+      }
+      kernel_.transport_->SendReliable(home, msg.Encode());
+      kernel_.counters_.directory_handoffs->Increment();
+    }
+    if (still_home) {
+      ++it;
+    } else {
+      it = partition_.erase(it);
+    }
+  }
+  UpdateEntriesGauge();
 }
 
 void DirectoryLocation::UpdateEntriesGauge() {

@@ -38,6 +38,7 @@
 
 #include "src/kernel/message.h"
 #include "src/kernel/name.h"
+#include "src/kernel/placement.h"
 #include "src/metrics/metrics.h"
 #include "src/net/lan.h"
 #include "src/sim/time.h"
@@ -64,9 +65,12 @@ struct LocateConfig {
   int max_attempts = 3;
   // Passive holders delay their broadcast replies so an active host wins.
   SimDuration passive_reply_delay = Milliseconds(2);
-  // Directory backend: number of consecutive home nodes each object's
-  // residence is recorded at (>1 tolerates home crashes without fallback).
-  int directory_fanout = 1;
+  // Directory backend: number of home nodes each object's residence is
+  // recorded at (>1 tolerates home crashes without fallback broadcasts).
+  // 0 = auto: 2 once the installation reaches 16 members, else 1 — big
+  // installations get crash-tolerant lookups by default, small ones don't
+  // pay the double-publish tax.
+  int directory_fanout = 0;
   // After a fallback broadcast resolves, push the learned residence back to
   // the home node(s) so the next query hits the directory again.
   bool directory_repair = true;
@@ -127,6 +131,10 @@ class LocationService {
   // --- Lifecycle / introspection --------------------------------------------
   // Node failure: all backend state is volatile and dies with the node.
   virtual void OnNodeFailed() {}
+  // The member set changed (join/drain/depart, DESIGN.md §16). The directory
+  // backend re-checks which records this node still homes and hands the rest
+  // off; the broadcast backend doesn't care.
+  virtual void OnMembershipChange() {}
   // Size of this node's home partition (0 for the broadcast backend).
   virtual size_t directory_entries() const { return 0; }
   // This node's partition record for `name`, or nullptr (tests).
@@ -183,6 +191,7 @@ class DirectoryLocation : public LocationService {
                              const DirectoryUpdateMsg& msg) override;
 
   void OnNodeFailed() override;
+  void OnMembershipChange() override;
   size_t directory_entries() const override { return partition_.size(); }
   const ResidenceRecord* DirectoryEntry(const ObjectName& name) const override;
   std::vector<StationId> HomesOf(const ObjectName& name) override;
@@ -198,6 +207,11 @@ class DirectoryLocation : public LocationService {
     SpanContext round_span;
   };
 
+  // Homes of `name` under an explicit member list (the system placement
+  // policy plus the effective fanout). HomesOf uses the current members;
+  // OnMembershipChange diffs against the previous snapshot.
+  std::vector<StationId> HomesWith(const ObjectName& name,
+                                   const std::vector<Member>& members) const;
   // Applies the epoch merge rule to this node's partition. Returns true if
   // the record was applied (inserted or superseded an older one).
   bool ApplyUpdate(const ObjectName& name, const ResidenceRecord& record);
@@ -214,6 +228,10 @@ class DirectoryLocation : public LocationService {
   std::map<ObjectName, ResidenceRecord> partition_;
   // Client-side per-query state, keyed (and iterated on failure) by query id.
   std::map<uint64_t, Query> pending_;
+  // Member set this node's partition was last reconciled against, so a
+  // membership change hands off only the records whose home set actually
+  // changed instead of re-pushing everything.
+  std::vector<Member> last_members_;
   Gauge* entries_gauge_ = nullptr;
 };
 

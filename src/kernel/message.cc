@@ -161,6 +161,12 @@ Bytes MoveTransferMsg::Encode() const {
   policy.Encode(writer);
   writer.WriteBool(frozen);
   span.Encode(writer);
+  writer.WriteVarint(cached_replies.size());
+  for (const CachedReplyEntry& entry : cached_replies) {
+    writer.WriteU64(entry.invocation_id);
+    entry.result.Encode(writer);
+    writer.WriteBool(entry.frozen);
+  }
   return writer.Take();
 }
 
@@ -176,6 +182,17 @@ StatusOr<MoveTransferMsg> MoveTransferMsg::Decode(BytesView message) {
   EDEN_ASSIGN_OR_RETURN(msg.policy, CheckpointPolicy::Decode(reader));
   EDEN_ASSIGN_OR_RETURN(msg.frozen, reader.ReadBool());
   EDEN_ASSIGN_OR_RETURN(msg.span, SpanContext::Decode(reader));
+  EDEN_ASSIGN_OR_RETURN(uint64_t reply_count, reader.ReadVarint());
+  if (reply_count > 8192) {
+    return InvalidArgumentError("implausible cached-reply count");
+  }
+  for (uint64_t i = 0; i < reply_count; i++) {
+    MoveTransferMsg::CachedReplyEntry entry;
+    EDEN_ASSIGN_OR_RETURN(entry.invocation_id, reader.ReadU64());
+    EDEN_ASSIGN_OR_RETURN(entry.result, InvokeResult::Decode(reader));
+    EDEN_ASSIGN_OR_RETURN(entry.frozen, reader.ReadBool());
+    msg.cached_replies.push_back(std::move(entry));
+  }
   return msg;
 }
 

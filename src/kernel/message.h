@@ -146,6 +146,15 @@ struct MoveTransferMsg {
   bool frozen = false;
   // Causal context of the source-side move span (fixed-width).
   SpanContext span;
+  // The source's at-most-once reply cache entries for this object, carried
+  // so a retried request that lands at the new home after the move is
+  // re-replied there instead of re-executed.
+  struct CachedReplyEntry {
+    uint64_t invocation_id = 0;
+    InvokeResult result;
+    bool frozen = false;
+  };
+  std::vector<CachedReplyEntry> cached_replies;
 
   Bytes Encode() const;
   static StatusOr<MoveTransferMsg> Decode(BytesView message);

@@ -101,6 +101,7 @@ void NodeKernel::InitMetrics() {
   counters_.directory_fallbacks =
       &metrics_.counter("kernel.directory.fallbacks");
   counters_.directory_repairs = &metrics_.counter("kernel.directory.repairs");
+  counters_.directory_handoffs = &metrics_.counter("kernel.directory.handoffs");
   counters_.redirects_followed = &metrics_.counter("kernel.redirects_followed");
   counters_.activations = &metrics_.counter("kernel.activations");
   counters_.checkpoints = &metrics_.counter("kernel.checkpoints");
@@ -919,8 +920,8 @@ void NodeKernel::HandleInvokeRequest(StationId src, InvokeRequestMsg msg) {
     counters_.duplicate_requests->Increment();
     InvokeReplyMsg reply;
     reply.invocation_id = id;
-    reply.result = cached->second.first;
-    reply.target_frozen = cached->second.second;
+    reply.result = cached->second.result;
+    reply.target_frozen = cached->second.frozen;
     transport_->SendReliable(msg.reply_to, reply.Encode());
     return;
   }
@@ -1308,7 +1309,7 @@ void NodeKernel::ReplyTo(const PendingDispatch& d, InvokeResult result,
     });
     return;
   }
-  CacheReply(id, result, target_frozen);
+  CacheReply(id, d.request.target.name(), result, target_frozen);
   requests_in_progress_.erase(id);
   InvokeReplyMsg reply;
   reply.invocation_id = id;
@@ -1333,9 +1334,9 @@ void NodeKernel::RefuseDispatch(const PendingDispatch& d, Status status) {
   ReplyTo(d, InvokeResult::Error(std::move(status)), false);
 }
 
-void NodeKernel::CacheReply(uint64_t invocation_id, const InvokeResult& result,
-                            bool frozen) {
-  reply_cache_[invocation_id] = {result, frozen};
+void NodeKernel::CacheReply(uint64_t invocation_id, const ObjectName& object,
+                            const InvokeResult& result, bool frozen) {
+  reply_cache_[invocation_id] = CachedReply{result, frozen, object};
   reply_cache_order_.push_back(invocation_id);
   while (reply_cache_order_.size() > config_.reply_cache_capacity) {
     reply_cache_.erase(reply_cache_order_.front());
@@ -1352,7 +1353,7 @@ uint64_t NodeKernel::MaybeGrantLease(const std::shared_ptr<ActiveObject>& object
   // No grant while anything could invalidate the snapshot: a write queued or
   // running, a recall open, a move draining, the post-reincarnation quiesce.
   if (!config_.lease_reads || object->is_replica || object->frozen ||
-      !object->core->alive || object->moving ||
+      !object->core->alive || object->moving || draining_ ||
       object->lease_recall.has_value() || object->lease_mutators_pending > 0 ||
       reader == station()) {
     return 0;
@@ -2277,7 +2278,8 @@ Task<Status> NodeKernel::CopyMirrorChain(ObjectName name) {
 
 Future<Status> NodeKernel::MoveObject(const std::shared_ptr<ActiveObject>& object,
                                       StationId destination,
-                                      const SpanContext& parent) {
+                                      const SpanContext& parent,
+                                      int drain_threshold) {
   if (object->is_replica) {
     return ReadyStatus(FailedPreconditionError("cannot move a replica"));
   }
@@ -2292,22 +2294,24 @@ Future<Status> NodeKernel::MoveObject(const std::shared_ptr<ActiveObject>& objec
   }
   Promise<Status> done;
   Future<Status> future = done.GetFuture();
-  RunMove(object, destination, std::move(done), parent);
+  RunMove(object, destination, std::move(done), parent, drain_threshold);
   return future;
 }
 
 DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
                                  StationId destination, Promise<Status> done,
-                                 SpanContext parent) {
+                                 SpanContext parent, int drain_threshold) {
   // Opened before the drain wait, so drain latency is attributed to the move.
   SpanContext move_span =
       StartSpan(parent, SpanKind::kMove, object->name,
                 "move to node" + std::to_string(destination));
   object->moving = true;
-  // Wait for other running invocations to drain. The invocation that
-  // requested the move is itself still running, hence threshold 1.
-  object->drain_threshold = 1;
-  while (object->total_running > 1 && object->core->alive) {
+  // Wait for other running invocations to drain. When the invocation that
+  // requested the move is itself still running the caller passes threshold 1;
+  // driver and rebalancer moves quiesce fully (threshold 0) so no in-flight
+  // invocation's effects are serialized mid-run.
+  object->drain_threshold = drain_threshold;
+  while (object->total_running > drain_threshold && object->core->alive) {
     object->drain_waiter = Promise<Unit>();
     Future<Unit> drained = object->drain_waiter->GetFuture();
     co_await drained;
@@ -2346,6 +2350,15 @@ DetachedTask NodeKernel::RunMove(std::shared_ptr<ActiveObject> object,
   msg.policy = object->policy;
   msg.frozen = object->frozen;
   msg.span = move_span;
+  // At-most-once state travels with the object: cached replies for its
+  // invocations keep answering retries at the new home, so a request whose
+  // reply raced the move is re-replied there instead of re-executed.
+  // (reply_cache_ is id-ordered, so the carried list is deterministic.)
+  for (const auto& [id, cached] : reply_cache_) {
+    if (cached.object == object->name) {
+      msg.cached_replies.push_back({id, cached.result, cached.frozen});
+    }
+  }
   Bytes encoded = msg.Encode();
 
   PendingMove& pending = pending_moves_[transfer_id];
@@ -2425,6 +2438,13 @@ void NodeKernel::HandleMoveTransfer(StationId src, MoveTransferMsg msg) {
   counters_.moves_in->Increment();
   Trace(TraceEventKind::kMoveIn, msg.name, msg.transfer_id,
         "from station " + std::to_string(msg.source));
+  // Install the carried at-most-once replies before any retry can land here.
+  for (const auto& carried : msg.cached_replies) {
+    if (reply_cache_.count(carried.invocation_id) == 0) {
+      CacheReply(carried.invocation_id, msg.name, carried.result,
+                 carried.frozen);
+    }
+  }
 
   ack.accepted = true;
   // The destination mints the epoch: a causally later move always lands at a
@@ -2723,6 +2743,146 @@ void NodeKernel::RestartNode() {
 }
 
 // ---------------------------------------------------------------------------
+// Elastic membership / drain (DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+bool NodeKernel::DrainIdle() const {
+  return active_.empty() && activating_.empty() && pending_moves_.empty() &&
+         pending_invocations_.empty() && pending_acks_.empty();
+}
+
+std::vector<ObjectName> NodeKernel::ActiveObjects() const {
+  std::vector<ObjectName> names;
+  names.reserve(active_.size());
+  for (const auto& [name, object] : active_) {
+    if (!object->is_replica) {
+      names.push_back(name);
+    }
+  }
+  return names;  // active_ is ordered, so this is sorted
+}
+
+std::vector<ObjectName> NodeKernel::ActiveObjectsWithPolicySite(
+    StationId site) const {
+  std::vector<ObjectName> names;
+  for (const auto& [name, object] : active_) {
+    if (object->is_replica || !object->core->alive) {
+      continue;
+    }
+    const CheckpointPolicy& p = object->policy;
+    if (p.primary_site == site ||
+        (p.level == ReliabilityLevel::kMirrored && p.mirror_site == site)) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::vector<ObjectName> NodeKernel::CheckpointInventory() const {
+  std::vector<ObjectName> names;
+  for (const std::string& key : store_->Keys()) {
+    constexpr std::string_view kPrefix = "ckpt/";
+    if (key.compare(0, kPrefix.size(), kPrefix) != 0) {
+      continue;
+    }
+    // Delta links ("...#d<k>") fail the parse; only bases count.
+    StatusOr<ObjectName> name =
+        ObjectName::FromKey(std::string_view(key).substr(kPrefix.size()));
+    if (name.ok()) {
+      names.push_back(*name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void NodeKernel::Reactivate(const ObjectName& name) {
+  if (failed_ || active_.count(name) > 0 || activating_.count(name) > 0) {
+    return;
+  }
+  if (!store_->Contains(CheckpointKey(name))) {
+    return;
+  }
+  BeginActivation(name);
+}
+
+Future<Status> NodeKernel::ResiteCheckpoint(const ObjectName& name,
+                                            const CheckpointPolicy& policy) {
+  if (failed_) {
+    return ReadyStatus(UnavailableError("node is down"));
+  }
+  auto it = active_.find(name);
+  if (it == active_.end()) {
+    return ReadyStatus(NotFoundError("object not active here"));
+  }
+  std::shared_ptr<ActiveObject> object = it->second;
+  if (!object->core->alive) {
+    return ReadyStatus(FailedPreconditionError("object crashed"));
+  }
+  if (object->moving || object->activating) {
+    return ReadyStatus(FailedPreconditionError("object is in transit"));
+  }
+  if (policy.level == ReliabilityLevel::kMirrored &&
+      policy.mirror_site == policy.primary_site) {
+    return ReadyStatus(
+        InvalidArgumentError("mirror site must differ from primary site"));
+  }
+  const CheckpointPolicy old_policy = object->policy;
+  if (old_policy == policy) {
+    return ReadyStatus(OkStatus());
+  }
+  object->policy = policy;
+  // Force a full base at the new site(s): a delta appended to the old chain
+  // would leave the authoritative state on the store being evacuated.
+  object->ckpt_has_base = false;
+  Future<Status> done = CheckpointForObject(object);
+  done.OnReadyValue([this, name, old_policy, policy](const Status& status) {
+    if (!status.ok() || failed_) {
+      return;  // old chains stay authoritative; the rebalancer retries
+    }
+    // The fresh chain is durable: retire old chains wherever their role
+    // moved. Local chains are erased per role (the new policy may still use
+    // this store in the other role); a remote old site that serves no role
+    // at all in the new policy drops everything it has.
+    if (old_policy.primary_site == station() &&
+        policy.primary_site != station()) {
+      EraseDeltaChain(name, /*is_mirror=*/false);
+      store_->Delete(CheckpointKey(name));
+    }
+    const bool old_mirror_here =
+        old_policy.level == ReliabilityLevel::kMirrored &&
+        old_policy.mirror_site == station();
+    const bool new_mirror_here =
+        policy.level == ReliabilityLevel::kMirrored &&
+        policy.mirror_site == station();
+    if (old_mirror_here && !new_mirror_here) {
+      EraseDeltaChain(name, /*is_mirror=*/true);
+      store_->Delete(MirrorKey(name));
+    }
+    auto used_by_new = [&policy](StationId site) {
+      return site == policy.primary_site ||
+             (policy.level == ReliabilityLevel::kMirrored &&
+              site == policy.mirror_site);
+    };
+    CheckpointEraseMsg erase;
+    erase.name = name;
+    std::set<StationId> erased;
+    auto erase_remote = [&, this](StationId site) {
+      if (site == station() || used_by_new(site) ||
+          !erased.insert(site).second) {
+        return;
+      }
+      transport_->SendReliable(site, erase.Encode());
+    };
+    erase_remote(old_policy.primary_site);
+    if (old_policy.level == ReliabilityLevel::kMirrored) {
+      erase_remote(old_policy.mirror_site);
+    }
+  });
+  return done;
+}
+
+// ---------------------------------------------------------------------------
 // InvokeContext methods that need the kernel definition
 // ---------------------------------------------------------------------------
 
@@ -2756,7 +2916,8 @@ void InvokeContext::Crash() {
 void InvokeContext::Destroy() { kernel_->DestroyObject(object_); }
 
 Future<Status> InvokeContext::RequestMove(StationId new_home) {
-  return kernel_->MoveObject(object_, new_home, span_);
+  // The requesting invocation is itself still counted as running.
+  return kernel_->MoveObject(object_, new_home, span_, /*drain_threshold=*/1);
 }
 
 Status InvokeContext::Freeze() {

@@ -181,10 +181,14 @@ class NodeKernel {
   // Requests migration of an active object to another node. Normally invoked
   // from within the object (InvokeContext::RequestMove); exposed for policy
   // drivers and tests. A valid `parent` parents the kMove span; a driver call
-  // without one mints a root move trace.
+  // without one mints a root move trace. `drain_threshold` is how many
+  // invocations may still be running when the rep is serialized: 0 for
+  // driver/rebalancer moves (full quiesce), 1 when the requesting invocation
+  // itself is the caller (it is still counted as running).
   Future<Status> MoveObject(const std::shared_ptr<ActiveObject>& object,
                             StationId destination,
-                            const SpanContext& parent = {});
+                            const SpanContext& parent = {},
+                            int drain_threshold = 0);
 
   // --- Invocation (driver side) ----------------------------------------------
   // Location-independent invocation from outside any object (applications,
@@ -206,8 +210,46 @@ class NodeKernel {
   // original primary site is permanently lost (administrative recovery).
   Future<Status> PromoteMirror(const ObjectName& name);
 
+  // --- Elastic membership / drain (DESIGN.md §16) ----------------------------
+  // While draining, this kernel refuses new lease grants (so the drain is not
+  // extended by freshly-minted holder state). Set by EdenSystem::LeaveNode.
+  void set_draining(bool draining) { draining_ = draining; }
+  bool draining() const { return draining_; }
+
+  // True when departure would lose nothing volatile: no active objects (lease
+  // replicas excepted — their state is reconstructible and recalls backstop
+  // by expiry), no activations, and no in-flight client/move/ack protocol
+  // entries originated here.
+  bool DrainIdle() const;
+
+  // Names of non-replica active objects (sorted; rebalancer evacuation set).
+  std::vector<ObjectName> ActiveObjects() const;
+  // Names of active non-replica objects whose checkpoint policy writes to
+  // station `site` (primary or mirror): the resite set when `site` drains.
+  std::vector<ObjectName> ActiveObjectsWithPolicySite(StationId site) const;
+  // Names behind base checkpoint records in this node's store (sorted). A
+  // drain that must evacuate passively-stored state is complete only once
+  // this is empty.
+  std::vector<ObjectName> CheckpointInventory() const;
+
+  // Reincarnates a passive object from this node's store so the rebalancer
+  // can move it off (drain of passive state). No-op if already active or
+  // activating here.
+  void Reactivate(const ObjectName& name);
+
+  // Rewrites an active object's checkpoint policy and forces a full base
+  // checkpoint at the new site(s); once that lands, the chains at the old
+  // sites are erased. Used by the rebalancer to pull long-term state off a
+  // draining store. Returns the checkpoint future (ok once the new chain is
+  // durable).
+  Future<Status> ResiteCheckpoint(const ObjectName& name,
+                                  const CheckpointPolicy& policy);
+
   // --- Introspection ------------------------------------------------------------
   bool IsActive(const ObjectName& name) const { return active_.count(name) > 0; }
+  bool IsActivating(const ObjectName& name) const {
+    return activating_.count(name) > 0;
+  }
   bool HasReplica(const ObjectName& name) const { return replicas_.count(name) > 0; }
   bool HasCheckpoint(const ObjectName& name) const;
   // Peer-health introspection (tests, policy drivers): whether `peer` is
@@ -453,7 +495,8 @@ class NodeKernel {
   void ReplyTo(const PendingDispatch& d, InvokeResult result, bool target_frozen,
                uint64_t lease_renew_expiry = 0);
   void RefuseDispatch(const PendingDispatch& d, Status status);
-  void CacheReply(uint64_t invocation_id, const InvokeResult& result, bool frozen);
+  void CacheReply(uint64_t invocation_id, const ObjectName& object,
+                  const InvokeResult& result, bool frozen);
   SimDuration SerializeCost(size_t bytes) const;
 
   // --- Activation (reincarnation) -------------------------------------------------
@@ -510,7 +553,8 @@ class NodeKernel {
   void CrashObject(const std::shared_ptr<ActiveObject>& object, const Status& reason);
   void DestroyObject(const std::shared_ptr<ActiveObject>& object);
   DetachedTask RunMove(std::shared_ptr<ActiveObject> object, StationId destination,
-                       Promise<Status> done, SpanContext parent);
+                       Promise<Status> done, SpanContext parent,
+                       int drain_threshold);
   void MaybeFetchReplica(const ObjectName& name, StationId host,
                          const SpanContext& parent = {});
 
@@ -550,6 +594,7 @@ class NodeKernel {
     Counter* directory_stale_forwards = nullptr;
     Counter* directory_fallbacks = nullptr;
     Counter* directory_repairs = nullptr;
+    Counter* directory_handoffs = nullptr;
     Counter* redirects_followed = nullptr;
     Counter* activations = nullptr;
     Counter* checkpoints = nullptr;
@@ -604,6 +649,7 @@ class NodeKernel {
   // transport it sends through.
   std::unique_ptr<LocationService> location_;
   bool failed_ = false;
+  bool draining_ = false;
 
   // active_ stays ordered: FailNode's iteration completes promises, so its
   // order is observable in the execution trace (determinism_test).
@@ -660,9 +706,16 @@ class NodeKernel {
   // die with the node (leases are volatile state).
   std::map<ObjectName, std::pair<uint64_t, uint64_t>> lease_floor_;
 
-  // Server-side at-most-once execution.
+  // Server-side at-most-once execution. Cached replies remember which object
+  // produced them so a move can carry the object's entries to the new host
+  // (a retry that lands post-move must re-reply, not re-execute).
+  struct CachedReply {
+    InvokeResult result;
+    bool frozen = false;
+    ObjectName object;
+  };
   std::set<uint64_t> requests_in_progress_;
-  std::map<uint64_t, std::pair<InvokeResult, bool>> reply_cache_;
+  std::map<uint64_t, CachedReply> reply_cache_;
   std::deque<uint64_t> reply_cache_order_;
 
   uint64_t next_invocation_seq_ = 1;

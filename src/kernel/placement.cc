@@ -1,0 +1,202 @@
+#include "src/kernel/placement.h"
+
+#include <algorithm>
+
+namespace eden {
+
+namespace {
+
+// splitmix64: cheap, well-distributed mixer for ring points and fingerprints.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t MembersFingerprint(const std::vector<Member>& members) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const Member& m : members) {
+    h = Mix64(h ^ m.node);
+    h = Mix64(h ^ m.station);
+  }
+  return h;
+}
+
+// The historical layout: first home = hash % member count, fanout homes on
+// consecutive members. With all nodes active this reproduces the pre-elastic
+// DirectoryLocation::HomesOf exactly, so seeded runs stay bit-identical.
+class ModuloPlacement : public Placement {
+ public:
+  PlacementPolicyKind kind() const override {
+    return PlacementPolicyKind::kModulo;
+  }
+
+  std::vector<StationId> HomesOf(const ObjectName& name,
+                                 const std::vector<Member>& members,
+                                 int fanout) const override {
+    std::vector<StationId> homes;
+    if (members.empty()) {
+      return homes;
+    }
+    const size_t count = members.size();
+    const size_t first = ObjectNameHash{}(name) % count;
+    const size_t want = std::min<size_t>(std::max(1, fanout), count);
+    homes.reserve(want);
+    for (size_t k = 0; k < want; ++k) {
+      homes.push_back(members[(first + k) % count].station);
+    }
+    return homes;
+  }
+
+  StationId TargetFor(const ObjectName& name,
+                      const std::vector<Member>& members,
+                      StationId avoid) const override {
+    std::vector<Member> eligible;
+    eligible.reserve(members.size());
+    for (const Member& m : members) {
+      if (m.station != avoid) {
+        eligible.push_back(m);
+      }
+    }
+    if (eligible.empty()) {
+      return kNoStation;
+    }
+    return eligible[ObjectNameHash{}(name) % eligible.size()].station;
+  }
+};
+
+// Consistent-hash ring with kVnodes points per member. Assignments move only
+// when the arc they sit on changes owner, so a join or leave reshuffles
+// ~1/N of the keyspace instead of nearly all of it (membership_test pins the
+// comparison against the modulo policy).
+class ConsistentHashPlacement : public Placement {
+ public:
+  static constexpr int kVnodes = 32;
+
+  PlacementPolicyKind kind() const override {
+    return PlacementPolicyKind::kConsistentHash;
+  }
+
+  std::vector<StationId> HomesOf(const ObjectName& name,
+                                 const std::vector<Member>& members,
+                                 int fanout) const override {
+    EnsureRing(members);
+    std::vector<StationId> homes;
+    if (ring_.empty()) {
+      return homes;
+    }
+    const size_t want = std::min<size_t>(std::max(1, fanout), members.size());
+    const uint64_t point = NamePoint(name);
+    size_t i = LowerBound(point);
+    homes.reserve(want);
+    while (homes.size() < want) {
+      const StationId s = ring_[i].second;
+      if (std::find(homes.begin(), homes.end(), s) == homes.end()) {
+        homes.push_back(s);
+      }
+      i = (i + 1) % ring_.size();
+    }
+    return homes;
+  }
+
+  StationId TargetFor(const ObjectName& name,
+                      const std::vector<Member>& members,
+                      StationId avoid) const override {
+    EnsureRing(members);
+    if (ring_.empty()) {
+      return kNoStation;
+    }
+    bool any_other = false;
+    for (const Member& m : members) {
+      if (m.station != avoid) {
+        any_other = true;
+        break;
+      }
+    }
+    if (!any_other) {
+      return kNoStation;
+    }
+    const uint64_t point = NamePoint(name);
+    size_t i = LowerBound(point);
+    for (size_t walked = 0; walked < ring_.size(); ++walked) {
+      const StationId s = ring_[i].second;
+      if (s != avoid) {
+        return s;
+      }
+      i = (i + 1) % ring_.size();
+    }
+    return kNoStation;
+  }
+
+  void OnMembershipChange(const std::vector<Member>& /*members*/) override {
+    fingerprint_ = 0;  // force rebuild on next query
+  }
+
+ private:
+  static uint64_t NamePoint(const ObjectName& name) {
+    return Mix64(static_cast<uint64_t>(ObjectNameHash{}(name)));
+  }
+
+  void EnsureRing(const std::vector<Member>& members) const {
+    const uint64_t fp = MembersFingerprint(members);
+    if (fp == fingerprint_ && !members.empty()) {
+      return;
+    }
+    fingerprint_ = fp;
+    ring_.clear();
+    ring_.reserve(members.size() * kVnodes);
+    for (const Member& m : members) {
+      for (int v = 0; v < kVnodes; ++v) {
+        const uint64_t point =
+            Mix64((static_cast<uint64_t>(m.station) << 16) ^
+                  static_cast<uint64_t>(v) ^ 0xede5ead0ull);
+        ring_.emplace_back(point, m.station);
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+  }
+
+  size_t LowerBound(uint64_t point) const {
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), point,
+        [](const std::pair<uint64_t, StationId>& e, uint64_t p) {
+          return e.first < p;
+        });
+    if (it == ring_.end()) {
+      return 0;
+    }
+    return static_cast<size_t>(it - ring_.begin());
+  }
+
+  mutable uint64_t fingerprint_ = 0;
+  mutable std::vector<std::pair<uint64_t, StationId>> ring_;
+};
+
+}  // namespace
+
+const char* NodeLifecycleName(NodeLifecycle state) {
+  switch (state) {
+    case NodeLifecycle::kJoining:
+      return "joining";
+    case NodeLifecycle::kActive:
+      return "active";
+    case NodeLifecycle::kDraining:
+      return "draining";
+    case NodeLifecycle::kDeparted:
+      return "departed";
+  }
+  return "?";
+}
+
+std::unique_ptr<Placement> Placement::Create(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kConsistentHash:
+      return std::make_unique<ConsistentHashPlacement>();
+    case PlacementPolicyKind::kModulo:
+      break;
+  }
+  return std::make_unique<ModuloPlacement>();
+}
+
+}  // namespace eden

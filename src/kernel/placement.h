@@ -1,0 +1,79 @@
+// Placement policy: given the current membership, decide which stations act
+// as directory homes for a name and where a rebalanced object should land.
+// Two policies ship: the modulo policy (bit-identical to the static layout
+// the directory used before elastic membership, so existing seeds reproduce)
+// and a consistent-hash ring that keeps most assignments stable across
+// join/leave churn (DESIGN.md §16).
+#ifndef EDEN_SRC_KERNEL_PLACEMENT_H_
+#define EDEN_SRC_KERNEL_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/message.h"
+#include "src/kernel/name.h"
+#include "src/net/lan.h"
+
+namespace eden {
+
+// Per-node lifecycle (DESIGN.md §16). Joining nodes already serve directory
+// partitions (they are members) but are still warming up. A draining node
+// leaves the member set immediately — its directory partitions hand off at
+// drain start — and the rebalancer then evacuates its objects; kDeparted
+// marks the evacuation finished and the node detached.
+enum class NodeLifecycle : uint8_t {
+  kJoining = 0,
+  kActive = 1,
+  kDraining = 2,
+  kDeparted = 3,
+};
+
+const char* NodeLifecycleName(NodeLifecycle state);
+
+enum class PlacementPolicyKind : uint8_t {
+  kModulo = 0,          // hash % members: the historical static layout
+  kConsistentHash = 1,  // vnode ring: minimal reshuffle on churn
+};
+
+// One member of the installation: its index in EdenSystem::node() order and
+// its LAN station. Member lists are always sorted by node index, so every
+// node derives the identical view from the same membership epoch.
+struct Member {
+  size_t node = 0;
+  StationId station = 0;
+
+  friend bool operator==(const Member& a, const Member& b) {
+    return a.node == b.node && a.station == b.station;
+  }
+};
+
+class Placement {
+ public:
+  virtual ~Placement() = default;
+
+  static std::unique_ptr<Placement> Create(PlacementPolicyKind kind);
+
+  virtual PlacementPolicyKind kind() const = 0;
+
+  // Directory homes for `name`: `fanout` distinct stations drawn from
+  // `members`. Deterministic for a given (name, members, fanout).
+  virtual std::vector<StationId> HomesOf(const ObjectName& name,
+                                         const std::vector<Member>& members,
+                                         int fanout) const = 0;
+
+  // Where the rebalancer should move `name`, excluding station `avoid`
+  // (the draining node). Returns kNoStation when no alternative exists.
+  virtual StationId TargetFor(const ObjectName& name,
+                              const std::vector<Member>& members,
+                              StationId avoid) const = 0;
+
+  // Invalidate any cached structure (e.g. the hash ring) after a membership
+  // change. Policies also rebuild lazily on a member-set fingerprint, so
+  // callers that construct member lists ad hoc still get correct answers.
+  virtual void OnMembershipChange(const std::vector<Member>& /*members*/) {}
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_PLACEMENT_H_

@@ -1,0 +1,76 @@
+// Background rebalancer (DESIGN.md §16): streams objects off draining (and,
+// optionally, overloaded) nodes using the existing move + checkpoint-resite
+// machinery, rate-limited so live traffic keeps its SLOs. Runs as a periodic
+// simulation task owned by EdenSystem; parks itself when there is no work.
+#ifndef EDEN_SRC_KERNEL_REBALANCER_H_
+#define EDEN_SRC_KERNEL_REBALANCER_H_
+
+#include <cstddef>
+#include <set>
+
+#include "src/kernel/name.h"
+#include "src/net/lan.h"
+#include "src/sim/time.h"
+
+namespace eden {
+
+class EdenSystem;
+
+struct RebalanceConfig {
+  // Pacing: one pass over the draining set per tick, with per-tick caps so
+  // evacuation shares the wire with live invocations.
+  SimDuration tick = Milliseconds(10);
+  // In-flight object moves initiated by the rebalancer (across all drains).
+  int max_moves_in_flight = 2;
+  // Passive checkpoints re-activated (for evacuation) per tick.
+  int max_activations_per_tick = 2;
+  // Checkpoint chains re-sited away from draining stores per tick.
+  int max_resites_per_tick = 2;
+  // When > 0, the rebalancer also levels load between active members: while
+  // the fullest member holds more than `spread_gap` objects above the
+  // leanest, it moves one object per tick toward the leanest. This is what
+  // refills a rejoined node after a rolling restart. 0 disables the pass.
+  int spread_gap = 0;
+};
+
+class Rebalancer {
+ public:
+  Rebalancer(EdenSystem& system, RebalanceConfig config);
+
+  const RebalanceConfig& config() const { return config_; }
+  void set_spread_gap(int gap) { config_.spread_gap = gap; }
+
+  // Starts the periodic tick if it is not already running. Called whenever
+  // membership changes create potential work (drain started, node joined).
+  void EnsureRunning();
+
+  // True when node `index` holds no state that departure would lose: no
+  // active objects, no in-flight protocol entries and — when the drain
+  // evacuates passively-stored state — no checkpoint chains either.
+  bool DrainComplete(size_t index) const;
+
+ private:
+  void Tick();
+  // Returns true if any work was found (keeps the tick loop alive).
+  bool RunOnePass();
+  bool EvacuateActives(size_t index);
+  bool ReactivatePassives(size_t index);
+  bool ResiteCheckpoints();
+  bool SpreadLoad();
+  // Starts one rebalancer move (drain_threshold 0: full quiesce) if a target
+  // exists and the in-flight cap allows; returns whether it did.
+  bool StartMove(size_t from_index, const ObjectName& name,
+                 StationId destination);
+
+  EdenSystem& system_;
+  RebalanceConfig config_;
+  bool running_ = false;
+  int moves_in_flight_ = 0;
+  // Objects whose checkpoint chain is being re-sited right now; guards
+  // against re-issuing the (asynchronous) resite every tick.
+  std::set<ObjectName> resites_in_flight_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_KERNEL_REBALANCER_H_

@@ -127,6 +127,12 @@ class Transport {
   // Dedup history is also dropped (a restarted node has no memory).
   void Reset();
 
+  // Reliable sends still awaiting acknowledgement. Only SendReliable enters
+  // the pending table (best-effort frames are fire-and-forget), so this is
+  // exactly the state a node failure would silently discard — drain logic
+  // waits for it to reach zero before departing a node.
+  size_t pending_reliable_sends() const { return pending_.size(); }
+
   const TransportStats& stats() const { return stats_; }
 
   // Mirrors the TransportStats counters into `registry` under transport.*

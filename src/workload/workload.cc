@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/common/log.h"
+
 namespace eden {
 
 void LatencyRecorder::Record(SimDuration latency) {
@@ -91,6 +93,50 @@ Task<void> ClosedLoopClient(EdenSystem* system, size_t client_index,
   // Named local, not an inline temporary: see the note on kDefaultInvokeOptions.
   InvokeOptions options = InvokeOptions::WithTimeout(timeout);
   while (system->sim().now() < deadline) {
+    WorkItem item = factory(client_index, seq++);
+    SimTime start = system->sim().now();
+    InvokeResult result = co_await system->node(node_index)
+                              .Invoke(item.target, item.operation,
+                                      std::move(item.args), options);
+    if (result.ok()) {
+      run->stats.completed++;
+      run->stats.latency.Record(system->sim().now() - start);
+    } else {
+      run->stats.failed++;
+    }
+    if (mean_think > 0) {
+      SimDuration think = static_cast<SimDuration>(
+          system->sim().rng().NextExponential(static_cast<double>(mean_think)));
+      co_await SleepFor(system->sim(), think);
+    }
+  }
+  run->live_clients--;
+}
+
+// One elastic closed-loop client: re-picks its issuing node from the live
+// member set before every request, so it keeps driving load while nodes
+// drain, depart and rejoin underneath it.
+Task<void> ElasticClosedLoopClient(EdenSystem* system, size_t client_index,
+                                   WorkFactory factory, SimTime deadline,
+                                   SimDuration mean_think, SimDuration timeout,
+                                   std::shared_ptr<SharedRun> run) {
+  uint64_t seq = 0;
+  // Named local, not an inline temporary: see the note on kDefaultInvokeOptions.
+  InvokeOptions options = InvokeOptions::WithTimeout(timeout);
+  while (system->sim().now() < deadline) {
+    std::vector<size_t> live;
+    for (const Member& m : system->members()) {
+      if (!system->node(m.node).failed()) {
+        live.push_back(m.node);
+      }
+    }
+    if (live.empty()) {
+      co_await SleepFor(system->sim(), Milliseconds(1));
+      continue;
+    }
+    // Deterministic spread: client c sticks to the (c mod live)-th live
+    // member until membership shifts under it.
+    size_t node_index = live[client_index % live.size()];
     WorkItem item = factory(client_index, seq++);
     SimTime start = system->sim().now();
     InvokeResult result = co_await system->node(node_index)
@@ -237,14 +283,38 @@ WorkloadStats RunClosedLoop(EdenSystem& system,
   return run->stats;
 }
 
+WorkloadStats RunClosedLoopElastic(EdenSystem& system, size_t clients,
+                                   WorkFactory factory, SimDuration duration,
+                                   SimDuration mean_think_time,
+                                   SimDuration per_request_timeout) {
+  if (system.sharded()) {
+    FatalError(
+        "RunClosedLoopElastic: elastic membership requires the "
+        "single-threaded world (shards == 0); use RunClosedLoop on sharded "
+        "systems");
+  }
+  auto run = std::make_shared<SharedRun>();
+  run->live_clients = static_cast<int>(clients);
+  SimTime deadline = system.sim().now() + duration;
+  for (size_t c = 0; c < clients; c++) {
+    Spawn(ElasticClosedLoopClient(&system, c, factory, deadline,
+                                  mean_think_time, per_request_timeout, run));
+  }
+  system.sim().RunWhile([run] { return run->live_clients > 0; });
+  return run->stats;
+}
+
 WorkloadStats RunOpenLoop(EdenSystem& system,
                           const std::vector<size_t>& client_nodes,
                           WorkFactory factory, double rate_per_sec,
                           SimDuration duration,
                           SimDuration per_request_timeout) {
-  assert(!system.sharded() &&
-         "RunOpenLoop drives a central arrival process on the primary clock; "
-         "use RunClosedLoop on sharded systems");
+  if (system.sharded()) {
+    FatalError(
+        "RunOpenLoop: the central arrival process serializes on the primary "
+        "clock and requires the single-threaded world (shards == 0); use "
+        "RunClosedLoop on sharded systems");
+  }
   auto run = std::make_shared<SharedRun>();
   SimTime deadline = system.sim().now() + duration;
   double mean_gap_ns = 1e9 / rate_per_sec;

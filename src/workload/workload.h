@@ -82,6 +82,18 @@ WorkloadStats RunClosedLoop(EdenSystem& system,
                             SimDuration mean_think_time = 0,
                             SimDuration per_request_timeout = Seconds(10));
 
+// Elastic closed loop (DESIGN.md §16): like RunClosedLoop, but clients are
+// not pinned to nodes — each client re-picks its issuing node every
+// iteration from the current live member set (joining + active, not failed),
+// so traffic follows membership through drains, departures and rejoins. If
+// no member is live, the client naps briefly and retries rather than dying.
+// Single-threaded systems only (membership operations are too).
+WorkloadStats RunClosedLoopElastic(EdenSystem& system, size_t clients,
+                                   WorkFactory factory, SimDuration duration,
+                                   SimDuration mean_think_time = 0,
+                                   SimDuration per_request_timeout =
+                                       Seconds(10));
+
 // Open loop: Poisson arrivals at `rate_per_sec` aggregate, issued round-robin
 // from `client_nodes`, independent of completions. Returns once every issued
 // request resolves (so tail latencies under overload are captured).
