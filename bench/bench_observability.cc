@@ -1,0 +1,299 @@
+// E19 — Always-on telemetry: scrape/SLO pipeline overhead and export cost
+// (DESIGN.md §17).
+//
+//   BM_Saturated8Telemetry   an eight-node saturated ring (the bench_
+//       throughput shape at half size) where every iteration runs one 100 ms
+//       (virtual) closed-loop segment on a system with telemetry off and one
+//       on a system with a live pipeline (an armed SLO objective over the
+//       classified traffic; scrape cadence per benchmark arg — 1 ms stress
+//       and the 10 ms default), alternating which mode runs first. Pairing inside the iteration cancels host drift, exactly like
+//       bench_tracing. The pipeline never schedules workload-visible events,
+//       so the per-segment invocation counts must be identical off/on — the
+//       zero-perturbation contract telemetry_test pins — and those counts
+//       are what perf_compare gates.
+//
+//   BM_WindowJsonExport      cost and size of the windowed series export on
+//       a populated installation: each iteration renders WindowJson over the
+//       last 64 ticks. The document size is deterministic (virtual metrics
+//       only), so the exported size histogram gates accidental export bloat.
+//
+//   BM_FlightRecorderBundle  end-to-end flight-recorder dump: a run whose
+//       traffic burns an unattainable latency objective, with tail-retention
+//       tracing attached, must produce a violation bundle; the bundle's size
+//       is deterministic and gated like the window export.
+//
+// Exported metrics:
+//
+//   bench.observability.off.invocations_per_segment   gated (identical by
+//   bench.observability.on.invocations_per_segment    the zero-perturbation
+//                                                     contract)
+//   bench.observability.window_json_bytes             gated export size
+//   bench.observability.bundle_bytes                  gated bundle size
+//   bench.observability.scrape_<N>ms.off.events_per_sec   wall-clock rates,
+//   bench.observability.scrape_<N>ms.on.events_per_sec    host-dependent,
+//   bench.observability.scrape_<N>ms.overhead_pct         not gated
+//
+//   (N = 1 and 10: the stress cadence and TelemetryConfig's default.)
+//
+// Run with --quick for a CI smoke; --json=<path> to move the metrics export.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/telemetry/telemetry.h"
+#include "src/trace/span.h"
+#include "src/workload/workload.h"
+
+namespace eden {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double WallSecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+constexpr size_t kNodes = 8;
+
+// The saturated ring with classified traffic; telemetry per `enabled`.
+BenchSystem MakeTelemetrySystem(bool enabled,
+                                SimDuration scrape_interval = Milliseconds(1)) {
+  SystemConfig config;
+  config.seed = 42;
+  config.telemetry.enabled = enabled;
+  config.telemetry.scrape_interval = scrape_interval;
+  config.telemetry.window_ticks = 8;
+  // Armed so every tick pays the burn-rate evaluation, with a target this
+  // traffic never violates: a violation opens a flight-recorder bundle
+  // (~44 KB of JSON mid-segment), which would turn the overhead benchmark
+  // into a bundle-cost benchmark — BM_FlightRecorderBundle measures that
+  // path on purpose.
+  SloObjective objective;
+  objective.metrics_class = "user";
+  objective.latency_target = Milliseconds(500);
+  config.telemetry.objectives.push_back(objective);
+  BenchSystem system(new EdenSystem(config));
+  RegisterStandardTypes(*system);
+  system->AddNodes(kNodes);
+  return system;
+}
+
+WorkFactory RingFactory(const std::vector<Capability>& targets,
+                        const Bytes& payload) {
+  return [&targets, &payload](size_t client, uint64_t) {
+    WorkItem item{targets[client], "put", InvokeArgs{}.AddBytes(payload)};
+    item.metrics_class = "user";
+    return item;
+  };
+}
+
+std::vector<Capability> MakeRingTargets(EdenSystem& system) {
+  std::vector<Capability> targets;
+  for (size_t i = 0; i < kNodes; i++) {
+    targets.push_back(MakeDataObject(system, (i + 1) % kNodes, 64));
+  }
+  // Warm every location cache so the steady state has no broadcasts.
+  for (size_t i = 0; i < kNodes; i++) {
+    system.Await(system.node(i).Invoke(targets[i], "size"));
+  }
+  return targets;
+}
+
+// Arg 0: scrape cadence in virtual milliseconds. 1 ms is the stress shape
+// (every node's ~97 series sampled per virtual ms of a deliberately light
+// ring); 10 ms is TelemetryConfig's default cadence.
+void BM_Saturated8Telemetry(benchmark::State& state) {
+  const auto scrape_ms = static_cast<SimDuration>(state.range(0));
+  std::vector<size_t> clients(kNodes);
+  for (size_t i = 0; i < kNodes; i++) {
+    clients[i] = i;
+  }
+  Bytes payload(128, 0x5a);
+
+  // [0] = telemetry off, [1] = on. Fresh per-mode systems each iteration —
+  // the pipeline cannot be detached once started — built in alternating
+  // order so construction cost cancels with the mode pairing.
+  double wall[2] = {0.0, 0.0};
+  uint64_t events[2] = {0, 0};
+  uint64_t invocations[2] = {0, 0};
+  auto run_segment = [&](bool enabled) {
+    BenchSystem system = MakeTelemetrySystem(enabled, Milliseconds(scrape_ms));
+    std::vector<Capability> targets = MakeRingTargets(*system);
+    WorkFactory factory = RingFactory(targets, payload);
+    if (enabled) {
+      // The warmup traffic above created the instruments; prime so the
+      // timed region measures the steady-state scrape, not the first
+      // tick's one-shot series registration (which a long-lived system
+      // amortizes to nothing).
+      system->telemetry()->Prime();
+    }
+    uint64_t events_before = system->sim().events_executed();
+    auto start = WallClock::now();
+    WorkloadStats stats = RunClosedLoop(*system, clients, factory,
+                                        /*duration=*/Milliseconds(100),
+                                        /*mean_think_time=*/0);
+    double elapsed = WallSecondsSince(start);
+    size_t mode = enabled ? 1 : 0;
+    wall[mode] += elapsed;
+    events[mode] += system->sim().events_executed() - events_before;
+    invocations[mode] += stats.completed;
+    BenchMetrics()
+        .histogram(enabled ? "bench.observability.on.invocations_per_segment"
+                           : "bench.observability.off.invocations_per_segment")
+        .Record(static_cast<SimDuration>(stats.completed));
+    return elapsed;
+  };
+
+  uint64_t iteration = 0;
+  for (auto _ : state) {
+    bool on_first = (iteration++ % 2) == 1;
+    double elapsed = run_segment(on_first) + run_segment(!on_first);
+    state.SetIterationTime(elapsed);
+    state.counters["events_per_sec"] = benchmark::Counter(
+        static_cast<double>(events[0] + events[1]), benchmark::Counter::kIsRate);
+  }
+
+  if (wall[0] > 0 && wall[1] > 0) {
+    const std::string prefix = "bench.observability.scrape_" +
+                               std::to_string(static_cast<long long>(scrape_ms)) +
+                               "ms.";
+    double rate_off = static_cast<double>(events[0]) / wall[0];
+    double rate_on = static_cast<double>(events[1]) / wall[1];
+    BenchMetrics()
+        .gauge(prefix + "off.events_per_sec")
+        .Set(static_cast<int64_t>(rate_off));
+    BenchMetrics()
+        .gauge(prefix + "on.events_per_sec")
+        .Set(static_cast<int64_t>(rate_on));
+    double overhead = (rate_off - rate_on) / rate_off * 100.0;
+    BenchMetrics()
+        .gauge(prefix + "overhead_pct")
+        .Set(static_cast<int64_t>(overhead));
+    std::printf("telemetry overhead (%lld ms scrapes): %.1f%% of wall-clock "
+                "events/s (off %.0f/s, on %.0f/s, %llu paired segments)\n",
+                static_cast<long long>(scrape_ms), overhead, rate_off, rate_on,
+                static_cast<unsigned long long>(iteration));
+  }
+}
+BENCHMARK(BM_Saturated8Telemetry)
+    ->UseManualTime()
+    ->MinTime(2.0)
+    ->Arg(1)
+    ->Arg(10);
+
+void BM_WindowJsonExport(benchmark::State& state) {
+  BenchSystem system = MakeTelemetrySystem(/*enabled=*/true);
+  std::vector<size_t> clients(kNodes);
+  for (size_t i = 0; i < kNodes; i++) {
+    clients[i] = i;
+  }
+  Bytes payload(128, 0x5a);
+  std::vector<Capability> targets = MakeRingTargets(*system);
+  WorkFactory factory = RingFactory(targets, payload);
+  RunClosedLoop(*system, clients, factory, Milliseconds(200));
+
+  Telemetry* telemetry = system->telemetry();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto start = WallClock::now();
+    std::string json = telemetry->WindowJson(/*last_ticks=*/64);
+    state.SetIterationTime(WallSecondsSince(start));
+    bytes = json.size();
+    benchmark::DoNotOptimize(json);
+  }
+  BenchMetrics()
+      .histogram("bench.observability.window_json_bytes")
+      .Record(static_cast<SimDuration>(bytes));
+  std::printf("window export: %zu bytes over 64 ticks, %zu nodes\n", bytes,
+              static_cast<size_t>(kNodes));
+}
+BENCHMARK(BM_WindowJsonExport)->UseManualTime()->MinTime(1.0);
+
+void BM_FlightRecorderBundle(benchmark::State& state) {
+  size_t bundle_bytes = 0;
+  for (auto _ : state) {
+    SpanCollectorConfig trace_config;
+    trace_config.tail.enabled = true;
+    SpanCollector spans(trace_config);
+
+    SystemConfig config;
+    config.seed = 42;
+    config.telemetry.enabled = true;
+    config.telemetry.scrape_interval = Milliseconds(1);
+    config.telemetry.window_ticks = 8;
+    SloObjective objective;
+    objective.metrics_class = "user";
+    objective.latency_target = Microseconds(1);  // unattainable: must burn
+    objective.min_requests = 16;
+    config.telemetry.objectives.push_back(objective);
+    auto system = std::make_unique<EdenSystem>(config);
+    MetricsExportScope export_scope(*system);
+    system->set_span_collector(&spans);
+    RegisterStandardTypes(*system);
+    system->AddNodes(4);
+    Capability target = MakeDataObject(*system, 0, 64);
+    Bytes payload(128, 0x5a);
+    WorkFactory factory = [&](size_t, uint64_t) {
+      WorkItem item{target, "put", InvokeArgs{}.AddBytes(payload)};
+      item.metrics_class = "user";
+      return item;
+    };
+    auto start = WallClock::now();
+    RunClosedLoop(*system, {1, 2, 3}, factory, Milliseconds(50));
+    state.SetIterationTime(WallSecondsSince(start));
+    const Telemetry* telemetry = system->telemetry();
+    if (telemetry->bundles().empty()) {
+      state.SkipWithError("no violation bundle produced");
+      break;
+    }
+    bundle_bytes = telemetry->bundles().front().json.size();
+    system->set_span_collector(nullptr);
+  }
+  if (bundle_bytes > 0) {
+    BenchMetrics()
+        .histogram("bench.observability.bundle_bytes")
+        .Record(static_cast<SimDuration>(bundle_bytes));
+    std::printf("violation bundle: %zu bytes\n", bundle_bytes);
+  }
+}
+BENCHMARK(BM_FlightRecorderBundle)->UseManualTime()->MinTime(1.0);
+
+}  // namespace
+}  // namespace eden
+
+// Custom main: EDEN_BENCH_MAIN plus a --quick flag (CI smoke) that caps the
+// per-benchmark time budget.
+int main(int argc, char** argv) {
+  std::string json_path =
+      ::eden::ConsumeJsonFlag(&argc, argv, "BENCH_bench_observability.json");
+  bool quick = false;
+  int kept = 1;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  std::vector<char*> args(argv, argv + argc);
+  static char min_time[] = "--benchmark_min_time=0.05";
+  if (quick) {
+    args.push_back(min_time);
+  }
+  int run_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&run_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(run_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!::eden::WriteBenchJson("bench_observability", json_path)) {
+    return 1;
+  }
+  return 0;
+}

@@ -5,11 +5,14 @@
 //       16-node installation, one zero-think-time closed-loop client per
 //       node invoking its ring neighbor — where every iteration runs one
 //       100 ms (virtual) segment with no SpanCollector attached and one with
-//       full span assembly, critical-path attribution and phase histograms,
-//       on the SAME system, alternating which runs first. Pairing the modes
-//       inside each iteration cancels host drift (frequency scaling, noisy
-//       neighbors), which dwarfs the effect being measured when the modes
-//       run as separate benchmarks.
+//       always-on tracing as the flight recorder runs it (DESIGN.md §17):
+//       span assembly plus tail-based retention, which keeps the slow /
+//       annotated / 1-in-N traces and recycles the rest without the
+//       critical-path sweep. Both segments run on the SAME system,
+//       alternating which runs first. Pairing the modes inside each
+//       iteration cancels host drift (frequency scaling, noisy neighbors),
+//       which dwarfs the effect being measured when the modes run as
+//       separate benchmarks.
 //
 // Like bench_throughput this series reports *wall-clock* iteration time
 // (UseManualTime fed from a host clock): the span layer never adds simulated
@@ -22,6 +25,9 @@
 //   bench.tracing.off.events_per_sec    wall-clock simulator event rate
 //   bench.tracing.on.events_per_sec     gauges, host-dependent, not gated
 //   bench.tracing.overhead_pct          (off - on) / off * 100, rounded
+//   bench.tracing.spans_held_high_water the most spans the collector ever
+//                                       held at once — the bounded-memory
+//                                       witness of the tail policy
 //
 // After the run the binary prints the measured overhead, the aggregate
 // critical-path breakdown over the retained traces, and the worst slow
@@ -53,6 +59,9 @@ void BM_Saturated16Tracing(benchmark::State& state) {
 
   SpanCollectorConfig trace_config;
   trace_config.slow_exemplars = 1;
+  // Flight-recorder mode: retain the slow tail, the annotated traces and a
+  // deterministic 1-in-N baseline; recycle everything else on the spot.
+  trace_config.tail.enabled = true;
   SpanCollector spans(trace_config);  // Declared before the system: outlives it.
   auto system = MakeBenchSystem(kNodes);
   std::vector<Capability> targets;
@@ -132,6 +141,15 @@ void BM_Saturated16Tracing(benchmark::State& state) {
                 overhead, rate_off, rate_on,
                 static_cast<unsigned long long>(iteration));
   }
+  const SpanCollectorStats& tail_stats = spans.stats();
+  BenchMetrics()
+      .gauge("bench.tracing.spans_held_high_water")
+      .Set(static_cast<int64_t>(tail_stats.spans_held_high_water));
+  std::printf("tail retention: %llu retained, %llu recycled, "
+              "span high-water %llu\n",
+              static_cast<unsigned long long>(tail_stats.traces_retained),
+              static_cast<unsigned long long>(tail_stats.traces_discarded),
+              static_cast<unsigned long long>(tail_stats.spans_held_high_water));
 
   // Where a saturated invocation spends its time: the aggregate critical-path
   // attribution over the retained traces.

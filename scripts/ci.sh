@@ -53,7 +53,19 @@
 #      p99 — the SLO numbers of EXPERIMENTS.md E18. Regenerate with
 #        build/bench/bench_membership --quick --json=bench/baselines/BENCH_bench_membership.json
 #      when drain pacing or restart behavior intentionally changes.
-#   9. Parallel-engine smoke: build the sharded-engine determinism suite under
+#   9. Telemetry smoke: run telemetry_test under the ASan tree on its own
+#      (the scrape chain, SLO engine and bundle builder are the newest
+#      lifetime-heavy code), re-run the seeded chaos flight-recorder case on
+#      the fast build (a fault storm under closed-loop traffic must produce
+#      byte-identical diagnostic bundles across two same-seed runs), then
+#      bench_observability --quick gated against
+#      bench/baselines/BENCH_bench_observability.json. The gated histograms
+#      are invocations-per-segment with telemetry off/on (identical by the
+#      zero-perturbation contract) plus the window-export and bundle document
+#      sizes (deterministic virtual-metrics documents). Regenerate with
+#        build/bench/bench_observability --quick --json=bench/baselines/BENCH_bench_observability.json
+#      when the export schema intentionally changes.
+#  10. Parallel-engine smoke: build the sharded-engine determinism suite under
 #      TSan at build-tsan and run it (the threaded RunUntil windows, the SPSC
 #      channels and the horizon protocol are the only concurrent code in the
 #      repo — a data race there silently breaks the determinism oracle), then
@@ -126,6 +138,16 @@ echo "== membership smoke (elastic membership under ASan + restart-SLO gate) =="
 "$repo_root/scripts/perf_compare.py" \
   "$repo_root/bench/baselines/BENCH_bench_membership.json" \
   "$repo_root/build/BENCH_bench_membership.json" --gate 10
+
+echo "== telemetry smoke (pipeline under ASan + flight-recorder gate) =="
+"$repo_root/build-asan/tests/telemetry_test"
+"$repo_root/build/tests/telemetry_test" \
+  --gtest_filter='TelemetryChaos.*'
+"$repo_root/build/bench/bench_observability" --quick \
+  --json="$repo_root/build/BENCH_bench_observability.json"
+"$repo_root/scripts/perf_compare.py" \
+  "$repo_root/bench/baselines/BENCH_bench_observability.json" \
+  "$repo_root/build/BENCH_bench_observability.json" --gate 10
 
 echo "== TSan build + parallel determinism suite =="
 cmake -B "$repo_root/build-tsan" -S "$repo_root" \

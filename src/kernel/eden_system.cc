@@ -16,6 +16,29 @@ EdenSystem::EdenSystem(SystemConfig config)
   if (config_.shards > 0) {
     WithShards(config_.shards);
   }
+  if (config_.telemetry.enabled) {
+    EnableTelemetry();
+  }
+}
+
+Telemetry& EdenSystem::EnableTelemetry() {
+  if (telemetry_ == nullptr) {
+    config_.telemetry.enabled = true;
+    telemetry_ = std::make_unique<Telemetry>(this, config_.telemetry);
+  }
+  telemetry_->Start();
+  return *telemetry_;
+}
+
+void EdenSystem::MeterTrace(TraceBuffer* trace) {
+  // Under the sharded engine a node's buffer is written from its shard's
+  // thread; mirroring into the shared system registry there would race.
+  if (engine_ != nullptr) {
+    return;
+  }
+  if (trace != nullptr && metered_traces_.insert(trace).second) {
+    trace->set_metrics(&metrics_);
+  }
 }
 
 EdenSystem& EdenSystem::WithShards(size_t n) {
@@ -51,6 +74,11 @@ EdenSystem& EdenSystem::WithShards(size_t n) {
       [this](uint32_t from, uint32_t to, CrossShardMsg msg) {
         engine_->Push(from, to, std::move(msg));
       });
+  if (telemetry_ != nullptr) {
+    // Telemetry was enabled before sharding: the new shards need their own
+    // scrape chains (shard 0's chain is already running).
+    telemetry_->Start();
+  }
   return *this;
 }
 
@@ -75,6 +103,7 @@ NodeKernel& NodeBuilder::Build() {
                                         shard_);
     if (trace_ != nullptr) {
       node_->set_trace(trace_);
+      system_->MeterTrace(trace_);
     }
   }
   return *node_;
@@ -111,6 +140,11 @@ NodeKernel& EdenSystem::AddNodeWithConfig(const std::string& name,
     nodes_.back()->set_spans(ShardCollectorFor(s));
   }
   lifecycle_.push_back(NodeLifecycle::kActive);
+  if (telemetry_ != nullptr) {
+    // Eager sampler creation, always from the main thread: shard ticks only
+    // ever read the sampler vector.
+    telemetry_->OnNodeAdded(nodes_.size() - 1);
+  }
   RebuildMembers();
   return *nodes_.back();
 }
@@ -174,16 +208,22 @@ void EdenSystem::EnableFaults(const FaultPlan& plan, TraceBuffer* trace) {
   fault_injector_ = std::make_unique<FaultInjector>(sim_, plan);
   FaultInjector* injector = fault_injector_.get();
   injector->set_metrics(&metrics_);
-  if (trace != nullptr) {
-    injector->set_event_sink([this, trace](const char* kind, uint32_t site) {
+  MeterTrace(trace);
+  // Always install the sink: the flight recorder keys diagnostic bundles off
+  // injected faults whether or not a flat trace buffer is attached.
+  injector->set_event_sink([this, trace](const char* kind, uint32_t site) {
+    if (trace != nullptr) {
       TraceEvent event;
       event.when = sim_.now();
       event.kind = TraceEventKind::kFaultInjected;
       event.node = site == FaultInjector::kNoFaultSite ? 0 : site;
       event.detail = kind;
       trace->Record(std::move(event));
-    });
-  }
+    }
+    if (telemetry_ != nullptr) {
+      telemetry_->OnFault(kind, site);
+    }
+  });
   lan_.set_fault_hook(injector);
   for (size_t i = 0; i < nodes_.size(); i++) {
     nodes_[i]->store().set_fault_hook(injector->DiskHookFor(i));
@@ -446,6 +486,9 @@ MetricsRegistry EdenSystem::Rollup() const {
     if (shard_registry != nullptr) {
       rollup.MergeFrom(*shard_registry);
     }
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->ContributeTo(rollup);
   }
   return rollup;
 }

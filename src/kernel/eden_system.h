@@ -25,6 +25,7 @@
 #include "src/sim/sharded_engine.h"
 #include "src/sim/simulation.h"
 #include "src/sim/task.h"
+#include "src/telemetry/telemetry.h"
 
 namespace eden {
 
@@ -52,6 +53,10 @@ struct SystemConfig {
   DiskConfig disk;
   TransportConfig transport;
   MembershipConfig membership;
+  // Always-on telemetry (DESIGN.md §17). With enabled = true the system
+  // starts the scrape/SLO/flight-recorder pipeline at construction;
+  // EnableTelemetry() does the same on demand.
+  TelemetryConfig telemetry;
   // 0 = the classic single-threaded CSMA/CD world (the default and the
   // correctness baseline). >= 1 = switched LAN + parallel sharded engine
   // (DESIGN.md §14) with this many worker shards; 1 is the sharded code path
@@ -192,6 +197,27 @@ class EdenSystem {
   // event, interleaved with the recoveries it provokes. Call at most once.
   void EnableFaults(const FaultPlan& plan, TraceBuffer* trace = nullptr);
   FaultInjector* faults() { return fault_injector_.get(); }
+
+  // --- Always-on telemetry (DESIGN.md §17) -----------------------------------
+  // Builds the telemetry pipeline from config().telemetry and starts a
+  // deterministic scrape chain on every shard. Idempotent; called by the
+  // constructor when config.telemetry.enabled and re-run by WithShards so
+  // late-created shards get chains too. Scrape ticks are ordered after all
+  // same-instant events, so node digests and wire traffic are unchanged by
+  // enabling telemetry (only the sim's internal event trace shifts).
+  Telemetry& EnableTelemetry();
+  // Null until EnableTelemetry has run.
+  Telemetry* telemetry() { return telemetry_.get(); }
+  const Telemetry* telemetry() const { return telemetry_.get(); }
+
+  // Mirrors `trace`'s occupancy (trace.buffer.recorded/dropped counters,
+  // high_water/size gauges) into the system registry, so flat-event-buffer
+  // loss shows up in Rollup()/MetricsJson(). Idempotent per buffer; called
+  // automatically for buffers passed to NodeBuilder::WithTrace and
+  // EnableFaults. The buffer must outlive this system. No-op under the
+  // sharded engine (the buffer would be written from a shard thread, and the
+  // mirror would race on the shared system registry).
+  void MeterTrace(TraceBuffer* trace);
 
   // --- Causal tracing (DESIGN.md §12) ----------------------------------------
   // Attaches one shared SpanCollector to every node kernel (present and
@@ -352,6 +378,9 @@ class EdenSystem {
   std::vector<std::unique_ptr<SpanCollector>> shard_spans_;
   std::vector<std::unique_ptr<MetricsRegistry>> shard_span_metrics_;
   std::unique_ptr<FaultInjector> fault_injector_;
+  std::unique_ptr<Telemetry> telemetry_;
+  // Buffers already wired into metrics_ (MeterTrace is idempotent).
+  std::set<TraceBuffer*> metered_traces_;
   SpanCollector* span_collector_ = nullptr;
   std::vector<std::unique_ptr<NodeKernel>> nodes_;
   std::map<std::string, std::shared_ptr<TypeManager>> types_;

@@ -54,22 +54,55 @@ DirectoryLocation::DirectoryLocation(NodeKernel& kernel)
     : LocationService(kernel) {
   entries_gauge_ = &kernel.metrics_.gauge("kernel.directory.entries");
   last_members_ = kernel.system().members();
+  last_fanout_ = EffectiveFanout(last_members_);
 }
 
 std::vector<StationId> DirectoryLocation::HomesWith(
-    const ObjectName& name, const std::vector<Member>& members) const {
+    const ObjectName& name, const std::vector<Member>& members,
+    int fanout) const {
   if (members.empty()) {
     return {};
   }
-  int configured = kernel_.config_.locate.directory_fanout;
-  // Auto fanout: once the installation is big enough that a home crash is
-  // routine (16+ members), record every residence at two homes.
-  int fanout = configured > 0 ? configured : (members.size() >= 16 ? 2 : 1);
   return kernel_.system().placement().HomesOf(name, members, fanout);
 }
 
+int DirectoryLocation::EffectiveFanout(const std::vector<Member>& members) {
+  int configured = kernel_.config_.locate.directory_fanout;
+  if (configured > 0) {
+    return configured;
+  }
+  // Auto fanout: once the installation is big enough that a home crash is
+  // routine (16+ members), record every residence at two homes.
+  int target = members.size() >= 16 ? 2 : 1;
+  SimDuration dwell = kernel_.config_.locate.fanout_dwell;
+  if (dwell <= 0) {
+    return target;  // legacy: flip the instant the boundary is crossed
+  }
+  if (stable_fanout_ == 0) {
+    // First sighting: adopt without dwelling (there is nothing to re-fan).
+    stable_fanout_ = target;
+    return stable_fanout_;
+  }
+  if (target == stable_fanout_) {
+    // Back on the committed side: any pending flip was a flap, cancel it.
+    pending_fanout_ = 0;
+    return stable_fanout_;
+  }
+  SimTime now = kernel_.sim().now();
+  if (pending_fanout_ != target) {
+    pending_fanout_ = target;
+    pending_since_ = now;
+  }
+  if (now - pending_since_ >= dwell) {
+    stable_fanout_ = pending_fanout_;
+    pending_fanout_ = 0;
+  }
+  return stable_fanout_;
+}
+
 std::vector<StationId> DirectoryLocation::HomesOf(const ObjectName& name) {
-  return HomesWith(name, kernel_.system().members());
+  const std::vector<Member>& members = kernel_.system().members();
+  return HomesWith(name, members, EffectiveFanout(members));
 }
 
 void DirectoryLocation::OnMembershipChange() {
@@ -79,16 +112,22 @@ void DirectoryLocation::OnMembershipChange() {
   }
   std::vector<Member> previous = std::move(last_members_);
   last_members_ = members;
+  // The previous reconciliation's fanout frames the old home sets; a dwell
+  // commit between reconciliations only shifts duplicates (receivers merge
+  // by epoch) or costs one healable fallback, never loses a record.
+  int new_fanout = EffectiveFanout(members);
+  int old_fanout = last_fanout_ == 0 ? new_fanout : last_fanout_;
+  last_fanout_ = new_fanout;
   if (partition_.empty()) {
     return;
   }
   StationId self = kernel_.station();
   for (auto it = partition_.begin(); it != partition_.end();) {
     const ObjectName& name = it->first;
-    std::vector<StationId> new_homes = HomesWith(name, members);
+    std::vector<StationId> new_homes = HomesWith(name, members, new_fanout);
     bool still_home =
         std::find(new_homes.begin(), new_homes.end(), self) != new_homes.end();
-    std::vector<StationId> old_homes = HomesWith(name, previous);
+    std::vector<StationId> old_homes = HomesWith(name, previous, old_fanout);
     DirectoryUpdateMsg msg;
     msg.name = name;
     msg.host = it->second.host;

@@ -71,6 +71,14 @@ struct LocateConfig {
   // installations get crash-tolerant lookups by default, small ones don't
   // pay the double-publish tax.
   int directory_fanout = 0;
+  // Hysteresis for the auto fanout flip (directory_fanout == 0 only). With a
+  // membership hovering around the 16-member boundary — a rolling restart, a
+  // flapping node — the instant flip re-fans every record's home set on each
+  // crossing, a cluster-wide handoff wave each way. A non-zero dwell makes
+  // the flip commit only after the member count has stayed on the far side
+  // of the boundary for this long; crossings shorter than the dwell change
+  // nothing. 0 = flip immediately (bit-identical legacy behavior).
+  SimDuration fanout_dwell = 0;
   // After a fallback broadcast resolves, push the learned residence back to
   // the home node(s) so the next query hits the directory again.
   bool directory_repair = true;
@@ -207,11 +215,20 @@ class DirectoryLocation : public LocationService {
     SpanContext round_span;
   };
 
-  // Homes of `name` under an explicit member list (the system placement
-  // policy plus the effective fanout). HomesOf uses the current members;
-  // OnMembershipChange diffs against the previous snapshot.
+  // Homes of `name` under an explicit member list and fanout (the system
+  // placement policy decides which members). HomesOf uses the current
+  // members and the effective fanout; OnMembershipChange diffs against the
+  // previous snapshots of both.
   std::vector<StationId> HomesWith(const ObjectName& name,
-                                   const std::vector<Member>& members) const;
+                                   const std::vector<Member>& members,
+                                   int fanout) const;
+  // The fanout in force right now: the configured value when pinned, else
+  // the auto value (2 at >= 16 members, else 1) run through the
+  // fanout_dwell hysteresis. Deterministic across nodes: the dwell state
+  // only changes at membership transitions (delivered to every node in the
+  // same event) and the committed value is a pure function of that shared
+  // state and the current time.
+  int EffectiveFanout(const std::vector<Member>& members);
   // Applies the epoch merge rule to this node's partition. Returns true if
   // the record was applied (inserted or superseded an older one).
   bool ApplyUpdate(const ObjectName& name, const ResidenceRecord& record);
@@ -232,6 +249,16 @@ class DirectoryLocation : public LocationService {
   // membership change hands off only the records whose home set actually
   // changed instead of re-pushing everything.
   std::vector<Member> last_members_;
+  // Fanout-dwell hysteresis state (see LocateConfig::fanout_dwell).
+  // stable_fanout_ is the committed auto fanout; pending_fanout_ (0 = none)
+  // is a flip waiting out its dwell since pending_since_. last_fanout_
+  // snapshots the fanout the partition was last reconciled under, so a
+  // membership diff compares old homes at the old fanout with new homes at
+  // the new one.
+  int stable_fanout_ = 0;
+  int pending_fanout_ = 0;
+  SimTime pending_since_ = 0;
+  int last_fanout_ = 0;
   Gauge* entries_gauge_ = nullptr;
 };
 

@@ -168,13 +168,25 @@ KernelStats NodeKernel::stats() const {
   return s;
 }
 
-void NodeKernel::RecordInvocationLatency(const PendingInvocation& pending) {
+void NodeKernel::RecordInvocationLatency(const PendingInvocation& pending,
+                                         bool ok) {
   SimDuration elapsed = sim().now() - pending.started;
   (pending.went_remote ? invoke_latency_remote_ : invoke_latency_local_)
       ->Record(elapsed);
   if (!pending.metrics_class.empty()) {
     metrics_.histogram("kernel.invoke.latency.class." + pending.metrics_class)
         .Record(elapsed);
+    // Per-class completion/error counters: the telemetry SLO engine's
+    // error-burn inputs (DESIGN.md §17). Not cached — classified invocations
+    // are a driver-side minority.
+    metrics_
+        .counter("kernel.invoke.class." + pending.metrics_class + ".completed")
+        .Increment();
+    if (!ok) {
+      metrics_
+          .counter("kernel.invoke.class." + pending.metrics_class + ".errors")
+          .Increment();
+    }
   }
 }
 
@@ -753,7 +765,7 @@ void NodeKernel::CompleteInvocation(uint64_t id, InvokeResult result) {
           result.status.ok()
               ? std::string()
               : std::string(StatusCodeName(result.status.code())));
-  RecordInvocationLatency(it->second);
+  RecordInvocationLatency(it->second, result.status.ok());
   Promise<InvokeResult> promise = std::move(it->second.promise);
   pending_invocations_.erase(it);
   counters_.invocations_completed->Increment();

@@ -621,7 +621,7 @@ class NodeKernel {
     Counter* restore_quarantines = nullptr;
   };
   void InitMetrics();
-  void RecordInvocationLatency(const PendingInvocation& pending);
+  void RecordInvocationLatency(const PendingInvocation& pending, bool ok);
   void UpdateActiveGauge() {
     metrics_.gauge("kernel.objects.active")
         .Set(static_cast<int64_t>(active_.size()));

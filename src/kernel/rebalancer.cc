@@ -29,7 +29,13 @@ void Rebalancer::Tick() {
       break;
     }
   }
-  if (!worked && !drains_pending && moves_in_flight_ == 0 &&
+  // The count-based spread only diverges through object churn that some
+  // membership event accompanies, so parking until the next EnsureRunning is
+  // safe. The rate-ranked spread watches *load*, which diverges without any
+  // membership event — keep the tick alive while it is armed.
+  bool spread_watching = config_.spread_by_load && config_.spread_gap > 0 &&
+                         system_.telemetry() != nullptr;
+  if (!worked && !drains_pending && !spread_watching && moves_in_flight_ == 0 &&
       resites_in_flight_.empty()) {
     // Parked; the next membership change re-arms via EnsureRunning.
     running_ = false;
@@ -200,6 +206,9 @@ bool Rebalancer::SpreadLoad() {
   if (config_.spread_gap <= 0) {
     return false;
   }
+  if (config_.spread_by_load && system_.telemetry() != nullptr) {
+    return SpreadByLoad();
+  }
   // Fullest vs leanest active member (ties to the lower node index — keeps
   // the pass deterministic).
   const std::vector<Member>& members = system_.members();
@@ -229,6 +238,48 @@ bool Rebalancer::SpreadLoad() {
   for (const ObjectName& name : from.ActiveObjects()) {
     if (StartMove(fullest, name, to.station())) {
       system_.metrics().counter("rebalance.spread_moves").Increment();
+      return true;  // one leveling move per tick
+    }
+  }
+  return false;
+}
+
+bool Rebalancer::SpreadByLoad() {
+  Telemetry& telemetry = *system_.telemetry();
+  const std::vector<Member>& members = system_.members();
+  // Hottest vs coolest member by windowed dispatch rate; members_ is sorted
+  // by node index and the comparisons are strict, so ties break to the lower
+  // index like the count-based pass.
+  size_t fullest = SIZE_MAX, leanest = SIZE_MAX;
+  double fullest_rate = 0, leanest_rate = 0;
+  for (const Member& m : members) {
+    NodeKernel& node = system_.node(m.node);
+    if (node.failed() || node.draining()) {
+      continue;
+    }
+    double rate = telemetry.WindowSum(m.node, "kernel.dispatches.delta",
+                                      config_.spread_rate_window);
+    if (fullest == SIZE_MAX || rate > fullest_rate) {
+      fullest = m.node;
+      fullest_rate = rate;
+    }
+    if (leanest == SIZE_MAX || rate < leanest_rate) {
+      leanest = m.node;
+      leanest_rate = rate;
+    }
+  }
+  if (fullest == SIZE_MAX || leanest == SIZE_MAX || fullest == leanest) {
+    return false;
+  }
+  if (fullest_rate <= leanest_rate + config_.spread_rate_gap) {
+    return false;
+  }
+  NodeKernel& from = system_.node(fullest);
+  NodeKernel& to = system_.node(leanest);
+  for (const ObjectName& name : from.ActiveObjects()) {
+    if (StartMove(fullest, name, to.station())) {
+      system_.metrics().counter("rebalance.spread_moves").Increment();
+      system_.metrics().counter("rebalance.spread_moves_by_load").Increment();
       return true;  // one leveling move per tick
     }
   }

@@ -31,6 +31,18 @@ struct RebalanceConfig {
   // leanest, it moves one object per tick toward the leanest. This is what
   // refills a rejoined node after a rolling restart. 0 disables the pass.
   int spread_gap = 0;
+  // Rate-aware spread (DESIGN.md §17): rank members by *observed load* — the
+  // windowed per-node invocation-dispatch rate from the telemetry time
+  // series — instead of by object count, so one node holding a few hot
+  // objects sheds work to an idle peer holding many cold ones. Requires the
+  // telemetry pipeline (EnableTelemetry); without it, or with this flag off
+  // (the default), the pass is bit-identical to the count-based ranking.
+  // The move happens when the fullest member's windowed dispatch count
+  // exceeds the leanest's by more than spread_rate_gap events.
+  bool spread_by_load = false;
+  double spread_rate_gap = 64.0;
+  // Window width in scrape ticks for the rate sums.
+  size_t spread_rate_window = 8;
 };
 
 class Rebalancer {
@@ -57,6 +69,9 @@ class Rebalancer {
   bool ReactivatePassives(size_t index);
   bool ResiteCheckpoints();
   bool SpreadLoad();
+  // The spread_by_load variant: same one-move-per-tick pacing, members
+  // ranked by windowed dispatch rate from the telemetry series.
+  bool SpreadByLoad();
   // Starts one rebalancer move (drain_threshold 0: full quiesce) if a target
   // exists and the in-flight cap allows; returns whether it did.
   bool StartMove(size_t from_index, const ObjectName& name,

@@ -31,6 +31,9 @@ class JsonWriter {
   JsonWriter& Double(double value);
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
+  // Splices pre-rendered JSON in as one value (e.g. a nested export built by
+  // another writer). The caller owns its validity.
+  JsonWriter& Raw(std::string_view json);
 
   const std::string& str() const { return out_; }
   std::string Take() { return std::move(out_); }

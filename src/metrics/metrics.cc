@@ -68,7 +68,11 @@ SimDuration Histogram::Percentile(double fraction) const {
       std::ceil(fraction * static_cast<double>(count_)));
   rank = std::clamp<uint64_t>(rank, 1, count_);
   uint64_t cumulative = 0;
-  for (size_t i = 0; i < kBucketCount; i++) {
+  // All samples live in [BucketFor(min), BucketFor(max)]; buckets outside
+  // are zero, so bounding the walk changes nothing but the iteration count.
+  size_t lo = BucketFor(min_ < 0 ? 0 : static_cast<uint64_t>(min_));
+  size_t hi = BucketFor(static_cast<uint64_t>(max_));
+  for (size_t i = lo; i <= hi; i++) {
     if (buckets_[i] == 0) {
       continue;
     }
@@ -84,6 +88,109 @@ SimDuration Histogram::Percentile(double fraction) const {
     cumulative += buckets_[i];
   }
   return max_;
+}
+
+uint64_t Histogram::CountAbove(SimDuration threshold) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  uint64_t v = threshold < 0 ? 0 : static_cast<uint64_t>(threshold);
+  uint64_t above = 0;
+  size_t hi = BucketFor(static_cast<uint64_t>(max_));
+  for (size_t i = BucketFor(v) + 1; i <= hi; i++) {
+    above += buckets_[i];
+  }
+  return above;
+}
+
+Histogram Histogram::DeltaSince(const Histogram& earlier) const {
+  Histogram delta;
+  if (count_ <= earlier.count_) {
+    return delta;  // no new samples (or a bogus snapshot)
+  }
+  size_t first = kBucketCount, last = 0;
+  // `earlier` is a past snapshot, so its occupied range is a subset of this
+  // histogram's — outside [BucketFor(min), BucketFor(max)] both sides are 0.
+  size_t lo = BucketFor(min_ < 0 ? 0 : static_cast<uint64_t>(min_));
+  size_t hi = BucketFor(static_cast<uint64_t>(max_));
+  for (size_t i = lo; i <= hi; i++) {
+    delta.buckets_[i] = buckets_[i] - earlier.buckets_[i];
+    if (delta.buckets_[i] > 0) {
+      if (first == kBucketCount) {
+        first = i;
+      }
+      last = i;
+    }
+  }
+  delta.count_ = count_ - earlier.count_;
+  delta.sum_ = sum_ - earlier.sum_;
+  if (first < kBucketCount) {
+    delta.min_ = static_cast<SimDuration>(BucketLowerBound(first));
+    delta.max_ = std::min(
+        max_, static_cast<SimDuration>(BucketLowerBound(last) +
+                                       BucketWidth(last)));
+  }
+  return delta;
+}
+
+Histogram::WindowStats Histogram::StatsSince(const Histogram& earlier) const {
+  WindowStats w;
+  if (count_ <= earlier.count_) {
+    return w;
+  }
+  w.count = count_ - earlier.count_;
+  // Ranks replicate Percentile()'s arithmetic on the delta histogram exactly
+  // (ceil of fraction * count, clamped to [1, count]), so the fused walk
+  // returns bit-identical estimates to DeltaSince + Percentile.
+  uint64_t rank50 = static_cast<uint64_t>(
+      std::ceil(0.5 * static_cast<double>(w.count)));
+  rank50 = std::clamp<uint64_t>(rank50, 1, w.count);
+  uint64_t rank99 = static_cast<uint64_t>(
+      std::ceil(0.99 * static_cast<double>(w.count)));
+  rank99 = std::clamp<uint64_t>(rank99, 1, w.count);
+
+  size_t lo = BucketFor(min_ < 0 ? 0 : static_cast<uint64_t>(min_));
+  size_t hi = BucketFor(static_cast<uint64_t>(max_));
+  uint64_t cumulative = 0;
+  size_t first = kBucketCount, last = 0;
+  double est50 = 0, est99 = 0;
+  bool have50 = false, have99 = false;
+  for (size_t i = lo; i <= hi; i++) {
+    uint64_t d = buckets_[i] - earlier.buckets_[i];
+    if (d == 0) {
+      continue;
+    }
+    if (first == kBucketCount) {
+      first = i;
+    }
+    last = i;
+    if (!have50 && cumulative + d >= rank50) {
+      double within = static_cast<double>(rank50 - cumulative) /
+                      static_cast<double>(d);
+      est50 = static_cast<double>(BucketLowerBound(i)) +
+              within * static_cast<double>(BucketWidth(i));
+      have50 = true;
+    }
+    if (!have99 && cumulative + d >= rank99) {
+      double within = static_cast<double>(rank99 - cumulative) /
+                      static_cast<double>(d);
+      est99 = static_cast<double>(BucketLowerBound(i)) +
+              within * static_cast<double>(BucketWidth(i));
+      have99 = true;
+    }
+    cumulative += d;
+  }
+  if (first == kBucketCount) {
+    return w;  // unreachable when count grew, but keeps the walk total-safe
+  }
+  // Window min/max as DeltaSince estimates them: the first occupied bucket's
+  // lower bound and the last's upper bound clamped by the cumulative max.
+  auto wmin = static_cast<SimDuration>(BucketLowerBound(first));
+  w.max = std::min(max_, static_cast<SimDuration>(BucketLowerBound(last) +
+                                                  BucketWidth(last)));
+  w.p50 = std::clamp(static_cast<SimDuration>(est50), wmin, w.max);
+  w.p99 = std::clamp(static_cast<SimDuration>(est99), wmin, w.max);
+  return w;
 }
 
 void Histogram::MergeFrom(const Histogram& other) {

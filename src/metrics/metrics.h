@@ -76,6 +76,32 @@ class Histogram {
   // recorded [min, max].
   SimDuration Percentile(double fraction) const;
 
+  // Samples recorded in buckets strictly above the bucket containing
+  // `threshold` — the SLO engine's "requests over the objective" count.
+  // Bucket-granular: samples sharing the threshold's bucket are not counted,
+  // so the result carries the same ~6% relative error as Percentile.
+  uint64_t CountAbove(SimDuration threshold) const;
+
+  // The samples recorded since `earlier` was snapshotted (bucket-wise
+  // difference; `earlier` must be a past copy of this histogram). Used by
+  // the telemetry scraper for per-tick window quantiles. min/max of the
+  // window are bucket-granular estimates (the exact extremes are not
+  // recoverable from cumulative state).
+  Histogram DeltaSince(const Histogram& earlier) const;
+
+  // The four window figures a telemetry scrape exports, computed in a single
+  // bucket walk over the occupied range — identical values to
+  // DeltaSince(earlier) followed by count()/Percentile(0.5)/Percentile(0.99)/
+  // max(), without materializing the intermediate histogram. This is the
+  // per-tick hot path when a 1 ms scrape cadence meets active instruments.
+  struct WindowStats {
+    uint64_t count = 0;
+    SimDuration p50 = 0;
+    SimDuration p99 = 0;
+    SimDuration max = 0;
+  };
+  WindowStats StatsSince(const Histogram& earlier) const;
+
   void MergeFrom(const Histogram& other);
 
   // {"count":n,"mean_us":..,"min_us":..,"p50_us":..,"p90_us":..,

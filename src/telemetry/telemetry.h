@@ -1,0 +1,213 @@
+// Always-on telemetry (DESIGN.md §17): the live pipeline over the passive
+// metrics registries and the span collector.
+//
+// Three cooperating pieces:
+//
+//   1. Scrape — a deterministic sim-timer chain per shard samples every
+//      node's MetricsRegistry (and the system registry when unsharded) into
+//      bounded SeriesBuffer rings each scrape_interval. Ticks are scheduled
+//      with ScheduleAtKeyed under a reserved domain that orders *after*
+//      every other event at the same instant, so a sample always observes
+//      the end-of-instant state regardless of the shard layout — the same
+//      virtual second produces the same series on 1, 2 or 4 shards.
+//
+//   2. SLO engine — per-invocation-class objectives (latency target + goal
+//      fraction, max error rate) evaluated as sliding-window burn rates over
+//      the last window_ticks scrapes. A burn of 1.0 means "consuming error
+//      budget exactly at the objective rate"; crossing burn_threshold emits
+//      a structured SloViolation (rising-edge latched, so a sustained burn
+//      yields one violation, not one per tick). Unsharded systems only —
+//      the same worlds where faults and membership churn can run.
+//
+//   3. Flight recorder — on an SLO violation or an injected fault, dumps a
+//      DiagnosticBundle: the violation, the last bundle_series_ticks of
+//      every time series, summaries of the tail-retained traces (span.h's
+//      tail policy keeps the slow/annotated/sampled ones), the K worst
+//      exemplars, and a Chrome-trace slice. Bundles are capped in count and
+//      spacing, so a fault storm cannot turn the recorder into the outage.
+//
+// Determinism: scrapes read state that is itself deterministic, push into
+// std::map-ordered series, and consume no simulation randomness. The tick
+// events do occupy (domain, stream, seq) slots, so sim.trace() digests shift
+// when telemetry is on — but node digests and wire traffic are untouched
+// (telemetry_test pins this).
+#ifndef EDEN_SRC_TELEMETRY_TELEMETRY_H_
+#define EDEN_SRC_TELEMETRY_TELEMETRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+#include "src/sim/time.h"
+#include "src/telemetry/timeseries.h"
+
+namespace eden {
+
+class EdenSystem;
+
+// One latency/error objective for an invocation class (InvokeOptions::
+// metrics_class). Example: class "user", 99% of invocations under 5ms,
+// at most 1% errors.
+struct SloObjective {
+  std::string metrics_class;
+  SimDuration latency_target = Milliseconds(5);
+  double latency_goal = 0.99;   // fraction that must land under the target
+  double max_error_rate = 0.01;
+  // Violation fires when a window burn rate reaches this multiple of the
+  // objective's budget. 1.0 = exactly at budget; SRE practice pages at >1.
+  double burn_threshold = 1.0;
+  // Windows with fewer requests than this are not evaluated (a single slow
+  // call in an idle window is not an outage).
+  uint64_t min_requests = 32;
+};
+
+struct SloViolation {
+  SimTime when = 0;
+  std::string metrics_class;
+  std::string kind;  // "latency" or "error"
+  double burn = 0;
+  uint64_t window_requests = 0;
+  uint64_t window_bad = 0;
+  // Critical-path phase dominating the recently retained traces ("wire",
+  // "store.read", ...) — the recorder's first-guess root cause. "invoke"
+  // when no traced evidence is available.
+  std::string dominant_phase;
+};
+
+struct DiagnosticBundle {
+  SimTime when = 0;
+  std::string trigger;  // "slo:<class>:<kind>" or "fault:<kind>"
+  std::string json;     // the full bundle document
+};
+
+struct TelemetryConfig {
+  bool enabled = false;
+  SimDuration scrape_interval = Milliseconds(10);
+  // Points retained per series (ring capacity): bounded memory no matter how
+  // long the run is.
+  size_t ring_capacity = 256;
+  // SLO burn-rate window, in scrape ticks.
+  size_t window_ticks = 8;
+  std::vector<SloObjective> objectives;
+  // Flight-recorder caps: at most max_bundles dumps per run, at least
+  // min_bundle_spacing of virtual time apart.
+  size_t max_bundles = 4;
+  SimDuration min_bundle_spacing = Milliseconds(100);
+  // How much series history a bundle embeds.
+  size_t bundle_series_ticks = 32;
+};
+
+class Telemetry {
+ public:
+  Telemetry(EdenSystem* system, TelemetryConfig config);
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  // Starts the scrape chain on every shard that does not have one yet.
+  // Idempotent; EdenSystem calls it again after WithShards so late-created
+  // shards get their chains.
+  void Start();
+
+  // Eager sampler creation, called by EdenSystem::AddNodeWithConfig from the
+  // main thread. Ticks running on shard threads only *read* the vector, so
+  // growth must never happen there.
+  void OnNodeAdded(size_t index);
+
+  // Pre-registers series for every instrument that exists right now, so a
+  // warm system's first scrape samples instead of allocating ~100 series
+  // per node in one burst. Optional and idempotent; call from the main
+  // thread after warmup traffic, before the measured window. Instruments
+  // created later still get their series on their first scrape.
+  void Prime();
+
+  // Fault-injector sink hook: every injected fault can open a bundle
+  // (subject to the caps). `kind` is the injector's fault name.
+  void OnFault(const char* kind, uint32_t site);
+
+  const TelemetryConfig& config() const { return config_; }
+  // Scrape ticks completed on shard 0.
+  uint64_t ticks() const { return ticks_; }
+
+  // Sliding-window sum of one node series (e.g. "kernel.dispatches.delta"
+  // over the rebalancer's rate window). 0 when the node or series is unknown.
+  double WindowSum(size_t node, const std::string& series,
+                   size_t last_ticks) const;
+  const RegistrySampler* NodeSampler(size_t index) const {
+    return index < node_samplers_.size() ? node_samplers_[index].get()
+                                         : nullptr;
+  }
+
+  // The windowed export: per-node series, the system registry's series
+  // (unsharded runs), and a cross-node rollup where counter deltas /counts
+  // sum element-wise and quantile series take the element-wise max.
+  std::string WindowJson(size_t last_ticks) const;
+
+  const std::vector<SloViolation>& violations() const { return violations_; }
+  const std::vector<DiagnosticBundle>& bundles() const { return bundles_; }
+
+  // Folds telemetry's own health counters (telemetry.scrapes, the violation
+  // and bundle counts) into a Rollup() snapshot.
+  void ContributeTo(MetricsRegistry& rollup) const;
+
+ private:
+  // Sliding-window SLO inputs for one objective: previous cumulative values
+  // per node (so each tick yields a delta) and rings of per-tick cluster-wide
+  // deltas, window_ticks deep.
+  struct SloState {
+    explicit SloState(size_t window_ticks)
+        : bad(window_ticks),
+          requests(window_ticks),
+          completed(window_ticks),
+          errors(window_ticks) {}
+    std::vector<uint64_t> prev_bad;        // by node index
+    std::vector<uint64_t> prev_requests;   // by node index
+    std::vector<uint64_t> prev_completed;  // by node index
+    std::vector<uint64_t> prev_errors;     // by node index
+    // The class's instrument names, built once; per-node instrument pointers
+    // resolve lazily (null until the class's first invocation on that node
+    // creates them) and stay valid — registries only ever add instruments.
+    std::string hist_name;
+    std::string completed_name;
+    std::string errors_name;
+    std::vector<const Histogram*> hist;        // by node index
+    std::vector<const Counter*> completed_ctr;  // by node index
+    std::vector<const Counter*> errors_ctr;     // by node index
+    SeriesBuffer bad;
+    SeriesBuffer requests;
+    SeriesBuffer completed;
+    SeriesBuffer errors;
+    // Rising-edge latches: a sustained burn emits one violation.
+    bool latency_latched = false;
+    bool error_latched = false;
+  };
+
+  void ScheduleTick(size_t shard, uint64_t k);
+  void Tick(size_t shard, uint64_t k);
+  void EvaluateSlos(SimTime now);
+  std::string DominantPhase() const;
+  void MaybeBundle(SimTime now, const std::string& trigger,
+                   const SloViolation* violation);
+  std::string BuildBundleJson(SimTime now, const std::string& trigger,
+                              const SloViolation* violation) const;
+
+  EdenSystem* system_;
+  TelemetryConfig config_;
+
+  std::vector<std::unique_ptr<RegistrySampler>> node_samplers_;  // by index
+  std::unique_ptr<RegistrySampler> system_sampler_;
+  std::vector<bool> chain_started_;      // by shard
+  std::vector<SimTime> chain_origin_;    // by shard: now() when started
+  std::vector<uint64_t> shard_scrapes_;  // each written only by its shard
+  uint64_t ticks_ = 0;                   // shard 0 only
+
+  std::vector<SloState> slo_;  // parallel to config_.objectives
+  std::vector<SloViolation> violations_;
+  std::vector<DiagnosticBundle> bundles_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,123 @@
+#include "src/telemetry/timeseries.h"
+
+#include <unordered_map>
+
+namespace eden {
+
+namespace {
+constexpr double kNsPerUs = 1000.0;
+}  // namespace
+
+void RegistrySampler::ResolveNewInstruments() {
+  // Registries only add instruments; a new name can sort anywhere, so on
+  // growth the slot list is rebuilt in the registry's (name-sorted) order,
+  // carrying each known instrument's previous state across by pointer
+  // identity. Instruments trickle in as code paths warm, so rebuilds recur
+  // through a run — each is O(n), and the steady state stays a flat
+  // slot-array walk behind three size checks.
+  if (counter_slots_.size() != registry_->counters().size()) {
+    std::unordered_map<const Counter*, size_t> old;
+    old.reserve(counter_slots_.size());
+    for (size_t i = 0; i < counter_slots_.size(); i++) {
+      old.emplace(counter_slots_[i].counter, i);
+    }
+    std::vector<CounterSlot> fresh;
+    fresh.reserve(registry_->counters().size());
+    for (const auto& [name, counter] : registry_->counters()) {
+      auto it = old.find(counter.get());
+      if (it != old.end()) {
+        fresh.push_back(counter_slots_[it->second]);
+      } else {
+        fresh.push_back(CounterSlot{counter.get(), 0,
+                                    SeriesFor(name + ".delta")});
+      }
+    }
+    counter_slots_ = std::move(fresh);
+  }
+  if (gauge_slots_.size() != registry_->gauges().size()) {
+    std::unordered_map<const Gauge*, size_t> old;
+    old.reserve(gauge_slots_.size());
+    for (size_t i = 0; i < gauge_slots_.size(); i++) {
+      old.emplace(gauge_slots_[i].gauge, i);
+    }
+    std::vector<GaugeSlot> fresh;
+    fresh.reserve(registry_->gauges().size());
+    for (const auto& [name, gauge] : registry_->gauges()) {
+      auto it = old.find(gauge.get());
+      if (it != old.end()) {
+        fresh.push_back(gauge_slots_[it->second]);
+      } else {
+        fresh.push_back(GaugeSlot{gauge.get(), SeriesFor(name)});
+      }
+    }
+    gauge_slots_ = std::move(fresh);
+  }
+  if (histogram_slots_.size() != registry_->histograms().size()) {
+    std::unordered_map<const Histogram*, size_t> old;
+    old.reserve(histogram_slots_.size());
+    for (size_t i = 0; i < histogram_slots_.size(); i++) {
+      old.emplace(histogram_slots_[i].hist, i);
+    }
+    std::vector<HistogramSlot> fresh;
+    fresh.reserve(registry_->histograms().size());
+    for (const auto& [name, hist] : registry_->histograms()) {
+      auto it = old.find(hist.get());
+      if (it != old.end()) {
+        fresh.push_back(std::move(histogram_slots_[it->second]));
+      } else {
+        fresh.push_back(HistogramSlot{hist.get(), Histogram{},
+                                      SeriesFor(name + ".count"),
+                                      SeriesFor(name + ".p50_us"),
+                                      SeriesFor(name + ".p99_us"),
+                                      SeriesFor(name + ".max_us")});
+      }
+    }
+    histogram_slots_ = std::move(fresh);
+  }
+}
+
+void RegistrySampler::Sample() {
+  ticks_++;
+  ResolveNewInstruments();
+  for (CounterSlot& slot : counter_slots_) {
+    uint64_t now = slot.counter->value();
+    slot.series->Push(static_cast<double>(now - slot.prev));
+    slot.prev = now;
+  }
+  for (GaugeSlot& slot : gauge_slots_) {
+    slot.series->Push(static_cast<double>(slot.gauge->value()));
+  }
+  for (HistogramSlot& slot : histogram_slots_) {
+    // Idle histograms (no new samples since the last tick) skip the snapshot
+    // copy and both bucket walks — the common case for most instruments on
+    // most ticks, and exactly what the full DeltaSince path would produce.
+    if (slot.hist->count() == slot.prev.count()) {
+      slot.count->Push(0.0);
+      slot.p50->Push(0.0);
+      slot.p99->Push(0.0);
+      slot.max->Push(0.0);
+      continue;
+    }
+    Histogram::WindowStats window = slot.hist->StatsSince(slot.prev);
+    slot.prev = *slot.hist;
+    slot.count->Push(static_cast<double>(window.count));
+    slot.p50->Push(static_cast<double>(window.p50) / kNsPerUs);
+    slot.p99->Push(static_cast<double>(window.p99) / kNsPerUs);
+    slot.max->Push(static_cast<double>(window.max) / kNsPerUs);
+  }
+}
+
+void RegistrySampler::WriteJson(JsonWriter& json, size_t last_ticks) const {
+  json.BeginObject();
+  for (const auto& [name, series] : series_) {
+    json.Key(name).BeginArray();
+    size_t n = last_ticks < series.size() ? last_ticks : series.size();
+    for (size_t i = series.size() - n; i < series.size(); i++) {
+      json.Double(series.at(i));
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+}
+
+}  // namespace eden

@@ -1,0 +1,172 @@
+// Telemetry time series (DESIGN.md §17): fixed-size ring buffers of sampled
+// metric values, filled by a deterministic sim-timer scrape.
+//
+// A SeriesBuffer is the storage primitive — a ring of doubles with a bounded
+// capacity, so an always-on pipeline holds a sliding window of history in
+// constant memory no matter how long the run gets. A RegistrySampler walks
+// one MetricsRegistry per scrape tick and maintains one series per
+// instrument:
+//
+//   counter   <name>.delta   — events since the previous tick (windowed rate)
+//   gauge     <name>         — the level at the tick
+//   histogram <name>.count   — samples recorded inside the tick
+//             <name>.p50_us  — p50 of just those samples (DeltaSince window)
+//             <name>.p99_us  — p99 of the window
+//             <name>.max_us  — bucket-granular max of the window
+//
+// Registries are std::map-ordered, so the series set and the sample order
+// are pure functions of the execution — scrapes are bit-identical per seed
+// and across shard layouts (telemetry_test pins this).
+#ifndef EDEN_SRC_TELEMETRY_TIMESERIES_H_
+#define EDEN_SRC_TELEMETRY_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/metrics/json_writer.h"
+#include "src/metrics/metrics.h"
+
+namespace eden {
+
+// Fixed-capacity ring of samples. Push is O(1); the window keeps the most
+// recent `capacity` points.
+class SeriesBuffer {
+ public:
+  explicit SeriesBuffer(size_t capacity = 256)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  void Push(double value) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(value);
+    } else {
+      ring_[head_] = value;
+      // Compare-and-wrap, not %: a scrape tick pushes to every series, and
+      // a runtime-capacity modulo is an integer divide on that hot path.
+      head_++;
+      if (head_ == capacity_) {
+        head_ = 0;
+      }
+    }
+    total_++;
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Points currently retained (<= capacity).
+  size_t size() const { return ring_.size(); }
+  // Points pushed over the series' lifetime.
+  uint64_t total() const { return total_; }
+
+  // i = 0 is the oldest retained point, i = size()-1 the newest.
+  double at(size_t i) const {
+    size_t idx = head_ + i;  // head_ < size() and i < size(), so one wrap
+    if (idx >= ring_.size()) {
+      idx -= ring_.size();
+    }
+    return ring_[idx];
+  }
+  double back() const { return at(ring_.size() - 1); }
+
+  // Sum of the newest min(k, size()) points — the sliding-window aggregate
+  // the SLO engine and the load-aware rebalancer consume.
+  double SumLast(size_t k) const {
+    size_t n = k < ring_.size() ? k : ring_.size();
+    double sum = 0;
+    for (size_t i = 0; i < n; i++) {
+      sum += at(ring_.size() - 1 - i);
+    }
+    return sum;
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // index of the oldest element once the ring is full
+  uint64_t total_ = 0;
+  std::vector<double> ring_;
+};
+
+// Scrapes one MetricsRegistry into named series (see the header comment for
+// the per-instrument naming scheme). The sampler never mutates the registry;
+// it keeps previous counter values and full histogram snapshots so each tick
+// records window deltas, not cumulative totals.
+//
+// The per-tick walk is slot-cached: instruments resolve to direct pointers
+// (instrument, previous state, series ring) once, and the name-keyed maps are
+// only consulted again when the registry has grown. Registries only ever add
+// instruments and both std::map and the instruments themselves are
+// pointer-stable, so a steady-state scrape is a flat array walk with no
+// string allocation — what makes a 1 ms cadence affordable.
+class RegistrySampler {
+ public:
+  RegistrySampler(const MetricsRegistry* registry, size_t ring_capacity)
+      : registry_(registry), ring_capacity_(ring_capacity) {}
+
+  // One scrape. Instruments created since the last tick get their series
+  // started here (their first counter delta is the full cumulative value).
+  void Sample();
+
+  // Pre-registers series and slots for every instrument that exists now,
+  // without recording a tick. Optional: a warm system can prime after its
+  // instruments are created so the first scrape is a plain sample, not a
+  // burst of series allocations. Idempotent; later instruments still
+  // resolve on their first tick.
+  void Prime() { ResolveNewInstruments(); }
+
+  uint64_t ticks() const { return ticks_; }
+  const std::map<std::string, SeriesBuffer>& series() const { return series_; }
+  const SeriesBuffer* Find(const std::string& name) const {
+    auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+  }
+  // Sum of the newest `last_ticks` points of `name` (0 when absent).
+  double WindowSum(const std::string& name, size_t last_ticks) const {
+    const SeriesBuffer* s = Find(name);
+    return s == nullptr ? 0.0 : s->SumLast(last_ticks);
+  }
+
+  // {"<series>":[...], ...} — the newest min(last_ticks, size) points each.
+  void WriteJson(JsonWriter& json, size_t last_ticks) const;
+
+ private:
+  struct CounterSlot {
+    const Counter* counter;
+    uint64_t prev = 0;
+    SeriesBuffer* series;
+  };
+  struct GaugeSlot {
+    const Gauge* gauge;
+    SeriesBuffer* series;
+  };
+  struct HistogramSlot {
+    const Histogram* hist;
+    // Full bucket snapshot: DeltaSince needs the whole previous state to
+    // produce window quantiles.
+    Histogram prev;
+    SeriesBuffer* count;
+    SeriesBuffer* p50;
+    SeriesBuffer* p99;
+    SeriesBuffer* max;
+  };
+
+  // Appends slots for instruments the registry added since the last resolve.
+  void ResolveNewInstruments();
+  SeriesBuffer* SeriesFor(const std::string& name) {
+    return &series_.try_emplace(name, SeriesBuffer(ring_capacity_))
+                .first->second;
+  }
+
+  const MetricsRegistry* registry_;
+  size_t ring_capacity_;
+  uint64_t ticks_ = 0;
+  std::map<std::string, SeriesBuffer> series_;
+  std::vector<CounterSlot> counter_slots_;
+  std::vector<GaugeSlot> gauge_slots_;
+  std::vector<HistogramSlot> histogram_slots_;
+};
+
+}  // namespace eden
+
+#endif  // EDEN_SRC_TELEMETRY_TIMESERIES_H_

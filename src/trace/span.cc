@@ -89,8 +89,7 @@ SpanContext SpanCollector::StartSpan(const SpanContext& parent, SpanKind kind,
       trace = &live_[ctx.trace_id];
       trace->tree.trace_id = ctx.trace_id;
       trace->fragment = true;
-      cached_trace_id_ = ctx.trace_id;
-      cached_trace_ = trace;
+      CacheLive(ctx.trace_id, trace);
     }
     if (trace->tree.spans.size() >= config_.max_spans_per_trace) {
       stats_.spans_dropped++;
@@ -124,8 +123,7 @@ SpanContext SpanCollector::StartSpan(const SpanContext& parent, SpanKind kind,
         trace->tree.spans.reserve(8);
       }
     }
-    cached_trace_id_ = id;
-    cached_trace_ = trace;
+    CacheLive(id, trace);
     stats_.traces_started++;
   }
 
@@ -142,23 +140,45 @@ SpanContext SpanCollector::StartSpan(const SpanContext& parent, SpanKind kind,
   span.end = now;
   trace->open_spans++;
   stats_.spans_started++;
+  HoldSpans(1);
   return ctx;
+}
+
+void SpanCollector::HoldSpans(size_t n) {
+  // Per-span hot path: no gauge write here. The held gauge refreshes on
+  // release (every finalize), which is as often as its value can shrink;
+  // the high-water gauge only on an actual new peak.
+  held_spans_ += n;
+  if (held_spans_ > stats_.spans_held_high_water) {
+    stats_.spans_held_high_water = held_spans_;
+    if (spans_high_water_gauge_ != nullptr) {
+      spans_high_water_gauge_->Set(
+          static_cast<int64_t>(stats_.spans_held_high_water));
+    }
+  }
+}
+
+void SpanCollector::ReleaseSpans(size_t n) {
+  held_spans_ -= n;
+  if (spans_held_gauge_ != nullptr) {
+    spans_held_gauge_->Set(static_cast<int64_t>(held_spans_));
+  }
 }
 
 SpanCollector::LiveTrace* SpanCollector::FindLive(const SpanContext& ctx) {
   if (!ctx.valid()) {
     return nullptr;
   }
-  if (ctx.trace_id == cached_trace_id_ && cached_trace_ != nullptr) {
-    return cached_trace_;
+  size_t slot = ctx.trace_id & (kLiveCacheSize - 1);
+  if (live_cache_ids_[slot] == ctx.trace_id && live_cache_[slot] != nullptr) {
+    return live_cache_[slot];
   }
   auto it = live_.find(ctx.trace_id);
   if (it == live_.end()) {
     return nullptr;
   }
-  cached_trace_id_ = ctx.trace_id;
-  cached_trace_ = &it->second;
-  return cached_trace_;
+  CacheLive(ctx.trace_id, &it->second);
+  return &it->second;
 }
 
 Span* SpanCollector::FindOpen(LiveTrace* trace, uint64_t span_id) {
@@ -233,10 +253,7 @@ void SpanCollector::MaybeFinalize(uint64_t trace_id, LiveTrace& trace) {
   // Extract instead of erase: the map node is recycled for the next trace,
   // so the traced steady state performs no per-trace node allocation. This
   // runs once per trace; the per-span fast path never touches iterators.
-  if (cached_trace_ == &trace) {
-    cached_trace_ = nullptr;
-    cached_trace_id_ = 0;
-  }
+  UncacheLive(trace_id);
   auto node = live_.extract(trace_id);
   if (node.empty()) {
     return;
@@ -288,16 +305,79 @@ void SpanCollector::Finalize(uint64_t trace_id, LiveTrace&& trace) {
                   trace.tree.spans[0].parent_span_id == 0;
   if (has_root) {
     stats_.traces_completed++;
+    SimDuration e2e = trace.tree.spans[0].duration();
+    if (config_.tail.enabled && !RetainUnderTailPolicy(trace.tree, e2e)) {
+      // Flight-recorder discard: the e2e histogram stays complete (recorded
+      // from the root alone), but the trace pays neither the critical-path
+      // sweep nor retention memory. Phase histograms are tail-sampled.
+      stats_.traces_discarded++;
+      if (e2e_hist_ != nullptr) {
+        e2e_hist_->Record(e2e);
+      }
+      if (traces_completed_counter_ != nullptr) {
+        traces_completed_counter_->Increment();
+      }
+      if (tail_discarded_counter_ != nullptr) {
+        tail_discarded_counter_->Increment();
+      }
+      ReleaseSpans(trace.tree.spans.size());
+      Recycle(std::move(trace.tree));
+      (void)trace_id;
+      return;
+    }
+    if (config_.tail.enabled) {
+      stats_.traces_retained++;
+      if (tail_retained_counter_ != nullptr) {
+        tail_retained_counter_->Increment();
+      }
+    }
     PhaseBreakdown breakdown = CriticalPath(trace.tree);
     RecordPhaseMetrics(breakdown);
     KeepExemplar(trace.tree);
   }
   completed_.push_back(std::move(trace.tree));
   while (completed_.size() > config_.retain_completed) {
+    ReleaseSpans(completed_.front().spans.size());
     Recycle(std::move(completed_.front()));
     completed_.pop_front();
   }
   (void)trace_id;
+}
+
+bool SpanCollector::RetainUnderTailPolicy(const TraceTree& tree,
+                                          SimDuration e2e) {
+  // Every root duration feeds the tail distribution, retained or not: the
+  // top-p threshold must see the full population to mean anything.
+  tail_durations_.Record(e2e);
+  const SpanCollectorConfig::Tail& tail = config_.tail;
+  // Deterministic 1-in-N baseline: trace ids come from the collector-private
+  // counter, so this decision is a pure function of the execution.
+  if (tail.one_in_n > 0 && tree.trace_id % tail.one_in_n == 0) {
+    return true;
+  }
+  if (tail_durations_.count() <= tail.warmup) {
+    return true;  // distribution too thin to call anything fast yet
+  }
+  // The top-p threshold is a histogram bucket walk; recomputing it for every
+  // finalized root is the dominant per-trace cost at saturation. Refresh it
+  // every kTailThresholdRefresh roots instead — keyed on the population
+  // count, so the decision sequence stays a pure function of the execution —
+  // and accept a threshold at most that many samples stale.
+  if (tail_threshold_ < 0 ||
+      tail_durations_.count() % kTailThresholdRefresh == 0) {
+    tail_threshold_ = tail_durations_.Percentile(1.0 - tail.top_p);
+  }
+  if (e2e >= tail_threshold_) {
+    return true;
+  }
+  // Fault/retry-annotated: any span that closed dirty or carries notes
+  // (retransmits, redirects, injected faults, backoff decisions).
+  for (const Span& span : tree.spans) {
+    if (!span.status.empty() || !span.notes.empty()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void SpanCollector::Recycle(TraceTree&& tree) {
@@ -335,6 +415,7 @@ void SpanCollector::KeepExemplar(const TraceTree& tree) {
     return;
   }
   exemplars_.push_back(tree);
+  HoldSpans(tree.spans.size());  // exemplars are copies: they hold memory too
   std::sort(exemplars_.begin(), exemplars_.end(),
             [](const TraceTree& a, const TraceTree& b) {
               if (a.root()->duration() != b.root()->duration()) {
@@ -343,6 +424,7 @@ void SpanCollector::KeepExemplar(const TraceTree& tree) {
               return a.trace_id < b.trace_id;
             });
   while (exemplars_.size() > config_.slow_exemplars) {
+    ReleaseSpans(exemplars_.back().spans.size());
     Recycle(std::move(exemplars_.back()));
     exemplars_.pop_back();
   }
@@ -389,15 +471,53 @@ void SpanCollector::Absorb(SpanCollector& other) {
   stats_.traces_completed += other.stats_.traces_completed;
   stats_.spans_dropped += other.stats_.spans_dropped;
   stats_.orphan_events += other.stats_.orphan_events;
+  stats_.traces_retained += other.stats_.traces_retained;
+  stats_.traces_discarded += other.stats_.traces_discarded;
+  // High-water marks are per-collector instantaneous peaks; the merged
+  // figure reports the worst single collector rather than a sum of peaks
+  // that never coexisted meaningfully.
+  stats_.spans_held_high_water =
+      std::max(stats_.spans_held_high_water, other.stats_.spans_held_high_water);
   other.stats_ = SpanCollectorStats{};
 
   // Joined trees may now carry spans their original ranking never saw;
   // re-rank the exemplars over the merged retained window.
+  for (const TraceTree& tree : exemplars_) {
+    ReleaseSpans(tree.spans.size());
+  }
   exemplars_.clear();
   for (const TraceTree& tree : completed_) {
     if (!tree.spans.empty() && tree.spans[0].parent_span_id == 0) {
       KeepExemplar(tree);
     }
+  }
+  // Span ownership moved wholesale between collectors: recompute the held
+  // count from what each side actually retains now.
+  RecountHeldSpans();
+  other.RecountHeldSpans();
+}
+
+void SpanCollector::RecountHeldSpans() {
+  size_t held = 0;
+  for (const auto& [trace_id, trace] : live_) {
+    held += trace.tree.spans.size();
+  }
+  for (const TraceTree& tree : completed_) {
+    held += tree.spans.size();
+  }
+  for (const TraceTree& tree : exemplars_) {
+    held += tree.spans.size();
+  }
+  held_spans_ = held;
+  if (held_spans_ > stats_.spans_held_high_water) {
+    stats_.spans_held_high_water = held_spans_;
+  }
+  if (spans_held_gauge_ != nullptr) {
+    spans_held_gauge_->Set(static_cast<int64_t>(held_spans_));
+  }
+  if (spans_high_water_gauge_ != nullptr) {
+    spans_high_water_gauge_->Set(
+        static_cast<int64_t>(stats_.spans_held_high_water));
   }
 }
 
@@ -665,6 +785,10 @@ void SpanCollector::set_metrics(MetricsRegistry* registry) {
     }
     e2e_hist_ = nullptr;
     traces_completed_counter_ = nullptr;
+    tail_retained_counter_ = nullptr;
+    tail_discarded_counter_ = nullptr;
+    spans_held_gauge_ = nullptr;
+    spans_high_water_gauge_ = nullptr;
     return;
   }
   for (size_t k = 0; k < kSpanKindCount; k++) {
@@ -674,17 +798,33 @@ void SpanCollector::set_metrics(MetricsRegistry* registry) {
   }
   e2e_hist_ = &registry->histogram("trace.e2e.latency");
   traces_completed_counter_ = &registry->counter("trace.traces_completed");
+  tail_retained_counter_ = &registry->counter("trace.tail.retained");
+  tail_discarded_counter_ = &registry->counter("trace.tail.discarded");
+  spans_held_gauge_ = &registry->gauge("trace.spans.held");
+  spans_high_water_gauge_ = &registry->gauge("trace.spans.high_water");
+  spans_held_gauge_->Set(static_cast<int64_t>(held_spans_));
+  spans_high_water_gauge_->Set(
+      static_cast<int64_t>(stats_.spans_held_high_water));
 }
 
 void SpanCollector::Clear() {
   live_.clear();
-  cached_trace_ = nullptr;
-  cached_trace_id_ = 0;
+  live_cache_ids_.fill(0);
+  live_cache_.fill(nullptr);
   completed_.clear();
   exemplars_.clear();
   spare_spans_.clear();
   spare_nodes_.clear();
   stats_ = SpanCollectorStats{};
+  held_spans_ = 0;
+  tail_durations_ = Histogram{};
+  tail_threshold_ = -1;
+  if (spans_held_gauge_ != nullptr) {
+    spans_held_gauge_->Set(0);
+  }
+  if (spans_high_water_gauge_ != nullptr) {
+    spans_high_water_gauge_->Set(0);
+  }
 }
 
 }  // namespace eden

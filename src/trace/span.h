@@ -21,6 +21,7 @@
 #ifndef EDEN_SRC_TRACE_SPAN_H_
 #define EDEN_SRC_TRACE_SPAN_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -113,6 +114,28 @@ struct SpanCollectorConfig {
   // Safety caps; beyond them spans are counted as dropped, not recorded.
   size_t max_live_traces = 4096;
   size_t max_spans_per_trace = 512;
+
+  // --- Flight recorder: tail-based retention (DESIGN.md §17) -----------------
+  // When enabled, a finalized root trace is *retained* — critical-path
+  // attribution, phase histograms, exemplar ranking, the completed() window —
+  // only if it is interesting: slow (its end-to-end duration reaches the
+  // top_p tail of the durations seen so far), annotated (any span closed
+  // with a non-empty status or carries notes: faults, retries, timeouts),
+  // or 1-in-N sampled by trace id (seed-stable — ids come from the
+  // collector-private counter, never from simulation randomness). Every
+  // other trace records its e2e latency (that histogram stays complete) and
+  // is recycled on the spot, skipping the O(spans²) critical-path sweep —
+  // the steady-state cost and memory of always-on tracing. Phase histograms
+  // are therefore tail-sampled while this is on. Applies only to rooted
+  // traces in an unsharded collector; per-shard fragment collectors keep
+  // everything for Absorb to rejoin.
+  struct Tail {
+    bool enabled = false;
+    double top_p = 0.05;     // retain the slowest top_p fraction
+    uint64_t one_in_n = 64;  // deterministic baseline sample; 0 disables
+    uint64_t warmup = 128;   // retain everything until this many roots seen
+  };
+  Tail tail;
 };
 
 struct SpanCollectorStats {
@@ -122,6 +145,13 @@ struct SpanCollectorStats {
   uint64_t traces_completed = 0;
   uint64_t spans_dropped = 0;   // cap overflow
   uint64_t orphan_events = 0;   // End/Annotate for an unknown span
+  // Flight-recorder accounting (zero unless tail.enabled): finalized root
+  // traces kept vs recycled by the retention policy, and the most spans the
+  // collector ever held at once (live + completed window + exemplar copies)
+  // — the bounded-memory witness bench_tracing reports.
+  uint64_t traces_retained = 0;
+  uint64_t traces_discarded = 0;
+  uint64_t spans_held_high_water = 0;
 };
 
 // Latency attribution for one trace: for every instant of the root span's
@@ -194,9 +224,15 @@ class SpanCollector {
   std::string ExportChromeTrace() const;
 
   // Mirrors phase attributions into `registry` as trace.phase.<kind>
-  // histograms plus trace.e2e.latency, recorded when each trace finalizes.
-  // The registry must outlive this collector; nullptr detaches.
+  // histograms plus trace.e2e.latency, recorded when each trace finalizes,
+  // and — when tail retention is on — trace.tail.{retained,discarded}
+  // counters plus the trace.spans.{held,high_water} gauges. The registry
+  // must outlive this collector; nullptr detaches.
   void set_metrics(MetricsRegistry* registry);
+
+  const SpanCollectorConfig& config() const { return config_; }
+  // Spans currently held (live + completed window + exemplar copies).
+  size_t spans_held() const { return held_spans_; }
 
   // --- Shard-local collection (DESIGN.md §14) --------------------------------
   // Under the parallel engine each shard gets its own collector (collectors
@@ -234,10 +270,33 @@ class SpanCollector {
   Span* FindOpen(LiveTrace* trace, uint64_t span_id);
   Span* FindOpen(LiveTrace* trace, const SpanContext& ctx);
   LiveTrace* FindLive(const SpanContext& ctx);
+  // live_ lookup-cache maintenance (see live_cache_ below).
+  void CacheLive(uint64_t trace_id, LiveTrace* trace) {
+    size_t slot = trace_id & (kLiveCacheSize - 1);
+    live_cache_ids_[slot] = trace_id;
+    live_cache_[slot] = trace;
+  }
+  void UncacheLive(uint64_t trace_id) {
+    size_t slot = trace_id & (kLiveCacheSize - 1);
+    if (live_cache_ids_[slot] == trace_id) {
+      live_cache_ids_[slot] = 0;
+      live_cache_[slot] = nullptr;
+    }
+  }
   void MaybeFinalize(uint64_t trace_id, LiveTrace& trace);
   void Finalize(uint64_t trace_id, LiveTrace&& trace);
+  // Flight-recorder decision for a finalized root trace (see config_.tail).
+  // Records `e2e` into the tail-duration distribution either way.
+  bool RetainUnderTailPolicy(const TraceTree& tree, SimDuration e2e);
   void RecordPhaseMetrics(const PhaseBreakdown& breakdown);
   void KeepExemplar(const TraceTree& tree);
+  // held_spans_ bookkeeping: every span entering / leaving retained storage
+  // passes through these, and the high-water mark updates on growth.
+  void HoldSpans(size_t n);
+  void ReleaseSpans(size_t n);
+  // Rebuilds held_spans_ from retained storage after Absorb moves trees
+  // wholesale between collectors.
+  void RecountHeldSpans();
   // Returns a retiring tree's span storage to spare_spans_, so the traced
   // steady state allocates no per-trace vectors.
   void Recycle(TraceTree&& tree);
@@ -248,11 +307,14 @@ class SpanCollector {
   bool fragments_enabled_ = false;
 
   LiveMap live_;
-  // One-entry lookup cache: collector calls cluster by trace (a kernel works
-  // one message at a time), so most live_ probes hit the previous trace.
-  // Node-based map pointers are stable until extraction, which invalidates.
-  uint64_t cached_trace_id_ = 0;
-  LiveTrace* cached_trace_ = nullptr;
+  // Direct-mapped lookup cache over live_: at saturation a closed-loop
+  // client per node keeps that many traces interleaved, so a one-entry
+  // cache thrashes while a small table keeps every in-flight trace's probe
+  // a single compare. Node-based map pointers are stable across rehash and
+  // insertion; extraction (finalize) and Clear invalidate the slot.
+  static constexpr size_t kLiveCacheSize = 64;  // power of two
+  std::array<uint64_t, kLiveCacheSize> live_cache_ids_ = {};
+  std::array<LiveTrace*, kLiveCacheSize> live_cache_ = {};
   std::deque<TraceTree> completed_;
   std::vector<TraceTree> exemplars_;  // sorted worst-first
   // Recycled storage: the traced steady state starts a trace without any
@@ -260,10 +322,26 @@ class SpanCollector {
   std::vector<std::vector<Span>> spare_spans_;
   std::vector<LiveMap::node_type> spare_nodes_;
 
+  // Tail-retention state: the distribution of every finalized root's e2e
+  // duration (fed whether or not the trace was retained — the top-p slow
+  // threshold must see the full population), and the span-held accounting.
+  Histogram tail_durations_;
+  // Cached top-p slow threshold, refreshed every kTailThresholdRefresh
+  // finalized roots (-1 = not yet computed). The refresh cadence is keyed on
+  // tail_durations_.count(), so the retention decisions remain a pure
+  // function of the execution.
+  static constexpr uint64_t kTailThresholdRefresh = 64;
+  SimDuration tail_threshold_ = -1;
+  size_t held_spans_ = 0;
+
   MetricsRegistry* registry_ = nullptr;
   Histogram* phase_hist_[kSpanKindCount] = {};
   Histogram* e2e_hist_ = nullptr;
   Counter* traces_completed_counter_ = nullptr;
+  Counter* tail_retained_counter_ = nullptr;
+  Counter* tail_discarded_counter_ = nullptr;
+  Gauge* spans_held_gauge_ = nullptr;
+  Gauge* spans_high_water_gauge_ = nullptr;
 };
 
 }  // namespace eden

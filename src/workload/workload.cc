@@ -94,6 +94,7 @@ Task<void> ClosedLoopClient(EdenSystem* system, size_t client_index,
   InvokeOptions options = InvokeOptions::WithTimeout(timeout);
   while (system->sim().now() < deadline) {
     WorkItem item = factory(client_index, seq++);
+    options.metrics_class = item.metrics_class;
     SimTime start = system->sim().now();
     InvokeResult result = co_await system->node(node_index)
                               .Invoke(item.target, item.operation,
@@ -138,6 +139,7 @@ Task<void> ElasticClosedLoopClient(EdenSystem* system, size_t client_index,
     // member until membership shifts under it.
     size_t node_index = live[client_index % live.size()];
     WorkItem item = factory(client_index, seq++);
+    options.metrics_class = item.metrics_class;
     SimTime start = system->sim().now();
     InvokeResult result = co_await system->node(node_index)
                               .Invoke(item.target, item.operation,
@@ -163,6 +165,7 @@ Task<void> OpenLoopRequest(EdenSystem* system, size_t node_index, WorkItem item,
   SimTime start = system->sim().now();
   // Named local, not an inline temporary: see the note on kDefaultInvokeOptions.
   InvokeOptions options = InvokeOptions::WithTimeout(timeout);
+  options.metrics_class = item.metrics_class;
   InvokeResult result =
       co_await system->node(node_index)
           .Invoke(item.target, item.operation, std::move(item.args), options);
@@ -202,6 +205,7 @@ Task<void> ShardedClosedLoopClient(EdenSystem* system, size_t client_index,
   InvokeOptions options = InvokeOptions::WithTimeout(timeout);
   while (clock.now() < deadline) {
     WorkItem item = factory(client_index, seq++);
+    options.metrics_class = item.metrics_class;
     SimTime start = clock.now();
     InvokeResult result = co_await node.Invoke(item.target, item.operation,
                                                std::move(item.args), options);

@@ -43,11 +43,16 @@ class LatencyRecorder {
 };
 
 // What one client issues: given the issuing client index and a sequence
-// number, produce (target, operation, args).
+// number, produce (target, operation, args). A non-empty metrics_class tags
+// the invocation for per-class latency/error accounting — the series the
+// telemetry SLO engine evaluates (DESIGN.md §17).
 struct WorkItem {
   Capability target;
   std::string operation;
   InvokeArgs args;
+  // Defaulted explicitly so three-field aggregate initialization at existing
+  // call sites stays warning-free.
+  std::string metrics_class = {};
 };
 using WorkFactory = std::function<WorkItem(size_t client, uint64_t seq)>;
 

@@ -669,6 +669,52 @@ TEST(MembershipDeathTest, RunOpenLoopOnShardedSystemDies) {
       "single-threaded");
 }
 
+// ---------------------------------------------------------------------------
+// Directory fanout hysteresis (DESIGN.md §17 satellite)
+// ---------------------------------------------------------------------------
+
+// A membership hovering around the 16-member auto-fanout boundary: 15 stable
+// nodes, a flapper joining and leaving three times, with directory records in
+// place so a fanout flip would re-fan every record's home set.
+uint64_t RunFanoutFlap(SimDuration dwell, int pinned_fanout) {
+  SystemConfig config;
+  config.seed = 29;
+  config.kernel.locate.fanout_dwell = dwell;
+  config.kernel.locate.directory_fanout = pinned_fanout;
+  EdenSystem system(config);
+  system.RegisterType(MakeCounterType());
+  system.AddNodes(15);
+  for (int k = 0; k < 24; k++) {
+    EXPECT_TRUE(
+        system.node(k % 15).CreateObject("counter", CounterRep()).ok());
+  }
+  system.RunFor(Milliseconds(50));  // publishes land, directory populated
+  for (int flap = 0; flap < 3; flap++) {
+    system.JoinNode("flapper" + std::to_string(flap));  // members: 15 -> 16
+    system.RunFor(Milliseconds(20));
+    Status left = system.Await(
+        system.LeaveNode(system.node_count() - 1));  // members: 16 -> 15
+    EXPECT_TRUE(left.ok()) << left;
+    system.RunFor(Milliseconds(20));
+  }
+  MetricsRegistry rollup = system.Rollup();
+  const Counter* handoffs = rollup.FindCounter("kernel.directory.handoffs");
+  return handoffs == nullptr ? 0 : handoffs->value();
+}
+
+TEST(Membership, FanoutDwellSuppressesHandoffWavesWhileHovering) {
+  // Pinned fanout 1 is the no-fanout-wave baseline: every handoff it does is
+  // membership re-homing, not re-fanning. A dwell longer than any excursion
+  // must match it exactly, and the legacy instant flip must pay extra
+  // cluster-wide waves on every 15 <-> 16 crossing.
+  uint64_t pinned = RunFanoutFlap(/*dwell=*/0, /*pinned_fanout=*/1);
+  uint64_t dwelled = RunFanoutFlap(Seconds(5), /*pinned_fanout=*/0);
+  uint64_t instant = RunFanoutFlap(/*dwell=*/0, /*pinned_fanout=*/0);
+  EXPECT_GT(pinned, 0u);  // the flapper does take (and hand back) partitions
+  EXPECT_EQ(dwelled, pinned);
+  EXPECT_GT(instant, dwelled);
+}
+
 TEST(MembershipDeathTest, MembershipOpOnShardedSystemDies) {
   testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(

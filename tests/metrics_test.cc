@@ -243,6 +243,31 @@ TEST(HistogramPercentile, MergePreservesDistribution) {
   }
 }
 
+// StatsSince is the telemetry scraper's fused walk; it must return exactly
+// what the composed DeltaSince + Percentile path returns, sample for sample,
+// or scrape series would depend on which path computed them.
+TEST(HistogramPercentile, StatsSinceMatchesDeltaSincePlusPercentile) {
+  Histogram h;
+  Histogram snapshot;  // empty snapshot: the first scrape's window
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int tick = 0; tick < 50; tick++) {
+    int samples = tick % 7;  // includes idle ticks (0 new samples)
+    for (int s = 0; s < samples; s++) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      h.Record(static_cast<SimDuration>(x % Milliseconds(20)));
+    }
+    Histogram delta = h.DeltaSince(snapshot);
+    Histogram::WindowStats w = h.StatsSince(snapshot);
+    EXPECT_EQ(w.count, delta.count()) << "tick " << tick;
+    EXPECT_EQ(w.p50, delta.Percentile(0.5)) << "tick " << tick;
+    EXPECT_EQ(w.p99, delta.Percentile(0.99)) << "tick " << tick;
+    EXPECT_EQ(w.max, delta.max()) << "tick " << tick;
+    snapshot = h;
+  }
+}
+
 // --- Registry semantics ----------------------------------------------------
 
 TEST(MetricsRegistry, InstrumentsAreStableAndNamed) {
